@@ -1,0 +1,48 @@
+"""Ablation: the structure-count budget |S|_target (paper Problem 4).
+
+The paper caps |S| because every structure adds connections and routing
+logic. Sweeping the budget shows diminishing cycle returns against
+monotonically growing area — the trade-off that motivates the cap.
+"""
+
+from conftest import print_rows
+
+from repro.customization import customize_problem
+from repro.hw import estimate_resources, fmax_mhz
+from repro.problems import generate
+
+
+def test_structure_budget_sweep(benchmark):
+    problem = generate("control", 16, seed=0)
+
+    def sweep():
+        rows = []
+        for budget in range(0, 7):
+            custom = customize_problem(problem, 16,
+                                       max_structures=budget)
+            arch = custom.architecture
+            res = estimate_resources(arch)
+            rows.append({
+                "budget": budget,
+                "architecture": str(arch),
+                "eta": custom.eta,
+                "total_ep": custom.total_ep,
+                "fmax_mhz": fmax_mhz(arch),
+                "lut": res.lut,
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print_rows("Ablation: |S|_target budget sweep (control problem)", rows)
+
+    etas = [row["eta"] for row in rows]
+    luts = [row["lut"] for row in rows]
+    # eta never degrades with a bigger budget ...
+    assert all(b >= a - 1e-9 for a, b in zip(etas, etas[1:]))
+    # ... but area grows once structures are added.
+    assert luts[-1] >= luts[0]
+    # Most of the gain arrives with the first couple of structures
+    # (diminishing returns justify the paper's small |S|).
+    gain_first_two = etas[2] - etas[0]
+    gain_rest = etas[-1] - etas[2]
+    assert gain_first_two >= gain_rest

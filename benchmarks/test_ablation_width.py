@@ -1,0 +1,50 @@
+"""Ablation: datapath width C (paper §3.1).
+
+C tunes the level of parallelism: vector operations cost length/C and
+the SpMV consumes C non-zeros per cycle, so larger problems want larger
+C — at 5C DSPs and growing routing cost. This sweep quantifies that on
+one mid-size problem.
+"""
+
+from conftest import print_rows
+
+from repro.customization import baseline_customization, customize_problem
+from repro.hw import estimate_resources, fmax_mhz
+from repro.problems import generate
+
+
+def test_width_sweep(benchmark):
+    problem = generate("svm", 240, seed=0)  # ~19k nnz
+
+    def sweep():
+        rows = []
+        for c in (8, 16, 32, 64):
+            custom = customize_problem(problem, c)
+            cycles = sum(m.spmv_cycles + m.duplication_cycles
+                         for m in custom.matrices.values())
+            fmax = fmax_mhz(custom.architecture)
+            rows.append({
+                "C": c,
+                "architecture": str(custom.architecture),
+                "eta": custom.eta,
+                "kkt_spmv_cycles": cycles,
+                "spmv_us": cycles / fmax,
+                "dsp": estimate_resources(custom.architecture).dsp,
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print_rows("Ablation: datapath width sweep (svm)", rows)
+
+    cycles = [row["kkt_spmv_cycles"] for row in rows]
+    dsps = [row["dsp"] for row in rows]
+    etas = [row["eta"] for row in rows]
+    # More lanes, more DSPs (5 per lane); overall fewer cycles on a
+    # problem large enough to feed the wide datapath.
+    assert dsps == [40, 80, 160, 320]
+    assert cycles[-1] < cycles[0]
+    # Wall-clock SpMV time improves from C=8 to C=64 despite f_max cost.
+    assert rows[-1]["spmv_us"] < rows[0]["spmv_us"]
+    # The match score *drops* with C at fixed problem size — the
+    # fragmentation effect of §3.2 that motivates customization.
+    assert etas[-1] < etas[0]

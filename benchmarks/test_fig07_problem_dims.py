@@ -1,0 +1,30 @@
+"""Figure 7: number of non-zeros and decision variables in the benchmark.
+
+Regenerates the suite-dimension scatter (nnz(P)+nnz(A) vs n per family)
+and benchmarks the suite generator itself.
+"""
+
+from conftest import bench_count, bench_scale, print_rows
+
+from repro.experiments import fig07_problem_dimensions
+from repro.problems import benchmark_suite
+
+
+def test_fig07_dimensions(benchmark):
+    rows = benchmark(fig07_problem_dimensions, count=bench_count(),
+                     scale=bench_scale())
+    print_rows("Figure 7: benchmark problem dimensions", rows)
+    families = {row["family"] for row in rows}
+    assert len(families) == 6
+    nnz = [row["nnz"] for row in rows]
+    # The suite spans multiple decades of nnz, as in the paper.
+    assert max(nnz) / min(nnz) > 30
+
+
+def test_suite_generation_speed(benchmark):
+    def generate_smallest():
+        return [entry.problem.nnz
+                for entry in benchmark_suite(count=1)]
+
+    nnz = benchmark(generate_smallest)
+    assert len(nnz) == 6

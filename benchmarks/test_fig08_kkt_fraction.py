@@ -1,0 +1,28 @@
+"""Figure 8: percentage of CPU solver time spent solving the KKT system.
+
+The paper reports > 95 % for most problems, motivating the PCG
+acceleration. The benchmark measures the reference solve that produces
+the iteration counts behind the split.
+"""
+
+from conftest import print_rows
+
+from repro.experiments import fig08_kkt_fraction
+from repro.problems import generate
+from repro.solver import OSQPSettings, OSQPSolver
+
+
+def test_fig08_kkt_fraction(suite_records, benchmark):
+    prob = generate("svm", 40, seed=0)
+
+    def reference_solve():
+        return OSQPSolver(prob, OSQPSettings(max_iter=2000)).solve()
+
+    result = benchmark(reference_solve)
+    assert result.status.is_optimal
+
+    rows = fig08_kkt_fraction(suite_records)
+    print_rows("Figure 8: % CPU solver time in the KKT solve", rows)
+    # Shape check: the KKT solve dominates for the bulk of the suite.
+    dominated = [row for row in rows if row["kkt_percent"] > 85.0]
+    assert len(dominated) >= len(rows) * 0.6

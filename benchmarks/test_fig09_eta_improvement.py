@@ -1,0 +1,30 @@
+"""Figure 9: improvement of the match score eta after customization.
+
+Paper shape: clear improvements (up to ~0.5-0.6) on the structured
+families, smallest gains on eqqp whose sparsity strings have few
+repeated motifs. The benchmark measures the customization flow itself.
+"""
+
+from conftest import print_rows
+
+from repro.customization import customize_problem
+from repro.experiments import fig09_eta_improvement
+from repro.problems import generate
+
+
+def test_fig09_eta_improvement(suite_records, benchmark):
+    prob = generate("control", 8, seed=0)
+    custom = benchmark(customize_problem, prob, 16)
+    assert 0.0 < custom.eta <= 1.0
+
+    rows = fig09_eta_improvement(suite_records)
+    print_rows("Figure 9: eta improvement after customization", rows)
+    assert all(row["delta_eta"] >= -1e-9 for row in rows)
+    # Structured families improve visibly somewhere in the suite.
+    assert max(row["delta_eta"] for row in rows) > 0.15
+    # eqqp benefits least on average (paper's observation).
+    by_family = {}
+    for row in rows:
+        by_family.setdefault(row["family"], []).append(row["delta_eta"])
+    means = {fam: sum(v) / len(v) for fam, v in by_family.items()}
+    assert means["eqqp"] == min(means.values())

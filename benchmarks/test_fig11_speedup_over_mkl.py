@@ -1,0 +1,36 @@
+"""Figure 11: end-to-end solver speedup of FPGA (baseline and
+customized) and GPU over the MKL CPU baseline, per family.
+
+Paper shape: customization extends the FPGA's advantage across all but
+the largest problems (up to 31.2x vs CPU, 6.9x vs GPU); the GPU only
+overtakes the CPU on the biggest instances. The benchmark measures the
+FPGA analytic time model evaluation.
+"""
+
+from conftest import print_rows
+
+from repro.baselines import CPUModel, GPUModel, SolveWorkload
+from repro.experiments import fig11_speedup_over_mkl
+
+
+def test_fig11_speedup_over_mkl(suite_records, benchmark):
+    cpu, gpu = CPUModel(), GPUModel()
+    workload = SolveWorkload(n=2000, m=3000, nnz_spmv=60_000,
+                             admm_iterations=150, pcg_iterations=900)
+
+    def evaluate_models():
+        return cpu.solve_seconds(workload), gpu.solve_seconds(workload)
+
+    times = benchmark(evaluate_models)
+    assert all(t > 0 for t in times)
+
+    rows = fig11_speedup_over_mkl(suite_records)
+    print_rows("Figure 11: speedup over MKL (per problem)", rows)
+    # Customization never loses to the baseline architecture.
+    assert all(row["customization"] >= row["no_customization"] * 0.999
+               for row in rows)
+    # The FPGA beats the CPU on these problem scales.
+    assert max(row["customization"] for row in rows) > 3.0
+    # The GPU loses to the CPU on small problems (cuOSQP's finding).
+    small = [row for row in rows if row["nnz"] < 20_000]
+    assert small and min(row["cuda"] for row in small) < 1.0

@@ -1,0 +1,38 @@
+"""Figure 12: absolute solver run time on CPU, GPU and the customized
+FPGA per family (lower is better).
+
+Paper shape: FPGA lowest across small/mid sizes; CPU competitive only
+on tiny problems; GPU pays a per-iteration floor. The benchmark
+measures a full simulated accelerator run (cycle-accurate machine).
+"""
+
+from conftest import print_rows
+
+from repro.experiments import fig12_solver_runtime
+from repro.hw import RSQPAccelerator
+from repro.problems import generate
+from repro.solver import OSQPSettings
+
+
+def test_fig12_solver_runtime(suite_records, benchmark):
+    prob = generate("svm", 10, seed=0)
+    acc = RSQPAccelerator(prob, settings=OSQPSettings(max_iter=2000))
+
+    def run_accelerator():
+        # Fresh state per round: re-download then execute.
+        acc.machine.vb.clear()
+        acc.machine.cvb.clear()
+        acc.machine.stats.total_cycles = 0
+        acc._download()
+        return acc.run()
+
+    result = benchmark(run_accelerator)
+    assert result.converged
+
+    rows = fig12_solver_runtime(suite_records)
+    print_rows("Figure 12: solver run time (seconds)", rows)
+    # FPGA-with-customization is the fastest backend on this suite.
+    faster = [row for row in rows
+              if row["customization_s"] < row["mkl_s"]
+              and row["customization_s"] < row["cuda_s"]]
+    assert len(faster) >= 0.8 * len(rows)

@@ -1,0 +1,29 @@
+"""Figure 13: power efficiency (solves per second per watt), FPGA vs GPU.
+
+Paper shape: the FPGA runs flat at ~19 W against the GPU's 44-126 W and
+achieves up to 22.7x better energy efficiency. The benchmark measures
+the power-model evaluation.
+"""
+
+from conftest import print_rows
+
+from repro.customization import parse_architecture
+from repro.experiments import fig13_power_efficiency
+from repro.hw import fpga_power_watts
+
+
+def test_fig13_power_efficiency(suite_records, benchmark):
+    arch = parse_architecture("32{4d1f}")
+    watts = benchmark(fpga_power_watts, arch)
+    assert 18.0 <= watts <= 20.0
+
+    rows = fig13_power_efficiency(suite_records)
+    print_rows("Figure 13: power efficiency (throughput per watt)", rows)
+    # FPGA power flat near 19 W; GPU spans its 44-126 W band.
+    assert all(18.0 <= row["fpga_watts"] <= 20.0 for row in rows)
+    assert all(44.0 <= row["gpu_watts"] <= 126.0 for row in rows)
+    ratios = [row["fpga_throughput_per_watt"]
+              / row["gpu_throughput_per_watt"] for row in rows]
+    # Large efficiency advantage for the FPGA (paper: up to 22.7x).
+    assert max(ratios) > 10.0
+    assert min(ratios) > 1.0

@@ -1,0 +1,52 @@
+"""Scaling trend: how the headline ratios move toward the paper's regime.
+
+The default suite tops out ~30x below the paper's largest instances
+(see EXPERIMENTS.md). This bench sweeps one family across a widening
+size range and checks the *trends* that connect our numbers to the
+paper's: the GPU closes on the CPU as nnz grows, and the FPGA's
+advantage over the CPU shrinks from its small-problem peak.
+"""
+
+import os
+
+from conftest import print_rows
+
+from repro.experiments import run_problem
+from repro.problems import generate
+from repro.solver import OSQPSettings
+
+#: Sizes beyond the default suite's top end; REPRO_BENCH_SCALE extends.
+_SIZES = (60, 150, 400, 900)
+
+
+def test_scaling_trend(benchmark):
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    sizes = [int(s * scale) for s in _SIZES]
+    settings = OSQPSettings(eps_abs=1e-3, eps_rel=1e-3, max_iter=2000)
+
+    def sweep():
+        rows = []
+        for size in sizes:
+            problem = generate("eqqp", size, seed=0)
+            record = run_problem(problem, "eqqp", settings=settings)
+            rows.append({
+                "size": size,
+                "nnz": record.nnz,
+                "C": record.c,
+                "fpga_vs_cpu": record.speedup_custom_vs_cpu,
+                "gpu_vs_cpu": record.speedup_gpu_vs_cpu,
+                "gpu_vs_fpga": record.gpu_seconds
+                / record.fpga_custom_seconds,
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print_rows("Scaling trend (eqqp family)", rows)
+
+    gpu_vs_cpu = [row["gpu_vs_cpu"] for row in rows]
+    # The GPU's relative standing improves monotonically with size
+    # (cuOSQP's crossover sits at ~1e5 nnz, beyond this sweep's end).
+    assert all(b > a for a, b in zip(gpu_vs_cpu, gpu_vs_cpu[1:]))
+    # The FPGA-vs-GPU gap shrinks toward the paper's 6.9x headline.
+    gvf = [row["gpu_vs_fpga"] for row in rows]
+    assert gvf[-1] < gvf[0]

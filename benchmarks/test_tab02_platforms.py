@@ -1,0 +1,13 @@
+"""Table 2: platform details (device catalog)."""
+
+from conftest import print_rows
+
+from repro.experiments import table2_platforms
+
+
+def test_tab02_platforms(benchmark):
+    rows = benchmark(table2_platforms)
+    print_rows("Table 2: platform details", rows)
+    assert [row["device"] for row in rows] == ["FPGA", "CPU", "GPU"]
+    assert rows[0]["tdp_watts"] == 75.0
+    assert rows[2]["peak_teraflops"] == 20.0

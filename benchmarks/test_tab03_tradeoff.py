@@ -1,0 +1,39 @@
+"""Table 3: microarchitectural performance/area trade-off.
+
+Evaluates the paper's 11 architecture candidates on an svm instance of
+~20k non-zeros (paper: 20 616), reporting f_max, delta-eta, SpMV rate
+and DSP/FF/LUT. Paper shape: bigger C and |S| buy cycles but cost area
+and clock; 64{8d4e1g} wins throughput, 64{64a4e1g} has the best eta but
+the worst clock.
+"""
+
+from conftest import print_rows
+
+from repro.experiments import TABLE3_CANDIDATES, table3_tradeoff
+from repro.problems import generate
+
+
+def test_tab03_tradeoff(benchmark):
+    problem = generate("svm", 240, seed=0)  # ~20k nnz, like the paper's
+
+    rows = benchmark.pedantic(table3_tradeoff, args=(problem,),
+                              iterations=1, rounds=1)
+    print_rows(f"Table 3: trade-off on {problem.name} "
+               f"(nnz={problem.nnz})", rows)
+    assert len(rows) == len(TABLE3_CANDIDATES)
+    by_name = {row["architecture"]: row for row in rows}
+
+    # Baseline has zero delta-eta by definition.
+    assert abs(by_name["16{e}"]["delta_eta"]) < 1e-12
+    # Wider datapaths use proportionally more DSPs (5 per lane).
+    assert by_name["64{4e1g}"]["dsp"] == 4 * by_name["16{e}"]["dsp"]
+    # The paper's frequency cliff: 64{64a4e1g} clocks lowest.
+    fmaxes = {name: row["fmax_mhz"] for name, row in by_name.items()}
+    assert fmaxes["64{64a4e1g}"] == min(fmaxes.values())
+    # Customization at fixed C raises eta.
+    assert by_name["16{16a1e}"]["delta_eta"] > 0.0
+    # Customized designs beat their own-C baseline in SpMV rate.
+    assert (by_name["16{16a1e}"]["spmv_per_us"]
+            > by_name["16{e}"]["spmv_per_us"])
+    assert (by_name["64{8d4e1g}"]["spmv_per_us"]
+            > by_name["64{4e1g}"]["spmv_per_us"] * 0.95)

@@ -1,0 +1,154 @@
+// Auto-generated problem-specific routing logic for 16{8b2d1e}.
+// Outer switch: output count of the active MAC structure;
+// inner switch: current alignment-buffer rotation.
+switch (acc_cnt) {
+case 8:
+	switch (align_ptr){
+	case 0:
+		align_out[0] << acc_pack.data[0];
+		align_out[1] << acc_pack.data[1];
+		align_out[2] << acc_pack.data[2];
+		align_out[3] << acc_pack.data[3];
+		align_out[4] << acc_pack.data[4];
+		align_out[5] << acc_pack.data[5];
+		align_out[6] << acc_pack.data[6];
+		align_out[7] << acc_pack.data[7];
+		break;
+	case 1:
+		align_out[1] << acc_pack.data[0];
+		align_out[2] << acc_pack.data[1];
+		align_out[3] << acc_pack.data[2];
+		align_out[4] << acc_pack.data[3];
+		align_out[5] << acc_pack.data[4];
+		align_out[6] << acc_pack.data[5];
+		align_out[7] << acc_pack.data[6];
+		align_out[0] << acc_pack.data[7];
+		break;
+	case 2:
+		align_out[2] << acc_pack.data[0];
+		align_out[3] << acc_pack.data[1];
+		align_out[4] << acc_pack.data[2];
+		align_out[5] << acc_pack.data[3];
+		align_out[6] << acc_pack.data[4];
+		align_out[7] << acc_pack.data[5];
+		align_out[0] << acc_pack.data[6];
+		align_out[1] << acc_pack.data[7];
+		break;
+	case 3:
+		align_out[3] << acc_pack.data[0];
+		align_out[4] << acc_pack.data[1];
+		align_out[5] << acc_pack.data[2];
+		align_out[6] << acc_pack.data[3];
+		align_out[7] << acc_pack.data[4];
+		align_out[0] << acc_pack.data[5];
+		align_out[1] << acc_pack.data[6];
+		align_out[2] << acc_pack.data[7];
+		break;
+	case 4:
+		align_out[4] << acc_pack.data[0];
+		align_out[5] << acc_pack.data[1];
+		align_out[6] << acc_pack.data[2];
+		align_out[7] << acc_pack.data[3];
+		align_out[0] << acc_pack.data[4];
+		align_out[1] << acc_pack.data[5];
+		align_out[2] << acc_pack.data[6];
+		align_out[3] << acc_pack.data[7];
+		break;
+	case 5:
+		align_out[5] << acc_pack.data[0];
+		align_out[6] << acc_pack.data[1];
+		align_out[7] << acc_pack.data[2];
+		align_out[0] << acc_pack.data[3];
+		align_out[1] << acc_pack.data[4];
+		align_out[2] << acc_pack.data[5];
+		align_out[3] << acc_pack.data[6];
+		align_out[4] << acc_pack.data[7];
+		break;
+	case 6:
+		align_out[6] << acc_pack.data[0];
+		align_out[7] << acc_pack.data[1];
+		align_out[0] << acc_pack.data[2];
+		align_out[1] << acc_pack.data[3];
+		align_out[2] << acc_pack.data[4];
+		align_out[3] << acc_pack.data[5];
+		align_out[4] << acc_pack.data[6];
+		align_out[5] << acc_pack.data[7];
+		break;
+	case 7:
+		align_out[7] << acc_pack.data[0];
+		align_out[0] << acc_pack.data[1];
+		align_out[1] << acc_pack.data[2];
+		align_out[2] << acc_pack.data[3];
+		align_out[3] << acc_pack.data[4];
+		align_out[4] << acc_pack.data[5];
+		align_out[5] << acc_pack.data[6];
+		align_out[6] << acc_pack.data[7];
+		break;
+	}
+	break;
+case 2:
+	switch (align_ptr){
+	case 0:
+		align_out[0] << acc_pack.data[0];
+		align_out[1] << acc_pack.data[1];
+		break;
+	case 1:
+		align_out[1] << acc_pack.data[0];
+		align_out[2] << acc_pack.data[1];
+		break;
+	case 2:
+		align_out[2] << acc_pack.data[0];
+		align_out[3] << acc_pack.data[1];
+		break;
+	case 3:
+		align_out[3] << acc_pack.data[0];
+		align_out[4] << acc_pack.data[1];
+		break;
+	case 4:
+		align_out[4] << acc_pack.data[0];
+		align_out[5] << acc_pack.data[1];
+		break;
+	case 5:
+		align_out[5] << acc_pack.data[0];
+		align_out[6] << acc_pack.data[1];
+		break;
+	case 6:
+		align_out[6] << acc_pack.data[0];
+		align_out[7] << acc_pack.data[1];
+		break;
+	case 7:
+		align_out[7] << acc_pack.data[0];
+		align_out[0] << acc_pack.data[1];
+		break;
+	}
+	break;
+case 1:
+	switch (align_ptr){
+	case 0:
+		align_out[0] << acc_pack.data[0];
+		break;
+	case 1:
+		align_out[1] << acc_pack.data[0];
+		break;
+	case 2:
+		align_out[2] << acc_pack.data[0];
+		break;
+	case 3:
+		align_out[3] << acc_pack.data[0];
+		break;
+	case 4:
+		align_out[4] << acc_pack.data[0];
+		break;
+	case 5:
+		align_out[5] << acc_pack.data[0];
+		break;
+	case 6:
+		align_out[6] << acc_pack.data[0];
+		break;
+	case 7:
+		align_out[7] << acc_pack.data[0];
+		break;
+	}
+	break;
+}
+align_ptr = (align_ptr + acc_cnt) % 8;

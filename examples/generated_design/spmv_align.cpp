@@ -1,0 +1,24 @@
+// Auto-generated for architecture 16{8b2d1e}.
+void spmv_align(int align_cnt,
+                data_stream align_out[ACC_PACK_NUM],
+                cnt_pack_stream &acc_cnt_in,
+                data_stream &acc_complete_in,
+                spmv_pack_stream &spmv_pack_in)
+{
+    ap_uint<ALIGN_PTR_BITWIDTH> align_ptr = 0;
+align_loop:
+    for (int loc = 0; loc < align_cnt; loc++)
+    {
+#pragma HLS pipeline II = 1
+        u16_t acc_cnt = acc_cnt_in.read();
+        spmv_pack_t acc_pack;
+        if (acc_cnt == CNT_AS_FADD_FLAG) {
+            acc_pack.data[0] = acc_complete_in.read();
+            acc_cnt = 1;
+        }
+        else {
+            acc_pack = spmv_pack_in.read();
+        }
+#include "align_acc_cnt_switch.h"
+    }
+}

@@ -1,0 +1,65 @@
+"""Quickstart: define a QP, solve it, and run it on the simulated RSQP card.
+
+The problem is the paper's canonical form (eq. 1):
+
+    minimize    1/2 x' P x + q' x
+    subject to  l <= A x <= u
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.hw import RSQPAccelerator
+from repro.qp import QProblem
+from repro.solver import OSQPSettings, solve
+from repro.sparse import CSRMatrix
+
+
+def main():
+    # A small portfolio-flavoured QP: 3 assets, budget + long-only.
+    p = CSRMatrix.from_dense([
+        [0.10, 0.02, 0.00],
+        [0.02, 0.08, 0.01],
+        [0.00, 0.01, 0.12],
+    ])
+    q = np.array([-0.05, -0.04, -0.06])  # negated expected returns
+    a = CSRMatrix.from_dense([
+        [1.0, 1.0, 1.0],   # budget: sum x = 1
+        [1.0, 0.0, 0.0],   # x >= 0 (long only)
+        [0.0, 1.0, 0.0],
+        [0.0, 0.0, 1.0],
+    ])
+    l = np.array([1.0, 0.0, 0.0, 0.0])
+    u = np.array([1.0, np.inf, np.inf, np.inf])
+    problem = QProblem(P=p, q=q, A=a, l=l, u=u, name="quickstart")
+
+    # 1. Software solve (the reference OSQP implementation).
+    result = solve(problem, OSQPSettings(eps_abs=1e-6, eps_rel=1e-6,
+                                         polish=True))
+    print(f"status     : {result.status.value}")
+    print(f"allocation : {np.round(result.x, 4)}")
+    print(f"objective  : {result.info.obj_val:.6f}")
+    print(f"iterations : {result.info.iterations} "
+          f"(PCG total {result.info.pcg_iterations})")
+
+    # 2. The same problem on the simulated RSQP accelerator with a
+    #    problem-specific architecture.
+    accelerator = RSQPAccelerator(problem)
+    hw = accelerator.run()
+    print(f"\naccelerator architecture : "
+          f"{accelerator.customization.architecture}")
+    print(f"match score eta          : "
+          f"{accelerator.customization.eta:.3f}")
+    print(f"accelerator allocation   : {np.round(hw.x, 4)}")
+    print(f"cycles / f_max / time    : {hw.total_cycles} cycles @ "
+          f"{hw.fmax_mhz:.0f} MHz = {hw.solve_seconds * 1e6:.1f} us")
+    print(f"board power              : {hw.power_watts:.1f} W")
+
+    assert result.status.is_optimal
+    assert np.allclose(hw.x, result.x, atol=1e-2)
+    print("\nsoftware and simulated hardware agree.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no `wheel` package, so PEP 660 editable installs
+(`pip install -e .` with pyproject-only metadata) cannot build. This shim
+lets pip fall back to the legacy `setup.py develop` path offline. All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

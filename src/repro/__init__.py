@@ -1,0 +1,37 @@
+"""RSQP reproduction (ISCA 2023).
+
+A from-scratch Python implementation of RSQP — problem-specific
+architectural customization for accelerated convex quadratic
+optimization — including the OSQP solver it accelerates, the
+customization framework (sparsity strings, E_p/E_c optimization), a
+cycle-accurate model of the FPGA processing architecture, and the full
+evaluation harness.
+
+Top-level convenience re-exports cover the everyday workflow; the
+subpackages hold the full API (see README.md for the map).
+"""
+
+from .customization import (Architecture, baseline_customization,
+                            customize_problem, parse_architecture)
+from .hw import RSQPAccelerator
+from .qp import QProblem
+from .solver import OSQPResult, OSQPSettings, OSQPSolver, SolverStatus, solve
+from .sparse import CSRMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QProblem",
+    "CSRMatrix",
+    "solve",
+    "OSQPSolver",
+    "OSQPSettings",
+    "OSQPResult",
+    "SolverStatus",
+    "customize_problem",
+    "baseline_customization",
+    "Architecture",
+    "parse_architecture",
+    "RSQPAccelerator",
+    "__version__",
+]

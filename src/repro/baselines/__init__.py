@@ -1,0 +1,21 @@
+"""Analytic CPU (MKL) and GPU (cuOSQP) baseline models, plus Table 2."""
+
+from .cpu import CPUModel, cpu_solve_seconds
+from .devices import I7_CPU, RTX3070_GPU, TABLE2, U50_FPGA, Device
+from .gpu import GPUModel, gpu_power_watts, gpu_solve_seconds
+from .workload import SolveWorkload, workload_from_result
+
+__all__ = [
+    "CPUModel",
+    "cpu_solve_seconds",
+    "GPUModel",
+    "gpu_solve_seconds",
+    "gpu_power_watts",
+    "SolveWorkload",
+    "workload_from_result",
+    "Device",
+    "U50_FPGA",
+    "I7_CPU",
+    "RTX3070_GPU",
+    "TABLE2",
+]

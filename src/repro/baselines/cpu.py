@@ -1,0 +1,67 @@
+"""MKL-accelerated CPU timing model (the paper's performance baseline).
+
+The model charges three well-understood cost components per library
+call, calibrated to sparse-CG behaviour on a desktop-class part
+(i7-10700KF, 8 threads, dual-channel DDR4):
+
+* a fixed per-call overhead (threading fork/join and dispatch),
+* an SpMV term limited by the *gather-bound* effective bandwidth of
+  CSR ``x[col]`` accesses, and
+* a streaming term for dense vector kernels.
+
+Substitution note (DESIGN.md): we cannot run MKL in this environment;
+iteration counts come from real solves by our reference solver and only
+the per-iteration seconds are modeled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .workload import SolveWorkload
+
+__all__ = ["CPUModel", "cpu_solve_seconds"]
+
+
+@dataclass(frozen=True)
+class CPUModel:
+    """Tunable constants of the CPU model."""
+
+    #: Fixed per-library-call overhead (8-thread barrier + dispatch), s.
+    call_overhead: float = 2.5e-6
+    #: Effective SpMV rate, non-zeros per second (gather-bound CSR).
+    spmv_nnz_per_s: float = 0.8e9
+    #: Dense vector streaming rate, elements per second.
+    vector_elems_per_s: float = 2.5e9
+    #: One-time setup (symbolic work, first-touch, allocation), s.
+    setup_seconds: float = 5e-4
+
+    def spmv_call_seconds(self, nnz: int) -> float:
+        return self.call_overhead + nnz / self.spmv_nnz_per_s
+
+    def vector_call_seconds(self, elements: int) -> float:
+        return self.call_overhead + elements / self.vector_elems_per_s
+
+    def solve_seconds(self, workload: SolveWorkload) -> float:
+        spmv_nnz_per_call = workload.nnz_spmv / 3.0
+        spmv = workload.total_spmv_calls \
+            * self.spmv_call_seconds(spmv_nnz_per_call)
+        vector = workload.total_vector_calls \
+            * self.vector_call_seconds(workload.vector_elements)
+        return self.setup_seconds + spmv + vector
+
+    def kkt_solve_seconds(self, workload: SolveWorkload) -> float:
+        """Time inside Algorithm 2 only (for the Figure 8 split)."""
+        from .workload import PCG_SPMV_CALLS, PCG_VECTOR_CALLS
+        spmv_nnz_per_call = workload.nnz_spmv / 3.0
+        spmv = (PCG_SPMV_CALLS * workload.pcg_iterations
+                * self.spmv_call_seconds(spmv_nnz_per_call))
+        vector = (PCG_VECTOR_CALLS * workload.pcg_iterations
+                  * self.vector_call_seconds(workload.vector_elements))
+        return spmv + vector
+
+
+def cpu_solve_seconds(workload: SolveWorkload,
+                      model: CPUModel | None = None) -> float:
+    """End-to-end CPU solver time for a workload."""
+    return (model or CPUModel()).solve_seconds(workload)

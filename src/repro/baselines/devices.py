@@ -1,0 +1,29 @@
+"""Device catalog — paper Table 2 (Platform Details)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Device", "U50_FPGA", "I7_CPU", "RTX3070_GPU", "TABLE2"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """One evaluation platform."""
+
+    name: str
+    model: str
+    peak_teraflops: float
+    lithography_nm: int
+    tdp_watts: float
+
+
+U50_FPGA = Device(name="FPGA", model="AMD-Xilinx U50",
+                  peak_teraflops=0.3, lithography_nm=16, tdp_watts=75.0)
+I7_CPU = Device(name="CPU", model="Intel i7-10700KF",
+                peak_teraflops=0.5, lithography_nm=14, tdp_watts=125.0)
+RTX3070_GPU = Device(name="GPU", model="NVIDIA RTX3070",
+                     peak_teraflops=20.0, lithography_nm=8, tdp_watts=220.0)
+
+#: Rows of Table 2, in paper order.
+TABLE2 = (U50_FPGA, I7_CPU, RTX3070_GPU)

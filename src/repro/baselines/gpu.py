@@ -1,0 +1,72 @@
+"""cuOSQP-style GPU timing and power model (RTX 3070).
+
+Structure mirrors the published cuOSQP behaviour: every cuSparse/cuBLAS
+call pays a kernel-launch latency, so small problems are dominated by a
+per-iteration floor of ~100 us and lose to the CPU; large problems are
+HBM-bandwidth-bound and win. Power scales from the idle draw toward the
+bandwidth-saturated draw — the paper observed 44 W to 126 W across the
+benchmark against the FPGA's flat ~19 W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .workload import SolveWorkload
+
+__all__ = ["GPUModel", "gpu_solve_seconds", "gpu_power_watts"]
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """Tunable constants of the GPU model."""
+
+    #: Kernel launch + driver latency per library call, s.
+    launch_overhead: float = 9e-6
+    #: Effective SpMV rate (CSR gather on GDDR6), non-zeros per second.
+    spmv_nnz_per_s: float = 11e9
+    #: Dense vector streaming rate, elements per second.
+    vector_elems_per_s: float = 30e9
+    #: One-time setup: context, allocation, H2D transfer base, s.
+    setup_seconds: float = 2.5e-2
+    #: Host-to-device transfer bandwidth (PCIe), bytes per second.
+    transfer_bytes_per_s: float = 10e9
+    #: Idle and saturated board power, W (paper: 44-126 W observed).
+    power_idle_watts: float = 44.0
+    power_max_watts: float = 126.0
+    #: Non-zeros at which the workload saturates the board (power-wise).
+    power_saturation_nnz: float = 2e6
+
+    def spmv_call_seconds(self, nnz: float) -> float:
+        return self.launch_overhead + nnz / self.spmv_nnz_per_s
+
+    def vector_call_seconds(self, elements: int) -> float:
+        return self.launch_overhead + elements / self.vector_elems_per_s
+
+    def solve_seconds(self, workload: SolveWorkload) -> float:
+        spmv_nnz_per_call = workload.nnz_spmv / 3.0
+        spmv = workload.total_spmv_calls \
+            * self.spmv_call_seconds(spmv_nnz_per_call)
+        vector = workload.total_vector_calls \
+            * self.vector_call_seconds(workload.vector_elements)
+        transfer = workload.problem_bytes / self.transfer_bytes_per_s
+        return self.setup_seconds + transfer + spmv + vector
+
+    def power_watts(self, workload: SolveWorkload) -> float:
+        """Board power while solving; grows with achieved occupancy."""
+        utilization = min(1.0, workload.nnz_spmv / self.power_saturation_nnz)
+        return (self.power_idle_watts
+                + (self.power_max_watts - self.power_idle_watts)
+                * utilization)
+
+
+def gpu_solve_seconds(workload: SolveWorkload,
+                      model: GPUModel | None = None) -> float:
+    """End-to-end GPU solver time for a workload."""
+    return (model or GPUModel()).solve_seconds(workload)
+
+
+def gpu_power_watts(workload: SolveWorkload,
+                    model: GPUModel | None = None) -> float:
+    """Board power for a workload."""
+    return (model or GPUModel()).power_watts(workload)

@@ -1,0 +1,74 @@
+"""Per-iteration operation counts of the OSQP indirect path.
+
+Both analytic timing models (CPU/MKL and GPU/cuOSQP) consume the same
+workload description so their comparison is apples-to-apples: the
+iteration counts come from a *real* solve by the reference solver, and
+the models only translate "what work one iteration does" into seconds on
+each device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..qp import QProblem
+from ..solver import OSQPResult
+
+__all__ = ["SolveWorkload", "workload_from_result"]
+
+#: Library calls per PCG iteration in the indirect backend: the K-apply
+#: (3 SpMV calls + scale/add) plus dots, preconditioner and updates.
+PCG_SPMV_CALLS = 3
+PCG_VECTOR_CALLS = 10
+#: Library calls per ADMM iteration outside PCG: rhs build, relaxation,
+#: projection, dual update and the residual check (2 SpMVs + vector work).
+ADMM_SPMV_CALLS = 4
+ADMM_VECTOR_CALLS = 16
+
+
+@dataclass(frozen=True)
+class SolveWorkload:
+    """Device-independent description of one end-to-end solve."""
+
+    n: int
+    m: int
+    nnz_spmv: int       # non-zeros touched per K-apply: nnz(P) + 2 nnz(A)
+    admm_iterations: int
+    pcg_iterations: int
+
+    @property
+    def vector_elements(self) -> int:
+        """Elements touched by one average vector operation."""
+        return self.n + self.m
+
+    @property
+    def total_spmv_calls(self) -> int:
+        return (PCG_SPMV_CALLS * self.pcg_iterations
+                + ADMM_SPMV_CALLS * self.admm_iterations)
+
+    @property
+    def total_vector_calls(self) -> int:
+        return (PCG_VECTOR_CALLS * self.pcg_iterations
+                + ADMM_VECTOR_CALLS * self.admm_iterations)
+
+    @property
+    def total_spmv_nnz(self) -> int:
+        """Non-zeros streamed across the whole solve (all SpMV calls)."""
+        per_call = self.nnz_spmv / max(PCG_SPMV_CALLS, 1)
+        return int(per_call * self.total_spmv_calls)
+
+    @property
+    def problem_bytes(self) -> int:
+        """Approximate setup transfer: CSR data+index per non-zero plus
+        the dense vectors."""
+        return 12 * self.nnz_spmv + 8 * 6 * (self.n + self.m)
+
+
+def workload_from_result(problem: QProblem,
+                         result: OSQPResult) -> SolveWorkload:
+    """Build the workload of a reference solve (indirect backend)."""
+    return SolveWorkload(
+        n=problem.n, m=problem.m,
+        nnz_spmv=problem.P.nnz + 2 * problem.A.nnz,
+        admm_iterations=result.info.iterations,
+        pcg_iterations=result.info.pcg_iterations)

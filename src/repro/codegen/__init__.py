@@ -1,0 +1,14 @@
+"""HLS code generation and the Figure 6 hardware-generation flow."""
+
+from .flow import GeneratedDesign, generate_hardware
+from .hls import (emit_alignment_switch, emit_cvb_tables, emit_mac_tree,
+                  emit_spmv_align_function)
+
+__all__ = [
+    "GeneratedDesign",
+    "generate_hardware",
+    "emit_alignment_switch",
+    "emit_spmv_align_function",
+    "emit_mac_tree",
+    "emit_cvb_tables",
+]

@@ -1,0 +1,54 @@
+"""CLI: generate a problem-specific hardware design directory.
+
+Examples::
+
+    python -m repro.codegen --family svm --size 40 --c 16 --out ./design
+    python -m repro.codegen --family control --size 12 --structures 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..problems import FAMILIES, generate
+from .flow import generate_hardware
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.codegen",
+        description="Run the RSQP hardware-generation flow (Figure 6) "
+                    "for a benchmark problem.")
+    parser.add_argument("--family", required=True,
+                        choices=sorted(FAMILIES),
+                        help="benchmark problem family")
+    parser.add_argument("--size", type=int, required=True,
+                        help="family size parameter")
+    parser.add_argument("--c", type=int, default=16,
+                        help="datapath width C (power of two)")
+    parser.add_argument("--structures", type=int, default=4,
+                        help="|S|_target structure budget")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="generated_design",
+                        help="output directory")
+    args = parser.parse_args(argv)
+
+    problem = generate(args.family, args.size, seed=args.seed)
+    print(f"problem {problem.name}: n={problem.n} m={problem.m} "
+          f"nnz={problem.nnz}")
+    design = generate_hardware(problem, args.c,
+                               max_structures=args.structures)
+    out = design.write_to(args.out)
+    manifest = design.manifest
+    print(f"architecture : {manifest['architecture']}")
+    print(f"eta          : {manifest['eta']:.3f}")
+    print(f"f_max        : {manifest['fmax_mhz']:.0f} MHz")
+    print(f"resources    : {manifest['resources']}")
+    print(f"fits U50     : {manifest['fits_u50']}")
+    print(f"written      : {out} ({len(design.files) + 1} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

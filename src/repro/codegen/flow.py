@@ -1,0 +1,84 @@
+"""The hardware generation flow (paper Figure 6).
+
+``Problem structure input -> sparsity encoding -> E_p/E_c optimization
+-> HLS code generation -> bitstream build``. Everything up to and
+including HLS emission runs here; the bitstream build is the vendor-CAD
+stage we cannot run (2-5 hours in the paper), so the flow ends with a
+build manifest reporting the modeled f_max, resources and power the
+bitstream would achieve.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..customization import ProblemCustomization, customize_problem
+from ..hw import estimate_resources, fits_device, fmax_mhz, fpga_power_watts
+from ..qp import QProblem
+from .hls import (emit_alignment_switch, emit_cvb_tables, emit_mac_tree,
+                  emit_spmv_align_function)
+
+__all__ = ["GeneratedDesign", "generate_hardware"]
+
+
+@dataclass
+class GeneratedDesign:
+    """All artifacts of one hardware-generation run."""
+
+    customization: ProblemCustomization
+    files: dict           # filename -> content
+    manifest: dict        # modeled implementation results
+
+    def write_to(self, directory) -> Path:
+        """Materialize the design directory; returns its path."""
+        out = Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        for filename, content in self.files.items():
+            (out / filename).write_text(content)
+        (out / "build_manifest.json").write_text(
+            json.dumps(self.manifest, indent=2, sort_keys=True) + "\n")
+        return out
+
+
+def generate_hardware(problem: QProblem, c: int = 16, *,
+                      max_structures: int = 4,
+                      customization: ProblemCustomization | None = None
+                      ) -> GeneratedDesign:
+    """Run the Figure 6 flow for one problem.
+
+    Returns the generated HLS sources and CVB tables plus a manifest
+    with the modeled f_max/resource/power results standing in for the
+    vendor bitstream build.
+    """
+    if customization is None:
+        customization = customize_problem(problem, c,
+                                          max_structures=max_structures)
+    arch = customization.architecture
+
+    files = {
+        "align_acc_cnt_switch.h": emit_alignment_switch(arch),
+        "spmv_align.cpp": emit_spmv_align_function(arch),
+        "mac_tree.txt": emit_mac_tree(arch),
+    }
+    for name, matrix_custom in customization.matrices.items():
+        files[f"cvb_{name}.h"] = emit_cvb_tables(matrix_custom.cvb, name)
+
+    resources = estimate_resources(arch)
+    manifest = {
+        "problem": problem.name,
+        "architecture": str(arch),
+        "c": arch.c,
+        "eta": customization.eta,
+        "total_ep": customization.total_ep,
+        "fmax_mhz": fmax_mhz(arch),
+        "power_watts": fpga_power_watts(arch),
+        "resources": {"dsp": resources.dsp, "ff": resources.ff,
+                      "lut": resources.lut},
+        "fits_u50": fits_device(arch),
+        "note": ("bitstream build is the vendor-CAD stage "
+                 "(2-5 h in the paper); modeled results reported"),
+    }
+    return GeneratedDesign(customization=customization, files=files,
+                           manifest=manifest)

@@ -1,0 +1,142 @@
+"""HLS code generation (paper §4.5, Figures 4 and 5).
+
+After the E_p/E_c optimizations, RSQP emits an HLS description of the
+customized datapath. We reproduce the generator: the alignment-switch
+header of Figure 4 (problem-specific routing between the MAC tree's
+variable-width outputs and the C-wide vector buffers), the
+``spmv_align`` function of Figure 5 that includes it, a structural
+description of the customized MAC tree, and the CVB index-translation /
+duplication-control tables derived from the compression map ``M``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["emit_alignment_switch", "emit_spmv_align_function",
+           "emit_mac_tree", "emit_cvb_tables"]
+
+
+def emit_alignment_switch(architecture) -> str:
+    """Generate ``align_acc_cnt_switch.h`` (Figure 4's output).
+
+    One outer ``switch`` case per distinct output width of the MAC
+    structures; each case rotates the variable-length output pack into
+    the ``C``-wide alignment buffer at the running ``align_ptr``.
+    """
+    widths = architecture.output_widths
+    pack_width = architecture.max_outputs
+    lines = [
+        "// Auto-generated problem-specific routing logic "
+        f"for {architecture}.",
+        "// Outer switch: output count of the active MAC structure;",
+        "// inner switch: current alignment-buffer rotation.",
+    ]
+    if len(widths) == 1 and widths[0] == 1:
+        lines.append("align_out[0] << acc_pack.data[0];")
+        return "\n".join(lines) + "\n"
+    lines.append("switch (acc_cnt) {")
+    for width in widths:
+        lines.append(f"case {width}:")
+        lines.append("\tswitch (align_ptr){")
+        for i in range(pack_width):
+            lines.append(f"\tcase {i}:")
+            for j in range(width):
+                dst = (j + i) % pack_width
+                lines.append(
+                    f"\t\talign_out[{dst}] << acc_pack.data[{j}];")
+            lines.append("\t\tbreak;")
+        lines.append("\t}")
+        lines.append("\tbreak;")
+    lines.append("}")
+    lines.append(f"align_ptr = (align_ptr + acc_cnt) % {pack_width};")
+    return "\n".join(lines) + "\n"
+
+
+def emit_spmv_align_function(architecture) -> str:
+    """Generate the ``spmv_align`` HLS function (Figure 5)."""
+    return f"""// Auto-generated for architecture {architecture}.
+void spmv_align(int align_cnt,
+                data_stream align_out[ACC_PACK_NUM],
+                cnt_pack_stream &acc_cnt_in,
+                data_stream &acc_complete_in,
+                spmv_pack_stream &spmv_pack_in)
+{{
+    ap_uint<ALIGN_PTR_BITWIDTH> align_ptr = 0;
+align_loop:
+    for (int loc = 0; loc < align_cnt; loc++)
+    {{
+#pragma HLS pipeline II = 1
+        u16_t acc_cnt = acc_cnt_in.read();
+        spmv_pack_t acc_pack;
+        if (acc_cnt == CNT_AS_FADD_FLAG) {{
+            acc_pack.data[0] = acc_complete_in.read();
+            acc_cnt = 1;
+        }}
+        else {{
+            acc_pack = spmv_pack_in.read();
+        }}
+#include "align_acc_cnt_switch.h"
+    }}
+}}
+"""
+
+
+def emit_mac_tree(architecture) -> str:
+    """Structural description of the customized MAC tree.
+
+    For every structure, the adder sub-trees and their dedicated output
+    taps (Figure 2(b)-(d)); connections shared across structures are
+    noted so the generator's area-reuse observation is visible.
+    """
+    c = architecture.c
+    lines = [
+        f"// MAC tree for {architecture}: {c} multipliers, "
+        f"{c - 1} adders, {architecture.total_outputs} output taps.",
+        f"mult lanes[{c}];",
+    ]
+    for s_idx, structure in enumerate(architecture.structures):
+        lines.append(
+            f"// structure {s_idx}: pattern '{structure.pattern}' "
+            f"({structure.n_outputs} outputs)")
+        for seg, (offset, cap) in enumerate(
+                zip(structure.lane_offsets, structure.capacities)):
+            depth = max(1, int(np.ceil(np.log2(max(cap, 1)))) if cap > 1
+                        else 0)
+            lines.append(
+                f"tap s{s_idx}_o{seg}: reduce(lanes[{offset}.."
+                f"{offset + cap - 1}])  // {cap}-input subtree, "
+                f"depth {depth}")
+    return "\n".join(lines) + "\n"
+
+
+def emit_cvb_tables(layout, name: str) -> str:
+    """CVB configuration: index translation + duplication control.
+
+    ``index_translation[bank][element]`` maps a requested vector element
+    to its depth row (Figure 3's 'Indices Translate'); the duplication
+    rows list the ``(bank, element)`` writes performed per update cycle
+    (Figure 3's 'Duplication Control').
+    """
+    v = layout.requests
+    length, c = v.shape
+    lines = [
+        f"// CVB tables for matrix {name}: depth {layout.depth} rows, "
+        f"vector length {length}, C = {c}, Ec = {layout.ec:.3f}.",
+        f"static const int cvb_depth_{name} = {layout.depth};",
+    ]
+    # Index translation: per bank, the element -> row pairs it reads.
+    for bank in range(c):
+        elements = np.flatnonzero(v[:, bank])
+        pairs = ", ".join(f"{{{int(j)}, {int(layout.location[j])}}}"
+                          for j in elements)
+        lines.append(
+            f"static const addr_pair_t xlate_{name}_bank{bank}[] = "
+            f"{{{pairs}}};")
+    # Duplication control: writes per update row.
+    for row_idx, row in enumerate(layout.duplication_map()):
+        writes = ", ".join(f"{{{bank}, {elem}}}" for bank, elem in row)
+        lines.append(
+            f"static const write_t dup_{name}_row{row_idx}[] = "
+            f"{{{writes}}};")
+    return "\n".join(lines) + "\n"

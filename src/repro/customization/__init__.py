@@ -1,0 +1,44 @@
+"""Problem-specific architectural customization (paper §4)."""
+
+from .cvb import (CVBLayout, access_requests, build_cvb, exact_min_depth,
+                  first_fit_compress)
+from .customize import (MatrixCustomization, ProblemCustomization,
+                        baseline_customization, customize_problem,
+                        evaluate_architecture)
+from .mac_tree import (Architecture, MACStructure, baseline_architecture,
+                       parse_architecture)
+from .metric import ideal_cycles, match_score, real_cycles
+from .permute import (adapt_problem, sort_constraints_by_encoding,
+                      sort_variables_by_row_nnz)
+from .scheduler import Pack, PackSlot, Schedule, schedule
+from .search import SearchResult, candidate_patterns, search_architecture
+
+__all__ = [
+    "Architecture",
+    "MACStructure",
+    "parse_architecture",
+    "baseline_architecture",
+    "Pack",
+    "PackSlot",
+    "Schedule",
+    "schedule",
+    "CVBLayout",
+    "access_requests",
+    "first_fit_compress",
+    "exact_min_depth",
+    "build_cvb",
+    "match_score",
+    "ideal_cycles",
+    "real_cycles",
+    "SearchResult",
+    "search_architecture",
+    "candidate_patterns",
+    "MatrixCustomization",
+    "ProblemCustomization",
+    "customize_problem",
+    "evaluate_architecture",
+    "baseline_customization",
+    "adapt_problem",
+    "sort_constraints_by_encoding",
+    "sort_variables_by_row_nnz",
+]

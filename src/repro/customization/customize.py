@@ -1,0 +1,178 @@
+"""End-to-end problem-specific customization (paper §4, Figure 6).
+
+Given a QP, the RSQP datapath streams three matrices per PCG iteration
+(``P``, ``A`` and ``A^T``, since ``K p`` is computed incrementally).
+Customization therefore:
+
+1. encodes all three sparsity structures,
+2. searches one structure set ``S`` over their concatenated string
+   (one physical MAC tree serves all three SpMVs),
+3. schedules each matrix, yielding its ``E_p``, and
+4. compresses each matrix's CVB, yielding its ``E_c``.
+
+The aggregate match score weighs every matrix's stream and vector
+length, reproducing the per-problem ``eta`` of Figures 9/10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..qp import QProblem
+from ..sparse import CSRMatrix
+from .cvb import CVBLayout, build_cvb
+from .mac_tree import Architecture, baseline_architecture
+from .metric import match_score
+from .scheduler import Schedule, schedule
+from .search import SearchResult, search_architecture
+from ..encoding import MatrixEncoding, encode_matrix
+
+__all__ = ["MatrixCustomization", "ProblemCustomization",
+           "customize_problem", "evaluate_architecture",
+           "baseline_customization"]
+
+
+@dataclass
+class MatrixCustomization:
+    """Customization artifacts for a single streamed matrix."""
+
+    name: str
+    encoding: MatrixEncoding
+    schedule: Schedule
+    cvb: CVBLayout
+
+    @property
+    def nnz(self) -> int:
+        return self.encoding.nnz
+
+    @property
+    def vector_length(self) -> int:
+        return self.encoding.vector_length
+
+    @property
+    def ep(self) -> int:
+        return self.schedule.ep
+
+    @property
+    def ec(self) -> float:
+        return self.cvb.ec
+
+    @property
+    def spmv_cycles(self) -> int:
+        return self.schedule.cycles
+
+    @property
+    def duplication_cycles(self) -> int:
+        return self.cvb.depth
+
+    @property
+    def eta(self) -> float:
+        return match_score(self.nnz, self.vector_length, self.ep, self.ec)
+
+
+@dataclass
+class ProblemCustomization:
+    """Aggregate customization of a QP on a width-``C`` datapath."""
+
+    problem: QProblem
+    architecture: Architecture
+    matrices: dict  # name -> MatrixCustomization
+    search: SearchResult | None = None
+
+    @property
+    def c(self) -> int:
+        return self.architecture.c
+
+    @property
+    def total_nnz(self) -> int:
+        return sum(m.nnz for m in self.matrices.values())
+
+    @property
+    def total_vector_length(self) -> int:
+        return sum(m.vector_length for m in self.matrices.values())
+
+    @property
+    def total_ep(self) -> int:
+        return sum(m.ep for m in self.matrices.values())
+
+    @property
+    def eta(self) -> float:
+        """Aggregate match score over all streamed matrices (§3.6)."""
+        num = self.total_nnz + self.total_vector_length
+        den = self.total_nnz + self.total_ep + sum(
+            m.ec * m.vector_length for m in self.matrices.values())
+        return num / den if den else 1.0
+
+    @property
+    def spmv_cycles(self) -> dict:
+        return {name: m.spmv_cycles for name, m in self.matrices.items()}
+
+    def summary(self) -> str:
+        lines = [f"architecture {self.architecture}  eta={self.eta:.3f}"]
+        for name, m in self.matrices.items():
+            lines.append(
+                f"  {name}: nnz={m.nnz} L={m.vector_length} "
+                f"Ep={m.ep} Ec={m.ec:.2f} eta={m.eta:.3f}")
+        return "\n".join(lines)
+
+
+def _streamed_matrices(problem: QProblem) -> dict:
+    return {
+        "P": problem.P,
+        "A": problem.A,
+        "At": problem.A.transpose(),
+    }
+
+
+def evaluate_architecture(problem: QProblem,
+                          architecture: Architecture,
+                          *, matrices: dict | None = None,
+                          allow_partial: bool = False
+                          ) -> ProblemCustomization:
+    """Schedule + CVB-compress a problem on a given architecture.
+
+    ``allow_partial`` enables the prefix-matching scheduler extension
+    (see :func:`repro.customization.scheduler.schedule`).
+    """
+    streams = matrices if matrices is not None \
+        else _streamed_matrices(problem)
+    out: dict[str, MatrixCustomization] = {}
+    for name, matrix in streams.items():
+        enc = encode_matrix(matrix, architecture.c)
+        sched = schedule(enc, architecture, allow_partial=allow_partial)
+        cvb = build_cvb(sched)
+        out[name] = MatrixCustomization(name=name, encoding=enc,
+                                        schedule=sched, cvb=cvb)
+    return ProblemCustomization(problem=problem, architecture=architecture,
+                                matrices=out)
+
+
+def baseline_customization(problem: QProblem, c: int) -> ProblemCustomization:
+    """The uncustomized reference: single-output MAC, full duplication.
+
+    The baseline stores ``C`` full copies of the vector, so its ``E_c``
+    is ``C`` by construction; we override the First-Fit layout depth with
+    the naive duplication depth ``L``.
+    """
+    custom = evaluate_architecture(problem, baseline_architecture(c))
+    for m in custom.matrices.values():
+        naive = m.cvb
+        naive_depth = m.vector_length
+        m.cvb = CVBLayout(location=naive.location, depth=naive_depth,
+                          requests=naive.requests)
+    return custom
+
+
+def customize_problem(problem: QProblem, c: int, *,
+                      max_structures: int = 4,
+                      allow_partial: bool = False) -> ProblemCustomization:
+    """Full problem-specific customization flow (Figure 6, software part)."""
+    streams = _streamed_matrices(problem)
+    encodings = [encode_matrix(mat, c) for mat in streams.values()]
+    result = search_architecture(encodings, c,
+                                 max_structures=max_structures)
+    custom = evaluate_architecture(problem, result.architecture,
+                                   matrices=streams,
+                                   allow_partial=allow_partial)
+    custom.search = result
+    return custom

@@ -1,0 +1,226 @@
+"""Compressed Vector Buffer design: the E_c optimization (paper §4.3).
+
+Each of the ``C`` CVB banks has one read port, so the ``C`` random
+vector reads of a cycle must come from ``C`` different banks. Naive
+duplication stores the full vector in every bank (``E_c = C``); the
+compression packs the per-bank partial copies into the fewest *depth
+rows* such that no row holds two elements requested by the same bank —
+the MILP (5) of the paper, approximated (as the paper does) with
+First-Fit and solved exactly with ``scipy.optimize.milp`` on tiny
+instances for validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ScheduleError
+from .scheduler import Schedule
+
+__all__ = ["access_requests", "CVBLayout", "first_fit_compress",
+           "exact_min_depth", "build_cvb"]
+
+
+def access_requests(sched: Schedule) -> np.ndarray:
+    """Build the request matrix ``V``: ``V[j, k]`` is True when vector
+    element ``j`` is ever read by lane (bank) ``k``.
+
+    Derived from the scheduled lane assignment: the non-zeros of a chunk
+    occupy consecutive lanes starting at its slot's lane, and lane ``k``
+    multiplies the vector element at that non-zero's column.
+    """
+    encoding = sched.encoding
+    length = encoding.vector_length
+    c = sched.architecture.c
+    v = np.zeros((length, c), dtype=bool)
+    for pack in sched.packs:
+        for slot in pack.slots:
+            cols = encoding.chunk_columns(slot.chunk)
+            if cols.size:
+                lanes = slot.lane_start + np.arange(cols.size)
+                v[cols, lanes] = True
+    return v
+
+
+@dataclass
+class CVBLayout:
+    """Result of the CVB compression.
+
+    Attributes
+    ----------
+    location:
+        ``location[j]`` is the depth row storing element ``j``; ``-1``
+        for elements never requested (they need no CVB copy).
+    depth:
+        Number of used depth rows (the paper's objective ``sum G_i``).
+    requests:
+        The request matrix ``V`` the layout serves.
+    """
+
+    location: np.ndarray
+    depth: int
+    requests: np.ndarray
+
+    @property
+    def vector_length(self) -> int:
+        return int(self.requests.shape[0])
+
+    @property
+    def c(self) -> int:
+        return int(self.requests.shape[1])
+
+    @property
+    def ec(self) -> float:
+        """Vector-update overhead: ``E_c = depth * C / L``.
+
+        Uncompressed duplication has depth ``L`` (full copy per bank),
+        i.e. ``E_c = C``; the ideal single-copy layout has depth
+        ``ceil(L / C)``, i.e. ``E_c ~ 1``.
+        """
+        if self.vector_length == 0:
+            return 1.0
+        return self.depth * self.c / self.vector_length
+
+    def duplication_map(self) -> list:
+        """Per depth row, the ``(bank, element)`` writes — the
+        configuration of the paper's duplication-control module."""
+        rows: list[list] = [[] for _ in range(self.depth)]
+        used = np.flatnonzero(self.location >= 0)
+        for j in used:
+            banks = np.flatnonzero(self.requests[j])
+            for k in banks:
+                rows[self.location[j]].append((int(k), int(j)))
+        return rows
+
+    def validate(self) -> None:
+        """Check the MILP constraints hold for this layout."""
+        used = np.flatnonzero(self.requests.any(axis=1))
+        if np.any(self.location[used] < 0):
+            raise ScheduleError("a requested element has no CVB location")
+        for i in range(self.depth):
+            members = np.flatnonzero(self.location == i)
+            if members.size == 0:
+                raise ScheduleError(f"empty depth row {i} counted")
+            bank_load = self.requests[members].sum(axis=0)
+            if np.any(bank_load > 1):
+                raise ScheduleError(
+                    f"depth row {i} holds two elements for one bank")
+
+
+def first_fit_compress(v: np.ndarray, *, decreasing: bool = True) -> CVBLayout:
+    """First-Fit (optionally decreasing) approximation of MILP (5).
+
+    Elements are placed, most-requested first, into the shallowest depth
+    row whose banks they do not conflict with.
+    """
+    v = np.asarray(v, dtype=bool)
+    length, c = v.shape
+    location = np.full(length, -1, dtype=np.int64)
+    counts = v.sum(axis=1)
+    order = np.argsort(-counts, kind="stable") if decreasing \
+        else np.arange(length)
+    # Occupancy grid, grown geometrically; one vectorized conflict scan
+    # over all existing depth rows per element.
+    occupied = np.zeros((16, c), dtype=bool)
+    depth = 0
+    for j in order:
+        if counts[j] == 0:
+            continue
+        request = v[j]
+        row = depth
+        if depth:
+            conflict = (occupied[:depth] & request).any(axis=1)
+            free = np.flatnonzero(~conflict)
+            if free.size:
+                row = int(free[0])
+        if row == depth:
+            if depth == occupied.shape[0]:
+                occupied = np.vstack([occupied,
+                                      np.zeros_like(occupied)])
+            depth += 1
+        occupied[row] |= request
+        location[j] = row
+    layout = CVBLayout(location=location, depth=depth, requests=v)
+    layout.validate()
+    return layout
+
+
+def exact_min_depth(v: np.ndarray, *, time_limit: float = 10.0) -> int:
+    """Exact optimum of MILP (5) via ``scipy.optimize.milp``.
+
+    Only tractable for tiny instances (the paper found even ``C = 16``,
+    dimension 500 intractable with a commercial modeler); used in tests
+    to bound First-Fit suboptimality.
+    """
+    from scipy.optimize import Bounds, LinearConstraint, milp
+    import scipy.sparse as sp
+
+    v = np.asarray(v, dtype=bool)
+    used = np.flatnonzero(v.any(axis=1))
+    if used.size == 0:
+        return 0
+    vv = v[used]
+    n_elem = used.size
+    n_rows = n_elem  # worst case: one element per depth row
+    c = v.shape[1]
+    # Variables: M[i, j] (row-major) then G[i].
+    n_m = n_rows * n_elem
+    n_var = n_m + n_rows
+
+    def m_index(i, j):
+        return i * n_elem + j
+
+    constraints = []
+    # (a) per row & bank: sum_j M[i, j] * V[j, k] <= 1
+    rows_a, cols_a, vals_a = [], [], []
+    row_id = 0
+    for i in range(n_rows):
+        for k in range(c):
+            members = np.flatnonzero(vv[:, k])
+            if members.size == 0:
+                continue
+            for j in members:
+                rows_a.append(row_id)
+                cols_a.append(m_index(i, j))
+                vals_a.append(1.0)
+            row_id += 1
+    if row_id:
+        a_mat = sp.csr_matrix((vals_a, (rows_a, cols_a)),
+                              shape=(row_id, n_var))
+        constraints.append(LinearConstraint(a_mat, -np.inf, 1.0))
+    # (b) each element in exactly one row: sum_i M[i, j] = 1
+    rows_b = [j for i in range(n_rows) for j in range(n_elem)]
+    cols_b = [m_index(i, j) for i in range(n_rows) for j in range(n_elem)]
+    b_mat = sp.csr_matrix((np.ones(len(rows_b)), (rows_b, cols_b)),
+                          shape=(n_elem, n_var))
+    constraints.append(LinearConstraint(b_mat, 1.0, 1.0))
+    # (c) row used indicator: sum_j M[i, j] <= n_elem * G[i]
+    rows_c, cols_c, vals_c = [], [], []
+    for i in range(n_rows):
+        for j in range(n_elem):
+            rows_c.append(i)
+            cols_c.append(m_index(i, j))
+            vals_c.append(1.0)
+        rows_c.append(i)
+        cols_c.append(n_m + i)
+        vals_c.append(-float(n_elem))
+    c_mat = sp.csr_matrix((vals_c, (rows_c, cols_c)),
+                          shape=(n_rows, n_var))
+    constraints.append(LinearConstraint(c_mat, -np.inf, 0.0))
+
+    objective = np.concatenate([np.zeros(n_m), np.ones(n_rows)])
+    result = milp(c=objective, constraints=constraints,
+                  integrality=np.ones(n_var),
+                  bounds=Bounds(0, 1),
+                  options={"time_limit": time_limit})
+    if not result.success:  # pragma: no cover - solver hiccup
+        raise ScheduleError(f"MILP failed: {result.message}")
+    g = result.x[n_m:]
+    return int(np.round(g).sum())
+
+
+def build_cvb(sched: Schedule) -> CVBLayout:
+    """Request matrix + First-Fit compression for a schedule."""
+    return first_fit_compress(access_requests(sched))

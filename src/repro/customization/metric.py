@@ -1,0 +1,52 @@
+"""The customization evaluation metric (paper §3.6).
+
+An ideal architecture finishes an SpMV plus the vector duplication in
+``T_img = (nnz + L) / C`` cycles; a real customization pays ``E_p``
+extra zero-padding slots and keeps ``E_c`` effective vector copies,
+taking ``T_real = (nnz + E_p + E_c L) / C``. The match score
+
+.. math::
+
+    \\eta = \\frac{nnz + L}{nnz + E_p + E_c L} \\in (0, 1]
+
+measures how closely a customization fits a problem structure.
+"""
+
+from __future__ import annotations
+
+__all__ = ["match_score", "ideal_cycles", "real_cycles"]
+
+
+def match_score(nnz: int, length: int, ep: float, ec: float) -> float:
+    """Match score ``eta`` of a customization against a problem.
+
+    Parameters
+    ----------
+    nnz:
+        Non-zeros streamed per SpMV.
+    length:
+        Length of the multiplied vector.
+    ep:
+        Total zero-padding slots.
+    ec:
+        Effective vector copies kept in the CVB (1 = ideal, C = naive).
+    """
+    if nnz < 0 or length < 0 or ep < 0:
+        raise ValueError("nnz, length and ep must be non-negative")
+    if ec < 0:
+        raise ValueError("ec must be non-negative")
+    denominator = nnz + ep + ec * length
+    if denominator == 0:
+        return 1.0
+    return (nnz + length) / denominator
+
+
+def ideal_cycles(nnz: int, length: int, c: int) -> float:
+    """``T_img``: cycles of the perfectly customized architecture."""
+    return (nnz + length) / c
+
+
+def real_cycles(nnz: int, length: int, ep: float, ec: float,
+                c: int) -> float:
+    """``T_real``: cycles of an actual customization."""
+    return (nnz + ep + ec * length) / c

@@ -1,0 +1,148 @@
+"""Structure-set search: choosing ``S`` under ``|S| <= |S|_target`` (§4.2).
+
+Problem (4) — minimize the scheduled string length over structure sets of
+bounded size — is intractable exactly, so the paper searches candidates
+produced by LZW dictionary compression. We follow suit:
+
+1. run LZW over the (concatenated) sparsity string and score dictionary
+   phrases by the cycles they would save;
+2. add the homogeneous full-width structures (``C/cap`` repeats of each
+   character — the shapes that dominate Table 3) as candidates;
+3. greedily grow ``S`` from the baseline, each step adding the candidate
+   that most reduces the *actual* scheduled cycle count, until the
+   budget is reached or improvements vanish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..encoding import (MatrixEncoding, alphabet_for, char_capacity,
+                        lzw_candidates)
+from .mac_tree import Architecture, baseline_architecture
+from .scheduler import schedule
+
+__all__ = ["SearchResult", "search_architecture", "candidate_patterns"]
+
+#: Keep only this many top-scoring LZW phrases for greedy evaluation.
+_MAX_CANDIDATES = 24
+#: Stop adding structures when the relative cycle gain drops below this.
+_MIN_GAIN = 0.01
+
+
+@dataclass
+class SearchResult:
+    """Outcome of the structure search."""
+
+    architecture: Architecture
+    cycles: int
+    baseline_cycles: int
+    evaluations: int
+
+    @property
+    def improvement(self) -> float:
+        """Cycle-count ratio baseline / customized (>= 1)."""
+        if self.cycles == 0:
+            return 1.0
+        return self.baseline_cycles / self.cycles
+
+
+def _default_objective(architecture: Architecture, cycles: int) -> float:
+    """SpMV *time*, not just cycles.
+
+    Wide output structures reduce cycles but lengthen the routing
+    critical path (Table 3: ``64{64a4e1g}`` has the best eta yet a
+    121 MHz clock); dividing by the modeled f_max makes the search land
+    on the paper's winning shapes (e.g. ``64{8d4e1g}``).
+    """
+    from ..hw.frequency import fmax_mhz  # deferred: hw imports us
+    return cycles / fmax_mhz(architecture)
+
+
+def candidate_patterns(combined_string: str, c: int) -> list:
+    """Ranked structure candidates for a sparsity string."""
+    scores = lzw_candidates(combined_string, min_length=2)
+    feasible = {}
+    for pattern, score in scores.items():
+        if sum(char_capacity(ch, c) for ch in pattern) <= c:
+            feasible[pattern] = score
+    # Homogeneous full-width structures: k copies of each character such
+    # that k * capacity = C (e.g. 16a, 8b, 4c ... at C = 16).
+    for ch in alphabet_for(c)[:-1]:
+        cap = char_capacity(ch, c)
+        pattern = ch * (c // cap)
+        if pattern not in feasible and combined_string.count(ch) > 1:
+            # Score by the repeats actually present.
+            runs = combined_string.count(ch)
+            feasible[pattern] = (len(pattern) - 1) * (runs // len(pattern))
+    ranked = sorted(feasible, key=lambda p: (-feasible[p], len(p), p))
+    return ranked[:_MAX_CANDIDATES]
+
+
+def search_architecture(encodings: list, c: int, *,
+                        max_structures: int = 4,
+                        objective=None) -> SearchResult:
+    """Greedy structure search over one or more matrix encodings.
+
+    Parameters
+    ----------
+    encodings:
+        The :class:`MatrixEncoding` objects the engine will stream (for
+        the OSQP datapath: P, A and A^T).
+    c:
+        Datapath width.
+    max_structures:
+        The paper's ``|S|_target`` budget (the implicit full-width root
+        structure does not count against it).
+    objective:
+        ``(architecture, cycles) -> score`` to minimize; defaults to
+        modeled SpMV time (cycles over achievable f_max). Pass
+        ``lambda arch, cycles: cycles`` for a pure cycle-count search.
+    """
+    if not encodings:
+        raise ValueError("need at least one matrix encoding")
+    for enc in encodings:
+        if enc.c != c:
+            raise ValueError("all encodings must use the same C")
+    if objective is None:
+        objective = _default_objective
+
+    combined = "".join(enc.string for enc in encodings)
+    candidates = candidate_patterns(combined, c)
+
+    def total_cycles(arch: Architecture) -> int:
+        return sum(schedule(enc, arch).cycles for enc in encodings)
+
+    base = baseline_architecture(c)
+    base_cycles = total_cycles(base)
+    chosen: list[str] = []
+    best_cycles = base_cycles
+    best_score = objective(base, base_cycles)
+    evaluations = 1
+
+    while len(chosen) < max_structures and candidates:
+        best_gain = 0.0
+        best_pattern = None
+        best_pattern_cycles = best_cycles
+        best_pattern_score = best_score
+        for pattern in candidates:
+            arch = Architecture(c, chosen + [pattern])
+            cycles = total_cycles(arch)
+            score = objective(arch, cycles)
+            evaluations += 1
+            gain = best_score - score
+            if gain > best_gain:
+                best_gain = gain
+                best_pattern = pattern
+                best_pattern_cycles = cycles
+                best_pattern_score = score
+        if best_pattern is None or best_gain < _MIN_GAIN * best_score:
+            break
+        chosen.append(best_pattern)
+        candidates.remove(best_pattern)
+        best_cycles = best_pattern_cycles
+        best_score = best_pattern_score
+
+    return SearchResult(architecture=Architecture(c, chosen),
+                        cycles=best_cycles, baseline_cycles=base_cycles,
+                        evaluations=evaluations)

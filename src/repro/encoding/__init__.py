@@ -1,0 +1,20 @@
+"""Sparsity-string encoding and LZW dictionary search."""
+
+from .lzw import LZWResult, lzw_candidates, lzw_compress
+from .sparsity_string import (FULL_CHUNK, Chunk, MatrixEncoding,
+                              alphabet_for, char_capacity, encode_matrix,
+                              encode_row_nnz, nnz_to_char)
+
+__all__ = [
+    "FULL_CHUNK",
+    "Chunk",
+    "MatrixEncoding",
+    "alphabet_for",
+    "char_capacity",
+    "encode_matrix",
+    "encode_row_nnz",
+    "nnz_to_char",
+    "LZWResult",
+    "lzw_compress",
+    "lzw_candidates",
+]

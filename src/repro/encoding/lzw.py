@@ -1,0 +1,91 @@
+"""LZW dictionary construction over sparsity strings (paper §4.2).
+
+The E_p minimization (choosing which MAC-tree structures to instantiate)
+is a dictionary-based lossless compression problem: frequently repeated
+substrings of the sparsity string are exactly the computation patterns
+worth dedicating datapath structures to. Following the paper, an LZW
+pass builds the candidate dictionary; the emission counts rank the
+candidates for the greedy structure search in
+:mod:`repro.customization.search`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LZWResult", "lzw_compress", "lzw_candidates"]
+
+
+@dataclass
+class LZWResult:
+    """Outcome of one LZW pass."""
+
+    codes: list            # emitted code sequence
+    dictionary: dict       # substring -> code
+    emission_counts: dict  # substring -> number of times emitted
+
+
+def lzw_compress(text: str) -> LZWResult:
+    """Classic LZW: grow the dictionary greedily, count emissions.
+
+    The dictionary is seeded with the distinct characters of ``text``;
+    each emission extends the matched prefix by one character.
+    """
+    dictionary: dict[str, int] = {}
+    for ch in sorted(set(text)):
+        dictionary[ch] = len(dictionary)
+    emission_counts: dict[str, int] = {}
+    codes: list[int] = []
+    if not text:
+        return LZWResult(codes=[], dictionary=dictionary,
+                         emission_counts={})
+    current = text[0]
+    for ch in text[1:]:
+        extended = current + ch
+        if extended in dictionary:
+            current = extended
+        else:
+            codes.append(dictionary[current])
+            emission_counts[current] = emission_counts.get(current, 0) + 1
+            dictionary[extended] = len(dictionary)
+            current = ch
+    codes.append(dictionary[current])
+    emission_counts[current] = emission_counts.get(current, 0) + 1
+    return LZWResult(codes=codes, dictionary=dictionary,
+                     emission_counts=emission_counts)
+
+
+def lzw_candidates(text: str, *, min_length: int = 2,
+                   max_length: int | None = None) -> dict:
+    """Candidate substrings for MAC-tree structures, with scores.
+
+    A candidate scores ``(len(s) - 1) * occurrences``: mapping an
+    occurrence of ``s`` onto a dedicated structure saves ``len(s) - 1``
+    clock cycles over issuing its characters one by one.
+
+    Emission counts undercount repeats (LZW emits a substring only until
+    its extension enters the dictionary), so occurrences of dictionary
+    phrases are re-counted with a non-overlapping scan.
+    """
+    result = lzw_compress(text)
+    scores: dict[str, int] = {}
+    for phrase in result.dictionary:
+        if len(phrase) < min_length:
+            continue
+        if max_length is not None and len(phrase) > max_length:
+            continue
+        count = _count_non_overlapping(text, phrase)
+        if count > 1:
+            scores[phrase] = (len(phrase) - 1) * count
+    return scores
+
+
+def _count_non_overlapping(text: str, phrase: str) -> int:
+    count = 0
+    start = 0
+    while True:
+        idx = text.find(phrase, start)
+        if idx < 0:
+            return count
+        count += 1
+        start = idx + len(phrase)

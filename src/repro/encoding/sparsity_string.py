@@ -1,0 +1,165 @@
+"""String-based encoding of matrix sparsity structure (paper §4.1).
+
+Each matrix row is assigned a character by the power-of-two bucket of
+its non-zero count: rows with at most 1, 2, 4, 8, ... non-zeros map to
+``a, b, c, d, ...`` up to the letter whose capacity equals the datapath
+width ``C``. Rows with more than ``C`` non-zeros are broken into a
+series of full-width ``$`` chunks plus a remainder character — e.g. with
+``C = 64`` a row of 150 non-zeros encodes as ``$$f``.
+
+Besides the plain string (used by the LZW structure search), the encoder
+keeps per-chunk provenance — which row and which slice of the row's
+non-zeros each character covers — because the pack scheduler needs the
+actual column indices to build the CVB access-request matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import EncodingError
+from ..sparse import CSRMatrix
+
+__all__ = ["FULL_CHUNK", "alphabet_for", "char_capacity", "nnz_to_char",
+           "Chunk", "MatrixEncoding", "encode_matrix", "encode_row_nnz"]
+
+#: Character marking a full-width chunk of a long row.
+FULL_CHUNK = "$"
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _log2_int(c: int) -> int:
+    if c < 1 or c & (c - 1):
+        raise EncodingError(f"C must be a positive power of two, got {c}")
+    return c.bit_length() - 1
+
+
+def alphabet_for(c: int) -> str:
+    """Letters available at width ``C``: ``a`` (<=1) .. capacity ``C``.
+
+    >>> alphabet_for(16)
+    'abcde'
+    """
+    return _LETTERS[:_log2_int(c) + 1]
+
+
+def char_capacity(ch: str, c: int) -> int:
+    """Input slots a character occupies on a width-``C`` datapath.
+
+    ``a -> 1, b -> 2, c -> 4, ...``; ``$`` occupies all ``C`` slots.
+    """
+    if ch == FULL_CHUNK:
+        return c
+    idx = _LETTERS.find(ch)
+    if idx < 0 or idx > _log2_int(c):
+        raise EncodingError(f"character {ch!r} not valid for C={c}")
+    return 1 << idx
+
+
+def nnz_to_char(nnz_row: int, c: int) -> str:
+    """Bucket character for a row with ``nnz_row <= C`` non-zeros."""
+    if nnz_row > c:
+        raise EncodingError(
+            f"row with {nnz_row} non-zeros exceeds C={c}; encode with "
+            "encode_row_nnz which emits $-chunks")
+    if nnz_row < 0:
+        raise EncodingError("negative non-zero count")
+    bucket = max(0, int(nnz_row - 1).bit_length()) if nnz_row > 1 else 0
+    return _LETTERS[bucket]
+
+
+def encode_row_nnz(nnz_row: int, c: int) -> str:
+    """Character sequence for one row (handles rows longer than ``C``)."""
+    full, rest = divmod(int(nnz_row), c)
+    out = FULL_CHUNK * full
+    if rest or full == 0:
+        out += nnz_to_char(rest, c)
+    return out
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One character of the encoding with its provenance.
+
+    Attributes
+    ----------
+    row:
+        Matrix row this chunk belongs to.
+    start, length:
+        Slice ``[start, start + length)`` into the row's non-zeros.
+    char:
+        The assigned character.
+    first:
+        True for the first chunk of its row (later ``$`` continuation
+        chunks accumulate into the same output).
+    """
+
+    row: int
+    start: int
+    length: int
+    char: str
+    first: bool
+
+
+@dataclass
+class MatrixEncoding:
+    """Sparsity string of a matrix plus chunk provenance."""
+
+    matrix: CSRMatrix
+    c: int
+    string: str
+    chunks: list
+
+    @property
+    def nnz(self) -> int:
+        return self.matrix.nnz
+
+    @property
+    def vector_length(self) -> int:
+        """Length of the vector the matrix multiplies (its column count)."""
+        return self.matrix.shape[1]
+
+    def chunk_columns(self, chunk: Chunk) -> np.ndarray:
+        """Column indices of the non-zeros covered by ``chunk``."""
+        cols, _ = self.matrix.row(chunk.row)
+        return cols[chunk.start:chunk.start + chunk.length]
+
+    def histogram(self) -> dict:
+        """Character frequency of the sparsity string."""
+        out: dict[str, int] = {}
+        for ch in self.string:
+            out[ch] = out.get(ch, 0) + 1
+        return out
+
+
+def encode_matrix(matrix: CSRMatrix, c: int) -> MatrixEncoding:
+    """Encode every row of ``matrix`` on a width-``C`` datapath.
+
+    Empty rows encode as ``a`` (they still occupy one slot so the SpMV
+    engine emits their zero dot product).
+    """
+    _log2_int(c)
+    chars: list[str] = []
+    chunks: list[Chunk] = []
+    row_nnz = matrix.row_nnz()
+    for row in range(matrix.shape[0]):
+        nnz_row = int(row_nnz[row])
+        offset = 0
+        first = True
+        while nnz_row - offset > c:
+            chars.append(FULL_CHUNK)
+            chunks.append(Chunk(row=row, start=offset, length=c,
+                                char=FULL_CHUNK, first=first))
+            offset += c
+            first = False
+        rest = nnz_row - offset
+        if rest or first:
+            ch = nnz_to_char(rest, c)
+            chars.append(ch)
+            chunks.append(Chunk(row=row, start=offset, length=rest,
+                                char=ch, first=first))
+    return MatrixEncoding(matrix=matrix, c=c, string="".join(chars),
+                          chunks=chunks)

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array or matrix has an incompatible shape."""
+
+
+class NonConvexError(ReproError, ValueError):
+    """The quadratic objective matrix is not positive semi-definite."""
+
+
+class FactorizationError(ReproError, ArithmeticError):
+    """A matrix factorization broke down (e.g. zero pivot in LDL^T)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative method failed to converge within its iteration budget."""
+
+
+class EncodingError(ReproError, ValueError):
+    """A sparsity string or MAC-structure description is malformed."""
+
+
+class ScheduleError(ReproError, RuntimeError):
+    """The pack scheduler produced an inconsistent schedule."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The hardware simulator reached an invalid machine state."""

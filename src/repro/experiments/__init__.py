@@ -1,0 +1,34 @@
+"""Experiment harness: suite runner, per-figure producers, reporting."""
+
+from .figures import (TABLE3_CANDIDATES, fig07_problem_dimensions,
+                      fig08_kkt_fraction, fig09_eta_improvement,
+                      fig10_customization_speedup, fig11_speedup_over_mkl,
+                      fig12_solver_runtime, fig13_power_efficiency,
+                      table2_platforms, table3_tradeoff)
+from .io import (load_records, records_from_json, records_to_json,
+                 save_records)
+from .report import format_table, summarize_records
+from .runner import ProblemRecord, choose_width, run_problem, run_suite
+
+__all__ = [
+    "ProblemRecord",
+    "run_problem",
+    "run_suite",
+    "choose_width",
+    "fig07_problem_dimensions",
+    "fig08_kkt_fraction",
+    "fig09_eta_improvement",
+    "fig10_customization_speedup",
+    "fig11_speedup_over_mkl",
+    "fig12_solver_runtime",
+    "fig13_power_efficiency",
+    "table2_platforms",
+    "table3_tradeoff",
+    "TABLE3_CANDIDATES",
+    "format_table",
+    "summarize_records",
+    "records_to_json",
+    "records_from_json",
+    "save_records",
+    "load_records",
+]

@@ -1,0 +1,83 @@
+"""CLI: regenerate any paper figure/table from the command line.
+
+Examples::
+
+    python -m repro.experiments --figure 9 --count 5
+    python -m repro.experiments --figure 11 --families svm control
+    python -m repro.experiments --table 3
+    python -m repro.experiments --summary --count 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..problems import generate
+from . import (fig07_problem_dimensions, fig08_kkt_fraction,
+               fig09_eta_improvement, fig10_customization_speedup,
+               fig11_speedup_over_mkl, fig12_solver_runtime,
+               fig13_power_efficiency, format_table, run_suite,
+               summarize_records, table2_platforms, table3_tradeoff)
+
+_RECORD_FIGURES = {
+    8: (fig08_kkt_fraction, "Figure 8: % CPU solver time in KKT solve"),
+    9: (fig09_eta_improvement, "Figure 9: eta improvement"),
+    10: (fig10_customization_speedup,
+         "Figure 10: customization speedup"),
+    11: (fig11_speedup_over_mkl, "Figure 11: speedup over MKL"),
+    12: (fig12_solver_runtime, "Figure 12: solver run time (s)"),
+    13: (fig13_power_efficiency, "Figure 13: power efficiency"),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate RSQP paper figures/tables.")
+    parser.add_argument("--figure", type=int, choices=[7] + list(
+        _RECORD_FIGURES), help="figure number to regenerate")
+    parser.add_argument("--table", type=int, choices=[2, 3],
+                        help="table number to regenerate")
+    parser.add_argument("--summary", action="store_true",
+                        help="print headline aggregates")
+    parser.add_argument("--count", type=int, default=5,
+                        help="problems per family (20 = full suite)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="size multiplier on the largest instances")
+    parser.add_argument("--families", nargs="*", default=None,
+                        help="subset of problem families")
+    args = parser.parse_args(argv)
+
+    if args.table == 2:
+        print(format_table(table2_platforms(), title="Table 2: platforms"))
+        return 0
+    if args.table == 3:
+        problem = generate("svm", 240, seed=0)  # ~20k non-zeros
+        print(format_table(
+            table3_tradeoff(problem),
+            title=f"Table 3: trade-off on {problem.name} "
+                  f"(nnz={problem.nnz})"))
+        return 0
+    if args.figure == 7:
+        rows = fig07_problem_dimensions(count=args.count, scale=args.scale,
+                                        families=args.families)
+        print(format_table(rows, title="Figure 7: benchmark dimensions"))
+        return 0
+    if args.figure in _RECORD_FIGURES or args.summary:
+        records = run_suite(count=args.count, scale=args.scale,
+                            families=args.families, progress=True)
+        if args.summary:
+            summary = summarize_records(records)
+            for key, value in summary.items():
+                print(f"{key}: {value}")
+        if args.figure in _RECORD_FIGURES:
+            producer, title = _RECORD_FIGURES[args.figure]
+            print(format_table(producer(records), title=title))
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""Per-figure/table data producers (paper §5).
+
+Each function returns a list of plain dict rows — the series a plot of
+the corresponding paper figure would show — so benchmarks, tests, and
+the CLI all print the same data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines import TABLE2
+from ..customization import (baseline_customization, evaluate_architecture,
+                             parse_architecture)
+from ..hw import estimate_resources, fmax_mhz
+from ..problems import benchmark_suite
+
+__all__ = ["fig07_problem_dimensions", "fig08_kkt_fraction",
+           "fig09_eta_improvement", "fig10_customization_speedup",
+           "fig11_speedup_over_mkl", "fig12_solver_runtime",
+           "fig13_power_efficiency", "table2_platforms",
+           "table3_tradeoff", "TABLE3_CANDIDATES"]
+
+
+def fig07_problem_dimensions(*, count: int = 20, scale: float = 1.0,
+                             families=None) -> list:
+    """Figure 7: nnz(P)+nnz(A) vs number of decision variables."""
+    rows = []
+    for entry in benchmark_suite(count=count, scale=scale,
+                                 families=families):
+        rows.append({"family": entry.family, "name": entry.name,
+                     "nnz": entry.problem.nnz, "n": entry.problem.n,
+                     "m": entry.problem.m})
+    return rows
+
+
+def fig08_kkt_fraction(records) -> list:
+    """Figure 8: % of CPU solver time spent solving the KKT system."""
+    return [{"family": r.family, "nnz": r.nnz,
+             "kkt_percent": 100.0 * r.cpu_kkt_fraction}
+            for r in records]
+
+
+def fig09_eta_improvement(records) -> list:
+    """Figure 9: improvement of eta after customization."""
+    return [{"family": r.family, "nnz": r.nnz,
+             "eta_baseline": r.eta_baseline, "eta_custom": r.eta_custom,
+             "delta_eta": r.eta_improvement}
+            for r in records]
+
+
+def fig10_customization_speedup(records) -> list:
+    """Figure 10: end-to-end solver speedup from customization."""
+    return [{"family": r.family, "nnz": r.nnz,
+             "speedup": r.customization_speedup,
+             "architecture": r.architecture}
+            for r in records]
+
+
+def fig11_speedup_over_mkl(records) -> list:
+    """Figure 11: FPGA (baseline/custom) and GPU speedup over MKL."""
+    return [{"family": r.family, "nnz": r.nnz,
+             "cuda": r.speedup_gpu_vs_cpu,
+             "no_customization": r.speedup_baseline_vs_cpu,
+             "customization": r.speedup_custom_vs_cpu}
+            for r in records]
+
+
+def fig12_solver_runtime(records) -> list:
+    """Figure 12: absolute solver run time per backend."""
+    return [{"family": r.family, "nnz": r.nnz,
+             "cuda_s": r.gpu_seconds, "mkl_s": r.cpu_seconds,
+             "customization_s": r.fpga_custom_seconds}
+            for r in records]
+
+
+def fig13_power_efficiency(records) -> list:
+    """Figure 13: solves per second per watt, FPGA vs GPU."""
+    return [{"family": r.family, "nnz": r.nnz,
+             "fpga_throughput_per_watt": r.fpga_throughput_per_watt,
+             "gpu_throughput_per_watt": r.gpu_throughput_per_watt,
+             "fpga_watts": r.fpga_power_watts,
+             "gpu_watts": r.gpu_power_watts}
+            for r in records]
+
+
+def table2_platforms() -> list:
+    """Table 2: platform details."""
+    return [{"device": d.name, "model": d.model,
+             "peak_teraflops": d.peak_teraflops,
+             "lithography_nm": d.lithography_nm, "tdp_watts": d.tdp_watts}
+            for d in TABLE2]
+
+
+#: The 11 architecture candidates of Table 3, paper order.
+TABLE3_CANDIDATES = (
+    "16{e}", "16{16a1e}", "32{32a4d1f}", "16{16a2d1e}", "64{64a4e1g}",
+    "32{4d1f}", "32{32a4d2e1f}", "32{4d2e1f}", "32{16b4d1f}", "64{4e1g}",
+    "64{8d4e1g}",
+)
+
+
+def table3_tradeoff(problem, candidates=TABLE3_CANDIDATES) -> list:
+    """Table 3: performance/area trade-off of architecture candidates.
+
+    Evaluated on one svm instance (the paper used one with 20 616
+    non-zeros). ``spmv_per_us`` is the rate of complete reduced-KKT
+    SpMV passes (P, A and A^T streams plus the vector duplication) the
+    design sustains.
+    """
+    rows = []
+    baselines = {}
+    for name in candidates:
+        arch = parse_architecture(name)
+        if arch.c not in baselines:
+            baselines[arch.c] = baseline_customization(problem, arch.c)
+        if arch.n_structures == 1:
+            # A bare C{full} design is the uncustomized baseline: no MAC
+            # partitioning and no CVB compression (delta-eta = 0).
+            custom = baselines[arch.c]
+        else:
+            custom = evaluate_architecture(problem, arch)
+        cycles = sum(m.spmv_cycles + m.duplication_cycles
+                     for m in custom.matrices.values())
+        fmax = fmax_mhz(arch)
+        res = estimate_resources(arch)
+        rows.append({
+            "architecture": name,
+            "fmax_mhz": round(fmax),
+            "delta_eta": custom.eta - baselines[arch.c].eta,
+            "spmv_per_us": fmax / cycles if cycles else np.inf,
+            "dsp": res.dsp, "ff": res.ff, "lut": res.lut,
+        })
+    return rows

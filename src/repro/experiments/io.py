@@ -1,0 +1,60 @@
+"""Persistence of experiment records (JSON).
+
+Suite runs are the expensive part of regenerating the paper's figures;
+saving the :class:`~repro.experiments.runner.ProblemRecord` list lets
+figure producers re-run instantly and makes results diffable across
+library versions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from .runner import ProblemRecord
+
+__all__ = ["records_to_json", "records_from_json", "save_records",
+           "load_records"]
+
+#: Bump when ProblemRecord's schema changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def records_to_json(records) -> str:
+    """Serialize records to a JSON document string."""
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "records": [dataclasses.asdict(r) for r in records],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def records_from_json(text: str) -> list:
+    """Deserialize records from :func:`records_to_json` output."""
+    payload = json.loads(text)
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported records schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})")
+    field_names = {f.name for f in dataclasses.fields(ProblemRecord)}
+    records = []
+    for row in payload["records"]:
+        unknown = set(row) - field_names
+        if unknown:
+            raise ValueError(f"unknown record fields: {sorted(unknown)}")
+        records.append(ProblemRecord(**row))
+    return records
+
+
+def save_records(records, path) -> Path:
+    """Write records to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(records_to_json(records))
+    return path
+
+
+def load_records(path) -> list:
+    """Read records written by :func:`save_records`."""
+    return records_from_json(Path(path).read_text())

@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "summarize_records"]
+
+
+def format_table(rows: list, *, columns: list | None = None,
+                 title: str | None = None, floatfmt: str = ".3g") -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)\n" if title else "(no rows)\n"
+    columns = columns if columns is not None else list(rows[0].keys())
+
+    def fmt(value):
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(line[i]) for line in table))
+              for i, col in enumerate(columns)]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for line in table:
+        out.append("  ".join(cell.ljust(w)
+                             for cell, w in zip(line, widths)))
+    return "\n".join(out) + "\n"
+
+
+def summarize_records(records) -> dict:
+    """Headline aggregates matching the paper's abstract claims."""
+    if not records:
+        return {}
+    speedups = [r.customization_speedup for r in records]
+    vs_cpu = [r.speedup_custom_vs_cpu for r in records]
+    vs_gpu = [r.gpu_seconds / r.fpga_custom_seconds for r in records]
+    # The GPU comparison is only meaningful where the GPU is a serious
+    # contender (the paper's 6.9x headline is from that regime); on tiny
+    # problems its launch-latency floor makes the ratio arbitrary.
+    vs_gpu_large = [r.gpu_seconds / r.fpga_custom_seconds
+                    for r in records if r.nnz >= 5_000] or vs_gpu
+    eff = [r.fpga_throughput_per_watt / r.gpu_throughput_per_watt
+           for r in records]
+    eff_large = [r.fpga_throughput_per_watt / r.gpu_throughput_per_watt
+                 for r in records if r.nnz >= 5_000] or eff
+    by_family: dict[str, list] = {}
+    for r in records:
+        by_family.setdefault(r.family, []).append(r.customization_speedup)
+    return {
+        "problems": len(records),
+        "customization_speedup_min": min(speedups),
+        "customization_speedup_max": max(speedups),
+        "speedup_vs_cpu_max": max(vs_cpu),
+        "speedup_vs_gpu_max": max(vs_gpu),
+        "speedup_vs_gpu_max_large": max(vs_gpu_large),
+        "power_efficiency_vs_gpu_max": max(eff),
+        "power_efficiency_vs_gpu_max_large": max(eff_large),
+        "mean_customization_speedup_by_family": {
+            fam: sum(vals) / len(vals) for fam, vals in by_family.items()},
+    }

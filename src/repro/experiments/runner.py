@@ -1,0 +1,174 @@
+"""Suite runner: one pass producing the data behind Figures 8-13.
+
+For every benchmark problem the runner
+
+1. solves it for real with the reference solver (indirect backend) —
+   giving the ADMM/PCG iteration counts every backend is charged for,
+2. runs the customization flow (baseline and problem-specific), and
+3. evaluates the analytic time/power models: CPU (MKL-like), GPU
+   (cuOSQP-like), FPGA baseline and FPGA customized.
+
+All downstream figure producers consume the resulting
+:class:`ProblemRecord` list, so every figure is derived from one
+consistent dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines import (CPUModel, GPUModel, workload_from_result)
+from ..customization import (ProblemCustomization, baseline_customization,
+                             customize_problem)
+from ..hw import fmax_mhz, fpga_power_watts
+from ..hw.compiler import attach_costs, compile_osqp_program
+from ..problems import benchmark_suite
+from ..qp import QProblem
+from ..solver import OSQPSettings, OSQPSolver
+
+__all__ = ["ProblemRecord", "run_problem", "run_suite", "choose_width"]
+
+
+def choose_width(nnz: int) -> int:
+    """Datapath width by problem scale (paper: 'up to C = 64')."""
+    if nnz < 5_000:
+        return 16
+    if nnz < 50_000:
+        return 32
+    return 64
+
+
+@dataclass
+class ProblemRecord:
+    """Everything the figures need about one benchmark problem."""
+
+    family: str
+    name: str
+    n: int
+    m: int
+    nnz: int
+    c: int
+    architecture: str
+    admm_iterations: int
+    pcg_iterations: int
+    eta_baseline: float
+    eta_custom: float
+    fpga_baseline_seconds: float
+    fpga_custom_seconds: float
+    cpu_seconds: float
+    gpu_seconds: float
+    cpu_kkt_fraction: float
+    fpga_power_watts: float
+    gpu_power_watts: float
+    extras: dict = field(default_factory=dict)
+
+    # -- derived quantities used by the figures -------------------------
+    @property
+    def customization_speedup(self) -> float:
+        """Figure 10: end-to-end gain of customization on the FPGA."""
+        return self.fpga_baseline_seconds / self.fpga_custom_seconds
+
+    @property
+    def eta_improvement(self) -> float:
+        """Figure 9: Delta eta from customization."""
+        return self.eta_custom - self.eta_baseline
+
+    @property
+    def speedup_custom_vs_cpu(self) -> float:
+        return self.cpu_seconds / self.fpga_custom_seconds
+
+    @property
+    def speedup_baseline_vs_cpu(self) -> float:
+        return self.cpu_seconds / self.fpga_baseline_seconds
+
+    @property
+    def speedup_gpu_vs_cpu(self) -> float:
+        return self.cpu_seconds / self.gpu_seconds
+
+    @property
+    def fpga_throughput_per_watt(self) -> float:
+        """Figure 13: solves per second per watt."""
+        return 1.0 / (self.fpga_custom_seconds * self.fpga_power_watts)
+
+    @property
+    def gpu_throughput_per_watt(self) -> float:
+        return 1.0 / (self.gpu_seconds * self.gpu_power_watts)
+
+
+def _fpga_seconds(problem: QProblem, custom: ProblemCustomization,
+                  admm_iterations: int, pcg_iterations: int) -> float:
+    """Analytic FPGA end-to-end time at the architecture's f_max."""
+    compiled = compile_osqp_program(problem.n, problem.m,
+                                    max_admm_iter=max(admm_iterations, 1),
+                                    max_pcg_iter=max(pcg_iterations, 1))
+    attach_costs(
+        compiled, custom.c,
+        spmv={name: custom.matrices[name].spmv_cycles
+              for name in ("P", "A", "At")},
+        depths={name: custom.matrices[name].duplication_cycles
+                for name in ("P", "A", "At")},
+        n=problem.n, m=problem.m)
+    cycles = compiled.estimate_cycles(admm_iterations, pcg_iterations)
+    return cycles / (fmax_mhz(custom.architecture) * 1e6)
+
+
+def run_problem(problem: QProblem, family: str, *,
+                settings: OSQPSettings | None = None,
+                c: int | None = None,
+                max_structures: int = 4,
+                cpu_model: CPUModel | None = None,
+                gpu_model: GPUModel | None = None) -> ProblemRecord:
+    """Produce the full record for one problem."""
+    settings = settings if settings is not None else OSQPSettings(
+        eps_abs=1e-3, eps_rel=1e-3, max_iter=4000)
+    cpu_model = cpu_model or CPUModel()
+    gpu_model = gpu_model or GPUModel()
+    width = c if c is not None else choose_width(problem.nnz)
+
+    result = OSQPSolver(problem, settings).solve()
+    workload = workload_from_result(problem, result)
+
+    base = baseline_customization(problem, width)
+    custom = customize_problem(problem, width,
+                               max_structures=max_structures)
+
+    admm = max(workload.admm_iterations, 1)
+    pcg = max(workload.pcg_iterations, 1)
+    fpga_base_s = _fpga_seconds(problem, base, admm, pcg)
+    fpga_custom_s = _fpga_seconds(problem, custom, admm, pcg)
+    cpu_s = cpu_model.solve_seconds(workload)
+    gpu_s = gpu_model.solve_seconds(workload)
+    kkt_fraction = (cpu_model.kkt_solve_seconds(workload)
+                    / max(cpu_s, 1e-30))
+
+    return ProblemRecord(
+        family=family, name=problem.name, n=problem.n, m=problem.m,
+        nnz=problem.nnz, c=width, architecture=str(custom.architecture),
+        admm_iterations=workload.admm_iterations,
+        pcg_iterations=workload.pcg_iterations,
+        eta_baseline=base.eta, eta_custom=custom.eta,
+        fpga_baseline_seconds=fpga_base_s,
+        fpga_custom_seconds=fpga_custom_s,
+        cpu_seconds=cpu_s, gpu_seconds=gpu_s,
+        cpu_kkt_fraction=kkt_fraction,
+        fpga_power_watts=fpga_power_watts(custom.architecture),
+        gpu_power_watts=gpu_model.power_watts(workload),
+        extras={"status": result.status.value,
+                "search": None if custom.search is None
+                else custom.search.evaluations})
+
+
+def run_suite(*, count: int = 20, scale: float = 1.0,
+              families: list | None = None,
+              settings: OSQPSettings | None = None,
+              progress: bool = False) -> list:
+    """Run the full experiment over the benchmark suite."""
+    records = []
+    for entry in benchmark_suite(count=count, scale=scale,
+                                 families=families):
+        if progress:  # pragma: no cover - console feedback only
+            print(f"running {entry.name} (nnz={entry.problem.nnz}) ...",
+                  flush=True)
+        records.append(run_problem(entry.problem, entry.family,
+                                   settings=settings))
+    return records

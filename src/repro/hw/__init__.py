@@ -1,0 +1,65 @@
+"""The RSQP hardware model: ISA, cycle-accurate machine, compiler,
+frequency/resource/power models, and the host-side accelerator wrapper."""
+
+from .accelerator import RSQPAccelerator, RSQPResult
+from .asm import (ROM_WORD_BYTES, decode_program, disassemble,
+                  encode_program, rom_words)
+from .compiler import (ADMM_LOOP, PCG_LOOP, CompiledProgram, attach_costs,
+                       compile_osqp_program)
+from .frequency import FMAX_CAP_MHZ, fmax_mhz
+from .isa import (PIPELINE_OVERHEAD, Control, DataTransfer, Instruction,
+                  Loop, Program, ScalarOp, ScalarOpKind, SpMV, VecDup,
+                  VectorOp, VectorOpKind)
+from .machine import ExecutionStats, Machine, MatrixResource
+from .memory import (HBMConfig, HBMPlan, MatrixPlacement, U50_HBM,
+                     plan_hbm_layout)
+from .power import (FPGA_DYNAMIC_MAX_W, FPGA_STATIC_W, fpga_power_watts)
+from .spmv_engine import SpMVTrace, simulate_spmv
+from .resources import (U50_LIMITS, ResourceEstimate, estimate_resources,
+                        fits_device)
+
+__all__ = [
+    "RSQPAccelerator",
+    "disassemble",
+    "rom_words",
+    "encode_program",
+    "decode_program",
+    "ROM_WORD_BYTES",
+    "HBMConfig",
+    "HBMPlan",
+    "MatrixPlacement",
+    "U50_HBM",
+    "plan_hbm_layout",
+    "SpMVTrace",
+    "simulate_spmv",
+    "RSQPResult",
+    "CompiledProgram",
+    "compile_osqp_program",
+    "attach_costs",
+    "ADMM_LOOP",
+    "PCG_LOOP",
+    "fmax_mhz",
+    "FMAX_CAP_MHZ",
+    "Machine",
+    "MatrixResource",
+    "ExecutionStats",
+    "Instruction",
+    "ScalarOp",
+    "ScalarOpKind",
+    "VectorOp",
+    "VectorOpKind",
+    "DataTransfer",
+    "VecDup",
+    "SpMV",
+    "Control",
+    "Loop",
+    "Program",
+    "PIPELINE_OVERHEAD",
+    "estimate_resources",
+    "ResourceEstimate",
+    "fits_device",
+    "U50_LIMITS",
+    "fpga_power_watts",
+    "FPGA_STATIC_W",
+    "FPGA_DYNAMIC_MAX_W",
+]

@@ -1,0 +1,270 @@
+"""Host-side wrapper: run OSQP end-to-end on the simulated RSQP card.
+
+Mirrors the paper's deployment: the CPU host performs setup (Ruiz
+scaling, rho selection, preconditioner computation, data download) and
+the FPGA executes the full ADMM + PCG loop from its instruction ROM.
+The wrapper returns the *unscaled* solution plus the cycle statistics
+that drive the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..customization import (ProblemCustomization, baseline_customization,
+                             customize_problem)
+from ..qp import QProblem, ruiz_equilibrate
+from ..solver import OSQPSettings
+from ..solver.osqp import OSQPSolver
+from .compiler import (ADMM_LOOP, PCG_LOOP, CompiledProgram, attach_costs,
+                       compile_osqp_program)
+from .frequency import fmax_mhz
+from .machine import Machine, MatrixResource
+from .power import fpga_power_watts
+
+__all__ = ["RSQPResult", "RSQPAccelerator"]
+
+
+@dataclass
+class RSQPResult:
+    """Solution and performance data from one accelerator run."""
+
+    x: np.ndarray
+    y: np.ndarray
+    z: np.ndarray
+    converged: bool
+    admm_iterations: int
+    pcg_iterations: int
+    total_cycles: int
+    fmax_mhz: float
+    power_watts: float
+    stats: object  # ExecutionStats
+
+    @property
+    def solve_seconds(self) -> float:
+        """Wall time at the modeled clock."""
+        return self.total_cycles / (self.fmax_mhz * 1e6)
+
+    @property
+    def energy_joules(self) -> float:
+        return self.solve_seconds * self.power_watts
+
+
+class RSQPAccelerator:
+    """Simulated RSQP card solving one QP structure.
+
+    Parameters
+    ----------
+    problem:
+        The QP to solve (unscaled; the host scales it during setup).
+    customization:
+        A :class:`ProblemCustomization`; pass the output of
+        :func:`repro.customization.customize_problem` for the customized
+        design or :func:`repro.customization.baseline_customization` for
+        the reference architecture. Defaults to the customized design at
+        ``c = 16``.
+    settings:
+        Solver settings; the accelerator honors ``rho``, ``sigma``,
+        ``alpha``, ``eps_abs``, ``eps_rel``, ``scaling`` and
+        ``max_iter``. Adaptive rho runs host-side in OSQP; the
+        instruction stream keeps ``rho`` fixed (the paper notes PCG
+        makes rho updates cheap — a host re-download — but the ROM
+        program itself is static).
+    """
+
+    def __init__(self, problem: QProblem,
+                 customization: ProblemCustomization | None = None,
+                 settings: OSQPSettings | None = None,
+                 *, c: int = 16, pcg_eps: float = 1e-7,
+                 max_pcg_iter: int = 500):
+        self.problem = problem
+        self.settings = settings if settings is not None else OSQPSettings()
+        if customization is None:
+            customization = customize_problem(problem, c)
+        self.customization = customization
+        self.c = customization.c
+        self.pcg_eps = float(pcg_eps)
+        self.max_pcg_iter = int(max_pcg_iter)
+
+        # Host setup: scale and pick rho exactly like the software solver.
+        helper = OSQPSolver(problem, self.settings)
+        self.scaling = helper.scaling
+        self.work = helper.work
+        self.rho = helper.rho
+        self.rho_vec = helper.rho_vec
+        self.rho_updates = 0
+        work_at = helper.at
+
+        streams = {"P": self.work.P, "A": self.work.A, "At": work_at}
+        self.machine = Machine(self.c, {
+            name: MatrixResource(
+                name=name, matrix=streams[name],
+                spmv_cycles=customization.matrices[name].spmv_cycles,
+                cvb_depth=customization.matrices[name].duplication_cycles)
+            for name in ("P", "A", "At")})
+
+        self.compiled: CompiledProgram = compile_osqp_program(
+            self.work.n, self.work.m,
+            max_admm_iter=self.settings.max_iter,
+            max_pcg_iter=self.max_pcg_iter)
+        attach_costs(self.compiled, self.c,
+                     spmv={name: customization.matrices[name].spmv_cycles
+                           for name in ("P", "A", "At")},
+                     depths={name:
+                             customization.matrices[name].duplication_cycles
+                             for name in ("P", "A", "At")},
+                     n=self.work.n, m=self.work.m)
+        self._download()
+
+    # ------------------------------------------------------------------
+    def _download(self) -> None:
+        """Host -> HBM data movement and scalar register setup."""
+        work = self.work
+        machine = self.machine
+        n, m = work.n, work.m
+        machine.write_hbm("q", work.q)
+        machine.write_hbm("l", np.nan_to_num(work.l, neginf=-1e30))
+        machine.write_hbm("u", np.nan_to_num(work.u, posinf=1e30))
+        machine.write_hbm("rho", self.rho_vec)
+        machine.write_hbm("rho_inv", 1.0 / self.rho_vec)
+        # Jacobi preconditioner of K = P + sigma I + A' diag(rho) A.
+        weighted = work.A.scale_rows(np.sqrt(self.rho_vec))
+        diag_k = (work.P.diagonal() + self.settings.sigma
+                  + weighted.column_sq_sums())
+        machine.write_hbm("minv", 1.0 / diag_k)
+        machine.write_hbm("x", np.zeros(n))
+        machine.write_hbm("z", np.zeros(m))
+        machine.write_hbm("y", np.zeros(m))
+
+        s = self.settings
+        machine.set_scalar("sigma", s.sigma)
+        machine.set_scalar("alpha_relax", s.alpha)
+        machine.set_scalar("one_m_alpha", 1.0 - s.alpha)
+        machine.set_scalar("eps_rel", s.eps_rel)
+        machine.set_scalar("eps_abs_m", s.eps_abs * np.sqrt(max(m, 1)))
+        machine.set_scalar("eps_abs_n", s.eps_abs * np.sqrt(max(n, 1)))
+        machine.set_scalar("nq", float(np.linalg.norm(work.q)))
+        machine.set_scalar("one", 1.0)
+        machine.set_scalar("tiny", 1e-30)
+        machine.set_scalar("pcg_eps2", self.pcg_eps ** 2)
+
+    # ------------------------------------------------------------------
+    def warm_start(self, x=None, y=None) -> None:
+        """Provide initial iterates (unscaled), as for repeated solves.
+
+        The backtesting/MPC amortization workloads solve long sequences
+        of same-structure problems; warm-starting from the previous
+        solution is how the host exploits that on the card.
+        """
+        machine = self.machine
+        if x is not None:
+            x_s = self.scaling.scale_x(np.asarray(x, dtype=np.float64))
+            machine.write_hbm("x", x_s)
+            machine.write_hbm("z", self.work.A.matvec(x_s))
+        if y is not None:
+            machine.write_hbm("y", self.scaling.scale_y(
+                np.asarray(y, dtype=np.float64)))
+
+    def _update_rho_from_device(self) -> bool:
+        """Host-side adaptive rho (OSQP's rule, residuals read off-chip).
+
+        The paper motivates PCG precisely because rho updates avoid the
+        LDL^T refactorization: here the host recomputes the rho vectors
+        and the Jacobi preconditioner and re-downloads them — the reload
+        is charged to the accelerator as data transfers.
+        """
+        scalars = self.machine.scalars
+        rp = scalars.get("rp", 0.0)
+        rd = scalars.get("rdual", 0.0)
+        pri_norm = max(scalars.get("npz", 0.0), 1e-15)
+        dua_norm = max(scalars.get("nd_all", 0.0), 1e-15)
+        estimate = self.rho * np.sqrt((rp / pri_norm)
+                                      / max(rd / dua_norm, 1e-15))
+        estimate = float(np.clip(estimate, 1e-6, 1e6))
+        tol = self.settings.adaptive_rho_tolerance
+        if not (estimate > tol * self.rho or estimate < self.rho / tol):
+            return False
+        self.rho = estimate
+        helper_vec = np.full(self.work.m, estimate)
+        eq = self.work.equality_mask()
+        helper_vec[eq] = np.clip(estimate * 1e3, 1e-6, 1e6)
+        loose = np.isneginf(self.work.l) & np.isposinf(self.work.u)
+        helper_vec[loose] = 1e-6
+        self.rho_vec = helper_vec
+        machine = self.machine
+        machine.write_hbm("rho", self.rho_vec)
+        machine.write_hbm("rho_inv", 1.0 / self.rho_vec)
+        weighted = self.work.A.scale_rows(np.sqrt(self.rho_vec))
+        diag_k = (self.work.P.diagonal() + self.settings.sigma
+                  + weighted.column_sq_sums())
+        machine.write_hbm("minv", 1.0 / diag_k)
+        # The accelerator reloads the three vectors (charged cycles).
+        machine.run(self._refresh_program)
+        return True
+
+    def run(self) -> RSQPResult:
+        """Execute the solve: prologue, ADMM segments with host-driven
+        rho adaptation, epilogue. Returns the unscaled result."""
+        from .isa import DataTransfer, Loop, Program
+
+        sections = self.compiled._sections
+        interval = max(self.settings.adaptive_rho_interval, 1)
+        machine = self.machine
+        self._refresh_program = Program(
+            [DataTransfer("load", name)
+             for name in ("rho", "rho_inv", "minv")])
+        self.rho_updates = 0
+
+        machine.run(Program(list(sections["prologue"])))
+        remaining = self.settings.max_iter
+        converged = False
+        while remaining > 0:
+            segment = min(interval, remaining)
+            before = machine.stats.loop_iterations.get(ADMM_LOOP, 0)
+            machine.run(Program([Loop(body=sections["admm_body"],
+                                      max_iter=segment, name=ADMM_LOOP)]))
+            executed = machine.stats.loop_iterations.get(ADMM_LOOP,
+                                                         0) - before
+            remaining -= executed
+            if machine.scalars.get("worst", np.inf) < 1.0:
+                converged = True
+                break
+            if executed < segment:  # defensive: loop exited unconverged
+                break
+            if self.settings.adaptive_rho and remaining > 0:
+                if self._update_rho_from_device():
+                    self.rho_updates += 1
+        machine.run(Program(list(sections["epilogue"])))
+
+        stats = machine.stats
+        x = self.scaling.unscale_x(machine.read_hbm("x"))
+        y = self.scaling.unscale_y(machine.read_hbm("y"))
+        z = self.scaling.unscale_z(machine.read_hbm("z"))
+        admm_iters = stats.loop_iterations.get(ADMM_LOOP, 0)
+        pcg_iters = stats.loop_iterations.get(PCG_LOOP, 0)
+        arch = self.customization.architecture
+        return RSQPResult(
+            x=x, y=y, z=z, converged=converged,
+            admm_iterations=admm_iters, pcg_iterations=pcg_iters,
+            total_cycles=stats.total_cycles,
+            fmax_mhz=fmax_mhz(arch),
+            power_watts=fpga_power_watts(arch),
+            stats=stats)
+
+    def estimate_cycles(self, admm_iterations: int, pcg_iterations: int,
+                        rho_updates: int = 0) -> int:
+        """Analytic cycle count (exact; see :mod:`repro.hw.compiler`).
+
+        ``rho_updates`` charges the three-vector reload each host-driven
+        step-size change costs.
+        """
+        refresh = 0
+        if rho_updates:
+            from .isa import DataTransfer
+            refresh = rho_updates * sum(
+                DataTransfer("load", name).cycles(self.compiled.context)
+                for name in ("rho", "rho_inv", "minv"))
+        return (self.compiled.estimate_cycles(admm_iterations,
+                                              pcg_iterations) + refresh)

@@ -1,0 +1,273 @@
+"""Instruction-ROM serialization: assembler listing and ROM sizing.
+
+The RSQP control unit executes from an instruction ROM downloaded over
+HBM (§3.5). This module renders a compiled :class:`Program` as a
+human-readable listing (the artifact a hardware engineer would inspect)
+and computes the ROM footprint.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..exceptions import SimulationError
+from .isa import (Control, DataTransfer, Loop, Program, ScalarOp,
+                  ScalarOpKind, SpMV, VecDup, VectorOp, VectorOpKind)
+
+__all__ = ["disassemble", "rom_words", "ROM_WORD_BYTES", "encode_program",
+           "decode_program"]
+
+#: Encoded instruction width: opcode + 3 operand fields + 2 immediates.
+ROM_WORD_BYTES = 16
+
+
+def _operand(ref) -> str:
+    if isinstance(ref, str):
+        return ref
+    if ref is None:
+        return "_"
+    return f"#{ref:g}"
+
+
+def _format_instruction(instr) -> str:
+    if isinstance(instr, ScalarOp):
+        return (f"s.{instr.op.value:<5s} {instr.dst}, "
+                f"{_operand(instr.src1)}, {_operand(instr.src2)}")
+    if isinstance(instr, VectorOp):
+        srcs = ", ".join(instr.srcs)
+        extra = ""
+        if instr.alpha is not None or instr.beta is not None:
+            extra = f"  [alpha={_operand(instr.alpha)}," \
+                    f" beta={_operand(instr.beta)}]"
+        return f"v.{instr.op.value:<9s} {instr.dst} <- {srcs}{extra}"
+    if isinstance(instr, DataTransfer):
+        arrow = "<-" if instr.direction == "load" else "->"
+        return f"mem.{instr.direction:<5s} vb[{instr.name}] {arrow} hbm"
+    if isinstance(instr, VecDup):
+        return f"dup        cvb[{instr.cvb}] <- vb[{instr.src}]"
+    if isinstance(instr, SpMV):
+        return (f"spmv       vb[{instr.dst}] <- {instr.matrix} "
+                f"@ cvb[{instr.src}]")
+    if isinstance(instr, Control):
+        return f"ctrl       exit if {instr.reg} < " \
+               f"{_operand(instr.threshold_reg)}"
+    return repr(instr)  # pragma: no cover - closed instruction set
+
+
+def disassemble(program: Program) -> str:
+    """Render the program as an indented assembler listing."""
+    lines: list[str] = []
+    address = 0
+
+    def walk(items, depth):
+        nonlocal address
+        pad = "  " * depth
+        for item in items:
+            if isinstance(item, Loop):
+                lines.append(f"{pad}loop {item.name} "
+                             f"(max {item.max_iter}):")
+                walk(item.body, depth + 1)
+                lines.append(f"{pad}end {item.name}")
+            else:
+                lines.append(f"{pad}{address:04d}: "
+                             f"{_format_instruction(item)}")
+                address += 1
+
+    walk(program.instructions, 0)
+    return "\n".join(lines) + "\n"
+
+
+def rom_words(program: Program) -> int:
+    """Static instruction count = ROM words (loops stored once)."""
+    # Loop headers consume one control word each.
+    def count(items):
+        total = 0
+        for item in items:
+            if isinstance(item, Loop):
+                total += 1 + count(item.body)
+            else:
+                total += 1
+        return total
+    return count(program.instructions)
+
+# ----------------------------------------------------------------------
+# Binary ROM image: what the host actually downloads over HBM (§3.5).
+# Layout: a symbol table (names referenced by instructions) followed by
+# fixed-width instruction words. Loops serialize as LOOP/END marker words
+# so the ROM stays a flat array the fetch unit can walk.
+# ----------------------------------------------------------------------
+
+_OP_SCALAR = 1
+_OP_VECTOR = 2
+_OP_TRANSFER = 3
+_OP_VECDUP = 4
+_OP_SPMV = 5
+_OP_CONTROL = 6
+_OP_LOOP = 7
+_OP_END = 8
+
+_MAGIC = b"RSQP"
+_NO_SYMBOL = 0xFFFF
+_WORD = struct.Struct("<BBHHHHdxx")  # opcode, sub, 4 symbol ids, 1 f64
+assert _WORD.size == ROM_WORD_BYTES + 4  # doc constant covers payload
+
+
+class _SymbolTable:
+    def __init__(self):
+        self.names: list[str] = []
+        self.ids: dict[str, int] = {}
+
+    def intern(self, name) -> int:
+        if name is None:
+            return _NO_SYMBOL
+        if not isinstance(name, str):
+            raise SimulationError(f"expected a name, got {name!r}")
+        if name not in self.ids:
+            self.ids[name] = len(self.names)
+            self.names.append(name)
+        return self.ids[name]
+
+
+def _operand_pair(symbols, ref):
+    """Split a scalar-or-register operand into (symbol id, immediate)."""
+    if isinstance(ref, str):
+        return symbols.intern(ref), 0.0
+    if ref is None:
+        return _NO_SYMBOL, 0.0
+    return _NO_SYMBOL - 1, float(ref)  # 0xFFFE marks an immediate
+
+
+def _encode_one(symbols, instr) -> bytes:
+    if isinstance(instr, ScalarOp):
+        sid1, imm1 = _operand_pair(symbols, instr.src1)
+        sid2, imm2 = _operand_pair(symbols, instr.src2)
+        # Only one immediate slot: encode src2's immediate, src1 must be
+        # a register when src2 carries the immediate and vice versa.
+        if sid1 == _NO_SYMBOL - 1 and sid2 == _NO_SYMBOL - 1:
+            raise SimulationError(
+                "scalar op with two immediates is not encodable")
+        imm = imm1 if sid1 == _NO_SYMBOL - 1 else imm2
+        sub = list(ScalarOpKind).index(instr.op)
+        return _WORD.pack(_OP_SCALAR, sub, symbols.intern(instr.dst),
+                          sid1, sid2, _NO_SYMBOL, imm)
+    if isinstance(instr, VectorOp):
+        sub = list(VectorOpKind).index(instr.op)
+        srcs = list(instr.srcs) + [None] * (3 - len(instr.srcs))
+        aid, a_imm = _operand_pair(symbols, instr.alpha)
+        bid, b_imm = _operand_pair(symbols, instr.beta)
+        # alpha/beta encode into two extra words when present.
+        head = _WORD.pack(_OP_VECTOR, sub, symbols.intern(instr.dst),
+                          symbols.intern(srcs[0]), symbols.intern(srcs[1]),
+                          symbols.intern(srcs[2]), 0.0)
+        tail_a = _WORD.pack(_OP_VECTOR, 0xA0, aid, 0, 0, 0, a_imm)
+        tail_b = _WORD.pack(_OP_VECTOR, 0xB0, bid, 0, 0, 0, b_imm)
+        return head + tail_a + tail_b
+    if isinstance(instr, DataTransfer):
+        sub = 0 if instr.direction == "load" else 1
+        return _WORD.pack(_OP_TRANSFER, sub, symbols.intern(instr.name),
+                          _NO_SYMBOL, _NO_SYMBOL, _NO_SYMBOL, 0.0)
+    if isinstance(instr, VecDup):
+        return _WORD.pack(_OP_VECDUP, 0, symbols.intern(instr.cvb),
+                          symbols.intern(instr.src), _NO_SYMBOL,
+                          _NO_SYMBOL, 0.0)
+    if isinstance(instr, SpMV):
+        return _WORD.pack(_OP_SPMV, 0, symbols.intern(instr.dst),
+                          symbols.intern(instr.matrix),
+                          symbols.intern(instr.src), _NO_SYMBOL, 0.0)
+    if isinstance(instr, Control):
+        sid, imm = _operand_pair(symbols, instr.threshold_reg)
+        return _WORD.pack(_OP_CONTROL, 0, symbols.intern(instr.reg),
+                          sid, _NO_SYMBOL, _NO_SYMBOL, imm)
+    raise SimulationError(f"cannot encode {instr!r}")
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialize a program to the ROM image downloaded over HBM."""
+    symbols = _SymbolTable()
+    body = bytearray()
+
+    def walk(items):
+        for item in items:
+            if isinstance(item, Loop):
+                body.extend(_WORD.pack(_OP_LOOP, 0,
+                                       symbols.intern(item.name),
+                                       _NO_SYMBOL, _NO_SYMBOL, _NO_SYMBOL,
+                                       float(item.max_iter)))
+                walk(item.body)
+                body.extend(_WORD.pack(_OP_END, 0, _NO_SYMBOL, _NO_SYMBOL,
+                                       _NO_SYMBOL, _NO_SYMBOL, 0.0))
+            else:
+                body.extend(_encode_one(symbols, item))
+
+    walk(program.instructions)
+    table = "\x00".join(symbols.names).encode("utf-8")
+    header = _MAGIC + struct.pack("<II", len(table), len(body))
+    return header + table + bytes(body)
+
+
+def decode_program(image: bytes) -> Program:
+    """Reconstruct a program from a ROM image (inverse of encode)."""
+    if image[:4] != _MAGIC:
+        raise SimulationError("bad ROM magic")
+    table_len, body_len = struct.unpack_from("<II", image, 4)
+    offset = 4 + 8  # magic + two u32 lengths
+    table = image[offset:offset + table_len].decode("utf-8")
+    names = table.split("\x00") if table else []
+    body = image[offset + table_len:offset + table_len + body_len]
+    if len(body) != body_len or body_len % _WORD.size:
+        raise SimulationError("truncated ROM body")
+
+    def operand_of(sid, imm):
+        if sid == _NO_SYMBOL:
+            return None
+        if sid == _NO_SYMBOL - 1:
+            return imm
+        return names[sid]
+
+    words = [body[i:i + _WORD.size]
+             for i in range(0, len(body), _WORD.size)]
+    stack: list[list] = [[]]
+    loop_meta: list[tuple] = []
+    index = 0
+    while index < len(words):
+        op, sub, f0, f1, f2, f3, imm = _WORD.unpack(words[index])
+        if op == _OP_LOOP:
+            loop_meta.append((names[f0], int(imm)))
+            stack.append([])
+        elif op == _OP_END:
+            body_items = stack.pop()
+            name, max_iter = loop_meta.pop()
+            stack[-1].append(Loop(body=body_items, max_iter=max_iter,
+                                  name=name))
+        elif op == _OP_SCALAR:
+            kind = list(ScalarOpKind)[sub]
+            src1 = operand_of(f1, imm)
+            src2 = operand_of(f2, imm)
+            stack[-1].append(ScalarOp(kind, names[f0], src1, src2))
+        elif op == _OP_VECTOR:
+            kind = list(VectorOpKind)[sub]
+            _, _, aid, _, _, _, a_imm = _WORD.unpack(words[index + 1])
+            _, _, bid, _, _, _, b_imm = _WORD.unpack(words[index + 2])
+            srcs = tuple(names[s] for s in (f1, f2, f3)
+                         if s != _NO_SYMBOL)
+            stack[-1].append(VectorOp(
+                kind, names[f0], srcs,
+                alpha=operand_of(aid, a_imm),
+                beta=operand_of(bid, b_imm)))
+            index += 2
+        elif op == _OP_TRANSFER:
+            stack[-1].append(DataTransfer(
+                "load" if sub == 0 else "store", names[f0]))
+        elif op == _OP_VECDUP:
+            stack[-1].append(VecDup(src=names[f1], cvb=names[f0]))
+        elif op == _OP_SPMV:
+            stack[-1].append(SpMV(matrix=names[f1], src=names[f2],
+                                  dst=names[f0]))
+        elif op == _OP_CONTROL:
+            stack[-1].append(Control(names[f0], operand_of(f1, imm)))
+        else:
+            raise SimulationError(f"unknown opcode {op}")
+        index += 1
+    if len(stack) != 1:
+        raise SimulationError("unbalanced loop markers in ROM")
+    return Program(stack[0])

@@ -1,0 +1,280 @@
+"""Lowering OSQP (Algorithm 1) + PCG (Algorithm 2) to the RSQP ISA.
+
+The compiled program mirrors the reference solver's indirect path:
+
+* prologue — load problem vectors from HBM, initialize scalars;
+* ADMM loop — build the reduced-KKT right-hand side, run the PCG loop,
+  relax, project, update duals, then evaluate 2-norm termination
+  residuals on-chip and exit via a Control instruction;
+* epilogue — store ``x``, ``y``, ``z`` back to HBM.
+
+Because every instruction's cycle cost is static (it depends only on
+vector lengths, the SpMV schedules and the CVB depths), the same
+compiled program doubles as an exact analytic cost model:
+:meth:`CompiledProgram.estimate_cycles` must equal the machine's
+measured cycles for given iteration counts — a property the tests
+assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .isa import (Control, DataTransfer, Loop, Program, ScalarOp,
+                  ScalarOpKind, SpMV, VecDup, VectorOp, VectorOpKind)
+
+__all__ = ["CompiledProgram", "compile_osqp_program", "StaticCostContext"]
+
+#: Loop names used in the machine's iteration statistics.
+ADMM_LOOP = "admm"
+PCG_LOOP = "pcg"
+
+
+class StaticCostContext:
+    """Duck-typed 'machine' exposing just what cycle formulas need."""
+
+    def __init__(self, c: int, lengths: dict, spmv: dict, depths: dict):
+        self.c = int(c)
+        self._lengths = dict(lengths)
+        self._spmv = dict(spmv)
+        self._depths = dict(depths)
+
+    def vector_length(self, name: str) -> int:
+        return self._lengths[name]
+
+    def spmv_cycles(self, matrix: str) -> int:
+        return self._spmv[matrix]
+
+    def cvb_depth(self, matrix: str) -> int:
+        return self._depths[matrix]
+
+
+@dataclass
+class CompiledProgram:
+    """The lowered program plus its static per-section cycle costs."""
+
+    program: Program
+    context: StaticCostContext
+    prologue_cycles: int
+    admm_body_cycles: int   # per ADMM iteration, excluding the PCG loop
+    pcg_body_cycles: int    # per PCG iteration
+    epilogue_cycles: int
+
+    def estimate_cycles(self, admm_iterations: int,
+                        pcg_iterations: int) -> int:
+        """Exact cycle count for given loop trip counts."""
+        return (self.prologue_cycles
+                + admm_iterations * self.admm_body_cycles
+                + pcg_iterations * self.pcg_body_cycles
+                + self.epilogue_cycles)
+
+
+def _section_cycles(items, context) -> int:
+    total = 0
+    for item in items:
+        if isinstance(item, Loop):
+            continue  # inner loops are costed separately
+        total += item.cycles(context)
+    return total
+
+
+def compile_osqp_program(n: int, m: int, *, max_admm_iter: int,
+                         max_pcg_iter: int) -> CompiledProgram:
+    """Build the OSQP-on-RSQP instruction stream for an (n, m) problem.
+
+    The host is expected to preload HBM with the scaled problem vectors
+    (``q``, ``l``, ``u``, ``rho``, ``rho_inv``, ``minv``, initial ``x``,
+    ``z``, ``y``) and the scalar registers (``sigma``, ``alpha_relax``,
+    tolerance constants) — see
+    :class:`repro.hw.accelerator.RSQPAccelerator`.
+    """
+    sc = ScalarOpKind
+    vk = VectorOpKind
+
+    prologue = []
+    for name in ("q", "l", "u", "rho", "rho_inv", "minv", "x", "z", "y"):
+        prologue.append(DataTransfer("load", name))
+    # Warm-start buffer for PCG and an initial search state.
+    prologue.append(VectorOp(vk.COPY, "xt", ("x",)))
+
+    # ---- PCG body (Algorithm 2, one iteration) ------------------------
+    def k_apply(src: str, dst: str) -> list:
+        """dst = K src = P src + sigma src + A' (rho o (A src))."""
+        return [
+            VecDup(src, "P"),
+            SpMV("P", "P", "kp_p"),
+            VecDup(src, "A"),
+            SpMV("A", "A", "kp_a"),
+            VectorOp(vk.EWMUL, "kp_ra", ("rho", "kp_a")),
+            VecDup("kp_ra", "At"),
+            SpMV("At", "At", "kp_at"),
+            VectorOp(vk.AXPBY, "kp_tmp", ("kp_p", src),
+                     alpha=1.0, beta="sigma"),
+            VectorOp(vk.AXPBY, dst, ("kp_tmp", "kp_at"),
+                     alpha=1.0, beta=1.0),
+        ]
+
+    # The loop-exit Control sits at the *end* of the body so a completed
+    # trip always costs the same — that keeps the static cost model
+    # exact. Divisions are guarded with max(., tiny) so a converged
+    # (zero-residual) state coasts through one final harmless trip
+    # instead of dividing 0/0.
+    pcg_body = []
+    pcg_body += k_apply("p", "kp")
+    pcg_body += [
+        VectorOp(vk.DOT, "pkp", ("p", "kp")),
+        ScalarOp(sc.MAX, "pkp_safe", "pkp", "tiny"),
+        ScalarOp(sc.DIV, "lam", "rd", "pkp_safe"),
+        VectorOp(vk.SCALE_ADD, "xt", ("xt", "p"), alpha="lam"),
+        VectorOp(vk.SCALE_ADD, "r", ("r", "kp"), alpha="lam"),
+        VectorOp(vk.DOT, "rn2", ("r", "r")),
+        VectorOp(vk.EWMUL, "d", ("minv", "r")),
+        VectorOp(vk.DOT, "rd_new", ("r", "d")),
+        ScalarOp(sc.MAX, "rd_safe", "rd", "tiny"),
+        ScalarOp(sc.DIV, "mu", "rd_new", "rd_safe"),
+        ScalarOp(sc.MOV, "rd", "rd_new"),
+        VectorOp(vk.AXPBY, "p", ("d", "p"), alpha=-1.0, beta="mu"),
+        Control("rn2", "pcg_thresh"),
+    ]
+
+    # ---- ADMM body (Algorithm 1, one iteration) ------------------------
+    admm_body = []
+    # rhs = sigma x - q + A'(rho o z - y)
+    admm_body += [
+        VectorOp(vk.EWMUL, "rz", ("rho", "z")),
+        VectorOp(vk.AXPBY, "rzy", ("rz", "y"), alpha=1.0, beta=-1.0),
+        VecDup("rzy", "At"),
+        SpMV("At", "At", "atrzy"),
+        VectorOp(vk.AXPBY, "sxq", ("x", "q"), alpha="sigma", beta=-1.0),
+        VectorOp(vk.AXPBY, "rhs", ("sxq", "atrzy"), alpha=1.0, beta=1.0),
+    ]
+    # PCG init: r = K xt - rhs; d = minv o r; p = -d; rd = <r, d>;
+    # threshold = eps_pcg^2 * <rhs, rhs>.
+    admm_body += k_apply("xt", "kx")
+    admm_body += [
+        VectorOp(vk.AXPBY, "r", ("kx", "rhs"), alpha=1.0, beta=-1.0),
+        VectorOp(vk.EWMUL, "d", ("minv", "r")),
+        VectorOp(vk.AXPBY, "p", ("d", "d"), alpha=-1.0, beta=0.0),
+        VectorOp(vk.DOT, "rd", ("r", "d")),
+        VectorOp(vk.DOT, "bb", ("rhs", "rhs")),
+        ScalarOp(sc.MUL, "pcg_thresh", "pcg_eps2", "bb"),
+        Loop(body=pcg_body, max_iter=max_pcg_iter, name=PCG_LOOP),
+    ]
+    # z_tilde = A xt
+    admm_body += [
+        VecDup("xt", "A"),
+        SpMV("A", "A", "zt"),
+    ]
+    # Relaxation, projection, dual update.
+    admm_body += [
+        VectorOp(vk.AXPBY, "x_new", ("xt", "x"),
+                 alpha="alpha_relax", beta="one_m_alpha"),
+        VectorOp(vk.AXPBY, "z_relax", ("zt", "z"),
+                 alpha="alpha_relax", beta="one_m_alpha"),
+        VectorOp(vk.EWMUL, "riy", ("rho_inv", "y")),
+        VectorOp(vk.AXPBY, "z_arg", ("z_relax", "riy"),
+                 alpha=1.0, beta=1.0),
+        VectorOp(vk.CLIP, "z_new", ("z_arg", "l", "u")),
+        VectorOp(vk.AXPBY, "dz", ("z_relax", "z_new"),
+                 alpha=1.0, beta=-1.0),
+        VectorOp(vk.EWMUL, "rdz", ("rho", "dz")),
+        VectorOp(vk.AXPBY, "y", ("y", "rdz"), alpha=1.0, beta=1.0),
+        VectorOp(vk.COPY, "x", ("x_new",)),
+        VectorOp(vk.COPY, "z", ("z_new",)),
+    ]
+    # On-chip termination check (2-norm residuals):
+    # prim: ||Ax - z|| <= eps_abs sqrt(m) + eps_rel max(||Ax||, ||z||)
+    # dual: ||Px + q + A'y|| <= eps_abs sqrt(n)
+    #       + eps_rel max(||Px||, ||A'y||, ||q||)
+    admm_body += [
+        VecDup("x", "A"),
+        SpMV("A", "A", "ax"),
+        VectorOp(vk.AXPBY, "rp_vec", ("ax", "z"), alpha=1.0, beta=-1.0),
+        VectorOp(vk.DOT, "rp2", ("rp_vec", "rp_vec")),
+        VectorOp(vk.DOT, "nax2", ("ax", "ax")),
+        VectorOp(vk.DOT, "nz2", ("z", "z")),
+        ScalarOp(sc.SQRT, "rp", "rp2"),
+        ScalarOp(sc.MAX, "npz2", "nax2", "nz2"),
+        ScalarOp(sc.SQRT, "npz", "npz2"),
+        ScalarOp(sc.MUL, "eps_p_rel", "eps_rel", "npz"),
+        ScalarOp(sc.ADD, "eps_p", "eps_abs_m", "eps_p_rel"),
+        ScalarOp(sc.DIV, "ratio_p", "rp", "eps_p"),
+        VecDup("x", "P"),
+        SpMV("P", "P", "px"),
+        VecDup("y", "At"),
+        SpMV("At", "At", "aty"),
+        VectorOp(vk.AXPBY, "rd_tmp", ("px", "aty"), alpha=1.0, beta=1.0),
+        VectorOp(vk.AXPBY, "rd_vec", ("rd_tmp", "q"), alpha=1.0, beta=1.0),
+        VectorOp(vk.DOT, "rdual2", ("rd_vec", "rd_vec")),
+        VectorOp(vk.DOT, "npx2", ("px", "px")),
+        VectorOp(vk.DOT, "naty2", ("aty", "aty")),
+        ScalarOp(sc.SQRT, "rdual", "rdual2"),
+        ScalarOp(sc.MAX, "nd2", "npx2", "naty2"),
+        ScalarOp(sc.SQRT, "nd", "nd2"),
+        ScalarOp(sc.MAX, "nd_all", "nd", "nq"),
+        ScalarOp(sc.MUL, "eps_d_rel", "eps_rel", "nd_all"),
+        ScalarOp(sc.ADD, "eps_d", "eps_abs_n", "eps_d_rel"),
+        ScalarOp(sc.DIV, "ratio_d", "rdual", "eps_d"),
+        ScalarOp(sc.MAX, "worst", "ratio_p", "ratio_d"),
+        Control("worst", "one"),
+    ]
+
+    epilogue = [
+        DataTransfer("store", "x"),
+        DataTransfer("store", "y"),
+        DataTransfer("store", "z"),
+    ]
+
+    program = Program()
+    for item in prologue:
+        program.append(item)
+    program.append(Loop(body=admm_body, max_iter=max_admm_iter,
+                        name=ADMM_LOOP))
+    for item in epilogue:
+        program.append(item)
+
+    lengths = _vector_lengths(n, m)
+    # Cost context placeholders; the accelerator fills in real schedule
+    # numbers. Default zero costs keep the context usable standalone.
+    context = StaticCostContext(c=1, lengths=lengths,
+                                spmv={"P": 0, "A": 0, "At": 0},
+                                depths={"P": 0, "A": 0, "At": 0})
+    compiled = CompiledProgram(
+        program=program, context=context,
+        prologue_cycles=0, admm_body_cycles=0,
+        pcg_body_cycles=0, epilogue_cycles=0)
+    compiled._sections = {
+        "prologue": prologue,
+        "admm_body": admm_body,
+        "pcg_body": pcg_body,
+        "epilogue": epilogue,
+    }
+    return compiled
+
+
+def attach_costs(compiled: CompiledProgram, c: int, spmv: dict,
+                 depths: dict, n: int, m: int) -> CompiledProgram:
+    """Install real cycle costs (from a customization) into the program."""
+    context = StaticCostContext(c=c, lengths=_vector_lengths(n, m),
+                                spmv=spmv, depths=depths)
+    sections = compiled._sections
+    compiled.context = context
+    compiled.prologue_cycles = _section_cycles(sections["prologue"], context)
+    compiled.admm_body_cycles = _section_cycles(sections["admm_body"],
+                                                context)
+    compiled.pcg_body_cycles = _section_cycles(sections["pcg_body"], context)
+    compiled.epilogue_cycles = _section_cycles(sections["epilogue"], context)
+    return compiled
+
+
+def _vector_lengths(n: int, m: int) -> dict:
+    n_vectors = ("q", "x", "xt", "p", "d", "r", "kp", "kx", "kp_p",
+                 "kp_at", "kp_tmp", "rhs", "sxq", "atrzy", "x_new", "px",
+                 "aty", "rd_tmp", "rd_vec")
+    m_vectors = ("l", "u", "rho", "rho_inv", "z", "y", "zt", "kp_a",
+                 "kp_ra", "rz", "rzy", "z_relax", "riy", "z_arg", "z_new",
+                 "dz", "rdz", "ax", "rp_vec")
+    lengths = {name: n for name in n_vectors}
+    lengths.update({name: m for name in m_vectors})
+    lengths["minv"] = n
+    return lengths

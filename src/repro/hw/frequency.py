@@ -1,0 +1,52 @@
+"""Achievable clock frequency model, calibrated against paper Table 3.
+
+Synthesizing the 11 architecture candidates of Table 3 reveals that
+``f_max`` collapses onto a single axis: the product
+``max_outputs x C`` — the size of the alignment/routing crossbar between
+the MAC tree's widest output case and the ``C``-wide vector buffers (the
+brown block of Figure 1, which the paper identifies as the critical
+path). The calibration points:
+
+======================  ==========  ==========
+``max_outputs x C``     Table 3 rows  f_max (MHz)
+======================  ==========  ==========
+<= 128                  16{e}, 32{4d...}  300 (tool cap)
+256                     16{16a1e}, 64{4e1g}  ~272
+512                     32{16b4d1f}, 64{8d4e1g}  ~254
+1024                    32{32a...}   ~176
+4096                    64{64a4e1g}  121
+======================  ==========  ==========
+
+Between calibration points we interpolate linearly in
+``log2(max_outputs x C)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .isa import PIPELINE_OVERHEAD  # noqa: F401  (re-export convenience)
+
+__all__ = ["fmax_mhz", "FMAX_CAP_MHZ"]
+
+#: Vendor-tool frequency target: designs close at most this clock.
+FMAX_CAP_MHZ = 300.0
+
+#: (log2(max_outputs * C), f_max MHz) calibration table from Table 3.
+_CALIBRATION = np.array([
+    [7.0, 300.0],    # <= 128: routing is not the critical path
+    [8.0, 272.0],    # 256
+    [9.0, 254.0],    # 512
+    [10.0, 176.0],   # 1024
+    [12.0, 121.0],   # 4096
+    [14.0, 75.0],    # extrapolation anchor for very wide designs
+])
+
+
+def fmax_mhz(architecture) -> float:
+    """Model the achievable clock of an :class:`Architecture` in MHz."""
+    complexity = architecture.max_outputs * architecture.c
+    x = np.log2(max(complexity, 1))
+    if x <= _CALIBRATION[0, 0]:
+        return FMAX_CAP_MHZ
+    return float(np.interp(x, _CALIBRATION[:, 0], _CALIBRATION[:, 1]))

@@ -1,0 +1,176 @@
+"""RSQP instruction set (paper Table 1).
+
+The processing architecture is controlled by a simple instruction unit;
+instructions activate the vector engine, the SpMV engine, and the data
+movement modules. Cycle costs follow §3.1: vector operations and data
+transfers take ``ceil(length / C)`` cycles, vector duplication takes the
+CVB depth, and SpMV takes the scheduled pack count — plus a fixed
+pipeline fill/drain overhead per instruction.
+
+Programs are structured: a list of instructions and :class:`Loop` nodes
+(the paper's Control instruction exits the enclosing loop when a scalar
+residual drops below a threshold).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["VectorOpKind", "ScalarOpKind", "Instruction", "ScalarOp",
+           "VectorOp", "DataTransfer", "VecDup", "SpMV", "Control",
+           "Loop", "Program", "PIPELINE_OVERHEAD"]
+
+#: Fixed per-instruction cycles: dispatch plus datapath fill/drain.
+PIPELINE_OVERHEAD = 8
+
+
+class VectorOpKind(enum.Enum):
+    """Vector-engine operations (Table 1 'Vector Operations')."""
+
+    AXPBY = "axpby"          # dst = alpha * src1 + beta * src2
+    EWMUL = "ewmul"          # dst = src1 * src2 elementwise
+    CLIP = "clip"            # dst = min(max(src1, lo), hi)
+    DOT = "dot"              # scalar dst = <src1, src2>
+    COPY = "copy"            # dst = src1
+    SCALE_ADD = "scale_add"  # dst = src1 + alpha * src2
+
+
+class ScalarOpKind(enum.Enum):
+    """Scalar-register arithmetic (Table 1 'Scalar Arithmetic')."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOV = "mov"
+    MAX = "max"
+    SQRT = "sqrt"
+
+
+class Instruction:
+    """Marker base class for executable instructions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ScalarOp(Instruction):
+    """``dst = op(src1, src2)`` on the scalar register file."""
+
+    op: ScalarOpKind
+    dst: str
+    src1: str
+    src2: str | None = None
+
+    def cycles(self, machine) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class VectorOp(Instruction):
+    """A vector-engine operation over named vector buffers.
+
+    ``alpha``/``beta`` name scalar registers (or are float literals) for
+    the AXPBY/SCALE_ADD forms.
+    """
+
+    op: VectorOpKind
+    dst: str
+    srcs: tuple
+    alpha: object = None
+    beta: object = None
+
+    def cycles(self, machine) -> int:
+        length = machine.vector_length(self.srcs[0] if self.srcs
+                                       else self.dst)
+        return PIPELINE_OVERHEAD + _ceil_div(length, machine.c)
+
+
+@dataclass(frozen=True)
+class DataTransfer(Instruction):
+    """Move a vector between HBM and the on-chip vector buffers."""
+
+    direction: str  # "load" (HBM -> VB) or "store" (VB -> HBM)
+    name: str
+
+    def cycles(self, machine) -> int:
+        return PIPELINE_OVERHEAD + _ceil_div(
+            machine.vector_length(self.name), machine.c)
+
+
+@dataclass(frozen=True)
+class VecDup(Instruction):
+    """Duplicate a vector buffer into a CVB (Table 1 'Vector Duplication').
+
+    Cycle cost is the compressed CVB depth — the quantity the E_c
+    optimization minimizes.
+    """
+
+    src: str
+    cvb: str  # CVB bank name, e.g. the matrix it feeds ("P", "A", "At")
+
+    def cycles(self, machine) -> int:
+        return PIPELINE_OVERHEAD + machine.cvb_depth(self.cvb)
+
+
+@dataclass(frozen=True)
+class SpMV(Instruction):
+    """Multiply a streamed matrix with a CVB-resident vector.
+
+    Cycle cost is the scheduled pack count ``length(w_sched)`` — the
+    quantity the E_p optimization minimizes.
+    """
+
+    matrix: str
+    src: str
+    dst: str
+
+    def cycles(self, machine) -> int:
+        return PIPELINE_OVERHEAD + machine.spmv_cycles(self.matrix)
+
+
+@dataclass(frozen=True)
+class Control(Instruction):
+    """Exit the enclosing loop when ``reg < threshold_reg`` (Table 1)."""
+
+    reg: str
+    threshold_reg: str
+
+    def cycles(self, machine) -> int:
+        return 1
+
+
+@dataclass
+class Loop:
+    """A bounded loop; Control instructions inside may exit it early."""
+
+    body: list
+    max_iter: int
+    name: str = "loop"
+
+
+@dataclass
+class Program:
+    """A straight-line prologue + loop nest for the instruction ROM."""
+
+    instructions: list = field(default_factory=list)
+
+    def append(self, item) -> None:
+        self.instructions.append(item)
+
+    def flatten_count(self) -> int:
+        """Static instruction count (loops counted once)."""
+        def count(items):
+            total = 0
+            for item in items:
+                if isinstance(item, Loop):
+                    total += count(item.body)
+                else:
+                    total += 1
+            return total
+        return count(self.instructions)
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)

@@ -1,0 +1,226 @@
+"""Cycle-accurate functional simulator of the RSQP processing architecture.
+
+The machine executes a :class:`~repro.hw.isa.Program` numerically (numpy
+holds the buffer contents) while charging every instruction the cycle
+cost of §3.1 / Table 1. Because it runs the real numbers, integration
+tests can assert that the accelerator converges to the same solution as
+the reference software solver while the cycle counter provides the
+performance model.
+
+State:
+
+* **HBM** — named vectors (problem data, results) and the streamed
+  matrices (with their schedules).
+* **VB** — on-chip vector buffers, accessed sequentially at ``C``
+  elements/cycle.
+* **CVB** — compressed vector buffers, one bank group per streamed
+  matrix, holding the vector an SpMV multiplies.
+* **Scalar registers** — results of dot products and scalar arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from .isa import (Control, DataTransfer, Instruction, Loop, Program,
+                  ScalarOp, ScalarOpKind, SpMV, VecDup, VectorOp,
+                  VectorOpKind)
+
+__all__ = ["MatrixResource", "Machine", "ExecutionStats"]
+
+
+@dataclass
+class MatrixResource:
+    """A matrix streamed from HBM with its schedule and CVB layout."""
+
+    name: str
+    matrix: object        # CSRMatrix
+    spmv_cycles: int      # scheduled pack count (nnz + Ep) / C
+    cvb_depth: int        # compressed duplication depth
+
+
+@dataclass
+class ExecutionStats:
+    """Cycle accounting of one program run."""
+
+    total_cycles: int = 0
+    by_class: dict = field(default_factory=dict)
+    instructions_executed: int = 0
+    loop_iterations: dict = field(default_factory=dict)
+
+    def charge(self, kind: str, cycles: int) -> None:
+        self.total_cycles += cycles
+        self.by_class[kind] = self.by_class.get(kind, 0) + cycles
+        self.instructions_executed += 1
+
+
+class _LoopExit(Exception):
+    """Internal: raised by Control to exit the enclosing loop."""
+
+
+class Machine:
+    """The RSQP accelerator: instruction interpreter + cycle counter."""
+
+    def __init__(self, c: int, matrices: dict):
+        self.c = int(c)
+        self.matrices: dict[str, MatrixResource] = dict(matrices)
+        self.hbm: dict[str, np.ndarray] = {}
+        self.vb: dict[str, np.ndarray] = {}
+        self.cvb: dict[str, np.ndarray] = {}
+        self.scalars: dict[str, float] = {}
+        self.stats = ExecutionStats()
+
+    # -- state helpers ---------------------------------------------------
+    def write_hbm(self, name: str, values) -> None:
+        """Host-side write (CPU -> HBM), not charged to the accelerator."""
+        self.hbm[name] = np.asarray(values, dtype=np.float64).copy()
+
+    def read_hbm(self, name: str) -> np.ndarray:
+        return self.hbm[name].copy()
+
+    def set_scalar(self, name: str, value: float) -> None:
+        self.scalars[name] = float(value)
+
+    def vector_length(self, name: str) -> int:
+        for space in (self.vb, self.hbm, self.cvb):
+            if name in space:
+                return int(space[name].size)
+        raise SimulationError(f"unknown vector {name!r}")
+
+    def spmv_cycles(self, matrix: str) -> int:
+        return self.matrices[matrix].spmv_cycles
+
+    def cvb_depth(self, matrix: str) -> int:
+        return self.matrices[matrix].cvb_depth
+
+    def _vector(self, name: str) -> np.ndarray:
+        if name in self.vb:
+            return self.vb[name]
+        if name in self.cvb:
+            return self.cvb[name]
+        raise SimulationError(f"vector {name!r} not resident on chip")
+
+    def _scalar_or_literal(self, ref) -> float:
+        if isinstance(ref, str):
+            if ref not in self.scalars:
+                raise SimulationError(f"unknown scalar register {ref!r}")
+            return self.scalars[ref]
+        return float(ref)
+
+    # -- execution -------------------------------------------------------
+    def run(self, program: Program) -> ExecutionStats:
+        self._execute_block(program.instructions)
+        return self.stats
+
+    def _execute_block(self, items) -> None:
+        for item in items:
+            if isinstance(item, Loop):
+                self._execute_loop(item)
+            else:
+                self._execute_instruction(item)
+
+    def _execute_loop(self, loop: Loop) -> None:
+        iterations = 0
+        for _ in range(loop.max_iter):
+            try:
+                self._execute_block(loop.body)
+                iterations += 1
+            except _LoopExit:
+                iterations += 1
+                break
+        self.stats.loop_iterations[loop.name] = \
+            self.stats.loop_iterations.get(loop.name, 0) + iterations
+
+    def _execute_instruction(self, instr: Instruction) -> None:
+        cycles = instr.cycles(self)
+        self.stats.charge(type(instr).__name__, cycles)
+        if isinstance(instr, ScalarOp):
+            self._scalar_op(instr)
+        elif isinstance(instr, VectorOp):
+            self._vector_op(instr)
+        elif isinstance(instr, DataTransfer):
+            self._data_transfer(instr)
+        elif isinstance(instr, VecDup):
+            self.cvb[instr.cvb] = self._vector(instr.src).copy()
+        elif isinstance(instr, SpMV):
+            resource = self.matrices[instr.matrix]
+            src = self.cvb.get(instr.src)
+            if src is None:
+                raise SimulationError(
+                    f"SpMV source {instr.src!r} not in CVB")
+            self.vb[instr.dst] = resource.matrix.matvec(src)
+        elif isinstance(instr, Control):
+            value = self._scalar_or_literal(instr.reg)
+            threshold = self._scalar_or_literal(instr.threshold_reg)
+            if value < threshold:
+                raise _LoopExit()
+        else:
+            raise SimulationError(f"unknown instruction {instr!r}")
+
+    def _scalar_op(self, instr: ScalarOp) -> None:
+        a = self._scalar_or_literal(instr.src1)
+        b = self._scalar_or_literal(instr.src2) \
+            if instr.src2 is not None else None
+        if instr.op is ScalarOpKind.ADD:
+            out = a + b
+        elif instr.op is ScalarOpKind.SUB:
+            out = a - b
+        elif instr.op is ScalarOpKind.MUL:
+            out = a * b
+        elif instr.op is ScalarOpKind.DIV:
+            if b == 0.0:
+                raise SimulationError("scalar division by zero")
+            out = a / b
+        elif instr.op is ScalarOpKind.MAX:
+            out = max(a, b)
+        elif instr.op is ScalarOpKind.SQRT:
+            if a < 0.0:
+                raise SimulationError("sqrt of a negative scalar")
+            out = float(np.sqrt(a))
+        elif instr.op is ScalarOpKind.MOV:
+            out = a
+        else:  # pragma: no cover - enum is closed
+            raise SimulationError(f"unknown scalar op {instr.op}")
+        self.scalars[instr.dst] = float(out)
+
+    def _vector_op(self, instr: VectorOp) -> None:
+        kind = instr.op
+        if kind is VectorOpKind.DOT:
+            a = self._vector(instr.srcs[0])
+            b = self._vector(instr.srcs[1])
+            self.scalars[instr.dst] = float(np.dot(a, b))
+            return
+        if kind is VectorOpKind.AXPBY:
+            alpha = self._scalar_or_literal(instr.alpha)
+            beta = self._scalar_or_literal(instr.beta)
+            out = (alpha * self._vector(instr.srcs[0])
+                   + beta * self._vector(instr.srcs[1]))
+        elif kind is VectorOpKind.SCALE_ADD:
+            alpha = self._scalar_or_literal(instr.alpha)
+            out = (self._vector(instr.srcs[0])
+                   + alpha * self._vector(instr.srcs[1]))
+        elif kind is VectorOpKind.EWMUL:
+            out = self._vector(instr.srcs[0]) * self._vector(instr.srcs[1])
+        elif kind is VectorOpKind.CLIP:
+            out = np.clip(self._vector(instr.srcs[0]),
+                          self._vector(instr.srcs[1]),
+                          self._vector(instr.srcs[2]))
+        elif kind is VectorOpKind.COPY:
+            out = self._vector(instr.srcs[0]).copy()
+        else:  # pragma: no cover - enum is closed
+            raise SimulationError(f"unknown vector op {kind}")
+        self.vb[instr.dst] = out
+
+    def _data_transfer(self, instr: DataTransfer) -> None:
+        if instr.direction == "load":
+            if instr.name not in self.hbm:
+                raise SimulationError(f"HBM vector {instr.name!r} missing")
+            self.vb[instr.name] = self.hbm[instr.name].copy()
+        elif instr.direction == "store":
+            self.hbm[instr.name] = self._vector(instr.name).copy()
+        else:
+            raise SimulationError(
+                f"bad transfer direction {instr.direction!r}")

@@ -1,0 +1,130 @@
+"""HBM memory-system model (paper §3.1).
+
+The U50's HBM is the data exchange between host and accelerator; the
+problem matrices are *partitioned across HBM channels* so the SpMV
+engine can absorb ``C`` non-zeros per cycle. This module checks that a
+chosen architecture is actually feedable: each streamed non-zero costs
+8 bytes per cycle (a float32 value plus a packed column index), so a
+width-``C`` engine at ``f`` MHz demands ``8 C f`` MB/s of sequential
+read bandwidth, spread over enough channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .frequency import fmax_mhz
+
+__all__ = ["HBMConfig", "U50_HBM", "MatrixPlacement", "HBMPlan",
+           "plan_hbm_layout"]
+
+#: Bytes streamed per matrix non-zero: float32 value + 32-bit index.
+BYTES_PER_NNZ = 8
+#: Bytes per dense vector element moved by data transfers.
+BYTES_PER_ELEMENT = 4
+
+
+@dataclass(frozen=True)
+class HBMConfig:
+    """One HBM subsystem."""
+
+    channels: int
+    bytes_per_s_per_channel: float
+    capacity_bytes: int
+
+    @property
+    def total_bandwidth(self) -> float:
+        return self.channels * self.bytes_per_s_per_channel
+
+
+#: AMD-Xilinx U50: 8 GB HBM2, 32 pseudo-channels, ~14.4 GB/s each
+#: (~460 GB/s aggregate).
+U50_HBM = HBMConfig(channels=32, bytes_per_s_per_channel=14.4e9,
+                    capacity_bytes=8 * 1024 ** 3)
+
+
+@dataclass(frozen=True)
+class MatrixPlacement:
+    """Channel assignment for one streamed matrix."""
+
+    name: str
+    nnz: int
+    bytes_total: int
+    channels: tuple            # channel indices
+    bandwidth_needed: float    # bytes/s while streaming
+
+    @property
+    def channels_used(self) -> int:
+        return len(self.channels)
+
+
+@dataclass
+class HBMPlan:
+    """Partitioning of all matrix streams over the HBM channels."""
+
+    config: HBMConfig
+    placements: dict           # name -> MatrixPlacement
+    vector_bytes: int
+    feasible: bool
+
+    @property
+    def bytes_total(self) -> int:
+        return (sum(p.bytes_total for p in self.placements.values())
+                + self.vector_bytes)
+
+    @property
+    def capacity_utilization(self) -> float:
+        return self.bytes_total / self.config.capacity_bytes
+
+    def summary(self) -> str:
+        lines = [f"HBM plan ({self.config.channels} channels, "
+                 f"{self.config.total_bandwidth / 1e9:.0f} GB/s): "
+                 f"{'feasible' if self.feasible else 'INFEASIBLE'}"]
+        for name, p in self.placements.items():
+            lines.append(
+                f"  {name}: {p.nnz} nnz, {p.bytes_total} B over "
+                f"{p.channels_used} channel(s) "
+                f"({p.bandwidth_needed / 1e9:.1f} GB/s burst)")
+        lines.append(f"  capacity used: "
+                     f"{100 * self.capacity_utilization:.2f} %")
+        return "\n".join(lines)
+
+
+def plan_hbm_layout(customization, *, config: HBMConfig = U50_HBM,
+                    clock_mhz: float | None = None) -> HBMPlan:
+    """Partition a customization's matrix streams across HBM channels.
+
+    Channels are assigned round-robin, each matrix receiving enough
+    channels to sustain its burst bandwidth ``8 C f`` (matrices stream
+    one at a time in the instruction sequence, so channel sets may be
+    sized per matrix independently; they still must exist physically,
+    hence the per-matrix feasibility check against the channel count).
+    """
+    if clock_mhz is None:
+        clock_mhz = fmax_mhz(customization.architecture)
+    c = customization.c
+    burst = BYTES_PER_NNZ * c * clock_mhz * 1e6
+
+    placements: dict[str, MatrixPlacement] = {}
+    feasible = True
+    next_channel = 0
+    for name, matrix_custom in customization.matrices.items():
+        needed = max(1, int(-(-burst // config.bytes_per_s_per_channel)))
+        if needed > config.channels:
+            feasible = False
+            needed = config.channels
+        channels = tuple((next_channel + k) % config.channels
+                         for k in range(needed))
+        next_channel = (next_channel + needed) % config.channels
+        placements[name] = MatrixPlacement(
+            name=name, nnz=matrix_custom.nnz,
+            bytes_total=BYTES_PER_NNZ * matrix_custom.nnz,
+            channels=channels, bandwidth_needed=burst)
+
+    problem = customization.problem
+    vector_bytes = BYTES_PER_ELEMENT * 8 * (problem.n + problem.m)
+    plan = HBMPlan(config=config, placements=placements,
+                   vector_bytes=vector_bytes, feasible=feasible)
+    if plan.bytes_total > config.capacity_bytes:
+        plan.feasible = False
+    return plan

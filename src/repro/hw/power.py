@@ -1,0 +1,24 @@
+"""FPGA power model.
+
+The paper reports the U50 board drawing a steady ~19 W across the whole
+benchmark (§5.4) against a 75 W TDP; we model a small static floor plus
+a utilization-dependent dynamic term that stays near the measured value.
+"""
+
+from __future__ import annotations
+
+from .resources import U50_LIMITS, estimate_resources
+
+__all__ = ["fpga_power_watts", "FPGA_STATIC_W", "FPGA_DYNAMIC_MAX_W"]
+
+#: Static board power (HBM, shell, transceivers).
+FPGA_STATIC_W = 18.0
+#: Dynamic power at full logic utilization.
+FPGA_DYNAMIC_MAX_W = 20.0
+
+
+def fpga_power_watts(architecture) -> float:
+    """Board power of a running architecture (paper measures ~19 W)."""
+    est = estimate_resources(architecture)
+    util = max(est.utilization(U50_LIMITS).values())
+    return FPGA_STATIC_W + FPGA_DYNAMIC_MAX_W * min(util, 1.0)

@@ -1,0 +1,68 @@
+"""FPGA resource model (DSP/FF/LUT), calibrated against paper Table 3.
+
+The fits are linear in interpretable quantities:
+
+* **DSP** — exactly ``5 C`` in every Table 3 row (3 DSPs per
+  single-precision multiply-accumulate lane at the paper's stated
+  3-DSP/flop density, plus the vector engine's share).
+* **FF** — a per-lane pipeline cost plus a per-output-tap cost:
+  ``FF ~ 612.6 C + 234.5 total_outputs + 2181`` (max error ~7 % over
+  Table 3).
+* **LUT** — adds the routing crossbar cross-term that also limits
+  ``f_max``: ``LUT ~ 288 C + 179 total_outputs + 248 (max_outputs x
+  C / 64) + 3766`` (max error ~8 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ResourceEstimate", "estimate_resources", "U50_LIMITS",
+           "fits_device"]
+
+#: AMD-Xilinx Alveo U50 resource capacity (paper Table 2 platform).
+U50_LIMITS = {"dsp": 5952, "ff": 1_743_360, "lut": 871_680}
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated FPGA resource usage of one architecture."""
+
+    dsp: int
+    ff: int
+    lut: int
+
+    def utilization(self, limits: dict = None) -> dict:
+        limits = limits if limits is not None else U50_LIMITS
+        return {key: getattr(self, key) / limits[key]
+                for key in ("dsp", "ff", "lut")}
+
+
+# Calibrated coefficients (see module docstring).
+_FF_PER_LANE = 612.6
+_FF_PER_OUTPUT = 234.5
+_FF_BASE = 2181.0
+_LUT_PER_LANE = 288.0
+_LUT_PER_OUTPUT = 179.0
+_LUT_ROUTING = 248.0 / 64.0
+_LUT_BASE = 3766.0
+_DSP_PER_LANE = 5
+
+
+def estimate_resources(architecture) -> ResourceEstimate:
+    """Estimate DSP/FF/LUT of an :class:`Architecture`."""
+    c = architecture.c
+    total = architecture.total_outputs
+    widest = architecture.max_outputs
+    ff = _FF_PER_LANE * c + _FF_PER_OUTPUT * total + _FF_BASE
+    lut = (_LUT_PER_LANE * c + _LUT_PER_OUTPUT * total
+           + _LUT_ROUTING * widest * c + _LUT_BASE)
+    return ResourceEstimate(dsp=_DSP_PER_LANE * c, ff=int(round(ff)),
+                            lut=int(round(lut)))
+
+
+def fits_device(architecture, limits: dict = None) -> bool:
+    """Whether the architecture fits the target device (U50 default)."""
+    limits = limits if limits is not None else U50_LIMITS
+    est = estimate_resources(architecture)
+    return all(getattr(est, key) <= limits[key] for key in limits)

@@ -1,0 +1,28 @@
+"""Direct (LDL^T) and iterative (PCG) sparse linear solvers."""
+
+from .elimtree import UNKNOWN, etree, postorder
+from .ldl import (LDLFactor, SymbolicFactor, ldl_factor, ldl_solve,
+                  ldl_symbolic)
+from .ordering import (minimum_degree, natural, reverse_cuthill_mckee,
+                       symmetric_adjacency)
+from .pcg import (IdentityPreconditioner, JacobiPreconditioner, PCGResult,
+                  pcg)
+
+__all__ = [
+    "etree",
+    "postorder",
+    "UNKNOWN",
+    "LDLFactor",
+    "SymbolicFactor",
+    "ldl_symbolic",
+    "ldl_factor",
+    "ldl_solve",
+    "minimum_degree",
+    "reverse_cuthill_mckee",
+    "natural",
+    "symmetric_adjacency",
+    "PCGResult",
+    "pcg",
+    "JacobiPreconditioner",
+    "IdentityPreconditioner",
+]

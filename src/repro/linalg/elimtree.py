@@ -1,0 +1,97 @@
+"""Elimination tree and symbolic analysis for sparse LDL^T.
+
+Follows the QDLDL approach used by OSQP: the input is the *upper
+triangle* (including every diagonal entry) of a symmetric quasi-definite
+matrix in CSC form. The elimination tree parent array and per-column
+non-zero counts of the Cholesky/LDL factor ``L`` are computed in one
+pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import FactorizationError, ShapeError
+from ..sparse import CSCMatrix
+
+__all__ = ["etree", "UNKNOWN"]
+
+#: Sentinel parent value for tree roots.
+UNKNOWN = -1
+
+
+def etree(upper: CSCMatrix):
+    """Compute the elimination tree of an upper-triangular CSC matrix.
+
+    Parameters
+    ----------
+    upper:
+        Upper triangle (with diagonal) of a symmetric matrix.
+
+    Returns
+    -------
+    parent:
+        ``parent[i]`` is the elimination-tree parent of node ``i`` or
+        :data:`UNKNOWN` for roots.
+    l_colnnz:
+        Number of below-diagonal non-zeros in each column of ``L``.
+
+    Raises
+    ------
+    FactorizationError:
+        If an entry lies below the diagonal or a diagonal entry is
+        missing (QDLDL imposes the same requirements).
+    """
+    n = upper.shape[0]
+    if upper.shape[0] != upper.shape[1]:
+        raise ShapeError("elimination tree requires a square matrix")
+    parent = np.full(n, UNKNOWN, dtype=np.int64)
+    l_colnnz = np.zeros(n, dtype=np.int64)
+    work = np.full(n, UNKNOWN, dtype=np.int64)
+    indptr, indices = upper.indptr, upper.indices
+    for j in range(n):
+        work[j] = j
+        start, end = indptr[j], indptr[j + 1]
+        if start == end or indices[end - 1] != j:
+            raise FactorizationError(
+                f"column {j} has no diagonal entry (required for LDL^T)")
+        for p in range(start, end):
+            i = indices[p]
+            if i > j:
+                raise FactorizationError(
+                    f"entry ({i}, {j}) below the diagonal; "
+                    "input must be upper triangular")
+            while work[i] != j:
+                if parent[i] == UNKNOWN:
+                    parent[i] = j
+                l_colnnz[i] += 1
+                work[i] = j
+                i = parent[i]
+    return parent, l_colnnz
+
+
+def postorder(parent: np.ndarray) -> np.ndarray:
+    """Post-order the elimination tree (children before parents)."""
+    n = parent.size
+    children: list[list[int]] = [[] for _ in range(n)]
+    roots = []
+    for i in range(n):
+        if parent[i] == UNKNOWN:
+            roots.append(i)
+        else:
+            children[parent[i]].append(i)
+    order = np.empty(n, dtype=np.int64)
+    k = 0
+    stack: list[tuple[int, bool]] = [(r, False) for r in reversed(roots)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order[k] = node
+            k += 1
+        else:
+            stack.append((node, True))
+            for c in reversed(children[node]):
+                stack.append((c, False))
+    if k != n:
+        raise FactorizationError("elimination tree is not a forest over all nodes")
+    return order

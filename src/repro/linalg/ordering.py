@@ -1,0 +1,100 @@
+"""Fill-reducing orderings for sparse symmetric factorization.
+
+OSQP uses AMD; we implement a plain greedy minimum-degree ordering plus
+reverse Cuthill-McKee, which are sufficient for the problem sizes the
+pure-Python reproduction factorizes directly (the paper's hot path is the
+PCG *indirect* solver, which needs no ordering).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..sparse import CSCMatrix
+
+__all__ = ["symmetric_adjacency", "minimum_degree", "reverse_cuthill_mckee",
+           "natural"]
+
+
+def symmetric_adjacency(upper: CSCMatrix) -> list[set]:
+    """Adjacency sets of the symmetric pattern (diagonal excluded)."""
+    n = upper.shape[0]
+    if upper.shape[0] != upper.shape[1]:
+        raise ShapeError("adjacency requires a square matrix")
+    adj: list[set] = [set() for _ in range(n)]
+    rows, cols, _ = upper.to_coo()
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        if i != j:
+            adj[i].add(j)
+            adj[j].add(i)
+    return adj
+
+
+def natural(n: int) -> np.ndarray:
+    """The identity ordering."""
+    return np.arange(n, dtype=np.int64)
+
+
+def minimum_degree(upper: CSCMatrix) -> np.ndarray:
+    """Greedy minimum-degree ordering with clique-update elimination.
+
+    Returns ``perm`` such that eliminating variables in the order
+    ``perm[0], perm[1], ...`` keeps fill low; use it as a symmetric
+    permutation before :func:`repro.linalg.ldl.ldl_factor`.
+    """
+    adj = symmetric_adjacency(upper)
+    n = len(adj)
+    eliminated = np.zeros(n, dtype=bool)
+    heap = [(len(adj[i]), i) for i in range(n)]
+    heapq.heapify(heap)
+    perm = np.empty(n, dtype=np.int64)
+    k = 0
+    while heap:
+        deg, node = heapq.heappop(heap)
+        if eliminated[node] or deg != len(adj[node]):
+            continue  # stale heap entry
+        eliminated[node] = True
+        perm[k] = node
+        k += 1
+        neighbors = adj[node]
+        # Clique update: connect the remaining neighbors pairwise.
+        for u in neighbors:
+            adj[u].discard(node)
+        live = [u for u in neighbors if not eliminated[u]]
+        for idx, u in enumerate(live):
+            for v in live[idx + 1:]:
+                if v not in adj[u]:
+                    adj[u].add(v)
+                    adj[v].add(u)
+        for u in live:
+            heapq.heappush(heap, (len(adj[u]), u))
+        adj[node] = set()
+    if k != n:
+        raise ShapeError("ordering did not visit every node")
+    return perm
+
+
+def reverse_cuthill_mckee(upper: CSCMatrix) -> np.ndarray:
+    """Reverse Cuthill-McKee bandwidth-reducing ordering."""
+    adj = symmetric_adjacency(upper)
+    n = len(adj)
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    degrees = np.array([len(a) for a in adj])
+    for start in np.argsort(degrees):
+        if visited[start]:
+            continue
+        visited[start] = True
+        queue = [int(start)]
+        while queue:
+            node = queue.pop(0)
+            order.append(node)
+            nbrs = sorted((u for u in adj[node] if not visited[u]),
+                          key=lambda u: len(adj[u]))
+            for u in nbrs:
+                visited[u] = True
+            queue.extend(nbrs)
+    return np.array(order[::-1], dtype=np.int64)

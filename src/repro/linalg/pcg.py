@@ -1,0 +1,136 @@
+"""Preconditioned Conjugate Gradient — Algorithm 2 of the RSQP paper.
+
+This is the reference (software) implementation of the inner solver that
+RSQP accelerates. The same algorithm, lowered to the RSQP instruction
+set, runs on the hardware model in :mod:`repro.hw`; integration tests
+assert both produce the same iterates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConvergenceError
+
+__all__ = ["PCGResult", "pcg", "JacobiPreconditioner", "IdentityPreconditioner"]
+
+
+@dataclass
+class PCGResult:
+    """Outcome of a PCG solve."""
+
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+    residual_history: list = field(default_factory=list)
+
+
+class IdentityPreconditioner:
+    """No-op preconditioner: ``M = I``."""
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return r.copy()
+
+
+class JacobiPreconditioner:
+    """Diagonal (Jacobi) preconditioner ``M = diag(K)``.
+
+    The reduced KKT operator exposes its diagonal without forming ``K``
+    (see :class:`repro.qp.kkt.ReducedKKTOperator`).
+    """
+
+    def __init__(self, diagonal):
+        diagonal = np.asarray(diagonal, dtype=np.float64)
+        if np.any(diagonal <= 0):
+            raise ValueError("Jacobi preconditioner needs a positive diagonal")
+        self._inv = 1.0 / diagonal
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return self._inv * r
+
+
+def pcg(operator, b, *, x0=None, preconditioner=None, eps: float = 1e-7,
+        max_iter: int = 2000, raise_on_fail: bool = False) -> PCGResult:
+    """Solve ``K x = b`` for a positive-definite operator ``K``.
+
+    Parameters
+    ----------
+    operator:
+        Object with a ``matvec(x)`` method implementing ``K @ x``.
+    b:
+        Right-hand side.
+    x0:
+        Initial iterate (warm start); zeros by default.
+    preconditioner:
+        Object with ``apply(r)``; Jacobi on ``diag(K)`` when the operator
+        exposes ``diagonal()`` and the identity otherwise.
+    eps:
+        Relative termination tolerance ``||r|| < eps * ||b||``.
+    max_iter:
+        Iteration budget.
+    raise_on_fail:
+        Raise :class:`ConvergenceError` instead of returning a
+        non-converged result.
+
+    Notes
+    -----
+    Follows Algorithm 2 of the paper: residual recurrence
+    ``r <- r + lambda K p`` with ``r0 = K x0 - b`` (so the solution drives
+    ``r`` to zero from that convention's sign).
+    """
+    b = np.asarray(b, dtype=np.float64)
+    n = b.size
+    if preconditioner is None:
+        if hasattr(operator, "diagonal"):
+            preconditioner = JacobiPreconditioner(operator.diagonal())
+        else:
+            preconditioner = IdentityPreconditioner()
+
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        return PCGResult(x=np.zeros(n), iterations=0, residual_norm=0.0,
+                         converged=True, residual_history=[0.0])
+
+    r = operator.matvec(x) - b
+    d = preconditioner.apply(r)
+    p = -d
+    rd = float(np.dot(r, d))
+    history = [float(np.linalg.norm(r))]
+    if history[-1] < eps * b_norm:
+        return PCGResult(x=x, iterations=0, residual_norm=history[-1],
+                         converged=True, residual_history=history)
+
+    iterations = 0
+    converged = False
+    for _ in range(max_iter):
+        kp = operator.matvec(p)
+        pkp = float(np.dot(p, kp))
+        if pkp <= 0.0:
+            raise ConvergenceError(
+                "operator is not positive definite along the search "
+                f"direction (p^T K p = {pkp:.3e})")
+        lam = rd / pkp
+        x = x + lam * p
+        r = r + lam * kp
+        iterations += 1
+        res_norm = float(np.linalg.norm(r))
+        history.append(res_norm)
+        if res_norm < eps * b_norm:
+            converged = True
+            break
+        d = preconditioner.apply(r)
+        rd_next = float(np.dot(r, d))
+        mu = rd_next / rd
+        rd = rd_next
+        p = -d + mu * p
+
+    if not converged and raise_on_fail:
+        raise ConvergenceError(
+            f"PCG did not converge in {max_iter} iterations "
+            f"(residual {history[-1]:.3e}, target {eps * b_norm:.3e})")
+    return PCGResult(x=x, iterations=iterations, residual_norm=history[-1],
+                     converged=converged, residual_history=history)

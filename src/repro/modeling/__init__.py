@@ -1,0 +1,26 @@
+"""A small CVXPY-style modeling layer compiling to the QP standard form.
+
+The paper integrates RSQP with CVXPY; this subpackage provides the
+modeling surface a downstream user needs to reach the solver (and hence
+the accelerator) without hand-assembling ``(P, q, A, l, u)``.
+"""
+
+from .expression import Constraint, Expression, Variable, as_expression
+from .objective import (Minimize, QuadObjective, between, dot, quad_form,
+                        sum_squares)
+from .problem import CompiledModel, ModelProblem
+
+__all__ = [
+    "Variable",
+    "Expression",
+    "Constraint",
+    "as_expression",
+    "Minimize",
+    "QuadObjective",
+    "quad_form",
+    "sum_squares",
+    "dot",
+    "between",
+    "ModelProblem",
+    "CompiledModel",
+]

@@ -1,0 +1,201 @@
+"""Affine expressions over optimization variables.
+
+A deliberately small modeling layer in the spirit of CVXPY (which the
+paper integrates RSQP with): affine vector expressions built from
+:class:`Variable` leaves by matrix multiplication, addition and scaling.
+Every expression is canonicalized on the fly as
+
+.. math::  e(v_1, ..., v_k) = \\sum_i M_i v_i + b
+
+with sparse coefficient blocks ``M_i`` — exactly the form the compiler
+in :mod:`repro.modeling.problem` stacks into the QP's ``A`` matrix.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..sparse import CSRMatrix, eye
+
+__all__ = ["Variable", "Expression", "as_expression", "Constraint"]
+
+_variable_counter = itertools.count()
+
+
+class Expression:
+    """An affine vector expression ``sum_i M_i v_i + b``."""
+
+    #: Make numpy defer binary operations (including @) to our
+    #: reflected methods instead of broadcasting elementwise.
+    __array_ufunc__ = None
+
+    def __init__(self, coeffs: dict, const: np.ndarray):
+        self.coeffs = dict(coeffs)   # Variable -> CSRMatrix
+        self.const = np.asarray(const, dtype=np.float64)
+        for var, mat in self.coeffs.items():
+            if mat.shape != (self.size, var.size):
+                raise ShapeError(
+                    f"coefficient of {var.name} has shape {mat.shape}, "
+                    f"expected {(self.size, var.size)}")
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return int(self.const.size)
+
+    @property
+    def variables(self) -> tuple:
+        return tuple(self.coeffs)
+
+    def value(self) -> np.ndarray:
+        """Evaluate at the variables' current values."""
+        out = self.const.copy()
+        for var, mat in self.coeffs.items():
+            if var.value is None:
+                raise ValueError(f"variable {var.name} has no value yet")
+            out += mat.matvec(var.value)
+        return out
+
+    # -- algebra ---------------------------------------------------------
+    def __add__(self, other):
+        other = as_expression(other, size=self.size)
+        if other.size != self.size:
+            raise ShapeError("added expressions must have equal sizes")
+        coeffs = dict(self.coeffs)
+        for var, mat in other.coeffs.items():
+            coeffs[var] = coeffs[var] + mat if var in coeffs else mat
+        return Expression(coeffs, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        return self * -1.0
+
+    def __sub__(self, other):
+        return self + (as_expression(other, size=self.size) * -1.0)
+
+    def __rsub__(self, other):
+        return as_expression(other, size=self.size) + (self * -1.0)
+
+    def __mul__(self, scalar):
+        if not np.isscalar(scalar):
+            return NotImplemented
+        scalar = float(scalar)
+        return Expression({v: scalar * m for v, m in self.coeffs.items()},
+                          scalar * self.const)
+
+    __rmul__ = __mul__
+
+    def __rmatmul__(self, matrix):
+        """``M @ expr`` for a dense array or CSRMatrix ``M``."""
+        if isinstance(matrix, CSRMatrix):
+            mat = matrix
+        else:
+            mat = CSRMatrix.from_dense(np.atleast_2d(
+                np.asarray(matrix, dtype=np.float64)))
+        if mat.shape[1] != self.size:
+            raise ShapeError(
+                f"matrix with {mat.shape[1]} columns cannot multiply an "
+                f"expression of size {self.size}")
+        coeffs = {}
+        for var, block in self.coeffs.items():
+            coeffs[var] = mat.matmul(block)
+        return Expression(coeffs, mat.matvec(self.const))
+
+    # -- comparisons build constraints ------------------------------------
+    def __le__(self, other):
+        rhs = _as_vector(other, self.size)
+        return Constraint(self, np.full(self.size, -np.inf), rhs)
+
+    def __ge__(self, other):
+        rhs = _as_vector(other, self.size)
+        return Constraint(self, rhs, np.full(self.size, np.inf))
+
+    def __eq__(self, other):  # noqa: A003 - modeling DSL semantics
+        rhs = _as_vector(other, self.size)
+        return Constraint(self, rhs, rhs.copy())
+
+    __hash__ = None  # expressions are not hashable (== builds constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(v.name for v in self.coeffs)
+        return f"Expression(size={self.size}, vars=[{names}])"
+
+
+class Variable(Expression):
+    """An optimization variable of dimension ``n`` (a leaf expression)."""
+
+    def __init__(self, n: int, name: str | None = None):
+        if n < 1:
+            raise ShapeError("variable dimension must be positive")
+        self._n = int(n)
+        self.name = name if name is not None \
+            else f"var{next(_variable_counter)}"
+        self.value: np.ndarray | None = None
+        super().__init__({self: eye(self._n)}, np.zeros(self._n))
+
+    @property
+    def size(self) -> int:
+        return self._n
+
+    def __hash__(self):
+        return id(self)
+
+    def __eq__(self, other):
+        # As an Expression, == must build a constraint; identity is by
+        # object. Dictionary keying uses __hash__ (id) + this __eq__,
+        # so return True only for the same object to keep dict behavior
+        # sane while still allowing `x == rhs` constraints.
+        if other is self:
+            return True
+        return Expression.__eq__(self, other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self.name}, n={self._n})"
+
+
+class Constraint:
+    """A two-sided affine constraint ``l <= e <= u``."""
+
+    def __init__(self, expr: Expression, lower, upper):
+        self.expr = expr
+        self.lower = np.asarray(lower, dtype=np.float64)
+        self.upper = np.asarray(upper, dtype=np.float64)
+        if self.lower.shape != (expr.size,) \
+                or self.upper.shape != (expr.size,):
+            raise ShapeError("constraint bounds must match the expression")
+        if np.any(self.lower > self.upper):
+            raise ShapeError("constraint bounds cross (l > u)")
+
+    @property
+    def size(self) -> int:
+        return self.expr.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Constraint(size={self.size})"
+
+
+def as_expression(value, *, size: int | None = None) -> Expression:
+    """Coerce a constant (scalar or vector) or Expression."""
+    if isinstance(value, Expression):
+        return value
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        if size is None:
+            raise ShapeError("cannot infer the size of a scalar constant")
+        arr = np.full(size, float(arr))
+    if arr.ndim != 1:
+        raise ShapeError("constants must be scalars or vectors")
+    return Expression({}, arr)
+
+
+def _as_vector(value, size: int) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        return np.full(size, float(arr))
+    if arr.shape != (size,):
+        raise ShapeError(f"bound must be scalar or length {size}")
+    return arr.copy()

@@ -1,0 +1,140 @@
+"""Quadratic objectives: quad_form, sum_squares, linear terms.
+
+Objectives accumulate three kinds of terms, all of which the compiler
+in :mod:`repro.modeling.problem` can lower to the QP standard form:
+
+* ``quad_form(x, P)`` — ``x' P x`` on a single variable (``P`` PSD),
+* ``sum_squares(e)`` — ``||e||^2`` of any affine expression (lowered via
+  an auxiliary variable ``y = e``), and
+* ``dot(c, e)`` — linear terms (plus constants).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..sparse import CSRMatrix
+from .expression import Expression, Variable, as_expression
+
+__all__ = ["QuadObjective", "Minimize", "quad_form", "sum_squares", "dot",
+           "between"]
+
+
+class QuadObjective:
+    """A sum of quadratic, squared-norm, linear and constant terms."""
+
+    def __init__(self, quad_terms=(), square_terms=(), linear_terms=(),
+                 constant: float = 0.0):
+        # [(variable, P CSRMatrix, weight)]
+        self.quad_terms = list(quad_terms)
+        # [(affine Expression, weight)]
+        self.square_terms = list(square_terms)
+        # [(coefficient vector, affine Expression)]
+        self.linear_terms = list(linear_terms)
+        self.constant = float(constant)
+
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        if np.isscalar(other):
+            return QuadObjective(self.quad_terms, self.square_terms,
+                                 self.linear_terms,
+                                 self.constant + float(other))
+        if isinstance(other, QuadObjective):
+            return QuadObjective(self.quad_terms + other.quad_terms,
+                                 self.square_terms + other.square_terms,
+                                 self.linear_terms + other.linear_terms,
+                                 self.constant + other.constant)
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __mul__(self, scalar):
+        if not np.isscalar(scalar):
+            return NotImplemented
+        w = float(scalar)
+        if w < 0:
+            raise ShapeError("objective terms must keep convexity "
+                             "(non-negative weights)")
+        return QuadObjective(
+            [(v, p, weight * w) for v, p, weight in self.quad_terms],
+            [(e, weight * w) for e, weight in self.square_terms],
+            [(c * w, e) for c, e in self.linear_terms],
+            self.constant * w)
+
+    __rmul__ = __mul__
+
+    def __sub__(self, other):
+        if np.isscalar(other):
+            return self + (-float(other))
+        return NotImplemented
+
+    def variables(self) -> list:
+        """All variables referenced, in first-appearance order."""
+        seen: dict[Variable, None] = {}
+        for var, _, _ in self.quad_terms:
+            seen.setdefault(var, None)
+        for expr, _ in self.square_terms:
+            for var in expr.variables:
+                seen.setdefault(var, None)
+        for _, expr in self.linear_terms:
+            for var in expr.variables:
+                seen.setdefault(var, None)
+        return list(seen)
+
+
+class Minimize(QuadObjective):
+    """Wrapper marking an objective for minimization."""
+
+    def __init__(self, objective):
+        if np.isscalar(objective):
+            super().__init__(constant=float(objective))
+        elif isinstance(objective, QuadObjective):
+            super().__init__(objective.quad_terms, objective.square_terms,
+                             objective.linear_terms, objective.constant)
+        else:
+            raise ShapeError(
+                "Minimize expects a quadratic objective; build one from "
+                "quad_form / sum_squares / dot")
+
+
+def quad_form(x: Variable, p) -> QuadObjective:
+    """``x' P x`` for a single variable and symmetric PSD ``P``."""
+    if not isinstance(x, Variable):
+        raise ShapeError("quad_form takes a Variable directly; use "
+                         "sum_squares for general affine expressions")
+    if not isinstance(p, CSRMatrix):
+        p = CSRMatrix.from_dense(np.asarray(p, dtype=np.float64))
+    if p.shape != (x.size, x.size):
+        raise ShapeError(f"P must be {x.size}x{x.size}")
+    if not p.allclose(p.transpose(), atol=1e-10):
+        raise ShapeError("P must be symmetric")
+    return QuadObjective(quad_terms=[(x, p, 1.0)])
+
+
+def sum_squares(expr) -> QuadObjective:
+    """``||e||_2^2`` of an affine expression."""
+    expr = as_expression(expr)
+    return QuadObjective(square_terms=[(expr, 1.0)])
+
+
+def dot(c, expr) -> QuadObjective:
+    """Linear term ``c' e`` (constant vector ``c`` first)."""
+    if isinstance(c, Expression):
+        raise ShapeError("dot(c, e) takes a constant vector first")
+    expr = as_expression(expr)
+    coeff = np.asarray(c, dtype=np.float64)
+    if coeff.ndim == 0:
+        coeff = np.full(expr.size, float(coeff))
+    if coeff.shape != (expr.size,):
+        raise ShapeError("coefficient vector must match the expression")
+    return QuadObjective(linear_terms=[(coeff, expr)])
+
+
+def between(lower, expr, upper):
+    """Two-sided constraint ``l <= e <= u`` (chained ``<=`` does not
+    compose with numpy operands, so spell it explicitly)."""
+    from .expression import Constraint, _as_vector
+    expr = as_expression(expr)
+    return Constraint(expr, _as_vector(lower, expr.size),
+                      _as_vector(upper, expr.size))

@@ -1,0 +1,181 @@
+"""Compiling modeled problems to the QP standard form and solving them.
+
+The lowering is the standard epigraph construction CVXPY performs for
+OSQP:
+
+* every ``sum_squares(e)`` term introduces an auxiliary variable
+  ``y = e`` (equality rows) contributing ``2 w I`` to its ``P`` block
+  (our standard form minimizes ``1/2 x'Px``, so ``w ||e||^2`` becomes
+  ``1/2 y'(2wI)y``);
+* ``quad_form(x, P)`` contributes ``2 w P`` to the variable's block;
+* constraints stack beneath the auxiliary equalities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..qp import QProblem
+from ..solver import OSQPSettings, OSQPSolver
+from ..sparse import CSRMatrix, eye
+from .expression import Constraint, Expression, Variable
+from .objective import Minimize, QuadObjective
+
+__all__ = ["ModelProblem", "CompiledModel"]
+
+
+class CompiledModel:
+    """The QP standard form of a modeled problem plus the variable map."""
+
+    def __init__(self, qp: QProblem, offsets: dict, aux_size: int,
+                 constant: float):
+        self.qp = qp
+        self.offsets = offsets          # Variable -> (start, size)
+        self.aux_size = aux_size
+        self.constant = constant
+
+    def scatter(self, x: np.ndarray) -> None:
+        """Write a QP solution back into the model variables."""
+        for var, (start, size) in self.offsets.items():
+            var.value = x[start:start + size].copy()
+
+
+class ModelProblem:
+    """A modeled optimization problem: objective + constraint list.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.modeling import Variable, Minimize, sum_squares
+    >>> x = Variable(2, name="x")
+    >>> prob = ModelProblem(Minimize(sum_squares(x - np.ones(2))),
+    ...                     [x >= 0.0])
+    >>> result = prob.solve()
+    >>> bool(np.allclose(x.value, 1.0, atol=1e-3))
+    True
+    """
+
+    def __init__(self, objective: Minimize, constraints=()):
+        if not isinstance(objective, QuadObjective):
+            raise ShapeError("objective must be Minimize(...)")
+        self.objective = objective
+        self.constraints = list(constraints)
+        for con in self.constraints:
+            if not isinstance(con, Constraint):
+                raise ShapeError(f"not a constraint: {con!r}")
+        self.value: float | None = None
+        self.status = None
+
+    # ------------------------------------------------------------------
+    def _collect_variables(self) -> dict:
+        seen: dict[Variable, None] = {}
+        for var in self.objective.variables():
+            seen.setdefault(var, None)
+        for con in self.constraints:
+            for var in con.expr.variables:
+                seen.setdefault(var, None)
+        if not seen:
+            raise ShapeError("the problem references no variables")
+        offsets = {}
+        position = 0
+        for var in seen:
+            offsets[var] = (position, var.size)
+            position += var.size
+        return offsets
+
+    def compile(self) -> CompiledModel:
+        """Lower to the standard form ``min 1/2 x'Px + q'x, l<=Ax<=u``."""
+        offsets = self._collect_variables()
+        n_user = sum(size for _, size in offsets.values())
+
+        # Auxiliary variables for sum_squares terms.
+        aux_offsets = []
+        position = n_user
+        for expr, _ in self.objective.square_terms:
+            aux_offsets.append((position, expr.size))
+            position += expr.size
+        n_total = position
+
+        p_rows, p_cols, p_vals = [], [], []
+        q = np.zeros(n_total)
+        for var, p_mat, weight in self.objective.quad_terms:
+            start, _ = offsets[var]
+            r, c, v = p_mat.to_coo()
+            p_rows.append(r + start)
+            p_cols.append(c + start)
+            p_vals.append(2.0 * weight * v)
+        for (start, size), (_, weight) in zip(aux_offsets,
+                                              self.objective.square_terms):
+            idx = np.arange(start, start + size)
+            p_rows.append(idx)
+            p_cols.append(idx)
+            p_vals.append(np.full(size, 2.0 * weight))
+        for coeff, expr in self.objective.linear_terms:
+            for var, block in expr.coeffs.items():
+                start, _ = offsets[var]
+                q[start:start + var.size] += block.rmatvec(coeff)
+
+        constant = self.objective.constant
+        for coeff, expr in self.objective.linear_terms:
+            constant += float(np.dot(coeff, expr.const))
+
+        # Constraint rows: aux equalities first, then user constraints.
+        a_rows, a_cols, a_vals = [], [], []
+        lowers, uppers = [], []
+        row = 0
+        for (start, size), (expr, _) in zip(aux_offsets,
+                                            self.objective.square_terms):
+            # e - y = -const  (i.e. y = e)
+            for var, block in expr.coeffs.items():
+                vstart, _ = offsets[var]
+                r, c, v = block.to_coo()
+                a_rows.append(r + row)
+                a_cols.append(c + vstart)
+                a_vals.append(v)
+            idx = np.arange(size)
+            a_rows.append(idx + row)
+            a_cols.append(np.arange(start, start + size))
+            a_vals.append(np.full(size, -1.0))
+            lowers.append(-expr.const)
+            uppers.append(-expr.const)
+            row += size
+        for con in self.constraints:
+            for var, block in con.expr.coeffs.items():
+                vstart, _ = offsets[var]
+                r, c, v = block.to_coo()
+                a_rows.append(r + row)
+                a_cols.append(c + vstart)
+                a_vals.append(v)
+            lowers.append(con.lower - con.expr.const)
+            uppers.append(con.upper - con.expr.const)
+            row += con.size
+
+        p_mat = CSRMatrix.from_coo(
+            np.concatenate(p_rows) if p_rows else np.zeros(0, dtype=int),
+            np.concatenate(p_cols) if p_cols else np.zeros(0, dtype=int),
+            np.concatenate(p_vals) if p_vals else np.zeros(0),
+            (n_total, n_total))
+        a_mat = CSRMatrix.from_coo(
+            np.concatenate(a_rows) if a_rows else np.zeros(0, dtype=int),
+            np.concatenate(a_cols) if a_cols else np.zeros(0, dtype=int),
+            np.concatenate(a_vals) if a_vals else np.zeros(0),
+            (row, n_total))
+        l = np.concatenate(lowers) if lowers else np.zeros(0)
+        u = np.concatenate(uppers) if uppers else np.zeros(0)
+        qp = QProblem(P=p_mat, q=q, A=a_mat, l=l, u=u, name="modeled")
+        return CompiledModel(qp=qp, offsets=offsets,
+                             aux_size=n_total - n_user, constant=constant)
+
+    def solve(self, settings: OSQPSettings | None = None):
+        """Compile, solve, scatter values; returns the solver result."""
+        compiled = self.compile()
+        if settings is None:
+            settings = OSQPSettings(eps_abs=1e-6, eps_rel=1e-6,
+                                    max_iter=20000, polish=True)
+        result = OSQPSolver(compiled.qp, settings).solve()
+        self.status = result.status
+        if result.status.is_optimal:
+            compiled.scatter(result.x)
+            self.value = result.info.obj_val + compiled.constant
+        return result

@@ -1,0 +1,27 @@
+"""QP benchmark problem generators (the paper's 6 application domains)."""
+
+from .control import generate_control, mpc_matrices
+from .eqqp import generate_eqqp, random_sparse_spd
+from .huber import generate_huber
+from .lasso import generate_lasso
+from .portfolio import generate_portfolio
+from .suite import (FAMILIES, PROBLEMS_PER_FAMILY, SuiteEntry,
+                    benchmark_suite, generate, suite_sizes)
+from .svm import generate_svm
+
+__all__ = [
+    "generate_portfolio",
+    "generate_lasso",
+    "generate_huber",
+    "generate_control",
+    "generate_svm",
+    "generate_eqqp",
+    "random_sparse_spd",
+    "mpc_matrices",
+    "FAMILIES",
+    "PROBLEMS_PER_FAMILY",
+    "SuiteEntry",
+    "benchmark_suite",
+    "generate",
+    "suite_sizes",
+]

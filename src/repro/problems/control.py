@@ -1,0 +1,103 @@
+"""Optimal control (linear MPC) benchmark family.
+
+Finite-horizon LQR with state and input box constraints (OSQP benchmark
+formulation). Over the horizon ``T`` with dynamics
+``x_{k+1} = A_d x_k + B_d u_k`` from the measured state ``x_0``:
+
+.. math::
+
+    \\text{minimize } & \\sum_{k=0}^{T-1}
+        (x_{k+1}^T Q x_{k+1} + u_k^T R u_k) \\\\
+    \\text{s.t. } & x_{k+1} = A_d x_k + B_d u_k, \\quad
+    \\underline{x} \\le x_k \\le \\bar{x}, \\quad
+    \\underline{u} \\le u_k \\le \\bar{u}
+
+The decision vector stacks ``(x_1..x_T, u_0..u_{T-1})``, producing the
+block-banded constraint matrix whose sparsity string is the uniform
+``dddd...`` motif of Figure 2(g) ("Optimal Control Problem").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..qp import QProblem
+from ..sparse import CSRMatrix, diag, eye, from_blocks
+
+__all__ = ["generate_control", "mpc_matrices"]
+
+
+def mpc_matrices(nx: int, nu: int, rng):
+    """Random stable dynamics ``(A_d, B_d)`` for an ``nx``-state plant."""
+    a_d = rng.standard_normal((nx, nx)) * (rng.random((nx, nx)) < 0.7)
+    radius = max(np.abs(np.linalg.eigvals(a_d)))
+    if radius > 0:
+        a_d *= 0.95 / max(radius, 0.95)  # keep the plant (near) stable
+    b_d = rng.standard_normal((nx, nu)) * (rng.random((nx, nu)) < 0.7)
+    return a_d, b_d
+
+
+def generate_control(n_states: int, *, n_inputs: int | None = None,
+                     horizon: int = 10, seed: int = 0) -> QProblem:
+    """Generate an MPC QP for a plant with ``n_states`` states.
+
+    Parameters
+    ----------
+    n_states:
+        State dimension ``nx``.
+    n_inputs:
+        Input dimension ``nu``; defaults to ``max(1, nx // 2)``.
+    horizon:
+        Prediction horizon ``T``.
+    """
+    if n_states < 2:
+        raise ValueError("control needs at least 2 states")
+    rng = np.random.default_rng(seed)
+    nx = int(n_states)
+    nu = int(n_inputs) if n_inputs is not None else max(1, nx // 2)
+    t_hor = int(horizon)
+
+    a_d, b_d = mpc_matrices(nx, nu, rng)
+    x0 = rng.standard_normal(nx) * 0.5
+
+    q_diag = rng.random(nx) + 0.5
+    r_diag = 0.1 * (rng.random(nu) + 0.5)
+
+    # Decision vector: (x_1..x_T, u_0..u_{T-1}).
+    p_blocks = [diag(q_diag) for _ in range(t_hor)]
+    p_blocks += [diag(r_diag) for _ in range(t_hor)]
+    p = from_blocks([[p_blocks[i] if i == j else None
+                      for j in range(2 * t_hor)]
+                     for i in range(2 * t_hor)])
+    n_var = t_hor * (nx + nu)
+    q = np.zeros(n_var)
+
+    a_csr = CSRMatrix.from_dense(a_d)
+    b_csr = CSRMatrix.from_dense(b_d)
+
+    # Dynamics rows: x_{k+1} - A_d x_k - B_d u_k = 0 (k = 0 uses x0).
+    grid = []
+    for k in range(t_hor):
+        row = [None] * (2 * t_hor)
+        row[k] = eye(nx)  # +x_{k+1}
+        if k > 0:
+            row[k - 1] = -1.0 * a_csr  # -A_d x_k
+        row[t_hor + k] = -1.0 * b_csr  # -B_d u_k
+        grid.append(row)
+    dynamics = from_blocks(grid)
+    rhs0 = a_d @ x0
+    l_dyn = np.concatenate([rhs0, np.zeros((t_hor - 1) * nx)])
+    u_dyn = l_dyn.copy()
+
+    # Box constraints on all states and inputs.
+    bounds = eye(n_var)
+    x_lim, u_lim = 5.0, 0.5
+    l_box = np.concatenate([np.full(t_hor * nx, -x_lim),
+                            np.full(t_hor * nu, -u_lim)])
+    u_box = -l_box
+
+    a_full = from_blocks([[dynamics], [bounds]])
+    l_full = np.concatenate([l_dyn, l_box])
+    u_full = np.concatenate([u_dyn, u_box])
+    return QProblem(P=p, q=q, A=a_full, l=l_full, u=u_full,
+                    name=f"control_nx{nx}_nu{nu}_T{t_hor}")

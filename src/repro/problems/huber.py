@@ -1,0 +1,69 @@
+"""Huber fitting benchmark family.
+
+Robust regression with the Huber penalty
+
+.. math::
+
+    \\text{minimize } \\sum_{i=1}^{m} \\phi_{\\text{hub}}(a_i^T x - b_i)
+
+is a QP over ``(x, u, r, s)`` (OSQP benchmark formulation):
+
+.. math::
+
+    \\text{minimize } & u^T u + 2 M \\mathbf{1}^T (r + s) \\\\
+    \\text{s.t. } & A x - b - u = r - s, \\quad r \\ge 0, \\quad s \\ge 0
+
+where ``u`` captures the quadratic region and ``r, s`` the linear tails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..qp import QProblem
+from ..sparse import CSRMatrix, eye, from_blocks, random_sparse
+
+__all__ = ["generate_huber"]
+
+
+def generate_huber(n_features: int, *, data_factor: int = 2,
+                   density: float = 0.15, huber_m: float = 1.0,
+                   outlier_fraction: float = 0.05,
+                   seed: int = 0) -> QProblem:
+    """Generate a Huber-fitting QP with ``n_features`` features.
+
+    ``m = data_factor * n`` measurements, a fraction of which are gross
+    outliers (the scenario Huber fitting exists for).
+    """
+    if n_features < 2:
+        raise ValueError("huber needs at least 2 features")
+    rng = np.random.default_rng(seed)
+    n = int(n_features)
+    m = int(data_factor) * n
+
+    a_data = random_sparse(m, n, density, rng)
+    x_true = rng.standard_normal(n)
+    noise = 0.01 * rng.standard_normal(m)
+    outliers = rng.random(m) < outlier_fraction
+    noise[outliers] += 10.0 * rng.standard_normal(int(outliers.sum()))
+    b = a_data.matvec(x_true) + noise
+
+    # Variables (x, u, r, s) of sizes (n, m, m, m).
+    zero_n = CSRMatrix.zeros((n, n))
+    p = from_blocks([
+        [zero_n, None, None, None],
+        [None, eye(m, scale=2.0), None, None],
+        [None, None, CSRMatrix.zeros((m, m)), None],
+        [None, None, None, CSRMatrix.zeros((m, m))],
+    ])
+    q = np.concatenate([np.zeros(n), np.zeros(m),
+                        2.0 * huber_m * np.ones(2 * m)])
+
+    a = from_blocks([
+        [a_data, eye(m, scale=-1.0), eye(m, scale=-1.0), eye(m)],
+        [None, None, eye(m), None],
+        [None, None, None, eye(m)],
+    ])
+    l = np.concatenate([b, np.zeros(2 * m)])
+    u = np.concatenate([b, np.full(2 * m, np.inf)])
+    return QProblem(P=p, q=q, A=a, l=l, u=u, name=f"huber_n{n}_m{m}")

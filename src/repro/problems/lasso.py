@@ -1,0 +1,62 @@
+"""Lasso regression benchmark family.
+
+The l1-regularized least-squares problem
+
+.. math::
+
+    \\text{minimize } (1/2) \\|Ax - b\\|_2^2 + \\lambda \\|x\\|_1
+
+over ``n`` features and ``m`` data points, written as a QP over
+``(x, y, t)`` with residual ``y = Ax - b`` and the usual l1 epigraph
+split ``-t \\le x \\le t``:
+
+.. math::
+
+    \\text{minimize } & (1/2) y^T y + \\lambda \\mathbf{1}^T t \\\\
+    \\text{s.t. } & y = Ax - b, \\quad -t \\le x \\le t
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..qp import QProblem
+from ..sparse import CSRMatrix, eye, from_blocks, random_sparse
+
+__all__ = ["generate_lasso"]
+
+
+def generate_lasso(n_features: int, *, data_factor: int = 2,
+                   density: float = 0.15, seed: int = 0) -> QProblem:
+    """Generate a lasso QP with ``n_features`` features.
+
+    ``m = data_factor * n`` data rows; the regularization weight follows
+    the OSQP benchmark convention ``lambda = (1/5) ||A' b||_inf``.
+    """
+    if n_features < 2:
+        raise ValueError("lasso needs at least 2 features")
+    rng = np.random.default_rng(seed)
+    n = int(n_features)
+    m = int(data_factor) * n
+
+    a_data = random_sparse(m, n, density, rng)
+    x_true = rng.standard_normal(n) * (rng.random(n) < 0.5)
+    b = a_data.matvec(x_true) + 0.01 * rng.standard_normal(m)
+    lam = 0.2 * float(np.abs(a_data.rmatvec(b)).max())
+
+    # Variables (x, y, t) of sizes (n, m, n).
+    p = from_blocks([
+        [CSRMatrix.zeros((n, n)), None, None],
+        [None, eye(m), None],
+        [None, None, CSRMatrix.zeros((n, n))],
+    ])
+    q = np.concatenate([np.zeros(n), np.zeros(m), lam * np.ones(n)])
+
+    a = from_blocks([
+        [a_data, eye(m, scale=-1.0), None],
+        [eye(n), None, eye(n, scale=-1.0)],
+        [eye(n), None, eye(n)],
+    ])
+    l = np.concatenate([b, np.full(n, -np.inf), np.zeros(n)])
+    u = np.concatenate([b, np.zeros(n), np.full(n, np.inf)])
+    return QProblem(P=p, q=q, A=a, l=l, u=u, name=f"lasso_n{n}_m{m}")

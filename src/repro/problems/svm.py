@@ -1,0 +1,62 @@
+"""Support vector machine benchmark family.
+
+Soft-margin linear SVM via the hinge-loss QP over ``(x, t)`` (OSQP
+benchmark formulation):
+
+.. math::
+
+    \\text{minimize } & (1/2) x^T x + \\lambda \\mathbf{1}^T t \\\\
+    \\text{s.t. } & t \\ge \\text{diag}(b) A x + 1, \\quad t \\ge 0
+
+Half the samples are drawn around ``+1/n`` means, half around
+``-1/n``, giving the two-class geometry whose sparsity string is the
+long ``ddd...`` run of Figure 2(g).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..qp import QProblem
+from ..sparse import CSRMatrix, eye, from_blocks
+
+__all__ = ["generate_svm"]
+
+
+def generate_svm(n_features: int, *, data_factor: int = 2,
+                 density: float = 0.15, lam: float = 1.0,
+                 seed: int = 0) -> QProblem:
+    """Generate an SVM QP with ``n_features`` features.
+
+    ``m = data_factor * n`` samples with labels split evenly between the
+    two classes.
+    """
+    if n_features < 2:
+        raise ValueError("svm needs at least 2 features")
+    rng = np.random.default_rng(seed)
+    n = int(n_features)
+    m = int(data_factor) * n
+    m += m % 2  # even split between the classes
+
+    labels = np.concatenate([np.ones(m // 2), -np.ones(m // 2)])
+    # Class-dependent means, sparse features.
+    mask = rng.random((m, n)) < density
+    features = (labels[:, None] / n) + rng.standard_normal((m, n))
+    dense = np.where(mask, features, 0.0)
+    a_data = CSRMatrix.from_dense(dense)
+
+    # Variables (x, t) of sizes (n, m).
+    p = from_blocks([
+        [eye(n), None],
+        [None, CSRMatrix.zeros((m, m))],
+    ])
+    q = np.concatenate([np.zeros(n), lam * np.ones(m)])
+
+    # diag(b) A x - t <= -1  and  t >= 0.
+    a = from_blocks([
+        [a_data.scale_rows(labels), eye(m, scale=-1.0)],
+        [None, eye(m)],
+    ])
+    l = np.concatenate([np.full(m, -np.inf), np.zeros(m)])
+    u = np.concatenate([-np.ones(m), np.full(m, np.inf)])
+    return QProblem(P=p, q=q, A=a, l=l, u=u, name=f"svm_n{n}_m{m}")

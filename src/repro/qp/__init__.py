@@ -1,0 +1,13 @@
+"""QP problem representation, scaling, and KKT assembly."""
+
+from .kkt import ReducedKKTOperator, assemble_kkt_upper
+from .problem import QProblem
+from .scaling import Scaling, ruiz_equilibrate
+
+__all__ = [
+    "QProblem",
+    "Scaling",
+    "ruiz_equilibrate",
+    "ReducedKKTOperator",
+    "assemble_kkt_upper",
+]

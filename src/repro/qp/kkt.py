@@ -1,0 +1,117 @@
+"""KKT system assembly and the implicit reduced-KKT operator.
+
+Two linear systems appear in OSQP:
+
+* the full quasi-definite KKT system (paper eq. 2)::
+
+      [ P + sigma I   A'        ] [x]   [rhs_x]
+      [ A            -diag(1/rho)] [v] = [rhs_z]
+
+  factorized once per ``rho`` by the direct LDL^T backend, and
+
+* the reduced positive-definite system (paper eq. 3)::
+
+      (P + sigma I + A' diag(rho) A) x = rhs
+
+  solved by PCG without ever forming the product ``A' diag(rho) A``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..sparse import CSCMatrix, CSRMatrix
+
+__all__ = ["assemble_kkt_upper", "ReducedKKTOperator"]
+
+
+def assemble_kkt_upper(p: CSRMatrix, a: CSRMatrix, sigma: float,
+                       rho_vec: np.ndarray) -> CSCMatrix:
+    """Upper triangle of the KKT matrix (eq. 2) in CSC form for LDL^T.
+
+    Every diagonal entry is stored explicitly (QDLDL requires it), even
+    when ``P`` has structural zeros on its diagonal.
+    """
+    n = p.shape[0]
+    m = a.shape[0]
+    if a.shape[1] != n:
+        raise ShapeError("A must have as many columns as P")
+    rho_vec = np.asarray(rho_vec, dtype=np.float64)
+    if rho_vec.shape != (m,):
+        raise ShapeError("rho_vec must have length m")
+
+    pr, pc, pv = p.triu().to_coo()
+    rows = [pr, np.arange(n, dtype=np.int64)]
+    cols = [pc, np.arange(n, dtype=np.int64)]
+    vals = [pv, np.full(n, float(sigma))]
+
+    # A goes into the upper-right block as A' (rows of A become columns).
+    ar, ac, av = a.to_coo()
+    rows.append(ac)
+    cols.append(ar + n)
+    vals.append(av)
+
+    # Lower-right block: -diag(1/rho).
+    rows.append(np.arange(n, n + m, dtype=np.int64))
+    cols.append(np.arange(n, n + m, dtype=np.int64))
+    vals.append(-1.0 / rho_vec)
+
+    return CSCMatrix.from_coo(np.concatenate(rows), np.concatenate(cols),
+                              np.concatenate(vals), (n + m, n + m))
+
+
+class ReducedKKTOperator:
+    """Matrix-free operator ``K = P + sigma I + A' diag(rho) A`` (eq. 3).
+
+    The paper stresses that ``K`` must never be formed explicitly because
+    ``A'A`` can destroy sparsity; the operator performs the matvec in
+    three sparse stages and exposes the exact diagonal for the Jacobi
+    preconditioner.
+    """
+
+    def __init__(self, p: CSRMatrix, a: CSRMatrix, sigma: float, rho_vec,
+                 a_transpose: CSRMatrix | None = None):
+        if a.shape[1] != p.shape[0]:
+            raise ShapeError("A must have as many columns as P")
+        self.p = p
+        self.a = a
+        # The hardware datapath stores A' explicitly (separate HBM
+        # streams for A and A'); the software operator accepts it too so
+        # both paths multiply by the same object.
+        self.at = a_transpose if a_transpose is not None else a.transpose()
+        if self.at.shape != (a.shape[1], a.shape[0]):
+            raise ShapeError("a_transpose has the wrong shape")
+        self.sigma = float(sigma)
+        self.update_rho(rho_vec)
+
+    def update_rho(self, rho_vec) -> None:
+        """Install a new (vector) step-size; O(m), no refactorization."""
+        rho_vec = np.asarray(rho_vec, dtype=np.float64)
+        if rho_vec.ndim == 0:
+            rho_vec = np.full(self.a.shape[0], float(rho_vec))
+        if rho_vec.shape != (self.a.shape[0],):
+            raise ShapeError("rho_vec must have length m")
+        if np.any(rho_vec <= 0):
+            raise ShapeError("rho must be positive")
+        self.rho_vec = rho_vec
+
+    @property
+    def n(self) -> int:
+        return self.p.shape[0]
+
+    def matvec(self, x) -> np.ndarray:
+        ax = self.a.matvec(x)
+        return (self.p.matvec(x) + self.sigma * x
+                + self.at.matvec(self.rho_vec * ax))
+
+    def diagonal(self) -> np.ndarray:
+        """``diag(K)`` without forming ``K``: diag(P) + sigma + sum_i rho_i A_ij^2."""
+        weighted = self.a.scale_rows(np.sqrt(self.rho_vec))
+        return self.p.diagonal() + self.sigma + weighted.column_sq_sums()
+
+    def rhs(self, x_prev, q, z_prev, y_prev) -> np.ndarray:
+        """Right-hand side of eq. 3: ``sigma x - q + A'(rho z - y)``."""
+        return (self.sigma * np.asarray(x_prev) - q
+                + self.at.matvec(self.rho_vec * np.asarray(z_prev)
+                                 - np.asarray(y_prev)))

@@ -1,0 +1,143 @@
+"""Modified Ruiz equilibration, as used by OSQP.
+
+Scaling replaces the problem ``(P, q, A, l, u)`` with
+
+.. math::
+
+    \\bar P = c D P D, \\quad \\bar q = c D q, \\quad
+    \\bar A = E A D, \\quad \\bar l = E l, \\quad \\bar u = E u
+
+where ``D``/``E`` are positive diagonal matrices equilibrating the
+infinity norms of the columns of the stacked matrix ``[[P, A'], [A, 0]]``
+and ``c`` normalizes the cost. Solutions map back as ``x = D x̄``,
+``z = E^{-1} z̄``, ``y = E ȳ / c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+from .problem import QProblem
+
+__all__ = ["Scaling", "ruiz_equilibrate"]
+
+#: Bounds on individual scaling factors (same spirit as OSQP's limits).
+_MIN_SCALE = 1e-4
+_MAX_SCALE = 1e4
+
+
+@dataclass
+class Scaling:
+    """Result of equilibration: the scaled problem plus the scaling data."""
+
+    problem: QProblem
+    d: np.ndarray      # variable scaling (length n)
+    e: np.ndarray      # constraint scaling (length m)
+    c: float           # cost scaling
+
+    @property
+    def dinv(self) -> np.ndarray:
+        return 1.0 / self.d
+
+    @property
+    def einv(self) -> np.ndarray:
+        return 1.0 / self.e
+
+    # -- mapping scaled iterates back to the original space ------------
+    def unscale_x(self, x_bar) -> np.ndarray:
+        return self.d * x_bar
+
+    def unscale_z(self, z_bar) -> np.ndarray:
+        return self.einv * z_bar
+
+    def unscale_y(self, y_bar) -> np.ndarray:
+        return self.e * y_bar / self.c
+
+    # -- mapping original-space values into the scaled space -----------
+    def scale_x(self, x) -> np.ndarray:
+        return self.dinv * x
+
+    def scale_z(self, z) -> np.ndarray:
+        return self.e * z
+
+    def scale_y(self, y) -> np.ndarray:
+        return self.c * self.einv * y
+
+
+def _col_inf_norms_csr(mat: CSRMatrix) -> np.ndarray:
+    out = np.zeros(mat.shape[1])
+    if mat.nnz:
+        np.maximum.at(out, mat.indices, np.abs(mat.data))
+    return out
+
+
+def _row_inf_norms_csr(mat: CSRMatrix) -> np.ndarray:
+    out = np.zeros(mat.shape[0])
+    if mat.nnz:
+        row_of = np.repeat(np.arange(mat.shape[0]), np.diff(mat.indptr))
+        np.maximum.at(out, row_of, np.abs(mat.data))
+    return out
+
+
+def _limit(v: np.ndarray) -> np.ndarray:
+    """Guard scaling factors: unit scale for empty rows/cols, clamp range."""
+    v = np.where(v == 0.0, 1.0, v)
+    return np.clip(v, _MIN_SCALE, _MAX_SCALE)
+
+
+def ruiz_equilibrate(problem: QProblem, iterations: int = 10) -> Scaling:
+    """Equilibrate a QP with ``iterations`` rounds of modified Ruiz scaling.
+
+    ``iterations == 0`` returns an identity scaling (useful to disable
+    scaling uniformly through one code path).
+    """
+    n, m = problem.n, problem.m
+    d = np.ones(n)
+    e = np.ones(m)
+    c = 1.0
+    p = problem.P.copy()
+    q = problem.q.copy()
+    a = problem.A.copy()
+    l = problem.l.copy()
+    u = problem.u.copy()
+
+    for _ in range(iterations):
+        # Column infinity norms of the stacked matrix [[P, A'], [A, 0]]:
+        # first n columns see P's columns and A's columns; last m columns
+        # see A's rows (through A').
+        norm_n = np.maximum(_col_inf_norms_csr(p), _col_inf_norms_csr(a))
+        norm_m = _row_inf_norms_csr(a)
+        delta_n = 1.0 / np.sqrt(_limit(norm_n))
+        delta_m = 1.0 / np.sqrt(_limit(norm_m))
+
+        p = p.scale_rows(delta_n).scale_cols(delta_n)
+        q = q * delta_n
+        a = a.scale_rows(delta_m).scale_cols(delta_n)
+        d *= delta_n
+        e *= delta_m
+
+        # Cost normalization (OSQP's gamma step).
+        p_col_norms = _col_inf_norms_csr(p)
+        mean_p = float(p_col_norms.mean()) if n else 1.0
+        q_norm = float(np.abs(q).max()) if n else 1.0
+        gamma_denominator = max(mean_p, q_norm)
+        if gamma_denominator <= 0.0:
+            gamma = 1.0
+        else:
+            gamma = 1.0 / np.clip(gamma_denominator, _MIN_SCALE, _MAX_SCALE)
+        p = p * gamma
+        q = q * gamma
+        c *= gamma
+
+    # Bounds are scaled once with the final E (infinities stay infinite).
+    with np.errstate(invalid="ignore"):
+        l_s = e * l
+        u_s = e * u
+    l_s[np.isneginf(problem.l)] = -np.inf
+    u_s[np.isposinf(problem.u)] = np.inf
+
+    scaled = QProblem(P=p, q=q, A=a, l=l_s, u=u_s, name=problem.name)
+    return Scaling(problem=scaled, d=d, e=e, c=c)

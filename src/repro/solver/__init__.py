@@ -1,0 +1,23 @@
+"""The OSQP ADMM solver with direct (LDL^T) and indirect (PCG) backends."""
+
+from .infeasibility import is_dual_infeasible, is_primal_infeasible
+from .linsys import DirectBackend, IndirectBackend, make_backend
+from .osqp import OSQPSolver, solve
+from .polish import polish
+from .results import OSQPResult, SolverInfo, SolverStatus
+from .settings import OSQPSettings
+
+__all__ = [
+    "OSQPSolver",
+    "solve",
+    "OSQPSettings",
+    "OSQPResult",
+    "SolverInfo",
+    "SolverStatus",
+    "DirectBackend",
+    "IndirectBackend",
+    "make_backend",
+    "polish",
+    "is_primal_infeasible",
+    "is_dual_infeasible",
+]

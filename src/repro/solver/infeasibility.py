@@ -1,0 +1,73 @@
+"""Primal/dual infeasibility certificates, as in OSQP.
+
+ADMM iterates themselves certify infeasibility: when the problem has no
+feasible point, the successive differences ``delta_y = y^{k+1} - y^k``
+converge to a certificate of primal infeasibility, and ``delta_x`` to a
+certificate of dual infeasibility (unboundedness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+
+__all__ = ["is_primal_infeasible", "is_dual_infeasible"]
+
+
+def _support(vec: np.ndarray, bound: np.ndarray, positive: bool) -> np.ndarray:
+    """Part of the support function sum, with 0 * inf treated as 0."""
+    part = np.maximum(vec, 0.0) if positive else np.minimum(vec, 0.0)
+    terms = np.zeros_like(part)
+    nonzero = part != 0.0
+    terms[nonzero] = part[nonzero] * bound[nonzero]
+    return terms
+
+
+def is_primal_infeasible(delta_y: np.ndarray, a: CSRMatrix,
+                         l: np.ndarray, u: np.ndarray,
+                         eps: float) -> bool:
+    """Check the primal infeasibility certificate.
+
+    ``delta_y`` certifies primal infeasibility when
+
+    * ``||A' delta_y||_inf <= eps * ||delta_y||_inf`` and
+    * ``u' max(delta_y, 0) + l' min(delta_y, 0) <= -eps * ||delta_y||_inf``.
+    """
+    norm = float(np.abs(delta_y).max()) if delta_y.size else 0.0
+    if norm <= 0.0:
+        return False
+    scaled = delta_y / norm
+    at_dy = a.rmatvec(scaled)
+    if float(np.abs(at_dy).max()) > eps:
+        return False
+    support = (_support(scaled, u, positive=True).sum()
+               + _support(scaled, l, positive=False).sum())
+    return bool(support <= -eps)
+
+
+def is_dual_infeasible(delta_x: np.ndarray, p: CSRMatrix, q: np.ndarray,
+                       a: CSRMatrix, l: np.ndarray, u: np.ndarray,
+                       eps: float) -> bool:
+    """Check the dual infeasibility (primal unboundedness) certificate.
+
+    ``delta_x`` certifies dual infeasibility when
+
+    * ``||P delta_x||_inf <= eps * ||delta_x||_inf``,
+    * ``q' delta_x <= -eps * ||delta_x||_inf``, and
+    * ``A delta_x`` is a recession direction of ``[l, u]``: each
+      component is ``<= eps`` where ``u`` is finite and ``>= -eps``
+      where ``l`` is finite (after normalization).
+    """
+    norm = float(np.abs(delta_x).max()) if delta_x.size else 0.0
+    if norm <= 0.0:
+        return False
+    scaled = delta_x / norm
+    if float(np.abs(p.matvec(scaled)).max()) > eps:
+        return False
+    if float(np.dot(q, scaled)) > -eps:
+        return False
+    a_dx = a.matvec(scaled)
+    upper_ok = np.all(a_dx[np.isfinite(u)] <= eps)
+    lower_ok = np.all(a_dx[np.isfinite(l)] >= -eps)
+    return bool(upper_ok and lower_ok)

@@ -1,0 +1,123 @@
+"""Active-set solution polishing, following OSQP.
+
+After ADMM converges to moderate accuracy, the active constraints are
+read off the sign of the duals and the equality-constrained QP on the
+active set is solved directly (regularized LDL^T plus iterative
+refinement). If the polished point has smaller residuals it replaces the
+ADMM solution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import FactorizationError
+from ..linalg import ldl_factor, minimum_degree
+from ..qp import QProblem, assemble_kkt_upper
+from ..sparse import CSRMatrix
+from .results import OSQPResult, SolverStatus
+
+__all__ = ["polish"]
+
+
+def _kkt_residuals(problem: QProblem, x, y, z):
+    pri = problem.primal_residual(x, z=problem.A.matvec(x))
+    dual_vec = problem.P.matvec(x) + problem.q + problem.A.rmatvec(y)
+    dua = float(np.abs(dual_vec).max()) if dual_vec.size else 0.0
+    return pri, dua
+
+
+def polish(problem: QProblem, result: OSQPResult, settings) -> OSQPResult:
+    """Try to polish ``result``; returns the better of the two solutions."""
+    y = result.y
+    # A slightly negative dual on a row with an infinite lower bound is
+    # numerical noise, not activity — pinning such a row would put
+    # +-inf on the KKT right-hand side.
+    lower_active = np.flatnonzero((y < 0.0) & np.isfinite(problem.l))
+    upper_active = np.flatnonzero((y > 0.0) & np.isfinite(problem.u))
+    n_act = lower_active.size + upper_active.size
+    n = problem.n
+
+    if n_act == 0:
+        # Unconstrained in the active-set sense: solve P x = -q.
+        rows = CSRMatrix.zeros((0, n))
+        b_act = np.zeros(0)
+    else:
+        rows = _take_rows(problem.A, np.concatenate([lower_active,
+                                                     upper_active]))
+        b_act = np.concatenate([problem.l[lower_active],
+                                problem.u[upper_active]])
+
+    delta = settings.polish_delta
+    try:
+        kkt_upper = assemble_kkt_upper(problem.P, rows, delta,
+                                       np.full(rows.shape[0], 1.0 / delta))
+        dim = n + rows.shape[0]
+        perm = (minimum_degree(kkt_upper) if dim <= 1500
+                else np.arange(dim, dtype=np.int64))
+        iperm = np.empty_like(perm)
+        iperm[perm] = np.arange(dim)
+        factor = ldl_factor(kkt_upper.symmetric_permute_upper(perm))
+    except FactorizationError:
+        return result
+
+    rhs = np.concatenate([-problem.q, b_act])
+    sol = factor.solve(rhs[perm])[iperm]
+
+    # Iterative refinement against the *unregularized* KKT system.
+    for _ in range(settings.polish_refine_iter):
+        res = rhs - _kkt_apply(problem.P, rows, sol)
+        sol = sol + factor.solve(res[perm])[iperm]
+
+    x_pol = sol[:n]
+    y_act = sol[n:]
+    y_pol = np.zeros(problem.m)
+    y_pol[lower_active] = y_act[:lower_active.size]
+    y_pol[upper_active] = y_act[lower_active.size:]
+    z_pol = problem.A.matvec(x_pol)
+
+    # Dual feasibility of the guessed active set: lower-active rows need
+    # y <= 0 and upper-active rows y >= 0. A wrong guess can still zero
+    # the primal/dual residuals (it solves *some* equality-constrained
+    # KKT system) while violating these signs — reject it.
+    sign_tol = 1e-9 * max(1.0, float(np.abs(y_pol).max()) if y_pol.size
+                          else 1.0)
+    signs_ok = (np.all(y_pol[lower_active] <= sign_tol)
+                and np.all(y_pol[upper_active] >= -sign_tol))
+
+    old_pri, old_dua = _kkt_residuals(problem, result.x, result.y, result.z)
+    new_pri, new_dua = _kkt_residuals(problem, x_pol, y_pol, z_pol)
+    if signs_ok and new_pri <= old_pri + 1e-12 and new_dua <= old_dua + 1e-12:
+        info = result.info
+        info.polished = True
+        info.obj_val = problem.objective(x_pol)
+        info.pri_res, info.dua_res = new_pri, new_dua
+        return OSQPResult(x=x_pol, y=y_pol, z=z_pol,
+                          status=SolverStatus.SOLVED, info=info)
+    return result
+
+
+def _take_rows(mat: CSRMatrix, rows: np.ndarray) -> CSRMatrix:
+    """Select a subset of rows, keeping their order."""
+    r, c, v = mat.to_coo()
+    out_rows, out_cols, out_vals = [], [], []
+    for new_i, old_i in enumerate(rows):
+        s, e = mat.indptr[old_i], mat.indptr[old_i + 1]
+        out_rows.append(np.full(e - s, new_i, dtype=np.int64))
+        out_cols.append(mat.indices[s:e])
+        out_vals.append(mat.data[s:e])
+    if not out_rows:
+        return CSRMatrix.zeros((0, mat.shape[1]))
+    return CSRMatrix.from_coo(np.concatenate(out_rows),
+                              np.concatenate(out_cols),
+                              np.concatenate(out_vals),
+                              (rows.size, mat.shape[1]))
+
+
+def _kkt_apply(p: CSRMatrix, a_act: CSRMatrix, vec: np.ndarray) -> np.ndarray:
+    """Apply the unregularized KKT matrix [[P, A'], [A, 0]]."""
+    n = p.shape[0]
+    x, y = vec[:n], vec[n:]
+    top = p.matvec(x) + (a_act.rmatvec(y) if a_act.shape[0] else 0.0)
+    bottom = a_act.matvec(x) if a_act.shape[0] else np.zeros(0)
+    return np.concatenate([top, bottom])

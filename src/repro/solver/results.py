@@ -1,0 +1,68 @@
+"""Solver status codes and result containers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SolverStatus", "SolverInfo", "OSQPResult"]
+
+
+class SolverStatus(enum.Enum):
+    """Terminal state of a solve, mirroring OSQP's status set."""
+
+    SOLVED = "solved"
+    SOLVED_INACCURATE = "solved inaccurate"
+    MAX_ITER_REACHED = "maximum iterations reached"
+    TIME_LIMIT_REACHED = "time limit reached"
+    PRIMAL_INFEASIBLE = "primal infeasible"
+    DUAL_INFEASIBLE = "dual infeasible"
+
+    @property
+    def is_optimal(self) -> bool:
+        return self in (SolverStatus.SOLVED, SolverStatus.SOLVED_INACCURATE)
+
+
+@dataclass
+class SolverInfo:
+    """Run statistics — also the input to the performance models.
+
+    The CPU/GPU/FPGA timing models in :mod:`repro.baselines` and
+    :mod:`repro.hw` consume the iteration counts recorded here, so the
+    modeled end-to-end times are grounded in real solves.
+    """
+
+    iterations: int = 0
+    pcg_iterations: int = 0
+    pcg_per_admm: list = field(default_factory=list)
+    rho_updates: int = 0
+    rho_final: float = 0.0
+    pri_res: float = np.inf
+    dua_res: float = np.inf
+    obj_val: float = np.nan
+    setup_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    polished: bool = False
+    #: (iteration, pri_res, dua_res, rho) tuples recorded at every
+    #: termination check when settings.record_history is on.
+    history: list = field(default_factory=list)
+
+
+@dataclass
+class OSQPResult:
+    """Solution triple plus status and statistics."""
+
+    x: np.ndarray
+    y: np.ndarray
+    z: np.ndarray
+    status: SolverStatus
+    info: SolverInfo
+    # Infeasibility certificates (populated only for infeasible statuses).
+    prim_inf_cert: np.ndarray | None = None
+    dual_inf_cert: np.ndarray | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"OSQPResult(status={self.status.value!r}, "
+                f"iters={self.info.iterations}, obj={self.info.obj_val:.6g})")

@@ -1,0 +1,94 @@
+"""Solver settings, mirroring OSQP's defaults where the paper relies on them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["OSQPSettings"]
+
+#: Bounds on the ADMM step size, as in OSQP.
+RHO_MIN = 1e-6
+RHO_MAX = 1e6
+#: Multiplier applied to rho on equality-constraint rows.
+RHO_EQ_FACTOR = 1e3
+
+
+@dataclass
+class OSQPSettings:
+    """Settings for :class:`repro.solver.OSQPSolver`.
+
+    Defaults follow OSQP v1.0: ``alpha = 1.6``, ``sigma = 1e-6``,
+    ``rho = 0.1`` with per-row adjustment for equality constraints.
+
+    Attributes
+    ----------
+    linsys:
+        ``"pcg"`` for the indirect backend the paper accelerates, or
+        ``"ldl"`` for the direct QDLDL-style backend.
+    scaling:
+        Number of Ruiz equilibration iterations (0 disables scaling).
+    check_termination:
+        Residuals (and infeasibility certificates) are evaluated every
+        this many iterations.
+    adaptive_rho_interval:
+        Iterations between step-size adaptations (0 disables).
+    pcg_adaptive:
+        Tie the inner PCG tolerance to the outer ADMM residuals
+        (inexact-ADMM schedule, as cuOSQP does).
+    polish:
+        Attempt an active-set polish after convergence.
+    """
+
+    rho: float = 0.1
+    sigma: float = 1e-6
+    alpha: float = 1.6
+    max_iter: int = 4000
+    time_limit: float = 0.0  # seconds; 0 disables
+    eps_abs: float = 1e-3
+    eps_rel: float = 1e-3
+    eps_prim_inf: float = 1e-4
+    eps_dual_inf: float = 1e-4
+    scaling: int = 10
+    scaled_termination: bool = False
+    check_termination: int = 25
+    adaptive_rho: bool = True
+    adaptive_rho_interval: int = 50
+    adaptive_rho_tolerance: float = 5.0
+    linsys: str = "pcg"
+    ordering: str = "auto"
+    pcg_eps: float = 1e-5
+    pcg_eps_min: float = 1e-10
+    pcg_eps_factor: float = 0.15
+    pcg_decay: float = 0.35
+    pcg_adaptive: bool = True
+    pcg_max_iter: int = 5000
+    polish: bool = False
+    polish_delta: float = 1e-6
+    polish_refine_iter: int = 3
+    record_history: bool = False
+    verbose: bool = False
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.rho <= 0:
+            raise ValueError("rho must be positive")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if not 0.0 < self.alpha < 2.0:
+            raise ValueError("alpha must lie in (0, 2)")
+        if self.max_iter < 1:
+            raise ValueError("max_iter must be at least 1")
+        if self.time_limit < 0:
+            raise ValueError("time_limit must be non-negative")
+        if self.eps_abs < 0 or self.eps_rel < 0:
+            raise ValueError("tolerances must be non-negative")
+        if self.eps_abs == 0 and self.eps_rel == 0:
+            raise ValueError("eps_abs and eps_rel cannot both be zero")
+        if self.check_termination < 1:
+            raise ValueError("check_termination must be at least 1")
+        if self.linsys not in ("pcg", "ldl"):
+            raise ValueError("linsys must be 'pcg' or 'ldl'")
+        if self.ordering not in ("auto", "natural", "mindeg"):
+            raise ValueError("ordering must be 'auto', 'natural' or 'mindeg'")
+        if self.scaling < 0:
+            raise ValueError("scaling must be non-negative")

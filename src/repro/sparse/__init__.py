@@ -1,0 +1,18 @@
+"""Sparse matrix substrate implemented from scratch on numpy storage."""
+
+from .builders import (block_diag, diag, eye, from_blocks, hstack,
+                       random_sparse, vstack)
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+
+__all__ = [
+    "CSRMatrix",
+    "CSCMatrix",
+    "eye",
+    "diag",
+    "random_sparse",
+    "hstack",
+    "vstack",
+    "block_diag",
+    "from_blocks",
+]

@@ -1,0 +1,178 @@
+"""Constructors for structured sparse matrices.
+
+These are the building blocks used by the QP benchmark generators
+(:mod:`repro.problems`) to assemble problem matrices with the same
+structural motifs as the OSQP benchmark suite: block stacks, diagonals,
+banded dynamics matrices and random sparse blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from .csr import CSRMatrix
+
+__all__ = [
+    "eye",
+    "diag",
+    "random_sparse",
+    "hstack",
+    "vstack",
+    "block_diag",
+    "from_blocks",
+]
+
+
+def eye(n: int, *, scale: float = 1.0) -> CSRMatrix:
+    """``scale * I_n`` as CSR."""
+    idx = np.arange(n, dtype=np.int64)
+    return CSRMatrix((n, n), np.full(n, float(scale)), idx,
+                     np.arange(n + 1, dtype=np.int64), check=False)
+
+
+def diag(values) -> CSRMatrix:
+    """Square diagonal matrix from a dense vector (zeros are kept)."""
+    values = np.asarray(values, dtype=np.float64)
+    n = values.size
+    idx = np.arange(n, dtype=np.int64)
+    return CSRMatrix((n, n), values.copy(), idx,
+                     np.arange(n + 1, dtype=np.int64), check=False)
+
+
+def random_sparse(m: int, n: int, density: float, rng,
+                  *, values: str = "normal") -> CSRMatrix:
+    """Random sparse matrix with expected ``density * m * n`` entries.
+
+    Parameters
+    ----------
+    values:
+        ``"normal"`` for standard normal entries, ``"uniform"`` for
+        entries in ``(0, 1)``.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ShapeError("density must be in [0, 1]")
+    nnz = int(round(density * m * n))
+    nnz = min(nnz, m * n)
+    if nnz == 0:
+        return CSRMatrix.zeros((m, n))
+    flat = rng.choice(m * n, size=nnz, replace=False)
+    rows, cols = np.divmod(flat, n)
+    if values == "normal":
+        vals = rng.standard_normal(nnz)
+    elif values == "uniform":
+        vals = rng.random(nnz)
+    else:
+        raise ValueError(f"unknown values kind: {values!r}")
+    # Ensure no exact zero sneaks in and silently vanishes.
+    vals[vals == 0.0] = 1.0
+    return CSRMatrix.from_coo(rows, cols, vals, (m, n))
+
+
+def hstack(blocks: Sequence[CSRMatrix]) -> CSRMatrix:
+    """Horizontal concatenation ``[B0 B1 ...]``."""
+    if not blocks:
+        raise ShapeError("hstack needs at least one block")
+    m = blocks[0].shape[0]
+    if any(b.shape[0] != m for b in blocks):
+        raise ShapeError("hstack blocks must share the row count")
+    rows_all, cols_all, vals_all = [], [], []
+    offset = 0
+    for b in blocks:
+        r, c, v = b.to_coo()
+        rows_all.append(r)
+        cols_all.append(c + offset)
+        vals_all.append(v)
+        offset += b.shape[1]
+    return CSRMatrix.from_coo(np.concatenate(rows_all),
+                              np.concatenate(cols_all),
+                              np.concatenate(vals_all), (m, offset))
+
+
+def vstack(blocks: Sequence[CSRMatrix]) -> CSRMatrix:
+    """Vertical concatenation ``[B0; B1; ...]``."""
+    if not blocks:
+        raise ShapeError("vstack needs at least one block")
+    n = blocks[0].shape[1]
+    if any(b.shape[1] != n for b in blocks):
+        raise ShapeError("vstack blocks must share the column count")
+    rows_all, cols_all, vals_all = [], [], []
+    offset = 0
+    for b in blocks:
+        r, c, v = b.to_coo()
+        rows_all.append(r + offset)
+        cols_all.append(c)
+        vals_all.append(v)
+        offset += b.shape[0]
+    return CSRMatrix.from_coo(np.concatenate(rows_all),
+                              np.concatenate(cols_all),
+                              np.concatenate(vals_all), (offset, n))
+
+
+def block_diag(blocks: Sequence[CSRMatrix]) -> CSRMatrix:
+    """Block-diagonal assembly ``diag(B0, B1, ...)``."""
+    if not blocks:
+        raise ShapeError("block_diag needs at least one block")
+    rows_all, cols_all, vals_all = [], [], []
+    ro = co = 0
+    for b in blocks:
+        r, c, v = b.to_coo()
+        rows_all.append(r + ro)
+        cols_all.append(c + co)
+        vals_all.append(v)
+        ro += b.shape[0]
+        co += b.shape[1]
+    return CSRMatrix.from_coo(np.concatenate(rows_all),
+                              np.concatenate(cols_all),
+                              np.concatenate(vals_all), (ro, co))
+
+
+def from_blocks(grid: Sequence[Sequence]) -> CSRMatrix:
+    """Assemble from a 2-D grid of blocks; ``None`` means a zero block.
+
+    Every row of the grid must have the same number of block columns, and
+    block shapes must be consistent along rows and columns. At least one
+    block per grid row and per grid column must be non-``None`` so the
+    zero blocks' shapes are inferable.
+    """
+    nrows = len(grid)
+    if nrows == 0:
+        raise ShapeError("from_blocks needs at least one row")
+    ncols = len(grid[0])
+    if any(len(row) != ncols for row in grid):
+        raise ShapeError("ragged block grid")
+    row_heights = [None] * nrows
+    col_widths = [None] * ncols
+    for i, row in enumerate(grid):
+        for j, b in enumerate(row):
+            if b is None:
+                continue
+            if row_heights[i] is None:
+                row_heights[i] = b.shape[0]
+            elif row_heights[i] != b.shape[0]:
+                raise ShapeError(f"inconsistent height in block row {i}")
+            if col_widths[j] is None:
+                col_widths[j] = b.shape[1]
+            elif col_widths[j] != b.shape[1]:
+                raise ShapeError(f"inconsistent width in block column {j}")
+    if any(h is None for h in row_heights) or any(w is None for w in col_widths):
+        raise ShapeError("a full row or column of None blocks has unknown shape")
+    row_off = np.concatenate(([0], np.cumsum(row_heights)))
+    col_off = np.concatenate(([0], np.cumsum(col_widths)))
+    rows_all, cols_all, vals_all = [], [], []
+    for i, row in enumerate(grid):
+        for j, b in enumerate(row):
+            if b is None:
+                continue
+            r, c, v = b.to_coo()
+            rows_all.append(r + row_off[i])
+            cols_all.append(c + col_off[j])
+            vals_all.append(v)
+    shape = (int(row_off[-1]), int(col_off[-1]))
+    if not rows_all:
+        return CSRMatrix.zeros(shape)
+    return CSRMatrix.from_coo(np.concatenate(rows_all),
+                              np.concatenate(cols_all),
+                              np.concatenate(vals_all), shape)

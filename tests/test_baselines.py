@@ -1,0 +1,101 @@
+"""Tests for the CPU/GPU baseline models and the device catalog."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (CPUModel, GPUModel, I7_CPU, RTX3070_GPU,
+                             SolveWorkload, TABLE2, U50_FPGA,
+                             cpu_solve_seconds, gpu_power_watts,
+                             gpu_solve_seconds, workload_from_result)
+from repro.problems import generate_svm
+from repro.solver import OSQPSettings, solve
+
+
+def make_workload(nnz=10_000, n=500, m=800, admm=100, pcg=500):
+    return SolveWorkload(n=n, m=m, nnz_spmv=nnz, admm_iterations=admm,
+                         pcg_iterations=pcg)
+
+
+class TestDeviceCatalog:
+    def test_table2_rows(self):
+        assert len(TABLE2) == 3
+        assert U50_FPGA.tdp_watts == 75.0
+        assert I7_CPU.peak_teraflops == 0.5
+        assert RTX3070_GPU.lithography_nm == 8
+
+    def test_gpu_has_highest_peak(self):
+        assert RTX3070_GPU.peak_teraflops > I7_CPU.peak_teraflops \
+            > U50_FPGA.peak_teraflops
+
+
+class TestWorkload:
+    def test_from_result(self):
+        prob = generate_svm(10, seed=0)
+        res = solve(prob, OSQPSettings(max_iter=2000))
+        wl = workload_from_result(prob, res)
+        assert wl.n == prob.n and wl.m == prob.m
+        assert wl.nnz_spmv == prob.P.nnz + 2 * prob.A.nnz
+        assert wl.admm_iterations == res.info.iterations
+        assert wl.pcg_iterations == res.info.pcg_iterations
+
+    def test_call_counts_scale_with_iterations(self):
+        small = make_workload(admm=10, pcg=50)
+        big = make_workload(admm=20, pcg=100)
+        assert big.total_spmv_calls == 2 * small.total_spmv_calls
+        assert big.total_vector_calls == 2 * small.total_vector_calls
+
+    def test_problem_bytes_positive(self):
+        assert make_workload().problem_bytes > 0
+
+
+class TestCPUModel:
+    def test_time_grows_with_nnz(self):
+        small = cpu_solve_seconds(make_workload(nnz=1_000))
+        big = cpu_solve_seconds(make_workload(nnz=1_000_000))
+        assert big > small
+
+    def test_time_grows_with_iterations(self):
+        few = cpu_solve_seconds(make_workload(admm=10, pcg=50))
+        many = cpu_solve_seconds(make_workload(admm=100, pcg=500))
+        assert many > few
+
+    def test_kkt_fraction_dominates(self):
+        # Figure 8: PCG takes > 90 % of the CPU solver time for typical
+        # PCG-heavy workloads.
+        model = CPUModel()
+        wl = make_workload(nnz=50_000, admm=100, pcg=1500)
+        frac = model.kkt_solve_seconds(wl) / model.solve_seconds(wl)
+        assert frac > 0.85
+
+    def test_setup_floor(self):
+        wl = make_workload(nnz=10, n=2, m=2, admm=1, pcg=1)
+        assert cpu_solve_seconds(wl) >= CPUModel().setup_seconds
+
+
+class TestGPUModel:
+    def test_gpu_loses_small_wins_big(self):
+        # cuOSQP finding: CPU faster below ~1e5 nnz, GPU faster above.
+        small = make_workload(nnz=3_000, n=200, m=300, admm=100, pcg=400)
+        big = make_workload(nnz=3_000_000, n=80_000, m=120_000,
+                            admm=100, pcg=400)
+        assert gpu_solve_seconds(small) > cpu_solve_seconds(small)
+        assert gpu_solve_seconds(big) < cpu_solve_seconds(big)
+
+    def test_power_range_matches_paper(self):
+        # Paper: 44 W to 126 W observed across the benchmark.
+        tiny = gpu_power_watts(make_workload(nnz=100))
+        huge = gpu_power_watts(make_workload(nnz=10_000_000))
+        assert 44.0 <= tiny < 60.0
+        assert 100.0 < huge <= 126.0
+
+    def test_power_monotone_in_size(self):
+        watts = [gpu_power_watts(make_workload(nnz=k))
+                 for k in (1_000, 50_000, 1_000_000)]
+        assert watts == sorted(watts)
+
+    def test_launch_overhead_floor(self):
+        wl = make_workload(nnz=10, n=2, m=2, admm=1, pcg=1)
+        model = GPUModel()
+        floor = (wl.total_spmv_calls + wl.total_vector_calls) \
+            * model.launch_overhead
+        assert gpu_solve_seconds(wl) >= floor

@@ -1,0 +1,38 @@
+"""Tests for the experiments CLI (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_table2(self, capsys):
+        assert main(["--table", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "RTX3070" in out
+
+    def test_figure7(self, capsys):
+        assert main(["--figure", "7", "--count", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "portfolio" in out
+
+    def test_figure9_with_family_subset(self, capsys):
+        assert main(["--figure", "9", "--count", "1",
+                     "--families", "svm"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out and "svm" in out
+        assert "portfolio" not in out.split("Figure 9")[1]
+
+    def test_summary(self, capsys):
+        assert main(["--summary", "--count", "1",
+                     "--families", "control"]) == 0
+        out = capsys.readouterr().out
+        assert "customization_speedup_min" in out
+
+    def test_no_arguments_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out
+
+    def test_invalid_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "99"])

@@ -1,0 +1,116 @@
+"""Tests for HLS code generation and the Figure 6 flow."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.codegen import (emit_alignment_switch, emit_cvb_tables,
+                           emit_mac_tree, emit_spmv_align_function,
+                           generate_hardware)
+from repro.customization import (baseline_architecture, build_cvb,
+                                 parse_architecture, schedule)
+from repro.encoding import encode_matrix
+from repro.problems import generate_svm
+from repro.sparse import CSRMatrix
+
+
+class TestAlignmentSwitch:
+    def test_baseline_is_single_assignment(self):
+        code = emit_alignment_switch(baseline_architecture(16))
+        assert "align_out[0] << acc_pack.data[0];" in code
+        assert "switch (" not in code
+
+    def test_customized_has_case_per_width(self):
+        arch = parse_architecture("16{16a2d1e}")
+        code = emit_alignment_switch(arch)
+        assert "case 16:" in code
+        assert "case 2:" in code
+        assert "case 1:" in code
+        assert "align_ptr = (align_ptr + acc_cnt) % 16;" in code
+
+    def test_rotation_covers_all_buffer_slots(self):
+        arch = parse_architecture("16{2d1e}")
+        code = emit_alignment_switch(arch)
+        # Inner switch enumerates every alignment pointer position (the
+        # pack width is the widest output case: 2).
+        for i in range(2):
+            assert f"\tcase {i}:" in code
+
+
+class TestSpMVAlignFunction:
+    def test_contains_hls_pragmas_and_include(self):
+        code = emit_spmv_align_function(parse_architecture("16{16a1e}"))
+        assert "#pragma HLS pipeline II = 1" in code
+        assert '#include "align_acc_cnt_switch.h"' in code
+        assert "CNT_AS_FADD_FLAG" in code
+
+
+class TestMACTree:
+    def test_lists_all_structures(self):
+        arch = parse_architecture("16{16a2d1e}")
+        code = emit_mac_tree(arch)
+        assert "'aaaaaaaaaaaaaaaa'" in code
+        assert "'dd'" in code
+        assert "'e'" in code
+        assert "16 multipliers, 15 adders" in code
+
+    def test_tap_lane_ranges(self):
+        code = emit_mac_tree(parse_architecture("16{2d1e}"))
+        assert "reduce(lanes[0..7])" in code
+        assert "reduce(lanes[8..15])" in code
+
+
+class TestCVBTables:
+    def test_tables_cover_requests(self):
+        dense = np.zeros((4, 6))
+        dense[0, 0] = dense[0, 1] = 1.0
+        dense[1, 2] = dense[1, 3] = 1.0
+        mat = CSRMatrix.from_dense(dense)
+        enc = encode_matrix(mat, 4)
+        sched = schedule(enc, baseline_architecture(4))
+        layout = build_cvb(sched)
+        code = emit_cvb_tables(layout, "A")
+        assert f"cvb_depth_A = {layout.depth};" in code
+        assert "xlate_A_bank0" in code
+        assert "dup_A_row0" in code
+
+
+class TestGenerateHardware:
+    def test_flow_produces_all_files(self, tmp_path):
+        prob = generate_svm(12, seed=0)
+        design = generate_hardware(prob, c=16, max_structures=3)
+        expected = {"align_acc_cnt_switch.h", "spmv_align.cpp",
+                    "mac_tree.txt", "cvb_P.h", "cvb_A.h", "cvb_At.h"}
+        assert expected == set(design.files)
+        out = design.write_to(tmp_path / "design")
+        for filename in expected:
+            assert (out / filename).exists()
+        manifest = json.loads((out / "build_manifest.json").read_text())
+        assert manifest["fits_u50"] is True
+        assert 0 < manifest["eta"] <= 1
+        assert manifest["fmax_mhz"] <= 300.0
+
+    def test_manifest_reports_resources(self):
+        prob = generate_svm(12, seed=1)
+        design = generate_hardware(prob, c=16)
+        res = design.manifest["resources"]
+        assert res["dsp"] == 80  # 5 x C
+        assert res["ff"] > 0 and res["lut"] > 0
+
+
+class TestCodegenCLI:
+    def test_cli_generates_design(self, tmp_path, capsys):
+        from repro.codegen.__main__ import main
+        out = tmp_path / "design"
+        assert main(["--family", "svm", "--size", "16", "--c", "16",
+                     "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "architecture" in printed
+        assert (out / "build_manifest.json").exists()
+        assert (out / "spmv_align.cpp").exists()
+
+    def test_cli_rejects_unknown_family(self):
+        from repro.codegen.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["--family", "bogus", "--size", "10"])

@@ -1,0 +1,161 @@
+"""Tests for the structure search, the metric, permutation adaptation,
+and the end-to-end customization flow."""
+
+import numpy as np
+import pytest
+
+from repro.customization import (adapt_problem, baseline_customization,
+                                 candidate_patterns, customize_problem,
+                                 evaluate_architecture, match_score,
+                                 parse_architecture, search_architecture,
+                                 sort_constraints_by_encoding)
+from repro.encoding import encode_matrix
+from repro.problems import (generate_control, generate_eqqp,
+                            generate_portfolio, generate_svm)
+from repro.sparse import CSRMatrix
+
+
+class TestMetric:
+    def test_perfect_match(self):
+        assert match_score(nnz=100, length=10, ep=0, ec=1.0) == 1.0
+
+    def test_worse_customization_lower_eta(self):
+        good = match_score(100, 10, ep=5, ec=1.5)
+        bad = match_score(100, 10, ep=50, ec=8.0)
+        assert 0 < bad < good < 1.0
+
+    def test_range(self):
+        eta = match_score(1000, 100, ep=123, ec=3.0)
+        assert 0.0 < eta <= 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            match_score(-1, 10, 0, 1)
+        with pytest.raises(ValueError):
+            match_score(1, 10, 0, -1)
+
+    def test_degenerate_empty(self):
+        assert match_score(0, 0, 0, 1.0) == 1.0
+
+
+class TestSearch:
+    def test_candidates_include_homogeneous_full_width(self):
+        text = "a" * 100
+        cands = candidate_patterns(text, 16)
+        assert "a" * 16 in cands
+
+    def test_search_improves_on_structured_string(self):
+        # Matrix with many (2,2)-row pairs: bb structures pay off.
+        dense = np.zeros((60, 16))
+        for i in range(60):
+            dense[i, (2 * i) % 14:(2 * i) % 14 + 2] = 1.0
+        enc = encode_matrix(CSRMatrix.from_dense(dense), 16)
+        result = search_architecture([enc], 16, max_structures=3)
+        assert result.cycles < result.baseline_cycles
+        assert result.improvement > 1.5
+
+    def test_search_respects_budget(self):
+        prob = generate_portfolio(60, seed=0)
+        enc = encode_matrix(prob.A, 16)
+        result = search_architecture([enc], 16, max_structures=2)
+        # Budget excludes the implicit full-width root structure.
+        assert result.architecture.n_structures <= 3
+
+    def test_search_on_unstructured_string_degrades_gracefully(self):
+        # eqqp-like: long dense rows, few repeats -> small improvement.
+        prob = generate_eqqp(60, seed=0)
+        enc_p = encode_matrix(prob.P, 16)
+        result = search_architecture([enc_p], 16, max_structures=4)
+        assert result.cycles <= result.baseline_cycles
+
+    def test_search_requires_encodings(self):
+        with pytest.raises(ValueError):
+            search_architecture([], 16)
+
+
+class TestCustomizeProblem:
+    def test_full_flow_improves_eta(self):
+        prob = generate_portfolio(80, seed=1)
+        base = baseline_customization(prob, 16)
+        custom = customize_problem(prob, 16, max_structures=4)
+        assert custom.eta > base.eta
+        assert 0 < base.eta < 1 and 0 < custom.eta <= 1
+
+    def test_streams_all_three_matrices(self):
+        prob = generate_svm(20, seed=2)
+        custom = customize_problem(prob, 16)
+        assert set(custom.matrices) == {"P", "A", "At"}
+        assert custom.total_nnz == prob.P.nnz + 2 * prob.A.nnz
+
+    def test_baseline_has_ec_equal_c(self):
+        prob = generate_control(6, seed=3)
+        base = baseline_customization(prob, 16)
+        for m in base.matrices.values():
+            assert m.ec == pytest.approx(16.0)
+
+    def test_customized_ec_below_baseline(self):
+        prob = generate_control(6, seed=3)
+        base = baseline_customization(prob, 16)
+        custom = customize_problem(prob, 16)
+        for name in custom.matrices:
+            assert custom.matrices[name].ec <= base.matrices[name].ec
+
+    def test_evaluate_named_architecture(self):
+        prob = generate_svm(20, seed=4)
+        arch = parse_architecture("16{16a2d1e}")
+        custom = evaluate_architecture(prob, arch)
+        assert custom.architecture == arch
+        assert custom.total_ep >= 0
+
+    def test_eqqp_improves_least(self):
+        # The paper's observation: eqqp's unstructured strings benefit
+        # least from customization.
+        eqqp = generate_eqqp(80, seed=5)
+        ctrl = generate_control(8, seed=5)
+        gain_eqqp = (customize_problem(eqqp, 16).eta
+                     - baseline_customization(eqqp, 16).eta)
+        gain_ctrl = (customize_problem(ctrl, 16).eta
+                     - baseline_customization(ctrl, 16).eta)
+        assert gain_ctrl > gain_eqqp
+
+    def test_summary_renders(self):
+        prob = generate_svm(16, seed=6)
+        custom = customize_problem(prob, 16)
+        text = custom.summary()
+        assert "eta" in text and "A" in text
+
+
+class TestPermutation:
+    def test_sorted_constraints_cluster_characters(self):
+        prob = generate_portfolio(50, seed=7)
+        adapted, perm = sort_constraints_by_encoding(prob, 16)
+        enc = encode_matrix(adapted.A, 16)
+        # After sorting, the string's runs are at least as long: count
+        # character transitions.
+        orig = encode_matrix(prob.A, 16).string
+        transitions = sum(1 for a, b in zip(orig, orig[1:]) if a != b)
+        sorted_transitions = sum(1 for a, b in zip(enc.string, enc.string[1:])
+                                 if a != b)
+        assert sorted_transitions <= transitions
+
+    def test_constraint_sort_preserves_problem(self):
+        prob = generate_svm(12, seed=8)
+        adapted, perm = sort_constraints_by_encoding(prob, 16)
+        x = np.random.default_rng(0).standard_normal(prob.n)
+        assert np.isclose(adapted.primal_residual(x),
+                          prob.primal_residual(x))
+
+    def test_adapt_problem_returns_permutations(self):
+        prob = generate_svm(12, seed=9)
+        adapted, n_perm, m_perm = adapt_problem(prob, 16,
+                                                sort_variables=True)
+        np.testing.assert_array_equal(np.sort(n_perm), np.arange(prob.n))
+        np.testing.assert_array_equal(np.sort(m_perm), np.arange(prob.m))
+
+    def test_constraint_sorting_does_not_hurt_ep(self):
+        prob = generate_portfolio(50, seed=10)
+        adapted, _, _ = adapt_problem(prob, 16)
+        base = customize_problem(prob, 16)
+        after = customize_problem(adapted, 16)
+        # Sorting creates longer runs; Ep should not get worse by much.
+        assert after.total_ep <= base.total_ep * 1.1

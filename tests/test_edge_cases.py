@@ -1,0 +1,136 @@
+"""Cross-stack edge cases: degenerate shapes through every layer."""
+
+import numpy as np
+import pytest
+
+from repro.customization import (baseline_customization, customize_problem,
+                                 schedule, baseline_architecture, build_cvb)
+from repro.encoding import encode_matrix
+from repro.hw import RSQPAccelerator
+from repro.qp import QProblem
+from repro.solver import OSQPSettings, OSQPSolver
+from repro.sparse import CSRMatrix, eye
+
+from helpers import random_spd_dense
+
+
+class TestUnconstrainedProblem:
+    """m = 0: no constraint rows anywhere in the stack."""
+
+    def make(self, rng):
+        p = random_spd_dense(rng, 3, 0.6)
+        return QProblem(P=CSRMatrix.from_dense(p),
+                        q=rng.standard_normal(3),
+                        A=CSRMatrix.zeros((0, 3)),
+                        l=np.zeros(0), u=np.zeros(0))
+
+    def test_customization(self, rng):
+        prob = self.make(rng)
+        custom = customize_problem(prob, 16)
+        assert 0 < custom.eta <= 1
+        assert custom.matrices["A"].spmv_cycles == 0
+
+    def test_accelerator_solves(self, rng):
+        prob = self.make(rng)
+        acc = RSQPAccelerator(prob, settings=OSQPSettings(max_iter=500))
+        res = acc.run()
+        assert res.converged
+        expected = np.linalg.solve(prob.P.to_dense(), -prob.q)
+        np.testing.assert_allclose(res.x, expected, atol=1e-2)
+
+    def test_reference_solver(self, rng):
+        prob = self.make(rng)
+        res = OSQPSolver(prob, OSQPSettings(eps_abs=1e-7,
+                                            eps_rel=1e-7)).solve()
+        assert res.status.is_optimal
+
+
+class TestSingleElementProblem:
+    def test_one_by_one(self):
+        prob = QProblem(P=CSRMatrix.from_dense([[2.0]]), q=[1.0],
+                        A=eye(1), l=[-0.1], u=[0.1])
+        res = OSQPSolver(prob, OSQPSettings(eps_abs=1e-7,
+                                            eps_rel=1e-7)).solve()
+        assert res.status.is_optimal
+        np.testing.assert_allclose(res.x, [-0.1], atol=1e-4)
+        acc = RSQPAccelerator(prob, settings=OSQPSettings(max_iter=500))
+        hw = acc.run()
+        assert hw.converged
+        np.testing.assert_allclose(hw.x, [-0.1], atol=1e-3)
+
+
+class TestEmptyMatrixEncoding:
+    def test_zero_row_matrix_encodes_empty(self):
+        enc = encode_matrix(CSRMatrix.zeros((0, 5)), 16)
+        assert enc.string == ""
+        assert enc.chunks == []
+        sched = schedule(enc, baseline_architecture(16))
+        assert sched.cycles == 0 and sched.ep == 0
+        layout = build_cvb(sched)
+        assert layout.depth == 0
+
+    def test_all_zero_matrix(self):
+        # Rows exist but hold nothing: one 'a' slot each.
+        enc = encode_matrix(CSRMatrix.zeros((4, 5)), 16)
+        assert enc.string == "aaaa"
+        sched = schedule(enc, baseline_architecture(16))
+        assert sched.ep == 4 * 16
+
+
+class TestDegenerateBounds:
+    def test_all_equalities(self, rng):
+        n = 4
+        p = random_spd_dense(rng, n, 0.5)
+        a = rng.standard_normal((2, n))
+        x_feas = rng.standard_normal(n)
+        b = a @ x_feas
+        prob = QProblem(P=CSRMatrix.from_dense(p),
+                        q=rng.standard_normal(n),
+                        A=CSRMatrix.from_dense(a), l=b, u=b.copy())
+        res = OSQPSolver(prob, OSQPSettings(eps_abs=1e-6,
+                                            eps_rel=1e-6)).solve()
+        assert res.status.is_optimal
+        np.testing.assert_allclose(a @ res.x, b, atol=1e-3)
+
+    def test_all_free_rows(self, rng):
+        # Constraints present but fully unbounded: effectively m = 0.
+        n = 3
+        p = random_spd_dense(rng, n, 0.6)
+        prob = QProblem(P=CSRMatrix.from_dense(p),
+                        q=rng.standard_normal(n), A=eye(n),
+                        l=np.full(n, -np.inf), u=np.full(n, np.inf))
+        res = OSQPSolver(prob, OSQPSettings(eps_abs=1e-6,
+                                            eps_rel=1e-6)).solve()
+        assert res.status.is_optimal
+        expected = np.linalg.solve(p, -prob.q)
+        np.testing.assert_allclose(res.x, expected, atol=1e-3)
+
+    def test_fixed_variable_via_equality(self):
+        # x0 pinned by an equality, x1 free to optimize.
+        prob = QProblem(P=eye(2), q=np.array([0.0, -2.0]),
+                        A=CSRMatrix.from_dense([[1.0, 0.0]]),
+                        l=[0.7], u=[0.7])
+        res = OSQPSolver(prob, OSQPSettings(eps_abs=1e-7,
+                                            eps_rel=1e-7)).solve()
+        assert res.status.is_optimal
+        np.testing.assert_allclose(res.x, [0.7, 2.0], atol=1e-4)
+
+
+class TestTinyWidths:
+    def test_c_equal_one(self, rng):
+        # Degenerate datapath: every row is a $-chunk or an 'a'.
+        dense = (rng.random((5, 4)) < 0.5).astype(float)
+        mat = CSRMatrix.from_dense(dense)
+        enc = encode_matrix(mat, 1)
+        sched = schedule(enc, baseline_architecture(1))
+        sched.validate()
+        assert sched.ep >= 0
+
+    def test_c_two(self, rng):
+        dense = (rng.random((6, 6)) < 0.4).astype(float)
+        mat = CSRMatrix.from_dense(dense)
+        enc = encode_matrix(mat, 2)
+        sched = schedule(enc, baseline_architecture(2))
+        sched.validate()
+        layout = build_cvb(sched)
+        layout.validate()

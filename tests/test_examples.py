@@ -1,0 +1,42 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_expected_scripts():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 4  # quickstart + >= 3 domain scenarios
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()  # every example reports something
+
+
+def test_quickstart_agreement_message():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=300)
+    assert "software and simulated hardware agree" in proc.stdout
+
+
+def test_custom_accelerator_writes_design(tmp_path):
+    # The example writes next to itself; just assert the manifest stage
+    # reported a fitting design.
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "custom_accelerator.py")],
+        capture_output=True, text=True, timeout=300)
+    assert "fits U50   : True" in proc.stdout
+    design_dir = EXAMPLES_DIR / "generated_design"
+    assert (design_dir / "build_manifest.json").exists()

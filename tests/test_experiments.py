@@ -1,0 +1,182 @@
+"""Tests for the experiment harness: runner, figure producers, report."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (ProblemRecord, choose_width,
+                               fig07_problem_dimensions, fig08_kkt_fraction,
+                               fig09_eta_improvement,
+                               fig10_customization_speedup,
+                               fig11_speedup_over_mkl, fig12_solver_runtime,
+                               fig13_power_efficiency, format_table,
+                               run_problem, run_suite, summarize_records,
+                               table2_platforms, table3_tradeoff)
+from repro.problems import generate
+from repro.solver import OSQPSettings
+
+
+@pytest.fixture(scope="module")
+def records():
+    """A small but real experiment run (2 sizes x 6 families)."""
+    return run_suite(count=2, settings=OSQPSettings(max_iter=4000))
+
+
+class TestRunner:
+    def test_choose_width_scales_with_problem(self):
+        assert choose_width(100) == 16
+        assert choose_width(10_000) == 32
+        assert choose_width(1_000_000) == 64
+
+    def test_run_problem_record_fields(self):
+        prob = generate("svm", 16, seed=0)
+        record = run_problem(prob, "svm")
+        assert record.family == "svm"
+        assert record.nnz == prob.nnz
+        assert record.admm_iterations > 0
+        assert record.pcg_iterations > 0
+        assert record.fpga_custom_seconds > 0
+        assert record.customization_speedup >= 1.0
+        assert 0 < record.eta_baseline <= record.eta_custom <= 1.0
+
+    def test_run_suite_covers_families(self, records):
+        assert len(records) == 12
+        assert {r.family for r in records} == {
+            "portfolio", "lasso", "huber", "control", "svm", "eqqp"}
+
+    def test_records_internally_consistent(self, records):
+        for r in records:
+            assert r.fpga_custom_seconds <= r.fpga_baseline_seconds * 1.001
+            assert np.isclose(r.customization_speedup,
+                              r.fpga_baseline_seconds
+                              / r.fpga_custom_seconds)
+            assert 0.0 <= r.cpu_kkt_fraction <= 1.0
+
+
+class TestFigures:
+    def test_fig07_rows(self):
+        rows = fig07_problem_dimensions(count=1)
+        assert len(rows) == 6
+        assert all(row["nnz"] > 0 and row["n"] > 0 for row in rows)
+
+    def test_record_figures_have_one_row_per_record(self, records):
+        for producer in (fig08_kkt_fraction, fig09_eta_improvement,
+                         fig10_customization_speedup,
+                         fig11_speedup_over_mkl, fig12_solver_runtime,
+                         fig13_power_efficiency):
+            rows = producer(records)
+            assert len(rows) == len(records)
+
+    def test_fig11_consistency_with_fig12(self, records):
+        f11 = fig11_speedup_over_mkl(records)
+        f12 = fig12_solver_runtime(records)
+        for r11, r12 in zip(f11, f12):
+            assert np.isclose(r11["customization"],
+                              r12["mkl_s"] / r12["customization_s"])
+
+    def test_table2(self):
+        rows = table2_platforms()
+        assert [row["device"] for row in rows] == ["FPGA", "CPU", "GPU"]
+
+    def test_table3_row_count_and_baseline(self):
+        prob = generate("svm", 24, seed=0)
+        rows = table3_tradeoff(prob, candidates=("16{e}", "16{16a1e}"))
+        assert len(rows) == 2
+        assert rows[0]["delta_eta"] == 0.0
+        assert rows[1]["delta_eta"] > 0.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="X")
+
+    def test_summarize(self, records):
+        summary = summarize_records(records)
+        assert summary["problems"] == len(records)
+        assert summary["customization_speedup_min"] >= 1.0
+        assert set(summary["mean_customization_speedup_by_family"]) == {
+            "portfolio", "lasso", "huber", "control", "svm", "eqqp"}
+
+    def test_summarize_empty(self):
+        assert summarize_records([]) == {}
+
+
+class TestPaperShapes:
+    """The headline claims of §5, asserted on the mini suite."""
+
+    def test_customization_always_helps(self, records):
+        assert all(r.customization_speedup >= 1.0 for r in records)
+
+    def test_eqqp_benefits_least(self, records):
+        by_family = {}
+        for r in records:
+            by_family.setdefault(r.family, []).append(r.eta_improvement)
+        means = {f: np.mean(v) for f, v in by_family.items()}
+        assert means["eqqp"] == min(means.values())
+
+    def test_fpga_power_flat_gpu_variable(self, records):
+        fpga = [r.fpga_power_watts for r in records]
+        gpu = [r.gpu_power_watts for r in records]
+        assert max(fpga) - min(fpga) < 1.0      # flat ~19 W
+        assert all(44.0 <= w <= 126.0 for w in gpu)
+
+    def test_fpga_beats_gpu_in_efficiency(self, records):
+        assert all(r.fpga_throughput_per_watt > r.gpu_throughput_per_watt
+                   for r in records)
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, records, tmp_path):
+        from repro.experiments import load_records, save_records
+        path = save_records(records, tmp_path / "records.json")
+        loaded = load_records(path)
+        assert len(loaded) == len(records)
+        for a, b in zip(records, loaded):
+            assert a.name == b.name
+            assert a.nnz == b.nnz
+            assert a.customization_speedup == pytest.approx(
+                b.customization_speedup)
+
+    def test_figures_work_on_loaded_records(self, records, tmp_path):
+        from repro.experiments import (load_records, save_records,
+                                       fig09_eta_improvement)
+        path = save_records(records, tmp_path / "r.json")
+        rows = fig09_eta_improvement(load_records(path))
+        assert len(rows) == len(records)
+
+    def test_version_mismatch_rejected(self):
+        from repro.experiments import records_from_json
+        with pytest.raises(ValueError):
+            records_from_json('{"schema_version": 99, "records": []}')
+
+    def test_unknown_fields_rejected(self):
+        from repro.experiments import records_from_json
+        bad = ('{"schema_version": 1, "records": [{"bogus": 1}]}')
+        with pytest.raises(ValueError):
+            records_from_json(bad)
+
+
+class TestRunnerAcceleratorConsistency:
+    def test_runner_fpga_model_matches_accelerator_estimate(self):
+        """The runner's analytic FPGA time and the accelerator's own
+        cost model must be the same function of iteration counts."""
+        from repro.customization import customize_problem
+        from repro.experiments.runner import _fpga_seconds
+        from repro.hw import RSQPAccelerator, fmax_mhz
+
+        prob = generate("svm", 16, seed=2)
+        custom = customize_problem(prob, 16)
+        acc = RSQPAccelerator(prob, customization=custom,
+                              settings=OSQPSettings(max_iter=100))
+        admm, pcg = 37, 215
+        runner_seconds = _fpga_seconds(prob, custom, admm, pcg)
+        acc_cycles = acc.estimate_cycles(admm, pcg)
+        acc_seconds = acc_cycles / (fmax_mhz(custom.architecture) * 1e6)
+        assert runner_seconds == pytest.approx(acc_seconds, rel=1e-12)

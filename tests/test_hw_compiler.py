@@ -1,0 +1,119 @@
+"""Direct unit tests for the OSQP -> ISA compiler and its cost model."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (ADMM_LOOP, PCG_LOOP, Loop, SpMV, VecDup, VectorOp,
+                      attach_costs, compile_osqp_program)
+from repro.hw.compiler import StaticCostContext, _vector_lengths
+
+
+def compiled(n=7, m=11):
+    c = compile_osqp_program(n, m, max_admm_iter=100, max_pcg_iter=40)
+    attach_costs(c, 16, spmv={"P": 50, "A": 80, "At": 80},
+                 depths={"P": 5, "A": 9, "At": 7}, n=n, m=m)
+    return c
+
+
+class TestStructure:
+    def test_two_nested_loops(self):
+        c = compiled()
+        loops = [i for i in c.program.instructions if isinstance(i, Loop)]
+        assert len(loops) == 1 and loops[0].name == ADMM_LOOP
+        inner = [i for i in loops[0].body if isinstance(i, Loop)]
+        assert len(inner) == 1 and inner[0].name == PCG_LOOP
+        assert loops[0].max_iter == 100
+        assert inner[0].max_iter == 40
+
+    def test_every_matrix_spmv_has_a_preceding_vecdup(self):
+        c = compiled()
+        # Structural invariant: each SpMV's CVB is written by some
+        # VecDup somewhere in the program.
+        dups = set()
+        spmvs = set()
+
+        def collect(items):
+            for item in items:
+                if isinstance(item, Loop):
+                    collect(item.body)
+                elif isinstance(item, VecDup):
+                    dups.add(item.cvb)
+                elif isinstance(item, SpMV):
+                    spmvs.add(item.src)
+
+        collect(c.program.instructions)
+        assert spmvs <= dups
+
+    def test_k_apply_streams_all_three_matrices(self):
+        c = compiled()
+        admm = next(i for i in c.program.instructions
+                    if isinstance(i, Loop))
+        pcg = next(i for i in admm.body if isinstance(i, Loop))
+        matrices = [i.matrix for i in pcg.body if isinstance(i, SpMV)]
+        assert matrices == ["P", "A", "At"]
+
+    def test_vector_lengths_cover_all_program_vectors(self):
+        n, m = 7, 11
+        c = compiled(n, m)
+        lengths = _vector_lengths(n, m)
+
+        def walk(items):
+            for item in items:
+                if isinstance(item, Loop):
+                    walk(item.body)
+                elif isinstance(item, VectorOp):
+                    for name in item.srcs:
+                        assert name in lengths, name
+                    if item.dst not in lengths:
+                        # dots write scalars; everything else must have
+                        # a known length
+                        from repro.hw import VectorOpKind
+                        assert item.op is VectorOpKind.DOT, item
+
+        walk(c.program.instructions)
+
+
+class TestCostModel:
+    def test_sections_have_positive_costs(self):
+        c = compiled()
+        assert c.prologue_cycles > 0
+        assert c.admm_body_cycles > 0
+        assert c.pcg_body_cycles > 0
+        assert c.epilogue_cycles > 0
+
+    def test_estimate_is_affine_in_iterations(self):
+        c = compiled()
+        base = c.estimate_cycles(0, 0)
+        one_admm = c.estimate_cycles(1, 0)
+        one_pcg = c.estimate_cycles(0, 1)
+        assert one_admm - base == c.admm_body_cycles
+        assert one_pcg - base == c.pcg_body_cycles
+        assert (c.estimate_cycles(10, 35)
+                == base + 10 * c.admm_body_cycles
+                + 35 * c.pcg_body_cycles)
+
+    def test_costs_scale_with_spmv_cycles(self):
+        slow = compile_osqp_program(7, 11, max_admm_iter=10,
+                                    max_pcg_iter=10)
+        attach_costs(slow, 16, spmv={"P": 500, "A": 800, "At": 800},
+                     depths={"P": 5, "A": 9, "At": 7}, n=7, m=11)
+        fast = compiled()
+        assert slow.pcg_body_cycles > fast.pcg_body_cycles
+        # Exactly the SpMV delta: (500-50) + (800-80) + (800-80).
+        assert (slow.pcg_body_cycles - fast.pcg_body_cycles
+                == (500 - 50) + (800 - 80) + (800 - 80))
+
+    def test_costs_scale_with_cvb_depth(self):
+        deep = compile_osqp_program(7, 11, max_admm_iter=10,
+                                    max_pcg_iter=10)
+        attach_costs(deep, 16, spmv={"P": 50, "A": 80, "At": 80},
+                     depths={"P": 500, "A": 900, "At": 700}, n=7, m=11)
+        fast = compiled()
+        assert deep.pcg_body_cycles > fast.pcg_body_cycles
+
+    def test_static_context(self):
+        ctx = StaticCostContext(c=8, lengths={"v": 20}, spmv={"M": 7},
+                                depths={"M": 3})
+        assert ctx.vector_length("v") == 20
+        assert ctx.spmv_cycles("M") == 7
+        assert ctx.cvb_depth("M") == 3

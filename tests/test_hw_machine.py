@@ -1,0 +1,225 @@
+"""Tests for the ISA, the cycle-accurate machine, and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.hw import (Control, DataTransfer, Loop, Machine, MatrixResource,
+                      PIPELINE_OVERHEAD, Program, ScalarOp, ScalarOpKind,
+                      SpMV, VecDup, VectorOp, VectorOpKind)
+from repro.sparse import CSRMatrix
+
+from helpers import random_dense
+
+
+def make_machine(c=4, with_matrix=False, rng=None):
+    matrices = {}
+    if with_matrix:
+        rng = rng or np.random.default_rng(0)
+        mat = CSRMatrix.from_dense(random_dense(rng, 6, 6, 0.5))
+        matrices["M"] = MatrixResource(name="M", matrix=mat,
+                                       spmv_cycles=10, cvb_depth=3)
+    return Machine(c, matrices)
+
+
+class TestScalarOps:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (ScalarOpKind.ADD, 2.0, 3.0, 5.0),
+        (ScalarOpKind.SUB, 2.0, 3.0, -1.0),
+        (ScalarOpKind.MUL, 2.0, 3.0, 6.0),
+        (ScalarOpKind.DIV, 3.0, 2.0, 1.5),
+        (ScalarOpKind.MAX, 2.0, 3.0, 3.0),
+    ])
+    def test_binary_ops(self, op, a, b, expected):
+        m = make_machine()
+        m.set_scalar("a", a)
+        m.set_scalar("b", b)
+        prog = Program([ScalarOp(op, "out", "a", "b")])
+        m.run(prog)
+        assert m.scalars["out"] == expected
+
+    def test_sqrt_and_mov(self):
+        m = make_machine()
+        m.set_scalar("a", 9.0)
+        m.run(Program([ScalarOp(ScalarOpKind.SQRT, "s", "a"),
+                       ScalarOp(ScalarOpKind.MOV, "c", "s")]))
+        assert m.scalars["s"] == 3.0
+        assert m.scalars["c"] == 3.0
+
+    def test_sqrt_negative_rejected(self):
+        m = make_machine()
+        m.set_scalar("a", -1.0)
+        with pytest.raises(SimulationError):
+            m.run(Program([ScalarOp(ScalarOpKind.SQRT, "s", "a")]))
+
+    def test_division_by_zero_rejected(self):
+        m = make_machine()
+        m.set_scalar("a", 1.0)
+        m.set_scalar("z", 0.0)
+        with pytest.raises(SimulationError):
+            m.run(Program([ScalarOp(ScalarOpKind.DIV, "out", "a", "z")]))
+
+    def test_literal_operands(self):
+        m = make_machine()
+        m.run(Program([ScalarOp(ScalarOpKind.ADD, "out", 1.5, 2.5)]))
+        assert m.scalars["out"] == 4.0
+
+    def test_unknown_register_rejected(self):
+        m = make_machine()
+        with pytest.raises(SimulationError):
+            m.run(Program([ScalarOp(ScalarOpKind.ADD, "out", "ghost", 1.0)]))
+
+
+class TestVectorOps:
+    def test_axpby(self):
+        m = make_machine()
+        m.vb["a"] = np.array([1.0, 2.0])
+        m.vb["b"] = np.array([10.0, 20.0])
+        m.set_scalar("al", 2.0)
+        m.run(Program([VectorOp(VectorOpKind.AXPBY, "out", ("a", "b"),
+                                alpha="al", beta=0.5)]))
+        np.testing.assert_allclose(m.vb["out"], [7.0, 14.0])
+
+    def test_scale_add(self):
+        m = make_machine()
+        m.vb["a"] = np.array([1.0, 1.0])
+        m.vb["b"] = np.array([2.0, 4.0])
+        m.run(Program([VectorOp(VectorOpKind.SCALE_ADD, "a", ("a", "b"),
+                                alpha=0.5)]))
+        np.testing.assert_allclose(m.vb["a"], [2.0, 3.0])
+
+    def test_ewmul_clip_copy(self):
+        m = make_machine()
+        m.vb["x"] = np.array([-2.0, 0.5, 3.0])
+        m.vb["lo"] = np.full(3, -1.0)
+        m.vb["hi"] = np.full(3, 1.0)
+        m.vb["w"] = np.array([2.0, 2.0, 2.0])
+        m.run(Program([
+            VectorOp(VectorOpKind.CLIP, "c", ("x", "lo", "hi")),
+            VectorOp(VectorOpKind.EWMUL, "e", ("c", "w")),
+            VectorOp(VectorOpKind.COPY, "cp", ("e",)),
+        ]))
+        np.testing.assert_allclose(m.vb["c"], [-1.0, 0.5, 1.0])
+        np.testing.assert_allclose(m.vb["cp"], [-2.0, 1.0, 2.0])
+
+    def test_dot_writes_scalar(self):
+        m = make_machine()
+        m.vb["a"] = np.array([1.0, 2.0, 3.0])
+        m.vb["b"] = np.array([4.0, 5.0, 6.0])
+        m.run(Program([VectorOp(VectorOpKind.DOT, "d", ("a", "b"))]))
+        assert m.scalars["d"] == 32.0
+
+    def test_missing_vector_rejected(self):
+        m = make_machine()
+        with pytest.raises(SimulationError):
+            m.run(Program([VectorOp(VectorOpKind.COPY, "o", ("ghost",))]))
+
+
+class TestMemoryAndSpMV:
+    def test_load_store_roundtrip(self):
+        m = make_machine()
+        m.write_hbm("v", [1.0, 2.0, 3.0])
+        m.run(Program([DataTransfer("load", "v")]))
+        m.vb["v"][0] = 99.0
+        m.run(Program([DataTransfer("store", "v")]))
+        assert m.read_hbm("v")[0] == 99.0
+
+    def test_load_missing_rejected(self):
+        m = make_machine()
+        with pytest.raises(SimulationError):
+            m.run(Program([DataTransfer("load", "ghost")]))
+
+    def test_bad_direction_rejected(self):
+        m = make_machine()
+        m.write_hbm("v", [1.0])
+        with pytest.raises(SimulationError):
+            m.run(Program([DataTransfer("sideways", "v")]))
+
+    def test_spmv_requires_vecdup(self, rng):
+        m = make_machine(with_matrix=True, rng=rng)
+        m.vb["x"] = np.ones(6)
+        with pytest.raises(SimulationError):
+            m.run(Program([SpMV("M", "M", "out")]))
+
+    def test_spmv_computes_matvec(self, rng):
+        m = make_machine(with_matrix=True, rng=rng)
+        x = rng.standard_normal(6)
+        m.vb["x"] = x
+        m.run(Program([VecDup("x", "M"), SpMV("M", "M", "out")]))
+        np.testing.assert_allclose(m.vb["out"],
+                                   m.matrices["M"].matrix.matvec(x))
+
+
+class TestCycleAccounting:
+    def test_vector_op_cycles(self):
+        m = make_machine(c=4)
+        m.vb["a"] = np.ones(10)
+        m.vb["b"] = np.ones(10)
+        m.run(Program([VectorOp(VectorOpKind.AXPBY, "o", ("a", "b"),
+                                alpha=1.0, beta=1.0)]))
+        # ceil(10 / 4) = 3 plus the pipeline overhead.
+        assert m.stats.total_cycles == PIPELINE_OVERHEAD + 3
+
+    def test_spmv_and_vecdup_cycles(self, rng):
+        m = make_machine(with_matrix=True, rng=rng)
+        m.vb["x"] = np.ones(6)
+        m.run(Program([VecDup("x", "M"), SpMV("M", "M", "o")]))
+        expected = (PIPELINE_OVERHEAD + 3) + (PIPELINE_OVERHEAD + 10)
+        assert m.stats.total_cycles == expected
+
+    def test_stats_by_class(self):
+        m = make_machine()
+        m.set_scalar("a", 1.0)
+        m.run(Program([ScalarOp(ScalarOpKind.MOV, "b", "a"),
+                       ScalarOp(ScalarOpKind.MOV, "c", "a")]))
+        assert m.stats.by_class["ScalarOp"] == 2
+        assert m.stats.instructions_executed == 2
+
+
+class TestLoops:
+    def test_loop_runs_max_iter_without_control(self):
+        m = make_machine()
+        m.set_scalar("acc", 0.0)
+        body = [ScalarOp(ScalarOpKind.ADD, "acc", "acc", 1.0)]
+        m.run(Program([Loop(body=body, max_iter=7, name="count")]))
+        assert m.scalars["acc"] == 7.0
+        assert m.stats.loop_iterations["count"] == 7
+
+    def test_control_exits_early(self):
+        m = make_machine()
+        m.set_scalar("acc", 0.0)
+        m.set_scalar("neg_limit", 3.5)
+        body = [
+            ScalarOp(ScalarOpKind.ADD, "acc", "acc", 1.0),
+            ScalarOp(ScalarOpKind.SUB, "remaining", "neg_limit", "acc"),
+            Control("remaining", 1.0),
+        ]
+        m.run(Program([Loop(body=body, max_iter=100, name="c")]))
+        # Exits when 3.5 - acc < 1 -> acc = 3.
+        assert m.scalars["acc"] == 3.0
+        assert m.stats.loop_iterations["c"] == 3
+
+    def test_nested_loops_count_inner_per_outer(self):
+        m = make_machine()
+        m.set_scalar("acc", 0.0)
+        inner = Loop(body=[ScalarOp(ScalarOpKind.ADD, "acc", "acc", 1.0)],
+                     max_iter=3, name="inner")
+        outer = Loop(body=[inner], max_iter=2, name="outer")
+        m.run(Program([outer]))
+        assert m.scalars["acc"] == 6.0
+        assert m.stats.loop_iterations["inner"] == 6
+        assert m.stats.loop_iterations["outer"] == 2
+
+    def test_control_exits_only_enclosing_loop(self):
+        m = make_machine()
+        m.set_scalar("outer_count", 0.0)
+        m.set_scalar("zero", 0.0)
+        inner = Loop(body=[Control("zero", 1.0)], max_iter=50, name="inner")
+        outer = Loop(body=[
+            inner,
+            ScalarOp(ScalarOpKind.ADD, "outer_count", "outer_count", 1.0),
+        ], max_iter=4, name="outer")
+        m.run(Program([outer]))
+        # Inner exits immediately each time; outer still runs 4 times.
+        assert m.scalars["outer_count"] == 4.0
+        assert m.stats.loop_iterations["inner"] == 4

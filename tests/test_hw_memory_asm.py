@@ -1,0 +1,157 @@
+"""Tests for the HBM memory-system model and the ROM assembler."""
+
+import numpy as np
+import pytest
+
+from repro.customization import customize_problem
+from repro.hw import (HBMConfig, U50_HBM, compile_osqp_program, disassemble,
+                      plan_hbm_layout, rom_words)
+from repro.problems import generate
+
+
+@pytest.fixture(scope="module")
+def customization():
+    return customize_problem(generate("svm", 20, seed=0), 16)
+
+
+class TestHBMPlan:
+    def test_u50_config(self):
+        assert U50_HBM.channels == 32
+        assert U50_HBM.capacity_bytes == 8 * 1024 ** 3
+        assert U50_HBM.total_bandwidth == pytest.approx(32 * 14.4e9)
+
+    def test_plan_covers_all_streams(self, customization):
+        plan = plan_hbm_layout(customization)
+        assert set(plan.placements) == {"P", "A", "At"}
+        assert plan.feasible
+
+    def test_bandwidth_matches_width_and_clock(self, customization):
+        plan = plan_hbm_layout(customization, clock_mhz=300.0)
+        for p in plan.placements.values():
+            # 8 bytes per nnz * C lanes * 300 MHz.
+            assert p.bandwidth_needed == pytest.approx(8 * 16 * 300e6)
+            # Enough channels for the burst.
+            assert (p.channels_used * U50_HBM.bytes_per_s_per_channel
+                    >= p.bandwidth_needed)
+
+    def test_channels_within_device(self, customization):
+        plan = plan_hbm_layout(customization)
+        for p in plan.placements.values():
+            assert all(0 <= ch < U50_HBM.channels for ch in p.channels)
+
+    def test_infeasible_on_tiny_hbm(self, customization):
+        tiny = HBMConfig(channels=1, bytes_per_s_per_channel=1e9,
+                         capacity_bytes=1 << 30)
+        plan = plan_hbm_layout(customization, config=tiny,
+                               clock_mhz=300.0)
+        assert not plan.feasible
+
+    def test_capacity_check(self, customization):
+        cramped = HBMConfig(channels=32, bytes_per_s_per_channel=14.4e9,
+                            capacity_bytes=1000)  # absurdly small
+        plan = plan_hbm_layout(customization, config=cramped)
+        assert not plan.feasible
+        assert plan.capacity_utilization > 1.0
+
+    def test_summary_renders(self, customization):
+        text = plan_hbm_layout(customization).summary()
+        assert "HBM plan" in text and "capacity used" in text
+
+    def test_capacity_utilization_small_problem(self, customization):
+        plan = plan_hbm_layout(customization)
+        assert 0.0 < plan.capacity_utilization < 0.01
+
+
+class TestAssembler:
+    def test_disassembly_structure(self):
+        compiled = compile_osqp_program(10, 15, max_admm_iter=100,
+                                        max_pcg_iter=50)
+        listing = disassemble(compiled.program)
+        assert "loop admm (max 100):" in listing
+        assert "loop pcg (max 50):" in listing
+        assert "end admm" in listing
+        assert "spmv" in listing and "dup" in listing
+        assert "ctrl" in listing
+
+    def test_addresses_are_sequential(self):
+        compiled = compile_osqp_program(4, 6, max_admm_iter=10,
+                                        max_pcg_iter=10)
+        listing = disassemble(compiled.program)
+        addresses = [int(line.strip().split(":")[0])
+                     for line in listing.splitlines()
+                     if line.strip()[:4].isdigit()]
+        assert addresses == list(range(len(addresses)))
+
+    def test_rom_words_counts_loops_once(self):
+        compiled = compile_osqp_program(4, 6, max_admm_iter=10_000,
+                                        max_pcg_iter=10_000)
+        words = rom_words(compiled.program)
+        # ROM size is independent of the iteration limits.
+        again = compile_osqp_program(4, 6, max_admm_iter=1, max_pcg_iter=1)
+        assert rom_words(again.program) == words
+        # Compact: the whole solver fits in well under 200 words.
+        assert 50 < words < 200
+
+
+class TestROMCodec:
+    def _compiled(self):
+        return compile_osqp_program(5, 8, max_admm_iter=30,
+                                    max_pcg_iter=12)
+
+    def test_roundtrip_disassembly(self):
+        from repro.hw.asm import decode_program, encode_program
+        compiled = self._compiled()
+        image = encode_program(compiled.program)
+        back = decode_program(image)
+        assert disassemble(back) == disassemble(compiled.program)
+
+    def test_decoded_program_executes_identically(self):
+        import numpy as np
+        from repro.hw.asm import decode_program, encode_program
+        from repro.hw import RSQPAccelerator
+        from repro.problems import generate
+        from repro.solver import OSQPSettings
+
+        prob = generate("svm", 10, seed=3)
+        settings = OSQPSettings(eps_abs=1e-4, eps_rel=1e-4, max_iter=1500)
+        acc_a = RSQPAccelerator(prob, settings=settings)
+        acc_b = RSQPAccelerator(prob, settings=settings)
+        # Replace b's program sections with the decoded ROM image.
+        image = encode_program(acc_b.compiled.program)
+        acc_b.compiled.program = decode_program(image)
+        # Rebuild the sections dict from the decoded tree so the
+        # segmented runner uses decoded instructions.
+        decoded = acc_b.compiled.program.instructions
+        from repro.hw.isa import Loop
+        loop = next(i for i in decoded if isinstance(i, Loop))
+        inner = next(i for i in loop.body if isinstance(i, Loop))
+        acc_b.compiled._sections = {
+            "prologue": decoded[:decoded.index(loop)],
+            "admm_body": loop.body,
+            "pcg_body": inner.body,
+            "epilogue": decoded[decoded.index(loop) + 1:],
+        }
+        res_a = acc_a.run()
+        res_b = acc_b.run()
+        assert res_a.converged and res_b.converged
+        assert res_a.total_cycles == res_b.total_cycles
+        np.testing.assert_allclose(res_a.x, res_b.x, atol=1e-12)
+
+    def test_bad_magic_rejected(self):
+        from repro.hw.asm import decode_program
+        from repro.exceptions import SimulationError
+        with pytest.raises(SimulationError):
+            decode_program(b"NOPE" + b"\x00" * 16)
+
+    def test_truncated_body_rejected(self):
+        from repro.hw.asm import decode_program, encode_program
+        from repro.exceptions import SimulationError
+        image = encode_program(self._compiled().program)
+        with pytest.raises(SimulationError):
+            decode_program(image[:-7])
+
+    def test_rom_image_size_reasonable(self):
+        from repro.hw.asm import encode_program
+        image = encode_program(self._compiled().program)
+        # An entire QP solver in a few KiB of ROM.
+        assert len(image) < 8192

@@ -1,0 +1,126 @@
+"""Tests for the fine-grained SpMV engine simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.customization import (Architecture, baseline_architecture,
+                                 build_cvb, schedule, search_architecture)
+from repro.encoding import encode_matrix
+from repro.exceptions import SimulationError
+from repro.hw.spmv_engine import simulate_spmv
+from repro.problems import generate
+from repro.sparse import CSRMatrix
+
+from helpers import random_dense
+
+
+def prepared(matrix, c, patterns=None):
+    enc = encode_matrix(matrix, c)
+    if patterns is None:
+        arch = search_architecture([enc], c).architecture
+    elif patterns == "baseline":
+        arch = baseline_architecture(c)
+    else:
+        arch = Architecture(c, patterns)
+    sched = schedule(enc, arch)
+    return sched, build_cvb(sched)
+
+
+class TestSimulateSpMV:
+    def test_matches_matvec(self, rng):
+        mat = CSRMatrix.from_dense(random_dense(rng, 20, 15, 0.3))
+        sched, layout = prepared(mat, 8)
+        x = rng.standard_normal(15)
+        y, trace = simulate_spmv(sched, layout, x)
+        np.testing.assert_allclose(y, mat.matvec(x), atol=1e-12)
+        assert trace.input_cycles == sched.cycles
+
+    def test_baseline_architecture(self, rng):
+        mat = CSRMatrix.from_dense(random_dense(rng, 10, 10, 0.4))
+        sched, layout = prepared(mat, 4, "baseline")
+        x = rng.standard_normal(10)
+        y, trace = simulate_spmv(sched, layout, x)
+        np.testing.assert_allclose(y, mat.matvec(x), atol=1e-12)
+        # Baseline: one output per cycle.
+        assert all(o == 1 for o in trace.outputs_per_cycle)
+
+    def test_long_rows_use_accumulate_path(self, rng):
+        dense = np.zeros((2, 40))
+        dense[0, :] = rng.standard_normal(40)  # 40 nnz at C=16: $$d
+        dense[1, :5] = 1.0
+        mat = CSRMatrix.from_dense(dense)
+        sched, layout = prepared(mat, 16, "baseline")
+        x = rng.standard_normal(40)
+        y, trace = simulate_spmv(sched, layout, x)
+        np.testing.assert_allclose(y, mat.matvec(x), atol=1e-10)
+        assert trace.accumulate_events == 2  # two continuation chunks
+
+    def test_bank_reads_counted(self, rng):
+        mat = CSRMatrix.from_dense(random_dense(rng, 12, 9, 0.4))
+        sched, layout = prepared(mat, 8)
+        x = rng.standard_normal(9)
+        _, trace = simulate_spmv(sched, layout, x)
+        assert trace.bank_reads == mat.nnz
+
+    def test_wrong_layout_detected(self, rng):
+        mat = CSRMatrix.from_dense(random_dense(rng, 10, 8, 0.5))
+        sched, layout = prepared(mat, 8)
+        # Corrupt the translation table: point an element elsewhere.
+        used = np.flatnonzero(layout.location >= 0)
+        if used.size >= 2:
+            a, b = used[0], used[1]
+            if layout.location[a] != layout.location[b]:
+                layout.location[a] = layout.location[b]
+                with pytest.raises(SimulationError):
+                    simulate_spmv(sched, layout, rng.standard_normal(8))
+
+    def test_vector_length_checked(self, rng):
+        mat = CSRMatrix.from_dense(random_dense(rng, 5, 5, 0.5))
+        sched, layout = prepared(mat, 4)
+        with pytest.raises(SimulationError):
+            simulate_spmv(sched, layout, np.zeros(6))
+
+    def test_alignment_rows_cover_outputs(self, rng):
+        mat = CSRMatrix.from_dense(random_dense(rng, 30, 10, 0.3))
+        sched, layout = prepared(mat, 8)
+        _, trace = simulate_spmv(sched, layout, rng.standard_normal(10))
+        assert trace.alignment_rows * 8 >= trace.total_outputs
+        # One output per chunk (rows <= C nnz produce exactly one each).
+        assert trace.total_outputs == len(sched.encoding.chunks)
+
+    def test_customized_engine_on_benchmark_matrices(self):
+        prob = generate("control", 8, seed=0)
+        rng = np.random.default_rng(1)
+        for matrix in (prob.P, prob.A, prob.A.transpose()):
+            sched, layout = prepared(matrix, 16)
+            x = rng.standard_normal(matrix.shape[1])
+            y, _ = simulate_spmv(sched, layout, x)
+            np.testing.assert_allclose(y, matrix.matvec(x), atol=1e-10)
+
+    @given(st.integers(1, 25), st.integers(1, 20), st.integers(0, 5000),
+           st.sampled_from([4, 8, 16]))
+    @settings(max_examples=30, deadline=None)
+    def test_engine_property(self, m, n, seed, c):
+        rng = np.random.default_rng(seed)
+        mat = CSRMatrix.from_dense(random_dense(rng, m, n, 0.35))
+        enc = encode_matrix(mat, c)
+        arch = Architecture(c, ["a" * c, "bb"])
+        sched = schedule(enc, arch)
+        layout = build_cvb(sched)
+        x = rng.standard_normal(n)
+        y, trace = simulate_spmv(sched, layout, x)
+        np.testing.assert_allclose(y, mat.matvec(x), atol=1e-10)
+        assert trace.input_cycles == sched.cycles
+
+    def test_partial_matching_schedule_simulates_correctly(self, rng):
+        mat = CSRMatrix.from_dense(np.eye(7))
+        enc = encode_matrix(mat, 16)
+        arch = Architecture(16, ["a" * 16])
+        sched = schedule(enc, arch, allow_partial=True)
+        layout = build_cvb(sched)
+        x = rng.standard_normal(7)
+        y, trace = simulate_spmv(sched, layout, x)
+        np.testing.assert_allclose(y, x)
+        assert trace.input_cycles == 1  # all 7 rows in one prefix pack

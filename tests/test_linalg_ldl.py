@@ -1,0 +1,160 @@
+"""Tests for the elimination tree and LDL^T factorization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FactorizationError
+from repro.linalg import (UNKNOWN, etree, ldl_factor, ldl_solve,
+                          ldl_symbolic, postorder)
+from repro.sparse import CSCMatrix
+
+from helpers import random_spd_dense
+
+
+def upper_csc(dense):
+    return CSCMatrix.from_dense(np.triu(dense))
+
+
+def dense_ldl(a):
+    """Reference dense LDL^T via unpivoted elimination."""
+    n = a.shape[0]
+    l = np.eye(n)
+    d = np.zeros(n)
+    a = a.astype(float).copy()
+    for k in range(n):
+        d[k] = a[k, k]
+        l[k + 1:, k] = a[k + 1:, k] / d[k]
+        a[k + 1:, k + 1:] -= np.outer(l[k + 1:, k], a[k, k + 1:])
+        a[k, k + 1:] = 0.0
+        a[k + 1:, k] = 0.0
+    return l, d
+
+
+class TestEtree:
+    def test_diagonal_matrix_is_forest_of_roots(self):
+        parent, counts = etree(upper_csc(np.diag([1.0, 2.0, 3.0])))
+        assert np.all(parent == UNKNOWN)
+        assert np.all(counts == 0)
+
+    def test_arrow_matrix(self):
+        # Arrow matrix: last row/col dense -> every node parents to n-1.
+        n = 5
+        a = np.eye(n)
+        a[:, -1] = 1.0
+        a[-1, :] = 1.0
+        parent, counts = etree(upper_csc(a))
+        assert np.all(parent[:-1] == n - 1)
+        assert parent[-1] == UNKNOWN
+        np.testing.assert_array_equal(counts, [1, 1, 1, 1, 0])
+
+    def test_tridiagonal_chain(self):
+        n = 6
+        a = np.diag(np.full(n, 4.0)) + np.diag(np.ones(n - 1), 1) \
+            + np.diag(np.ones(n - 1), -1)
+        parent, counts = etree(upper_csc(a))
+        np.testing.assert_array_equal(parent[:-1], np.arange(1, n))
+        assert parent[-1] == UNKNOWN
+        np.testing.assert_array_equal(counts, [1] * (n - 1) + [0])
+
+    def test_missing_diagonal_rejected(self):
+        mat = CSCMatrix.from_dense(np.array([[0.0, 1.0], [0.0, 1.0]]))
+        with pytest.raises(FactorizationError):
+            etree(mat)
+
+    def test_lower_entry_rejected(self):
+        mat = CSCMatrix.from_dense(np.array([[1.0, 0.0], [1.0, 1.0]]))
+        with pytest.raises(FactorizationError):
+            etree(mat)
+
+    def test_postorder_children_before_parents(self, rng):
+        a = random_spd_dense(rng, 10, 0.4)
+        parent, _ = etree(upper_csc(a))
+        order = postorder(parent)
+        seen = set()
+        for node in order:
+            for child in np.flatnonzero(parent == node):
+                assert child in seen
+            seen.add(int(node))
+        assert len(seen) == 10
+
+
+class TestLDL:
+    def test_factor_matches_dense_ldl(self, rng):
+        a = random_spd_dense(rng, 8, 0.5)
+        factor = ldl_factor(upper_csc(a))
+        l_ref, d_ref = dense_ldl(a)
+        np.testing.assert_allclose(factor.l_dense(), l_ref, atol=1e-10)
+        np.testing.assert_allclose(factor.d, d_ref, atol=1e-10)
+
+    def test_reconstruction(self, rng):
+        a = random_spd_dense(rng, 12, 0.3)
+        factor = ldl_factor(upper_csc(a))
+        l = factor.l_dense()
+        np.testing.assert_allclose(l @ np.diag(factor.d) @ l.T, a, atol=1e-9)
+
+    def test_solve(self, rng):
+        a = random_spd_dense(rng, 15, 0.3)
+        b = rng.standard_normal(15)
+        factor = ldl_factor(upper_csc(a))
+        np.testing.assert_allclose(factor.solve(b), np.linalg.solve(a, b),
+                                   atol=1e-8)
+
+    def test_quasidefinite_kkt(self, rng):
+        # KKT-style indefinite but quasi-definite matrix (OSQP eq. 2).
+        n, m = 5, 3
+        p = random_spd_dense(rng, n, 0.4)
+        amat = rng.standard_normal((m, n))
+        sigma, rho = 1e-6, 0.1
+        kkt = np.block([[p + sigma * np.eye(n), amat.T],
+                        [amat, -np.eye(m) / rho]])
+        factor = ldl_factor(upper_csc(kkt))
+        assert factor.num_positive_d == n
+        b = rng.standard_normal(n + m)
+        np.testing.assert_allclose(factor.solve(b), np.linalg.solve(kkt, b),
+                                   atol=1e-7)
+
+    def test_symbolic_reuse_across_values(self, rng):
+        a = random_spd_dense(rng, 9, 0.4)
+        upper = upper_csc(a)
+        symbolic = ldl_symbolic(upper)
+        f1 = ldl_factor(upper, symbolic)
+        # Same pattern, different values.
+        upper2 = CSCMatrix(upper.shape, upper.data * 2.0, upper.indices,
+                           upper.indptr)
+        f2 = ldl_factor(upper2, symbolic)
+        np.testing.assert_allclose(f2.d, 2.0 * f1.d, atol=1e-10)
+
+    def test_structurally_zero_pivot_rejected(self):
+        # A zero first diagonal is dropped by from_dense, so the etree
+        # detects the missing diagonal entry.
+        a = np.array([[0.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(FactorizationError):
+            ldl_factor(upper_csc(a))
+
+    def test_explicit_zero_pivot_rejected(self):
+        upper = CSCMatrix((2, 2), [0.0, 1.0, 1.0], [0, 0, 1], [0, 1, 3])
+        with pytest.raises(FactorizationError):
+            ldl_factor(upper)
+
+    def test_zero_pivot_later_column(self):
+        # Second pivot becomes exactly zero: [[1, 1], [1, 1]].
+        a = np.array([[1.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(FactorizationError):
+            ldl_factor(upper_csc(a))
+
+    def test_rhs_length_checked(self, rng):
+        a = random_spd_dense(rng, 4, 0.5)
+        factor = ldl_factor(upper_csc(a))
+        with pytest.raises(FactorizationError):
+            factor.solve(np.zeros(5))
+
+    @given(st.integers(2, 12), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_solve_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = random_spd_dense(rng, n, 0.5)
+        b = rng.standard_normal(n)
+        x = ldl_factor(upper_csc(a)).solve(b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-7 * max(1, np.abs(b).max()))

@@ -1,0 +1,90 @@
+"""Tests for fill-reducing orderings."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.linalg import (ldl_symbolic, minimum_degree, natural,
+                          reverse_cuthill_mckee, symmetric_adjacency)
+from repro.sparse import CSCMatrix
+
+from helpers import random_spd_dense
+
+
+def upper_csc(dense):
+    return CSCMatrix.from_dense(np.triu(dense))
+
+
+def fill_after(upper, perm):
+    return ldl_symbolic(upper.symmetric_permute_upper(perm)).l_nnz
+
+
+class TestAdjacency:
+    def test_excludes_diagonal(self):
+        a = np.array([[2.0, 1.0], [1.0, 2.0]])
+        adj = symmetric_adjacency(upper_csc(a))
+        assert adj == [{1}, {0}]
+
+    def test_requires_square(self, rng):
+        with pytest.raises(ShapeError):
+            symmetric_adjacency(CSCMatrix.from_dense(np.ones((2, 3))))
+
+
+class TestOrderings:
+    def test_natural(self):
+        np.testing.assert_array_equal(natural(4), [0, 1, 2, 3])
+
+    def test_minimum_degree_is_permutation(self, rng):
+        a = random_spd_dense(rng, 20, 0.2)
+        perm = minimum_degree(upper_csc(a))
+        np.testing.assert_array_equal(np.sort(perm), np.arange(20))
+
+    def test_rcm_is_permutation(self, rng):
+        a = random_spd_dense(rng, 20, 0.2)
+        perm = reverse_cuthill_mckee(upper_csc(a))
+        np.testing.assert_array_equal(np.sort(perm), np.arange(20))
+
+    def test_minimum_degree_beats_worst_case_on_arrow(self):
+        # Reversed arrow matrix: dense first row/col. Natural order fills
+        # completely; minimum degree eliminates the hub last -> no fill.
+        n = 12
+        a = np.eye(n) * 4
+        a[0, :] = 1.0
+        a[:, 0] = 1.0
+        a[0, 0] = 4.0
+        upper = upper_csc(a)
+        fill_natural = fill_after(upper, natural(n))
+        fill_md = fill_after(upper, minimum_degree(upper))
+        assert fill_md == n - 1  # only the original arrow entries
+        assert fill_natural == n * (n - 1) // 2  # complete fill-in
+
+    def test_ordered_factorization_solves_correctly(self, rng):
+        n = 15
+        a = random_spd_dense(rng, n, 0.25)
+        upper = upper_csc(a)
+        perm = minimum_degree(upper)
+        permuted = upper.symmetric_permute_upper(perm)
+        from repro.linalg import ldl_factor
+        factor = ldl_factor(permuted)
+        b = rng.standard_normal(n)
+        x_perm = factor.solve(b[perm])
+        x = np.empty(n)
+        x[perm] = x_perm
+        np.testing.assert_allclose(a @ x, b, atol=1e-8)
+
+    def test_rcm_reduces_bandwidth_on_shuffled_banded(self, rng):
+        n = 30
+        banded = np.diag(np.full(n, 4.0))
+        for k in (1, 2):
+            banded += np.diag(np.ones(n - k), k) + np.diag(np.ones(n - k), -k)
+        shuffle = rng.permutation(n)
+        shuffled = banded[np.ix_(shuffle, shuffle)]
+        upper = upper_csc(shuffled)
+        perm = reverse_cuthill_mckee(upper)
+        reordered = upper.symmetric_permute_upper(perm).to_dense()
+        full = reordered + reordered.T
+        rows, cols = np.nonzero(full)
+        bandwidth = np.abs(rows - cols).max()
+        orig_rows, orig_cols = np.nonzero(shuffled)
+        orig_bandwidth = np.abs(orig_rows - orig_cols).max()
+        assert bandwidth <= orig_bandwidth

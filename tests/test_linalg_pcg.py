@@ -1,0 +1,162 @@
+"""Tests for the reference PCG solver (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConvergenceError
+from repro.linalg import (IdentityPreconditioner, JacobiPreconditioner, pcg)
+from repro.sparse import CSRMatrix
+
+from helpers import random_spd_dense
+
+
+class DenseOperator:
+    """Test operator wrapping a dense SPD matrix."""
+
+    def __init__(self, a):
+        self.a = np.asarray(a, dtype=float)
+
+    def matvec(self, x):
+        return self.a @ x
+
+    def diagonal(self):
+        return np.diag(self.a)
+
+
+class NoDiagOperator:
+    def __init__(self, a):
+        self.a = a
+
+    def matvec(self, x):
+        return self.a @ x
+
+
+class TestPCG:
+    def test_solves_spd_system(self, rng):
+        a = random_spd_dense(rng, 20, 0.3)
+        b = rng.standard_normal(20)
+        result = pcg(DenseOperator(a), b, eps=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(a @ result.x, b, atol=1e-6)
+
+    def test_zero_rhs_short_circuits(self, rng):
+        a = random_spd_dense(rng, 5, 0.5)
+        result = pcg(DenseOperator(a), np.zeros(5))
+        assert result.converged
+        assert result.iterations == 0
+        np.testing.assert_allclose(result.x, 0.0)
+
+    def test_warm_start_at_solution_needs_no_iterations(self, rng):
+        a = random_spd_dense(rng, 8, 0.4)
+        x_true = rng.standard_normal(8)
+        b = a @ x_true
+        result = pcg(DenseOperator(a), b, x0=x_true, eps=1e-8)
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_warm_start_converges_faster(self, rng):
+        a = random_spd_dense(rng, 40, 0.2)
+        x_true = rng.standard_normal(40)
+        b = a @ x_true
+        cold = pcg(DenseOperator(a), b, eps=1e-10)
+        warm = pcg(DenseOperator(a), b,
+                   x0=x_true + 1e-6 * rng.standard_normal(40), eps=1e-10)
+        assert warm.iterations <= cold.iterations
+
+    def test_identity_converges_in_one_iteration(self, rng):
+        b = rng.standard_normal(10)
+        result = pcg(DenseOperator(np.eye(10)), b, eps=1e-12)
+        assert result.iterations == 1
+        np.testing.assert_allclose(result.x, b, atol=1e-12)
+
+    def test_jacobi_beats_identity_on_ill_scaled_system(self, rng):
+        n = 30
+        scales = np.logspace(0, 4, n)
+        a = random_spd_dense(rng, n, 0.2)
+        a = np.diag(np.sqrt(scales)) @ a @ np.diag(np.sqrt(scales))
+        b = rng.standard_normal(n)
+        op = DenseOperator(a)
+        plain = pcg(op, b, preconditioner=IdentityPreconditioner(),
+                    eps=1e-8, max_iter=5000)
+        jacobi = pcg(op, b, preconditioner=JacobiPreconditioner(np.diag(a)),
+                     eps=1e-8, max_iter=5000)
+        assert jacobi.iterations < plain.iterations
+
+    def test_defaults_to_identity_without_diagonal(self, rng):
+        a = random_spd_dense(rng, 6, 0.5)
+        b = rng.standard_normal(6)
+        result = pcg(NoDiagOperator(a), b, eps=1e-10)
+        assert result.converged
+
+    def test_nonconvergence_reported(self, rng):
+        a = random_spd_dense(rng, 30, 0.3)
+        b = rng.standard_normal(30)
+        result = pcg(DenseOperator(a), b, eps=1e-14, max_iter=1)
+        assert not result.converged
+        with pytest.raises(ConvergenceError):
+            pcg(DenseOperator(a), b, eps=1e-14, max_iter=1,
+                raise_on_fail=True)
+
+    def test_indefinite_operator_rejected(self):
+        # Positive diagonal (so Jacobi is happy) but indefinite matrix:
+        # eigenvalues are 3 and -1.
+        a = np.array([[1.0, 2.0], [2.0, 1.0]])
+        b = np.array([1.0, -1.0])  # negative-curvature direction
+        with pytest.raises(ConvergenceError):
+            pcg(DenseOperator(a), b)
+
+    def test_jacobi_requires_positive_diagonal(self):
+        with pytest.raises(ValueError):
+            JacobiPreconditioner([1.0, 0.0])
+
+    def test_residual_history_is_monotone_at_convergence(self, rng):
+        a = random_spd_dense(rng, 15, 0.4)
+        b = rng.standard_normal(15)
+        result = pcg(DenseOperator(a), b, eps=1e-10)
+        assert result.residual_history[-1] <= result.residual_history[0]
+        assert len(result.residual_history) == result.iterations + 1
+
+    def test_exact_termination_in_n_iterations(self, rng):
+        # CG terminates in at most n steps in exact arithmetic; allow slack.
+        n = 12
+        a = random_spd_dense(rng, n, 0.5)
+        b = rng.standard_normal(n)
+        result = pcg(DenseOperator(a), b, eps=1e-9,
+                     preconditioner=IdentityPreconditioner())
+        assert result.converged
+        assert result.iterations <= n + 3
+
+    @given(st.integers(2, 25), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_pcg_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = random_spd_dense(rng, n, 0.4)
+        b = rng.standard_normal(n)
+        result = pcg(DenseOperator(a), b, eps=1e-10, max_iter=10 * n)
+        assert result.converged
+        np.testing.assert_allclose(a @ result.x, b,
+                                   atol=1e-5 * max(1.0, np.abs(b).max()))
+
+
+class TestWithCSR:
+    def test_pcg_on_sparse_normal_equations(self, rng):
+        # K = A^T A + I via a CSR-backed operator.
+        m, n = 40, 25
+        a = CSRMatrix.from_dense(rng.standard_normal((m, n))
+                                 * (rng.random((m, n)) < 0.3))
+
+        class NormalOp:
+            def matvec(self, x):
+                return a.rmatvec(a.matvec(x)) + x
+
+            def diagonal(self):
+                return a.column_sq_sums() + 1.0
+
+        b = rng.standard_normal(n)
+        result = pcg(NormalOp(), b, eps=1e-10)
+        assert result.converged
+        dense = a.to_dense()
+        np.testing.assert_allclose((dense.T @ dense + np.eye(n)) @ result.x,
+                                   b, atol=1e-6)

@@ -1,0 +1,276 @@
+"""Tests for the modeling layer (expressions, objectives, compilation)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.modeling import (Constraint, Minimize, ModelProblem, Variable,
+                            between, dot, quad_form, sum_squares)
+from repro.solver import OSQPSettings
+from repro.sparse import CSRMatrix
+
+from helpers import random_dense, random_spd_dense
+
+
+ACCURATE = OSQPSettings(eps_abs=1e-7, eps_rel=1e-7, max_iter=20000,
+                        polish=True)
+
+
+class TestExpressions:
+    def test_variable_is_identity_expression(self):
+        x = Variable(3, name="x")
+        assert x.size == 3
+        assert x.variables == (x,)
+        x.value = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(x.value, [1, 2, 3])
+
+    def test_affine_algebra(self, rng):
+        x = Variable(3)
+        a = random_dense(rng, 2, 3, 0.8)
+        expr = a @ x + np.ones(2) - 0.5 * (a @ x)
+        x.value = rng.standard_normal(3)
+        np.testing.assert_allclose(expr.value(),
+                                   0.5 * a @ x.value + 1.0)
+
+    def test_negation_and_subtraction(self, rng):
+        x = Variable(2)
+        x.value = np.array([1.0, -2.0])
+        np.testing.assert_allclose((-x).value(), [-1.0, 2.0])
+        np.testing.assert_allclose((x - x).value(), 0.0)
+        np.testing.assert_allclose((3.0 - x).value(), [2.0, 5.0])
+
+    def test_csr_matmul(self, rng):
+        x = Variable(4)
+        a = CSRMatrix.from_dense(random_dense(rng, 3, 4, 0.6))
+        x.value = rng.standard_normal(4)
+        np.testing.assert_allclose((a @ x).value(), a.matvec(x.value))
+
+    def test_multi_variable_expression(self, rng):
+        x, y = Variable(2), Variable(2)
+        expr = x + 2.0 * y
+        x.value = np.array([1.0, 1.0])
+        y.value = np.array([0.5, -0.5])
+        np.testing.assert_allclose(expr.value(), [2.0, 0.0])
+        assert set(expr.variables) == {x, y}
+
+    def test_shape_errors(self, rng):
+        x = Variable(3)
+        with pytest.raises(ShapeError):
+            x + Variable(4)
+        with pytest.raises(ShapeError):
+            np.ones((2, 4)) @ x
+        with pytest.raises(ShapeError):
+            Variable(0)
+
+    def test_comparisons_build_constraints(self):
+        x = Variable(2)
+        le = x <= 1.0
+        ge = x >= -1.0
+        eq = x == 0.5
+        for con in (le, ge, eq):
+            assert isinstance(con, Constraint)
+        assert np.all(np.isneginf(le.lower))
+        assert np.all(np.isposinf(ge.upper))
+        np.testing.assert_allclose(eq.lower, eq.upper)
+
+    def test_between(self):
+        x = Variable(3)
+        con = between(-1.0, x, np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(con.lower, -1.0)
+        np.testing.assert_allclose(con.upper, [1.0, 2.0, 3.0])
+
+    def test_crossed_bounds_rejected(self):
+        x = Variable(2)
+        with pytest.raises(ShapeError):
+            between(1.0, x, 0.0)
+
+
+class TestObjectives:
+    def test_quad_form_validates(self, rng):
+        x = Variable(3)
+        p = random_spd_dense(rng, 3, 0.5)
+        quad_form(x, p)  # fine
+        with pytest.raises(ShapeError):
+            quad_form(x, np.triu(p) + np.eye(3))  # asymmetric
+        with pytest.raises(ShapeError):
+            quad_form(x + x, p)  # not a bare Variable
+
+    def test_objective_accumulation(self, rng):
+        x = Variable(2)
+        obj = (quad_form(x, np.eye(2)) + sum_squares(x - 1.0)
+               + dot(np.ones(2), x) + 5.0)
+        assert len(obj.quad_terms) == 1
+        assert len(obj.square_terms) == 1
+        assert len(obj.linear_terms) == 1
+        assert obj.constant == 5.0
+
+    def test_negative_weights_rejected(self):
+        x = Variable(2)
+        with pytest.raises(ShapeError):
+            (-1.0) * sum_squares(x)
+
+    def test_dot_wants_constant_first(self):
+        x = Variable(2)
+        with pytest.raises(ShapeError):
+            dot(x, np.ones(2))
+
+
+class TestSolve:
+    def test_projection_onto_box(self, rng):
+        # min ||x - t||^2 s.t. -1 <= x <= 1  -> clipped target.
+        target = np.array([2.0, -3.0, 0.25])
+        x = Variable(3)
+        prob = ModelProblem(Minimize(sum_squares(x - target)),
+                            [between(-1.0, x, 1.0)])
+        res = prob.solve(ACCURATE)
+        assert res.status.is_optimal
+        np.testing.assert_allclose(x.value, np.clip(target, -1, 1),
+                                   atol=1e-5)
+        assert prob.value == pytest.approx(
+            float(np.sum((np.clip(target, -1, 1) - target) ** 2)),
+            abs=1e-5)
+
+    def test_least_squares_matches_normal_equations(self, rng):
+        a = random_dense(rng, 12, 5, 0.7)
+        b = rng.standard_normal(12)
+        x = Variable(5)
+        prob = ModelProblem(Minimize(sum_squares(a @ x - b)), [])
+        res = prob.solve(ACCURATE)
+        assert res.status.is_optimal
+        expected = np.linalg.lstsq(a, b, rcond=None)[0]
+        np.testing.assert_allclose(x.value, expected, atol=1e-4)
+
+    def test_quad_form_problem(self, rng):
+        p = random_spd_dense(rng, 4, 0.5)
+        q = rng.standard_normal(4)
+        x = Variable(4)
+        prob = ModelProblem(Minimize(0.5 * quad_form(x, p) + dot(q, x)),
+                            [])
+        res = prob.solve(ACCURATE)
+        assert res.status.is_optimal
+        np.testing.assert_allclose(x.value, np.linalg.solve(p, -q),
+                                   atol=1e-4)
+
+    def test_equality_constrained(self, rng):
+        # min ||x||^2 s.t. sum x = 1 -> uniform.
+        x = Variable(4)
+        prob = ModelProblem(Minimize(sum_squares(x)),
+                            [np.ones((1, 4)) @ x == 1.0])
+        res = prob.solve(ACCURATE)
+        assert res.status.is_optimal
+        np.testing.assert_allclose(x.value, 0.25, atol=1e-5)
+
+    def test_two_variables(self, rng):
+        # min ||x - 1||^2 + ||y + 1||^2 s.t. x = y  ->  x = y = 0.
+        x, y = Variable(2), Variable(2)
+        prob = ModelProblem(
+            Minimize(sum_squares(x - 1.0) + sum_squares(y + 1.0)),
+            [x - y == 0.0])
+        res = prob.solve(ACCURATE)
+        assert res.status.is_optimal
+        np.testing.assert_allclose(x.value, 0.0, atol=1e-4)
+        np.testing.assert_allclose(y.value, 0.0, atol=1e-4)
+
+    def test_markowitz_portfolio_model(self, rng):
+        # The paper's portfolio story through the modeling layer.
+        n = 8
+        sigma = random_spd_dense(rng, n, 0.4) * 0.01
+        mu = rng.standard_normal(n) * 0.03
+        w = Variable(n, name="weights")
+        prob = ModelProblem(
+            Minimize(quad_form(w, sigma) + dot(-mu, w)),
+            [np.ones((1, n)) @ w == 1.0, w >= 0.0])
+        res = prob.solve(ACCURATE)
+        assert res.status.is_optimal
+        assert np.isclose(w.value.sum(), 1.0, atol=1e-5)
+        assert np.all(w.value >= -1e-6)
+
+    def test_compiled_qp_reaches_the_accelerator(self, rng):
+        # The whole point: a modeled problem runs on simulated RSQP.
+        from repro.hw import RSQPAccelerator
+        x = Variable(3)
+        target = np.array([0.3, -0.2, 0.9])
+        prob = ModelProblem(Minimize(sum_squares(x - target)),
+                            [between(-0.5, x, 0.5)])
+        compiled = prob.compile()
+        acc = RSQPAccelerator(compiled.qp,
+                              settings=OSQPSettings(eps_abs=1e-5,
+                                                    eps_rel=1e-5,
+                                                    max_iter=3000))
+        result = acc.run()
+        assert result.converged
+        compiled.scatter(result.x)
+        np.testing.assert_allclose(x.value, np.clip(target, -0.5, 0.5),
+                                   atol=1e-3)
+
+    def test_no_variables_rejected(self):
+        prob = ModelProblem(Minimize(5.0), [])
+        with pytest.raises(ShapeError):
+            prob.compile()
+
+    def test_unconstrained_quadratic_requires_curvature(self, rng):
+        # min of a purely linear objective is unbounded: dual infeasible.
+        from repro.solver import SolverStatus
+        x = Variable(2)
+        prob = ModelProblem(Minimize(dot(np.ones(2), x)),
+                            [x >= 0.0])
+        res = prob.solve(OSQPSettings(max_iter=4000))
+        # min 1'x s.t. x >= 0 is bounded (optimum 0); flip the sign to
+        # make it unbounded.
+        assert res.status.is_optimal
+        prob2 = ModelProblem(Minimize(dot(-np.ones(2), x)), [x >= 0.0])
+        res2 = prob2.solve(OSQPSettings(max_iter=4000))
+        assert res2.status == SolverStatus.DUAL_INFEASIBLE
+
+
+class TestPropertyBased:
+    from hypothesis import given, settings as hyp_settings
+    from hypothesis import strategies as st
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 5000))
+    @hyp_settings(max_examples=30, deadline=None)
+    def test_affine_evaluation_matches_numpy(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        x = Variable(n)
+        a = rng.standard_normal((m, n))
+        b = rng.standard_normal(m)
+        c = rng.standard_normal()
+        expr = float(c) * (a @ x) + b - (a @ x) * 0.25
+        x.value = rng.standard_normal(n)
+        np.testing.assert_allclose(expr.value(),
+                                   (c - 0.25) * (a @ x.value) + b,
+                                   atol=1e-10)
+
+    @given(st.integers(2, 5), st.integers(0, 5000))
+    @hyp_settings(max_examples=15, deadline=None)
+    def test_box_projection_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        target = rng.standard_normal(n) * 2.0
+        lo = -np.abs(rng.standard_normal(n)) - 0.1
+        hi = np.abs(rng.standard_normal(n)) + 0.1
+        x = Variable(n)
+        prob = ModelProblem(Minimize(sum_squares(x - target)),
+                            [between(lo, x, hi)])
+        res = prob.solve(ACCURATE)
+        assert res.status.is_optimal
+        np.testing.assert_allclose(x.value, np.clip(target, lo, hi),
+                                   atol=1e-4)
+
+    @given(st.integers(0, 5000))
+    @hyp_settings(max_examples=10, deadline=None)
+    def test_compiled_qp_is_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 4
+        x = Variable(n)
+        a = rng.standard_normal((3, n))
+        prob = ModelProblem(
+            Minimize(sum_squares(a @ x - rng.standard_normal(3))
+                     + 0.01 * sum_squares(x)),
+            [x >= -10.0, x <= 10.0])
+        compiled = prob.compile()
+        qp = compiled.qp
+        # Valid standard form: symmetric PSD P (diagonal dominance not
+        # required; check eigenvalues), consistent shapes.
+        eigs = np.linalg.eigvalsh(qp.P.to_dense())
+        assert eigs.min() > -1e-9
+        assert qp.A.shape == (qp.m, qp.n)

@@ -1,0 +1,201 @@
+"""Tests for the benchmark problem generators and the 120-problem suite."""
+
+import numpy as np
+import pytest
+
+from repro.problems import (FAMILIES, PROBLEMS_PER_FAMILY, benchmark_suite,
+                            generate, generate_control, generate_eqqp,
+                            generate_huber, generate_lasso,
+                            generate_portfolio, generate_svm,
+                            random_sparse_spd, suite_sizes)
+from repro.solver import OSQPSettings, solve
+
+
+FAST = OSQPSettings(eps_abs=1e-4, eps_rel=1e-4, max_iter=6000)
+
+
+class TestPortfolio:
+    def test_shapes(self):
+        prob = generate_portfolio(30, factors=5)
+        assert prob.n == 35           # assets + factors
+        assert prob.m == 5 + 1 + 30   # factor rows + budget + long-only
+
+    def test_solves_and_satisfies_budget(self):
+        prob = generate_portfolio(20, seed=1)
+        res = solve(prob, FAST)
+        assert res.status.is_optimal
+        n = 20
+        x = res.x[:n]
+        assert np.isclose(x.sum(), 1.0, atol=1e-3)   # budget constraint
+        assert np.all(x >= -1e-4)                    # long-only
+
+    def test_factor_consistency_at_solution(self):
+        prob = generate_portfolio(20, factors=3, seed=2)
+        res = solve(prob, FAST)
+        assert res.status.is_optimal
+        # y = F' x holds at the solution (first 3 constraint rows).
+        ax = prob.A.matvec(res.x)
+        np.testing.assert_allclose(ax[:3], 0.0, atol=1e-3)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            generate_portfolio(1)
+
+
+class TestLasso:
+    def test_shapes(self):
+        prob = generate_lasso(10, data_factor=2)
+        assert prob.n == 10 + 20 + 10  # x, y, t
+
+    def test_solution_minimizes_lasso_objective(self):
+        prob = generate_lasso(8, seed=3)
+        res = solve(prob, OSQPSettings(eps_abs=1e-6, eps_rel=1e-6,
+                                       max_iter=10000))
+        assert res.status.is_optimal
+        n, m = 8, 16
+        x, y, t = res.x[:n], res.x[n:n + m], res.x[n + m:]
+        # Epigraph variables tight: t ~ |x|.
+        np.testing.assert_allclose(t, np.abs(x), atol=1e-2)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            generate_lasso(1)
+
+
+class TestHuber:
+    def test_shapes(self):
+        prob = generate_huber(10, data_factor=2)
+        assert prob.n == 10 + 20 * 3  # x, u, r, s
+
+    def test_solves(self):
+        prob = generate_huber(8, seed=4)
+        res = solve(prob, FAST)
+        assert res.status.is_optimal
+        n, m = 8, 16
+        r = res.x[n + m:n + 2 * m]
+        s = res.x[n + 2 * m:]
+        assert np.all(r >= -1e-3) and np.all(s >= -1e-3)
+
+    def test_outliers_absorbed_by_linear_tail(self):
+        prob = generate_huber(8, outlier_fraction=0.3, seed=5)
+        res = solve(prob, FAST)
+        assert res.status.is_optimal
+        n, m = 8, 16
+        r, s = res.x[n + m:n + 2 * m], res.x[n + 2 * m:]
+        # With 30% gross outliers some residuals must leave the quadratic
+        # region, i.e. r + s > 0 somewhere.
+        assert (r + s).max() > 1e-3
+
+
+class TestSVM:
+    def test_shapes(self):
+        prob = generate_svm(10, data_factor=2)
+        assert prob.n == 10 + 20
+
+    def test_hinge_constraints_hold(self):
+        prob = generate_svm(8, seed=6)
+        res = solve(prob, FAST)
+        assert res.status.is_optimal
+        assert prob.primal_residual(res.x) < 1e-3
+        t = res.x[8:]
+        assert np.all(t >= -1e-4)
+
+
+class TestControl:
+    def test_shapes(self):
+        prob = generate_control(4, n_inputs=2, horizon=5)
+        assert prob.n == 5 * (4 + 2)
+        assert prob.m == 5 * 4 + 5 * (4 + 2)  # dynamics + boxes
+
+    def test_dynamics_satisfied_at_solution(self):
+        prob = generate_control(4, n_inputs=2, horizon=5, seed=7)
+        res = solve(prob, OSQPSettings(eps_abs=1e-6, eps_rel=1e-6,
+                                       max_iter=10000))
+        assert res.status.is_optimal
+        # Dynamics rows are equalities; residual there must be tiny.
+        ax = prob.A.matvec(res.x)
+        n_dyn = 5 * 4
+        np.testing.assert_allclose(ax[:n_dyn], prob.l[:n_dyn], atol=1e-3)
+
+    def test_input_bounds_respected(self):
+        prob = generate_control(4, horizon=5, seed=8)
+        res = solve(prob, FAST)
+        assert res.status.is_optimal
+        nu = 2
+        inputs = res.x[5 * 4:]
+        assert np.all(np.abs(inputs) <= 0.5 + 1e-3)
+
+    def test_banded_structure(self):
+        # The constraint matrix is block-banded: row k touches at most
+        # the state blocks k-1, k and input block k.
+        prob = generate_control(6, horizon=8)
+        dense = prob.A.to_dense()
+        nx = 6
+        dyn = dense[:8 * nx]
+        # First block-row must not touch x_2.. columns.
+        assert np.all(dyn[:nx, 2 * nx:8 * nx] == 0.0)
+
+
+class TestEqqp:
+    def test_spd_construction(self, rng):
+        p = random_sparse_spd(30, 0.2, rng)
+        dense = p.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+        eigs = np.linalg.eigvalsh(dense)
+        assert eigs.min() > 0
+
+    def test_equality_only(self):
+        prob = generate_eqqp(20, seed=9)
+        assert np.all(prob.equality_mask())
+
+    def test_feasible_by_construction_and_solves(self):
+        prob = generate_eqqp(20, seed=10)
+        res = solve(prob, FAST)
+        assert res.status.is_optimal
+        assert prob.primal_residual(res.x) < 1e-3
+
+
+class TestSuite:
+    def test_sizes_are_log_spaced_and_unique(self):
+        sizes = suite_sizes("portfolio")
+        assert len(sizes) == PROBLEMS_PER_FAMILY
+        assert len(set(sizes)) == PROBLEMS_PER_FAMILY
+        assert sizes == sorted(sizes)
+
+    def test_scale_grows_sizes(self):
+        small = suite_sizes("eqqp", scale=1.0)
+        large = suite_sizes("eqqp", scale=2.0)
+        assert large[-1] > small[-1]
+
+    def test_full_suite_has_120_problems(self):
+        entries = list(benchmark_suite(count=2))
+        assert len(entries) == 12  # 6 families x 2 (sanity on the small run)
+        names = {e.family for e in entries}
+        assert names == set(FAMILIES)
+
+    def test_generate_by_name(self):
+        prob = generate("svm", 10)
+        assert prob.name.startswith("svm")
+        with pytest.raises(KeyError):
+            generate("bogus", 10)
+
+    def test_nnz_spans_decades(self):
+        entries = list(benchmark_suite(count=4))
+        nnz = [e.problem.nnz for e in entries]
+        assert max(nnz) / min(nnz) > 30
+
+    def test_deterministic_given_seed(self):
+        a = next(iter(benchmark_suite(count=1, families=["lasso"])))
+        b = next(iter(benchmark_suite(count=1, families=["lasso"])))
+        np.testing.assert_array_equal(a.problem.A.data, b.problem.A.data)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            list(benchmark_suite(families=["nope"]))
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_smallest_instance_of_each_family_solves(self, family):
+        size = suite_sizes(family)[0]
+        prob = generate(family, size, seed=0)
+        res = solve(prob, FAST)
+        assert res.status.is_optimal, (family, res.status)

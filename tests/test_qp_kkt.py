@@ -1,0 +1,122 @@
+"""Tests for KKT assembly and the reduced KKT operator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.qp import ReducedKKTOperator, assemble_kkt_upper
+from repro.sparse import CSRMatrix
+
+from helpers import random_dense, random_spd_dense
+
+
+class TestAssembleKKT:
+    def test_matches_dense_block_matrix(self, rng):
+        n, m = 5, 3
+        p = random_spd_dense(rng, n, 0.4)
+        a = random_dense(rng, m, n, 0.5)
+        sigma, rho = 1e-6, 0.2
+        rho_vec = np.full(m, rho)
+        kkt = assemble_kkt_upper(CSRMatrix.from_dense(p),
+                                 CSRMatrix.from_dense(a), sigma, rho_vec)
+        expected = np.block([[p + sigma * np.eye(n), a.T],
+                             [a, -np.eye(m) / rho]])
+        dense_upper = kkt.to_dense()
+        full = dense_upper + dense_upper.T - np.diag(np.diag(dense_upper))
+        np.testing.assert_allclose(full, expected, atol=1e-12)
+
+    def test_vector_rho(self, rng):
+        n, m = 3, 4
+        p = random_spd_dense(rng, n, 0.5)
+        a = random_dense(rng, m, n, 0.5)
+        rho_vec = np.array([0.1, 1.0, 10.0, 100.0])
+        kkt = assemble_kkt_upper(CSRMatrix.from_dense(p),
+                                 CSRMatrix.from_dense(a), 1e-6, rho_vec)
+        diag = kkt.to_dense().diagonal()
+        np.testing.assert_allclose(diag[n:], -1.0 / rho_vec)
+
+    def test_diagonal_always_present(self, rng):
+        # P with structurally zero diagonal still yields full KKT diagonal.
+        p = CSRMatrix.from_dense([[0.0, 1.0], [1.0, 0.0]])
+        a = CSRMatrix.from_dense([[1.0, 0.0]])
+        kkt = assemble_kkt_upper(p, a, 1e-6, np.array([0.5]))
+        assert np.all(kkt.to_dense().diagonal() != 0.0)
+
+    def test_shape_errors(self, rng):
+        p = CSRMatrix.from_dense(random_spd_dense(rng, 3, 0.5))
+        a = CSRMatrix.from_dense(random_dense(rng, 2, 4, 0.5))
+        with pytest.raises(ShapeError):
+            assemble_kkt_upper(p, a, 1e-6, np.ones(2))
+        a_ok = CSRMatrix.from_dense(random_dense(rng, 2, 3, 0.5))
+        with pytest.raises(ShapeError):
+            assemble_kkt_upper(p, a_ok, 1e-6, np.ones(3))
+
+
+class TestReducedKKTOperator:
+    def setup_operator(self, rng, n=6, m=4, rho=0.4):
+        p = random_spd_dense(rng, n, 0.4)
+        a = random_dense(rng, m, n, 0.5)
+        op = ReducedKKTOperator(CSRMatrix.from_dense(p),
+                                CSRMatrix.from_dense(a), 1e-6,
+                                np.full(m, rho))
+        k_dense = p + 1e-6 * np.eye(n) + rho * a.T @ a
+        return op, k_dense, p, a
+
+    def test_matvec_matches_dense(self, rng):
+        op, k_dense, _, _ = self.setup_operator(rng)
+        x = rng.standard_normal(6)
+        np.testing.assert_allclose(op.matvec(x), k_dense @ x, atol=1e-10)
+
+    def test_diagonal_matches_dense(self, rng):
+        op, k_dense, _, _ = self.setup_operator(rng)
+        np.testing.assert_allclose(op.diagonal(), np.diag(k_dense),
+                                   atol=1e-12)
+
+    def test_vector_rho_matvec(self, rng):
+        n, m = 5, 3
+        p = random_spd_dense(rng, n, 0.4)
+        a = random_dense(rng, m, n, 0.6)
+        rho_vec = np.array([0.1, 2.0, 30.0])
+        op = ReducedKKTOperator(CSRMatrix.from_dense(p),
+                                CSRMatrix.from_dense(a), 1e-6, rho_vec)
+        k_dense = p + 1e-6 * np.eye(n) + a.T @ np.diag(rho_vec) @ a
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(op.matvec(x), k_dense @ x, atol=1e-10)
+        np.testing.assert_allclose(op.diagonal(), np.diag(k_dense),
+                                   atol=1e-10)
+
+    def test_update_rho(self, rng):
+        op, _, p, a = self.setup_operator(rng)
+        op.update_rho(np.full(4, 2.0))
+        k_new = p + 1e-6 * np.eye(6) + 2.0 * a.T @ a
+        x = rng.standard_normal(6)
+        np.testing.assert_allclose(op.matvec(x), k_new @ x, atol=1e-10)
+
+    def test_update_rho_scalar_broadcast(self, rng):
+        op, _, p, a = self.setup_operator(rng)
+        op.update_rho(3.0)
+        np.testing.assert_allclose(op.rho_vec, 3.0)
+
+    def test_rejects_nonpositive_rho(self, rng):
+        op, _, _, _ = self.setup_operator(rng)
+        with pytest.raises(ShapeError):
+            op.update_rho(np.zeros(4))
+
+    def test_rhs(self, rng):
+        op, _, p, a = self.setup_operator(rng, rho=0.4)
+        n, m = 6, 4
+        x, z, y = (rng.standard_normal(n), rng.standard_normal(m),
+                   rng.standard_normal(m))
+        q = rng.standard_normal(n)
+        expected = 1e-6 * x - q + a.T @ (0.4 * z - y)
+        np.testing.assert_allclose(op.rhs(x, q, z, y), expected, atol=1e-10)
+
+    def test_empty_constraints(self, rng):
+        # m = 0: operator degenerates to P + sigma I.
+        n = 4
+        p = random_spd_dense(rng, n, 0.5)
+        op = ReducedKKTOperator(CSRMatrix.from_dense(p),
+                                CSRMatrix.zeros((0, n)), 1e-6, np.zeros(0))
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(op.matvec(x),
+                                   (p + 1e-6 * np.eye(n)) @ x, atol=1e-12)

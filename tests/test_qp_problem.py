@@ -1,0 +1,167 @@
+"""Tests for the QProblem container and scaling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.qp import QProblem, ruiz_equilibrate
+from repro.sparse import CSRMatrix, eye
+
+from helpers import random_dense, random_spd_dense
+
+
+def make_problem(rng, n=6, m=4):
+    p = random_spd_dense(rng, n, 0.4)
+    a = random_dense(rng, m, n, 0.5)
+    return QProblem(P=CSRMatrix.from_dense(p), q=rng.standard_normal(n),
+                    A=CSRMatrix.from_dense(a),
+                    l=-np.abs(rng.standard_normal(m)) - 0.1,
+                    u=np.abs(rng.standard_normal(m)) + 0.1)
+
+
+class TestQProblem:
+    def test_dimensions(self, rng):
+        prob = make_problem(rng, 6, 4)
+        assert prob.n == 6 and prob.m == 4
+        assert prob.nnz == prob.P.nnz + prob.A.nnz
+
+    def test_rejects_nonsymmetric_p(self, rng):
+        p = CSRMatrix.from_dense([[1.0, 2.0], [0.0, 1.0]])
+        a = eye(2)
+        with pytest.raises(ShapeError):
+            QProblem(P=p, q=np.zeros(2), A=a, l=np.zeros(2), u=np.ones(2))
+
+    def test_rejects_crossed_bounds(self, rng):
+        with pytest.raises(ShapeError):
+            QProblem(P=eye(2), q=np.zeros(2), A=eye(2),
+                     l=np.ones(2), u=np.zeros(2))
+
+    def test_rejects_nan_bounds(self):
+        with pytest.raises(ShapeError):
+            QProblem(P=eye(1), q=[0.0], A=eye(1), l=[np.nan], u=[1.0])
+
+    def test_rejects_shape_mismatches(self, rng):
+        with pytest.raises(ShapeError):
+            QProblem(P=eye(2), q=np.zeros(3), A=eye(2),
+                     l=np.zeros(2), u=np.ones(2))
+        with pytest.raises(ShapeError):
+            QProblem(P=eye(2), q=np.zeros(2),
+                     A=CSRMatrix.zeros((2, 3)), l=np.zeros(2), u=np.ones(2))
+        with pytest.raises(ShapeError):
+            QProblem(P=eye(2), q=np.zeros(2), A=eye(2),
+                     l=np.zeros(3), u=np.ones(3))
+
+    def test_objective(self, rng):
+        prob = make_problem(rng)
+        x = rng.standard_normal(prob.n)
+        p = prob.P.to_dense()
+        expected = 0.5 * x @ p @ x + prob.q @ x
+        assert np.isclose(prob.objective(x), expected)
+
+    def test_primal_residual_zero_inside_bounds(self, rng):
+        prob = make_problem(rng)
+        # x = 0 gives Ax = 0 which lies inside (l < 0 < u by construction).
+        assert prob.primal_residual(np.zeros(prob.n)) == 0.0
+
+    def test_primal_residual_detects_violation(self):
+        prob = QProblem(P=eye(1), q=[0.0], A=eye(1), l=[0.0], u=[1.0])
+        assert np.isclose(prob.primal_residual([2.0]), 1.0)
+        assert np.isclose(prob.primal_residual([-0.5]), 0.5)
+
+    def test_equality_mask(self):
+        prob = QProblem(P=eye(2), q=np.zeros(2), A=eye(2),
+                        l=[1.0, -1.0], u=[1.0, 1.0])
+        np.testing.assert_array_equal(prob.equality_mask(), [True, False])
+
+    def test_infinite_bounds_allowed(self):
+        prob = QProblem(P=eye(1), q=[0.0], A=eye(1),
+                        l=[-np.inf], u=[np.inf])
+        assert prob.primal_residual([100.0]) == 0.0
+
+    def test_permute_variables_preserves_objective(self, rng):
+        prob = make_problem(rng)
+        perm = rng.permutation(prob.n)
+        permuted = prob.permute_variables(perm)
+        x = rng.standard_normal(prob.n)
+        assert np.isclose(permuted.objective(x[perm]), prob.objective(x))
+
+    def test_permute_constraints_preserves_feasibility(self, rng):
+        prob = make_problem(rng)
+        perm = rng.permutation(prob.m)
+        permuted = prob.permute_constraints(perm)
+        x = rng.standard_normal(prob.n)
+        assert np.isclose(permuted.primal_residual(x),
+                          prob.primal_residual(x))
+
+
+class TestRuizScaling:
+    def test_identity_when_disabled(self, rng):
+        prob = make_problem(rng)
+        scaling = ruiz_equilibrate(prob, iterations=0)
+        np.testing.assert_allclose(scaling.d, 1.0)
+        np.testing.assert_allclose(scaling.e, 1.0)
+        assert scaling.c == 1.0
+
+    def test_scaled_matrices_are_consistent(self, rng):
+        prob = make_problem(rng)
+        s = ruiz_equilibrate(prob)
+        # P_bar = c D P D
+        p_bar = s.c * np.diag(s.d) @ prob.P.to_dense() @ np.diag(s.d)
+        np.testing.assert_allclose(s.problem.P.to_dense(), p_bar, atol=1e-12)
+        a_bar = np.diag(s.e) @ prob.A.to_dense() @ np.diag(s.d)
+        np.testing.assert_allclose(s.problem.A.to_dense(), a_bar, atol=1e-12)
+        np.testing.assert_allclose(s.problem.q, s.c * s.d * prob.q)
+
+    def test_equilibration_improves_conditioning(self, rng):
+        # Badly scaled problem: huge spread in the matrix entries.
+        n = 8
+        scales = np.logspace(0, 5, n)
+        p = random_spd_dense(rng, n, 0.5)
+        p = np.diag(scales) @ p @ np.diag(scales)
+        a = random_dense(rng, 5, n, 0.6) * 1e4
+        prob = QProblem(P=CSRMatrix.from_dense((p + p.T) / 2),
+                        q=np.ones(n), A=CSRMatrix.from_dense(a),
+                        l=-np.ones(5), u=np.ones(5))
+        s = ruiz_equilibrate(prob)
+
+        def col_norm_spread(p_mat, a_mat):
+            stacked = np.vstack([np.hstack([p_mat, a_mat.T]),
+                                 np.hstack([a_mat,
+                                            np.zeros((a_mat.shape[0],) * 2)])])
+            norms = np.abs(stacked).max(axis=0)
+            return norms.max() / norms.min()
+
+        before = col_norm_spread(prob.P.to_dense(), prob.A.to_dense())
+        after = col_norm_spread(s.problem.P.to_dense(),
+                                s.problem.A.to_dense())
+        assert after < before
+        assert after < 10.0  # equilibrated: column norms within one decade
+
+    def test_unscale_roundtrip(self, rng):
+        prob = make_problem(rng)
+        s = ruiz_equilibrate(prob)
+        x = rng.standard_normal(prob.n)
+        y = rng.standard_normal(prob.m)
+        z = rng.standard_normal(prob.m)
+        np.testing.assert_allclose(s.unscale_x(s.scale_x(x)), x)
+        np.testing.assert_allclose(s.unscale_y(s.scale_y(y)), y)
+        np.testing.assert_allclose(s.unscale_z(s.scale_z(z)), z)
+
+    def test_infinite_bounds_survive_scaling(self):
+        prob = QProblem(P=eye(2), q=np.zeros(2), A=eye(2),
+                        l=[-np.inf, 0.0], u=[1.0, np.inf])
+        s = ruiz_equilibrate(prob)
+        assert np.isneginf(s.problem.l[0])
+        assert np.isposinf(s.problem.u[1])
+        assert np.isfinite(s.problem.u[0])
+
+    def test_scaled_problem_has_same_solution_set(self, rng):
+        # x solves the scaled problem iff D^-1 x solves ... verified via
+        # objective equivalence: f_bar(D^-1 x) = c * f(x) for the
+        # quadratic part plus matching linear part.
+        prob = make_problem(rng)
+        s = ruiz_equilibrate(prob)
+        x = rng.standard_normal(prob.n)
+        x_bar = s.scale_x(x)
+        assert np.isclose(s.problem.objective(x_bar),
+                          s.c * prob.objective(x))

@@ -1,0 +1,106 @@
+"""Independent cross-validation of the solver against scipy.optimize.
+
+Everything else in the test suite validates our components against each
+other; this file checks the end solutions against a completely separate
+implementation (SLSQP) on small problems.
+"""
+
+import numpy as np
+import pytest
+from scipy.optimize import minimize
+
+from repro.qp import QProblem
+from repro.solver import OSQPSettings, solve
+from repro.sparse import CSRMatrix
+
+from helpers import random_dense, random_spd_dense
+
+ACCURATE = OSQPSettings(eps_abs=1e-8, eps_rel=1e-8, max_iter=30000,
+                        polish=True)
+
+
+def scipy_reference(prob, x0=None):
+    p = prob.P.to_dense()
+    a = prob.A.to_dense()
+
+    def objective(x):
+        return 0.5 * x @ p @ x + prob.q @ x
+
+    def jac(x):
+        return p @ x + prob.q
+
+    constraints = []
+    for i in range(prob.m):
+        row = a[i]
+        if np.isfinite(prob.u[i]):
+            constraints.append({"type": "ineq",
+                                "fun": (lambda x, r=row, u=prob.u[i]:
+                                        u - r @ x),
+                                "jac": lambda x, r=row: -r})
+        if np.isfinite(prob.l[i]):
+            constraints.append({"type": "ineq",
+                                "fun": (lambda x, r=row, l=prob.l[i]:
+                                        r @ x - l),
+                                "jac": lambda x, r=row: r})
+    start = x0 if x0 is not None else np.zeros(prob.n)
+    res = minimize(objective, start, jac=jac, method="SLSQP",
+                   constraints=constraints,
+                   options={"maxiter": 500, "ftol": 1e-12})
+    assert res.success, res.message
+    return res.x
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_matches_slsqp_on_random_inequality_qps(seed):
+    rng = np.random.default_rng(seed)
+    n, m = 5, 7
+    p = random_spd_dense(rng, n, 0.5)
+    a = random_dense(rng, m, n, 0.6)
+    x0 = rng.standard_normal(n)
+    slack = np.abs(rng.standard_normal(m)) + 0.1
+    prob = QProblem(P=CSRMatrix.from_dense(p), q=rng.standard_normal(n),
+                    A=CSRMatrix.from_dense(a), l=a @ x0 - slack,
+                    u=a @ x0 + slack)
+    ours = solve(prob, ACCURATE)
+    assert ours.status.is_optimal
+    reference = scipy_reference(prob, x0=x0)
+    # Strong convexity: unique optimum, so the points must coincide.
+    np.testing.assert_allclose(ours.x, reference, atol=1e-4)
+    assert prob.objective(ours.x) <= prob.objective(reference) + 1e-6
+
+
+def test_matches_slsqp_with_one_sided_bounds():
+    rng = np.random.default_rng(7)
+    n = 4
+    p = random_spd_dense(rng, n, 0.5)
+    a = np.vstack([np.eye(n), np.ones((1, n))])
+    prob = QProblem(P=CSRMatrix.from_dense(p), q=rng.standard_normal(n),
+                    A=CSRMatrix.from_dense(a),
+                    l=np.concatenate([np.zeros(n), [-np.inf]]),
+                    u=np.concatenate([np.full(n, np.inf), [1.0]]))
+    ours = solve(prob, ACCURATE)
+    assert ours.status.is_optimal
+    reference = scipy_reference(prob)
+    np.testing.assert_allclose(ours.x, reference, atol=1e-4)
+
+
+def test_matches_slsqp_through_modeling_layer():
+    from repro.modeling import Minimize, ModelProblem, Variable, between, \
+        sum_squares
+    rng = np.random.default_rng(11)
+    a = rng.standard_normal((8, 3))
+    b = rng.standard_normal(8)
+    x = Variable(3)
+    model = ModelProblem(Minimize(sum_squares(a @ x - b)),
+                         [between(-0.3, x, 0.3)])
+    res = model.solve(ACCURATE)
+    assert res.status.is_optimal
+
+    def objective(v):
+        return float(np.sum((a @ v - b) ** 2))
+
+    ref = minimize(objective, np.zeros(3), method="SLSQP",
+                   bounds=[(-0.3, 0.3)] * 3,
+                   options={"maxiter": 500, "ftol": 1e-14})
+    assert ref.success
+    np.testing.assert_allclose(x.value, ref.x, atol=1e-4)

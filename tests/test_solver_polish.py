@@ -1,0 +1,123 @@
+"""Unit tests for the polish module's internals and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.qp import QProblem
+from repro.solver import OSQPSettings, OSQPSolver, SolverStatus
+from repro.solver.polish import _take_rows, polish
+from repro.solver.results import OSQPResult, SolverInfo
+from repro.sparse import CSRMatrix, eye
+
+from helpers import random_dense, random_spd_dense
+
+
+class TestTakeRows:
+    def test_selects_in_order(self, rng):
+        dense = random_dense(rng, 6, 4, 0.5)
+        mat = CSRMatrix.from_dense(dense)
+        rows = np.array([4, 1, 3])
+        out = _take_rows(mat, rows)
+        np.testing.assert_allclose(out.to_dense(), dense[rows])
+
+    def test_empty_selection(self, rng):
+        mat = CSRMatrix.from_dense(random_dense(rng, 3, 4, 0.5))
+        out = _take_rows(mat, np.array([], dtype=np.int64))
+        assert out.shape == (0, 4)
+        assert out.nnz == 0
+
+
+class TestPolishEdgeCases:
+    def _result_from(self, prob, settings=None):
+        settings = settings or OSQPSettings(eps_abs=1e-4, eps_rel=1e-4,
+                                            max_iter=8000)
+        return OSQPSolver(prob, settings).solve()
+
+    def test_polish_with_no_active_constraints(self, rng):
+        # Interior optimum: active set empty -> polish solves P x = -q.
+        n = 5
+        p = random_spd_dense(rng, n, 0.5)
+        q = rng.standard_normal(n) * 0.01
+        prob = QProblem(P=CSRMatrix.from_dense(p), q=q, A=eye(n),
+                        l=-np.full(n, 100.0), u=np.full(n, 100.0))
+        res = self._result_from(prob)
+        polished = polish(prob, res, OSQPSettings(polish=True))
+        assert polished.status.is_optimal
+        np.testing.assert_allclose(polished.x, np.linalg.solve(p, -q),
+                                   atol=1e-4)
+
+    def test_polish_keeps_original_when_worse(self, rng):
+        # Feed polish a *wrong* duals vector: active set nonsense, the
+        # polished candidate cannot beat the original residuals.
+        n = 4
+        p = random_spd_dense(rng, n, 0.5)
+        prob = QProblem(P=CSRMatrix.from_dense(p),
+                        q=rng.standard_normal(n), A=eye(n),
+                        l=-np.ones(n), u=np.ones(n))
+        good = self._result_from(
+            prob, OSQPSettings(eps_abs=1e-9, eps_rel=1e-9,
+                               max_iter=20000))
+        tampered = OSQPResult(
+            x=good.x, y=-np.abs(good.y) - 1.0, z=good.z,
+            status=SolverStatus.SOLVED, info=SolverInfo())
+        out = polish(prob, tampered, OSQPSettings(polish=True))
+        # Either rejected (same object content) or genuinely no worse.
+        pri = prob.primal_residual(out.x)
+        assert pri <= prob.primal_residual(good.x) + 1e-6
+
+    def test_polish_improves_loose_solve(self, rng):
+        n = 6
+        p = random_spd_dense(rng, n, 0.4)
+        a = random_dense(rng, 8, n, 0.5)
+        x0 = rng.standard_normal(n)
+        prob = QProblem(P=CSRMatrix.from_dense(p),
+                        q=rng.standard_normal(n),
+                        A=CSRMatrix.from_dense(a),
+                        l=a @ x0 - 0.5, u=a @ x0 + 0.5)
+        loose = self._result_from(prob, OSQPSettings(
+            eps_abs=1e-3, eps_rel=1e-3, max_iter=8000))
+        polished = polish(prob, loose, OSQPSettings(polish=True))
+        if polished.info.polished:
+            grad = (prob.P.matvec(polished.x) + prob.q
+                    + prob.A.rmatvec(polished.y))
+            assert np.abs(grad).max() < 1e-7
+
+    def test_polish_refinement_iterations_matter(self, rng):
+        # With zero refinement steps the regularized solve's bias
+        # remains; with a few it vanishes. Both must stay valid.
+        n = 6
+        p = random_spd_dense(rng, n, 0.4)
+        prob = QProblem(P=CSRMatrix.from_dense(p),
+                        q=rng.standard_normal(n), A=eye(n),
+                        l=-np.ones(n) * 0.1, u=np.ones(n) * 0.1)
+        res = self._result_from(prob)
+        refined = polish(prob, res, OSQPSettings(
+            polish=True, polish_refine_iter=5, polish_delta=1e-5))
+        crude = polish(prob, res, OSQPSettings(
+            polish=True, polish_refine_iter=0, polish_delta=1e-5))
+        assert refined.status.is_optimal
+        assert crude.status.is_optimal
+        if refined.info.polished and crude.info.polished:
+            grad_r = (prob.P.matvec(refined.x) + prob.q
+                      + prob.A.rmatvec(refined.y))
+            grad_c = (prob.P.matvec(crude.x) + prob.q
+                      + prob.A.rmatvec(crude.y))
+            assert np.abs(grad_r).max() <= np.abs(grad_c).max() + 1e-12
+
+
+class TestPolishInfiniteBounds:
+    def test_noise_dual_on_infinite_bound_not_pinned(self, rng):
+        # Regression: a tiny negative dual on a -inf lower-bound row
+        # used to put -inf on the polish KKT rhs (NaN refinement).
+        n = 3
+        p = random_spd_dense(rng, n, 0.6)
+        prob = QProblem(P=CSRMatrix.from_dense(p),
+                        q=rng.standard_normal(n), A=eye(n),
+                        l=np.full(n, -np.inf), u=np.full(n, 10.0))
+        res = OSQPSolver(prob, OSQPSettings(eps_abs=1e-5, eps_rel=1e-5,
+                                            max_iter=8000)).solve()
+        tampered = OSQPResult(x=res.x, y=res.y - 1e-12, z=res.z,
+                              status=SolverStatus.SOLVED,
+                              info=SolverInfo())
+        out = polish(prob, tampered, OSQPSettings(polish=True))
+        assert np.all(np.isfinite(out.x))

@@ -1,0 +1,113 @@
+"""Unit tests for repro.sparse.builders."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.sparse import (CSRMatrix, block_diag, diag, eye, from_blocks,
+                          hstack, random_sparse, vstack)
+
+from helpers import random_dense
+
+
+class TestBasics:
+    def test_eye(self):
+        np.testing.assert_allclose(eye(3).to_dense(), np.eye(3))
+        np.testing.assert_allclose(eye(3, scale=2.5).to_dense(),
+                                   2.5 * np.eye(3))
+
+    def test_diag(self):
+        v = np.array([1.0, 0.0, -2.0])
+        np.testing.assert_allclose(diag(v).to_dense(), np.diag(v))
+
+    def test_random_sparse_density(self, rng):
+        mat = random_sparse(50, 40, 0.1, rng)
+        assert mat.nnz == round(0.1 * 50 * 40)
+        assert mat.shape == (50, 40)
+
+    def test_random_sparse_extremes(self, rng):
+        assert random_sparse(10, 10, 0.0, rng).nnz == 0
+        assert random_sparse(5, 5, 1.0, rng).nnz == 25
+
+    def test_random_sparse_uniform_values(self, rng):
+        mat = random_sparse(20, 20, 0.2, rng, values="uniform")
+        assert np.all(mat.data > 0)
+
+    def test_random_sparse_rejects_bad_density(self, rng):
+        with pytest.raises(ShapeError):
+            random_sparse(3, 3, 1.5, rng)
+        with pytest.raises(ValueError):
+            random_sparse(3, 3, 0.5, rng, values="bogus")
+
+
+class TestStacking:
+    def test_hstack(self, rng):
+        a, b = random_dense(rng, 3, 2), random_dense(rng, 3, 4)
+        out = hstack([CSRMatrix.from_dense(a), CSRMatrix.from_dense(b)])
+        np.testing.assert_allclose(out.to_dense(), np.hstack([a, b]))
+
+    def test_vstack(self, rng):
+        a, b = random_dense(rng, 2, 3), random_dense(rng, 4, 3)
+        out = vstack([CSRMatrix.from_dense(a), CSRMatrix.from_dense(b)])
+        np.testing.assert_allclose(out.to_dense(), np.vstack([a, b]))
+
+    def test_stack_shape_errors(self, rng):
+        a = CSRMatrix.from_dense(random_dense(rng, 2, 2))
+        b = CSRMatrix.from_dense(random_dense(rng, 3, 3))
+        with pytest.raises(ShapeError):
+            hstack([a, b])
+        with pytest.raises(ShapeError):
+            vstack([a, b])
+        with pytest.raises(ShapeError):
+            hstack([])
+
+    def test_block_diag(self, rng):
+        a, b = random_dense(rng, 2, 3), random_dense(rng, 3, 1)
+        out = block_diag([CSRMatrix.from_dense(a), CSRMatrix.from_dense(b)])
+        expected = np.zeros((5, 4))
+        expected[:2, :3] = a
+        expected[2:, 3:] = b
+        np.testing.assert_allclose(out.to_dense(), expected)
+
+
+class TestFromBlocks:
+    def test_grid_with_none(self, rng):
+        a = random_dense(rng, 2, 2)
+        b = random_dense(rng, 2, 3)
+        c = random_dense(rng, 1, 3)
+        grid = [[CSRMatrix.from_dense(a), CSRMatrix.from_dense(b)],
+                [None, CSRMatrix.from_dense(c)]]
+        out = from_blocks(grid)
+        expected = np.zeros((3, 5))
+        expected[:2, :2] = a
+        expected[:2, 2:] = b
+        expected[2:, 2:] = c
+        np.testing.assert_allclose(out.to_dense(), expected)
+
+    def test_kkt_shape_assembly(self, rng):
+        # The OSQP KKT layout: [[P, A^T], [A, -I/rho]].
+        p = CSRMatrix.from_dense(random_dense(rng, 4, 4))
+        a = CSRMatrix.from_dense(random_dense(rng, 3, 4))
+        kkt = from_blocks([[p, a.transpose()], [a, eye(3, scale=-0.5)]])
+        assert kkt.shape == (7, 7)
+        np.testing.assert_allclose(kkt.to_dense()[4:, :4], a.to_dense())
+
+    def test_ragged_grid_rejected(self, rng):
+        a = CSRMatrix.from_dense(random_dense(rng, 2, 2))
+        with pytest.raises(ShapeError):
+            from_blocks([[a, a], [a]])
+
+    def test_inconsistent_shapes_rejected(self, rng):
+        a = CSRMatrix.from_dense(random_dense(rng, 2, 2))
+        b = CSRMatrix.from_dense(random_dense(rng, 3, 2))
+        with pytest.raises(ShapeError):
+            from_blocks([[a, b]])
+
+    def test_unknown_zero_block_shape_rejected(self):
+        a = eye(2)
+        with pytest.raises(ShapeError):
+            from_blocks([[a, None], [None, None]])
+
+    def test_all_none_grid_rejected(self):
+        with pytest.raises(ShapeError):
+            from_blocks([])

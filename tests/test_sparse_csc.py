@@ -1,0 +1,91 @@
+"""Unit tests for repro.sparse.csc."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.sparse import CSCMatrix, CSRMatrix
+
+from helpers import random_dense
+
+
+class TestConversions:
+    def test_from_dense_roundtrip(self, rng):
+        dense = random_dense(rng, 6, 4)
+        np.testing.assert_allclose(CSCMatrix.from_dense(dense).to_dense(),
+                                   dense)
+
+    def test_csr_csc_roundtrip(self, rng):
+        dense = random_dense(rng, 5, 7)
+        csr = CSRMatrix.from_dense(dense)
+        csc = CSCMatrix.from_csr(csr)
+        np.testing.assert_allclose(csc.to_dense(), dense)
+        np.testing.assert_allclose(csc.to_csr().to_dense(), dense)
+
+    def test_from_coo(self):
+        mat = CSCMatrix.from_coo([0, 1, 0], [1, 0, 1], [1.0, 2.0, 3.0], (2, 2))
+        np.testing.assert_allclose(mat.to_dense(),
+                                   [[0.0, 4.0], [2.0, 0.0]])
+
+    def test_col_view(self):
+        dense = np.array([[1.0, 0.0], [2.0, 3.0]])
+        rows, vals = CSCMatrix.from_dense(dense).col(0)
+        np.testing.assert_array_equal(rows, [0, 1])
+        np.testing.assert_allclose(vals, [1.0, 2.0])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ShapeError):
+            CSCMatrix((2, 2), [1.0], [0], [0, 2, 1])
+        with pytest.raises(ShapeError):
+            # row indices out of order in a column
+            CSCMatrix((3, 1), [1.0, 2.0], [2, 0], [0, 2])
+
+
+class TestOps:
+    def test_matvec(self, rng):
+        dense = random_dense(rng, 8, 5)
+        x = rng.standard_normal(5)
+        np.testing.assert_allclose(CSCMatrix.from_dense(dense).matvec(x),
+                                   dense @ x)
+
+    def test_rmatvec(self, rng):
+        dense = random_dense(rng, 8, 5)
+        y = rng.standard_normal(8)
+        np.testing.assert_allclose(CSCMatrix.from_dense(dense).rmatvec(y),
+                                   dense.T @ y)
+
+    def test_matvec_shape_errors(self, rng):
+        mat = CSCMatrix.from_dense(random_dense(rng, 3, 4))
+        with pytest.raises(ShapeError):
+            mat.matvec(np.zeros(3))
+        with pytest.raises(ShapeError):
+            mat.rmatvec(np.zeros(4))
+
+    def test_diagonal(self, rng):
+        dense = random_dense(rng, 6, 6, density=0.9)
+        np.testing.assert_allclose(CSCMatrix.from_dense(dense).diagonal(),
+                                   np.diag(dense))
+
+    def test_col_nnz(self):
+        dense = np.array([[1.0, 0.0], [1.0, 0.0]])
+        np.testing.assert_array_equal(
+            CSCMatrix.from_dense(dense).col_nnz(), [2, 0])
+
+
+class TestSymmetricPermute:
+    def test_permutation_preserves_symmetric_matrix(self, rng):
+        n = 7
+        a = random_dense(rng, n, n, 0.5)
+        sym = (a + a.T) / 2 + np.eye(n) * 3
+        upper = CSCMatrix.from_dense(np.triu(sym))
+        perm = rng.permutation(n)
+        permuted_upper = upper.symmetric_permute_upper(perm)
+        # Reconstruct the full symmetric matrix from its upper triangle.
+        pu = permuted_upper.to_dense()
+        full = pu + pu.T - np.diag(np.diag(pu))
+        np.testing.assert_allclose(full, sym[np.ix_(perm, perm)])
+
+    def test_requires_square(self, rng):
+        mat = CSCMatrix.from_dense(random_dense(rng, 2, 3))
+        with pytest.raises(ShapeError):
+            mat.symmetric_permute_upper([0, 1])

@@ -1,0 +1,240 @@
+"""Unit and property-based tests for repro.sparse.csr."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ShapeError
+from repro.sparse import CSRMatrix
+
+from helpers import random_dense
+
+
+def small_dense_matrices():
+    shapes = st.tuples(st.integers(1, 8), st.integers(1, 8))
+    return shapes.flatmap(lambda s: arrays(
+        np.float64, s,
+        elements=st.sampled_from([0.0, 0.0, 1.0, -2.0, 0.5, 3.25])))
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        dense = random_dense(rng, 7, 5)
+        mat = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(mat.to_dense(), dense)
+
+    def test_from_dense_drops_zeros(self):
+        mat = CSRMatrix.from_dense([[0.0, 1.0], [0.0, 0.0]])
+        assert mat.nnz == 1
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix.from_dense(np.zeros(3))
+
+    def test_from_coo_sums_duplicates(self):
+        mat = CSRMatrix.from_coo([0, 0, 1], [1, 1, 0], [2.0, 3.0, 1.0], (2, 2))
+        expected = np.array([[0.0, 5.0], [1.0, 0.0]])
+        np.testing.assert_allclose(mat.to_dense(), expected)
+
+    def test_from_coo_cancelling_duplicates_keep_stored_entry(self):
+        mat = CSRMatrix.from_coo([0, 0], [0, 0], [1.0, -1.0], (1, 1))
+        # Stored entry with value 0 remains; prune removes it.
+        assert mat.nnz == 1
+        assert mat.prune().nnz == 0
+
+    def test_from_coo_rejects_out_of_range(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix.from_coo([0], [5], [1.0], (2, 2))
+        with pytest.raises(ShapeError):
+            CSRMatrix.from_coo([7], [0], [1.0], (2, 2))
+
+    def test_zeros(self):
+        z = CSRMatrix.zeros((3, 4))
+        assert z.nnz == 0
+        np.testing.assert_allclose(z.to_dense(), np.zeros((3, 4)))
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix((2, 2), [1.0], [0], [0, 2, 1])
+
+    def test_noncanonical_rows_rejected(self):
+        # Columns out of order within a row.
+        with pytest.raises(ShapeError):
+            CSRMatrix((1, 3), [1.0, 2.0], [2, 0], [0, 2])
+
+    @given(small_dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_dense_roundtrip_property(self, dense):
+        mat = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(mat.to_dense(), dense)
+        assert mat.nnz == np.count_nonzero(dense)
+
+
+class TestLinearOps:
+    def test_matvec_matches_dense(self, rng):
+        dense = random_dense(rng, 9, 6)
+        x = rng.standard_normal(6)
+        np.testing.assert_allclose(CSRMatrix.from_dense(dense).matvec(x),
+                                   dense @ x)
+
+    def test_matvec_empty_rows(self):
+        dense = np.array([[0.0, 0.0], [1.0, 2.0], [0.0, 0.0]])
+        x = np.array([3.0, 4.0])
+        np.testing.assert_allclose(CSRMatrix.from_dense(dense).matvec(x),
+                                   dense @ x)
+
+    def test_matvec_shape_error(self, rng):
+        mat = CSRMatrix.from_dense(random_dense(rng, 3, 4))
+        with pytest.raises(ShapeError):
+            mat.matvec(np.zeros(3))
+
+    def test_rmatvec_matches_dense(self, rng):
+        dense = random_dense(rng, 9, 6)
+        y = rng.standard_normal(9)
+        np.testing.assert_allclose(CSRMatrix.from_dense(dense).rmatvec(y),
+                                   dense.T @ y)
+
+    def test_rmatvec_shape_error(self, rng):
+        mat = CSRMatrix.from_dense(random_dense(rng, 3, 4))
+        with pytest.raises(ShapeError):
+            mat.rmatvec(np.zeros(4))
+
+    def test_matmul_operator(self, rng):
+        dense = random_dense(rng, 4, 4)
+        x = rng.standard_normal(4)
+        np.testing.assert_allclose(CSRMatrix.from_dense(dense) @ x, dense @ x)
+
+    @given(small_dense_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_matvec_property(self, dense):
+        x = np.linspace(-1.0, 1.0, dense.shape[1])
+        np.testing.assert_allclose(CSRMatrix.from_dense(dense).matvec(x),
+                                   dense @ x, atol=1e-12)
+
+    def test_diagonal(self, rng):
+        dense = random_dense(rng, 5, 7)
+        np.testing.assert_allclose(CSRMatrix.from_dense(dense).diagonal(),
+                                   np.diag(dense))
+
+    def test_column_sq_sums(self, rng):
+        dense = random_dense(rng, 6, 4)
+        np.testing.assert_allclose(
+            CSRMatrix.from_dense(dense).column_sq_sums(),
+            (dense ** 2).sum(axis=0))
+
+
+class TestStructure:
+    def test_transpose(self, rng):
+        dense = random_dense(rng, 5, 8)
+        np.testing.assert_allclose(
+            CSRMatrix.from_dense(dense).transpose().to_dense(), dense.T)
+
+    def test_permute_rows(self, rng):
+        dense = random_dense(rng, 6, 4)
+        perm = rng.permutation(6)
+        out = CSRMatrix.from_dense(dense).permute_rows(perm)
+        np.testing.assert_allclose(out.to_dense(), dense[perm])
+
+    def test_permute_cols(self, rng):
+        dense = random_dense(rng, 4, 6)
+        perm = rng.permutation(6)
+        out = CSRMatrix.from_dense(dense).permute_cols(perm)
+        np.testing.assert_allclose(out.to_dense(), dense[:, perm])
+
+    def test_permute_rejects_non_permutation(self, rng):
+        mat = CSRMatrix.from_dense(random_dense(rng, 3, 3))
+        with pytest.raises(ShapeError):
+            mat.permute_rows([0, 0, 1])
+        with pytest.raises(ShapeError):
+            mat.permute_cols([0, 1])
+
+    def test_scale_rows_cols(self, rng):
+        dense = random_dense(rng, 4, 5)
+        mat = CSRMatrix.from_dense(dense)
+        d_r, d_c = rng.standard_normal(4), rng.standard_normal(5)
+        np.testing.assert_allclose(mat.scale_rows(d_r).to_dense(),
+                                   np.diag(d_r) @ dense)
+        np.testing.assert_allclose(mat.scale_cols(d_c).to_dense(),
+                                   dense @ np.diag(d_c))
+
+    def test_triu_tril(self, rng):
+        dense = random_dense(rng, 6, 6, density=0.8)
+        mat = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(mat.triu().to_dense(), np.triu(dense))
+        np.testing.assert_allclose(mat.tril().to_dense(), np.tril(dense))
+        np.testing.assert_allclose(mat.triu(1).to_dense(), np.triu(dense, 1))
+
+    def test_row_nnz(self):
+        dense = np.array([[1.0, 2.0], [0.0, 0.0], [3.0, 0.0]])
+        np.testing.assert_array_equal(
+            CSRMatrix.from_dense(dense).row_nnz(), [2, 0, 1])
+
+    def test_row_view(self):
+        dense = np.array([[0.0, 5.0, 6.0], [7.0, 0.0, 0.0]])
+        cols, vals = CSRMatrix.from_dense(dense).row(0)
+        np.testing.assert_array_equal(cols, [1, 2])
+        np.testing.assert_allclose(vals, [5.0, 6.0])
+
+    def test_prune_tolerance(self):
+        mat = CSRMatrix.from_dense([[1e-12, 1.0], [0.5, 0.0]])
+        pruned = mat.prune(1e-9)
+        assert pruned.nnz == 2
+
+    def test_copy_is_independent(self, rng):
+        mat = CSRMatrix.from_dense(random_dense(rng, 3, 3))
+        cp = mat.copy()
+        cp.data[:] = 0.0
+        assert not np.allclose(mat.data, cp.data) or mat.nnz == 0
+
+
+class TestArithmetic:
+    def test_add(self, rng):
+        a = random_dense(rng, 4, 4)
+        b = random_dense(rng, 4, 4)
+        out = CSRMatrix.from_dense(a) + CSRMatrix.from_dense(b)
+        np.testing.assert_allclose(out.to_dense(), a + b)
+
+    def test_add_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            CSRMatrix.zeros((2, 2)) + CSRMatrix.zeros((3, 3))
+
+    def test_scalar_multiply(self, rng):
+        a = random_dense(rng, 3, 5)
+        out = 2.5 * CSRMatrix.from_dense(a)
+        np.testing.assert_allclose(out.to_dense(), 2.5 * a)
+
+    def test_allclose(self, rng):
+        a = random_dense(rng, 3, 3)
+        assert CSRMatrix.from_dense(a).allclose(CSRMatrix.from_dense(a.copy()))
+        assert not CSRMatrix.from_dense(a).allclose(CSRMatrix.zeros((2, 2)))
+
+
+class TestMatMul:
+    def test_matches_dense_product(self, rng):
+        a = random_dense(rng, 5, 7, 0.4)
+        b = random_dense(rng, 7, 4, 0.4)
+        out = CSRMatrix.from_dense(a).matmul(CSRMatrix.from_dense(b))
+        np.testing.assert_allclose(out.to_dense(), a @ b, atol=1e-12)
+
+    def test_matmul_operator_dispatch(self, rng):
+        a = CSRMatrix.from_dense(random_dense(rng, 3, 3, 0.6))
+        b = CSRMatrix.from_dense(random_dense(rng, 3, 3, 0.6))
+        np.testing.assert_allclose((a @ b).to_dense(),
+                                   a.to_dense() @ b.to_dense(),
+                                   atol=1e-12)
+
+    def test_shape_mismatch_rejected(self, rng):
+        a = CSRMatrix.from_dense(random_dense(rng, 3, 4, 0.5))
+        b = CSRMatrix.from_dense(random_dense(rng, 3, 4, 0.5))
+        with pytest.raises(ShapeError):
+            a.matmul(b)
+        with pytest.raises(ShapeError):
+            a.matmul(np.eye(4))
+
+    def test_empty_product(self):
+        a = CSRMatrix.zeros((3, 5))
+        b = CSRMatrix.zeros((5, 2))
+        out = a.matmul(b)
+        assert out.shape == (3, 2) and out.nnz == 0
