@@ -1,14 +1,17 @@
-"""Closed-loop model predictive control with warm-started OSQP.
+"""Closed-loop model predictive control on the RSQP solver service.
 
 Control engineering is the paper's first motivating domain: an MPC
 controller solves a QP with the *same structure* at every sampling
 instant — only the measured state changes — which is exactly the
 repeated-structure workload RSQP's customization targets.
 
-This example builds a random stable plant, runs the closed loop with
-our OSQP solver (warm-starting each step from the previous solution),
-and shows the regulator driving the state to the origin while
-respecting input bounds.
+This example builds a random stable plant and runs the closed loop
+through :class:`repro.serving.SolverService`: the first step pays the
+full customization flow (architecture search, scheduling, CVB
+compression, compilation), every later step reuses the cached
+architecture and only re-downloads numeric data — the measured
+amortization is printed at the end. Each solve runs on the simulated
+RSQP card, warm-started from the previous step's solution.
 
 Run:  python examples/mpc_control.py
 """
@@ -17,7 +20,8 @@ import numpy as np
 
 from repro.problems.control import mpc_matrices
 from repro.qp import QProblem
-from repro.solver import OSQPSettings, OSQPSolver
+from repro.serving import SolverService
+from repro.solver import OSQPSettings
 from repro.sparse import CSRMatrix, diag, eye, from_blocks
 
 NX, NU, HORIZON = 6, 3, 8
@@ -64,25 +68,28 @@ def main():
 
     prev_x = prev_y = None
     print(f"plant: {NX} states, {NU} inputs, horizon {HORIZON}")
-    print(f"{'step':>4s} {'|x|':>8s} {'u0':>24s} {'iters':>6s}")
+    print(f"{'step':>4s} {'|x|':>8s} {'u0':>24s} {'iters':>6s} {'arch':>6s}")
     norms = []
-    for step in range(SIM_STEPS):
-        problem, _ = build_mpc_qp(a_d, b_d, x)
-        solver = OSQPSolver(problem, settings)
-        if prev_x is not None:
-            solver.warm_start(x=prev_x, y=prev_y)
-        result = solver.solve()
-        assert result.status.is_optimal, result.status
-        u0 = result.x[HORIZON * NX:HORIZON * NX + NU]
-        assert np.all(np.abs(u0) <= U_LIMIT + 1e-4)
-        norms.append(np.linalg.norm(x))
-        print(f"{step:4d} {norms[-1]:8.4f} {np.round(u0, 3)!s:>24s} "
-              f"{result.info.iterations:6d}")
-        x = a_d @ x + b_d @ u0 + 0.01 * rng.standard_normal(NX)
-        prev_x, prev_y = result.x, result.y
+    with SolverService(settings=settings, workers=1,
+                       mode="serial") as service:
+        for step in range(SIM_STEPS):
+            problem, _ = build_mpc_qp(a_d, b_d, x)
+            warm = (prev_x, prev_y) if prev_x is not None else None
+            result = service.solve(problem, warm_start=warm)
+            assert result.converged, f"step {step} did not converge"
+            u0 = result.x[HORIZON * NX:HORIZON * NX + NU]
+            assert np.all(np.abs(u0) <= U_LIMIT + 1e-4)
+            norms.append(np.linalg.norm(x))
+            tier = "reuse" if result.record.cache_hit else "build"
+            print(f"{step:4d} {norms[-1]:8.4f} {np.round(u0, 3)!s:>24s} "
+                  f"{result.record.admm_iterations:6d} {tier:>6s}")
+            x = a_d @ x + b_d @ u0 + 0.01 * rng.standard_normal(NX)
+            prev_x, prev_y = result.x, result.y
 
-    print(f"\nstate norm {norms[0]:.3f} -> {norms[-1]:.3f} "
-          f"({'regulated' if norms[-1] < 0.5 * norms[0] else 'check plant'})")
+        print(f"\nstate norm {norms[0]:.3f} -> {norms[-1]:.3f} "
+              f"({'regulated' if norms[-1] < 0.5 * norms[0] else 'check plant'})")
+        print("\nOne architecture served the whole closed loop:")
+        print(service.amortization_report())
 
 
 if __name__ == "__main__":

@@ -74,7 +74,7 @@ class MatrixCustomization:
 class ProblemCustomization:
     """Aggregate customization of a QP on a width-``C`` datapath."""
 
-    problem: QProblem
+    problem: QProblem | None  # None once detach()-ed into a cache artifact
     architecture: Architecture
     matrices: dict  # name -> MatrixCustomization
     search: SearchResult | None = None
@@ -114,6 +114,24 @@ class ProblemCustomization:
                 f"  {name}: nnz={m.nnz} L={m.vector_length} "
                 f"Ep={m.ep} Ec={m.ec:.2f} eta={m.eta:.3f}")
         return "\n".join(lines)
+
+    def detach(self) -> "ProblemCustomization":
+        """Freeze into a structure-only artifact (no numeric data).
+
+        Everything a customization holds besides ``problem`` —
+        encodings, schedules, CVB layouts, the architecture — is a pure
+        function of the sparsity *structure*, so a detached copy is
+        valid for every structurally identical problem and safe to keep
+        in a long-lived cache without pinning the originating problem's
+        numeric matrices in memory. The detached copy has
+        ``problem is None``; APIs that need the numeric problem (e.g.
+        :func:`repro.hw.memory.plan_hbm_layout`) require an attached
+        customization.
+        """
+        return ProblemCustomization(problem=None,
+                                    architecture=self.architecture,
+                                    matrices=dict(self.matrices),
+                                    search=self.search)
 
 
 def _streamed_matrices(problem: QProblem) -> dict:

@@ -1,7 +1,8 @@
 """The RSQP hardware model: ISA, cycle-accurate machine, compiler,
 frequency/resource/power models, and the host-side accelerator wrapper."""
 
-from .accelerator import RSQPAccelerator, RSQPResult
+from .accelerator import (RSQPAccelerator, RSQPResult,
+                          compile_for_customization)
 from .asm import (ROM_WORD_BYTES, decode_program, disassemble,
                   encode_program, rom_words)
 from .compiler import (ADMM_LOOP, PCG_LOOP, CompiledProgram, attach_costs,
@@ -20,6 +21,7 @@ from .resources import (U50_LIMITS, ResourceEstimate, estimate_resources,
 
 __all__ = [
     "RSQPAccelerator",
+    "compile_for_customization",
     "disassemble",
     "rom_words",
     "encode_program",

@@ -21,10 +21,10 @@ from ..solver.osqp import OSQPSolver
 from .compiler import (ADMM_LOOP, PCG_LOOP, CompiledProgram, attach_costs,
                        compile_osqp_program)
 from .frequency import fmax_mhz
-from .machine import Machine, MatrixResource
+from .machine import ExecutionStats, Machine, MatrixResource
 from .power import fpga_power_watts
 
-__all__ = ["RSQPResult", "RSQPAccelerator"]
+__all__ = ["RSQPResult", "RSQPAccelerator", "compile_for_customization"]
 
 
 @dataclass
@@ -40,7 +40,7 @@ class RSQPResult:
     total_cycles: int
     fmax_mhz: float
     power_watts: float
-    stats: object  # ExecutionStats
+    stats: ExecutionStats
 
     @property
     def solve_seconds(self) -> float:
@@ -72,13 +72,22 @@ class RSQPAccelerator:
         instruction stream keeps ``rho`` fixed (the paper notes PCG
         makes rho updates cheap — a host re-download — but the ROM
         program itself is static).
+    compiled:
+        Optional pre-compiled program with costs already attached (a
+        cached artifact from :mod:`repro.serving`). Must have been
+        compiled for the same dimensions, width and ``max_pcg_iter``;
+        a mismatch raises :class:`ValueError`. When given, the
+        compile + cost-attachment stage of construction is skipped —
+        the warm path that the serving layer's architecture cache
+        amortizes across structurally identical problems.
     """
 
     def __init__(self, problem: QProblem,
                  customization: ProblemCustomization | None = None,
                  settings: OSQPSettings | None = None,
                  *, c: int = 16, pcg_eps: float = 1e-7,
-                 max_pcg_iter: int = 500):
+                 max_pcg_iter: int = 500,
+                 compiled: CompiledProgram | None = None):
         self.problem = problem
         self.settings = settings if settings is not None else OSQPSettings()
         if customization is None:
@@ -88,16 +97,33 @@ class RSQPAccelerator:
         self.pcg_eps = float(pcg_eps)
         self.max_pcg_iter = int(max_pcg_iter)
 
-        # Host setup: scale and pick rho exactly like the software solver.
-        helper = OSQPSolver(problem, self.settings)
+        self._host_setup()
+        self._build_machine()
+        if compiled is None:
+            compiled = compile_for_customization(
+                customization, self.work.n, self.work.m,
+                max_admm_iter=self.settings.max_iter,
+                max_pcg_iter=self.max_pcg_iter)
+        else:
+            self._check_compiled(compiled)
+        self.compiled: CompiledProgram = compiled
+        self._download()
+
+    # ------------------------------------------------------------------
+    def _host_setup(self) -> None:
+        """Scale the problem and pick rho exactly like the software solver."""
+        helper = OSQPSolver(self.problem, self.settings)
         self.scaling = helper.scaling
         self.work = helper.work
         self.rho = helper.rho
         self.rho_vec = helper.rho_vec
         self.rho_updates = 0
-        work_at = helper.at
+        self._work_at = helper.at
 
-        streams = {"P": self.work.P, "A": self.work.A, "At": work_at}
+    def _build_machine(self) -> None:
+        """Bind the (numeric) scaled matrices to the simulated card."""
+        customization = self.customization
+        streams = {"P": self.work.P, "A": self.work.A, "At": self._work_at}
         self.machine = Machine(self.c, {
             name: MatrixResource(
                 name=name, matrix=streams[name],
@@ -105,18 +131,25 @@ class RSQPAccelerator:
                 cvb_depth=customization.matrices[name].duplication_cycles)
             for name in ("P", "A", "At")})
 
-        self.compiled: CompiledProgram = compile_osqp_program(
-            self.work.n, self.work.m,
-            max_admm_iter=self.settings.max_iter,
-            max_pcg_iter=self.max_pcg_iter)
-        attach_costs(self.compiled, self.c,
-                     spmv={name: customization.matrices[name].spmv_cycles
-                           for name in ("P", "A", "At")},
-                     depths={name:
-                             customization.matrices[name].duplication_cycles
-                             for name in ("P", "A", "At")},
-                     n=self.work.n, m=self.work.m)
-        self._download()
+    def _check_compiled(self, compiled: CompiledProgram) -> None:
+        """Validate an injected program against this problem + width."""
+        ctx = compiled.context
+        if ctx.c != self.c:
+            raise ValueError(
+                f"compiled program was costed for C={ctx.c}, "
+                f"customization has C={self.c}")
+        if (ctx.vector_length("x") != self.work.n
+                or ctx.vector_length("z") != self.work.m):
+            raise ValueError(
+                f"compiled program is for n={ctx.vector_length('x')}, "
+                f"m={ctx.vector_length('z')}; problem has "
+                f"n={self.work.n}, m={self.work.m}")
+        for name in ("P", "A", "At"):
+            if ctx.spmv_cycles(name) != \
+                    self.customization.matrices[name].spmv_cycles:
+                raise ValueError(
+                    f"compiled program's {name} SpMV cost disagrees with "
+                    "the customization — was it built for this structure?")
 
     # ------------------------------------------------------------------
     def _download(self) -> None:
@@ -268,3 +301,26 @@ class RSQPAccelerator:
                 for name in ("rho", "rho_inv", "minv"))
         return (self.compiled.estimate_cycles(admm_iterations,
                                               pcg_iterations) + refresh)
+
+
+def compile_for_customization(customization: ProblemCustomization,
+                              n: int, m: int, *, max_admm_iter: int,
+                              max_pcg_iter: int) -> CompiledProgram:
+    """Compile the OSQP program and attach a customization's cycle costs.
+
+    The result depends only on the problem *structure* (dimensions plus
+    the customization's schedules), never on numeric data, so it can be
+    cached and shared across every structurally identical problem — the
+    contract :mod:`repro.serving` relies on. The program is read-only
+    during execution (all run state lives in the :class:`Machine`), so
+    one compiled artifact may serve concurrent accelerator instances.
+    """
+    compiled = compile_osqp_program(n, m, max_admm_iter=max_admm_iter,
+                                    max_pcg_iter=max_pcg_iter)
+    attach_costs(compiled, customization.c,
+                 spmv={name: customization.matrices[name].spmv_cycles
+                       for name in ("P", "A", "At")},
+                 depths={name: customization.matrices[name].duplication_cycles
+                         for name in ("P", "A", "At")},
+                 n=n, m=m)
+    return compiled

@@ -4,6 +4,7 @@ from .control import generate_control, mpc_matrices
 from .eqqp import generate_eqqp, random_sparse_spd
 from .huber import generate_huber
 from .lasso import generate_lasso
+from .perturb import perturb_numeric
 from .portfolio import generate_portfolio
 from .suite import (FAMILIES, PROBLEMS_PER_FAMILY, SuiteEntry,
                     benchmark_suite, generate, suite_sizes)
@@ -24,4 +25,5 @@ __all__ = [
     "benchmark_suite",
     "generate",
     "suite_sizes",
+    "perturb_numeric",
 ]

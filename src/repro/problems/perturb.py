@@ -1,0 +1,78 @@
+"""Structure-preserving numeric perturbation of a QP.
+
+The serving layer's whole value proposition is amortizing one
+architecture over many *structurally identical* problems — MPC steps,
+regularization sweeps, SQP iterations. This helper manufactures such
+workloads from any seed problem: it jitters every numeric array while
+provably keeping the sparsity patterns (and therefore the structure
+fingerprint) fixed:
+
+* ``P`` is scaled by one positive scalar — positive semi-definiteness
+  and the pattern are both preserved;
+* ``A``'s stored values are multiplied by per-entry factors bounded
+  away from zero — no entry can vanish from the pattern;
+* ``q`` receives additive noise;
+* bounds move together on equality rows (so ``l == u`` rows stay
+  equalities) and outward on inequality rows (so ``l <= u`` holds and
+  one-sided rows keep their infinities).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..qp import QProblem
+from ..sparse import CSRMatrix
+
+__all__ = ["perturb_numeric"]
+
+
+def perturb_numeric(problem: QProblem, seed: int = 0, *,
+                    magnitude: float = 0.05) -> QProblem:
+    """A structurally identical copy with jittered numeric data.
+
+    Parameters
+    ----------
+    problem:
+        The template QP.
+    seed:
+        RNG seed; the same (problem, seed) pair is reproducible.
+    magnitude:
+        Relative size of the jitter; keep well below 1 so the
+        multiplicative factors stay positive.
+    """
+    if not 0 <= magnitude < 0.5:
+        raise ValueError("magnitude must be in [0, 0.5)")
+    rng = np.random.default_rng(seed)
+
+    p_scale = float(np.exp(magnitude * rng.standard_normal()))
+    p_new = CSRMatrix(problem.P.shape, problem.P.data * p_scale,
+                      problem.P.indices.copy(), problem.P.indptr.copy(),
+                      check=False)
+
+    a_factors = 1.0 + magnitude * rng.uniform(-1.0, 1.0,
+                                              size=problem.A.nnz)
+    a_new = CSRMatrix(problem.A.shape, problem.A.data * a_factors,
+                      problem.A.indices.copy(), problem.A.indptr.copy(),
+                      check=False)
+
+    q_span = float(np.max(np.abs(problem.q))) if problem.q.size else 1.0
+    q_new = problem.q + magnitude * max(q_span, 1.0) * rng.standard_normal(
+        problem.q.shape)
+
+    l_new = problem.l.copy()
+    u_new = problem.u.copy()
+    eq = problem.equality_mask()
+    shift = magnitude * rng.standard_normal(problem.m)
+    finite_l = np.isfinite(l_new)
+    finite_u = np.isfinite(u_new)
+    # Equality rows shift together; inequality rows relax outward.
+    l_new[eq] += shift[eq]
+    u_new[eq] += shift[eq]
+    widen_l = finite_l & ~eq
+    widen_u = finite_u & ~eq
+    l_new[widen_l] -= np.abs(shift[widen_l])
+    u_new[widen_u] += np.abs(shift[widen_u])
+
+    return QProblem(P=p_new, q=q_new, A=a_new, l=l_new, u=u_new,
+                    name=problem.name)

@@ -1,0 +1,48 @@
+"""QP solver serving layer: fingerprint, cache, dispatch, metrics.
+
+The production-facing front-end of the reproduction. A
+:class:`SolverService` fingerprints each submitted
+:class:`~repro.qp.QProblem` by sparsity structure, reuses one frozen
+customization artifact (architecture + schedules + compiled program)
+per structure from an LRU cache, and dispatches warm solves onto a
+worker pool of simulated accelerators — amortizing the paper's
+customization flow across repeated-structure workloads exactly the
+way an FPGA deployment amortizes a bitstream.
+
+Quick start::
+
+    from repro.serving import SolverService
+
+    with SolverService(workers=4) as service:
+        results = service.solve_batch(problems)
+        print(service.amortization_report())
+
+``python -m repro.serving`` replays a benchmark-suite workload through
+the service and prints a throughput/amortization report.
+"""
+
+from .arch_cache import ArchArtifact, ArchCache, CacheStats, PersistedSpec
+from .fingerprint import (StructureFingerprint, fingerprint_problem,
+                          sparsity_string)
+from .metrics import Counter, Histogram, MetricsRegistry
+from .pool import WorkerPool, reference_job, solve_job
+from .service import ServeRecord, ServeResult, SolverService
+
+__all__ = [
+    "ArchArtifact",
+    "ArchCache",
+    "CacheStats",
+    "PersistedSpec",
+    "StructureFingerprint",
+    "fingerprint_problem",
+    "sparsity_string",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "WorkerPool",
+    "solve_job",
+    "reference_job",
+    "ServeRecord",
+    "ServeResult",
+    "SolverService",
+]

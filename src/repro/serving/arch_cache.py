@@ -1,0 +1,247 @@
+"""LRU cache of frozen architecture artifacts, keyed by structure.
+
+One :class:`ArchArtifact` is everything the customization flow
+produces for a problem structure that is reusable across numeric data:
+the detached :class:`~repro.customization.ProblemCustomization`
+(architecture, schedules, CVB layouts), the compiled OSQP program with
+cycle costs attached, and the modeled f_max / power / resource figures
+of the chosen architecture. Binding an artifact to fresh numeric data
+is milliseconds (host scaling + HBM download); building one from
+scratch is the full LZW search + scheduling + CVB compression flow —
+the cost the cache amortizes.
+
+Persistence: artifacts hold compiled programs and schedules that are
+cheap to *re-derive* but bulky to serialize, so the JSON file stores
+the *architecture decision* per structure key — the ``C{S}`` string,
+width and build parameters. On a warm process start a persisted entry
+lets the service skip the architecture search (the dominant cost) and
+rebuild the artifact with a single :func:`evaluate_architecture` pass.
+The format is documented in ``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..customization import ProblemCustomization
+from ..hw import CompiledProgram
+from ..hw.resources import ResourceEstimate
+from .fingerprint import StructureFingerprint
+
+__all__ = ["ArchArtifact", "ArchCache", "CacheStats", "PersistedSpec"]
+
+_PERSIST_VERSION = 1
+
+
+@dataclass
+class ArchArtifact:
+    """Frozen, structure-only output of the customization flow."""
+
+    fingerprint: StructureFingerprint
+    c: int
+    customization: ProblemCustomization  # detached (problem is None)
+    compiled: CompiledProgram
+    max_pcg_iter: int
+    fmax_mhz: float
+    power_watts: float
+    resources: ResourceEstimate
+    #: Build-time accounting, reported by the amortization benchmarks.
+    customize_seconds: float = 0.0
+    compile_seconds: float = 0.0
+
+    @property
+    def architecture_string(self) -> str:
+        return str(self.customization.architecture)
+
+    @property
+    def build_seconds(self) -> float:
+        return self.customize_seconds + self.compile_seconds
+
+
+@dataclass(frozen=True)
+class PersistedSpec:
+    """Disk record of one cache entry: enough to skip the search."""
+
+    key: str
+    c: int
+    architecture: str
+    max_pcg_iter: int
+    allow_partial: bool = False
+    customize_seconds: float = 0.0
+
+
+@dataclass
+class CacheStats:
+    """Counter snapshot; ``disk_hits`` are rebuilds from persisted specs."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    size: int = 0
+    capacity: int = 0
+    persisted: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "disk_hits": self.disk_hits,
+                "size": self.size, "capacity": self.capacity,
+                "persisted": self.persisted, "hit_rate": self.hit_rate}
+
+
+class ArchCache:
+    """Thread-safe LRU mapping cache key -> :class:`ArchArtifact`.
+
+    The key is chosen by the caller (the service composes the structure
+    fingerprint with the build parameters, see
+    :meth:`SolverService.cache_key`); the cache itself is agnostic.
+    """
+
+    def __init__(self, capacity: int = 128,
+                 path: str | Path | None = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.path = Path(path) if path is not None else None
+        self._entries: OrderedDict[str, ArchArtifact] = OrderedDict()
+        self._specs: dict[str, PersistedSpec] = {}
+        self._lock = threading.RLock()
+        self._build_locks: dict[str, threading.Lock] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._disk_hits = 0
+        if self.path is not None and self.path.exists():
+            self.load()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> ArchArtifact | None:
+        """Look up and touch; counts one hit or miss."""
+        with self._lock:
+            artifact = self._entries.get(key)
+            if artifact is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return artifact
+
+    def peek(self, key: str) -> ArchArtifact | None:
+        """Look up without touching LRU order or counters."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, artifact: ArchArtifact) -> None:
+        with self._lock:
+            self._entries[key] = artifact
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._specs[key] = PersistedSpec(
+                key=key, c=artifact.c,
+                architecture=artifact.architecture_string,
+                max_pcg_iter=artifact.max_pcg_iter,
+                customize_seconds=artifact.customize_seconds)
+
+    def persisted_spec(self, key: str) -> PersistedSpec | None:
+        """The durable architecture decision for ``key``, if any.
+
+        Present for every entry ever ``put`` in this process plus
+        everything loaded from disk — it survives LRU eviction, so an
+        evicted structure still skips the search when it comes back.
+        """
+        with self._lock:
+            return self._specs.get(key)
+
+    def note_disk_hit(self) -> None:
+        """Record that a miss was served by rebuilding a persisted spec."""
+        with self._lock:
+            self._disk_hits += 1
+
+    def get_or_build(self, key: str, builder) -> tuple[ArchArtifact, bool]:
+        """Return ``(artifact, was_hit)``; concurrent misses build once.
+
+        ``builder`` is called without arguments outside the cache-wide
+        lock (builds are slow); a per-key lock guarantees one build per
+        key even under racing workers. ``was_hit`` is True only on the
+        fast path — a caller that had to wait for a racing build still
+        reports a miss, because it paid the cold-path latency.
+        """
+        artifact = self.get(key)
+        if artifact is not None:
+            return artifact, True
+        with self._lock:
+            build_lock = self._build_locks.setdefault(key, threading.Lock())
+        with build_lock:
+            # Double-check: a racing worker may have built while we
+            # waited; reuse its artifact but stay accounted as a miss.
+            artifact = self.peek(key)
+            if artifact is None:
+                artifact = builder()
+                self.put(key, artifact)
+        with self._lock:
+            self._build_locks.pop(key, None)
+        return artifact, False
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              evictions=self._evictions,
+                              disk_hits=self._disk_hits,
+                              size=len(self._entries),
+                              capacity=self.capacity,
+                              persisted=len(self._specs))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write every known architecture decision as JSON."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no path given and cache has no default path")
+        with self._lock:
+            specs = [spec.__dict__ for spec in self._specs.values()]
+        payload = {"version": _PERSIST_VERSION, "entries": specs}
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(target)
+        return target
+
+    def load(self, path: str | Path | None = None) -> int:
+        """Merge persisted specs from JSON; returns how many were read."""
+        source = Path(path) if path is not None else self.path
+        if source is None:
+            raise ValueError("no path given and cache has no default path")
+        payload = json.loads(source.read_text())
+        if payload.get("version") != _PERSIST_VERSION:
+            raise ValueError(
+                f"unsupported cache file version {payload.get('version')!r}")
+        loaded = 0
+        with self._lock:
+            for raw in payload.get("entries", []):
+                spec = PersistedSpec(**raw)
+                self._specs.setdefault(spec.key, spec)
+                loaded += 1
+        return loaded

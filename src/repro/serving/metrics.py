@@ -1,0 +1,134 @@
+"""Counters and histograms for the serving layer.
+
+Deliberately tiny and dependency-free: a :class:`Counter` is a
+monotonic float, a :class:`Histogram` keeps every observation (the
+serving workloads are thousands of solves, not billions) so snapshots
+can report exact quantiles, and a :class:`MetricsRegistry` owns a
+namespace of both and renders a point-in-time snapshot as a plain
+dict — the schema documented in ``docs/SERVING.md``.
+
+All operations are thread-safe; the service's worker threads record
+into one shared registry.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Exact distribution of observed values."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return float(sum(self._values))
+
+    def percentile(self, q: float) -> float:
+        """Quantile ``q`` in percent (50 = median); NaN when empty."""
+        with self._lock:
+            if not self._values:
+                return float("nan")
+            return float(np.percentile(self._values, q))
+
+    def summary(self) -> dict:
+        with self._lock:
+            if not self._values:
+                return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                        "mean": None, "p50": None, "p95": None}
+            arr = np.asarray(self._values)
+            return {
+                "count": int(arr.size),
+                "sum": float(arr.sum()),
+                "min": float(arr.min()),
+                "max": float(arr.max()),
+                "mean": float(arr.mean()),
+                "p50": float(np.percentile(arr, 50)),
+                "p95": float(np.percentile(arr, 95)),
+            }
+
+
+class MetricsRegistry:
+    """A namespace of counters and histograms with snapshot export."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name)
+            return self._histograms[name]
+
+    def snapshot(self) -> dict:
+        """Point-in-time export: ``{"counters": {...}, "histograms": {...}}``."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(
+                counters.items())},
+            "histograms": {name: h.summary() for name, h in sorted(
+                histograms.items())},
+        }
+
+    def render(self) -> str:
+        """Human-readable snapshot (the CLI's metrics section)."""
+        snap = self.snapshot()
+        lines = []
+        for name, value in snap["counters"].items():
+            lines.append(f"{name:<40s} {value:g}")
+        for name, s in snap["histograms"].items():
+            if not s["count"]:
+                lines.append(f"{name:<40s} (empty)")
+                continue
+            lines.append(
+                f"{name:<40s} count={s['count']} mean={s['mean']:.6g} "
+                f"p50={s['p50']:.6g} p95={s['p95']:.6g} max={s['max']:.6g}")
+        return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Worker pool binding cached architectures to fresh numeric data.
+
+A *solve job* is the warm path of the serving layer: take a frozen
+:class:`~repro.serving.arch_cache.ArchArtifact` plus one concrete
+problem instance, construct a simulated accelerator around the cached
+customization and compiled program (host scaling, rho selection, HBM
+download — no search, no scheduling, no compilation), optionally warm
+start, and run.
+
+Execution modes:
+
+``thread`` (default)
+    A :class:`~concurrent.futures.ThreadPoolExecutor`; numpy kernels
+    release the GIL, so concurrent simulated solves overlap well.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor`; each job ships
+    ``(problem, artifact)`` to a worker process — higher per-job cost,
+    true parallelism for CPU-bound Python portions. Jobs must be
+    module-level functions (ours are).
+``serial``
+    Run the job in the caller immediately and return an
+    already-resolved future: deterministic, used by the tests.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import (Future, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
+
+from ..hw.accelerator import RSQPAccelerator, RSQPResult
+from ..qp import QProblem
+from ..solver import OSQPSettings
+from .arch_cache import ArchArtifact
+
+__all__ = ["WorkerPool", "solve_job", "reference_job"]
+
+_MODES = ("thread", "process", "serial")
+
+
+def solve_job(problem: QProblem, artifact: ArchArtifact,
+              settings: OSQPSettings,
+              warm_start: tuple | None = None,
+              pcg_eps: float = 1e-7) -> RSQPResult:
+    """Bind a cached artifact to ``problem`` and run the accelerator.
+
+    Module-level so process pools can pickle it. The injected compiled
+    program is validated against the problem inside the accelerator —
+    a structure mismatch (wrong artifact for this problem) raises
+    rather than silently mis-costing.
+    """
+    accelerator = RSQPAccelerator(
+        problem, customization=artifact.customization, settings=settings,
+        pcg_eps=pcg_eps, max_pcg_iter=artifact.max_pcg_iter,
+        compiled=artifact.compiled)
+    if warm_start is not None:
+        x0, y0 = warm_start
+        accelerator.warm_start(x=x0, y=y0)
+    return accelerator.run()
+
+
+def reference_job(problem: QProblem, settings: OSQPSettings,
+                  warm_start: tuple | None = None):
+    """Software fallback: solve with the reference OSQP implementation."""
+    from ..solver.osqp import OSQPSolver
+    solver = OSQPSolver(problem, settings)
+    if warm_start is not None:
+        x0, y0 = warm_start
+        solver.warm_start(x=x0, y=y0)
+    return solver.solve()
+
+
+class WorkerPool:
+    """Uniform submit interface over serial/thread/process execution."""
+
+    def __init__(self, workers: int = 2, mode: str = "thread"):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.mode = mode
+        self.workers = int(workers)
+        if mode == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="rsqp-serving")
+        elif mode == "process":
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        else:
+            self._executor = None
+
+    def submit(self, fn, *args, **kwargs) -> Future:
+        """Schedule ``fn(*args, **kwargs)``; serial mode runs it now."""
+        if self._executor is not None:
+            return self._executor.submit(fn, *args, **kwargs)
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # propagate via the future contract
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,434 @@
+"""`SolverService` — the QP solver front-end with architecture reuse.
+
+The paper's customization flow is built once per problem *structure*
+and amortized over many solves; this service makes that operational:
+
+1. every submitted problem is fingerprinted
+   (:mod:`repro.serving.fingerprint`),
+2. the fingerprint is looked up in an LRU architecture cache
+   (:mod:`repro.serving.arch_cache`) — a hit skips the LZW search,
+   scheduling, CVB compression *and* program compilation,
+3. a worker (:mod:`repro.serving.pool`) binds the cached artifact to
+   the request's numeric data and runs the simulated accelerator,
+4. per-request records and a metrics registry
+   (:mod:`repro.serving.metrics`) account for every stage.
+
+Cold structures either build synchronously (``cold_policy="build"``,
+the default) or, for latency-bounded deployments
+(``cold_policy="fallback"``), are answered immediately by the
+reference software :class:`~repro.solver.OSQPSolver` while the
+customization flow runs in the background — the structure is warm for
+every later request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..customization import (customize_problem, evaluate_architecture,
+                             parse_architecture)
+from ..experiments.runner import choose_width
+from ..hw import estimate_resources, fmax_mhz, fpga_power_watts
+from ..hw.accelerator import compile_for_customization
+from ..qp import QProblem
+from ..solver import OSQPSettings
+from .arch_cache import ArchArtifact, ArchCache, CacheStats
+from .fingerprint import StructureFingerprint, fingerprint_problem
+from .metrics import MetricsRegistry
+from .pool import WorkerPool, reference_job, solve_job
+
+__all__ = ["ServeRecord", "ServeResult", "SolverService"]
+
+#: Cache tiers a request can be served from.
+TIER_HIT = "hit"          # artifact found in memory
+TIER_DISK = "disk"        # rebuilt from a persisted architecture decision
+TIER_BUILD = "build"      # full customization flow ran
+TIER_FALLBACK = "fallback"  # reference solver answered a cold request
+
+
+@dataclass
+class ServeRecord:
+    """Accounting for one request, kept for reports and benchmarks."""
+
+    request_id: int
+    problem_name: str
+    fingerprint_key: str
+    c: int
+    architecture: str
+    tier: str
+    backend: str  # "rsqp" | "reference"
+    queue_seconds: float = 0.0
+    #: Fingerprint + cache lookup + (on cold tiers) artifact build.
+    setup_seconds: float = 0.0
+    customize_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    total_seconds: float = 0.0
+    simulated_cycles: int = 0
+    simulated_seconds: float = 0.0
+    admm_iterations: int = 0
+    converged: bool = False
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.tier == TIER_HIT
+
+
+@dataclass
+class ServeResult:
+    """Solution plus provenance; ``raw`` is the backend's own result."""
+
+    x: np.ndarray
+    y: np.ndarray
+    z: np.ndarray
+    converged: bool
+    backend: str
+    record: ServeRecord
+    raw: object = field(repr=False, default=None)
+
+
+class SolverService:
+    """Batched QP solving with structure fingerprinting + arch reuse.
+
+    Parameters
+    ----------
+    c:
+        Datapath width; ``None`` (default) picks per problem by nnz
+        via :func:`repro.experiments.runner.choose_width`.
+    settings:
+        Solver settings shared by accelerator and reference backends.
+    workers, mode:
+        Worker pool size and execution mode (``"thread"``,
+        ``"process"`` or ``"serial"``); see
+        :class:`repro.serving.pool.WorkerPool`. In process mode
+        request handling stays on threads and only the numeric solves
+        fan out to worker processes.
+    cache_capacity, cache_path:
+        LRU capacity and optional JSON persistence file for the
+        architecture cache (loaded on construction if it exists,
+        saved on :meth:`close`).
+    cold_policy:
+        ``"build"`` — cold structures run the customization flow
+        in-line; ``"fallback"`` — cold structures are solved by the
+        reference software solver immediately while the artifact
+        builds in the background.
+    """
+
+    def __init__(self, *, c: int | None = None,
+                 settings: OSQPSettings | None = None,
+                 workers: int = 2, mode: str = "thread",
+                 cache_capacity: int = 128,
+                 cache_path=None,
+                 cold_policy: str = "build",
+                 pcg_eps: float = 1e-7,
+                 max_pcg_iter: int = 500):
+        if cold_policy not in ("build", "fallback"):
+            raise ValueError(
+                f"cold_policy must be 'build' or 'fallback', "
+                f"got {cold_policy!r}")
+        self.c = c
+        self.settings = settings if settings is not None else OSQPSettings()
+        self.cold_policy = cold_policy
+        self.pcg_eps = float(pcg_eps)
+        self.max_pcg_iter = int(max_pcg_iter)
+        self.cache = ArchCache(capacity=cache_capacity, path=cache_path)
+        self.metrics = MetricsRegistry()
+        # Request handling always runs on threads (it touches the
+        # in-process cache); process mode adds a solve-only pool.
+        dispatch_mode = "thread" if mode == "process" else mode
+        self._dispatch = WorkerPool(workers=workers, mode=dispatch_mode)
+        self._solve_pool = (WorkerPool(workers=workers, mode="process")
+                            if mode == "process" else None)
+        self.mode = mode
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._futures: dict[int, Future] = {}
+        self._records: dict[int, ServeRecord] = {}
+        self._background: list[Future] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # structure handling
+    # ------------------------------------------------------------------
+    def width_for(self, problem: QProblem) -> int:
+        return self.c if self.c is not None else choose_width(problem.nnz)
+
+    def cache_key(self, fingerprint: StructureFingerprint, c: int) -> str:
+        """Structure key + the build parameters baked into an artifact.
+
+        ``settings.max_iter`` is deliberately absent: the accelerator
+        re-wraps the ADMM body per adaptive-rho segment at run time, so
+        one compiled artifact serves any outer iteration limit.
+        """
+        return f"{fingerprint.key}:c{c}:pcg{self.max_pcg_iter}"
+
+    def _build_artifact(self, problem: QProblem,
+                        fingerprint: StructureFingerprint,
+                        c: int, key: str) -> ArchArtifact:
+        """Full (or persisted-spec) build; the cache-miss path."""
+        spec = self.cache.persisted_spec(key)
+        t0 = time.perf_counter()
+        if spec is not None:
+            # The architecture decision is known: skip the search and
+            # just re-derive schedules + CVB layout for this structure.
+            custom = evaluate_architecture(
+                problem, parse_architecture(spec.architecture))
+            self.cache.note_disk_hit()
+            self.metrics.counter("serving_disk_rebuilds_total").inc()
+        else:
+            custom = customize_problem(problem, c)
+        t1 = time.perf_counter()
+        compiled = compile_for_customization(
+            custom, problem.n, problem.m,
+            max_admm_iter=self.settings.max_iter,
+            max_pcg_iter=self.max_pcg_iter)
+        t2 = time.perf_counter()
+        arch = custom.architecture
+        self.metrics.histogram("serving_customize_seconds").observe(t1 - t0)
+        self.metrics.histogram("serving_compile_seconds").observe(t2 - t1)
+        return ArchArtifact(
+            fingerprint=fingerprint, c=arch.c,
+            customization=custom.detach(), compiled=compiled,
+            max_pcg_iter=self.max_pcg_iter,
+            fmax_mhz=fmax_mhz(arch), power_watts=fpga_power_watts(arch),
+            resources=estimate_resources(arch),
+            customize_seconds=t1 - t0, compile_seconds=t2 - t1)
+
+    def _ensure_artifact(self, problem: QProblem,
+                         fingerprint: StructureFingerprint,
+                         c: int) -> tuple[ArchArtifact, str]:
+        """Return ``(artifact, tier)``, building at most once per key."""
+        key = self.cache_key(fingerprint, c)
+        had_spec = self.cache.persisted_spec(key) is not None
+        artifact, was_hit = self.cache.get_or_build(
+            key, lambda: self._build_artifact(problem, fingerprint, c, key))
+        tier = TIER_HIT if was_hit else (TIER_DISK if had_spec
+                                         else TIER_BUILD)
+        return artifact, tier
+
+    # ------------------------------------------------------------------
+    # request lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, problem: QProblem, *,
+               warm_start: tuple | None = None) -> int:
+        """Enqueue one solve; returns a request id for :meth:`result`."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        with self._lock:
+            request_id = self._next_id
+            self._next_id += 1
+        submitted = time.perf_counter()
+        future = self._dispatch.submit(
+            self._handle, request_id, problem, warm_start, submitted)
+        with self._lock:
+            self._futures[request_id] = future
+        return request_id
+
+    def result(self, request_id: int,
+               timeout: float | None = None) -> ServeResult:
+        """Block for a submitted request's result (re-entrant)."""
+        with self._lock:
+            future = self._futures.get(request_id)
+        if future is None:
+            raise KeyError(f"unknown request id {request_id}")
+        return future.result(timeout=timeout)
+
+    def solve(self, problem: QProblem, *,
+              warm_start: tuple | None = None,
+              timeout: float | None = None) -> ServeResult:
+        """Synchronous convenience: submit + result."""
+        return self.result(self.submit(problem, warm_start=warm_start),
+                           timeout=timeout)
+
+    def solve_batch(self, problems, *, warm_starts=None,
+                    timeout: float | None = None) -> list[ServeResult]:
+        """Submit a batch, preserve submission order in the results."""
+        problems = list(problems)
+        if warm_starts is None:
+            warm_starts = [None] * len(problems)
+        ids = [self.submit(p, warm_start=w)
+               for p, w in zip(problems, warm_starts)]
+        return [self.result(i, timeout=timeout) for i in ids]
+
+    # ------------------------------------------------------------------
+    def _handle(self, request_id: int, problem: QProblem,
+                warm_start: tuple | None,
+                submitted: float) -> ServeResult:
+        t_start = time.perf_counter()
+        queue_seconds = t_start - submitted
+        c = self.width_for(problem)
+        fingerprint = fingerprint_problem(problem, c=c)
+        self.metrics.counter("serving_requests_total").inc()
+
+        key = self.cache_key(fingerprint, c)
+        if self.cold_policy == "fallback":
+            artifact = self.cache.get(key)
+            if artifact is not None:
+                tier = TIER_HIT
+            else:
+                tier = TIER_FALLBACK
+                with self._lock:
+                    self._background.append(self._dispatch.submit(
+                        self._ensure_artifact, problem, fingerprint, c))
+        else:
+            artifact, tier = self._ensure_artifact(problem, fingerprint, c)
+        t_ready = time.perf_counter()
+
+        if tier == TIER_FALLBACK:
+            self.metrics.counter("serving_fallback_solves_total").inc()
+            raw = self._run_reference(problem, warm_start)
+            backend = "reference"
+            converged = raw.status.is_optimal
+            x, y, z = raw.x, raw.y, raw.z
+            simulated_cycles = 0
+            simulated_seconds = 0.0
+            admm_iterations = raw.info.iterations
+            architecture = ""
+        else:
+            self.metrics.counter(
+                "serving_cache_hits_total" if tier == TIER_HIT
+                else "serving_cache_misses_total").inc()
+            raw = self._run_accelerator(problem, artifact, warm_start)
+            backend = "rsqp"
+            converged = raw.converged
+            x, y, z = raw.x, raw.y, raw.z
+            simulated_cycles = raw.total_cycles
+            simulated_seconds = raw.solve_seconds
+            admm_iterations = raw.admm_iterations
+            architecture = artifact.architecture_string
+        t_done = time.perf_counter()
+
+        record = ServeRecord(
+            request_id=request_id, problem_name=problem.name,
+            fingerprint_key=fingerprint.key, c=c,
+            architecture=architecture, tier=tier, backend=backend,
+            queue_seconds=queue_seconds,
+            setup_seconds=t_ready - t_start,
+            customize_seconds=(artifact.customize_seconds
+                               if artifact is not None
+                               and tier in (TIER_BUILD, TIER_DISK)
+                               else 0.0),
+            compile_seconds=(artifact.compile_seconds
+                             if artifact is not None
+                             and tier in (TIER_BUILD, TIER_DISK)
+                             else 0.0),
+            solve_seconds=t_done - t_ready,
+            total_seconds=t_done - submitted,
+            simulated_cycles=simulated_cycles,
+            simulated_seconds=simulated_seconds,
+            admm_iterations=admm_iterations,
+            converged=converged)
+        with self._lock:
+            self._records[request_id] = record
+        self.metrics.histogram("serving_queue_seconds").observe(
+            queue_seconds)
+        self.metrics.histogram("serving_setup_seconds").observe(
+            record.setup_seconds)
+        self.metrics.histogram("serving_solve_seconds").observe(
+            record.solve_seconds)
+        self.metrics.histogram("serving_admm_iterations").observe(
+            admm_iterations)
+        if simulated_cycles:
+            self.metrics.histogram("serving_simulated_cycles").observe(
+                simulated_cycles)
+        if not converged:
+            self.metrics.counter("serving_unconverged_total").inc()
+        return ServeResult(x=x, y=y, z=z, converged=converged,
+                           backend=backend, record=record, raw=raw)
+
+    def _run_accelerator(self, problem, artifact, warm_start):
+        if self._solve_pool is not None:
+            return self._solve_pool.submit(
+                solve_job, problem, artifact, self.settings, warm_start,
+                self.pcg_eps).result()
+        return solve_job(problem, artifact, self.settings, warm_start,
+                         self.pcg_eps)
+
+    def _run_reference(self, problem, warm_start):
+        if self._solve_pool is not None:
+            return self._solve_pool.submit(
+                reference_job, problem, self.settings, warm_start).result()
+        return reference_job(problem, self.settings, warm_start)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def records(self) -> list[ServeRecord]:
+        with self._lock:
+            return [self._records[i] for i in sorted(self._records)]
+
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats()
+
+    def metrics_snapshot(self) -> dict:
+        """Metrics + cache counters in one export (docs/SERVING.md)."""
+        snap = self.metrics.snapshot()
+        snap["cache"] = self.cache_stats().as_dict()
+        return snap
+
+    def amortization_report(self) -> str:
+        """Cold-vs-warm setup comparison over everything served so far."""
+        records = self.records()
+        cold = [r for r in records if r.tier in (TIER_BUILD, TIER_DISK)]
+        warm = [r for r in records if r.tier == TIER_HIT]
+        lines = [f"requests served        : {len(records)}"]
+        stats = self.cache_stats()
+        lines.append(f"cache hit rate         : {stats.hit_rate:.1%} "
+                     f"({stats.hits} hits / {stats.misses} misses)")
+        if cold:
+            cold_setup = float(np.mean([r.setup_seconds for r in cold]))
+            lines.append(f"cold setup (mean)      : {cold_setup * 1e3:.2f} ms"
+                         "  (customize + compile + bind)")
+        if warm:
+            warm_setup = float(np.mean([r.setup_seconds for r in warm]))
+            lines.append(f"warm setup (mean)      : {warm_setup * 1e3:.2f} ms"
+                         "  (fingerprint + cache lookup)")
+        if cold and warm and warm_setup > 0:
+            lines.append(f"setup amortization     : "
+                         f"{cold_setup / warm_setup:.1f}x")
+        fallback = [r for r in records if r.tier == TIER_FALLBACK]
+        if fallback:
+            lines.append(f"reference fallbacks    : {len(fallback)}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> None:
+        """Wait for all outstanding requests and background builds.
+
+        Re-snapshots until quiescent, so background builds scheduled by
+        requests that finish *during* the drain are waited on too.
+        """
+        waited: set[int] = set()
+        while True:
+            with self._lock:
+                futures = [f for f in (list(self._futures.values())
+                                       + list(self._background))
+                           if id(f) not in waited]
+            if not futures:
+                return
+            for future in futures:
+                waited.add(id(future))
+                future.exception(timeout=timeout)
+
+    def close(self) -> None:
+        """Drain, persist the cache (if configured) and stop workers."""
+        if self._closed:
+            return
+        self.drain()
+        self._closed = True
+        if self.cache.path is not None:
+            self.cache.save()
+        self._dispatch.shutdown()
+        if self._solve_pool is not None:
+            self._solve_pool.shutdown()
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,185 @@
+"""Architecture cache: LRU semantics, counters, disk round-trip."""
+
+import json
+import threading
+
+import pytest
+
+from repro.customization import customize_problem
+from repro.hw import estimate_resources, fmax_mhz, fpga_power_watts
+from repro.hw.accelerator import compile_for_customization
+from repro.problems import generate_lasso
+from repro.serving import ArchArtifact, ArchCache, fingerprint_problem
+
+
+def make_artifact(n=6, seed=0, c=16):
+    """A real (small) artifact: full customize + compile flow."""
+    problem = generate_lasso(n, seed=seed)
+    custom = customize_problem(problem, c)
+    compiled = compile_for_customization(custom, problem.n, problem.m,
+                                         max_admm_iter=4000,
+                                         max_pcg_iter=500)
+    arch = custom.architecture
+    return ArchArtifact(
+        fingerprint=fingerprint_problem(problem, c=c), c=arch.c,
+        customization=custom.detach(), compiled=compiled,
+        max_pcg_iter=500, fmax_mhz=fmax_mhz(arch),
+        power_watts=fpga_power_watts(arch),
+        resources=estimate_resources(arch),
+        customize_seconds=0.25, compile_seconds=0.01)
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return make_artifact()
+
+
+class TestLookup:
+    def test_miss_then_hit(self, artifact):
+        cache = ArchCache(capacity=4)
+        assert cache.get("k") is None
+        cache.put("k", artifact)
+        assert cache.get("k") is artifact
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_peek_does_not_count(self, artifact):
+        cache = ArchCache(capacity=4)
+        cache.put("k", artifact)
+        assert cache.peek("k") is artifact
+        assert cache.peek("absent") is None
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (0, 0)
+
+    def test_contains_and_len(self, artifact):
+        cache = ArchCache(capacity=4)
+        cache.put("a", artifact)
+        cache.put("b", artifact)
+        assert "a" in cache and "c" not in cache
+        assert len(cache) == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ArchCache(capacity=0)
+
+
+class TestEviction:
+    def test_lru_order(self, artifact):
+        cache = ArchCache(capacity=2)
+        cache.put("a", artifact)
+        cache.put("b", artifact)
+        cache.get("a")           # touch: b is now least recent
+        cache.put("c", artifact)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats().evictions == 1
+
+    def test_spec_survives_eviction(self, artifact):
+        cache = ArchCache(capacity=1)
+        cache.put("a", artifact)
+        cache.put("b", artifact)  # evicts a
+        assert "a" not in cache
+        spec = cache.persisted_spec("a")
+        assert spec is not None
+        assert spec.architecture == artifact.architecture_string
+        assert cache.stats().persisted == 2
+
+
+class TestGetOrBuild:
+    def test_builds_once_then_hits(self, artifact):
+        cache = ArchCache(capacity=4)
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return artifact
+
+        first, hit1 = cache.get_or_build("k", builder)
+        second, hit2 = cache.get_or_build("k", builder)
+        assert first is artifact and second is artifact
+        assert (hit1, hit2) == (False, True)
+        assert len(calls) == 1
+
+    def test_concurrent_misses_build_once(self, artifact):
+        cache = ArchCache(capacity=4)
+        calls = []
+        started = threading.Barrier(4)
+
+        def builder():
+            calls.append(1)
+            return artifact
+
+        results = []
+
+        def worker():
+            started.wait()
+            results.append(cache.get_or_build("k", builder))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert all(art is artifact for art, _ in results)
+        # Racing waiters paid cold-path latency: at most one may have
+        # landed after the put and counted as a fast-path hit.
+        assert sum(1 for _, was_hit in results if not was_hit) >= 1
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path, artifact):
+        path = tmp_path / "arch.json"
+        cache = ArchCache(capacity=4, path=path)
+        cache.put("k1", artifact)
+        cache.put("k2", artifact)
+        saved = cache.save()
+        assert saved == path and path.exists()
+
+        fresh = ArchCache(capacity=4, path=path)  # auto-loads
+        assert len(fresh) == 0                    # artifacts not persisted
+        spec = fresh.persisted_spec("k1")
+        assert spec is not None
+        assert spec.architecture == artifact.architecture_string
+        assert spec.c == artifact.c
+        assert spec.max_pcg_iter == artifact.max_pcg_iter
+        assert fresh.stats().persisted == 2
+
+    def test_save_requires_path(self, artifact):
+        cache = ArchCache(capacity=4)
+        cache.put("k", artifact)
+        with pytest.raises(ValueError):
+            cache.save()
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="version"):
+            ArchCache(capacity=4).load(path)
+
+    def test_file_is_valid_json_with_version(self, tmp_path, artifact):
+        path = tmp_path / "arch.json"
+        cache = ArchCache(capacity=4)
+        cache.put("k", artifact)
+        cache.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        (entry,) = payload["entries"]
+        assert entry["key"] == "k"
+        assert entry["architecture"] == artifact.architecture_string
+
+    def test_disk_hit_counter(self, artifact):
+        cache = ArchCache(capacity=4)
+        cache.note_disk_hit()
+        assert cache.stats().disk_hits == 1
+
+
+class TestArtifact:
+    def test_detached_customization(self, artifact):
+        assert artifact.customization.problem is None
+        # "c{structure set}" format, round-trippable by parse_architecture.
+        assert artifact.architecture_string.startswith(f"{artifact.c}{{")
+
+    def test_build_seconds(self, artifact):
+        assert artifact.build_seconds == pytest.approx(
+            artifact.customize_seconds + artifact.compile_seconds)

@@ -1,0 +1,152 @@
+"""Structure fingerprint: stability, value-invariance, collisions."""
+
+import numpy as np
+import pytest
+
+from repro.problems import (generate_control, generate_lasso, generate_svm,
+                            perturb_numeric)
+from repro.qp import QProblem
+from repro.serving import fingerprint_problem, sparsity_string
+from repro.sparse import CSRMatrix
+
+
+def small_problem(seed=0, n=8):
+    return generate_lasso(n, seed=seed)
+
+
+class TestStability:
+    def test_same_problem_same_key(self):
+        prob = small_problem()
+        assert (fingerprint_problem(prob).key
+                == fingerprint_problem(prob).key)
+
+    def test_key_is_hex_128_bit(self):
+        key = fingerprint_problem(small_problem()).key
+        assert len(key) == 32
+        int(key, 16)  # parses as hex
+
+    def test_rebuilt_problem_same_key(self):
+        # Structurally identical problems built twice hash identically.
+        a = generate_svm(10, seed=0)
+        b = generate_svm(10, seed=0)
+        assert fingerprint_problem(a).key == fingerprint_problem(b).key
+
+    def test_numeric_values_do_not_enter_key(self):
+        base = small_problem()
+        fp = fingerprint_problem(base)
+        for seed in range(5):
+            variant = perturb_numeric(base, seed=seed)
+            assert fingerprint_problem(variant).key == fp.key
+
+    def test_q_l_u_do_not_enter_key(self):
+        base = small_problem()
+        shifted = QProblem(P=base.P, q=base.q + 1.0, A=base.A,
+                           l=base.l - 1.0, u=base.u + 1.0, name="shifted")
+        assert (fingerprint_problem(shifted).key
+                == fingerprint_problem(base).key)
+
+    def test_display_width_does_not_enter_key(self):
+        prob = small_problem()
+        fp16 = fingerprint_problem(prob, c=16)
+        fp64 = fingerprint_problem(prob, c=64)
+        assert fp16.key == fp64.key
+        # ...while the display strings are width-bucketed (lossy): a
+        # 64-nnz row encodes differently under c=16 and c=64.
+        row = np.array([64])
+        assert sparsity_string(row, 16) != sparsity_string(row, 64)
+
+
+class TestCollisions:
+    def test_different_structures_different_keys(self):
+        problems = [
+            generate_lasso(8, seed=0),
+            generate_lasso(9, seed=0),
+            generate_svm(10, seed=0),
+            generate_control(4, horizon=5, seed=0),
+        ]
+        keys = {fingerprint_problem(p).key for p in problems}
+        assert len(keys) == len(problems)
+
+    def test_moved_nonzero_changes_key(self):
+        # Same dims and nnz, one entry in a different column.
+        dense = np.eye(4)
+        a1 = dense.copy()
+        a1[0, 1] = 1.0
+        a2 = dense.copy()
+        a2[0, 2] = 1.0
+        p = CSRMatrix.from_dense(np.eye(4))
+        bounds = (np.zeros(4), np.ones(4))
+        q = np.zeros(4)
+        prob1 = QProblem(P=p, q=q, A=CSRMatrix.from_dense(a1),
+                         l=bounds[0], u=bounds[1])
+        prob2 = QProblem(P=p, q=q, A=CSRMatrix.from_dense(a2),
+                         l=bounds[0], u=bounds[1])
+        assert (fingerprint_problem(prob1).key
+                != fingerprint_problem(prob2).key)
+
+    def test_dims_enter_key(self):
+        a = generate_lasso(8, seed=0)
+        b = generate_lasso(12, seed=0)
+        assert fingerprint_problem(a).key != fingerprint_problem(b).key
+
+
+class TestMetadata:
+    def test_dims_and_nnz_reported(self):
+        prob = small_problem()
+        fp = fingerprint_problem(prob)
+        assert (fp.n, fp.m) == (prob.n, prob.m)
+        assert fp.nnz_p == prob.P.nnz
+        assert fp.nnz_a == prob.A.nnz
+        assert fp.nnz == prob.nnz
+
+    def test_sparsity_strings_cover_all_rows(self):
+        prob = small_problem()
+        fp = fingerprint_problem(prob, c=16)
+        assert len(fp.p_string) >= prob.n   # >= : $-chunks add letters
+        assert len(fp.a_string) >= prob.m
+        assert len(fp.kkt_string) >= prob.n + prob.m
+
+    def test_kkt_string_matches_assembled_kkt(self):
+        # The derived per-row counts must agree with actually forming
+        # K = [[P + sigma I, A'], [A, -rho^-1 I]].
+        prob = generate_svm(10, seed=3)
+        n, m = prob.n, prob.m
+        k = np.zeros((n + m, n + m))
+        k[:n, :n] = prob.P.to_dense() + np.eye(n)  # sigma I fills diagonal
+        k[:n, n:] = prob.A.to_dense().T
+        k[n:, :n] = prob.A.to_dense()
+        k[n:, n:] = -np.eye(m)
+        row_nnz = (k != 0).sum(axis=1)
+        expected = sparsity_string(row_nnz, 16)
+        assert fingerprint_problem(prob, c=16).kkt_string == expected
+
+    def test_str_is_compact(self):
+        fp = fingerprint_problem(small_problem())
+        text = str(fp)
+        assert fp.key[:12] in text and f"n={fp.n}" in text
+
+
+class TestPerturbNumeric:
+    def test_preserves_structure_and_changes_values(self):
+        base = small_problem(seed=1)
+        variant = perturb_numeric(base, seed=7)
+        assert np.array_equal(variant.P.indptr, base.P.indptr)
+        assert np.array_equal(variant.P.indices, base.P.indices)
+        assert np.array_equal(variant.A.indptr, base.A.indptr)
+        assert np.array_equal(variant.A.indices, base.A.indices)
+        assert not np.allclose(variant.A.data, base.A.data)
+
+    def test_keeps_p_positive_semidefinite(self):
+        base = small_problem(seed=2)
+        variant = perturb_numeric(base, seed=3)
+        eigs = np.linalg.eigvalsh(variant.P.to_dense())
+        assert eigs.min() > -1e-9
+
+    def test_keeps_bounds_ordered(self):
+        base = generate_control(4, horizon=5, seed=1)
+        variant = perturb_numeric(base, seed=5)
+        assert np.all(variant.l <= variant.u + 1e-12)
+
+    def test_rejects_bad_magnitude(self):
+        with pytest.raises(ValueError):
+            perturb_numeric(small_problem(), magnitude=0.7)
