@@ -1,0 +1,31 @@
+"""repro.fleet — structure-aware multi-accelerator fleet simulation.
+
+A discrete-event layer above :mod:`repro.serving`: N accelerator
+nodes, each pinned to a frozen customized architecture, serve a stream
+of fingerprinted QPs. Placement policies (:mod:`.router`) trade the
+paper's match score η against queue depth, admission control
+(:mod:`.admission`) sheds and spills overload, and the autoscaler
+(:mod:`.autoscale`) commissions new architectures when mismatch
+traffic pays the build cost. ``python -m repro.fleet`` replays a
+skewed-popularity workload and prints the fleet report.
+"""
+
+from .admission import (ACCEPT, SHED, SPILL, AdmissionController,
+                        AdmissionDecision, TokenBucket)
+from .autoscale import Autoscaler, ClusterState
+from .events import AcceleratorNode, Event, EventQueue, SpillLane
+from .router import (POLICIES, LeastLoadedRouter, MatchScoreRouter,
+                     RoundRobinRouter, Router, make_router)
+from .service import (LANE_NODE, LANE_SHED, LANE_SPILL, FleetRecord,
+                      FleetRequest, FleetResult, FleetService)
+
+__all__ = [
+    "ACCEPT", "SHED", "SPILL",
+    "AdmissionController", "AdmissionDecision", "TokenBucket",
+    "Autoscaler", "ClusterState",
+    "AcceleratorNode", "Event", "EventQueue", "SpillLane",
+    "POLICIES", "Router", "RoundRobinRouter", "LeastLoadedRouter",
+    "MatchScoreRouter", "make_router",
+    "LANE_NODE", "LANE_SPILL", "LANE_SHED",
+    "FleetRequest", "FleetRecord", "FleetResult", "FleetService",
+]

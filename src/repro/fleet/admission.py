@@ -1,0 +1,99 @@
+"""Admission control: protect the accelerator fleet from overload.
+
+Two independent mechanisms, applied at arrival time in simulated time:
+
+* a :class:`TokenBucket` rate limiter — traffic beyond the contracted
+  rate is *shed* (rejected outright, no solve);
+* queue-depth shedding — admitted traffic that would land on a fleet
+  whose every online node already has a backlog at or above
+  ``max_queue_depth`` is diverted to the reference-solver *spill lane*
+  (the software fallback tier :class:`~repro.serving.SolverService`
+  also uses), trading the accelerator's speed for bounded accelerator
+  queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TokenBucket", "AdmissionDecision", "AdmissionController",
+           "ACCEPT", "SPILL", "SHED"]
+
+ACCEPT = "accept"
+SPILL = "spill"
+SHED = "shed"
+
+
+class TokenBucket:
+    """Classic token bucket over the simulated clock.
+
+    ``rate`` tokens accrue per simulated second up to ``burst``; one
+    token admits one request. Deterministic: refill depends only on
+    event timestamps.
+    """
+
+    def __init__(self, rate: float, burst: float | None = None):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else self.rate
+        if self.burst < 1:
+            raise ValueError("burst must allow at least one request")
+        self.tokens = self.burst
+        self._last = 0.0
+
+    def try_take(self, now: float) -> bool:
+        if now > self._last:
+            self.tokens = min(self.burst,
+                              self.tokens + (now - self._last) * self.rate)
+            self._last = now
+        if self.tokens >= 1.0 - 1e-12:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome for one arrival: accept, spill, or shed — plus why."""
+
+    action: str
+    reason: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.action == ACCEPT
+
+
+class AdmissionController:
+    """Rate limiting + queue-depth shedding at the fleet front door.
+
+    Parameters
+    ----------
+    rate, burst:
+        Token-bucket arrival budget in requests per simulated second;
+        ``rate=None`` disables rate limiting.
+    max_queue_depth:
+        When every online node's backlog (queued + in service) is at or
+        above this, new arrivals spill to the reference lane;
+        ``None`` disables depth shedding.
+    """
+
+    def __init__(self, rate: float | None = None,
+                 burst: float | None = None,
+                 max_queue_depth: int | None = None):
+        self.bucket = TokenBucket(rate, burst) if rate is not None else None
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.max_queue_depth = max_queue_depth
+
+    def decide(self, now: float, nodes) -> AdmissionDecision:
+        if self.bucket is not None and not self.bucket.try_take(now):
+            return AdmissionDecision(SHED, "rate-limit")
+        online = [n for n in nodes if n.online(now)]
+        if not online:
+            return AdmissionDecision(SPILL, "no-online-node")
+        if self.max_queue_depth is not None and all(
+                n.backlog(now) >= self.max_queue_depth for n in online):
+            return AdmissionDecision(SPILL, "queue-depth")
+        return AdmissionDecision(ACCEPT)

@@ -1,0 +1,115 @@
+"""Architecture autoscaling: commission what the traffic asks for.
+
+The paper's economics: a customized architecture costs a build (hours
+of synthesis on the real FPGA, ``build_seconds`` of simulated downtime
+here) and then saves ``(1 - eta)`` of every mismatched solve's cycles
+forever after. The autoscaler runs that break-even per structure
+cluster: every request served on a node whose architecture is not the
+cluster's own accumulates its *projected* waste
+``cycles * (1 - eta)`` — the cycles a freshly customized (eta ≈ 1)
+node would have saved. Once a cluster's accumulated waste exceeds
+``build_cost_cycles``, commissioning a dedicated node pays for itself
+and the fleet builds one; at ``max_nodes`` the coldest node (oldest
+``last_active``) is drained to make room.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .events import AcceleratorNode
+
+__all__ = ["ClusterState", "Autoscaler"]
+
+
+@dataclass
+class ClusterState:
+    """Mismatch accounting for one structure fingerprint."""
+
+    fingerprint_key: str
+    #: A representative problem — structure is all that matters; kept so
+    #: the fleet can run the customization flow when commissioning.
+    exemplar: object = field(repr=False, default=None)
+    requests: int = 0
+    mismatched: int = 0
+    projected_saved_cycles: float = 0.0
+    commissioned: bool = False
+    last_seen: float = 0.0
+
+
+class Autoscaler:
+    """Commission/decommission planner driven by mismatch traffic.
+
+    Parameters
+    ----------
+    build_cost_cycles:
+        Projected cycles a cluster must be wasting before a dedicated
+        architecture is worth building (the amortized bitstream cost).
+    build_seconds:
+        Simulated build latency: a commissioned node joins the fleet
+        this long after the decision.
+    max_nodes:
+        Fleet size ceiling; commissioning beyond it drains the coldest
+        node.
+    """
+
+    def __init__(self, build_cost_cycles: float = 2e6,
+                 build_seconds: float = 0.01,
+                 max_nodes: int = 8):
+        if build_cost_cycles <= 0:
+            raise ValueError("build_cost_cycles must be positive")
+        if build_seconds < 0:
+            raise ValueError("build_seconds must be non-negative")
+        if max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1")
+        self.build_cost_cycles = float(build_cost_cycles)
+        self.build_seconds = float(build_seconds)
+        self.max_nodes = int(max_nodes)
+        self.clusters: dict[str, ClusterState] = {}
+
+    # ------------------------------------------------------------------
+    def cluster(self, fingerprint_key: str, exemplar=None) -> ClusterState:
+        state = self.clusters.get(fingerprint_key)
+        if state is None:
+            state = ClusterState(fingerprint_key=fingerprint_key,
+                                 exemplar=exemplar)
+            self.clusters[fingerprint_key] = state
+        if state.exemplar is None and exemplar is not None:
+            state.exemplar = exemplar
+        return state
+
+    def observe(self, now: float, fingerprint_key: str, exemplar,
+                *, cycles: int, eta: float, matched: bool) -> None:
+        """Account one completed accelerator solve."""
+        state = self.cluster(fingerprint_key, exemplar)
+        state.requests += 1
+        state.last_seen = now
+        if not matched:
+            state.mismatched += 1
+            state.projected_saved_cycles += cycles * max(0.0, 1.0 - eta)
+
+    def plan(self) -> list[ClusterState]:
+        """Clusters whose accumulated waste now justifies a build."""
+        due = [s for s in self.clusters.values()
+               if not s.commissioned
+               and s.projected_saved_cycles > self.build_cost_cycles]
+        # Deterministic order: worst offender first.
+        due.sort(key=lambda s: (-s.projected_saved_cycles,
+                                s.fingerprint_key))
+        return due
+
+    def note_commissioned(self, fingerprint_key: str) -> None:
+        state = self.clusters[fingerprint_key]
+        state.commissioned = True
+        state.projected_saved_cycles = 0.0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def pick_decommission(nodes: list[AcceleratorNode],
+                          protect=()) -> AcceleratorNode | None:
+        """The coldest drainable node (oldest activity), if any."""
+        candidates = [n for n in nodes
+                      if not n.draining and n.node_id not in protect]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda n: (n.last_active, n.node_id))

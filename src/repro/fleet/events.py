@@ -1,0 +1,188 @@
+"""Discrete-event machinery of the fleet simulator.
+
+The fleet runs on a *simulated* clock: requests arrive at scheduled
+instants, each accelerator node serves its FIFO queue one request at a
+time, and a request's service duration is the accelerator's own cycle
+count at the node architecture's modeled ``f_max`` (plus, on the spill
+lane, the CPU model's solve time). Everything queueing-related —
+arrival processes, waiting, utilization, latency percentiles — is
+therefore deterministic for a fixed seed, while the numeric solves
+behind the service times are real.
+
+This module owns the mechanics only: a seekable event queue with
+stable FIFO tie-breaking, the per-node state (:class:`AcceleratorNode`)
+and the reference-solver spill lane (:class:`SpillLane`). Routing,
+admission, autoscaling and the actual solves live in their own modules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "EventQueue", "AcceleratorNode", "SpillLane"]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled occurrence; ordered by time, then insertion."""
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: object = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Min-heap of events with a monotonically advancing clock."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._seq = 0
+        self.now = 0.0
+
+    def push(self, time: float, kind: str, payload=None) -> Event:
+        if time < self.now - 1e-12:
+            raise ValueError(
+                f"cannot schedule {kind!r} at {time} before now={self.now}")
+        event = Event(time=float(time), seq=self._seq, kind=kind,
+                      payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        event = heapq.heappop(self._heap)
+        self.now = max(self.now, event.time)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class AcceleratorNode:
+    """One simulated accelerator pinned to a frozen architecture.
+
+    The architecture is the node's "bitstream": it never changes after
+    commissioning. Any problem structure can run on it (schedules and
+    CVB layouts are re-derived per structure), just with a worse match
+    score — the router's whole tradeoff.
+    """
+
+    def __init__(self, node_id: int, architecture,
+                 commissioned_at: float = 0.0,
+                 available_at: float | None = None):
+        self.node_id = int(node_id)
+        self.architecture = architecture
+        self.arch_string = str(architecture)
+        self.commissioned_at = float(commissioned_at)
+        #: Build delay: the node joins the fleet once its (simulated)
+        #: bitstream build completes.
+        self.available_at = (float(available_at) if available_at is not None
+                             else self.commissioned_at)
+        #: Draining nodes finish their queue but accept no new work.
+        self.draining = False
+        self.queue: deque = deque()
+        self.busy_with = None
+        self.busy_until = 0.0
+        # -- accounting ------------------------------------------------
+        self.served = 0
+        self.busy_seconds = 0.0
+        self.eta_sum = 0.0
+        self.last_active = self.available_at
+
+    # ------------------------------------------------------------------
+    def online(self, now: float) -> bool:
+        """Eligible for routing: built and not draining."""
+        return now + 1e-12 >= self.available_at and not self.draining
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    def backlog(self, now: float) -> int:
+        """Requests ahead of a new arrival: queued + in service."""
+        return len(self.queue) + (1 if self.busy_with is not None else 0)
+
+    @property
+    def idle(self) -> bool:
+        return self.busy_with is None and not self.queue
+
+    def enqueue(self, request) -> None:
+        self.queue.append(request)
+
+    def start_service(self, now: float, request, seconds: float,
+                      eta: float) -> float:
+        """Begin serving ``request``; returns the completion instant."""
+        if self.busy_with is not None:
+            raise RuntimeError(f"node {self.node_id} is already busy")
+        if seconds < 0:
+            raise ValueError("service time must be non-negative")
+        self.busy_with = request
+        self.busy_until = now + seconds
+        self.busy_seconds += seconds
+        self.eta_sum += eta
+        self.served += 1
+        self.last_active = now
+        return self.busy_until
+
+    def finish_service(self, now: float):
+        """Complete the in-flight request; returns it."""
+        request = self.busy_with
+        self.busy_with = None
+        self.last_active = now
+        return request
+
+    @property
+    def mean_eta(self) -> float:
+        return self.eta_sum / self.served if self.served else 0.0
+
+    def utilization(self, horizon: float) -> float:
+        return self.busy_seconds / horizon if horizon > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AcceleratorNode(id={self.node_id}, "
+                f"arch={self.arch_string}, depth={self.queue_depth})")
+
+
+class SpillLane:
+    """FIFO farm of reference-solver servers for shed-to-software work.
+
+    Requests the admission controller diverts from the accelerators run
+    on the software fallback tier (the same reference solver
+    :class:`~repro.serving.SolverService` falls back to), with service
+    times taken from the calibrated CPU timing model.
+    """
+
+    def __init__(self, servers: int = 1):
+        if servers < 1:
+            raise ValueError("spill lane needs at least one server")
+        self.servers = int(servers)
+        self.queue: deque = deque()
+        self.active = 0
+        self.served = 0
+        self.busy_seconds = 0.0
+
+    @property
+    def has_free_server(self) -> bool:
+        return self.active < self.servers
+
+    def enqueue(self, request) -> None:
+        self.queue.append(request)
+
+    def start_service(self, now: float, seconds: float) -> float:
+        if not self.has_free_server:
+            raise RuntimeError("no free spill server")
+        self.active += 1
+        self.served += 1
+        self.busy_seconds += seconds
+        return now + seconds
+
+    def finish_service(self) -> None:
+        if self.active < 1:
+            raise RuntimeError("spill lane has no request in flight")
+        self.active -= 1

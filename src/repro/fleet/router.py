@@ -1,0 +1,127 @@
+"""Placement policies: which accelerator serves an incoming QP.
+
+The fleet's core decision mirrors the paper's match score across
+instances: every node is pinned to one frozen architecture, and an
+incoming structure runs ``1/eta`` slower than ideal on it. The
+match-score router therefore scores each online node by the memoized
+``eta`` of (incoming fingerprint, node architecture) — the figure of
+merit :func:`repro.customization.match_score` defines and
+``benchmarks/test_ablation_reuse.py`` exercises across instances — and
+trades it against queue depth so a perfectly matching node with a deep
+backlog loses to a slightly mismatched idle one.
+
+Routers are pluggable (`make_router`); they see only online nodes and
+must be deterministic — ties break toward the lowest node id.
+"""
+
+from __future__ import annotations
+
+from .events import AcceleratorNode
+
+__all__ = ["Router", "RoundRobinRouter", "LeastLoadedRouter",
+           "MatchScoreRouter", "make_router", "POLICIES"]
+
+POLICIES = ("round-robin", "least-loaded", "match")
+
+
+class Router:
+    """Base placement policy."""
+
+    name = "base"
+
+    def choose(self, request, nodes: list[AcceleratorNode],
+               now: float) -> AcceleratorNode | None:
+        """Pick a node for ``request`` among online ``nodes`` (sorted by
+        id); ``None`` sends the request to the spill lane."""
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Blind rotation over the online nodes — the fairness baseline."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def choose(self, request, nodes, now):
+        if not nodes:
+            return None
+        node = nodes[self._next % len(nodes)]
+        self._next += 1
+        return node
+
+
+class LeastLoadedRouter(Router):
+    """Shortest backlog first; structure-blind load balancing."""
+
+    name = "least-loaded"
+
+    def choose(self, request, nodes, now):
+        if not nodes:
+            return None
+        return min(nodes, key=lambda n: (n.backlog(now), n.node_id))
+
+
+class MatchScoreRouter(Router):
+    """Trade the match score against queue depth.
+
+    ``score(node) = score_of(fingerprint, node.architecture)
+    / (1 + queue_weight * backlog)``: with an empty fleet the best
+    matching architecture always wins; as its queue grows, the
+    discounted score drops below a mismatched-but-idle node's and
+    traffic spills over — exactly the latency/efficiency tradeoff a
+    placement layer must make.
+
+    The fleet's ``score_of`` is the *service rate* of the request's
+    structure on the node's architecture — the time-domain form of the
+    paper's match score (rate ∝ η·C·f_max/(nnz+L)), derived from the
+    same memoized :func:`~repro.customization.evaluate_architecture`
+    call that yields η. Raw η alone is the wrong routing key: a bigger
+    foreign datapath can pad less (higher η) yet still run this
+    structure slower than its own customized design.
+
+    Parameters
+    ----------
+    score_of:
+        ``score_of(request, node) -> float`` (higher is better) —
+        memoized by the fleet service per (fingerprint, architecture)
+        pair, so scoring is a dict lookup after the first evaluation.
+    queue_weight:
+        How hard a backlog discounts a match; ``0`` routes purely by
+        match score.
+    """
+
+    name = "match"
+
+    def __init__(self, score_of, queue_weight: float = 0.5):
+        if queue_weight < 0:
+            raise ValueError("queue_weight must be non-negative")
+        self.score_of = score_of
+        self.queue_weight = float(queue_weight)
+
+    def choose(self, request, nodes, now):
+        if not nodes:
+            return None
+        best, best_score = None, float("-inf")
+        for node in nodes:
+            score = self.score_of(request, node)
+            score /= 1.0 + self.queue_weight * node.backlog(now)
+            if score > best_score * (1.0 + 1e-12):
+                best, best_score = node, score
+        return best
+
+
+def make_router(policy: str, *, score_of=None,
+                queue_weight: float = 0.5) -> Router:
+    """Instantiate a placement policy by name."""
+    if policy == "round-robin":
+        return RoundRobinRouter()
+    if policy == "least-loaded":
+        return LeastLoadedRouter()
+    if policy == "match":
+        if score_of is None:
+            raise ValueError("match policy needs a score_of callback")
+        return MatchScoreRouter(score_of, queue_weight=queue_weight)
+    raise ValueError(f"unknown policy {policy!r} "
+                     f"(available: {', '.join(POLICIES)})")

@@ -1,0 +1,711 @@
+"""`FleetService` — a structure-aware fleet of simulated accelerators.
+
+Where :class:`~repro.serving.SolverService` amortizes one architecture
+per structure on a *single* accelerator, the fleet hosts N
+:class:`~repro.fleet.events.AcceleratorNode`\\ s, each pinned to a
+frozen architecture artifact, and decides — per incoming QP — which
+node's architecture it matches best:
+
+1. every submitted problem is fingerprinted
+   (:mod:`repro.serving.fingerprint`) and stamped with a simulated
+   arrival time,
+2. admission control (:mod:`repro.fleet.admission`) rate-limits and
+   depth-sheds, diverting overload to a reference-solver spill lane,
+3. a placement policy (:mod:`repro.fleet.router`) picks a node — the
+   match-score policy scores the paper's ``eta`` of (fingerprint, node
+   architecture), memoized per pair,
+4. the node serves its FIFO queue; a request's service time is the
+   accelerator's own cycle count at the architecture's modeled
+   ``f_max``,
+5. the autoscaler (:mod:`repro.fleet.autoscale`) watches mismatch
+   traffic per structure cluster and commissions freshly customized
+   nodes when the projected cycles-saved exceed the build cost.
+
+The submit/result surface mirrors :class:`SolverService`; metrics flow
+through :class:`repro.serving.metrics.MetricsRegistry` (bounded
+reservoirs by default — fleet traffic is unbounded); and
+:meth:`fleet_report` exports utilization, latency percentiles and the
+η-weighted throughput the routing policies compete on.
+
+Solve modes: ``"exact"`` numerically solves every request on its
+assigned node (results are real solutions); ``"calibrated"``
+numerically solves the *first* request per (structure, architecture)
+pair and reuses its cycle count as the service time for repeats — the
+capacity-planning mode for large traffic replays, where per-request
+numerics would dominate wall time without changing the queueing
+picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.cpu import cpu_solve_seconds
+from ..baselines.workload import workload_from_result
+from ..customization import customize_problem
+from ..experiments.runner import choose_width
+from ..qp import QProblem
+from ..solver import OSQPSettings
+from ..serving.arch_cache import ArchCache, build_artifact
+from ..serving.fingerprint import StructureFingerprint, fingerprint_problem
+from ..serving.metrics import MetricsRegistry
+from ..serving.pool import reference_job, solve_job
+from .admission import ACCEPT, SHED, SPILL, AdmissionController
+from .autoscale import Autoscaler
+from .events import AcceleratorNode, EventQueue, SpillLane
+from .router import make_router
+
+__all__ = ["FleetRequest", "FleetRecord", "FleetResult", "FleetService",
+           "LANE_NODE", "LANE_SPILL", "LANE_SHED"]
+
+#: Lanes a request can end in.
+LANE_NODE = "node"    # served by an accelerator node
+LANE_SPILL = "spill"  # diverted to the reference-solver spill lane
+LANE_SHED = "shed"    # rejected by admission control (no solve)
+
+_SOLVE_MODES = ("exact", "calibrated")
+
+
+@dataclass
+class FleetRequest:
+    """One in-flight request: problem + fingerprint + arrival time."""
+
+    request_id: int
+    problem: QProblem
+    fingerprint: StructureFingerprint
+    arrival: float
+    warm_start: tuple | None = None
+
+
+@dataclass
+class FleetRecord:
+    """Accounting for one request, kept for reports and benchmarks."""
+
+    request_id: int
+    problem_name: str
+    fingerprint_key: str
+    lane: str
+    arrival: float
+    start: float
+    finish: float
+    node_id: int = -1
+    architecture: str = ""
+    #: Match score of the request's structure on the serving node's
+    #: architecture (0 off the accelerator lanes).
+    eta: float = 0.0
+    #: Served by the node whose architecture is this structure's own
+    #: customized design.
+    matched: bool = False
+    queue_seconds: float = 0.0
+    service_seconds: float = 0.0
+    latency_seconds: float = 0.0
+    simulated_cycles: int = 0
+    admm_iterations: int = 0
+    converged: bool = False
+    backend: str = ""
+    #: Service time reused from the (structure, architecture)
+    #: calibration solve rather than a dedicated numeric run.
+    calibrated: bool = False
+    shed_reason: str = ""
+
+
+@dataclass
+class FleetResult:
+    """Solution plus provenance; ``raw`` is the backend's own result.
+
+    Shed requests carry no solution (``x`` is None, ``converged``
+    False) — the record's ``shed_reason`` says why.
+    """
+
+    x: np.ndarray | None
+    y: np.ndarray | None
+    z: np.ndarray | None
+    converged: bool
+    backend: str
+    record: FleetRecord
+    raw: object = field(repr=False, default=None)
+
+
+class FleetService:
+    """Multi-accelerator QP serving with match-score placement.
+
+    Parameters
+    ----------
+    policy:
+        Placement policy: ``"round-robin"``, ``"least-loaded"`` or
+        ``"match"`` (see :mod:`repro.fleet.router`).
+    c:
+        Datapath width for dedicated architectures; ``None`` picks per
+        problem by nnz.
+    solve_mode:
+        ``"exact"`` or ``"calibrated"`` (see module docstring).
+    admission:
+        An :class:`AdmissionController`; ``None`` admits everything.
+    autoscaler:
+        An :class:`Autoscaler`; ``None`` keeps the commissioned fleet
+        fixed.
+    spill_servers:
+        Reference-solver servers on the spill lane.
+    queue_weight:
+        Backlog discount of the match-score router.
+    reservoir:
+        Bounded histogram reservoir for the metrics registry (``None``
+        for exact histograms).
+    """
+
+    def __init__(self, *, policy: str = "match", c: int | None = None,
+                 settings: OSQPSettings | None = None,
+                 solve_mode: str = "exact",
+                 admission: AdmissionController | None = None,
+                 autoscaler: Autoscaler | None = None,
+                 spill_servers: int = 1,
+                 queue_weight: float = 1.0,
+                 cache_capacity: int = 256,
+                 reservoir: int | None = 4096,
+                 pcg_eps: float = 1e-7,
+                 max_pcg_iter: int = 500,
+                 seed: int = 0):
+        if solve_mode not in _SOLVE_MODES:
+            raise ValueError(f"solve_mode must be one of {_SOLVE_MODES}, "
+                             f"got {solve_mode!r}")
+        self.policy = policy
+        self.c = c
+        self.settings = settings if settings is not None else OSQPSettings()
+        self.solve_mode = solve_mode
+        self.admission = (admission if admission is not None
+                          else AdmissionController())
+        self.autoscaler = autoscaler
+        self.queue_weight = float(queue_weight)
+        self.pcg_eps = float(pcg_eps)
+        self.max_pcg_iter = int(max_pcg_iter)
+        self.metrics = MetricsRegistry(default_reservoir=reservoir,
+                                       seed=seed)
+        self.router = make_router(policy, score_of=self._score_of,
+                                  queue_weight=queue_weight)
+        self.nodes: list[AcceleratorNode] = []
+        self.retired: list[AcceleratorNode] = []
+        self.spill = SpillLane(servers=spill_servers)
+        self.builds: list[dict] = []
+        self.decommissions: list[dict] = []
+        self._artifacts = ArchCache(capacity=cache_capacity)
+        self._eta: dict[tuple[str, str], float] = {}
+        self._rate: dict[tuple[str, str], float] = {}
+        self._dedicated: dict[str, str] = {}
+        self._dedicated_arch: dict[str, object] = {}
+        self._calibration: dict[tuple[str, str], object] = {}
+        self._events = EventQueue()
+        self._in_flight: dict[int, tuple] = {}
+        self._next_request_id = 0
+        self._next_node_id = 0
+        self._records: dict[int, FleetRecord] = {}
+        self._results: dict[int, FleetResult] = {}
+        self._feed = None  # closed-loop continuation queue
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # structure handling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The simulated clock."""
+        return self._events.now
+
+    def width_for(self, problem: QProblem) -> int:
+        return self.c if self.c is not None else choose_width(problem.nnz)
+
+    def _artifact_key(self, fingerprint: StructureFingerprint,
+                      architecture) -> str:
+        return (f"{fingerprint.key}:arch={architecture}"
+                f":pcg{self.max_pcg_iter}")
+
+    def _bind(self, problem: QProblem, fingerprint: StructureFingerprint,
+              architecture):
+        """Artifact of ``architecture`` bound to this structure (memoized)."""
+        key = self._artifact_key(fingerprint, architecture)
+        artifact, _ = self._artifacts.get_or_build(
+            key, lambda: build_artifact(
+                problem, architecture.c, architecture=architecture,
+                fingerprint=fingerprint,
+                max_admm_iter=self.settings.max_iter,
+                max_pcg_iter=self.max_pcg_iter,
+                metrics=self.metrics, metrics_prefix="fleet"))
+        pair = (fingerprint.key, str(architecture))
+        self._eta.setdefault(pair, artifact.customization.eta)
+        # Per-iteration service rate of this structure on this
+        # architecture: scheduled SpMV cycles at the modeled clock —
+        # the time-domain match score the router optimizes.
+        cycles = sum(artifact.customization.spmv_cycles.values())
+        self._rate.setdefault(
+            pair, artifact.fmax_mhz * 1e6 / max(1, cycles))
+        return artifact
+
+    def _eta_of(self, request: FleetRequest,
+                node: AcceleratorNode) -> float:
+        """Match score of a request's structure on a node's architecture.
+
+        Memoized per (fingerprint, architecture) pair — scoring is a
+        dict lookup after the first evaluation.
+        """
+        key = (request.fingerprint.key, node.arch_string)
+        if key not in self._eta:
+            self._bind(request.problem, request.fingerprint,
+                       node.architecture)
+        return self._eta[key]
+
+    def _score_of(self, request: FleetRequest,
+                  node: AcceleratorNode) -> float:
+        """Routing score: the memoized per-iteration service rate."""
+        key = (request.fingerprint.key, node.arch_string)
+        if key not in self._rate:
+            self._bind(request.problem, request.fingerprint,
+                       node.architecture)
+        return self._rate[key]
+
+    def dedicated_architecture(self, problem: QProblem,
+                               fingerprint: StructureFingerprint
+                               | None = None):
+        """This structure's own customized architecture (memoized search)."""
+        c = self.width_for(problem)
+        if fingerprint is None:
+            fingerprint = fingerprint_problem(problem, c=c)
+        arch = self._dedicated_arch.get(fingerprint.key)
+        if arch is None:
+            custom = customize_problem(problem, c)
+            arch = custom.architecture
+            self._dedicated_arch[fingerprint.key] = arch
+            self._dedicated[fingerprint.key] = str(arch)
+            self._eta.setdefault((fingerprint.key, str(arch)), custom.eta)
+        return arch
+
+    # ------------------------------------------------------------------
+    # fleet membership
+    # ------------------------------------------------------------------
+    def commission(self, problem: QProblem, *,
+                   architecture=None,
+                   build_seconds: float = 0.0) -> AcceleratorNode:
+        """Add a node pinned to ``problem``'s customized architecture.
+
+        Pass ``architecture`` to pin an explicit design instead (e.g. a
+        deliberately generic or baseline fleet for autoscaling studies).
+        The node joins the fleet ``build_seconds`` of simulated time
+        from now — the bitstream-build latency.
+        """
+        now = self._events.now
+        if architecture is None:
+            architecture = self.dedicated_architecture(problem)
+        node = AcceleratorNode(self._next_node_id, architecture,
+                               commissioned_at=now,
+                               available_at=now + build_seconds)
+        self._next_node_id += 1
+        self.nodes.append(node)
+        self.builds.append({
+            "time": now, "node_id": node.node_id,
+            "architecture": node.arch_string,
+            "online_at": node.available_at})
+        self.metrics.counter("fleet_builds_total").inc()
+        return node
+
+    def decommission(self, node: AcceleratorNode) -> None:
+        """Drain a node: it finishes its queue, then leaves the fleet."""
+        node.draining = True
+        if node.busy_with is None and not node.queue:
+            self._retire(node)
+
+    def _retire(self, node: AcceleratorNode) -> None:
+        if node not in self.nodes:
+            return  # already retired (e.g. by an autoscale tick)
+        self.nodes.remove(node)
+        self.retired.append(node)
+        self.decommissions.append({
+            "time": self._events.now, "node_id": node.node_id,
+            "architecture": node.arch_string, "served": node.served})
+        self.metrics.counter("fleet_decommissions_total").inc()
+
+    # ------------------------------------------------------------------
+    # request lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, problem: QProblem, *, at: float | None = None,
+               warm_start: tuple | None = None) -> int:
+        """Enqueue one solve arriving at simulated time ``at`` (default:
+        now); returns a request id for :meth:`result`."""
+        if self._closed:
+            raise RuntimeError("fleet is closed")
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        arrival = self._events.now if at is None else float(at)
+        fingerprint = fingerprint_problem(problem,
+                                          c=self.width_for(problem))
+        request = FleetRequest(request_id=request_id, problem=problem,
+                               fingerprint=fingerprint, arrival=arrival,
+                               warm_start=warm_start)
+        self._events.push(arrival, "arrival", request)
+        return request_id
+
+    def result(self, request_id: int) -> FleetResult:
+        """Advance the simulation until ``request_id`` resolves."""
+        while request_id not in self._results and self._events:
+            self._step()
+        try:
+            return self._results[request_id]
+        except KeyError:
+            raise KeyError(f"unknown request id {request_id}") from None
+
+    def solve(self, problem: QProblem, *, at: float | None = None,
+              warm_start: tuple | None = None) -> FleetResult:
+        """Synchronous convenience: submit + result."""
+        return self.result(self.submit(problem, at=at,
+                                       warm_start=warm_start))
+
+    def solve_batch(self, problems, *, warm_starts=None) -> list:
+        """Submit a batch, preserve submission order in the results."""
+        problems = list(problems)
+        if warm_starts is None:
+            warm_starts = [None] * len(problems)
+        ids = [self.submit(p, warm_start=w)
+               for p, w in zip(problems, warm_starts)]
+        return [self.result(i) for i in ids]
+
+    def drain(self) -> None:
+        """Run the simulation until no events remain."""
+        while self._events:
+            self._step()
+
+    def close(self) -> None:
+        self.drain()
+        self._closed = True
+
+    def __enter__(self) -> "FleetService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # traffic replay
+    # ------------------------------------------------------------------
+    def replay_open(self, problems, *, rate: float,
+                    seed: int = 0) -> list[int]:
+        """Open-loop replay: Poisson arrivals at ``rate`` requests per
+        simulated second; runs to completion."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        rng = np.random.default_rng(seed)
+        t = self._events.now
+        ids = []
+        for problem in problems:
+            t += float(rng.exponential(1.0 / rate))
+            ids.append(self.submit(problem, at=t))
+        self.drain()
+        return ids
+
+    def replay_closed(self, problems, *, clients: int = 4,
+                      think_seconds: float = 0.0) -> list[int]:
+        """Closed-loop replay: ``clients`` concurrent clients, each
+        submitting its next request when the previous one completes."""
+        if clients < 1:
+            raise ValueError("clients must be >= 1")
+        problems = list(problems)
+        from collections import deque
+        self._feed = deque(problems[clients:])
+        self._think = float(think_seconds)
+        ids = [self.submit(p) for p in problems[:clients]]
+        count = len(problems)
+        self.drain()
+        self._feed = None
+        # Closed-loop ids are assigned in completion-driven order; the
+        # caller correlates through records instead.
+        return list(range(ids[0], ids[0] + count)) if ids else []
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        event = self._events.pop()
+        if event.kind == "arrival":
+            self._on_arrival(event.payload)
+        elif event.kind == "node-done":
+            self._on_node_done(event.payload)
+        elif event.kind == "spill-done":
+            self._on_spill_done(event.payload)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown event kind {event.kind!r}")
+
+    def _on_arrival(self, request: FleetRequest) -> None:
+        now = self._events.now
+        self.metrics.counter("fleet_requests_total").inc()
+        decision = self.admission.decide(now, self.nodes)
+        if decision.action == SHED:
+            self._finalize_shed(request, decision.reason)
+            return
+        if decision.action == SPILL:
+            self._to_spill(request)
+            return
+        online = sorted((n for n in self.nodes if n.online(now)),
+                        key=lambda n: n.node_id)
+        node = self.router.choose(request, online, now)
+        if node is None:
+            self._to_spill(request)
+            return
+        self.metrics.histogram("fleet_queue_depth").observe(
+            node.backlog(now))
+        node.enqueue(request)
+        self._pump(node)
+
+    def _pump(self, node: AcceleratorNode) -> None:
+        if node.busy_with is not None or not node.queue:
+            return
+        now = self._events.now
+        request = node.queue.popleft()
+        raw, eta, calibrated = self._node_solve(request, node)
+        finish = node.start_service(now, request, raw.solve_seconds, eta)
+        self._in_flight[node.node_id] = (request, raw, eta, calibrated, now)
+        self._events.push(finish, "node-done", node)
+
+    def _node_solve(self, request: FleetRequest, node: AcceleratorNode):
+        """Run (or reuse) the numeric solve backing a node service."""
+        key = (request.fingerprint.key, node.arch_string)
+        if self.solve_mode == "calibrated" and key in self._calibration:
+            return self._calibration[key], self._eta[key], True
+        artifact = self._bind(request.problem, request.fingerprint,
+                              node.architecture)
+        raw = solve_job(request.problem, artifact, self.settings,
+                        request.warm_start, self.pcg_eps)
+        if self.solve_mode == "calibrated":
+            self._calibration[key] = raw
+        return raw, self._eta[key], False
+
+    def _on_node_done(self, node: AcceleratorNode) -> None:
+        now = self._events.now
+        node.finish_service(now)
+        request, raw, eta, calibrated, start = self._in_flight.pop(
+            node.node_id)
+        matched = (self._dedicated.get(request.fingerprint.key)
+                   == node.arch_string)
+        record = FleetRecord(
+            request_id=request.request_id,
+            problem_name=request.problem.name,
+            fingerprint_key=request.fingerprint.key,
+            lane=LANE_NODE, arrival=request.arrival, start=start,
+            finish=now, node_id=node.node_id,
+            architecture=node.arch_string, eta=eta, matched=matched,
+            queue_seconds=start - request.arrival,
+            service_seconds=now - start,
+            latency_seconds=now - request.arrival,
+            simulated_cycles=raw.total_cycles,
+            admm_iterations=raw.admm_iterations,
+            converged=raw.converged, backend="rsqp",
+            calibrated=calibrated)
+        self._finalize(request, record, FleetResult(
+            x=raw.x, y=raw.y, z=raw.z, converged=raw.converged,
+            backend="rsqp", record=record, raw=raw))
+        if self.autoscaler is not None:
+            self.autoscaler.observe(
+                now, request.fingerprint.key, request.problem,
+                cycles=record.simulated_cycles, eta=eta, matched=matched)
+            self._autoscale_tick()
+        if node.draining and node.busy_with is None and not node.queue:
+            self._retire(node)
+        else:
+            self._pump(node)
+
+    # ------------------------------------------------------------------
+    def _to_spill(self, request: FleetRequest) -> None:
+        self.spill.enqueue(request)
+        self._pump_spill()
+
+    def _pump_spill(self) -> None:
+        now = self._events.now
+        while self.spill.has_free_server and self.spill.queue:
+            request = self.spill.queue.popleft()
+            raw = reference_job(request.problem, self.settings,
+                                request.warm_start)
+            seconds = cpu_solve_seconds(
+                workload_from_result(request.problem, raw))
+            finish = self.spill.start_service(now, seconds)
+            self._events.push(finish, "spill-done",
+                              (request, raw, seconds, now))
+
+    def _on_spill_done(self, payload) -> None:
+        now = self._events.now
+        request, raw, seconds, start = payload
+        self.spill.finish_service()
+        converged = raw.status.is_optimal
+        record = FleetRecord(
+            request_id=request.request_id,
+            problem_name=request.problem.name,
+            fingerprint_key=request.fingerprint.key,
+            lane=LANE_SPILL, arrival=request.arrival, start=start,
+            finish=now,
+            queue_seconds=start - request.arrival,
+            service_seconds=seconds,
+            latency_seconds=now - request.arrival,
+            admm_iterations=raw.info.iterations,
+            converged=converged, backend="reference")
+        self._finalize(request, record, FleetResult(
+            x=raw.x, y=raw.y, z=raw.z, converged=converged,
+            backend="reference", record=record, raw=raw))
+        self._pump_spill()
+
+    def _finalize_shed(self, request: FleetRequest, reason: str) -> None:
+        now = self._events.now
+        record = FleetRecord(
+            request_id=request.request_id,
+            problem_name=request.problem.name,
+            fingerprint_key=request.fingerprint.key,
+            lane=LANE_SHED, arrival=request.arrival, start=now,
+            finish=now, backend="none", shed_reason=reason)
+        self._finalize(request, record, FleetResult(
+            x=None, y=None, z=None, converged=False, backend="none",
+            record=record))
+
+    def _finalize(self, request: FleetRequest, record: FleetRecord,
+                  result: FleetResult) -> None:
+        self._records[request.request_id] = record
+        self._results[request.request_id] = result
+        m = self.metrics
+        if record.lane == LANE_SHED:
+            m.counter("fleet_shed_total").inc()
+        else:
+            m.histogram("fleet_latency_seconds").observe(
+                record.latency_seconds)
+            m.histogram("fleet_queue_seconds").observe(
+                record.queue_seconds)
+            m.histogram("fleet_service_seconds").observe(
+                record.service_seconds)
+            if record.lane == LANE_NODE:
+                m.counter("fleet_completed_total").inc()
+                m.histogram("fleet_eta").observe(record.eta)
+                m.histogram("fleet_simulated_cycles").observe(
+                    record.simulated_cycles)
+                node = f"fleet_node{record.node_id}"
+                m.counter(f"{node}_served_total").inc()
+                m.counter(f"{node}_busy_seconds_total").inc(
+                    record.service_seconds)
+                if not record.matched:
+                    m.counter("fleet_mismatch_total").inc()
+            else:
+                m.counter("fleet_spill_total").inc()
+        if not record.converged and record.lane != LANE_SHED:
+            m.counter("fleet_unconverged_total").inc()
+        if self._feed:
+            problem = self._feed.popleft()
+            self.submit(problem, at=self._events.now + self._think)
+
+    # ------------------------------------------------------------------
+    def _autoscale_tick(self) -> None:
+        scaler = self.autoscaler
+        for state in scaler.plan():
+            active = [n for n in self.nodes if not n.draining]
+            if len(active) >= scaler.max_nodes:
+                victim = scaler.pick_decommission(active)
+                if victim is None:
+                    continue
+                self.decommission(victim)
+            self.commission(state.exemplar,
+                            build_seconds=scaler.build_seconds)
+            scaler.note_commissioned(state.fingerprint_key)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def records(self) -> list[FleetRecord]:
+        return [self._records[i] for i in sorted(self._records)]
+
+    def metrics_snapshot(self) -> dict:
+        snap = self.metrics.snapshot()
+        snap["artifact_cache"] = self._artifacts.stats().as_dict()
+        return snap
+
+    def fleet_report(self) -> dict:
+        """Utilization, latency percentiles, η-weighted throughput,
+        matched-routing fractions and build events — JSON-friendly."""
+        records = self.records()
+        served = [r for r in records if r.lane != LANE_SHED]
+        node_lane = [r for r in records if r.lane == LANE_NODE]
+        makespan = (max(r.finish for r in served)
+                    - min(r.arrival for r in served)) if served else 0.0
+        latencies = np.array([r.latency_seconds for r in served]) \
+            if served else np.zeros(0)
+        etas = [r.eta for r in node_lane]
+        by_arrival = sorted(node_lane, key=lambda r: (r.arrival,
+                                                      r.request_id))
+        trailing = by_arrival[len(by_arrival) // 2:]
+
+        def _pct(q):
+            return float(np.percentile(latencies, q)) if served else 0.0
+
+        def _matched_fraction(rows):
+            return (sum(r.matched for r in rows) / len(rows)
+                    if rows else 0.0)
+
+        nodes = [{
+            "node_id": n.node_id, "architecture": n.arch_string,
+            "served": n.served, "mean_eta": n.mean_eta,
+            "utilization": n.utilization(makespan),
+            "online_at": n.available_at,
+            "retired": retired,
+        } for n, retired in ([(n, False) for n in self.nodes]
+                             + [(n, True) for n in self.retired])]
+        return {
+            "policy": self.policy,
+            "solve_mode": self.solve_mode,
+            "requests": len(records),
+            "completed": len(node_lane),
+            "spilled": sum(r.lane == LANE_SPILL for r in records),
+            "shed": sum(r.lane == LANE_SHED for r in records),
+            "converged": sum(r.converged for r in served),
+            "makespan_seconds": makespan,
+            "latency_seconds": {
+                "mean": float(latencies.mean()) if served else 0.0,
+                "p50": _pct(50), "p95": _pct(95), "p99": _pct(99),
+                "max": float(latencies.max()) if served else 0.0,
+            },
+            "eta": {
+                "mean": float(np.mean(etas)) if etas else 0.0,
+                "min": float(np.min(etas)) if etas else 0.0,
+            },
+            #: Match-score-weighted completions per simulated second —
+            #: the figure of merit the routing policies compete on.
+            "eta_weighted_throughput": (sum(etas) / makespan
+                                        if makespan > 0 else 0.0),
+            "matched_fraction": _matched_fraction(node_lane),
+            "matched_fraction_trailing": _matched_fraction(trailing),
+            "builds": list(self.builds),
+            "decommissions": list(self.decommissions),
+            "nodes": nodes,
+            "artifact_cache": self._artifacts.stats().as_dict(),
+        }
+
+    def render_report(self) -> str:
+        """Human-readable fleet report (the CLI's summary section)."""
+        rep = self.fleet_report()
+        lat = rep["latency_seconds"]
+        lines = [
+            f"policy                 : {rep['policy']} "
+            f"({rep['solve_mode']} mode)",
+            f"requests               : {rep['requests']} "
+            f"({rep['completed']} on-node, {rep['spilled']} spilled, "
+            f"{rep['shed']} shed)",
+            f"converged              : {rep['converged']}"
+            f"/{rep['requests'] - rep['shed']}",
+            f"makespan               : "
+            f"{rep['makespan_seconds'] * 1e3:.2f} ms (simulated)",
+            f"latency p50/p95/p99    : {lat['p50'] * 1e3:.3f} / "
+            f"{lat['p95'] * 1e3:.3f} / {lat['p99'] * 1e3:.3f} ms",
+            f"mean match score       : {rep['eta']['mean']:.3f}",
+            f"eta-weighted throughput: "
+            f"{rep['eta_weighted_throughput']:.1f} eta/s",
+            f"routed-to-matching-arch: {rep['matched_fraction']:.1%} "
+            f"(trailing half {rep['matched_fraction_trailing']:.1%})",
+            f"build events           : {len(rep['builds'])} "
+            f"({len(rep['decommissions'])} decommissions)",
+        ]
+        for row in rep["nodes"]:
+            state = "retired" if row["retired"] else "active"
+            lines.append(
+                f"  node {row['node_id']} [{state}] {row['architecture']}"
+                f"  served={row['served']} util={row['utilization']:.1%}"
+                f" mean_eta={row['mean_eta']:.3f}")
+        return "\n".join(lines)

@@ -21,7 +21,8 @@ Quick start::
 the service and prints a throughput/amortization report.
 """
 
-from .arch_cache import ArchArtifact, ArchCache, CacheStats, PersistedSpec
+from .arch_cache import (ArchArtifact, ArchCache, CacheStats, PersistedSpec,
+                         build_artifact)
 from .fingerprint import (StructureFingerprint, fingerprint_problem,
                           sparsity_string)
 from .metrics import Counter, Histogram, MetricsRegistry
@@ -33,6 +34,7 @@ __all__ = [
     "ArchCache",
     "CacheStats",
     "PersistedSpec",
+    "build_artifact",
     "StructureFingerprint",
     "fingerprint_problem",
     "sparsity_string",

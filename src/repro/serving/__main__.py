@@ -71,6 +71,10 @@ def main(argv=None) -> int:
                         help="JSON persistence file for the arch cache")
     parser.add_argument("--cold-policy", choices=("build", "fallback"),
                         default="build")
+    parser.add_argument("--metrics-format", choices=("plain", "prometheus"),
+                        default="plain",
+                        help="render metrics human-readable (plain) or in "
+                             "Prometheus text exposition format")
     parser.add_argument("--eps", type=float, default=1e-3,
                         help="solver eps_abs/eps_rel")
     parser.add_argument("--seed", type=int, default=0)
@@ -110,7 +114,10 @@ def main(argv=None) -> int:
         print()
         print(service.amortization_report())
         print("\nmetrics:")
-        print(service.metrics.render())
+        if args.metrics_format == "prometheus":
+            print(service.metrics.render_prometheus(), end="")
+        else:
+            print(service.metrics.render())
         cache = service.cache_stats()
         print(f"\ncache: {cache.size}/{cache.capacity} entries, "
               f"{cache.evictions} evictions, "

@@ -23,16 +23,21 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..customization import ProblemCustomization
-from ..hw import CompiledProgram
+from ..customization import (ProblemCustomization, customize_problem,
+                             evaluate_architecture, parse_architecture)
+from ..hw import (CompiledProgram, estimate_resources, fmax_mhz,
+                  fpga_power_watts)
+from ..hw.accelerator import compile_for_customization
 from ..hw.resources import ResourceEstimate
-from .fingerprint import StructureFingerprint
+from .fingerprint import StructureFingerprint, fingerprint_problem
 
-__all__ = ["ArchArtifact", "ArchCache", "CacheStats", "PersistedSpec"]
+__all__ = ["ArchArtifact", "ArchCache", "CacheStats", "PersistedSpec",
+           "build_artifact"]
 
 _PERSIST_VERSION = 1
 
@@ -99,6 +104,79 @@ class CacheStats:
                 "evictions": self.evictions, "disk_hits": self.disk_hits,
                 "size": self.size, "capacity": self.capacity,
                 "persisted": self.persisted, "hit_rate": self.hit_rate}
+
+
+def build_artifact(problem, c, cache: "ArchCache | None" = None, *,
+                   fingerprint: StructureFingerprint | None = None,
+                   key: str | None = None,
+                   architecture=None,
+                   max_admm_iter: int = 4000,
+                   max_pcg_iter: int = 500,
+                   allow_partial: bool = False,
+                   metrics=None,
+                   metrics_prefix: str = "serving") -> ArchArtifact:
+    """Run the customization + compile flow into one frozen artifact.
+
+    The single cold-path builder shared by :class:`SolverService` and
+    the fleet layer — artifact construction without a service instance.
+    Three build modes, in priority order:
+
+    * ``architecture`` given — skip the search and bind *that*
+      architecture to this problem's structure (the fleet's cross-node
+      evaluation: how well does an incoming structure run on a node's
+      frozen datapath). ``c`` is taken from the architecture.
+    * ``cache`` + ``key`` given and the cache holds a persisted spec —
+      re-derive schedules + CVB for the recorded architecture decision
+      (the disk tier) and note the disk hit on the cache.
+    * otherwise — the full width-``c`` customization flow
+      (:func:`repro.customization.customize_problem`).
+
+    ``metrics``, when given, receives ``{prefix}_customize_seconds`` /
+    ``{prefix}_compile_seconds`` observations and a
+    ``{prefix}_disk_rebuilds_total`` increment on the disk path.
+    The caller is responsible for putting the artifact into a cache
+    (or use :meth:`ArchCache.get_or_build` around this).
+    """
+    if fingerprint is None:
+        fingerprint = fingerprint_problem(problem, c=architecture.c
+                                          if architecture is not None else c)
+    spec = (cache.persisted_spec(key)
+            if cache is not None and key is not None
+            and architecture is None else None)
+    t0 = time.perf_counter()
+    if architecture is not None:
+        custom = evaluate_architecture(problem, architecture,
+                                       allow_partial=allow_partial)
+    elif spec is not None:
+        # The architecture decision is known: skip the search and just
+        # re-derive schedules + CVB layout for this structure.
+        custom = evaluate_architecture(
+            problem, parse_architecture(spec.architecture),
+            allow_partial=allow_partial)
+        cache.note_disk_hit()
+        if metrics is not None:
+            metrics.counter(f"{metrics_prefix}_disk_rebuilds_total").inc()
+    else:
+        custom = customize_problem(problem, c,
+                                   allow_partial=allow_partial)
+    t1 = time.perf_counter()
+    compiled = compile_for_customization(
+        custom, problem.n, problem.m,
+        max_admm_iter=max_admm_iter, max_pcg_iter=max_pcg_iter)
+    t2 = time.perf_counter()
+    arch = custom.architecture
+    if metrics is not None:
+        metrics.histogram(
+            f"{metrics_prefix}_customize_seconds").observe(t1 - t0)
+        metrics.histogram(
+            f"{metrics_prefix}_compile_seconds").observe(t2 - t1)
+    return ArchArtifact(
+        fingerprint=fingerprint, c=arch.c,
+        customization=custom.detach(), compiled=compiled,
+        max_pcg_iter=max_pcg_iter,
+        fmax_mhz=fmax_mhz(arch), power_watts=fpga_power_watts(arch),
+        resources=estimate_resources(arch),
+        customize_seconds=t1 - t0, compile_seconds=t2 - t1)
 
 
 class ArchCache:

@@ -1,11 +1,23 @@
-"""Counters and histograms for the serving layer.
+"""Counters and histograms for the serving and fleet layers.
 
 Deliberately tiny and dependency-free: a :class:`Counter` is a
-monotonic float, a :class:`Histogram` keeps every observation (the
-serving workloads are thousands of solves, not billions) so snapshots
-can report exact quantiles, and a :class:`MetricsRegistry` owns a
-namespace of both and renders a point-in-time snapshot as a plain
-dict — the schema documented in ``docs/SERVING.md``.
+monotonic float, a :class:`Histogram` keeps observations so snapshots
+can report quantiles, and a :class:`MetricsRegistry` owns a namespace
+of both and renders a point-in-time snapshot as a plain dict — the
+schema documented in ``docs/SERVING.md``.
+
+A histogram stores every observation by default (serving workloads are
+thousands of solves, not billions, and exact quantiles keep the tests
+sharp). Sustained fleet traffic is unbounded, so a histogram can be
+created with a fixed-size *reservoir* instead: count/sum/min/max stay
+exact while quantiles come from a seeded uniform reservoir sample
+(Vitter's Algorithm R), bounding memory at ``reservoir`` floats no
+matter how many observations arrive.
+
+Snapshots render either human-readable (:meth:`MetricsRegistry.render`)
+or in the Prometheus text exposition format
+(:meth:`MetricsRegistry.render_prometheus`): counters as ``counter``
+samples, histograms as ``summary`` quantile gauges.
 
 All operations are thread-safe; the service's worker threads record
 into one shared registry.
@@ -13,11 +25,17 @@ into one shared registry.
 
 from __future__ import annotations
 
+import random
 import threading
+import zlib
 
 import numpy as np
 
 __all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+#: Sentinel distinguishing "use the registry default" from an explicit
+#: ``reservoir=None`` (exact mode) at histogram creation.
+_UNSET = object()
 
 
 class Counter:
@@ -41,29 +59,78 @@ class Counter:
 
 
 class Histogram:
-    """Exact distribution of observed values."""
+    """Distribution of observed values.
 
-    def __init__(self, name: str):
+    Parameters
+    ----------
+    reservoir:
+        ``None`` (default) keeps every observation — exact quantiles.
+        A positive integer keeps at most that many values via seeded
+        reservoir sampling; ``count``/``total``/min/max stay exact and
+        quantiles are computed over the uniform sample.
+    seed:
+        Seed for the reservoir's replacement choices (combined with the
+        histogram name, so sibling histograms sample independently).
+        Ignored in exact mode.
+    """
+
+    def __init__(self, name: str, reservoir: int | None = None,
+                 seed: int = 0):
+        if reservoir is not None and reservoir < 1:
+            raise ValueError("reservoir size must be >= 1")
         self.name = name
+        self.reservoir = reservoir
         self._values: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._rng = random.Random(
+            (int(seed) << 32) ^ zlib.crc32(name.encode()))
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
+        value = float(value)
         with self._lock:
-            self._values.append(float(value))
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if self.reservoir is None or len(self._values) < self.reservoir:
+                self._values.append(value)
+            else:
+                # Algorithm R: keep each of the count observations with
+                # probability reservoir/count.
+                slot = self._rng.randrange(self._count)
+                if slot < self.reservoir:
+                    self._values[slot] = value
 
     @property
     def count(self) -> int:
+        """Exact number of observations (independent of the reservoir)."""
         with self._lock:
-            return len(self._values)
+            return self._count
 
     @property
     def total(self) -> float:
+        """Exact sum of observations (independent of the reservoir)."""
         with self._lock:
-            return float(sum(self._values))
+            return self._sum
+
+    @property
+    def sample_size(self) -> int:
+        """Stored values — ``count`` in exact mode, bounded otherwise."""
+        with self._lock:
+            return len(self._values)
 
     def percentile(self, q: float) -> float:
-        """Quantile ``q`` in percent (50 = median); NaN when empty."""
+        """Quantile ``q`` in percent (50 = median); NaN when empty.
+
+        Exact in exact mode; estimated from the reservoir sample in
+        bounded mode.
+        """
         with self._lock:
             if not self._values:
                 return float("nan")
@@ -71,25 +138,34 @@ class Histogram:
 
     def summary(self) -> dict:
         with self._lock:
-            if not self._values:
+            if not self._count:
                 return {"count": 0, "sum": 0.0, "min": None, "max": None,
                         "mean": None, "p50": None, "p95": None}
             arr = np.asarray(self._values)
             return {
-                "count": int(arr.size),
-                "sum": float(arr.sum()),
-                "min": float(arr.min()),
-                "max": float(arr.max()),
-                "mean": float(arr.mean()),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": self._sum / self._count,
                 "p50": float(np.percentile(arr, 50)),
                 "p95": float(np.percentile(arr, 95)),
             }
 
 
 class MetricsRegistry:
-    """A namespace of counters and histograms with snapshot export."""
+    """A namespace of counters and histograms with snapshot export.
 
-    def __init__(self):
+    ``default_reservoir`` applies to histograms created through
+    :meth:`histogram` without an explicit ``reservoir`` argument —
+    fleet deployments cap every histogram in one place while the
+    serving tests keep exact quantiles.
+    """
+
+    def __init__(self, default_reservoir: int | None = None,
+                 seed: int = 0):
+        self.default_reservoir = default_reservoir
+        self.seed = int(seed)
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
         self._lock = threading.Lock()
@@ -100,10 +176,13 @@ class MetricsRegistry:
                 self._counters[name] = Counter(name)
             return self._counters[name]
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, reservoir=_UNSET) -> Histogram:
         with self._lock:
             if name not in self._histograms:
-                self._histograms[name] = Histogram(name)
+                size = (self.default_reservoir if reservoir is _UNSET
+                        else reservoir)
+                self._histograms[name] = Histogram(name, reservoir=size,
+                                                   seed=self.seed)
             return self._histograms[name]
 
     def snapshot(self) -> dict:
@@ -132,3 +211,25 @@ class MetricsRegistry:
                 f"{name:<40s} count={s['count']} mean={s['mean']:.6g} "
                 f"p50={s['p50']:.6g} p95={s['p95']:.6g} max={s['max']:.6g}")
         return "\n".join(lines)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4).
+
+        Counters render as ``counter`` samples; each histogram renders
+        as a ``summary``: ``{quantile="0.5"}`` / ``{quantile="0.95"}``
+        gauges plus the exact ``_sum`` and ``_count`` series. Scrape it
+        from the CLIs with ``--metrics-format prometheus``.
+        """
+        snap = self.snapshot()
+        lines = []
+        for name, value in snap["counters"].items():
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {value:.10g}")
+        for name, s in snap["histograms"].items():
+            lines.append(f"# TYPE {name} summary")
+            if s["count"]:
+                lines.append(f'{name}{{quantile="0.5"}} {s["p50"]:.10g}')
+                lines.append(f'{name}{{quantile="0.95"}} {s["p95"]:.10g}')
+            lines.append(f"{name}_sum {s['sum']:.10g}")
+            lines.append(f"{name}_count {s['count']}")
+        return "\n".join(lines) + "\n"

@@ -79,6 +79,7 @@ class WorkerPool:
             raise ValueError("workers must be >= 1")
         self.mode = mode
         self.workers = int(workers)
+        self._closed = False
         if mode == "thread":
             self._executor = ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="rsqp-serving")
@@ -89,6 +90,8 @@ class WorkerPool:
 
     def submit(self, fn, *args, **kwargs) -> Future:
         """Schedule ``fn(*args, **kwargs)``; serial mode runs it now."""
+        if self._closed:
+            raise RuntimeError("pool is shut down")
         if self._executor is not None:
             return self._executor.submit(fn, *args, **kwargs)
         future: Future = Future()
@@ -99,6 +102,8 @@ class WorkerPool:
         return future
 
     def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait; idempotent."""
+        self._closed = True
         if self._executor is not None:
             self._executor.shutdown(wait=wait)
 

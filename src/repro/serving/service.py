@@ -30,14 +30,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..customization import (customize_problem, evaluate_architecture,
-                             parse_architecture)
 from ..experiments.runner import choose_width
-from ..hw import estimate_resources, fmax_mhz, fpga_power_watts
-from ..hw.accelerator import compile_for_customization
 from ..qp import QProblem
 from ..solver import OSQPSettings
-from .arch_cache import ArchArtifact, ArchCache, CacheStats
+from .arch_cache import (ArchArtifact, ArchCache, CacheStats,
+                         build_artifact)
 from .fingerprint import StructureFingerprint, fingerprint_problem
 from .metrics import MetricsRegistry
 from .pool import WorkerPool, reference_job, solve_job
@@ -171,33 +168,10 @@ class SolverService:
                         fingerprint: StructureFingerprint,
                         c: int, key: str) -> ArchArtifact:
         """Full (or persisted-spec) build; the cache-miss path."""
-        spec = self.cache.persisted_spec(key)
-        t0 = time.perf_counter()
-        if spec is not None:
-            # The architecture decision is known: skip the search and
-            # just re-derive schedules + CVB layout for this structure.
-            custom = evaluate_architecture(
-                problem, parse_architecture(spec.architecture))
-            self.cache.note_disk_hit()
-            self.metrics.counter("serving_disk_rebuilds_total").inc()
-        else:
-            custom = customize_problem(problem, c)
-        t1 = time.perf_counter()
-        compiled = compile_for_customization(
-            custom, problem.n, problem.m,
+        return build_artifact(
+            problem, c, self.cache, fingerprint=fingerprint, key=key,
             max_admm_iter=self.settings.max_iter,
-            max_pcg_iter=self.max_pcg_iter)
-        t2 = time.perf_counter()
-        arch = custom.architecture
-        self.metrics.histogram("serving_customize_seconds").observe(t1 - t0)
-        self.metrics.histogram("serving_compile_seconds").observe(t2 - t1)
-        return ArchArtifact(
-            fingerprint=fingerprint, c=arch.c,
-            customization=custom.detach(), compiled=compiled,
-            max_pcg_iter=self.max_pcg_iter,
-            fmax_mhz=fmax_mhz(arch), power_watts=fpga_power_watts(arch),
-            resources=estimate_resources(arch),
-            customize_seconds=t1 - t0, compile_seconds=t2 - t1)
+            max_pcg_iter=self.max_pcg_iter, metrics=self.metrics)
 
     def _ensure_artifact(self, problem: QProblem,
                          fingerprint: StructureFingerprint,

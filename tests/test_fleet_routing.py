@@ -1,0 +1,233 @@
+"""Fleet mechanics in isolation: event queue ordering, node/spill-lane
+state machines, placement policies, token bucket, admission control and
+the autoscaler's break-even accounting. No numeric solves here."""
+
+import pytest
+
+from repro.fleet import (ACCEPT, SHED, SPILL, AcceleratorNode,
+                         AdmissionController, Autoscaler, EventQueue,
+                         LeastLoadedRouter, MatchScoreRouter,
+                         RoundRobinRouter, SpillLane, TokenBucket,
+                         make_router)
+
+
+def node(node_id, arch="16{a}", **kwargs):
+    return AcceleratorNode(node_id, arch, **kwargs)
+
+
+class TestEventQueue:
+    def test_orders_by_time_then_insertion(self):
+        q = EventQueue()
+        q.push(2.0, "b")
+        q.push(1.0, "a")
+        q.push(1.0, "c")
+        assert [q.pop().kind for _ in range(3)] == ["a", "c", "b"]
+        assert q.now == 2.0
+
+    def test_clock_is_monotonic(self):
+        q = EventQueue()
+        q.push(5.0, "x")
+        q.pop()
+        with pytest.raises(ValueError):
+            q.push(1.0, "past")
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(0.0, "x")
+        assert q and len(q) == 1
+
+
+class TestAcceleratorNode:
+    def test_service_cycle(self):
+        n = node(0)
+        assert n.idle
+        n.enqueue("req")
+        assert n.backlog(0.0) == 1
+        req = n.queue.popleft()
+        finish = n.start_service(1.0, req, seconds=0.5, eta=0.8)
+        assert finish == 1.5
+        assert n.backlog(1.0) == 1  # in service counts
+        assert n.finish_service(1.5) == "req"
+        assert n.idle
+        assert n.served == 1
+        assert n.mean_eta == 0.8
+        assert n.utilization(1.0) == 0.5
+
+    def test_cannot_double_book(self):
+        n = node(0)
+        n.start_service(0.0, "a", seconds=1.0, eta=1.0)
+        with pytest.raises(RuntimeError):
+            n.start_service(0.5, "b", seconds=1.0, eta=1.0)
+
+    def test_build_delay_gates_online(self):
+        n = node(0, available_at=5.0)
+        assert not n.online(4.9)
+        assert n.online(5.0)
+        n.draining = True
+        assert not n.online(6.0)
+
+
+class TestSpillLane:
+    def test_server_accounting(self):
+        lane = SpillLane(servers=2)
+        assert lane.has_free_server
+        lane.start_service(0.0, 1.0)
+        lane.start_service(0.0, 2.0)
+        assert not lane.has_free_server
+        lane.finish_service()
+        assert lane.has_free_server
+        assert lane.served == 2
+        with pytest.raises(ValueError):
+            SpillLane(servers=0)
+
+
+class TestRouters:
+    def test_round_robin_rotates(self):
+        router = RoundRobinRouter()
+        nodes = [node(0), node(1), node(2)]
+        picks = [router.choose(None, nodes, 0.0).node_id
+                 for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_loaded_prefers_short_backlog(self):
+        router = LeastLoadedRouter()
+        busy, idle = node(0), node(1)
+        busy.start_service(0.0, "x", seconds=1.0, eta=1.0)
+        assert router.choose(None, [busy, idle], 0.0) is idle
+
+    def test_match_prefers_best_score_when_idle(self):
+        rates = {0: 1.0, 1: 3.0}
+        router = MatchScoreRouter(
+            lambda req, n: rates[n.node_id], queue_weight=1.0)
+        assert router.choose(None, [node(0), node(1)], 0.0).node_id == 1
+
+    def test_match_backlog_discount_diverts(self):
+        rates = {0: 1.0, 1: 3.0}
+        router = MatchScoreRouter(
+            lambda req, n: rates[n.node_id], queue_weight=1.0)
+        best, other = node(1), node(0)
+        # Backlog 3 discounts the fast node 4x: 3/4 < 1.
+        best.start_service(0.0, "x", seconds=1.0, eta=1.0)
+        best.enqueue("y")
+        best.enqueue("z")
+        assert router.choose(None, [other, best], 0.0) is other
+
+    def test_match_tie_breaks_to_lowest_id(self):
+        router = MatchScoreRouter(lambda req, n: 1.0)
+        assert router.choose(None, [node(2), node(5)], 0.0).node_id == 2
+
+    def test_empty_fleet_returns_none(self):
+        for router in (RoundRobinRouter(), LeastLoadedRouter(),
+                       MatchScoreRouter(lambda req, n: 1.0)):
+            assert router.choose(None, [], 0.0) is None
+
+    def test_factory(self):
+        assert isinstance(make_router("round-robin"), RoundRobinRouter)
+        assert isinstance(make_router("least-loaded"), LeastLoadedRouter)
+        assert isinstance(
+            make_router("match", score_of=lambda req, n: 1.0),
+            MatchScoreRouter)
+        with pytest.raises(ValueError):
+            make_router("match")  # needs score_of
+        with pytest.raises(ValueError):
+            make_router("dartboard")
+
+
+class TestTokenBucket:
+    def test_burst_then_starve_then_refill(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)      # burst exhausted
+        assert bucket.try_take(0.5)          # 0.5s * 2/s = 1 token back
+        assert not bucket.try_take(0.5)
+        assert bucket.try_take(10.0)         # long idle refills to burst
+        assert bucket.try_take(10.0)
+        assert not bucket.try_take(10.0)     # capped at burst, not 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionController:
+    def test_default_admits(self):
+        ctl = AdmissionController()
+        assert ctl.decide(0.0, [node(0)]).action == ACCEPT
+
+    def test_rate_limit_sheds(self):
+        ctl = AdmissionController(rate=1.0, burst=1.0)
+        nodes = [node(0)]
+        assert ctl.decide(0.0, nodes).action == ACCEPT
+        decision = ctl.decide(0.0, nodes)
+        assert decision.action == SHED
+        assert decision.reason == "rate-limit"
+        assert not decision.admitted
+
+    def test_no_online_node_spills(self):
+        ctl = AdmissionController()
+        building = node(0, available_at=10.0)
+        decision = ctl.decide(0.0, [building])
+        assert (decision.action, decision.reason) == \
+            (SPILL, "no-online-node")
+
+    def test_queue_depth_spills_only_when_all_deep(self):
+        ctl = AdmissionController(max_queue_depth=1)
+        deep, idle = node(0), node(1)
+        deep.start_service(0.0, "x", seconds=1.0, eta=1.0)
+        assert ctl.decide(0.0, [deep, idle]).action == ACCEPT
+        idle.start_service(0.0, "y", seconds=1.0, eta=1.0)
+        assert ctl.decide(0.0, [deep, idle]).action == SPILL
+
+
+class TestAutoscaler:
+    def test_commissions_past_break_even(self):
+        scaler = Autoscaler(build_cost_cycles=1000)
+        # eta 0.5 -> half of every mismatched solve's cycles are waste.
+        for _ in range(3):
+            scaler.observe(0.0, "fp", "exemplar", cycles=500, eta=0.5,
+                           matched=False)
+        assert scaler.plan() == []           # 750 < 1000
+        scaler.observe(0.0, "fp", "exemplar", cycles=600, eta=0.5,
+                       matched=False)
+        due = scaler.plan()
+        assert [s.fingerprint_key for s in due] == ["fp"]
+        scaler.note_commissioned("fp")
+        assert scaler.plan() == []           # resets, never re-plans
+        assert scaler.clusters["fp"].commissioned
+
+    def test_matched_traffic_accumulates_nothing(self):
+        scaler = Autoscaler(build_cost_cycles=1)
+        scaler.observe(0.0, "fp", None, cycles=10 ** 9, eta=0.3,
+                       matched=True)
+        assert scaler.plan() == []
+
+    def test_plan_orders_worst_first(self):
+        scaler = Autoscaler(build_cost_cycles=10)
+        scaler.observe(0.0, "small", None, cycles=100, eta=0.5,
+                       matched=False)
+        scaler.observe(0.0, "big", None, cycles=1000, eta=0.5,
+                       matched=False)
+        assert [s.fingerprint_key for s in scaler.plan()] == \
+            ["big", "small"]
+
+    def test_pick_decommission_coldest(self):
+        cold, warm = node(0), node(1)
+        cold.last_active = 1.0
+        warm.last_active = 5.0
+        assert Autoscaler.pick_decommission([warm, cold]) is cold
+        assert Autoscaler.pick_decommission(
+            [warm, cold], protect=(0,)) is warm
+        cold.draining = True
+        assert Autoscaler.pick_decommission([cold]) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Autoscaler(build_cost_cycles=0)
+        with pytest.raises(ValueError):
+            Autoscaler(build_seconds=-1)
+        with pytest.raises(ValueError):
+            Autoscaler(max_nodes=0)

@@ -1,0 +1,168 @@
+"""Metrics primitives: exact histograms, bounded reservoir sampling,
+registry defaults and the Prometheus exposition format."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.serving.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestExactHistogram:
+    def test_exact_mode_is_default(self):
+        h = Histogram("lat")
+        assert h.reservoir is None
+        for v in range(1000):
+            h.observe(v)
+        assert h.sample_size == 1000  # every observation kept
+        assert h.count == 1000
+        assert h.percentile(50) == pytest.approx(499.5)
+
+    def test_summary_fields(self):
+        h = Histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == 10.0
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["mean"] == 2.5
+
+    def test_empty_summary(self):
+        s = Histogram("lat").summary()
+        assert s["count"] == 0
+        assert s["mean"] is None
+        assert math.isnan(Histogram("lat").percentile(50))
+
+
+class TestReservoirHistogram:
+    def test_memory_is_bounded(self):
+        h = Histogram("lat", reservoir=64)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.sample_size == 64
+        # Exact aggregates are unaffected by the sampling.
+        assert h.count == 10_000
+        assert h.total == sum(range(10_000))
+        assert h.summary()["min"] == 0.0
+        assert h.summary()["max"] == 9999.0
+
+    def test_quantile_estimate_is_close(self):
+        h = Histogram("lat", reservoir=512, seed=1)
+        rng = np.random.default_rng(0)
+        values = rng.exponential(1.0, size=20_000)
+        for v in values:
+            h.observe(v)
+        exact = float(np.percentile(values, 95))
+        assert h.percentile(95) == pytest.approx(exact, rel=0.2)
+
+    def test_deterministic_for_fixed_seed(self):
+        def run(seed):
+            h = Histogram("lat", reservoir=32, seed=seed)
+            for v in range(5000):
+                h.observe(float(v))
+            return h.percentile(50), h.sample_size
+
+        assert run(7) == run(7)
+        # The seed actually steers the replacement choices.
+        assert run(7)[0] != run(8)[0]
+
+    def test_sibling_histograms_sample_independently(self):
+        a, b = Histogram("a", reservoir=16, seed=0), \
+            Histogram("b", reservoir=16, seed=0)
+        for v in range(2000):
+            a.observe(float(v))
+            b.observe(float(v))
+        # Same seed, different names: different reservoirs.
+        assert a.percentile(50) != b.percentile(50)
+
+    def test_independent_of_global_random_state(self):
+        h1 = Histogram("lat", reservoir=32, seed=3)
+        random.seed(123)
+        for v in range(3000):
+            h1.observe(float(v))
+        p1 = h1.percentile(50)
+        h2 = Histogram("lat", reservoir=32, seed=3)
+        random.seed(456)
+        for v in range(3000):
+            h2.observe(float(v))
+        assert h2.percentile(50) == p1
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", reservoir=0)
+
+
+class TestRegistry:
+    def test_default_reservoir_applies_at_creation(self):
+        reg = MetricsRegistry(default_reservoir=8)
+        assert reg.histogram("a").reservoir == 8
+        # Explicit reservoir (including None = exact) wins.
+        assert reg.histogram("b", reservoir=None).reservoir is None
+        assert reg.histogram("c", reservoir=4).reservoir == 4
+
+    def test_histogram_identity_per_name(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("a") is reg.histogram("a")
+        assert reg.counter("n") is reg.counter("n")
+
+    def test_snapshot_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        reg.histogram("lat").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"hits": 3.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+
+class TestPrometheusRendering:
+    def test_counter_and_summary_series(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total").inc(5)
+        h = reg.histogram("latency_seconds")
+        for v in (0.1, 0.2, 0.3, 0.4):
+            h.observe(v)
+        text = reg.render_prometheus()
+        assert "# TYPE requests_total counter\n" in text
+        assert "requests_total 5\n" in text
+        assert "# TYPE latency_seconds summary\n" in text
+        assert 'latency_seconds{quantile="0.5"} 0.25' in text
+        assert 'latency_seconds{quantile="0.95"}' in text
+        assert "latency_seconds_sum 1\n" in text
+        assert "latency_seconds_count 4\n" in text
+        assert text.endswith("\n")
+
+    def test_empty_histogram_still_exposes_count(self):
+        reg = MetricsRegistry()
+        reg.histogram("idle")
+        text = reg.render_prometheus()
+        assert "idle_count 0" in text
+        assert "quantile" not in text
+
+    def test_every_line_is_valid_exposition(self):
+        reg = MetricsRegistry(default_reservoir=16)
+        reg.counter("a_total").inc()
+        for v in range(100):
+            reg.histogram("b_seconds").observe(v / 10.0)
+        for line in reg.render_prometheus().strip().splitlines():
+            if line.startswith("#"):
+                assert line.startswith("# TYPE ")
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # sample value parses
+            assert " " not in name_part
