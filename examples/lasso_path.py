@@ -28,7 +28,7 @@ def main():
     # The generator sets q = [0, 0, lambda * 1]; recover its lambda.
     lam_max = float(base.q[n + m:].max())
     lambdas = np.geomspace(lam_max, lam_max / 100.0, N_LAMBDAS)
-    settings = OSQPSettings(eps_abs=1e-5, eps_rel=1e-5, max_iter=6000)
+    settings = OSQPSettings(eps_abs=1e-5, eps_rel=1e-5, max_iter=10000)
 
     print(f"lasso: {n} features, {m} samples, nnz={base.nnz}")
     print(f"{'lambda':>10s} {'nonzeros':>9s} {'obj':>12s} {'iters':>6s} "

@@ -77,7 +77,7 @@ def run_replay(args, policy: str, templates, problems) -> FleetService:
                          admission=admission, autoscaler=autoscaler,
                          spill_servers=args.spill_servers,
                          queue_weight=args.queue_weight,
-                         seed=args.seed)
+                         seed=args.seed, backend=args.backend)
     for index in range(args.nodes):
         fleet.commission(templates[index % len(templates)])
     if args.arrival == "open":
@@ -144,6 +144,10 @@ def main(argv=None) -> int:
     parser.add_argument("--max-nodes", type=int, default=8)
     parser.add_argument("--c", type=int, default=None,
                         help="datapath width (default: auto by nnz)")
+    parser.add_argument("--backend", choices=("interpret", "compiled"),
+                        default="compiled",
+                        help="accelerator execution backend "
+                             "(default compiled)")
     parser.add_argument("--metrics-format",
                         choices=("plain", "prometheus"), default="plain",
                         help="render metrics human-readable (plain) or in "

@@ -51,6 +51,7 @@ from ..solver import OSQPSettings
 from ..serving.arch_cache import ArchCache, build_artifact
 from ..serving.fingerprint import StructureFingerprint, fingerprint_problem
 from ..serving.metrics import MetricsRegistry
+from ..hw.compiled import validate_backend
 from ..serving.pool import reference_job, solve_job
 from .admission import ACCEPT, SHED, SPILL, AdmissionController
 from .autoscale import Autoscaler
@@ -153,6 +154,10 @@ class FleetService:
     reservoir:
         Bounded histogram reservoir for the metrics registry (``None``
         for exact histograms).
+    backend:
+        Execution backend of the simulated accelerators:
+        ``"compiled"`` (default) or ``"interpret"``; bit-identical
+        results either way.
     """
 
     def __init__(self, *, policy: str = "match", c: int | None = None,
@@ -166,10 +171,12 @@ class FleetService:
                  reservoir: int | None = 4096,
                  pcg_eps: float = 1e-7,
                  max_pcg_iter: int = 500,
-                 seed: int = 0):
+                 seed: int = 0,
+                 backend: str = "compiled"):
         if solve_mode not in _SOLVE_MODES:
             raise ValueError(f"solve_mode must be one of {_SOLVE_MODES}, "
                              f"got {solve_mode!r}")
+        self.backend = validate_backend(backend)
         self.policy = policy
         self.c = c
         self.settings = settings if settings is not None else OSQPSettings()
@@ -471,7 +478,7 @@ class FleetService:
         artifact = self._bind(request.problem, request.fingerprint,
                               node.architecture)
         raw = solve_job(request.problem, artifact, self.settings,
-                        request.warm_start, self.pcg_eps)
+                        request.warm_start, self.pcg_eps, self.backend)
         if self.solve_mode == "calibrated":
             self._calibration[key] = raw
         return raw, self._eta[key], False

@@ -5,13 +5,15 @@ from .accelerator import (RSQPAccelerator, RSQPResult,
                           compile_for_customization)
 from .asm import (ROM_WORD_BYTES, decode_program, disassemble,
                   encode_program, rom_words)
+from .compiled import BACKENDS, CompiledExecutor, validate_backend
 from .compiler import (ADMM_LOOP, PCG_LOOP, CompiledProgram, attach_costs,
                        compile_osqp_program)
 from .frequency import FMAX_CAP_MHZ, fmax_mhz
 from .isa import (PIPELINE_OVERHEAD, Control, DataTransfer, Instruction,
                   Loop, Program, ScalarOp, ScalarOpKind, SpMV, VecDup,
                   VectorOp, VectorOpKind)
-from .machine import ExecutionStats, Machine, MatrixResource
+from .machine import (CYCLE_CLASSES, ExecutionStats, Machine,
+                      MatrixResource)
 from .memory import (HBMConfig, HBMPlan, MatrixPlacement, U50_HBM,
                      plan_hbm_layout)
 from .power import (FPGA_DYNAMIC_MAX_W, FPGA_STATIC_W, fpga_power_watts)
@@ -45,6 +47,10 @@ __all__ = [
     "Machine",
     "MatrixResource",
     "ExecutionStats",
+    "CYCLE_CLASSES",
+    "BACKENDS",
+    "CompiledExecutor",
+    "validate_backend",
     "Instruction",
     "ScalarOp",
     "ScalarOpKind",

@@ -18,6 +18,7 @@ from ..customization import (ProblemCustomization, baseline_customization,
 from ..qp import QProblem, ruiz_equilibrate
 from ..solver import OSQPSettings
 from ..solver.osqp import OSQPSolver
+from .compiled import CompiledExecutor, validate_backend
 from .compiler import (ADMM_LOOP, PCG_LOOP, CompiledProgram, attach_costs,
                        compile_osqp_program)
 from .frequency import fmax_mhz
@@ -80,6 +81,13 @@ class RSQPAccelerator:
         compile + cost-attachment stage of construction is skipped —
         the warm path that the serving layer's architecture cache
         amortizes across structurally identical problems.
+    backend:
+        ``"compiled"`` (default) lowers programs to fused numpy
+        closures with bulk cycle accounting (see
+        :mod:`repro.hw.compiled`); ``"interpret"`` executes through
+        the per-instruction interpreter. Both produce bit-identical
+        solutions and identical cycle statistics; the interpreter is
+        kept as the differential-testing oracle.
     """
 
     def __init__(self, problem: QProblem,
@@ -87,7 +95,8 @@ class RSQPAccelerator:
                  settings: OSQPSettings | None = None,
                  *, c: int = 16, pcg_eps: float = 1e-7,
                  max_pcg_iter: int = 500,
-                 compiled: CompiledProgram | None = None):
+                 compiled: CompiledProgram | None = None,
+                 backend: str = "compiled"):
         self.problem = problem
         self.settings = settings if settings is not None else OSQPSettings()
         if customization is None:
@@ -96,6 +105,7 @@ class RSQPAccelerator:
         self.c = customization.c
         self.pcg_eps = float(pcg_eps)
         self.max_pcg_iter = int(max_pcg_iter)
+        self.backend = validate_backend(backend)
 
         self._host_setup()
         self._build_machine()
@@ -130,6 +140,14 @@ class RSQPAccelerator:
                 spmv_cycles=customization.matrices[name].spmv_cycles,
                 cvb_depth=customization.matrices[name].duplication_cycles)
             for name in ("P", "A", "At")})
+        self._executor = (CompiledExecutor(self.machine)
+                          if self.backend == "compiled" else None)
+
+    def _run_program(self, program) -> ExecutionStats:
+        """Execute through the selected backend (shared machine state)."""
+        if self._executor is not None:
+            return self._executor.run(program)
+        return self.machine.run(program)
 
     def _check_compiled(self, compiled: CompiledProgram) -> None:
         """Validate an injected program against this problem + width."""
@@ -234,7 +252,7 @@ class RSQPAccelerator:
                   + weighted.column_sq_sums())
         machine.write_hbm("minv", 1.0 / diag_k)
         # The accelerator reloads the three vectors (charged cycles).
-        machine.run(self._refresh_program)
+        self._run_program(self._refresh_program)
         return True
 
     def run(self) -> RSQPResult:
@@ -250,14 +268,15 @@ class RSQPAccelerator:
              for name in ("rho", "rho_inv", "minv")])
         self.rho_updates = 0
 
-        machine.run(Program(list(sections["prologue"])))
+        self._run_program(Program(list(sections["prologue"])))
         remaining = self.settings.max_iter
         converged = False
         while remaining > 0:
             segment = min(interval, remaining)
             before = machine.stats.loop_iterations.get(ADMM_LOOP, 0)
-            machine.run(Program([Loop(body=sections["admm_body"],
-                                      max_iter=segment, name=ADMM_LOOP)]))
+            self._run_program(Program([Loop(body=sections["admm_body"],
+                                            max_iter=segment,
+                                            name=ADMM_LOOP)]))
             executed = machine.stats.loop_iterations.get(ADMM_LOOP,
                                                          0) - before
             remaining -= executed
@@ -269,7 +288,7 @@ class RSQPAccelerator:
             if self.settings.adaptive_rho and remaining > 0:
                 if self._update_rho_from_device():
                     self.rho_updates += 1
-        machine.run(Program(list(sections["epilogue"])))
+        self._run_program(Program(list(sections["epilogue"])))
 
         stats = machine.stats
         x = self.scaling.unscale_x(machine.read_hbm("x"))

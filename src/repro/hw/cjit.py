@@ -1,0 +1,172 @@
+"""Optional C kernel layer for the functional simulator (cffi + cc).
+
+The compiled backend (:mod:`repro.hw.compiled`) lowers straight-line
+runs of vector instructions into a single C function so the per-solve
+hot loop pays one foreign call instead of one Python dispatch per
+instruction. This module owns the build machinery:
+
+* :func:`available` — probe once whether a working C toolchain exists.
+* :func:`engine` — the process-wide generic kernel library (the shared
+  CSR matvec both backends route SpMV through, keeping them
+  bit-identical by construction).
+* :func:`compile_module` — hash-addressed, disk-cached compilation of
+  generated chunk sources (same source is compiled at most once per
+  cache directory, ever).
+
+Bit-exactness contract: kernels are compiled with ``-O2
+-ffp-contract=off`` and no fast-math, so elementwise float64
+expressions evaluate exactly like the equivalent numpy ufunc sequence
+(IEEE-754 operations are order-free per element, and contraction into
+FMA is disabled), and reduction loops stay strictly sequential (the
+compiler may not reassociate floating-point addition). The CSR matvec
+accumulates each row left to right — the same order as the SpMV
+engine's per-chunk MAC accumulation, which makes the machine's SpMV
+numerics engine-faithful when the JIT is active.
+
+Everything degrades gracefully: no compiler, an unwritable cache
+directory, or ``REPRO_JIT=0`` in the environment simply means
+:func:`available` returns False and both backends fall back to their
+pure-numpy paths (which are likewise bit-identical to each other).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import shutil
+import tempfile
+
+__all__ = ["available", "engine", "compile_module", "CSR_MATVEC_BODY",
+           "DOT_BODY", "cache_dir"]
+
+#: Canonical CSR row-sum loop. Chunk codegen embeds this exact shape so
+#: an SpMV fused into a chunk produces the same bits as the engine
+#: library's ``k_csr_matvec`` (sequential accumulation may not be
+#: reassociated by the compiler, so the source shape pins the result).
+CSR_MATVEC_BODY = """\
+    for (long r = 0; r < nrows; ++r) {
+        double acc = 0.0;
+        for (long k = ip[r]; k < ip[r + 1]; ++k)
+            acc += val[k] * x[col[k]];
+        y[r] = acc;
+    }
+"""
+
+#: Canonical dot-product loop (strictly sequential, left to right).
+#: Both backends route DOT through ``k_dot`` when the JIT is active, and
+#: chunk codegen embeds this exact shape, so a DOT fused into a chunk
+#: produces the same bits as the engine library call.
+DOT_BODY = """\
+    double acc = 0.0;
+    for (long i = 0; i < n; ++i)
+        acc += a[i] * b[i];
+"""
+
+_ENGINE_CDEF = """
+void k_csr_matvec(const double *val, const long *col, const long *ip,
+                  const double *x, double *y, long nrows);
+double k_dot(const double *a, const double *b, long n);
+"""
+
+_ENGINE_SOURCE = """
+void k_csr_matvec(const double *val, const long *col, const long *ip,
+                  const double *x, double *y, long nrows)
+{
+%s}
+
+double k_dot(const double *a, const double *b, long n)
+{
+%s    return acc;
+}
+""" % (CSR_MATVEC_BODY, DOT_BODY)
+
+_COMPILE_ARGS = ["-O2", "-ffp-contract=off"]
+
+_state = {"probed": False, "engine": None}
+
+
+def cache_dir() -> str:
+    """Directory holding compiled kernel modules, keyed by source hash."""
+    return os.environ.get(
+        "REPRO_JIT_CACHE",
+        os.path.join(tempfile.gettempdir(), "repro_cjit"))
+
+
+def _jit_enabled() -> bool:
+    return os.environ.get("REPRO_JIT", "1") != "0"
+
+
+def compile_module(cdef: str, source: str, tag: str = "k"):
+    """Compile (or load from cache) a cffi module for ``source``.
+
+    Returns the imported module (``.lib`` / ``.ffi`` attributes) or
+    ``None`` when the toolchain is unavailable or the build fails.
+    Modules are stateless by contract — chunk functions receive their
+    pointer tables as arguments — so one compiled module is safely
+    shared by every executor (and thread) whose generated source
+    matches.
+    """
+    if not _jit_enabled():
+        return None
+    try:
+        import cffi  # noqa: F401
+    except ImportError:
+        return None
+    digest = hashlib.sha256(
+        ("\x00".join([cdef, source] + _COMPILE_ARGS)).encode()).hexdigest()
+    name = f"_repro_{tag}_{digest[:16]}"
+    root = cache_dir()
+    final = os.path.join(root, name)
+    try:
+        module = _load(name, final)
+        if module is not None:
+            return module
+        os.makedirs(root, exist_ok=True)
+        build = tempfile.mkdtemp(prefix=name + ".build.", dir=root)
+        try:
+            ffi = cffi.FFI()
+            ffi.cdef(cdef)
+            ffi.set_source(name, source, extra_compile_args=_COMPILE_ARGS)
+            ffi.compile(tmpdir=build, verbose=False)
+            try:
+                os.rename(build, final)
+            except OSError:
+                pass  # lost a build race; the winner's copy is fine
+        finally:
+            if os.path.isdir(build) and build != final:
+                shutil.rmtree(build, ignore_errors=True)
+        return _load(name, final)
+    except Exception:
+        return None
+
+
+def _load(name: str, moddir: str):
+    if not os.path.isdir(moddir):
+        return None
+    for entry in sorted(os.listdir(moddir)):
+        if entry.startswith(name) and entry.endswith(".so"):
+            spec = importlib.util.spec_from_file_location(
+                name, os.path.join(moddir, entry))
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            return module
+    return None
+
+
+def engine():
+    """The generic kernel library, or ``None`` when JIT is unavailable.
+
+    Probed exactly once per process; a failed probe (missing compiler,
+    read-only filesystem, ``REPRO_JIT=0``) pins the process to the
+    numpy fallback so both backends stay mutually consistent.
+    """
+    if not _state["probed"]:
+        _state["engine"] = compile_module(_ENGINE_CDEF, _ENGINE_SOURCE,
+                                          tag="engine")
+        _state["probed"] = True
+    return _state["engine"]
+
+
+def available() -> bool:
+    return engine() is not None

@@ -17,9 +17,10 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-__all__ = ["VectorOpKind", "ScalarOpKind", "Instruction", "ScalarOp",
-           "VectorOp", "DataTransfer", "VecDup", "SpMV", "Control",
-           "Loop", "Program", "PIPELINE_OVERHEAD"]
+__all__ = ["VectorOpKind", "ScalarOpKind", "BINARY_SCALAR_OPS",
+           "Instruction", "ScalarOp", "VectorOp", "DataTransfer",
+           "VecDup", "SpMV", "Control", "Loop", "Program",
+           "PIPELINE_OVERHEAD"]
 
 #: Fixed per-instruction cycles: dispatch plus datapath fill/drain.
 PIPELINE_OVERHEAD = 8
@@ -48,6 +49,12 @@ class ScalarOpKind(enum.Enum):
     SQRT = "sqrt"
 
 
+#: Scalar ops that take two operands; the rest (MOV, SQRT) take one.
+BINARY_SCALAR_OPS = frozenset({ScalarOpKind.ADD, ScalarOpKind.SUB,
+                               ScalarOpKind.MUL, ScalarOpKind.DIV,
+                               ScalarOpKind.MAX})
+
+
 class Instruction:
     """Marker base class for executable instructions."""
 
@@ -56,12 +63,29 @@ class Instruction:
 
 @dataclass(frozen=True)
 class ScalarOp(Instruction):
-    """``dst = op(src1, src2)`` on the scalar register file."""
+    """``dst = op(src1, src2)`` on the scalar register file.
+
+    Arity is validated at construction: binary ops (ADD/SUB/MUL/DIV/MAX)
+    require ``src2``, unary ops (MOV/SQRT) forbid it. A malformed
+    instruction therefore fails where it is built, not deep inside the
+    machine's arithmetic.
+    """
 
     op: ScalarOpKind
     dst: str
     src1: str
     src2: str | None = None
+
+    def __post_init__(self):
+        if self.op in BINARY_SCALAR_OPS:
+            if self.src2 is None:
+                raise ValueError(
+                    f"scalar op {self.op.value!r} is binary and requires "
+                    f"src2 (dst={self.dst!r}, src1={self.src1!r})")
+        elif self.src2 is not None:
+            raise ValueError(
+                f"scalar op {self.op.value!r} is unary and takes no "
+                f"src2 (dst={self.dst!r}, got src2={self.src2!r})")
 
     def cycles(self, machine) -> int:
         return 1

@@ -24,27 +24,138 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..exceptions import SimulationError
-from .isa import (Control, DataTransfer, Instruction, Loop, Program,
-                  ScalarOp, ScalarOpKind, SpMV, VecDup, VectorOp,
-                  VectorOpKind)
+from ..exceptions import ShapeError, SimulationError
+from . import cjit
+from .isa import (BINARY_SCALAR_OPS, Control, DataTransfer, Instruction,
+                  Loop, Program, ScalarOp, ScalarOpKind, SpMV, VecDup,
+                  VectorOp, VectorOpKind)
 
-__all__ = ["MatrixResource", "Machine", "ExecutionStats"]
+__all__ = ["MatrixResource", "Machine", "ExecutionStats", "CYCLE_CLASSES",
+           "DENSE_SPMV_LIMIT", "dot"]
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> float:
+    """The DOT kernel shared by the interpreter and the compiled backend.
+
+    Routes through the engine library's sequential ``k_dot`` when the C
+    JIT is available (the same loop shape chunk codegen embeds, so fused
+    and unfused DOTs agree bit for bit), else ``np.dot``. Mismatched
+    shapes fall through to ``np.dot`` to preserve its error.
+    """
+    engine = cjit.engine()
+    if engine is None or a.shape != b.shape or a.ndim != 1:
+        return float(np.dot(a, b))
+    a = np.ascontiguousarray(a, dtype=np.float64)
+    b = np.ascontiguousarray(b, dtype=np.float64)
+    ffi = engine.ffi
+    return engine.lib.k_dot(ffi.cast("double *", a.ctypes.data),
+                            ffi.cast("double *", b.ctypes.data), a.size)
+
+
+#: Matrices with at most this many dense elements get a densified BLAS
+#: matvec kernel (2 MiB of float64). The choice of numerical kernel is a
+#: functional-simulator implementation detail: cycle accounting always
+#: uses the *scheduled* pack count, never the kernel's own cost.
+DENSE_SPMV_LIMIT = 1 << 18
 
 
 @dataclass
 class MatrixResource:
-    """A matrix streamed from HBM with its schedule and CVB layout."""
+    """A matrix streamed from HBM with its schedule and CVB layout.
+
+    ``apply`` is the SpMV kernel shared by the interpreter and the
+    compiled backend, which keeps the two backends bit-identical by
+    construction. The kernel is chosen once at resource build, in
+    priority order:
+
+    1. the :mod:`repro.hw.cjit` C row-sum kernel (engine-faithful
+       sequential per-row accumulation, O(nnz)), when a C toolchain is
+       available;
+    2. a densified BLAS gemv for small matrices
+       (``m * n <= DENSE_SPMV_LIMIT``);
+    3. the numpy CSR matvec.
+    """
 
     name: str
     matrix: object        # CSRMatrix
     spmv_cycles: int      # scheduled pack count (nnz + Ep) / C
     cvb_depth: int        # compressed duplication depth
+    dense: np.ndarray | None = field(default=None, repr=False,
+                                     compare=False)
+
+    def __post_init__(self):
+        self.ckernel = None
+        self._carrays = None
+        self._cptrs = None
+        engine = cjit.engine()
+        m, n = self.matrix.shape
+        if engine is not None:
+            val = np.ascontiguousarray(self.matrix.data, dtype=np.float64)
+            col = np.ascontiguousarray(self.matrix.indices, dtype=np.int64)
+            ip = np.ascontiguousarray(self.matrix.indptr, dtype=np.int64)
+            ffi = engine.ffi
+            self._carrays = (val, col, ip)  # keep the memory alive
+            self._cptrs = (ffi.cast("double *", val.ctypes.data),
+                           ffi.cast("long *", col.ctypes.data),
+                           ffi.cast("long *", ip.ctypes.data))
+            self._cffi = ffi
+            self.ckernel = engine.lib.k_csr_matvec
+        elif self.dense is None and m * n <= DENSE_SPMV_LIMIT:
+            dense = np.zeros((m, n))
+            rows = np.repeat(np.arange(m), np.diff(self.matrix.indptr))
+            np.add.at(dense, (rows, self.matrix.indices), self.matrix.data)
+            self.dense = dense
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """``matrix @ x`` through the resource's chosen kernel."""
+        m, n = self.matrix.shape
+        if self.ckernel is not None:
+            if x.shape != (n,):
+                raise ShapeError(
+                    f"matvec: expected vector of length {n}, "
+                    f"got shape {x.shape}")
+            x = np.ascontiguousarray(x, dtype=np.float64)
+            y = np.empty(m)
+            ffi = self._cffi
+            self.ckernel(*self._cptrs,
+                         ffi.cast("double *", x.ctypes.data),
+                         ffi.cast("double *", y.ctypes.data), m)
+            return y
+        if self.dense is not None:
+            if x.shape != (n,):
+                raise ShapeError(
+                    f"matvec: expected vector of length {n}, "
+                    f"got shape {x.shape}")
+            return np.dot(self.dense, x)
+        return self.matrix.matvec(x)
+
+
+#: The cycle-accounting classes an execution may charge, keyed by the
+#: instruction class name. These are the only keys ``by_class`` may
+#: contain after a run of either backend.
+CYCLE_CLASSES = ("ScalarOp", "VectorOp", "DataTransfer", "VecDup",
+                 "SpMV", "Control")
 
 
 @dataclass
 class ExecutionStats:
-    """Cycle accounting of one program run."""
+    """Cycle accounting of one program run.
+
+    Accounting rules (shared by the interpreter and the compiled
+    backend, so their stats are directly comparable):
+
+    * Every executed instruction — including a :class:`~repro.hw.isa.
+      Control` exit test, whether or not it fires — charges its cycle
+      cost to exactly one of :data:`CYCLE_CLASSES` and increments
+      ``instructions_executed``. Control *is* an instruction the
+      sequencer issues each loop iteration; its 1-cycle test is real
+      work, which is why it counts as executed.
+    * :class:`~repro.hw.isa.Loop` is control structure, not an
+      instruction: loop bookkeeping charges **no** cycles and does not
+      count toward ``instructions_executed``. Its trip counts accrue in
+      ``loop_iterations`` (the iteration a Control exits from counts as
+      an iteration — its instructions up to the Control did execute).
+    """
 
     total_cycles: int = 0
     by_class: dict = field(default_factory=dict)
@@ -55,6 +166,21 @@ class ExecutionStats:
         self.total_cycles += cycles
         self.by_class[kind] = self.by_class.get(kind, 0) + cycles
         self.instructions_executed += 1
+
+    def charge_block(self, cycles: int, by_class: dict,
+                     instructions: int) -> None:
+        """Charge a pre-aggregated straight-line block in O(classes).
+
+        Used by the compiled backend: the per-instruction costs of a
+        basic block are state-independent, so after the block's first
+        execution its total is applied with one call instead of one
+        :meth:`charge` per instruction.
+        """
+        self.total_cycles += cycles
+        bc = self.by_class
+        for kind, kind_cycles in by_class.items():
+            bc[kind] = bc.get(kind, 0) + kind_cycles
+        self.instructions_executed += instructions
 
 
 class _LoopExit(Exception):
@@ -151,7 +277,7 @@ class Machine:
             if src is None:
                 raise SimulationError(
                     f"SpMV source {instr.src!r} not in CVB")
-            self.vb[instr.dst] = resource.matrix.matvec(src)
+            self.vb[instr.dst] = resource.apply(src)
         elif isinstance(instr, Control):
             value = self._scalar_or_literal(instr.reg)
             threshold = self._scalar_or_literal(instr.threshold_reg)
@@ -161,6 +287,10 @@ class Machine:
             raise SimulationError(f"unknown instruction {instr!r}")
 
     def _scalar_op(self, instr: ScalarOp) -> None:
+        if instr.op in BINARY_SCALAR_OPS and instr.src2 is None:
+            raise SimulationError(
+                f"binary scalar op {instr.op.value!r} has no src2 "
+                f"operand (dst={instr.dst!r})")
         a = self._scalar_or_literal(instr.src1)
         b = self._scalar_or_literal(instr.src2) \
             if instr.src2 is not None else None
@@ -191,7 +321,7 @@ class Machine:
         if kind is VectorOpKind.DOT:
             a = self._vector(instr.srcs[0])
             b = self._vector(instr.srcs[1])
-            self.scalars[instr.dst] = float(np.dot(a, b))
+            self.scalars[instr.dst] = dot(a, b)
             return
         if kind is VectorOpKind.AXPBY:
             alpha = self._scalar_or_literal(instr.alpha)

@@ -14,9 +14,19 @@ pack (clock cycle) at a time:
    chunks) routed through the accumulate path (Figure 5's
    ``acc_complete`` input).
 
-The simulated result must equal ``A @ x`` bit-for-bit in IEEE terms of
-the same summation order — asserted by tests across random matrices,
-architectures and vectors.
+Two backends execute the model. ``interpret`` walks the schedule pack
+by pack in Python — the readable reference. ``compiled`` precomputes a
+:class:`_EngineKernel` per (schedule, layout) pair — flattened gather
+indices, per-chunk segment boundaries, the CVB lane/row translation
+arrays, and the whole cycle-level trace, which is schedule structure
+and does not depend on ``x`` — and replaces the pack loop with a padded
+segment reduction. The kernel is built once and cached on the schedule.
+
+Both backends sum each chunk with the same operation sequence (strictly
+left-to-right accumulation over the engine's padded MAC width), so
+their results agree bit for bit; against ``A @ x`` the result is exact
+in IEEE terms of that summation order — asserted by tests across random
+matrices, architectures and vectors.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ import numpy as np
 from ..customization.cvb import CVBLayout
 from ..customization.scheduler import Schedule
 from ..exceptions import SimulationError
+from .compiled import validate_backend
 
 __all__ = ["SpMVTrace", "simulate_spmv"]
 
@@ -50,15 +61,167 @@ class SpMVTrace:
 def _fill_banks(layout: CVBLayout, x: np.ndarray) -> np.ndarray:
     """Duplication control: write each element into its banks/row."""
     banks = np.full((layout.c, max(layout.depth, 1)), np.nan)
-    for j in np.flatnonzero(layout.location >= 0):
-        row = layout.location[j]
-        for bank in np.flatnonzero(layout.requests[j]):
-            banks[bank, row] = x[j]
+    used = np.flatnonzero(layout.location >= 0)
+    if used.size:
+        # One flat assignment instead of a per-element/per-bank loop;
+        # np.nonzero walks row-major, preserving the loop's write order.
+        elem, bank = np.nonzero(layout.requests[used])
+        src = used[elem]
+        banks[bank, layout.location[src]] = x[src]
     return banks
 
 
+class _EngineKernel:
+    """Schedule-structure arrays for the compiled backend, x-independent.
+
+    Everything the pack loop derives from the schedule alone is
+    flattened here once: gather columns, chunk values, padded positions
+    for the MAC reduction, output rows split into first/continuation,
+    the CVB translation (lane, depth-row) per operand, and the complete
+    trace. Executing for a vector ``x`` is then a handful of vectorized
+    operations.
+    """
+
+    __slots__ = ("cols", "vals", "pad_rows", "pad_pos", "width",
+                 "nchunks", "first_rows", "first_idx", "cont_rows",
+                 "cont_idx", "lanes", "bank_rows", "nrows", "trace_args",
+                 "structural_error", "fallback")
+
+    def __init__(self, sched: Schedule, layout: CVBLayout):
+        encoding = sched.encoding
+        matrix = encoding.matrix
+        self.nrows = matrix.shape[0]
+        self.structural_error = None
+        self.fallback = False
+
+        cols_parts, vals_parts = [], []
+        chunk_rows, chunk_first, chunk_lens, lane_starts = [], [], [], []
+        outputs_per_cycle = []
+        for pack in sched.packs:
+            rows_this_cycle = set()
+            for slot in pack.slots:
+                chunk = slot.chunk
+                cols = encoding.chunk_columns(chunk)
+                _, vals = matrix.row(chunk.row)
+                cols_parts.append(cols)
+                vals_parts.append(
+                    vals[chunk.start:chunk.start + chunk.length])
+                chunk_rows.append(chunk.row)
+                chunk_first.append(chunk.first)
+                chunk_lens.append(cols.size)
+                lane_starts.append(slot.lane_start)
+                if chunk.row in rows_this_cycle:
+                    self.structural_error = SimulationError(
+                        f"row {chunk.row} scheduled twice in one cycle")
+                rows_this_cycle.add(chunk.row)
+            outputs_per_cycle.append(len(pack.slots))
+
+        self.cols = (np.concatenate(cols_parts) if cols_parts
+                     else np.zeros(0, dtype=np.int64)).astype(np.int64)
+        self.vals = (np.concatenate(vals_parts) if vals_parts
+                     else np.zeros(0))
+        lens = np.asarray(chunk_lens, dtype=np.int64)
+        self.nchunks = lens.size
+        self.width = int(lens.max()) if lens.size else 1
+        self.width = max(self.width, 1)
+        # Flat element -> (chunk, position-in-chunk) for padded scatter.
+        self.pad_rows = np.repeat(np.arange(self.nchunks), lens)
+        self.pad_pos = (np.arange(lens.sum())
+                        - np.repeat(np.cumsum(lens) - lens, lens))
+
+        rows = np.asarray(chunk_rows, dtype=np.int64)
+        first = np.asarray(chunk_first, dtype=bool)
+        order = np.arange(self.nchunks)
+        self.first_rows = rows[first]
+        self.first_idx = order[first]
+        self.cont_rows = rows[~first]
+        self.cont_idx = order[~first]
+        # The scatter/accumulate decomposition (assign all first chunks,
+        # then add continuations in order) matches the interpreter only
+        # when each row's first chunk precedes its continuations and is
+        # unique; a schedule violating that falls back to the pack loop.
+        if np.unique(self.first_rows).size != self.first_rows.size:
+            self.fallback = True
+        else:
+            first_pos = {int(r): int(i)
+                         for r, i in zip(self.first_rows, self.first_idx)}
+            for r, i in zip(self.cont_rows, self.cont_idx):
+                if first_pos.get(int(r), self.nchunks) > i:
+                    self.fallback = True
+                    break
+
+        # CVB translation arrays for the bank-read verification.
+        self.lanes = (np.repeat(np.asarray(lane_starts, dtype=np.int64),
+                                lens) + self.pad_pos)
+        self.bank_rows = layout.location[self.cols]
+        if (self.structural_error is None and self.cols.size
+                and self.bank_rows.min() < 0):
+            bad = self.pad_rows[np.argmin(self.bank_rows)]
+            self.structural_error = SimulationError(
+                f"element of row {chunk_rows[bad]} missing from CVB")
+
+        total_outputs = int(sum(outputs_per_cycle))
+        c = sched.architecture.c
+        self.trace_args = dict(
+            input_cycles=len(sched.packs),
+            outputs_per_cycle=outputs_per_cycle,
+            accumulate_events=int(np.count_nonzero(~first)),
+            alignment_rows=-(-total_outputs // c),
+        )
+
+    def execute(self, layout, x, verify_banks):
+        if self.structural_error is not None:
+            raise self.structural_error
+        args = self.trace_args
+        trace = SpMVTrace(
+            input_cycles=args["input_cycles"],
+            outputs_per_cycle=list(args["outputs_per_cycle"]),
+            accumulate_events=args["accumulate_events"],
+            alignment_rows=args["alignment_rows"])
+        gathered = x[self.cols]
+        if verify_banks:
+            banks = _fill_banks(layout, x)
+            operands = banks[self.lanes, self.bank_rows]
+            if not np.array_equal(operands, gathered):
+                bad = int(np.flatnonzero(operands != gathered)[0])
+                row_of = self.first_rows.tolist() + self.cont_rows.tolist()
+                idx_of = self.first_idx.tolist() + self.cont_idx.tolist()
+                chunk = int(self.pad_rows[bad])
+                row = dict(zip(idx_of, row_of))[chunk]
+                raise SimulationError(
+                    "CVB bank read returned the wrong operand "
+                    f"(row {row})")
+            trace.bank_reads = int(self.cols.size)
+
+        # Padded MAC reduction: strictly left-to-right accumulation over
+        # ``width`` slots per chunk — the interpreter's exact order.
+        padded = np.zeros((self.nchunks, self.width))
+        padded[self.pad_rows, self.pad_pos] = self.vals * gathered
+        partials = np.zeros(self.nchunks)
+        for k in range(self.width):
+            partials += padded[:, k]
+
+        y = np.zeros(self.nrows)
+        y[self.first_rows] = partials[self.first_idx]
+        np.add.at(y, self.cont_rows, partials[self.cont_idx])
+        return y, trace
+
+
+def _kernel_for(sched: Schedule, layout: CVBLayout) -> _EngineKernel:
+    cache = getattr(sched, "_engine_kernels", None)
+    if cache is None:
+        cache = {}
+        sched._engine_kernels = cache
+    entry = cache.get(id(layout))
+    if entry is not None and entry[0] is layout:
+        return entry[1]
+    kernel = _EngineKernel(sched, layout)
+    cache[id(layout)] = (layout, kernel)  # layout ref pins the id
+    return kernel
+
+
 def simulate_spmv(sched: Schedule, layout: CVBLayout, x,
-                  *, verify_banks: bool = True):
+                  *, verify_banks: bool = True, backend: str = "compiled"):
     """Execute a scheduled SpMV through the engine model.
 
     Parameters
@@ -72,12 +235,17 @@ def simulate_spmv(sched: Schedule, layout: CVBLayout, x,
     verify_banks:
         Check every operand actually comes out of a conflict-free bank
         read (raises :class:`SimulationError` on translation bugs).
+    backend:
+        ``"compiled"`` (default) runs the vectorized kernel cached on
+        the schedule; ``"interpret"`` walks the packs in Python. Both
+        produce bit-identical results and traces.
 
     Returns
     -------
     (y, trace):
         The product ``A @ x`` and the cycle-level trace.
     """
+    validate_backend(backend)
     encoding = sched.encoding
     matrix = encoding.matrix
     x = np.asarray(x, dtype=np.float64)
@@ -85,9 +253,18 @@ def simulate_spmv(sched: Schedule, layout: CVBLayout, x,
         raise SimulationError(
             f"vector must have length {encoding.vector_length}")
 
+    if backend == "compiled":
+        kernel = _kernel_for(sched, layout)
+        if not kernel.fallback:
+            return kernel.execute(layout, x, verify_banks)
+
     banks = _fill_banks(layout, x)
     y = np.zeros(matrix.shape[0])
     trace = SpMVTrace()
+    width = max((slot.chunk.length for pack in sched.packs
+                 for slot in pack.slots), default=1)
+    width = max(int(width), 1)
+    scratch = np.zeros(width)
 
     for pack in sched.packs:
         outputs = 0
@@ -109,7 +286,14 @@ def simulate_spmv(sched: Schedule, layout: CVBLayout, x,
                         "CVB bank read returned the wrong operand "
                         f"(row {chunk.row})")
                 trace.bank_reads += cols.size
-            partial = float(np.dot(vals, x[cols])) if cols.size else 0.0
+            # MAC tree: left-to-right over the padded engine width —
+            # the same order the compiled kernel reduces in.
+            scratch[:] = 0.0
+            scratch[:cols.size] = vals * x[cols]
+            acc = 0.0
+            for p in scratch:
+                acc += p
+            partial = float(acc)
             if chunk.first:
                 y[chunk.row] = partial
             else:

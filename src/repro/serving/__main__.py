@@ -69,6 +69,10 @@ def main(argv=None) -> int:
                         help="datapath width (default: auto by nnz)")
     parser.add_argument("--cache-path", default=None,
                         help="JSON persistence file for the arch cache")
+    parser.add_argument("--backend", choices=("interpret", "compiled"),
+                        default="compiled",
+                        help="accelerator execution backend "
+                             "(default compiled)")
     parser.add_argument("--cold-policy", choices=("build", "fallback"),
                         default="build")
     parser.add_argument("--metrics-format", choices=("plain", "prometheus"),
@@ -97,7 +101,8 @@ def main(argv=None) -> int:
     t0 = time.perf_counter()
     with SolverService(c=args.c, settings=settings, workers=args.workers,
                        mode=args.mode, cache_path=args.cache_path,
-                       cold_policy=args.cold_policy) as service:
+                       cold_policy=args.cold_policy,
+                       backend=args.backend) as service:
         results = service.solve_batch(problems)
         service.drain()  # fallback mode: let background builds finish
         elapsed = time.perf_counter() - t0

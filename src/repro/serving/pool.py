@@ -40,18 +40,21 @@ _MODES = ("thread", "process", "serial")
 def solve_job(problem: QProblem, artifact: ArchArtifact,
               settings: OSQPSettings,
               warm_start: tuple | None = None,
-              pcg_eps: float = 1e-7) -> RSQPResult:
+              pcg_eps: float = 1e-7,
+              backend: str = "compiled") -> RSQPResult:
     """Bind a cached artifact to ``problem`` and run the accelerator.
 
     Module-level so process pools can pickle it. The injected compiled
     program is validated against the problem inside the accelerator —
     a structure mismatch (wrong artifact for this problem) raises
-    rather than silently mis-costing.
+    rather than silently mis-costing. ``backend`` selects the program
+    execution backend (``"interpret"`` or ``"compiled"``), orthogonal
+    to the artifact's precompiled *program*.
     """
     accelerator = RSQPAccelerator(
         problem, customization=artifact.customization, settings=settings,
         pcg_eps=pcg_eps, max_pcg_iter=artifact.max_pcg_iter,
-        compiled=artifact.compiled)
+        compiled=artifact.compiled, backend=backend)
     if warm_start is not None:
         x0, y0 = warm_start
         accelerator.warm_start(x=x0, y=y0)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..experiments.runner import choose_width
+from ..hw.compiled import validate_backend
 from ..qp import QProblem
 from ..solver import OSQPSettings
 from .arch_cache import (ArchArtifact, ArchCache, CacheStats,
@@ -114,6 +115,14 @@ class SolverService:
         in-line; ``"fallback"`` — cold structures are solved by the
         reference software solver immediately while the artifact
         builds in the background.
+    backend:
+        Execution backend for the simulated accelerator:
+        ``"compiled"`` (default, lowered fused kernels) or
+        ``"interpret"`` (the instruction-at-a-time oracle). Both
+        produce bit-identical solutions and cycle counts; distinct
+        from :attr:`ServeRecord.backend`, which records whether a
+        request was served by the accelerator or the software
+        fallback.
     """
 
     def __init__(self, *, c: int | None = None,
@@ -123,11 +132,13 @@ class SolverService:
                  cache_path=None,
                  cold_policy: str = "build",
                  pcg_eps: float = 1e-7,
-                 max_pcg_iter: int = 500):
+                 max_pcg_iter: int = 500,
+                 backend: str = "compiled"):
         if cold_policy not in ("build", "fallback"):
             raise ValueError(
                 f"cold_policy must be 'build' or 'fallback', "
                 f"got {cold_policy!r}")
+        self.backend = validate_backend(backend)
         self.c = c
         self.settings = settings if settings is not None else OSQPSettings()
         self.cold_policy = cold_policy
@@ -319,9 +330,9 @@ class SolverService:
         if self._solve_pool is not None:
             return self._solve_pool.submit(
                 solve_job, problem, artifact, self.settings, warm_start,
-                self.pcg_eps).result()
+                self.pcg_eps, self.backend).result()
         return solve_job(problem, artifact, self.settings, warm_start,
-                         self.pcg_eps)
+                         self.pcg_eps, self.backend)
 
     def _run_reference(self, problem, warm_start):
         if self._solve_pool is not None:

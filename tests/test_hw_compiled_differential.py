@@ -1,0 +1,338 @@
+"""Differential tests: compiled backend vs the interpreter oracle.
+
+The compiled executor's contract is *bit-identical machine state and
+identical cycle accounting* on every error-free run. These tests drive
+randomly generated ISA programs, real compiled solver programs, and
+random SpMV schedules through both backends and compare exhaustively.
+Error runs only guarantee the same exception type (a lowered block that
+faults mid-loop after its first iteration has already deferred its
+charges — documented in :mod:`repro.hw.compiled`).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.customization import (baseline_architecture, build_cvb,
+                                 customize_problem, schedule,
+                                 search_architecture)
+from repro.encoding import encode_matrix
+from repro.exceptions import SimulationError
+from repro.hw import (Control, DataTransfer, Loop, Machine, MatrixResource,
+                      Program, ScalarOp, ScalarOpKind, SpMV, VecDup,
+                      VectorOp, VectorOpKind)
+from repro.hw.accelerator import RSQPAccelerator
+from repro.hw.compiled import CompiledExecutor
+from repro.hw.spmv_engine import simulate_spmv
+from repro.problems import generate
+from repro.sparse import CSRMatrix
+
+from helpers import random_dense
+
+N = 6
+VECS = ("v0", "v1", "v2", "v3")
+SCALARS = ("s0", "s1", "s2", "s3")
+CVBS = ("M", "W")
+
+
+def fresh_machine(seed):
+    rng = np.random.default_rng(seed)
+    mat = CSRMatrix.from_dense(random_dense(rng, N, N, 0.5))
+    mat2 = CSRMatrix.from_dense(random_dense(rng, N, N, 0.3))
+    machine = Machine(4, {
+        "M": MatrixResource(name="M", matrix=mat, spmv_cycles=9,
+                            cvb_depth=3),
+        "W": MatrixResource(name="W", matrix=mat2, spmv_cycles=5,
+                            cvb_depth=2),
+    })
+    for name in VECS:
+        machine.vb[name] = rng.standard_normal(N)
+    for k, name in enumerate(SCALARS):
+        machine.set_scalar(name, float(rng.standard_normal() + k))
+    machine.hbm["v0"] = rng.standard_normal(N)
+    return machine
+
+
+def build_instruction(draw_op, p1, p2, p3):
+    """Map small hypothesis-drawn integers onto one ISA instruction."""
+    vec = VECS[p1 % len(VECS)]
+    vec2 = VECS[p2 % len(VECS)]
+    scal = SCALARS[p1 % len(SCALARS)]
+    scal2 = SCALARS[p2 % len(SCALARS)]
+    alpha = (scal, 1.0, -1.0, 0.5)[p3 % 4]
+    if draw_op == 0:
+        kind = (ScalarOpKind.ADD, ScalarOpKind.SUB, ScalarOpKind.MUL,
+                ScalarOpKind.MAX)[p3 % 4]
+        return ScalarOp(kind, SCALARS[p3 % len(SCALARS)], scal, scal2)
+    if draw_op == 1:
+        return ScalarOp(ScalarOpKind.MOV, scal2, scal)
+    if draw_op == 2:
+        return VectorOp(VectorOpKind.AXPBY, vec2, (vec, vec2),
+                        alpha=alpha, beta=(1.0, -1.0, scal2, 2.0)[p2 % 4])
+    if draw_op == 3:
+        return VectorOp(VectorOpKind.SCALE_ADD, vec, (vec, vec2),
+                        alpha=alpha)
+    if draw_op == 4:
+        return VectorOp(VectorOpKind.EWMUL, vec2, (vec, vec2))
+    if draw_op == 5:
+        return VectorOp(VectorOpKind.COPY, vec2, (vec,))
+    if draw_op == 6:
+        return VectorOp(VectorOpKind.DOT, scal, (vec, vec2))
+    if draw_op == 7:
+        return VecDup(vec, CVBS[p3 % len(CVBS)])
+    if draw_op == 8:
+        # SpMV from a CVB bank; faults (bank not yet written) must
+        # raise the same error type in both backends.
+        bank = CVBS[p3 % len(CVBS)]
+        return SpMV(bank, bank, vec)
+    if draw_op == 9:
+        return DataTransfer("load", "v0")
+    return DataTransfer("store", vec)
+
+
+def run_both(program, seed, jit=False):
+    """Execute on two fresh identical machines; return both machines."""
+    mi = fresh_machine(seed)
+    mc = fresh_machine(seed)
+    executor = CompiledExecutor(mc, jit=jit)
+    err_i = err_c = None
+    try:
+        mi.run(program)
+    except Exception as exc:  # noqa: BLE001 - compared by type below
+        err_i = exc
+    try:
+        executor.run(program)
+        # second run exercises the fused (non-bind) path
+        if err_i is None:
+            mi.run(program)
+            executor.run(program)
+    except Exception as exc:  # noqa: BLE001
+        err_c = exc
+    assert type(err_i) is type(err_c), (err_i, err_c)
+    return mi, mc, err_i
+
+
+def assert_states_equal(mi, mc):
+    # tobytes() compares true bit patterns: NaN payloads and signed
+    # zeros included, which array_equal would mis-handle.
+    for space in ("vb", "cvb", "hbm"):
+        di, dc = getattr(mi, space), getattr(mc, space)
+        assert di.keys() == dc.keys()
+        for name in di:
+            assert di[name].shape == dc[name].shape, (space, name)
+            assert di[name].tobytes() == dc[name].tobytes(), (space, name)
+    assert mi.scalars.keys() == mc.scalars.keys()
+    for name in mi.scalars:
+        assert (np.float64(mi.scalars[name]).tobytes()
+                == np.float64(mc.scalars[name]).tobytes()), name
+    si, sc = mi.stats, mc.stats
+    assert si.total_cycles == sc.total_cycles
+    assert si.by_class == sc.by_class
+    assert si.instructions_executed == sc.instructions_executed
+    assert si.loop_iterations == sc.loop_iterations
+
+
+class TestRandomPrograms:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 2**31 - 1),
+           st.lists(st.tuples(st.integers(0, 10), st.integers(0, 7),
+                              st.integers(0, 7), st.integers(0, 7)),
+                    min_size=1, max_size=14),
+           st.booleans())
+    def test_random_program_differential(self, seed, specs, with_loop):
+        instrs = [build_instruction(*spec) for spec in specs]
+        if with_loop:
+            split = len(instrs) // 2
+            body = instrs[split:] + [Control("s0", "s1")]
+            program = Program(instrs[:split] + [Loop(body, max_iter=3,
+                                                     name="l")])
+        else:
+            program = Program(instrs)
+        mi, mc, err = run_both(program, seed, jit=False)
+        if err is None:
+            assert_states_equal(mi, mc)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1),
+           st.lists(st.tuples(st.integers(0, 10), st.integers(0, 7),
+                              st.integers(0, 7), st.integers(0, 7)),
+                    min_size=2, max_size=10))
+    def test_random_program_differential_jit(self, seed, specs):
+        """Same property with chunk fusion enabled (fixed-size pool so
+        the generated C sources stay few and cache-hot)."""
+        instrs = [build_instruction(*spec) for spec in specs]
+        program = Program([Loop(instrs + [Control("s0", "s1")],
+                                max_iter=3, name="l")])
+        mi, mc, err = run_both(program, seed, jit=True)
+        if err is None:
+            assert_states_equal(mi, mc)
+
+
+class TestFusedPatterns:
+    def test_pcg_like_body_bitwise(self):
+        """A PCG-shaped body: VecDup/SpMV/AXPBY/DOT runs fuse into C
+        chunks; results and accounting must still match the oracle."""
+        body = [
+            VecDup("v0", "M"),
+            SpMV("M", "M", "v1"),
+            VectorOp(VectorOpKind.EWMUL, "v2", ("v1", "v0")),
+            VectorOp(VectorOpKind.AXPBY, "v1", ("v1", "v2"),
+                     alpha=1.0, beta="s2"),
+            VectorOp(VectorOpKind.DOT, "s0", ("v1", "v1")),
+            VectorOp(VectorOpKind.SCALE_ADD, "v0", ("v0", "v1"),
+                     alpha="s0"),
+            VectorOp(VectorOpKind.DOT, "s3", ("v0", "v2")),
+            Control("s3", "s1"),
+        ]
+        program = Program([Loop(body, max_iter=5, name="pcg")])
+        mi, mc, err = run_both(program, seed=7, jit=True)
+        assert err is None
+        assert_states_equal(mi, mc)
+
+    def test_dot_feeding_fused_consumer(self):
+        """A DOT result consumed by a later op in the same fused run
+        must read the fresh in-chunk value, not the stale register."""
+        instrs = [
+            VectorOp(VectorOpKind.DOT, "s0", ("v0", "v1")),
+            VectorOp(VectorOpKind.SCALE_ADD, "v2", ("v2", "v1"),
+                     alpha="s0"),
+            VectorOp(VectorOpKind.DOT, "s0", ("v2", "v2")),
+        ]
+        program = Program(list(instrs))
+        mi, mc, err = run_both(program, seed=11, jit=True)
+        assert err is None
+        assert_states_equal(mi, mc)
+
+    def test_jit_off_matches_interpreter(self):
+        program = Program([
+            VecDup("v1", "W"),
+            SpMV("W", "W", "v3"),
+            VectorOp(VectorOpKind.AXPBY, "v3", ("v3", "v1"),
+                     alpha=0.25, beta=-1.0),
+        ])
+        mi, mc, err = run_both(program, seed=3, jit=False)
+        assert err is None
+        assert_states_equal(mi, mc)
+
+
+class TestSolveDifferential:
+    @pytest.mark.parametrize("family,size", [("eqqp", 16), ("lasso", 10),
+                                             ("control", 4)])
+    def test_full_solve_bitwise(self, family, size):
+        problem = generate(family, size, seed=0)
+        cust = customize_problem(problem, 8)
+        res = {}
+        for backend in ("interpret", "compiled"):
+            acc = RSQPAccelerator(problem, customization=cust,
+                                  backend=backend)
+            res[backend] = (acc.run(), acc.machine.stats)
+        ri, si = res["interpret"]
+        rc, sc = res["compiled"]
+        assert np.array_equal(ri.x, rc.x)
+        assert np.array_equal(ri.y, rc.y)
+        assert np.array_equal(ri.z, rc.z)
+        assert ri.total_cycles == rc.total_cycles
+        assert si.by_class == sc.by_class
+        assert si.instructions_executed == sc.instructions_executed
+        assert si.loop_iterations == sc.loop_iterations
+
+
+class TestSpMVEngineDifferential:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.sampled_from([4, 8, 16]),
+           st.booleans())
+    def test_random_schedule_bitwise(self, seed, c, searched):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(2, 24))
+        n = int(rng.integers(2, 24))
+        mat = CSRMatrix.from_dense(
+            random_dense(rng, m, n, float(rng.uniform(0.05, 0.7))))
+        enc = encode_matrix(mat, c)
+        arch = (search_architecture([enc], c).architecture if searched
+                else baseline_architecture(c))
+        sched = schedule(enc, arch)
+        layout = build_cvb(sched)
+        x = rng.standard_normal(n)
+        yi, ti = simulate_spmv(sched, layout, x, backend="interpret")
+        yc, tc = simulate_spmv(sched, layout, x, backend="compiled")
+        assert np.array_equal(yi, yc)
+        assert ti.input_cycles == tc.input_cycles
+        assert ti.outputs_per_cycle == tc.outputs_per_cycle
+        assert ti.accumulate_events == tc.accumulate_events
+        assert ti.bank_reads == tc.bank_reads
+        assert ti.alignment_rows == tc.alignment_rows
+        np.testing.assert_allclose(yc, mat.matvec(x), atol=1e-10)
+
+    def test_kernel_cached_on_schedule(self):
+        rng = np.random.default_rng(0)
+        mat = CSRMatrix.from_dense(random_dense(rng, 8, 8, 0.4))
+        enc = encode_matrix(mat, 4)
+        sched = schedule(enc, baseline_architecture(4))
+        layout = build_cvb(sched)
+        simulate_spmv(sched, layout, rng.standard_normal(8))
+        kernels = sched._engine_kernels
+        assert len(kernels) == 1
+        simulate_spmv(sched, layout, rng.standard_normal(8))
+        assert sched._engine_kernels is kernels and len(kernels) == 1
+
+    def test_corrupt_layout_detected_compiled(self, rng):
+        mat = CSRMatrix.from_dense(random_dense(rng, 10, 8, 0.5))
+        enc = encode_matrix(mat, 8)
+        sched = schedule(enc, baseline_architecture(8))
+        layout = build_cvb(sched)
+        used = np.flatnonzero(layout.location >= 0)
+        if used.size >= 2 and layout.location[used[0]] != \
+                layout.location[used[1]]:
+            layout.location[used[0]] = layout.location[used[1]]
+            with pytest.raises(SimulationError):
+                simulate_spmv(sched, layout, rng.standard_normal(8),
+                              backend="compiled")
+
+    def test_backend_validated(self, rng):
+        mat = CSRMatrix.from_dense(random_dense(rng, 4, 4, 0.5))
+        enc = encode_matrix(mat, 4)
+        sched = schedule(enc, baseline_architecture(4))
+        layout = build_cvb(sched)
+        with pytest.raises(ValueError, match="backend"):
+            simulate_spmv(sched, layout, np.zeros(4), backend="fpga")
+
+
+class TestScalarOpValidation:
+    def test_binary_requires_src2(self):
+        with pytest.raises(ValueError, match="binary"):
+            ScalarOp(ScalarOpKind.ADD, "d", "a")
+
+    def test_unary_forbids_src2(self):
+        with pytest.raises(ValueError, match="unary"):
+            ScalarOp(ScalarOpKind.SQRT, "d", "a", "b")
+
+    def test_machine_rejects_smuggled_malformed_op(self):
+        """An instance that dodges __post_init__ still fails with a
+        clear SimulationError inside the machine, not a bare TypeError."""
+        instr = object.__new__(ScalarOp)
+        object.__setattr__(instr, "op", ScalarOpKind.ADD)
+        object.__setattr__(instr, "dst", "d")
+        object.__setattr__(instr, "src1", "a")
+        object.__setattr__(instr, "src2", None)
+        m = Machine(4, {})
+        m.set_scalar("a", 1.0)
+        with pytest.raises(SimulationError, match="binary"):
+            m.run(Program([instr]))
+
+
+class TestLoopAccounting:
+    def test_loop_charges_nothing_in_both_backends(self):
+        body = [ScalarOp(ScalarOpKind.MOV, "s1", "s0"),
+                Control("s0", "s2")]
+        program = Program([Loop(body, max_iter=4, name="l")])
+        mi, mc, err = run_both(program, seed=5, jit=False)
+        assert err is None
+        assert_states_equal(mi, mc)
+        # Each iteration charges 1 ScalarOp + 1 Control and nothing for
+        # the Loop node itself (run_both executes error-free programs
+        # twice, so the totals cover two runs).
+        iters = mi.stats.loop_iterations["l"]
+        assert iters >= 2  # at least one iteration per run
+        assert mi.stats.instructions_executed == 2 * iters
+        assert mi.stats.total_cycles == 2 * iters
