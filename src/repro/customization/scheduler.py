@@ -75,24 +75,47 @@ class Schedule:
         return self.architecture.c * self.cycles - self.encoding.nnz
 
     def validate(self) -> None:
-        """Check every chunk is scheduled exactly once in stream order."""
+        """Check lane packing plus chunk coverage in stream order.
+
+        A slot's chunk occupies lanes ``[lane_start, lane_start +
+        length)``; within a pack those ranges must be disjoint, in
+        increasing lane order, inside the datapath, and within the
+        slot's capacity. Across packs, the slots must replay exactly
+        the encoding's chunk stream, in order — the HBM burst the
+        hardware consumes is the stream, so reordering silently
+        mis-addresses every later element.
+        """
+        c = self.architecture.c
         seen = []
-        for pack in self.packs:
-            lane = -1
+        for index, pack in enumerate(self.packs):
+            end = 0
             for slot in pack.slots:
-                if slot.lane_start <= lane:
-                    raise ScheduleError("slots out of lane order")
-                lane = slot.lane_start
+                if slot.lane_start < 0:
+                    raise ScheduleError(
+                        f"pack {index}: negative lane_start")
+                if slot.lane_start < end:
+                    raise ScheduleError(
+                        f"pack {index}: slots overlap or are out of "
+                        "lane order")
                 if slot.chunk.length > slot.capacity:
-                    raise ScheduleError("chunk exceeds slot capacity")
+                    raise ScheduleError(
+                        f"pack {index}: chunk exceeds slot capacity")
+                if slot.lane_start + slot.chunk.length > c:
+                    raise ScheduleError(
+                        f"pack {index}: slot runs past the C={c} "
+                        "datapath")
+                end = slot.lane_start + slot.chunk.length
                 seen.append(slot.chunk)
         if len(seen) != len(self.encoding.chunks):
             raise ScheduleError(
                 f"{len(seen)} chunks scheduled, expected "
                 f"{len(self.encoding.chunks)}")
-        if set(id(c) for c in seen) != set(id(c)
-                                           for c in self.encoding.chunks):
-            raise ScheduleError("chunk set mismatch")
+        for pos, (got, want) in enumerate(zip(seen,
+                                              self.encoding.chunks)):
+            if got is not want:
+                raise ScheduleError(
+                    f"chunk at stream position {pos} scheduled out of "
+                    "order")
 
 
 def _dominated_class(ch: str, c: int) -> str:

@@ -31,3 +31,16 @@ class ScheduleError(ReproError, RuntimeError):
 
 class SimulationError(ReproError, RuntimeError):
     """The hardware simulator reached an invalid machine state."""
+
+
+class VerificationError(ReproError, RuntimeError):
+    """A static verification pass rejected an artifact.
+
+    Carries the full :class:`repro.verify.VerificationReport` on
+    ``report`` so callers (serving / fleet guards) can surface the
+    individual diagnostics instead of a bare message.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report

@@ -44,6 +44,7 @@ import numpy as np
 
 from ..baselines.cpu import cpu_solve_seconds
 from ..baselines.workload import workload_from_result
+from ..exceptions import VerificationError
 from ..customization import customize_problem
 from ..experiments.runner import choose_width
 from ..qp import QProblem
@@ -158,6 +159,12 @@ class FleetService:
         Execution backend of the simulated accelerators:
         ``"compiled"`` (default) or ``"interpret"``; bit-identical
         results either way.
+    verify:
+        When True (default), a node-bound artifact passes the static
+        verification suite (:mod:`repro.verify`) before its first
+        solve; a rejected artifact *sheds* the request with reason
+        ``verify:<codes>`` (and bumps ``fleet_verify_rejects_total``)
+        instead of crashing the event loop.
     """
 
     def __init__(self, *, policy: str = "match", c: int | None = None,
@@ -172,11 +179,13 @@ class FleetService:
                  pcg_eps: float = 1e-7,
                  max_pcg_iter: int = 500,
                  seed: int = 0,
-                 backend: str = "compiled"):
+                 backend: str = "compiled",
+                 verify: bool = True):
         if solve_mode not in _SOLVE_MODES:
             raise ValueError(f"solve_mode must be one of {_SOLVE_MODES}, "
                              f"got {solve_mode!r}")
         self.backend = validate_backend(backend)
+        self.verify = bool(verify)
         self.policy = policy
         self.c = c
         self.settings = settings if settings is not None else OSQPSettings()
@@ -465,7 +474,15 @@ class FleetService:
             return
         now = self._events.now
         request = node.queue.popleft()
-        raw, eta, calibrated = self._node_solve(request, node)
+        try:
+            raw, eta, calibrated = self._node_solve(request, node)
+        except VerificationError as exc:
+            self.metrics.counter("fleet_verify_rejects_total").inc()
+            codes = (",".join(sorted(d.code for d in exc.report.errors))
+                     if exc.report is not None else "rejected")
+            self._finalize_shed(request, f"verify:{codes}")
+            self._pump(node)
+            return
         finish = node.start_service(now, request, raw.solve_seconds, eta)
         self._in_flight[node.node_id] = (request, raw, eta, calibrated, now)
         self._events.push(finish, "node-done", node)
@@ -478,7 +495,8 @@ class FleetService:
         artifact = self._bind(request.problem, request.fingerprint,
                               node.architecture)
         raw = solve_job(request.problem, artifact, self.settings,
-                        request.warm_start, self.pcg_eps, self.backend)
+                        request.warm_start, self.pcg_eps, self.backend,
+                        verify=self.verify)
         if self.solve_mode == "calibrated":
             self._calibration[key] = raw
         return raw, self._eta[key], False

@@ -88,6 +88,14 @@ class RSQPAccelerator:
         the per-instruction interpreter. Both produce bit-identical
         solutions and identical cycle statistics; the interpreter is
         kept as the differential-testing oracle.
+    verify:
+        When True (default), statically verify the program against
+        the host download contract before any execution (see
+        :mod:`repro.verify`) and raise
+        :class:`~repro.exceptions.VerificationError` carrying the
+        diagnostics instead of failing mid-solve. The check walks the
+        instruction stream once; disable only in tight benchmark
+        loops that construct accelerators per iteration.
     """
 
     def __init__(self, problem: QProblem,
@@ -96,7 +104,8 @@ class RSQPAccelerator:
                  *, c: int = 16, pcg_eps: float = 1e-7,
                  max_pcg_iter: int = 500,
                  compiled: CompiledProgram | None = None,
-                 backend: str = "compiled"):
+                 backend: str = "compiled",
+                 verify: bool = True):
         self.problem = problem
         self.settings = settings if settings is not None else OSQPSettings()
         if customization is None:
@@ -117,6 +126,8 @@ class RSQPAccelerator:
         else:
             self._check_compiled(compiled)
         self.compiled: CompiledProgram = compiled
+        if verify:
+            self._verify_compiled(compiled)
         self._download()
 
     # ------------------------------------------------------------------
@@ -168,6 +179,19 @@ class RSQPAccelerator:
                 raise ValueError(
                     f"compiled program's {name} SpMV cost disagrees with "
                     "the customization — was it built for this structure?")
+            if ctx.cvb_depth(name) != \
+                    self.customization.matrices[name].duplication_cycles:
+                raise ValueError(
+                    f"compiled program's {name} CVB depth disagrees with "
+                    "the customization — VecDup would be mis-charged")
+
+    def _verify_compiled(self, compiled: CompiledProgram) -> None:
+        """Pre-execution static verification (def-before-use, hazards,
+        cost bookkeeping); raises ``VerificationError`` on rejection."""
+        # Imported lazily: repro.verify imports this package.
+        from ..verify import verify_compiled_program
+        report = verify_compiled_program(compiled)
+        report.raise_if_failed("accelerator program rejected")
 
     # ------------------------------------------------------------------
     def _download(self) -> None:

@@ -54,8 +54,15 @@ def _format_instruction(instr) -> str:
     return repr(instr)  # pragma: no cover - closed instruction set
 
 
-def disassemble(program: Program) -> str:
-    """Render the program as an indented assembler listing."""
+def disassemble(program: Program, *, show_sites: bool = False) -> str:
+    """Render the program as an indented assembler listing.
+
+    With ``show_sites=True`` each line carries the instruction's
+    generating-site label (``; compiler.pcg_body[3]``) when present —
+    the same label verifier diagnostics cite. Off by default so the
+    listing of a binary round-trip (which drops sites) matches the
+    original's.
+    """
     lines: list[str] = []
     address = 0
 
@@ -69,8 +76,11 @@ def disassemble(program: Program) -> str:
                 walk(item.body, depth + 1)
                 lines.append(f"{pad}end {item.name}")
             else:
-                lines.append(f"{pad}{address:04d}: "
-                             f"{_format_instruction(item)}")
+                text = f"{pad}{address:04d}: {_format_instruction(item)}"
+                site = getattr(item, "site", None)
+                if show_sites and site is not None:
+                    text = f"{text:<60s} ; {site}"
+                lines.append(text)
                 address += 1
 
     walk(program.instructions, 0)

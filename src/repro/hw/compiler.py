@@ -69,6 +69,22 @@ class CompiledProgram:
                 + self.epilogue_cycles)
 
 
+def _tag_sites(items: list, section: str) -> None:
+    """Label instructions with their generating site (frozen-safe).
+
+    The label names the compiler stage that emitted the instruction so
+    verifier diagnostics can point at the *source* of a bad instruction
+    rather than only its index in the lowered stream. Instructions that
+    already carry a finer-grained site (e.g. from ``k_apply``) keep it.
+    """
+    for index, item in enumerate(items):
+        if isinstance(item, Loop):
+            continue  # loop bodies carry their own section labels
+        if getattr(item, "site", None) is None:
+            object.__setattr__(item, "site",
+                               f"compiler.{section}[{index}]")
+
+
 def _section_cycles(items, context) -> int:
     total = 0
     for item in items:
@@ -100,7 +116,7 @@ def compile_osqp_program(n: int, m: int, *, max_admm_iter: int,
     # ---- PCG body (Algorithm 2, one iteration) ------------------------
     def k_apply(src: str, dst: str) -> list:
         """dst = K src = P src + sigma src + A' (rho o (A src))."""
-        return [
+        items = [
             VecDup(src, "P"),
             SpMV("P", "P", "kp_p"),
             VecDup(src, "A"),
@@ -113,6 +129,8 @@ def compile_osqp_program(n: int, m: int, *, max_admm_iter: int,
             VectorOp(vk.AXPBY, dst, ("kp_tmp", "kp_at"),
                      alpha=1.0, beta=1.0),
         ]
+        _tag_sites(items, f"k_apply({src}->{dst})")
+        return items
 
     # The loop-exit Control sits at the *end* of the body so a completed
     # trip always costs the same — that keeps the static cost model
@@ -224,6 +242,11 @@ def compile_osqp_program(n: int, m: int, *, max_admm_iter: int,
         DataTransfer("store", "y"),
         DataTransfer("store", "z"),
     ]
+
+    _tag_sites(prologue, "prologue")
+    _tag_sites(pcg_body, "pcg_body")
+    _tag_sites(admm_body, "admm_body")
+    _tag_sites(epilogue, "epilogue")
 
     program = Program()
     for item in prologue:

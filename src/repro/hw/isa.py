@@ -75,6 +75,9 @@ class ScalarOp(Instruction):
     dst: str
     src1: str
     src2: str | None = None
+    #: Generating-site label (set by the compiler); excluded from
+    #: equality so binary round-trips, which drop it, still compare ==.
+    site: str | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         if self.op in BINARY_SCALAR_OPS:
@@ -104,6 +107,7 @@ class VectorOp(Instruction):
     srcs: tuple
     alpha: object = None
     beta: object = None
+    site: str | None = field(default=None, compare=False, repr=False)
 
     def cycles(self, machine) -> int:
         length = machine.vector_length(self.srcs[0] if self.srcs
@@ -117,6 +121,7 @@ class DataTransfer(Instruction):
 
     direction: str  # "load" (HBM -> VB) or "store" (VB -> HBM)
     name: str
+    site: str | None = field(default=None, compare=False, repr=False)
 
     def cycles(self, machine) -> int:
         return PIPELINE_OVERHEAD + _ceil_div(
@@ -133,6 +138,7 @@ class VecDup(Instruction):
 
     src: str
     cvb: str  # CVB bank name, e.g. the matrix it feeds ("P", "A", "At")
+    site: str | None = field(default=None, compare=False, repr=False)
 
     def cycles(self, machine) -> int:
         return PIPELINE_OVERHEAD + machine.cvb_depth(self.cvb)
@@ -149,6 +155,7 @@ class SpMV(Instruction):
     matrix: str
     src: str
     dst: str
+    site: str | None = field(default=None, compare=False, repr=False)
 
     def cycles(self, machine) -> int:
         return PIPELINE_OVERHEAD + machine.spmv_cycles(self.matrix)
@@ -160,6 +167,7 @@ class Control(Instruction):
 
     reg: str
     threshold_reg: str
+    site: str | None = field(default=None, compare=False, repr=False)
 
     def cycles(self, machine) -> int:
         return 1

@@ -57,6 +57,9 @@ class ArchArtifact:
     #: Build-time accounting, reported by the amortization benchmarks.
     customize_seconds: float = 0.0
     compile_seconds: float = 0.0
+    #: Set by :func:`repro.verify.ensure_artifact_verified` after the
+    #: static passes accept the artifact; solve paths skip re-checking.
+    verified: bool = field(default=False, compare=False)
 
     @property
     def architecture_string(self) -> str:

@@ -41,7 +41,8 @@ def solve_job(problem: QProblem, artifact: ArchArtifact,
               settings: OSQPSettings,
               warm_start: tuple | None = None,
               pcg_eps: float = 1e-7,
-              backend: str = "compiled") -> RSQPResult:
+              backend: str = "compiled",
+              verify: bool = True) -> RSQPResult:
     """Bind a cached artifact to ``problem`` and run the accelerator.
 
     Module-level so process pools can pickle it. The injected compiled
@@ -50,11 +51,24 @@ def solve_job(problem: QProblem, artifact: ArchArtifact,
     rather than silently mis-costing. ``backend`` selects the program
     execution backend (``"interpret"`` or ``"compiled"``), orthogonal
     to the artifact's precompiled *program*.
+
+    With ``verify`` (default), the artifact passes the static
+    verification suite (:mod:`repro.verify`) before any solve touches
+    it; a malformed artifact raises
+    :class:`~repro.exceptions.VerificationError` with the full
+    diagnostic report. Acceptance is memoized on the artifact, so
+    repeated solves against a cached artifact check once.
     """
+    if verify:
+        from ..verify import ensure_artifact_verified
+        ensure_artifact_verified(
+            artifact, context=f"solve_job({artifact.fingerprint.key})")
+    # The artifact-level check subsumes the accelerator's per-
+    # construction program walk (and is memoized), so skip the latter.
     accelerator = RSQPAccelerator(
         problem, customization=artifact.customization, settings=settings,
         pcg_eps=pcg_eps, max_pcg_iter=artifact.max_pcg_iter,
-        compiled=artifact.compiled, backend=backend)
+        compiled=artifact.compiled, backend=backend, verify=False)
     if warm_start is not None:
         x0, y0 = warm_start
         accelerator.warm_start(x=x0, y=y0)

@@ -123,6 +123,13 @@ class SolverService:
         from :attr:`ServeRecord.backend`, which records whether a
         request was served by the accelerator or the software
         fallback.
+    verify:
+        When True (default), every artifact passes the static
+        verification suite (:mod:`repro.verify`) once, right after it
+        enters the cache; a rejected artifact fails the request with a
+        structured :class:`~repro.exceptions.VerificationError`
+        (carrying the diagnostic report) instead of crashing mid-solve,
+        and increments ``serving_verify_rejects_total``.
     """
 
     def __init__(self, *, c: int | None = None,
@@ -133,12 +140,14 @@ class SolverService:
                  cold_policy: str = "build",
                  pcg_eps: float = 1e-7,
                  max_pcg_iter: int = 500,
-                 backend: str = "compiled"):
+                 backend: str = "compiled",
+                 verify: bool = True):
         if cold_policy not in ("build", "fallback"):
             raise ValueError(
                 f"cold_policy must be 'build' or 'fallback', "
                 f"got {cold_policy!r}")
         self.backend = validate_backend(backend)
+        self.verify = bool(verify)
         self.c = c
         self.settings = settings if settings is not None else OSQPSettings()
         self.cold_policy = cold_policy
@@ -194,6 +203,15 @@ class SolverService:
             key, lambda: self._build_artifact(problem, fingerprint, c, key))
         tier = TIER_HIT if was_hit else (TIER_DISK if had_spec
                                          else TIER_BUILD)
+        if self.verify:
+            from ..exceptions import VerificationError
+            from ..verify import ensure_artifact_verified
+            try:
+                ensure_artifact_verified(artifact, context=key)
+            except VerificationError:
+                self.metrics.counter(
+                    "serving_verify_rejects_total").inc()
+                raise
         return artifact, tier
 
     # ------------------------------------------------------------------
@@ -327,12 +345,14 @@ class SolverService:
                            backend=backend, record=record, raw=raw)
 
     def _run_accelerator(self, problem, artifact, warm_start):
+        # _ensure_artifact already verified (and memoized) the
+        # artifact, so the job itself skips the re-check.
         if self._solve_pool is not None:
             return self._solve_pool.submit(
                 solve_job, problem, artifact, self.settings, warm_start,
-                self.pcg_eps, self.backend).result()
+                self.pcg_eps, self.backend, False).result()
         return solve_job(problem, artifact, self.settings, warm_start,
-                         self.pcg_eps, self.backend)
+                         self.pcg_eps, self.backend, verify=False)
 
     def _run_reference(self, problem, warm_start):
         if self._solve_pool is not None:

@@ -1,0 +1,104 @@
+"""Composite verification of full artifacts (program + customization).
+
+These are the entry points the pre-execution guards call: one function
+that runs every static pass over a :class:`~repro.hw.compiler.
+CompiledProgram` or a :class:`~repro.serving.arch_cache.ArchArtifact`
+and returns one merged report. ``ensure_artifact_verified`` memoizes
+acceptance on the artifact itself so the hot solve path pays the check
+once per cached artifact, not once per request.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..hw.compiler import CompiledProgram
+from .cycles import verify_compiled
+from .diagnostics import VerificationReport, Location
+from .program import ProgramContract, verify_program
+from .schedule_check import verify_customization
+
+if TYPE_CHECKING:  # runtime import would be circular via repro.serving
+    from ..serving.arch_cache import ArchArtifact
+
+__all__ = ["verify_compiled_program", "verify_artifact",
+           "ensure_artifact_verified"]
+
+
+def verify_compiled_program(compiled: CompiledProgram,
+                            contract: ProgramContract | None = None,
+                            *, artifact: str = "program"
+                            ) -> VerificationReport:
+    """Program pass + cycle-cost pass over one compiled program."""
+    report = verify_program(compiled.program, contract,
+                            artifact=artifact)
+    report.extend(verify_compiled(compiled))
+    return report
+
+
+def verify_artifact(artifact: ArchArtifact) -> VerificationReport:
+    """All passes over a serving :class:`ArchArtifact`.
+
+    Checks the compiled program, every matrix's schedule and CVB
+    layout, and the consistency between the program's cost context and
+    the customization it claims to embody (an artifact stitched
+    together from mismatched pieces mis-costs every solve).
+    """
+    custom = artifact.customization
+    report = VerificationReport(
+        subject=f"artifact:{getattr(artifact.fingerprint, 'key', '?')}")
+    report.extend(verify_compiled_program(artifact.compiled))
+    report.extend(verify_customization(custom))
+
+    ctx = artifact.compiled.context
+    if ctx.c != custom.c:
+        report.error(
+            "context-mismatch",
+            f"compiled cost context is for C={ctx.c} but the "
+            f"customization targets C={custom.c}",
+            Location("cycles"))
+    for name in sorted(custom.matrices):
+        m = custom.matrices[name]
+        try:
+            ctx_spmv = ctx.spmv_cycles(name)
+            ctx_depth = ctx.cvb_depth(name)
+        except KeyError:
+            report.error(
+                "context-mismatch",
+                f"compiled cost context knows no matrix {name!r}",
+                Location("cycles", name))
+            continue
+        if ctx_spmv != m.spmv_cycles:
+            report.error(
+                "context-mismatch",
+                f"compiled context charges {ctx_spmv} SpMV cycles for "
+                f"{name!r} but its schedule takes {m.spmv_cycles}",
+                Location("cycles", name),
+                hint="the program was cost-attached for a different "
+                     "schedule")
+        if ctx_depth != m.duplication_cycles:
+            report.error(
+                "context-mismatch",
+                f"compiled context charges CVB depth {ctx_depth} for "
+                f"{name!r} but its layout has depth "
+                f"{m.duplication_cycles}",
+                Location("cycles", name),
+                hint="the program was cost-attached for a different "
+                     "CVB layout")
+    return report
+
+
+def ensure_artifact_verified(artifact: ArchArtifact, *,
+                             context: str = "") -> None:
+    """Run :func:`verify_artifact` once per artifact; raise on errors.
+
+    Raises :class:`~repro.exceptions.VerificationError` (carrying the
+    report) when any pass finds an ERROR diagnostic. Acceptance is
+    memoized on ``artifact.verified`` so repeated solves against the
+    same cached artifact skip the re-check.
+    """
+    if getattr(artifact, "verified", False):
+        return
+    report = verify_artifact(artifact)
+    report.raise_if_failed(context or "artifact rejected")
+    artifact.verified = True

@@ -1,0 +1,135 @@
+"""Pass 3: static cycle bounds and cost-model cross-checking.
+
+Every RSQP instruction has a state-independent cycle cost (a function
+of vector lengths, schedule pack counts and CVB depths only), so a
+whole program has computable min/max cycle bounds:
+
+* a straight-line block costs the fixed sum of its instructions;
+* a loop's **minimum** is one trip that exits at its first ``Control``
+  (the earliest legal exit — everything before the Control, plus the
+  Control's own test cycle, did execute);
+* a loop's **maximum** is ``max_iter`` full-body trips, with nested
+  loops at their own maxima.
+
+The bounds bracket the interpreter's dynamic count for *any* input —
+the property the differential tests assert against
+:class:`~repro.hw.machine.ExecutionStats` — and
+:func:`verify_compiled` additionally recomputes the per-section
+analytic costs that ``charge_block``/``estimate_cycles`` rely on,
+flagging a :class:`~repro.hw.compiler.CompiledProgram` whose cached
+section cycles disagree with its own instruction stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.compiler import CompiledProgram, StaticCostContext
+from ..hw.isa import Control, Loop, Program
+from .diagnostics import Location, VerificationReport
+
+__all__ = ["CycleBounds", "block_bounds", "program_bounds",
+           "verify_compiled"]
+
+#: The sections every compiled OSQP program carries (see
+#: ``repro.hw.compiler.compile_osqp_program``).
+_SECTIONS = ("prologue", "admm_body", "pcg_body", "epilogue")
+
+
+@dataclass(frozen=True)
+class CycleBounds:
+    """Inclusive static bounds on a block's total cycle count."""
+
+    min_cycles: int
+    max_cycles: int
+
+    def contains(self, cycles: int) -> bool:
+        return self.min_cycles <= cycles <= self.max_cycles
+
+
+def block_bounds(items: list, context: StaticCostContext) -> CycleBounds:
+    """Min/max cycles of a block (instructions + loop nests)."""
+    lo = 0
+    hi = 0
+    for item in items:
+        if isinstance(item, Loop):
+            inner = _loop_bounds(item, context)
+            lo += inner.min_cycles
+            hi += inner.max_cycles
+        else:
+            cost = int(item.cycles(context))
+            lo += cost
+            hi += cost
+    return CycleBounds(lo, hi)
+
+
+def _loop_bounds(loop: Loop, context: StaticCostContext) -> CycleBounds:
+    if loop.max_iter < 1 or not loop.body:
+        return CycleBounds(0, 0)
+    full = block_bounds(loop.body, context)
+    # Earliest exit: the prefix up to and including the first Control
+    # at this level, nested loops at their own minima.
+    first_control = next((i for i, it in enumerate(loop.body)
+                          if isinstance(it, Control)), None)
+    if first_control is None:
+        min_trip = full.min_cycles
+    else:
+        min_trip = block_bounds(loop.body[:first_control + 1],
+                                context).min_cycles
+    return CycleBounds(min_trip, loop.max_iter * full.max_cycles)
+
+
+def program_bounds(program: Program,
+                   context: StaticCostContext) -> CycleBounds:
+    """Static cycle bounds for a whole program under a cost context."""
+    return block_bounds(program.instructions, context)
+
+
+def _section_cost(items: list, context: StaticCostContext) -> int:
+    """Fixed cost of a section, skipping nested loops (costed apart) —
+    mirrors ``repro.hw.compiler._section_cycles``."""
+    return sum(int(item.cycles(context)) for item in items
+               if not isinstance(item, Loop))
+
+
+def verify_compiled(compiled: CompiledProgram) -> VerificationReport:
+    """Cross-check a compiled program's cached analytic costs.
+
+    Recomputes each section's fixed cycle count from the instruction
+    stream and the cost context; a mismatch means ``estimate_cycles``
+    (and the compiled backend's ``charge_block`` accounting seeded from
+    it) would mis-report performance.
+    """
+    report = VerificationReport(subject="cycles", passes=["cycles"])
+    sections = getattr(compiled, "_sections", None)
+    if not sections:
+        report.error(
+            "missing-sections",
+            "compiled program carries no section table; per-section "
+            "costs cannot be recomputed",
+            Location("cycles"))
+        return report
+    claimed = {
+        "prologue": compiled.prologue_cycles,
+        "admm_body": compiled.admm_body_cycles,
+        "pcg_body": compiled.pcg_body_cycles,
+        "epilogue": compiled.epilogue_cycles,
+    }
+    for name in _SECTIONS:
+        if name not in sections:
+            report.error(
+                "missing-sections",
+                f"compiled program's section table lacks {name!r}",
+                Location("cycles", name))
+            continue
+        recomputed = _section_cost(sections[name], compiled.context)
+        if recomputed != claimed[name]:
+            report.error(
+                "cycle-cost-mismatch",
+                f"section {name!r} sums to {recomputed} cycles but the "
+                f"compiled program claims {claimed[name]}; "
+                f"estimate_cycles would be wrong by the difference",
+                Location("cycles", name),
+                hint="re-run attach_costs after changing the program "
+                     "or its cost context")
+    return report

@@ -1,0 +1,152 @@
+"""Shared diagnostic types for the static verification passes.
+
+Every pass in :mod:`repro.verify` reports problems through the same
+vocabulary: a :class:`Diagnostic` pins a *severity*, a stable *code*
+(machine-matchable, e.g. ``use-before-def``), a human message, a
+:class:`Location` inside the artifact being checked, and an optional
+fix hint. Passes accumulate diagnostics into a
+:class:`VerificationReport`, which renders them for the CLI and can be
+escalated into a :class:`~repro.exceptions.VerificationError` by the
+pre-execution guards.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..exceptions import VerificationError
+
+__all__ = [
+    "Severity",
+    "Location",
+    "Diagnostic",
+    "VerificationReport",
+]
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; only ERROR makes a report fail."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where inside an artifact a diagnostic points.
+
+    ``artifact``
+        Which artifact the pass was looking at (``"program"``,
+        ``"schedule:P"``, ``"cvb:A"``, ``"cycles"`` ...).
+    ``path``
+        Position within the artifact — an instruction path like
+        ``"admm[12].pcg[3]"`` or a pack/slot index like
+        ``"pack 7, slot 2"``. Empty when the finding is global.
+    ``site``
+        Source-location metadata carried by the instruction itself
+        (set by :mod:`repro.hw.compiler`), naming the generating
+        site rather than just an index.
+    """
+
+    artifact: str
+    path: str = ""
+    site: str | None = None
+
+    def __str__(self) -> str:
+        text = self.artifact
+        if self.path:
+            text += f"@{self.path}"
+        if self.site:
+            text += f" ({self.site})"
+        return text
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from a verification pass."""
+
+    severity: Severity
+    code: str
+    message: str
+    location: Location
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.severity.label()}[{self.code}] {self.location}: " \
+               f"{self.message}"
+        if self.hint:
+            text += f"\n  hint: {self.hint}"
+        return text
+
+
+@dataclass
+class VerificationReport:
+    """Accumulated findings of one or more passes over one artifact."""
+
+    subject: str = ""
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    passes: list[str] = field(default_factory=list)
+
+    def add(self, severity: Severity, code: str, message: str,
+            location: Location, hint: str = "") -> Diagnostic:
+        diag = Diagnostic(severity, code, message, location, hint)
+        self.diagnostics.append(diag)
+        return diag
+
+    def error(self, code: str, message: str, location: Location,
+              hint: str = "") -> Diagnostic:
+        return self.add(Severity.ERROR, code, message, location, hint)
+
+    def warning(self, code: str, message: str, location: Location,
+                hint: str = "") -> Diagnostic:
+        return self.add(Severity.WARNING, code, message, location, hint)
+
+    def info(self, code: str, message: str, location: Location,
+             hint: str = "") -> Diagnostic:
+        return self.add(Severity.INFO, code, message, location, hint)
+
+    def extend(self, other: "VerificationReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.passes.extend(p for p in other.passes if p not in self.passes)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity diagnostics were recorded."""
+        return not self.errors
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    def render(self) -> str:
+        head = self.subject or "artifact"
+        lines = [f"verify {head}: "
+                 f"{len(self.errors)} error(s), "
+                 f"{len(self.warnings)} warning(s) "
+                 f"[{', '.join(self.passes) or 'no passes'}]"]
+        lines.extend(d.render() for d in self.diagnostics)
+        return "\n".join(lines)
+
+    def raise_if_failed(self, context: str = "") -> None:
+        """Raise :class:`VerificationError` when any ERROR was found."""
+        if self.ok:
+            return
+        first = self.errors[0]
+        prefix = f"{context}: " if context else ""
+        raise VerificationError(
+            f"{prefix}static verification failed with "
+            f"{len(self.errors)} error(s); first: {first.render()}",
+            report=self)

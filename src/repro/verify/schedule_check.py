@@ -1,0 +1,298 @@
+"""Pass 2: static verification of SpMV schedules and CVB layouts.
+
+Everything here is re-derived from the artifacts alone — the
+:class:`~repro.customization.scheduler.Schedule` (pack/slot lane
+assignment) and the :class:`~repro.customization.cvb.CVBLayout`
+(depth-row placement) — never trusted from their cached properties:
+
+* every pack's structure is a member of the architecture's dictionary
+  (a pack using a structure the MAC tree was not built with cannot be
+  routed);
+* slot lane ranges stay inside ``[0, C)``, respect their structure's
+  segment layout, and never overlap — two overlapping slots would
+  issue two reads on one bank in the same cycle;
+* the schedule covers the encoded chunk stream exactly once, in
+  stream order (the SpMV engine consumes matrix values sequentially);
+* the CVB index translation is total (every requested element has a
+  depth row) and no depth row holds two elements requested by the
+  same bank — the single-read-port-per-bank constraint of MILP (5);
+* the zero-padding ``E_p`` and duplication overhead ``E_c`` recomputed
+  from the packs and the layout reproduce the claimed match score η
+  through :func:`repro.customization.metric.match_score`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..customization.cvb import CVBLayout, access_requests
+from ..customization.customize import (MatrixCustomization,
+                                       ProblemCustomization)
+from ..customization.metric import match_score
+from ..customization.scheduler import Schedule
+from .diagnostics import Location, VerificationReport
+
+__all__ = ["verify_schedule", "verify_cvb", "verify_matrix",
+           "verify_customization"]
+
+#: Tolerance for recomputed-vs-claimed match scores (pure float
+#: arithmetic on both sides; anything beyond rounding noise is a bug).
+_ETA_TOL = 1e-9
+
+
+def verify_schedule(sched: Schedule,
+                    *, artifact: str = "schedule"
+                    ) -> VerificationReport:
+    """Check a pack schedule against its encoding and architecture."""
+    report = VerificationReport(subject=artifact, passes=["schedule"])
+    encoding = sched.encoding
+    architecture = sched.architecture
+    c = architecture.c
+    if encoding.c != c:
+        report.error(
+            "width-mismatch",
+            f"encoding was built for C={encoding.c} but the "
+            f"architecture has C={c}",
+            Location(artifact))
+        return report  # lane math below would be meaningless
+
+    structures = set(architecture.structures)
+    streamed: list = []
+    for index, pack in enumerate(sched.packs):
+        pack_loc = Location(artifact, f"pack {index}")
+        if pack.structure not in structures:
+            report.error(
+                "dictionary-gap",
+                f"pack uses structure {pack.structure.pattern!r} which "
+                f"is not in the architecture's dictionary "
+                f"{architecture}",
+                pack_loc,
+                hint="add the structure to S or re-schedule on this "
+                     "architecture")
+            # Slot geometry below still applies against the claimed
+            # structure, so keep checking.
+        segments = list(zip(pack.structure.lane_offsets,
+                            pack.structure.capacities))
+        segment_index = -1
+        prev_end = 0
+        for slot_no, slot in enumerate(pack.slots):
+            loc = Location(artifact, f"pack {index}, slot {slot_no}")
+            length = slot.chunk.length
+            if slot.lane_start < 0 or slot.lane_start + length > c:
+                report.error(
+                    "lane-overflow",
+                    f"slot occupies lanes [{slot.lane_start}, "
+                    f"{slot.lane_start + length}) outside the C={c} "
+                    f"datapath",
+                    loc)
+                continue
+            if slot.lane_start < prev_end:
+                report.error(
+                    "bank-oversubscription",
+                    f"slot lanes [{slot.lane_start}, "
+                    f"{slot.lane_start + length}) overlap the previous "
+                    f"slot (ends at lane {prev_end}); two reads would "
+                    f"hit one bank in the same cycle",
+                    loc,
+                    hint="slots within a pack must occupy disjoint, "
+                         "increasing lane ranges")
+            prev_end = max(prev_end, slot.lane_start + length)
+            if length > slot.capacity:
+                report.error(
+                    "slot-overflow",
+                    f"chunk of {length} non-zeros exceeds the slot's "
+                    f"segment capacity {slot.capacity}",
+                    loc)
+            # The slot must sit on one of the structure's segments, in
+            # segment order (trailing/middle segments may be skipped —
+            # they are fed zeros).
+            placed = None
+            for k in range(segment_index + 1, len(segments)):
+                if segments[k] == (slot.lane_start, slot.capacity):
+                    placed = k
+                    break
+            if placed is None:
+                report.error(
+                    "slot-structure-mismatch",
+                    f"slot at lane {slot.lane_start} (capacity "
+                    f"{slot.capacity}) does not correspond to any "
+                    f"remaining segment of structure "
+                    f"{pack.structure.pattern!r}",
+                    loc,
+                    hint="slots must use the structure's segment "
+                         "offsets/capacities in order")
+            else:
+                segment_index = placed
+            streamed.append(slot.chunk)
+
+    chunks = list(encoding.chunks)
+    if len(streamed) != len(chunks):
+        report.error(
+            "coverage-gap",
+            f"schedule streams {len(streamed)} chunks but the encoding "
+            f"has {len(chunks)}",
+            Location(artifact),
+            hint="every encoded chunk must be scheduled exactly once")
+    else:
+        for index, (got, want) in enumerate(zip(streamed, chunks)):
+            if got is not want:
+                report.error(
+                    "stream-order",
+                    f"chunk #{index} out of stream order (got the "
+                    f"chunk of row {got.row}, expected row {want.row}); "
+                    f"the SpMV engine consumes matrix values "
+                    f"sequentially",
+                    Location(artifact, f"chunk {index}"))
+                break
+
+    nnz_static = sum(chunk.length for chunk in chunks)
+    if nnz_static != encoding.nnz:
+        report.error(
+            "nnz-mismatch",
+            f"encoded chunks hold {nnz_static} non-zeros but the "
+            f"encoding claims nnz={encoding.nnz}",
+            Location(artifact))
+    ep_static = c * len(sched.packs) - nnz_static
+    if ep_static < 0:
+        report.error(
+            "negative-padding",
+            f"recomputed E_p = {ep_static} < 0: the schedule claims to "
+            f"stream more non-zeros than {len(sched.packs)} cycles can "
+            f"carry at C={c}",
+            Location(artifact))
+    return report
+
+
+def verify_cvb(sched: Schedule, layout: CVBLayout,
+               *, artifact: str = "cvb") -> VerificationReport:
+    """Check a CVB layout against the schedule's access requests."""
+    report = VerificationReport(subject=artifact, passes=["cvb"])
+    c = sched.architecture.c
+    length = sched.encoding.vector_length
+    if layout.requests.shape != (length, c):
+        report.error(
+            "request-shape",
+            f"layout request matrix has shape {layout.requests.shape}, "
+            f"expected ({length}, {c})",
+            Location(artifact))
+        return report
+
+    derived = access_requests(sched)
+    missing = derived & ~layout.requests
+    if missing.any():
+        j, k = (int(x[0]) for x in np.nonzero(missing))
+        report.error(
+            "translation-gap",
+            f"the schedule reads vector element {j} on bank {k} but "
+            f"the layout's request matrix never records it — the "
+            f"index-translation map is not total",
+            Location(artifact, f"element {j}, bank {k}"),
+            hint="rebuild the layout from this schedule's "
+                 "access_requests")
+
+    location = np.asarray(layout.location)
+    requested = np.flatnonzero(derived.any(axis=1))
+    unplaced = requested[location[requested] < 0]
+    if unplaced.size:
+        j = int(unplaced[0])
+        report.error(
+            "translation-gap",
+            f"requested vector element {j} has no CVB depth row "
+            f"(location -1); an SpMV reading it would fetch garbage",
+            Location(artifact, f"element {j}"),
+            hint="every element the schedule requests needs a depth "
+                 "row")
+
+    too_deep = np.flatnonzero(location >= layout.depth)
+    if too_deep.size:
+        j = int(too_deep[0])
+        report.error(
+            "depth-undercount",
+            f"element {j} is placed at depth row {int(location[j])} "
+            f"but the layout claims depth={layout.depth}; VecDup would "
+            f"be under-charged",
+            Location(artifact, f"element {j}"))
+
+    # Single read port per bank: within one depth row, at most one
+    # element may be requested by any given bank.
+    placed = np.flatnonzero(location >= 0)
+    for row in np.unique(location[placed]):
+        members = np.flatnonzero(location == row)
+        bank_load = layout.requests[members].sum(axis=0)
+        over = np.flatnonzero(bank_load > 1)
+        if over.size:
+            k = int(over[0])
+            report.error(
+                "bank-oversubscription",
+                f"depth row {int(row)} stores "
+                f"{int(bank_load[k])} elements requested by bank {k}; "
+                f"each bank has a single read port per cycle",
+                Location(artifact, f"row {int(row)}, bank {k}"),
+                hint="move one of the conflicting elements to another "
+                     "depth row")
+
+    used_rows = int(location[placed].max()) + 1 if placed.size else 0
+    if layout.depth > used_rows:
+        report.info(
+            "over-provisioned-depth",
+            f"layout claims depth={layout.depth} but only {used_rows} "
+            f"rows hold elements (naive/uncompressed duplication "
+            f"charges the full depth)",
+            Location(artifact))
+    return report
+
+
+def verify_matrix(custom: MatrixCustomization) -> VerificationReport:
+    """Schedule + CVB checks plus the E_p/E_c -> eta bookkeeping."""
+    name = custom.name
+    report = verify_schedule(custom.schedule,
+                             artifact=f"schedule:{name}")
+    report.extend(verify_cvb(custom.schedule, custom.cvb,
+                             artifact=f"cvb:{name}"))
+
+    chunks = custom.encoding.chunks
+    nnz_static = sum(chunk.length for chunk in chunks)
+    length = custom.encoding.vector_length
+    c = custom.schedule.architecture.c
+    ep_static = c * len(custom.schedule.packs) - nnz_static
+    ec_static = (custom.cvb.depth * c / length) if length else 1.0
+    eta_static = match_score(nnz_static, length, ep_static, ec_static)
+    if abs(eta_static - custom.eta) > _ETA_TOL:
+        report.error(
+            "eta-mismatch",
+            f"statically recomputed match score {eta_static:.12f} "
+            f"(E_p={ep_static}, E_c={ec_static:.4f}) disagrees with "
+            f"the claimed eta {custom.eta:.12f}",
+            Location(f"customization:{name}"),
+            hint="the schedule/CVB artifacts and the metric bookkeeping "
+                 "have diverged")
+    return report
+
+
+def verify_customization(custom: ProblemCustomization
+                         ) -> VerificationReport:
+    """Verify every streamed matrix plus the aggregate match score."""
+    report = VerificationReport(subject="customization",
+                                passes=["schedule", "cvb"])
+    for name in sorted(custom.matrices):
+        m = custom.matrices[name]
+        report.extend(verify_matrix(m))
+        if m.schedule.architecture != custom.architecture:
+            report.error(
+                "architecture-mismatch",
+                f"matrix {name!r} was scheduled on "
+                f"{m.schedule.architecture}, not the customization's "
+                f"{custom.architecture}",
+                Location(f"schedule:{name}"))
+
+    num = sum(m.nnz + m.vector_length for m in custom.matrices.values())
+    den = sum(m.nnz + m.ep + m.ec * m.vector_length
+              for m in custom.matrices.values())
+    eta_static = num / den if den else 1.0
+    if abs(eta_static - custom.eta) > _ETA_TOL:
+        report.error(
+            "eta-mismatch",
+            f"aggregate match score recomputed as {eta_static:.12f}, "
+            f"claimed {custom.eta:.12f}",
+            Location("customization"))
+    return report

@@ -1,0 +1,32 @@
+"""CLI gate: ``python -m repro.verify`` over bounded suite slices."""
+
+import pytest
+
+from repro.verify.__main__ import main
+
+
+class TestVerifyCLI:
+    def test_clean_slice_exits_zero(self, capsys):
+        rc = main(["--families", "control", "--count", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 error(s)" in out
+        assert "control[00]" in out
+
+    def test_baseline_infos_are_printable(self, capsys):
+        rc = main(["--families", "lasso", "--count", "1", "--baseline",
+                   "--show", "info"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "over-provisioned-depth" in out
+
+    def test_explicit_width_override(self, capsys):
+        rc = main(["--families", "control", "--count", "1", "--c", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "C=4" in out
+
+    def test_unknown_family_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--families", "nonexistent"])
+        assert excinfo.value.code == 2

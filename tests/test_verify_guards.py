@@ -1,0 +1,156 @@
+"""Pre-execution guards: accelerator, solve_job, SolverService and
+FleetService reject malformed artifacts with structured diagnostics."""
+
+import pytest
+
+from repro.exceptions import VerificationError
+from repro.hw import RSQPAccelerator
+from repro.hw.isa import BINARY_SCALAR_OPS, Loop, ScalarOp
+from repro.problems import generate_svm
+from repro.serving import SolverService
+from repro.serving.arch_cache import build_artifact
+from repro.serving.fingerprint import fingerprint_problem
+from repro.serving.pool import solve_job
+from repro.solver import OSQPSettings
+
+SETTINGS = OSQPSettings(eps_abs=1e-4, eps_rel=1e-4, max_iter=200)
+
+
+def corrupt_program(compiled):
+    """Null a binary ScalarOp's src2 in place (bypasses __post_init__)."""
+    def find(items):
+        for item in items:
+            if isinstance(item, Loop):
+                found = find(item.body)
+                if found is not None:
+                    return found
+            elif (isinstance(item, ScalarOp)
+                  and item.op in BINARY_SCALAR_OPS):
+                return item
+        return None
+
+    victim = find(compiled.program.instructions)
+    assert victim is not None
+    object.__setattr__(victim, "src2", None)
+
+
+class TestAcceleratorGuard:
+    def test_clean_construction_passes(self):
+        acc = RSQPAccelerator(generate_svm(10, seed=0), settings=SETTINGS)
+        assert acc.run().converged
+
+    def test_corrupted_injected_program_is_rejected(self):
+        prob = generate_svm(10, seed=0)
+        donor = RSQPAccelerator(prob, settings=SETTINGS)
+        corrupt_program(donor.compiled)
+        with pytest.raises(VerificationError) as excinfo:
+            RSQPAccelerator(prob, customization=donor.customization,
+                            settings=SETTINGS, compiled=donor.compiled)
+        report = excinfo.value.report
+        assert report is not None and not report.ok
+        assert "scalar-arity" in {d.code for d in report.errors}
+
+    def test_verify_flag_opts_out(self):
+        prob = generate_svm(10, seed=0)
+        donor = RSQPAccelerator(prob, settings=SETTINGS)
+        corrupt_program(donor.compiled)
+        # Explicit opt-out: construction succeeds (running would not).
+        RSQPAccelerator(prob, customization=donor.customization,
+                        settings=SETTINGS, compiled=donor.compiled,
+                        verify=False)
+
+
+class TestSolveJobGuard:
+    def test_rejects_corrupted_artifact_with_report(self):
+        prob = generate_svm(10, seed=1)
+        artifact = build_artifact(prob, 8)
+        corrupt_program(artifact.compiled)
+        with pytest.raises(VerificationError) as excinfo:
+            solve_job(prob, artifact, SETTINGS)
+        assert excinfo.value.report is not None
+        assert not artifact.verified
+
+    def test_acceptance_is_memoized_on_artifact(self):
+        prob = generate_svm(10, seed=1)
+        artifact = build_artifact(prob, 8)
+        assert not artifact.verified
+        result = solve_job(prob, artifact, SETTINGS)
+        assert result.converged
+        assert artifact.verified
+        # A second solve skips the re-check entirely.
+        assert solve_job(prob, artifact, SETTINGS).converged
+
+    def test_verify_false_skips_the_check(self):
+        prob = generate_svm(10, seed=1)
+        artifact = build_artifact(prob, 8)
+        result = solve_job(prob, artifact, SETTINGS, verify=False)
+        assert result.converged
+        assert not artifact.verified
+
+
+class TestSolverServiceGuard:
+    def test_rejection_is_structured_and_counted(self):
+        prob = generate_svm(10, seed=2)
+        with SolverService(settings=SETTINGS, workers=1,
+                           mode="serial") as service:
+            c = service.width_for(prob)
+            fingerprint = fingerprint_problem(prob, c=c)
+            key = service.cache_key(fingerprint, c)
+            artifact = build_artifact(
+                prob, c, fingerprint=fingerprint,
+                max_admm_iter=SETTINGS.max_iter,
+                max_pcg_iter=service.max_pcg_iter)
+            corrupt_program(artifact.compiled)
+            service.cache.get_or_build(key, lambda: artifact)
+            with pytest.raises(VerificationError):
+                service.solve(prob)
+            snap = service.metrics.snapshot()
+            assert snap["counters"]["serving_verify_rejects_total"] == 1
+
+    def test_happy_path_marks_artifact_verified(self):
+        prob = generate_svm(10, seed=3)
+        with SolverService(settings=SETTINGS, workers=1,
+                           mode="serial") as service:
+            result = service.solve(prob)
+            assert result.converged
+            c = service.width_for(prob)
+            key = service.cache_key(fingerprint_problem(prob, c=c), c)
+            assert service.cache.get(key).verified
+            snap = service.metrics.snapshot()
+            assert "serving_verify_rejects_total" not in snap["counters"]
+
+
+class TestFleetGuard:
+    def test_corrupted_node_artifact_sheds_with_reason(self):
+        from repro.fleet import FleetService
+
+        prob = generate_svm(10, seed=4)
+        service = FleetService(policy="round-robin", settings=SETTINGS)
+        node = service.commission(prob)
+        fingerprint = fingerprint_problem(prob,
+                                          c=service.width_for(prob))
+        key = service._artifact_key(fingerprint, node.architecture)
+        artifact = build_artifact(
+            prob, node.architecture.c, architecture=node.architecture,
+            fingerprint=fingerprint, max_admm_iter=SETTINGS.max_iter,
+            max_pcg_iter=service.max_pcg_iter)
+        corrupt_program(artifact.compiled)
+        service._artifacts.get_or_build(key, lambda: artifact)
+
+        result = service.solve(prob)
+        assert result.x is None
+        assert result.record.lane == "shed"
+        assert result.record.shed_reason.startswith("verify:")
+        assert "scalar-arity" in result.record.shed_reason
+        snap = service.metrics_snapshot()
+        assert snap["counters"]["fleet_verify_rejects_total"] == 1
+
+    def test_clean_fleet_solve_unaffected(self):
+        from repro.fleet import FleetService
+
+        prob = generate_svm(10, seed=5)
+        service = FleetService(policy="round-robin", settings=SETTINGS)
+        service.commission(prob)
+        result = service.solve(prob)
+        assert result.converged
+        assert result.record.lane == "node"

@@ -1,0 +1,161 @@
+"""Pass 2 (schedule/CVB checker): clean suite artifacts, seeded defects."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hyp_settings
+from hypothesis import strategies as st
+
+from repro.customization import baseline_customization, customize_problem
+from repro.problems import generate_control, generate_svm
+from repro.verify import verify_customization, verify_cvb, verify_schedule
+
+
+@pytest.fixture(scope="module")
+def custom():
+    return customize_problem(generate_svm(16, seed=0), 8)
+
+
+def pick_matrix(custom):
+    """A matrix whose schedule uses a multi-output structure, if any."""
+    for name in sorted(custom.matrices):
+        m = custom.matrices[name]
+        if any(p.structure.n_outputs > 1 for p in m.schedule.packs):
+            return m
+    return custom.matrices[sorted(custom.matrices)[0]]
+
+
+class TestAcceptance:
+    def test_customized_suite_problem_is_clean(self, custom):
+        report = verify_customization(custom)
+        assert report.ok
+        assert not report.warnings
+
+    def test_baseline_is_clean_modulo_depth_info(self):
+        prob = generate_control(4, seed=1)
+        base = baseline_customization(prob, 8)
+        report = verify_customization(base)
+        assert report.ok
+        assert not report.warnings
+        # Naive duplication charges the full vector length; the checker
+        # notes the over-provision without failing the artifact.
+        infos = {d.code for d in report.diagnostics} - {
+            d.code for d in report.errors}
+        assert infos <= {"over-provisioned-depth"}
+
+
+class TestScheduleDefects:
+    def test_truncated_dictionary_is_caught(self, custom):
+        m = pick_matrix(custom)
+        base = baseline_customization(generate_svm(16, seed=0), 8)
+        foreign = base.architecture
+        if foreign == custom.architecture:
+            pytest.skip("customized architecture degenerated to baseline")
+        sched = m.schedule
+        original = sched.architecture
+        try:
+            sched.architecture = foreign
+            report = verify_schedule(sched)
+            assert "dictionary-gap" in {d.code for d in report.errors}
+        finally:
+            sched.architecture = original
+
+    def test_dropped_pack_is_coverage_gap(self, custom):
+        m = pick_matrix(custom)
+        sched = m.schedule
+        removed = sched.packs.pop()
+        try:
+            report = verify_schedule(sched)
+            assert "coverage-gap" in {d.code for d in report.errors}
+        finally:
+            sched.packs.append(removed)
+
+    def test_width_mismatch_short_circuits(self, custom):
+        m = pick_matrix(custom)
+        other = customize_problem(generate_svm(16, seed=0), 4)
+        sched = m.schedule
+        original = sched.architecture
+        try:
+            sched.architecture = other.architecture
+            report = verify_schedule(sched)
+            assert {d.code for d in report.errors} == {"width-mismatch"}
+        finally:
+            sched.architecture = original
+
+
+class TestCVBDefects:
+    def test_translation_gap_unplaced_element(self, custom):
+        m = pick_matrix(custom)
+        layout = m.cvb
+        requested = np.flatnonzero(layout.requests.any(axis=1))
+        j = int(requested[0])
+        saved = int(layout.location[j])
+        try:
+            layout.location[j] = -1
+            report = verify_cvb(m.schedule, layout)
+            assert "translation-gap" in {d.code for d in report.errors}
+        finally:
+            layout.location[j] = saved
+
+    def test_depth_undercount(self, custom):
+        m = pick_matrix(custom)
+        layout = m.cvb
+        requested = np.flatnonzero(layout.requests.any(axis=1))
+        j = int(requested[0])
+        saved = int(layout.location[j])
+        try:
+            layout.location[j] = layout.depth + 3
+            report = verify_cvb(m.schedule, layout)
+            assert "depth-undercount" in {d.code for d in report.errors}
+        finally:
+            layout.location[j] = saved
+
+    def test_bank_oversubscription(self, custom):
+        # Find a bank that reads two different elements, then force
+        # both into one depth row: two reads on a single-port bank.
+        for name in sorted(custom.matrices):
+            m = custom.matrices[name]
+            layout = m.cvb
+            bank_load = layout.requests.sum(axis=0)
+            banks = np.flatnonzero(bank_load >= 2)
+            if banks.size == 0:
+                continue
+            k = int(banks[0])
+            j1, j2 = (int(j) for j in
+                      np.flatnonzero(layout.requests[:, k])[:2])
+            saved = int(layout.location[j2])
+            try:
+                layout.location[j2] = int(layout.location[j1])
+                report = verify_cvb(m.schedule, layout)
+                codes = {d.code for d in report.errors}
+                assert "bank-oversubscription" in codes
+            finally:
+                layout.location[j2] = saved
+            return
+        pytest.skip("no bank with two requested elements in this problem")
+
+    @given(st.data())
+    @hyp_settings(max_examples=15, deadline=None)
+    def test_any_unplaced_requested_element_is_caught(self, custom, data):
+        m = pick_matrix(custom)
+        layout = m.cvb
+        requested = np.flatnonzero(layout.requests.any(axis=1))
+        j = int(data.draw(st.sampled_from([int(x) for x in requested])))
+        saved = int(layout.location[j])
+        try:
+            layout.location[j] = -1
+            report = verify_cvb(m.schedule, layout)
+            assert "translation-gap" in {d.code for d in report.errors}
+        finally:
+            layout.location[j] = saved
+
+
+class TestFirstFitAudit:
+    def test_first_fit_layouts_satisfy_single_port(self):
+        """The First-Fit packer must never co-locate two elements
+        requested by the same bank — audited across several problems."""
+        for seed in range(3):
+            custom = customize_problem(generate_svm(12, seed=seed), 8)
+            for name in sorted(custom.matrices):
+                m = custom.matrices[name]
+                report = verify_cvb(m.schedule, m.cvb)
+                assert report.ok, report.render()
