@@ -33,6 +33,24 @@ class SimulationError(ReproError, RuntimeError):
     """The hardware simulator reached an invalid machine state."""
 
 
+class FaultDetectedError(ReproError, RuntimeError):
+    """A solve was detected as corrupted by an injected (or real) fault.
+
+    Raised when recovery inside the accelerator is exhausted (rollback
+    budget spent) or a host-side solution check rejects a returned
+    iterate. Carries the injector's fault ``events`` so callers can
+    account every injected fault even on the failure path.
+    """
+
+    def __init__(self, message: str, events=()):
+        super().__init__(message)
+        self.events = tuple(events)
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A solve overran its per-request deadline (cooperative check)."""
+
+
 class VerificationError(ReproError, RuntimeError):
     """A static verification pass rejected an artifact.
 

@@ -1,0 +1,36 @@
+"""Deterministic fault injection + end-to-end resilience.
+
+The fault model and the machinery that survives it, spanning four
+layers (see ``docs/FAULTS.md``):
+
+* :mod:`repro.faults.plan` — seeded :class:`FaultPlan` schedules;
+* :mod:`repro.faults.inject` — the :class:`FaultInjector` datapath
+  hook shared bit-for-bit by both execution backends, plus artifact
+  poisoning;
+* :mod:`repro.faults.detect` — host-side KKT re-check that catches
+  silently wrong solutions;
+* :mod:`repro.faults.policy` — :class:`RecoveryPolicy` (accelerator
+  checkpoint/rollback) and :class:`ResiliencePolicy` (serving retry /
+  degrade / deadline);
+* :mod:`repro.faults.breaker` — :class:`CircuitBreaker` for fleet
+  routing health.
+
+``python -m repro.faults`` runs the chaos replay: a skewed workload
+under a nonzero plan, asserting the availability and
+no-silent-corruption SLOs.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .detect import kkt_residuals, solution_ok
+from .inject import FaultInjector, flip_bit, poison_artifact
+from .plan import (EVERY_ATTEMPT, FAULT_KINDS, HW_KINDS, Fault,
+                   FaultPlan)
+from .policy import RecoveryPolicy, ResiliencePolicy
+
+__all__ = [
+    "Fault", "FaultPlan", "FAULT_KINDS", "HW_KINDS", "EVERY_ATTEMPT",
+    "FaultInjector", "flip_bit", "poison_artifact",
+    "kkt_residuals", "solution_ok",
+    "RecoveryPolicy", "ResiliencePolicy",
+    "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN",
+]

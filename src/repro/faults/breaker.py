@@ -1,0 +1,96 @@
+"""Health-check-driven circuit breaker for fleet routing.
+
+Classic three-state machine over an *explicitly passed* clock (works
+identically for the fleet's simulated time and wall time):
+
+* **closed** — healthy; requests route normally. Consecutive failures
+  at or above ``failure_threshold`` open the circuit.
+* **open** — unhealthy; :meth:`allows` refuses until
+  ``reset_seconds`` have elapsed since opening.
+* **half-open** — probation after the reset window: one probe request
+  is allowed through; success closes the circuit, failure re-opens it
+  (and restarts the window).
+
+A node death (:meth:`trip`) opens immediately regardless of the
+failure count. All transitions are recorded for tests and reports.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    def __init__(self, failure_threshold: int = 3,
+                 reset_seconds: float = 0.01, name: str = ""):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_seconds < 0:
+            raise ValueError("reset_seconds must be non-negative")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_seconds = float(reset_seconds)
+        self.name = name
+        self.state = CLOSED
+        self.opens = 0
+        self.transitions: list[tuple[float, str]] = []
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    # ------------------------------------------------------------------
+    def _set_state(self, now: float, state: str) -> None:
+        if state != self.state:
+            self.state = state
+            self.transitions.append((float(now), state))
+            if state == OPEN:
+                self.opens += 1
+
+    def allows(self, now: float) -> bool:
+        """May a request route through this node right now?"""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now >= self._opened_at + self.reset_seconds:
+                self._set_state(now, HALF_OPEN)
+                self._probing = False
+            else:
+                return False
+        # half-open: admit exactly one probe until its verdict lands
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self, now: float) -> None:
+        self._failures = 0
+        self._probing = False
+        self._set_state(now, CLOSED)
+
+    def record_failure(self, now: float) -> None:
+        self._failures += 1
+        if self.state == HALF_OPEN or self._failures >= \
+                self.failure_threshold:
+            self._open(now)
+
+    def trip(self, now: float) -> None:
+        """Open immediately (e.g. the node died under us)."""
+        self._open(now)
+
+    def _open(self, now: float) -> None:
+        self._opened_at = float(now)
+        self._probing = False
+        # Re-opening from half-open must restart the reset window even
+        # though the nominal state doesn't change through OPEN twice.
+        if self.state == OPEN:
+            self.transitions.append((float(now), OPEN))
+            self.opens += 1
+        else:
+            self._set_state(now, OPEN)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CircuitBreaker({self.name or '?'}, {self.state}, "
+                f"failures={self._failures})")

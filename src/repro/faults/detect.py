@@ -1,0 +1,69 @@
+"""Host-side silent-corruption detection: the KKT re-check.
+
+ADMM is self-correcting for transient *iterate* corruption — a flipped
+bit in ``x`` washes out over subsequent iterations — but corruption of
+the *problem data* the accelerator loaded (q, l, u, the
+preconditioner) makes it converge, confidently, to the solution of a
+different problem. The on-chip termination check cannot see that: it
+uses the same corrupted buffers. The only trustworthy referee is the
+host, which still holds the pristine problem: recompute the unscaled
+KKT residuals from the returned iterates and the original data.
+
+This mirrors the reference solver's termination criterion
+(:meth:`repro.solver.osqp.OSQPSolver._residuals`, unscaled inf-norm
+form) with a slack factor, plus an explicit bound-violation term —
+``z`` must actually lie in ``[l, u]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kkt_residuals", "solution_ok"]
+
+
+def _abs_max(v: np.ndarray) -> float:
+    return float(np.abs(v).max()) if v.size else 0.0
+
+
+def kkt_residuals(problem, x, y, z) -> dict:
+    """Unscaled KKT residuals of ``(x, y, z)`` on the original problem.
+
+    Returns primal/dual inf-norm residuals, the norms entering the
+    relative tolerances, and the inf-norm violation of ``l <= z <= u``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    z = np.asarray(z, dtype=np.float64)
+    ax = problem.A.matvec(x)
+    px = problem.P.matvec(x)
+    aty = problem.A.rmatvec(y)
+    pri_res = _abs_max(ax - z)
+    pri_norm = max(_abs_max(ax), _abs_max(z))
+    dua_res = _abs_max(px + problem.q + aty)
+    dua_norm = max(_abs_max(px), _abs_max(aty), _abs_max(problem.q))
+    bound_violation = _abs_max(
+        z - np.clip(z, problem.l, problem.u)) if z.size else 0.0
+    return {"pri_res": pri_res, "pri_norm": pri_norm,
+            "dua_res": dua_res, "dua_norm": dua_norm,
+            "bound_violation": bound_violation}
+
+
+def solution_ok(problem, x, y, z, *, eps_abs: float, eps_rel: float,
+                factor: float = 100.0) -> bool:
+    """Does ``(x, y, z)`` satisfy the KKT conditions within slack?
+
+    ``factor`` loosens the solver's own tolerances: the accelerator
+    terminates on *scaled* 2-norm residuals, so an honest solution can
+    miss the unscaled inf-norm tolerance by a modest margin — but a
+    solve poisoned by data corruption misses it by orders of
+    magnitude. Non-finite iterates always fail.
+    """
+    for v in (x, y, z):
+        if v is None or not np.all(np.isfinite(v)):
+            return False
+    r = kkt_residuals(problem, x, y, z)
+    pri_tol = factor * (eps_abs + eps_rel * r["pri_norm"])
+    dua_tol = factor * (eps_abs + eps_rel * r["dua_norm"])
+    return (r["pri_res"] <= pri_tol and r["dua_res"] <= dua_tol
+            and r["bound_violation"] <= pri_tol)

@@ -1,0 +1,214 @@
+"""Deterministic, seed-driven fault schedules.
+
+A :class:`FaultPlan` is a frozen list of :class:`Fault` records drawn
+once from a seeded generator. Faults are addressed *logically* — by
+request index, attempt number, and a per-op-class sequence number
+(the Nth SpMV / HBM load / CVB duplication of a solve) — never by
+wall-clock time or memory address. Because the interpreter and the
+compiled backend execute the identical instruction sequence with
+identical bits, the same plan injects the same corruption into both,
+which is what keeps the differential-testing contract alive under
+injection and makes chaos reports reproducible across backends.
+
+Fault taxonomy (see ``docs/FAULTS.md``):
+
+``mac-flip``
+    A single-bit flip in the MAC-tree output of one SpMV — one element
+    of the result vector is corrupted as it leaves the datapath.
+``hbm-read``
+    A single-bit flip in one element of an HBM -> VB load (problem
+    data or iterates read back on chip).
+``cvb-read``
+    A single-bit flip in one element of a CVB duplication (the vector
+    an SpMV is about to multiply).
+``node-stall``
+    A fleet node hangs at a simulated instant for a duration; its
+    in-flight and queued requests must be requeued elsewhere.
+``artifact-poison``
+    A cached architecture artifact is corrupted in place (its compiled
+    cycle bookkeeping no longer matches its schedules); the static
+    verifier must catch it before any solve runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+__all__ = ["Fault", "FaultPlan", "FAULT_KINDS", "HW_KINDS"]
+
+#: Every fault kind a plan may carry.
+FAULT_KINDS = ("mac-flip", "hbm-read", "cvb-read", "node-stall",
+               "artifact-poison")
+
+#: Kinds injected into the accelerator datapath (via FaultInjector).
+HW_KINDS = ("mac-flip", "hbm-read", "cvb-read")
+
+#: Datapath channel each hw kind corrupts.
+KIND_CHANNEL = {"mac-flip": "spmv", "hbm-read": "load",
+                "cvb-read": "cvb"}
+
+#: ``Fault.attempt`` value meaning "fire on every attempt".
+EVERY_ATTEMPT = -1
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault. Unused fields stay at their defaults.
+
+    ``attempt`` selects which retry of the request the fault fires on:
+    ``0`` (default) only the first attempt — so a retry of the same
+    request runs clean, modeling a *transient* upset — and
+    ``EVERY_ATTEMPT`` (-1) every attempt, modeling a persistent defect.
+    """
+
+    kind: str
+    #: Request index the fault targets (hw + poison kinds).
+    request: int = -1
+    #: Which attempt of the request (0 = first only, -1 = all).
+    attempt: int = 0
+    #: Per-op-class sequence number of the corrupted op within the
+    #: solve (the Nth SpMV / load / VecDup executed).
+    op_index: int = 0
+    #: Element of the target vector to corrupt.
+    element: int = 0
+    #: Bit of the float64 to flip (0..63).
+    bit: int = 51
+    #: Simulated instant a node-stall begins.
+    time: float = 0.0
+    #: Simulated stall duration.
+    duration: float = 0.0
+    #: Node id a node-stall targets.
+    node: int = -1
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if not 0 <= self.bit <= 63:
+            raise ValueError(f"bit must be in [0, 63], got {self.bit}")
+
+    def fires_on(self, attempt: int) -> bool:
+        return self.attempt == EVERY_ATTEMPT or self.attempt == attempt
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen, seeded schedule of faults.
+
+    Determinism guarantee: a plan is a pure function of its
+    constructor arguments (or of ``(seed, requests, rates)`` through
+    :meth:`generate`), and fault firing depends only on logical
+    coordinates — so identical seeds produce identical injected
+    corruption, identical recovery paths, and identical chaos reports,
+    on either execution backend.
+    """
+
+    seed: int = 0
+    faults: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    # ------------------------------------------------------------------
+    def hw_faults_for(self, request: int, attempt: int = 0) -> list:
+        """Datapath faults that fire for one (request, attempt)."""
+        return [f for f in self.faults
+                if f.kind in HW_KINDS and f.request == request
+                and f.fires_on(attempt)]
+
+    def injector_for(self, request: int, attempt: int = 0):
+        """A fresh :class:`~repro.faults.inject.FaultInjector` for one
+        solve attempt, or None when no datapath fault targets it (the
+        zero-overhead path — no hook is armed at all)."""
+        faults = self.hw_faults_for(request, attempt)
+        if not faults:
+            return None
+        from .inject import FaultInjector
+        return FaultInjector(faults)
+
+    def stalls(self) -> list:
+        """All node-stall faults, ordered by time."""
+        return sorted((f for f in self.faults if f.kind == "node-stall"),
+                      key=lambda f: (f.time, f.node))
+
+    def poisons_for(self, request: int) -> list:
+        """Artifact-poison faults targeting one request index."""
+        return [f for f in self.faults
+                if f.kind == "artifact-poison" and f.request == request]
+
+    def count_by_kind(self) -> dict:
+        counts: dict[str, int] = {}
+        for f in self.faults:
+            counts[f.kind] = counts.get(f.kind, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(cls, seed: int, requests: int, *,
+                 mac_rate: float = 0.05,
+                 hbm_rate: float = 0.03,
+                 cvb_rate: float = 0.02,
+                 persistent_rate: float = 0.1,
+                 poisons: int = 2,
+                 stalls: int = 2,
+                 nodes: int = 1,
+                 horizon: float = 1.0,
+                 stall_duration: float = 0.05,
+                 op_span: int = 64) -> "FaultPlan":
+        """Draw a plan from a seeded generator.
+
+        Each request independently suffers each datapath fault kind
+        with the given per-request probability; a ``persistent_rate``
+        fraction of those fire on every attempt (retries do not clear
+        them). ``poisons`` artifact poisonings and ``stalls`` node
+        stalls (across ``nodes`` node ids, within ``horizon`` simulated
+        seconds) are spread over the request stream. ``op_span`` bounds
+        the per-class op index drawn — ops past the end of a short
+        solve simply never fire, which is fine: the report counts
+        *observed* injections.
+        """
+        rng = np.random.default_rng(seed)
+        faults: list[Fault] = []
+        rates = (("mac-flip", mac_rate), ("hbm-read", hbm_rate),
+                 ("cvb-read", cvb_rate))
+        for request in range(requests):
+            for kind, rate in rates:
+                if rng.random() >= rate:
+                    continue
+                attempt = (EVERY_ATTEMPT
+                           if rng.random() < persistent_rate else 0)
+                faults.append(Fault(
+                    kind=kind, request=request, attempt=attempt,
+                    op_index=int(rng.integers(0, op_span)),
+                    element=int(rng.integers(0, 1 << 30)),
+                    bit=int(rng.integers(0, 63))))
+        if requests > 0:
+            for _ in range(poisons):
+                faults.append(Fault(kind="artifact-poison",
+                                    request=int(rng.integers(0, requests))))
+        for _ in range(stalls):
+            faults.append(Fault(
+                kind="node-stall",
+                node=int(rng.integers(0, max(nodes, 1))),
+                time=float(rng.uniform(0.0, horizon)),
+                duration=float(stall_duration)))
+        return cls(seed=seed, faults=tuple(faults))
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {"seed": self.seed,
+                "faults": [asdict(f) for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        return cls(seed=int(payload.get("seed", 0)),
+                   faults=tuple(Fault(**raw)
+                                for raw in payload.get("faults", [])))

@@ -1,0 +1,83 @@
+"""Recovery and resilience policies (the knobs, not the machinery).
+
+:class:`RecoveryPolicy` governs the accelerator's *internal* recovery:
+checkpoint/rollback of ADMM state at adaptive-rho segment boundaries
+(see :class:`repro.hw.accelerator.RSQPAccelerator`). Rollback cost is
+bounded — at most one segment of iterations is re-run per rollback,
+never the whole problem.
+
+:class:`ResiliencePolicy` governs the serving layer's *external*
+resilience: how many times a failed solve is retried (exponential
+backoff with deterministic seeded jitter), whether the service
+degrades to the reference solver once retries are exhausted, the
+default per-request deadline, and when returned solutions are
+re-checked against the problem's KKT conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RecoveryPolicy", "ResiliencePolicy"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Accelerator-side checkpoint/rollback limits."""
+
+    #: Rollbacks allowed per solve before the run raises
+    #: FaultDetectedError (each re-runs at most one ADMM segment).
+    max_rollbacks: int = 3
+    #: A segment whose on-chip worst-residual grows by more than this
+    #: factor over the previous segment's is treated as diverged.
+    divergence_factor: float = 1e6
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Serving-side retry / degrade / deadline / check policy."""
+
+    #: Retries after the first failed attempt (so max_retries + 1
+    #: accelerator attempts total before degradation).
+    max_retries: int = 2
+    #: First backoff sleep; subsequent retries multiply by
+    #: ``backoff_factor``. Kept tiny by default — these are simulated
+    #: accelerators, the backoff only needs to exist and be bounded.
+    backoff_base_seconds: float = 1e-4
+    backoff_factor: float = 2.0
+    #: Uniform jitter fraction added on top (0.5 -> up to +50%).
+    backoff_jitter: float = 0.5
+    #: Default per-request deadline; None = no deadline.
+    deadline_seconds: float | None = None
+    #: Degrade to the reference solver after retries are exhausted
+    #: (False re-raises the last failure instead).
+    degrade: bool = True
+    #: When to re-check a returned solution against the unscaled KKT
+    #: residuals: "auto" (only when faults were injected into the
+    #: attempt), "always", or "never".
+    check: str = "auto"
+    #: Slack factor on eps_abs/eps_rel for the KKT re-check.
+    check_factor: float = 100.0
+    #: Seed of the jitter stream (deterministic backoff schedules).
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.check not in ("auto", "always", "never"):
+            raise ValueError(
+                f"check must be 'auto', 'always' or 'never', "
+                f"got {self.check!r}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def jitter_rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+    def backoff_seconds(self, attempt: int, rng=None) -> float:
+        """Sleep before retry ``attempt`` (1-based), with jitter."""
+        base = self.backoff_base_seconds * \
+            self.backoff_factor ** max(attempt - 1, 0)
+        if rng is None or self.backoff_jitter <= 0:
+            return base
+        return base * (1.0 + self.backoff_jitter * float(rng.random()))

@@ -43,6 +43,13 @@ class TokenBucket:
         self._last = 0.0
 
     def try_take(self, now: float) -> bool:
+        now = float(now)
+        if now < self._last:
+            # Clock went backwards (NTP step, misordered caller):
+            # clamp to the refill watermark. Minting from a negative
+            # elapsed time — or rewinding the watermark so the same
+            # interval refills twice — would hand out free tokens.
+            now = self._last
         if now > self._last:
             self.tokens = min(self.burst,
                               self.tokens + (now - self._last) * self.rate)

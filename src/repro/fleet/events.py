@@ -86,6 +86,13 @@ class AcceleratorNode:
                              else self.commissioned_at)
         #: Draining nodes finish their queue but accept no new work.
         self.draining = False
+        #: A failed node is offline until this instant (None = healthy).
+        self.failed_until: float | None = None
+        #: Bumped on every failure; in-flight completion events carry
+        #: the epoch they were scheduled under, so a completion from
+        #: before a crash is recognized as stale and dropped.
+        self.epoch = 0
+        self.failures = 0
         self.queue: deque = deque()
         self.busy_with = None
         self.busy_until = 0.0
@@ -94,10 +101,14 @@ class AcceleratorNode:
         self.busy_seconds = 0.0
         self.eta_sum = 0.0
         self.last_active = self.available_at
+        self._current_eta = 0.0
 
     # ------------------------------------------------------------------
     def online(self, now: float) -> bool:
-        """Eligible for routing: built and not draining."""
+        """Eligible for routing: built, healthy and not draining."""
+        if self.failed_until is not None \
+                and now < self.failed_until - 1e-12:
+            return False
         return now + 1e-12 >= self.available_at and not self.draining
 
     @property
@@ -128,6 +139,7 @@ class AcceleratorNode:
         self.eta_sum += eta
         self.served += 1
         self.last_active = now
+        self._current_eta = eta
         return self.busy_until
 
     def finish_service(self, now: float):
@@ -136,6 +148,39 @@ class AcceleratorNode:
         self.busy_with = None
         self.last_active = now
         return request
+
+    def abort_service(self, now: float):
+        """Abandon the in-flight request (node died); returns it.
+
+        Reverses the up-front service accounting: the aborted request
+        was not served, and only the busy time actually elapsed before
+        the crash counts toward utilization.
+        """
+        request = self.busy_with
+        if request is None:
+            return None
+        self.busy_seconds -= max(self.busy_until - now, 0.0)
+        self.eta_sum -= self._current_eta
+        self.served -= 1
+        self.busy_with = None
+        self.last_active = now
+        return request
+
+    def fail(self, now: float, duration: float) -> None:
+        """The node stalls/dies at ``now`` for ``duration`` seconds.
+
+        Bumps the epoch so any already-scheduled completion event is
+        recognized as stale; the caller requeues the in-flight and
+        queued requests (see :meth:`abort_service`).
+        """
+        self.failed_until = float(now) + max(float(duration), 0.0)
+        self.epoch += 1
+        self.failures += 1
+
+    def recover(self, now: float) -> None:
+        """Back to service (health checks decide when traffic returns)."""
+        self.failed_until = None
+        self.last_active = now
 
     @property
     def mean_eta(self) -> float:

@@ -44,7 +44,9 @@ import numpy as np
 
 from ..baselines.cpu import cpu_solve_seconds
 from ..baselines.workload import workload_from_result
-from ..exceptions import VerificationError
+from ..exceptions import (FaultDetectedError, SimulationError,
+                          VerificationError)
+from ..faults import CircuitBreaker, solution_ok
 from ..customization import customize_problem
 from ..experiments.runner import choose_width
 from ..qp import QProblem
@@ -79,6 +81,12 @@ class FleetRequest:
     fingerprint: StructureFingerprint
     arrival: float
     warm_start: tuple | None = None
+    #: Failed node-lane attempts so far (requeues after node crashes or
+    #: detected-fault solves); bounded by the service's max_attempts.
+    attempts: int = 0
+    #: Set when the request was pushed to the spill lane as an explicit
+    #: degraded-mode answer after exhausting node attempts.
+    degraded: bool = False
 
 
 @dataclass
@@ -111,6 +119,11 @@ class FleetRecord:
     #: calibration solve rather than a dedicated numeric run.
     calibrated: bool = False
     shed_reason: str = ""
+    #: Node-lane attempts that failed before this outcome.
+    attempts: int = 0
+    #: Answered by the spill lane as an explicit degraded-mode result
+    #: after node attempts were exhausted (never a silent wrong answer).
+    degraded: bool = False
 
 
 @dataclass
@@ -165,6 +178,20 @@ class FleetService:
         solve; a rejected artifact *sheds* the request with reason
         ``verify:<codes>`` (and bumps ``fleet_verify_rejects_total``)
         instead of crashing the event loop.
+    fault_plan:
+        Deterministic fault schedule (:class:`repro.faults.FaultPlan`).
+        Node-stall faults become simulated-clock "node-fail" events
+        (in-flight and queued work is requeued elsewhere); hardware
+        faults arm injectors on the numeric solves. ``None`` (default)
+        disables injection entirely.
+    breaker_threshold, breaker_reset_seconds:
+        Per-node circuit breaker: consecutive detected failures before
+        the node stops receiving traffic, and the simulated-time
+        window before a half-open probe. Closed breakers are no-ops,
+        so a fault-free fleet is byte-identical to one without them.
+    max_attempts:
+        Node-lane attempts per request before it degrades to the
+        reference spill lane (an explicit degraded-mode answer).
     """
 
     def __init__(self, *, policy: str = "match", c: int | None = None,
@@ -180,10 +207,16 @@ class FleetService:
                  max_pcg_iter: int = 500,
                  seed: int = 0,
                  backend: str = "compiled",
-                 verify: bool = True):
+                 verify: bool = True,
+                 fault_plan=None,
+                 breaker_threshold: int = 3,
+                 breaker_reset_seconds: float = 0.05,
+                 max_attempts: int = 3):
         if solve_mode not in _SOLVE_MODES:
             raise ValueError(f"solve_mode must be one of {_SOLVE_MODES}, "
                              f"got {solve_mode!r}")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self.backend = validate_backend(backend)
         self.verify = bool(verify)
         self.policy = policy
@@ -219,6 +252,21 @@ class FleetService:
         self._results: dict[int, FleetResult] = {}
         self._feed = None  # closed-loop continuation queue
         self._closed = False
+        # -- fault tolerance (repro.faults) ----------------------------
+        #: Deterministic fault schedule; node-stall faults become
+        #: "node-fail" events on the simulated clock.
+        self.fault_plan = fault_plan if fault_plan else None
+        self.max_attempts = int(max_attempts)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_reset_seconds = float(breaker_reset_seconds)
+        #: Per-node circuit breakers over the *simulated* clock; a
+        #: closed breaker is a no-op, so a fault-free fleet behaves
+        #: exactly as before.
+        self._breakers: dict[int, CircuitBreaker] = {}
+        if self.fault_plan is not None:
+            for fault in self.fault_plan.stalls():
+                self._events.push(max(fault.time, 0.0), "node-fail",
+                                  (fault.node, fault.duration))
 
     # ------------------------------------------------------------------
     # structure handling
@@ -445,6 +493,10 @@ class FleetService:
             self._on_node_done(event.payload)
         elif event.kind == "spill-done":
             self._on_spill_done(event.payload)
+        elif event.kind == "node-fail":
+            self._on_node_fail(event.payload)
+        elif event.kind == "node-recover":
+            self._on_node_recover(event.payload)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown event kind {event.kind!r}")
 
@@ -458,7 +510,19 @@ class FleetService:
         if decision.action == SPILL:
             self._to_spill(request)
             return
-        online = sorted((n for n in self.nodes if n.online(now)),
+        self._route(request)
+
+    def _route(self, request: FleetRequest) -> None:
+        """Place an admitted request on a node, or spill it.
+
+        Shared by fresh arrivals and fault requeues — a requeue goes
+        straight back to the router (the request was already admitted
+        once; re-charging the token bucket would punish the victim of
+        a node crash twice).
+        """
+        now = self._events.now
+        online = sorted((n for n in self.nodes
+                         if n.online(now) and self._breaker_allows(n, now)),
                         key=lambda n: n.node_id)
         node = self.router.choose(request, online, now)
         if node is None:
@@ -469,10 +533,88 @@ class FleetService:
         node.enqueue(request)
         self._pump(node)
 
+    # -- circuit breakers ----------------------------------------------
+    def _breaker(self, node: AcceleratorNode) -> CircuitBreaker:
+        breaker = self._breakers.get(node.node_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.breaker_threshold,
+                reset_seconds=self.breaker_reset_seconds,
+                name=f"node{node.node_id}")
+            self._breakers[node.node_id] = breaker
+        return breaker
+
+    def _breaker_allows(self, node: AcceleratorNode, now: float) -> bool:
+        breaker = self._breakers.get(node.node_id)
+        return breaker is None or breaker.allows(now)
+
+    def _breaker_failure(self, node: AcceleratorNode, now: float,
+                         tripped: bool = False) -> None:
+        breaker = self._breaker(node)
+        opens = breaker.opens
+        if tripped:
+            breaker.trip(now)
+        else:
+            breaker.record_failure(now)
+        if breaker.opens > opens:
+            self.metrics.counter("fleet_breaker_opens_total").inc(
+                breaker.opens - opens)
+
+    # -- node failure / recovery ---------------------------------------
+    def _on_node_fail(self, payload) -> None:
+        node_id, duration = payload
+        now = self._events.now
+        node = next((n for n in self.nodes if n.node_id == node_id), None)
+        if node is None or not node.online(now):
+            return  # never commissioned, retired, or already down
+        node.fail(now, duration)
+        self.metrics.counter("fleet_node_failures_total").inc()
+        # A crash opens the breaker outright: no point probing a node
+        # that is known to be offline until it reports healthy again.
+        self._breaker_failure(node, now, tripped=True)
+        requeue = []
+        aborted = node.abort_service(now)
+        if aborted is not None:
+            self._in_flight.pop(node.node_id, None)
+            requeue.append(aborted)
+        while node.queue:
+            requeue.append(node.queue.popleft())
+        self._events.push(node.failed_until, "node-recover",
+                          (node, node.failed_until))
+        for request in requeue:
+            self._requeue(request, node)
+
+    def _on_node_recover(self, payload) -> None:
+        node, scheduled_until = payload
+        now = self._events.now
+        if node.failed_until != scheduled_until:
+            return  # a later failure extended the outage; stale event
+        node.recover(now)
+        self.metrics.counter("fleet_node_recoveries_total").inc()
+        # Traffic returns through the breaker's half-open probe, not
+        # all at once — the health-check discipline.
+        self._pump(node)
+
+    def _requeue(self, request: FleetRequest,
+                 node: AcceleratorNode) -> None:
+        """Re-place a request whose node attempt failed underneath it."""
+        request.attempts += 1
+        self.metrics.counter("fleet_requeues_total").inc()
+        if request.attempts >= self.max_attempts:
+            # Explicit degradation: answer from the reference lane
+            # rather than bouncing between sick nodes forever.
+            request.degraded = True
+            self.metrics.counter("fleet_degraded_total").inc()
+            self._to_spill(request)
+            return
+        self._route(request)
+
     def _pump(self, node: AcceleratorNode) -> None:
         if node.busy_with is not None or not node.queue:
             return
         now = self._events.now
+        if not node.online(now):
+            return  # failed with queued work; the crash handler requeues
         request = node.queue.popleft()
         try:
             raw, eta, calibrated = self._node_solve(request, node)
@@ -483,9 +625,17 @@ class FleetService:
             self._finalize_shed(request, f"verify:{codes}")
             self._pump(node)
             return
+        except (FaultDetectedError, SimulationError):
+            # The node produced a detected-bad solve: count it against
+            # the node's breaker and send the request elsewhere.
+            self.metrics.counter("fleet_solve_failures_total").inc()
+            self._breaker_failure(node, now)
+            self._requeue(request, node)
+            self._pump(node)
+            return
         finish = node.start_service(now, request, raw.solve_seconds, eta)
         self._in_flight[node.node_id] = (request, raw, eta, calibrated, now)
-        self._events.push(finish, "node-done", node)
+        self._events.push(finish, "node-done", (node, node.epoch))
 
     def _node_solve(self, request: FleetRequest, node: AcceleratorNode):
         """Run (or reuse) the numeric solve backing a node service."""
@@ -494,16 +644,46 @@ class FleetService:
             return self._calibration[key], self._eta[key], True
         artifact = self._bind(request.problem, request.fingerprint,
                               node.architecture)
-        raw = solve_job(request.problem, artifact, self.settings,
-                        request.warm_start, self.pcg_eps, self.backend,
-                        verify=self.verify)
+        # Hardware fault injection only applies to real numeric solves
+        # (exact mode, or the first calibration solve of a pair).
+        injector = (self.fault_plan.injector_for(request.request_id,
+                                                 request.attempts)
+                    if self.fault_plan is not None else None)
+        try:
+            raw = solve_job(request.problem, artifact, self.settings,
+                            request.warm_start, self.pcg_eps, self.backend,
+                            verify=self.verify, injector=injector)
+        finally:
+            if injector is not None and injector.events:
+                self.metrics.counter("fleet_faults_injected_total").inc(
+                    len(injector.events))
+        if raw.rollbacks:
+            self.metrics.counter("fleet_fault_rollbacks_total").inc(
+                raw.rollbacks)
+        if (injector is not None and injector.events and raw.converged
+                and not solution_ok(request.problem, raw.x, raw.y, raw.z,
+                                    eps_abs=self.settings.eps_abs,
+                                    eps_rel=self.settings.eps_rel)):
+            self.metrics.counter("fleet_silent_corruption_total").inc()
+            raise FaultDetectedError(
+                f"request {request.request_id} on node {node.node_id}: "
+                "solution failed the host-side KKT re-check",
+                events=tuple(injector.events))
         if self.solve_mode == "calibrated":
             self._calibration[key] = raw
         return raw, self._eta[key], False
 
-    def _on_node_done(self, node: AcceleratorNode) -> None:
+    def _on_node_done(self, payload) -> None:
+        node, epoch = payload
         now = self._events.now
+        if epoch != node.epoch:
+            # Completion scheduled before a crash: the request was
+            # already aborted and requeued, the work never finished.
+            return
         node.finish_service(now)
+        breaker = self._breakers.get(node.node_id)
+        if breaker is not None:
+            breaker.record_success(now)
         request, raw, eta, calibrated, start = self._in_flight.pop(
             node.node_id)
         matched = (self._dedicated.get(request.fingerprint.key)
@@ -521,7 +701,7 @@ class FleetService:
             simulated_cycles=raw.total_cycles,
             admm_iterations=raw.admm_iterations,
             converged=raw.converged, backend="rsqp",
-            calibrated=calibrated)
+            calibrated=calibrated, attempts=request.attempts)
         self._finalize(request, record, FleetResult(
             x=raw.x, y=raw.y, z=raw.z, converged=raw.converged,
             backend="rsqp", record=record, raw=raw))
@@ -567,7 +747,8 @@ class FleetService:
             service_seconds=seconds,
             latency_seconds=now - request.arrival,
             admm_iterations=raw.info.iterations,
-            converged=converged, backend="reference")
+            converged=converged, backend="reference",
+            attempts=request.attempts, degraded=request.degraded)
         self._finalize(request, record, FleetResult(
             x=raw.x, y=raw.y, z=raw.z, converged=converged,
             backend="reference", record=record, raw=raw))
@@ -671,8 +852,16 @@ class FleetService:
             "utilization": n.utilization(makespan),
             "online_at": n.available_at,
             "retired": retired,
+            "failures": n.failures,
+            "breaker": (self._breakers[n.node_id].state
+                        if n.node_id in self._breakers else "closed"),
         } for n, retired in ([(n, False) for n in self.nodes]
                              + [(n, True) for n in self.retired])]
+        counters = self.metrics.snapshot()["counters"]
+
+        def _count(name):
+            return int(counters.get(name, 0))
+
         return {
             "policy": self.policy,
             "solve_mode": self.solve_mode,
@@ -701,6 +890,17 @@ class FleetService:
             "decommissions": list(self.decommissions),
             "nodes": nodes,
             "artifact_cache": self._artifacts.stats().as_dict(),
+            "faults": {
+                "node_failures": _count("fleet_node_failures_total"),
+                "node_recoveries": _count("fleet_node_recoveries_total"),
+                "requeues": _count("fleet_requeues_total"),
+                "degraded": _count("fleet_degraded_total"),
+                "breaker_opens": _count("fleet_breaker_opens_total"),
+                "injected": _count("fleet_faults_injected_total"),
+                "rollbacks": _count("fleet_fault_rollbacks_total"),
+                "silent_corruption": _count(
+                    "fleet_silent_corruption_total"),
+            },
         }
 
     def render_report(self) -> str:
@@ -727,6 +927,15 @@ class FleetService:
             f"build events           : {len(rep['builds'])} "
             f"({len(rep['decommissions'])} decommissions)",
         ]
+        faults = rep["faults"]
+        if any(faults.values()):
+            lines.append(
+                f"faults                 : "
+                f"{faults['node_failures']} node failures, "
+                f"{faults['requeues']} requeues, "
+                f"{faults['degraded']} degraded, "
+                f"{faults['breaker_opens']} breaker opens, "
+                f"{faults['injected']} injected")
         for row in rep["nodes"]:
             state = "retired" if row["retired"] else "active"
             lines.append(

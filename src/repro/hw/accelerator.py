@@ -9,12 +9,14 @@ that drive the performance model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..customization import (ProblemCustomization, baseline_customization,
                              customize_problem)
+from ..exceptions import DeadlineExceededError, FaultDetectedError
 from ..qp import QProblem, ruiz_equilibrate
 from ..solver import OSQPSettings
 from ..solver.osqp import OSQPSolver
@@ -42,6 +44,10 @@ class RSQPResult:
     fmax_mhz: float
     power_watts: float
     stats: ExecutionStats
+    #: Segment rollbacks the run performed (checkpoint recovery).
+    rollbacks: int = 0
+    #: Fault-injection event records from the run's injector, if any.
+    fault_events: tuple = field(default_factory=tuple)
 
     @property
     def solve_seconds(self) -> float:
@@ -105,7 +111,10 @@ class RSQPAccelerator:
                  max_pcg_iter: int = 500,
                  compiled: CompiledProgram | None = None,
                  backend: str = "compiled",
-                 verify: bool = True):
+                 verify: bool = True,
+                 fault_injector=None,
+                 recovery=None,
+                 deadline_seconds: float | None = None):
         self.problem = problem
         self.settings = settings if settings is not None else OSQPSettings()
         if customization is None:
@@ -115,6 +124,16 @@ class RSQPAccelerator:
         self.pcg_eps = float(pcg_eps)
         self.max_pcg_iter = int(max_pcg_iter)
         self.backend = validate_backend(backend)
+        #: Optional FaultInjector armed on the machine before any
+        #: execution; arms detection + checkpoint/rollback too.
+        self.fault_injector = fault_injector
+        #: RecoveryPolicy; None with no injector disables the per-
+        #: segment corruption guard entirely (the fault-free path does
+        #: not pay for checkpoints it will never restore).
+        self.recovery = recovery
+        #: Cooperative per-solve deadline, checked between segments.
+        self.deadline_seconds = (float(deadline_seconds)
+                                 if deadline_seconds is not None else None)
 
         self._host_setup()
         self._build_machine()
@@ -151,6 +170,8 @@ class RSQPAccelerator:
                 spmv_cycles=customization.matrices[name].spmv_cycles,
                 cvb_depth=customization.matrices[name].duplication_cycles)
             for name in ("P", "A", "At")})
+        # Armed before the executor exists, so lowering sees the hook.
+        self.machine.injector = self.fault_injector
         self._executor = (CompiledExecutor(self.machine)
                           if self.backend == "compiled" else None)
 
@@ -279,9 +300,69 @@ class RSQPAccelerator:
         self._run_program(self._refresh_program)
         return True
 
+    # -- fault detection and recovery ----------------------------------
+    #: VB buffers carrying persistent ADMM state across iterations —
+    #: everything else the ADMM body re-derives from these + HBM.
+    _ADMM_STATE = ("x", "z", "y", "xt")
+
+    def _snapshot_state(self) -> tuple:
+        """Checkpoint of the cross-segment ADMM state (iterates +
+        scalar registers), taken at segment boundaries."""
+        machine = self.machine
+        vb = {name: machine.vb[name].copy()
+              for name in self._ADMM_STATE if name in machine.vb}
+        return vb, dict(machine.scalars)
+
+    def _state_corrupted(self, prev_worst: float, recovery) -> bool:
+        """Non-finite iterates / residuals, or residual divergence."""
+        machine = self.machine
+        for name in self._ADMM_STATE:
+            buf = machine.vb.get(name)
+            if buf is not None and not np.all(np.isfinite(buf)):
+                return True
+        worst = machine.scalars.get("worst")
+        if worst is not None and not np.isfinite(worst):
+            return True
+        if (worst is not None and np.isfinite(prev_worst)
+                and worst > recovery.divergence_factor
+                * max(prev_worst, 1.0)):
+            return True
+        return False
+
+    def _rollback(self, checkpoint: tuple) -> None:
+        """Restore the last good segment boundary.
+
+        Heals possible problem-data corruption too: the host re-
+        downloads the pristine HBM vectors and the accelerator reloads
+        its on-chip copies (charged as data transfers — the reload is
+        the rollback's bounded cost, on top of re-running one segment).
+        """
+        machine = self.machine
+        self._download()
+        self._run_program(self._reload_program)
+        vb_snap, scalar_snap = checkpoint
+        for name, arr in vb_snap.items():
+            buf = machine.vb.get(name)
+            if isinstance(buf, np.ndarray) and buf.shape == arr.shape:
+                np.copyto(buf, arr)  # keep compiled stable buffers
+            else:
+                machine.vb[name] = arr.copy()
+        machine.scalars.clear()
+        machine.scalars.update(scalar_snap)
+
     def run(self) -> RSQPResult:
         """Execute the solve: prologue, ADMM segments with host-driven
-        rho adaptation, epilogue. Returns the unscaled result."""
+        rho adaptation, epilogue. Returns the unscaled result.
+
+        With a fault injector (or an explicit recovery policy) armed,
+        each segment boundary checks the persistent ADMM state for
+        non-finite values and residual divergence; a corrupted segment
+        is rolled back to the last good checkpoint and re-run, at most
+        ``recovery.max_rollbacks`` times, after which the run raises
+        :class:`~repro.exceptions.FaultDetectedError`. A configured
+        deadline is checked cooperatively between segments and raises
+        :class:`~repro.exceptions.DeadlineExceededError`.
+        """
         from .isa import DataTransfer, Loop, Program
 
         sections = self.compiled._sections
@@ -290,12 +371,35 @@ class RSQPAccelerator:
         self._refresh_program = Program(
             [DataTransfer("load", name)
              for name in ("rho", "rho_inv", "minv")])
+        self._reload_program = Program(
+            [DataTransfer("load", name)
+             for name in ("q", "l", "u", "rho", "rho_inv", "minv")])
         self.rho_updates = 0
+        guard = (self.fault_injector is not None
+                 or self.recovery is not None)
+        recovery = self.recovery
+        if guard and recovery is None:
+            from ..faults.policy import RecoveryPolicy
+            recovery = RecoveryPolicy()
+        deadline_at = (time.perf_counter() + self.deadline_seconds
+                       if self.deadline_seconds is not None else None)
+        rollbacks = 0
+
+        def _events():
+            return (tuple(self.fault_injector.events)
+                    if self.fault_injector is not None else ())
 
         self._run_program(Program(list(sections["prologue"])))
+        checkpoint = self._snapshot_state() if guard else None
+        prev_worst = np.inf
         remaining = self.settings.max_iter
         converged = False
         while remaining > 0:
+            if (deadline_at is not None
+                    and time.perf_counter() > deadline_at):
+                raise DeadlineExceededError(
+                    f"solve overran its {self.deadline_seconds:.3g}s "
+                    f"deadline with {remaining} iterations to go")
             segment = min(interval, remaining)
             before = machine.stats.loop_iterations.get(ADMM_LOOP, 0)
             self._run_program(Program([Loop(body=sections["admm_body"],
@@ -303,6 +407,14 @@ class RSQPAccelerator:
                                             name=ADMM_LOOP)]))
             executed = machine.stats.loop_iterations.get(ADMM_LOOP,
                                                          0) - before
+            if guard and self._state_corrupted(prev_worst, recovery):
+                if rollbacks >= recovery.max_rollbacks:
+                    raise FaultDetectedError(
+                        f"ADMM state corrupted after "
+                        f"{rollbacks} rollbacks", events=_events())
+                rollbacks += 1
+                self._rollback(checkpoint)
+                continue  # re-run the segment; budget stays
             remaining -= executed
             if machine.scalars.get("worst", np.inf) < 1.0:
                 converged = True
@@ -312,6 +424,11 @@ class RSQPAccelerator:
             if self.settings.adaptive_rho and remaining > 0:
                 if self._update_rho_from_device():
                     self.rho_updates += 1
+            if guard:
+                checkpoint = self._snapshot_state()
+                worst = machine.scalars.get("worst")
+                if worst is not None and np.isfinite(worst):
+                    prev_worst = worst
         self._run_program(Program(list(sections["epilogue"])))
 
         stats = machine.stats
@@ -327,7 +444,8 @@ class RSQPAccelerator:
             total_cycles=stats.total_cycles,
             fmax_mhz=fmax_mhz(arch),
             power_watts=fpga_power_watts(arch),
-            stats=stats)
+            stats=stats, rollbacks=rollbacks,
+            fault_events=_events())
 
     def estimate_cycles(self, admm_iterations: int, pcg_iterations: int,
                         rho_updates: int = 0) -> int:

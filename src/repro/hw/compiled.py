@@ -195,7 +195,10 @@ class _Segment:
             total += cycles
             by_class[kind] = by_class.get(kind, 0) + cycles
         self._count = len(fns)
-        if executor.jit:
+        # Chunk fusion collapses many ops into one C call with no
+        # per-op hook points, so an armed fault injector keeps the
+        # unfused closures (which share the same bits anyway).
+        if executor.jit and machine.injector is None:
             fns = _fuse_chunks(executor, self._instructions, fns)
         self._fns = fns
         self._cycles = total
@@ -371,6 +374,22 @@ class CompiledExecutor:
         if isinstance(instr, SpMV):
             return self._lower_spmv(instr)
         raise SimulationError(f"unknown instruction {instr!r}")
+
+    def _hooked(self, fn, hook_name: str, site: str, buf: np.ndarray):
+        """Wrap a closure with the machine's fault-injection hook.
+
+        Bound at lowering time (injectors are armed before the first
+        execution) so the fault-free path pays nothing.
+        """
+        injector = self.machine.injector
+        if injector is None:
+            return fn
+        hook = getattr(injector, hook_name)
+
+        def hooked():
+            fn()
+            hook(site, buf)
+        return hooked
 
     def _lower_scalar(self, instr: ScalarOp):
         if instr.op in BINARY_SCALAR_OPS and instr.src2 is None:
@@ -575,7 +594,7 @@ class CompiledExecutor:
                         f"HBM vector {name!r} changed from {dst.size} "
                         f"to {src.size} elements")
                 np.copyto(dst, src)
-            return fn
+            return self._hooked(fn, "on_load", name, dst)
         if instr.direction == "store":
             vec = self._resident(name)
             hbm = machine.hbm
@@ -592,7 +611,7 @@ class CompiledExecutor:
 
         def fn():
             np.copyto(dst, src)
-        return fn
+        return self._hooked(fn, "on_cvb", instr.cvb, dst)
 
     def _lower_spmv(self, instr: SpMV):
         machine = self.machine
@@ -618,14 +637,14 @@ class CompiledExecutor:
 
             def fn(_hold=(src, dst)):
                 ckernel(pv, pc, pi, px, py, rows)
-            return fn
+            return self._hooked(fn, "on_spmv", instr.dst, dst)
         dense = resource.dense
         if dense is not None:
             # Same BLAS gemv the interpreter's resource.apply() calls,
             # writing into the preallocated destination buffer.
             def fn():
                 np.dot(dense, src, out=dst)
-            return fn
+            return self._hooked(fn, "on_spmv", instr.dst, dst)
         # Inline CSRMatrix.matvec with preallocated scratch: the same
         # gather -> multiply -> cumsum -> endpoint-difference sequence
         # (bit-identical to the interpreter's matvec call), minus the
@@ -638,7 +657,7 @@ class CompiledExecutor:
         if nnz == 0:
             def fn():
                 dst[:] = 0.0
-            return fn
+            return self._hooked(fn, "on_spmv", instr.dst, dst)
         products = np.empty(nnz)
         running = np.zeros(nnz + 1)
         run_view = running[1:]
@@ -647,7 +666,7 @@ class CompiledExecutor:
             np.multiply(data, src[indices], out=products)
             np.copyto(run_view, products.cumsum())
             np.subtract(running[ip1], running[ip0], out=dst)
-        return fn
+        return self._hooked(fn, "on_spmv", instr.dst, dst)
 
 
 # ---------------------------------------------------------------------------

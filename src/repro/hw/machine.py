@@ -198,6 +198,13 @@ class Machine:
         self.cvb: dict[str, np.ndarray] = {}
         self.scalars: dict[str, float] = {}
         self.stats = ExecutionStats()
+        #: Optional :class:`repro.faults.FaultInjector`. Both backends
+        #: call its hooks at the same logical points (after SpMV
+        #: writes, HBM loads and CVB duplications), so an armed
+        #: injector corrupts identically under either backend. Arm it
+        #: before the first program execution — the compiled backend
+        #: bakes the hook into its lowered closures.
+        self.injector = None
 
     # -- state helpers ---------------------------------------------------
     def write_hbm(self, name: str, values) -> None:
@@ -270,14 +277,20 @@ class Machine:
         elif isinstance(instr, DataTransfer):
             self._data_transfer(instr)
         elif isinstance(instr, VecDup):
-            self.cvb[instr.cvb] = self._vector(instr.src).copy()
+            out = self._vector(instr.src).copy()
+            self.cvb[instr.cvb] = out
+            if self.injector is not None:
+                self.injector.on_cvb(instr.cvb, out)
         elif isinstance(instr, SpMV):
             resource = self.matrices[instr.matrix]
             src = self.cvb.get(instr.src)
             if src is None:
                 raise SimulationError(
                     f"SpMV source {instr.src!r} not in CVB")
-            self.vb[instr.dst] = resource.apply(src)
+            out = resource.apply(src)
+            self.vb[instr.dst] = out
+            if self.injector is not None:
+                self.injector.on_spmv(instr.dst, out)
         elif isinstance(instr, Control):
             value = self._scalar_or_literal(instr.reg)
             threshold = self._scalar_or_literal(instr.threshold_reg)
@@ -348,7 +361,10 @@ class Machine:
         if instr.direction == "load":
             if instr.name not in self.hbm:
                 raise SimulationError(f"HBM vector {instr.name!r} missing")
-            self.vb[instr.name] = self.hbm[instr.name].copy()
+            out = self.hbm[instr.name].copy()
+            self.vb[instr.name] = out
+            if self.injector is not None:
+                self.injector.on_load(instr.name, out)
         elif instr.direction == "store":
             self.hbm[instr.name] = self._vector(instr.name).copy()
         else:

@@ -22,6 +22,7 @@ The format is documented in ``docs/SERVING.md``.
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
 from collections import OrderedDict
@@ -40,6 +41,8 @@ __all__ = ["ArchArtifact", "ArchCache", "CacheStats", "PersistedSpec",
            "build_artifact"]
 
 _PERSIST_VERSION = 1
+
+log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -205,7 +208,13 @@ class ArchCache:
         self._evictions = 0
         self._disk_hits = 0
         if self.path is not None and self.path.exists():
-            self.load()
+            try:
+                self.load()
+            except ValueError as exc:
+                # A future-version file is a configuration problem,
+                # but it must not take the service down at startup —
+                # affected structures simply rebuild from scratch.
+                log.warning("ignoring cache file %s: %s", self.path, exc)
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> ArchArtifact | None:
@@ -251,6 +260,14 @@ class ArchCache:
         """Record that a miss was served by rebuilding a persisted spec."""
         with self._lock:
             self._disk_hits += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Drop an in-memory entry (e.g. a corrupted artifact) so the
+        next lookup rebuilds it; the persisted spec survives, so the
+        rebuild still skips the architecture search. Returns whether
+        an entry was present."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def get_or_build(self, key: str, builder) -> tuple[ArchArtifact, bool]:
         """Return ``(artifact, was_hit)``; concurrent misses build once.
@@ -311,18 +328,51 @@ class ArchCache:
         return target
 
     def load(self, path: str | Path | None = None) -> int:
-        """Merge persisted specs from JSON; returns how many were read."""
+        """Merge persisted specs from JSON; returns how many were read.
+
+        Hardened against disk rot: a corrupted or truncated file (bad
+        JSON, unreadable, not a dict) logs a warning and loads nothing
+        — the affected structures rebuild through the normal cold path
+        instead of the service crashing with a ``JSONDecodeError``.
+        Individually malformed entries are skipped the same way. An
+        explicit *version mismatch* on a well-formed file still raises
+        ``ValueError``: that is a configuration error, not corruption.
+        """
         source = Path(path) if path is not None else self.path
         if source is None:
             raise ValueError("no path given and cache has no default path")
-        payload = json.loads(source.read_text())
+        try:
+            payload = json.loads(source.read_text())
+        except (OSError, UnicodeDecodeError,
+                json.JSONDecodeError) as exc:
+            log.warning(
+                "arch cache file %s is corrupt (%s); ignoring it — "
+                "structures will rebuild", source, exc)
+            return 0
+        if not isinstance(payload, dict):
+            log.warning(
+                "arch cache file %s is corrupt (not a JSON object); "
+                "ignoring it — structures will rebuild", source)
+            return 0
         if payload.get("version") != _PERSIST_VERSION:
             raise ValueError(
                 f"unsupported cache file version {payload.get('version')!r}")
+        entries = payload.get("entries", [])
+        if not isinstance(entries, list):
+            log.warning(
+                "arch cache file %s is corrupt (entries is not a "
+                "list); ignoring it — structures will rebuild", source)
+            return 0
         loaded = 0
         with self._lock:
-            for raw in payload.get("entries", []):
-                spec = PersistedSpec(**raw)
+            for raw in entries:
+                try:
+                    spec = PersistedSpec(**raw)
+                except TypeError as exc:
+                    log.warning(
+                        "skipping malformed arch cache entry in %s: %s",
+                        source, exc)
+                    continue
                 self._specs.setdefault(spec.key, spec)
                 loaded += 1
         return loaded

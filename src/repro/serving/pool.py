@@ -42,7 +42,10 @@ def solve_job(problem: QProblem, artifact: ArchArtifact,
               warm_start: tuple | None = None,
               pcg_eps: float = 1e-7,
               backend: str = "compiled",
-              verify: bool = True) -> RSQPResult:
+              verify: bool = True,
+              injector=None,
+              recovery=None,
+              deadline_seconds: float | None = None) -> RSQPResult:
     """Bind a cached artifact to ``problem`` and run the accelerator.
 
     Module-level so process pools can pickle it. The injected compiled
@@ -58,6 +61,12 @@ def solve_job(problem: QProblem, artifact: ArchArtifact,
     :class:`~repro.exceptions.VerificationError` with the full
     diagnostic report. Acceptance is memoized on the artifact, so
     repeated solves against a cached artifact check once.
+
+    ``injector`` / ``recovery`` / ``deadline_seconds`` arm fault
+    injection, checkpoint/rollback recovery and a cooperative per-job
+    deadline on the accelerator (see :mod:`repro.faults`); the
+    deadline raises :class:`~repro.exceptions.DeadlineExceededError`
+    between ADMM segments rather than killing the worker.
     """
     if verify:
         from ..verify import ensure_artifact_verified
@@ -68,7 +77,9 @@ def solve_job(problem: QProblem, artifact: ArchArtifact,
     accelerator = RSQPAccelerator(
         problem, customization=artifact.customization, settings=settings,
         pcg_eps=pcg_eps, max_pcg_iter=artifact.max_pcg_iter,
-        compiled=artifact.compiled, backend=backend, verify=False)
+        compiled=artifact.compiled, backend=backend, verify=False,
+        fault_injector=injector, recovery=recovery,
+        deadline_seconds=deadline_seconds)
     if warm_start is not None:
         x0, y0 = warm_start
         accelerator.warm_start(x=x0, y=y0)

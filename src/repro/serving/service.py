@@ -26,11 +26,15 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..exceptions import (DeadlineExceededError, FaultDetectedError,
+                          SimulationError)
 from ..experiments.runner import choose_width
+from ..faults import ResiliencePolicy, poison_artifact, solution_ok
 from ..hw.compiled import validate_backend
 from ..qp import QProblem
 from ..solver import OSQPSettings
@@ -71,6 +75,12 @@ class ServeRecord:
     simulated_seconds: float = 0.0
     admm_iterations: int = 0
     converged: bool = False
+    # -- resilience accounting (repro.faults) --------------------------
+    retries: int = 0
+    rollbacks: int = 0
+    faults_injected: int = 0
+    degraded: bool = False
+    deadline_missed: bool = False
 
     @property
     def cache_hit(self) -> bool:
@@ -141,13 +151,26 @@ class SolverService:
                  pcg_eps: float = 1e-7,
                  max_pcg_iter: int = 500,
                  backend: str = "compiled",
-                 verify: bool = True):
+                 verify: bool = True,
+                 fault_plan=None,
+                 resilience: ResiliencePolicy | None = None):
         if cold_policy not in ("build", "fallback"):
             raise ValueError(
                 f"cold_policy must be 'build' or 'fallback', "
                 f"got {cold_policy!r}")
         self.backend = validate_backend(backend)
         self.verify = bool(verify)
+        #: Deterministic fault schedule (:class:`repro.faults.FaultPlan`)
+        #: or None. Non-empty plans arm per-request hardware injectors
+        #: and artifact poisoning; the resilience policy below decides
+        #: how failures are retried and degraded.
+        self.fault_plan = fault_plan if fault_plan else None
+        self.resilience = (resilience if resilience is not None
+                           else ResiliencePolicy())
+        #: Backoff jitter stream — seeded, shared across requests under
+        #: the service lock so retry timing is reproducible in serial
+        #: mode and merely bounded in threaded mode.
+        self._jitter_rng = self.resilience.jitter_rng()
         self.c = c
         self.settings = settings if settings is not None else OSQPSettings()
         self.cold_policy = cold_policy
@@ -211,15 +234,41 @@ class SolverService:
             except VerificationError:
                 self.metrics.counter(
                     "serving_verify_rejects_total").inc()
-                raise
+                # A cached artifact that fails static verification is
+                # corrupt (e.g. poisoned in memory or on disk): drop it
+                # and rebuild once from the persisted spec. Only a
+                # fresh build that is *still* rejected — a real
+                # compiler/search bug — propagates.
+                self.cache.invalidate(key)
+                artifact, _ = self.cache.get_or_build(
+                    key, lambda: self._build_artifact(
+                        problem, fingerprint, c, key))
+                try:
+                    ensure_artifact_verified(artifact, context=key)
+                except VerificationError:
+                    self.metrics.counter(
+                        "serving_verify_rejects_total").inc()
+                    raise
+                self.metrics.counter(
+                    "serving_artifact_rebuilds_total").inc()
         return artifact, tier
 
     # ------------------------------------------------------------------
     # request lifecycle
     # ------------------------------------------------------------------
     def submit(self, problem: QProblem, *,
-               warm_start: tuple | None = None) -> int:
-        """Enqueue one solve; returns a request id for :meth:`result`."""
+               warm_start: tuple | None = None,
+               deadline: float | None = None) -> int:
+        """Enqueue one solve; returns a request id for :meth:`result`.
+
+        ``deadline`` is a per-request wall-clock budget in seconds,
+        measured from submission; it overrides
+        ``resilience.deadline_seconds`` and is enforced cooperatively
+        inside the accelerator (between ADMM segments) and between
+        retry attempts. A missed deadline degrades to the reference
+        solver (when the policy allows) rather than returning late
+        accelerator output.
+        """
         if self._closed:
             raise RuntimeError("service is closed")
         with self._lock:
@@ -227,7 +276,8 @@ class SolverService:
             self._next_id += 1
         submitted = time.perf_counter()
         future = self._dispatch.submit(
-            self._handle, request_id, problem, warm_start, submitted)
+            self._handle, request_id, problem, warm_start, submitted,
+            deadline)
         with self._lock:
             self._futures[request_id] = future
         return request_id
@@ -243,9 +293,11 @@ class SolverService:
 
     def solve(self, problem: QProblem, *,
               warm_start: tuple | None = None,
-              timeout: float | None = None) -> ServeResult:
+              timeout: float | None = None,
+              deadline: float | None = None) -> ServeResult:
         """Synchronous convenience: submit + result."""
-        return self.result(self.submit(problem, warm_start=warm_start),
+        return self.result(self.submit(problem, warm_start=warm_start,
+                                       deadline=deadline),
                            timeout=timeout)
 
     def solve_batch(self, problems, *, warm_starts=None,
@@ -261,7 +313,8 @@ class SolverService:
     # ------------------------------------------------------------------
     def _handle(self, request_id: int, problem: QProblem,
                 warm_start: tuple | None,
-                submitted: float) -> ServeResult:
+                submitted: float,
+                deadline: float | None = None) -> ServeResult:
         t_start = time.perf_counter()
         queue_seconds = t_start - submitted
         c = self.width_for(problem)
@@ -269,6 +322,10 @@ class SolverService:
         self.metrics.counter("serving_requests_total").inc()
 
         key = self.cache_key(fingerprint, c)
+        poisoned = self._apply_poisons(request_id, key)
+        if deadline is None:
+            deadline = self.resilience.deadline_seconds
+        deadline_at = (submitted + deadline) if deadline is not None else None
         if self.cold_policy == "fallback":
             artifact = self.cache.get(key)
             if artifact is not None:
@@ -282,6 +339,8 @@ class SolverService:
             artifact, tier = self._ensure_artifact(problem, fingerprint, c)
         t_ready = time.perf_counter()
 
+        resil = {"retries": 0, "rollbacks": 0, "faults_injected": 0,
+                 "degraded": False, "deadline_missed": False}
         if tier == TIER_FALLBACK:
             self.metrics.counter("serving_fallback_solves_total").inc()
             raw = self._run_reference(problem, warm_start)
@@ -296,13 +355,23 @@ class SolverService:
             self.metrics.counter(
                 "serving_cache_hits_total" if tier == TIER_HIT
                 else "serving_cache_misses_total").inc()
-            raw = self._run_accelerator(problem, artifact, warm_start)
-            backend = "rsqp"
-            converged = raw.converged
-            x, y, z = raw.x, raw.y, raw.z
-            simulated_cycles = raw.total_cycles
-            simulated_seconds = raw.solve_seconds
-            admm_iterations = raw.admm_iterations
+            raw, resil = self._solve_resilient(
+                request_id, problem, artifact, warm_start, deadline_at,
+                resil)
+            if resil["degraded"]:
+                backend = "reference"
+                converged = raw.status.is_optimal
+                x, y, z = raw.x, raw.y, raw.z
+                simulated_cycles = 0
+                simulated_seconds = 0.0
+                admm_iterations = raw.info.iterations
+            else:
+                backend = "rsqp"
+                converged = raw.converged
+                x, y, z = raw.x, raw.y, raw.z
+                simulated_cycles = raw.total_cycles
+                simulated_seconds = raw.solve_seconds
+                admm_iterations = raw.admm_iterations
             architecture = artifact.architecture_string
         t_done = time.perf_counter()
 
@@ -325,7 +394,12 @@ class SolverService:
             simulated_cycles=simulated_cycles,
             simulated_seconds=simulated_seconds,
             admm_iterations=admm_iterations,
-            converged=converged)
+            converged=converged,
+            retries=resil["retries"],
+            rollbacks=resil["rollbacks"],
+            faults_injected=resil["faults_injected"] + poisoned,
+            degraded=resil["degraded"],
+            deadline_missed=resil["deadline_missed"])
         with self._lock:
             self._records[request_id] = record
         self.metrics.histogram("serving_queue_seconds").observe(
@@ -344,15 +418,163 @@ class SolverService:
         return ServeResult(x=x, y=y, z=z, converged=converged,
                            backend=backend, record=record, raw=raw)
 
-    def _run_accelerator(self, problem, artifact, warm_start):
+    def _apply_poisons(self, request_id: int, key: str) -> int:
+        """Fire scheduled artifact-poison faults against the cache.
+
+        Only an artifact already resident in memory can be poisoned
+        (``peek`` — no LRU side effect); the corruption is then caught
+        by static verification on the next :meth:`_ensure_artifact`
+        and healed by the invalidate + rebuild path.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return 0
+        fired = 0
+        for _fault in plan.poisons_for(request_id):
+            target = self.cache.peek(key)
+            if target is None:
+                continue
+            poison_artifact(target)
+            fired += 1
+            self.metrics.counter("serving_faults_injected_total").inc()
+        return fired
+
+    def _solve_resilient(self, request_id, problem, artifact, warm_start,
+                         deadline_at, resil):
+        """Accelerator attempts with retry/backoff, then degradation.
+
+        Returns ``(raw, resil)`` where ``raw`` is an
+        :class:`~repro.hw.accelerator.RSQPResult` on success or the
+        reference solver's result when every attempt failed and the
+        policy degrades (``resil["degraded"]`` distinguishes them).
+        The headline guarantee lives here: a solution that survived
+        injected faults is re-checked against the KKT conditions on
+        the host, so a silently-corrupted answer is treated exactly
+        like a crash — retried, then degraded — never returned.
+        """
+        res = self.resilience
+        plan = self.fault_plan
+        attempt = 0
+        last_exc: BaseException | None = None
+        while attempt <= res.max_retries:
+            remaining = None
+            if deadline_at is not None:
+                remaining = deadline_at - time.perf_counter()
+                if remaining <= 0:
+                    last_exc = DeadlineExceededError(
+                        f"request {request_id} deadline expired before "
+                        f"attempt {attempt}")
+                    self._record_deadline_miss(deadline_at, resil)
+                    break
+            injector = (plan.injector_for(request_id, attempt)
+                        if plan is not None else None)
+            try:
+                raw = self._run_accelerator(
+                    problem, artifact, warm_start, injector=injector,
+                    deadline_seconds=remaining)
+            except DeadlineExceededError as exc:
+                last_exc = exc
+                self._count_injected(injector, exc, resil)
+                self._record_deadline_miss(deadline_at, resil)
+                break  # no budget left for another attempt
+            except (FaultDetectedError, SimulationError) as exc:
+                last_exc = exc
+                self._count_injected(injector, exc, resil)
+                attempt += 1
+                if attempt > res.max_retries:
+                    break
+                resil["retries"] += 1
+                self.metrics.counter("serving_retries_total").inc()
+                with self._lock:
+                    delay = res.backoff_seconds(attempt, self._jitter_rng)
+                if remaining is not None:
+                    delay = min(delay, max(remaining, 0.0))
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            self._count_injected(injector, None, resil, raw=raw)
+            resil["rollbacks"] += raw.rollbacks
+            if raw.rollbacks:
+                self.metrics.counter(
+                    "serving_fault_rollbacks_total").inc(raw.rollbacks)
+            suspect = bool(raw.fault_events) or raw.rollbacks > 0
+            check = (res.check == "always"
+                     or (res.check == "auto" and suspect))
+            if (raw.converged and check
+                    and not solution_ok(
+                        problem, raw.x, raw.y, raw.z,
+                        eps_abs=self.settings.eps_abs,
+                        eps_rel=self.settings.eps_rel,
+                        factor=res.check_factor)):
+                # Silent corruption: converged flag is up but the
+                # solution does not satisfy KKT. Retry like a crash.
+                last_exc = FaultDetectedError(
+                    f"request {request_id} attempt {attempt}: solution "
+                    "failed the host-side KKT re-check",
+                    events=raw.fault_events)
+                self.metrics.counter(
+                    "serving_silent_corruption_total").inc()
+                attempt += 1
+                if attempt > res.max_retries:
+                    break
+                resil["retries"] += 1
+                self.metrics.counter("serving_retries_total").inc()
+                continue
+            return raw, resil
+        # Every attempt failed (or the deadline is gone).
+        if not res.degrade:
+            assert last_exc is not None
+            raise last_exc
+        self.metrics.counter("serving_degraded_total").inc()
+        resil["degraded"] = True
+        raw = self._run_reference(problem, warm_start)
+        return raw, resil
+
+    def _count_injected(self, injector, exc, resil, raw=None) -> None:
+        """Tally faults fired during one attempt, whatever its outcome.
+
+        In-process execution reads the injector's own event log; with a
+        process pool the injector object lives in the worker, so the
+        count rides back on the result (or the raised fault error).
+        """
+        if injector is None:
+            return
+        if self._solve_pool is None:
+            fired = len(injector.events)
+        elif raw is not None:
+            fired = len(raw.fault_events)
+        elif isinstance(exc, FaultDetectedError):
+            fired = len(exc.events)
+        else:
+            fired = 0
+        if fired:
+            resil["faults_injected"] += fired
+            self.metrics.counter(
+                "serving_faults_injected_total").inc(fired)
+
+    def _record_deadline_miss(self, deadline_at, resil) -> None:
+        if resil["deadline_missed"]:
+            return
+        resil["deadline_missed"] = True
+        overrun = max(time.perf_counter() - deadline_at, 0.0)
+        self.metrics.counter("serving_deadline_misses_total").inc()
+        self.metrics.histogram(
+            "serving_deadline_miss_seconds").observe(overrun)
+
+    def _run_accelerator(self, problem, artifact, warm_start,
+                         injector=None, deadline_seconds=None):
         # _ensure_artifact already verified (and memoized) the
         # artifact, so the job itself skips the re-check.
         if self._solve_pool is not None:
             return self._solve_pool.submit(
                 solve_job, problem, artifact, self.settings, warm_start,
-                self.pcg_eps, self.backend, False).result()
+                self.pcg_eps, self.backend, False,
+                injector=injector,
+                deadline_seconds=deadline_seconds).result()
         return solve_job(problem, artifact, self.settings, warm_start,
-                         self.pcg_eps, self.backend, verify=False)
+                         self.pcg_eps, self.backend, verify=False,
+                         injector=injector,
+                         deadline_seconds=deadline_seconds)
 
     def _run_reference(self, problem, warm_start):
         if self._solve_pool is not None:
@@ -407,7 +629,13 @@ class SolverService:
 
         Re-snapshots until quiescent, so background builds scheduled by
         requests that finish *during* the drain are waited on too.
+        ``timeout`` is a **total** budget across everything
+        outstanding; on expiry a :class:`TimeoutError` is raised with
+        the number of still-unfinished requests — never a silent
+        return with work still in flight.
         """
+        budget_ends = (time.monotonic() + timeout
+                       if timeout is not None else None)
         waited: set[int] = set()
         while True:
             with self._lock:
@@ -418,7 +646,20 @@ class SolverService:
                 return
             for future in futures:
                 waited.add(id(future))
-                future.exception(timeout=timeout)
+                if budget_ends is None:
+                    future.exception()
+                    continue
+                remaining = budget_ends - time.monotonic()
+                try:
+                    if remaining <= 0:
+                        raise _FuturesTimeout()
+                    future.exception(timeout=remaining)
+                except _FuturesTimeout:
+                    pending = sum(1 for f in futures if not f.done())
+                    raise TimeoutError(
+                        f"drain timed out after {timeout:.3g}s with "
+                        f"{pending} request(s) still outstanding"
+                    ) from None
 
     def close(self) -> None:
         """Drain, persist the cache (if configured) and stop workers."""

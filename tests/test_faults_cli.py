@@ -1,0 +1,73 @@
+"""Chaos-replay CLI: SLO gates, report shape, determinism."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.__main__ import main
+
+BASE = ["--requests", "8", "--structures", "2", "--scale", "0.6",
+        "--eps", "1e-3", "--seed", "0"]
+
+
+def run_cli(tmp_path, *extra):
+    report_path = tmp_path / "chaos.json"
+    with np.errstate(all="ignore"):
+        code = main([*BASE, "--report", str(report_path), *extra])
+    return code, json.loads(report_path.read_text())
+
+
+class TestChaosReplay:
+    def test_smoke_passes_slos(self, tmp_path, capsys):
+        code, report = run_cli(tmp_path)
+        assert code == 0
+        assert report["slo"]["violations"] == []
+        serving = report["serving"]
+        assert serving["requests"] == 8
+        assert serving["availability"] >= 0.99
+        assert serving["silent_wrong"] == 0
+        fleet = report["fleet"]
+        assert fleet["requests"] == 8
+        assert fleet["silent_wrong"] == 0
+        out = capsys.readouterr().out
+        assert "chaos" in out.lower()
+
+    def test_report_is_deterministic(self, tmp_path):
+        _, first = run_cli(tmp_path)
+        _, second = run_cli(tmp_path)
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True)
+
+    def test_backends_produce_identical_chaos_reports(self, tmp_path):
+        code, report = run_cli(tmp_path, "--skip-fleet",
+                               "--both-backends")
+        assert code == 0
+        assert report["backends_identical"] is True
+
+    def test_impossible_slo_fails_the_gate(self, tmp_path, capsys):
+        code, report = run_cli(tmp_path, "--skip-fleet",
+                               "--min-availability", "1.01")
+        assert code == 1
+        assert report["slo"]["violations"]
+        assert "SLO" in capsys.readouterr().out
+
+    def test_faults_are_visible_in_the_report(self, tmp_path):
+        _, report = run_cli(tmp_path, "--skip-fleet", "--mac-rate",
+                            "0.9", "--hbm-rate", "0.5", "--poisons", "0")
+        serving = report["serving"]
+        assert sum(serving["plan"].values()) > 0
+        assert serving["faults_injected"] > 0
+        assert serving["availability"] >= 0.99
+
+    def test_zero_fault_plan_runs_clean(self, tmp_path):
+        code, report = run_cli(tmp_path, "--skip-fleet",
+                               "--mac-rate", "0", "--hbm-rate", "0",
+                               "--cvb-rate", "0", "--poisons", "0",
+                               "--stalls", "0")
+        assert code == 0
+        serving = report["serving"]
+        assert serving["faults_injected"] == 0
+        assert serving["retries"] == 0
+        assert serving["degraded"] == 0
+        assert serving["availability"] == 1.0

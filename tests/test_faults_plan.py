@@ -1,0 +1,99 @@
+"""FaultPlan: generation determinism, addressing, (de)serialization."""
+
+import pytest
+
+from repro.faults import (EVERY_ATTEMPT, FAULT_KINDS, HW_KINDS, Fault,
+                          FaultPlan)
+
+
+class TestFault:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            Fault(kind="gamma-ray")
+
+    def test_rejects_out_of_range_bit(self):
+        with pytest.raises(ValueError, match="bit"):
+            Fault(kind="mac-flip", bit=64)
+
+    def test_fires_on_first_attempt_only_by_default(self):
+        fault = Fault(kind="mac-flip", request=0)
+        assert fault.fires_on(0)
+        assert not fault.fires_on(1)
+
+    def test_persistent_fires_on_every_attempt(self):
+        fault = Fault(kind="hbm-read", request=0, attempt=EVERY_ATTEMPT)
+        assert fault.fires_on(0) and fault.fires_on(1) and fault.fires_on(7)
+
+
+class TestPlanQueries:
+    def make_plan(self):
+        return FaultPlan(seed=3, faults=(
+            Fault(kind="mac-flip", request=0, op_index=2),
+            Fault(kind="hbm-read", request=1, attempt=EVERY_ATTEMPT),
+            Fault(kind="artifact-poison", request=1),
+            Fault(kind="node-stall", node=1, time=0.5, duration=0.1),
+            Fault(kind="node-stall", node=0, time=0.2, duration=0.1),
+        ))
+
+    def test_len_and_bool(self):
+        assert len(self.make_plan()) == 5
+        assert self.make_plan()
+        assert not FaultPlan()
+        assert len(FaultPlan()) == 0
+
+    def test_hw_faults_respect_request_and_attempt(self):
+        plan = self.make_plan()
+        assert [f.kind for f in plan.hw_faults_for(0, 0)] == ["mac-flip"]
+        assert plan.hw_faults_for(0, 1) == []          # transient cleared
+        assert [f.kind for f in plan.hw_faults_for(1, 4)] == ["hbm-read"]
+
+    def test_injector_is_none_when_nothing_targets_the_attempt(self):
+        plan = self.make_plan()
+        assert plan.injector_for(2, 0) is None          # untargeted request
+        assert plan.injector_for(0, 1) is None          # retried clean
+        assert plan.injector_for(0, 0) is not None
+
+    def test_stalls_sorted_by_time(self):
+        stalls = self.make_plan().stalls()
+        assert [s.node for s in stalls] == [0, 1]
+        assert stalls[0].time < stalls[1].time
+
+    def test_poisons_by_request(self):
+        plan = self.make_plan()
+        assert len(plan.poisons_for(1)) == 1
+        assert plan.poisons_for(0) == []
+
+    def test_count_by_kind(self):
+        counts = self.make_plan().count_by_kind()
+        assert counts == {"mac-flip": 1, "hbm-read": 1,
+                          "artifact-poison": 1, "node-stall": 2}
+
+
+class TestGenerate:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.generate(7, 50)
+        b = FaultPlan.generate(7, 50)
+        assert a == b
+
+    def test_different_seed_different_plan(self):
+        assert FaultPlan.generate(7, 50) != FaultPlan.generate(8, 50)
+
+    def test_generated_kinds_are_valid(self):
+        plan = FaultPlan.generate(0, 100, poisons=3, stalls=3, nodes=4)
+        assert plan
+        for fault in plan.faults:
+            assert fault.kind in FAULT_KINDS
+            if fault.kind in HW_KINDS:
+                assert 0 <= fault.request < 100
+                assert 0 <= fault.bit <= 63
+
+    def test_zero_rates_give_only_scheduled_faults(self):
+        plan = FaultPlan.generate(0, 100, mac_rate=0, hbm_rate=0,
+                                  cvb_rate=0, poisons=1, stalls=2)
+        counts = plan.count_by_kind()
+        assert counts == {"artifact-poison": 1, "node-stall": 2}
+
+    def test_round_trip_dict(self):
+        plan = FaultPlan.generate(5, 30, poisons=2, stalls=2)
+        clone = FaultPlan.from_dict(plan.as_dict())
+        assert clone == plan

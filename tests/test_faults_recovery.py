@@ -1,0 +1,141 @@
+"""Accelerator recovery: checkpoint/rollback, deadlines, breakers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DeadlineExceededError, FaultDetectedError
+from repro.faults import (CLOSED, HALF_OPEN, OPEN, EVERY_ATTEMPT,
+                          CircuitBreaker, Fault, FaultInjector,
+                          RecoveryPolicy, solution_ok)
+from repro.problems import generate
+from repro.serving.arch_cache import build_artifact
+from repro.serving.pool import solve_job
+from repro.solver import OSQPSettings
+
+SETTINGS = OSQPSettings(eps_abs=1e-3, eps_rel=1e-3)
+
+#: An exponent-bit flip in an early HBM load (problem data entering
+#: the chip) — drives the residual non-finite within one segment.
+VIOLENT = [Fault(kind="hbm-read", request=0, attempt=EVERY_ATTEMPT,
+                 op_index=2, element=1, bit=62)]
+
+
+@pytest.fixture(scope="module")
+def bound():
+    problem = generate("control", 4, seed=0)
+    artifact = build_artifact(problem, 4,
+                              max_admm_iter=SETTINGS.max_iter)
+    return problem, artifact
+
+
+class TestRollback:
+    def test_rollback_heals_violent_corruption(self, bound):
+        problem, artifact = bound
+        with np.errstate(all="ignore"):
+            result = solve_job(problem, artifact, SETTINGS, verify=False,
+                               injector=FaultInjector(VIOLENT))
+        assert result.rollbacks >= 1
+        assert result.converged
+        # The healed answer is a *correct* answer, not merely a flag.
+        assert solution_ok(problem, result.x, result.y, result.z,
+                           eps_abs=SETTINGS.eps_abs,
+                           eps_rel=SETTINGS.eps_rel)
+
+    def test_healed_solution_matches_clean_solution(self, bound):
+        problem, artifact = bound
+        clean = solve_job(problem, artifact, SETTINGS, verify=False)
+        with np.errstate(all="ignore"):
+            healed = solve_job(problem, artifact, SETTINGS, verify=False,
+                               injector=FaultInjector(VIOLENT))
+        # Rollback restores the exact checkpoint, so once the transient
+        # window has passed the trajectories re-converge; solutions
+        # agree to solver tolerance.
+        assert np.allclose(clean.x, healed.x, atol=1e-2)
+
+    def test_exhausted_rollback_budget_raises(self, bound):
+        problem, artifact = bound
+        with np.errstate(all="ignore"), \
+                pytest.raises(FaultDetectedError) as excinfo:
+            solve_job(problem, artifact, SETTINGS, verify=False,
+                      injector=FaultInjector(VIOLENT),
+                      recovery=RecoveryPolicy(max_rollbacks=0))
+        assert excinfo.value.events          # the faults are accounted
+
+    def test_armed_but_silent_injector_is_bitwise_clean(self, bound):
+        problem, artifact = bound
+        clean = solve_job(problem, artifact, SETTINGS, verify=False)
+        silent = FaultInjector([Fault(kind="mac-flip", request=0,
+                                      op_index=10 ** 9)])
+        guarded = solve_job(problem, artifact, SETTINGS, verify=False,
+                            injector=silent)
+        assert not silent.events
+        np.testing.assert_array_equal(clean.x, guarded.x)
+        np.testing.assert_array_equal(clean.y, guarded.y)
+        np.testing.assert_array_equal(clean.z, guarded.z)
+        assert clean.total_cycles == guarded.total_cycles
+        assert guarded.rollbacks == 0
+
+
+class TestDeadline:
+    def test_expired_deadline_raises_between_segments(self, bound):
+        problem, artifact = bound
+        with pytest.raises(DeadlineExceededError):
+            solve_job(problem, artifact, SETTINGS, verify=False,
+                      deadline_seconds=0.0)
+
+    def test_generous_deadline_is_harmless(self, bound):
+        problem, artifact = bound
+        result = solve_job(problem, artifact, SETTINGS, verify=False,
+                           deadline_seconds=3600.0)
+        assert result.converged
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_seconds=1.0)
+        for t in (0.0, 0.1):
+            breaker.record_failure(t)
+            assert breaker.state == CLOSED
+        breaker.record_failure(0.2)
+        assert breaker.state == OPEN
+        assert breaker.opens == 1
+        assert not breaker.allows(0.5)
+
+    def test_success_resets_the_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure(0.0)
+        breaker.record_success(0.1)
+        breaker.record_failure(0.2)
+        assert breaker.state == CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=1.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allows(0.5)
+        assert breaker.allows(1.5)                 # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allows(1.6)             # probe verdict pending
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.allows(1.5)
+        breaker.record_success(1.6)
+        assert breaker.state == CLOSED
+        assert breaker.allows(1.7)
+
+    def test_probe_failure_reopens_and_restarts_window(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_seconds=1.0)
+        breaker.trip(0.0)
+        assert breaker.allows(1.5)
+        breaker.record_failure(1.6)                # single failure reopens
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+        assert not breaker.allows(2.0)
+        assert breaker.allows(2.7)
+
+    def test_trip_opens_immediately(self):
+        breaker = CircuitBreaker(failure_threshold=99)
+        breaker.trip(5.0)
+        assert breaker.state == OPEN
+        assert breaker.transitions == [(5.0, OPEN)]

@@ -336,3 +336,65 @@ class TestLoopAccounting:
         assert iters >= 2  # at least one iteration per run
         assert mi.stats.instructions_executed == 2 * iters
         assert mi.stats.total_cycles == 2 * iters
+
+
+class TestFaultHookEquivalence:
+    """The fault-injection hooks must be invisible when inactive: an
+    empty plan yields no injector at all, and an armed-but-silent
+    injector leaves both backends bit-identical to unarmed runs."""
+
+    def spmv_program(self):
+        return Program([
+            DataTransfer("load", "v0"),
+            VecDup("v0", "M"),
+            SpMV("M", "M", "v1"),
+            VecDup("v1", "W"),
+            SpMV("W", "W", "v3"),
+        ])
+
+    def test_empty_plan_produces_no_injector(self):
+        from repro.faults import FaultPlan
+        plan = FaultPlan()
+        for request in range(4):
+            for attempt in range(3):
+                assert plan.injector_for(request, attempt) is None
+
+    def test_silent_injector_is_bitwise_invisible_in_both_backends(self):
+        from repro.faults import Fault, FaultInjector
+        program = self.spmv_program()
+        base_i, base_c, err = run_both(program, seed=9)
+        assert err is None
+        armed_i = fresh_machine(9)
+        armed_c = fresh_machine(9)
+        # One injector per machine: op counters are per-run state.
+        armed_i.injector = FaultInjector(
+            [Fault(kind="mac-flip", op_index=10 ** 9)])
+        armed_c.injector = FaultInjector(
+            [Fault(kind="mac-flip", op_index=10 ** 9)])
+        executor = CompiledExecutor(armed_c)
+        armed_i.run(program)
+        executor.run(program)
+        armed_i.run(program)
+        executor.run(program)
+        assert not armed_i.injector.events
+        assert not armed_c.injector.events
+        assert_states_equal(armed_i, armed_c)
+        assert_states_equal(base_i, armed_i)
+        assert_states_equal(base_c, armed_c)
+
+    def test_armed_injector_fires_identically_in_both_backends(self):
+        from repro.faults import Fault, FaultInjector
+        program = self.spmv_program()
+        faults = [Fault(kind="mac-flip", op_index=1, element=2, bit=33),
+                  Fault(kind="hbm-read", op_index=0, element=1, bit=12),
+                  Fault(kind="cvb-read", op_index=0, element=0, bit=7)]
+        mi = fresh_machine(3)
+        mc = fresh_machine(3)
+        mi.injector = FaultInjector(list(faults))
+        mc.injector = FaultInjector(list(faults))
+        executor = CompiledExecutor(mc)
+        mi.run(program)
+        executor.run(program)
+        assert mi.injector.events == mc.injector.events
+        assert len(mi.injector.events) == 3
+        assert_states_equal(mi, mc)

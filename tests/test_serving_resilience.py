@@ -1,0 +1,212 @@
+"""Serving resilience: retry, degrade, deadlines, poison healing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FaultDetectedError
+from repro.faults import (EVERY_ATTEMPT, Fault, FaultPlan,
+                          ResiliencePolicy, solution_ok)
+from repro.problems import generate, perturb_numeric
+from repro.serving import SolverService
+from repro.solver import OSQPSettings
+
+SETTINGS = OSQPSettings(eps_abs=1e-3, eps_rel=1e-3)
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("settings", SETTINGS)
+    kwargs.setdefault("mode", "serial")
+    kwargs.setdefault("resilience",
+                      ResiliencePolicy(backoff_base_seconds=0.0))
+    return SolverService(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return generate("control", 4, seed=0)
+
+
+class TestInjectionVisibility:
+    def test_injected_faults_are_counted_and_answer_is_correct(
+            self, problem):
+        plan = FaultPlan(faults=(
+            Fault(kind="mac-flip", request=0, op_index=3, element=2,
+                  bit=40),))
+        with make_service(fault_plan=plan) as service:
+            result = service.solve(problem)
+            assert result.converged
+            assert solution_ok(problem, result.x, result.y, result.z,
+                               eps_abs=SETTINGS.eps_abs,
+                               eps_rel=SETTINGS.eps_rel)
+            assert result.record.faults_injected == 1
+            counters = service.metrics_snapshot()["counters"]
+            assert counters["serving_faults_injected_total"] == 1
+
+    def test_violent_fault_recovers_with_rollback_accounting(
+            self, problem):
+        plan = FaultPlan(faults=(
+            Fault(kind="hbm-read", request=0, attempt=EVERY_ATTEMPT,
+                  op_index=2, element=1, bit=62),))
+        with np.errstate(all="ignore"), \
+                make_service(fault_plan=plan) as service:
+            result = service.solve(problem)
+            assert result.converged
+            assert result.record.rollbacks >= 1
+            counters = service.metrics_snapshot()["counters"]
+            assert counters["serving_fault_rollbacks_total"] >= 1
+
+    def test_empty_plan_matches_plan_free_service_bitwise(self, problem):
+        with make_service() as service:
+            baseline = service.solve(problem)
+        with make_service(fault_plan=FaultPlan()) as service:
+            assert service.fault_plan is None      # zero-overhead path
+            under_plan = service.solve(problem)
+        np.testing.assert_array_equal(baseline.x, under_plan.x)
+        assert (baseline.record.simulated_cycles
+                == under_plan.record.simulated_cycles)
+
+
+class TestRetryAndDegrade:
+    def test_persistent_failure_degrades_to_reference(self, problem,
+                                                      monkeypatch):
+        service = make_service(
+            resilience=ResiliencePolicy(max_retries=2,
+                                        backoff_base_seconds=0.0))
+
+        def always_faulty(*args, **kwargs):
+            raise FaultDetectedError("persistent defect")
+
+        with service:
+            service.solve(problem)                  # warm the cache
+            monkeypatch.setattr(service, "_run_accelerator",
+                                always_faulty)
+            result = service.solve(problem)
+            assert result.backend == "reference"
+            assert result.converged
+            assert result.record.degraded
+            assert result.record.retries == 2
+            counters = service.metrics_snapshot()["counters"]
+            assert counters["serving_retries_total"] == 2
+            assert counters["serving_degraded_total"] == 1
+
+    def test_transient_failure_retries_then_succeeds(self, problem,
+                                                     monkeypatch):
+        service = make_service()
+        real = service._run_accelerator
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise FaultDetectedError("transient upset")
+            return real(*args, **kwargs)
+
+        with service:
+            monkeypatch.setattr(service, "_run_accelerator", flaky)
+            result = service.solve(problem)
+            assert result.backend == "rsqp"
+            assert result.converged
+            assert not result.record.degraded
+            assert result.record.retries == 1
+
+    def test_degrade_disabled_reraises(self, problem, monkeypatch):
+        service = make_service(
+            resilience=ResiliencePolicy(max_retries=0, degrade=False,
+                                        backoff_base_seconds=0.0))
+        with service:
+            service.solve(problem)
+            monkeypatch.setattr(
+                service, "_run_accelerator",
+                lambda *a, **k: (_ for _ in ()).throw(
+                    FaultDetectedError("boom")))
+            with pytest.raises(FaultDetectedError):
+                service.solve(problem)
+
+    def test_kkt_recheck_rejects_silently_wrong_answers(self, problem,
+                                                        monkeypatch):
+        # Force the check on every request and corrupt every returned
+        # solution: the service must refuse to pass it through.
+        service = make_service(
+            resilience=ResiliencePolicy(max_retries=1, check="always",
+                                        backoff_base_seconds=0.0))
+        real = service._run_accelerator
+
+        def corrupting(*args, **kwargs):
+            raw = real(*args, **kwargs)
+            raw.x[:] = 1e6                        # silently wrong
+            return raw
+
+        with service:
+            service.solve(problem)
+            monkeypatch.setattr(service, "_run_accelerator", corrupting)
+            result = service.solve(problem)
+            assert result.record.degraded         # never returned as-is
+            assert result.backend == "reference"
+            counters = service.metrics_snapshot()["counters"]
+            assert counters["serving_silent_corruption_total"] >= 1
+
+
+class TestPoisonHealing:
+    def test_poisoned_artifact_is_rebuilt_not_served(self, problem):
+        plan = FaultPlan(faults=(
+            Fault(kind="artifact-poison", request=1),))
+        with make_service(fault_plan=plan) as service:
+            first = service.solve(problem)          # builds the artifact
+            assert first.record.faults_injected == 0
+            second = service.solve(perturb_numeric(problem, seed=1))
+            assert second.converged
+            assert second.record.faults_injected == 1
+            counters = service.metrics_snapshot()["counters"]
+            assert counters["serving_verify_rejects_total"] == 1
+            assert counters["serving_artifact_rebuilds_total"] == 1
+
+
+class TestDeadlines:
+    def test_missed_deadline_degrades_with_accounting(self, problem):
+        with make_service() as service:
+            service.solve(problem)                  # warm the cache
+            result = service.solve(problem, deadline=0.0)
+            assert result.record.deadline_missed
+            assert result.record.degraded
+            assert result.backend == "reference"
+            snap = service.metrics_snapshot()
+            assert snap["counters"]["serving_deadline_misses_total"] == 1
+            assert snap["histograms"][
+                "serving_deadline_miss_seconds"]["count"] == 1
+
+    def test_policy_default_deadline_applies(self, problem):
+        resilience = ResiliencePolicy(deadline_seconds=0.0,
+                                      backoff_base_seconds=0.0)
+        with make_service(resilience=resilience) as service:
+            result = service.solve(problem)
+            assert result.record.deadline_missed
+            assert result.record.degraded
+
+
+class TestDrainTimeout:
+    def test_drain_raises_instead_of_returning_silently(self, problem):
+        service = SolverService(settings=SETTINGS, mode="thread",
+                                workers=1)
+        try:
+            original = service._handle
+
+            def slow_handle(*args, **kwargs):
+                time.sleep(0.5)
+                return original(*args, **kwargs)
+
+            service._handle = slow_handle
+            service.submit(problem)
+            with pytest.raises(TimeoutError, match="outstanding"):
+                service.drain(timeout=0.05)
+        finally:
+            service._handle = original
+            service.close()
+
+    def test_drain_without_timeout_waits(self, problem):
+        with SolverService(settings=SETTINGS, mode="thread",
+                           workers=1) as service:
+            request_id = service.submit(problem)
+            service.drain()
+            assert service.result(request_id).converged

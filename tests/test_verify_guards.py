@@ -89,7 +89,10 @@ class TestSolveJobGuard:
 
 
 class TestSolverServiceGuard:
-    def test_rejection_is_structured_and_counted(self):
+    def test_rejection_is_counted_and_healed_by_rebuild(self):
+        # A corrupted *cached* artifact is a recoverable condition: the
+        # reject is counted, the entry is invalidated, and the request
+        # is served from a fresh rebuild instead of failing.
         prob = generate_svm(10, seed=2)
         with SolverService(settings=SETTINGS, workers=1,
                            mode="serial") as service:
@@ -102,10 +105,15 @@ class TestSolverServiceGuard:
                 max_pcg_iter=service.max_pcg_iter)
             corrupt_program(artifact.compiled)
             service.cache.get_or_build(key, lambda: artifact)
-            with pytest.raises(VerificationError):
-                service.solve(prob)
+            result = service.solve(prob)
+            assert result.converged
             snap = service.metrics.snapshot()
             assert snap["counters"]["serving_verify_rejects_total"] == 1
+            assert snap["counters"]["serving_artifact_rebuilds_total"] == 1
+            # The healed entry replaced the corrupted one.
+            healed = service.cache.peek(key)
+            assert healed is not artifact
+            assert healed.verified
 
     def test_happy_path_marks_artifact_verified(self):
         prob = generate_svm(10, seed=3)
