@@ -105,9 +105,13 @@ def poison_artifact(artifact) -> dict:
     the next pre-solve verification actually re-checks — and rejects —
     it. Returns an event record for fault accounting.
     """
-    before = int(artifact.compiled.admm_body_cycles)
-    artifact.compiled.admm_body_cycles = before + 1
+    compiled = artifact.compiled
+    # Bump the main iteration-loop body, whatever the algorithm
+    # ("admm_body" for ADMM programs, "pdhg_body" for PDQP ones).
+    section = getattr(compiled, "body_section", "admm_body")
+    before = int(compiled.section_cycles.get(section, 0))
+    compiled.section_cycles[section] = before + 1
     artifact.verified = False
     return {"kind": "artifact-poison",
-            "site": artifact.fingerprint.key,
+            "site": artifact.fingerprint.key, "section": section,
             "before": before, "after": before + 1}

@@ -50,7 +50,7 @@ from ..faults import CircuitBreaker, solution_ok
 from ..customization import customize_problem
 from ..experiments.runner import choose_width
 from ..qp import QProblem
-from ..solver import OSQPSettings
+from ..solver import OSQPSettings, available_algorithms, choose_algorithm
 from ..serving.arch_cache import ArchCache, build_artifact
 from ..serving.fingerprint import StructureFingerprint, fingerprint_problem
 from ..serving.metrics import MetricsRegistry
@@ -192,6 +192,16 @@ class FleetService:
     max_attempts:
         Node-lane attempts per request before it degrades to the
         reference spill lane (an explicit degraded-mode answer).
+    algorithm:
+        Solver algorithm for node-lane solves. ``"admm"`` (default)
+        and ``"pdqp"`` pin every solve; ``"auto"`` picks per structure
+        via :func:`repro.solver.choose_algorithm`; ``"race"``
+        (calibrated mode only) numerically runs *both* algorithms on
+        the first solve of each structure and pins the structure to
+        the cycle winner for all repeats — the measured, rather than
+        heuristic, form of auto-selection. Race calibration solves are
+        plain measurement runs: fault injection applies only to
+        already-pinned solves.
     """
 
     def __init__(self, *, policy: str = "match", c: int | None = None,
@@ -211,12 +221,23 @@ class FleetService:
                  fault_plan=None,
                  breaker_threshold: int = 3,
                  breaker_reset_seconds: float = 0.05,
-                 max_attempts: int = 3):
+                 max_attempts: int = 3,
+                 algorithm: str = "admm"):
         if solve_mode not in _SOLVE_MODES:
             raise ValueError(f"solve_mode must be one of {_SOLVE_MODES}, "
                              f"got {solve_mode!r}")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if (algorithm not in ("auto", "race")
+                and algorithm not in available_algorithms()):
+            raise ValueError(
+                f"algorithm must be 'auto', 'race' or one of "
+                f"{available_algorithms()}, got {algorithm!r}")
+        if algorithm == "race" and solve_mode != "calibrated":
+            raise ValueError(
+                "algorithm='race' requires solve_mode='calibrated': the "
+                "race reuses its measurement solves as calibration")
+        self.algorithm = algorithm
         self.backend = validate_backend(backend)
         self.verify = bool(verify)
         self.policy = policy
@@ -244,6 +265,9 @@ class FleetService:
         self._dedicated: dict[str, str] = {}
         self._dedicated_arch: dict[str, object] = {}
         self._calibration: dict[tuple[str, str], object] = {}
+        #: Race-mode outcome per structure: fingerprint key -> the
+        #: algorithm whose measured solve took fewer cycles.
+        self._race_winners: dict[str, str] = {}
         self._events = EventQueue()
         self._in_flight: dict[int, tuple] = {}
         self._next_request_id = 0
@@ -280,21 +304,23 @@ class FleetService:
         return self.c if self.c is not None else choose_width(problem.nnz)
 
     def _artifact_key(self, fingerprint: StructureFingerprint,
-                      architecture) -> str:
-        return (f"{fingerprint.key}:arch={architecture}"
+                      architecture, algorithm: str = "admm") -> str:
+        base = (f"{fingerprint.key}:arch={architecture}"
                 f":pcg{self.max_pcg_iter}")
+        return base if algorithm == "admm" else f"{base}:{algorithm}"
 
     def _bind(self, problem: QProblem, fingerprint: StructureFingerprint,
-              architecture):
+              architecture, algorithm: str = "admm"):
         """Artifact of ``architecture`` bound to this structure (memoized)."""
-        key = self._artifact_key(fingerprint, architecture)
+        key = self._artifact_key(fingerprint, architecture, algorithm)
         artifact, _ = self._artifacts.get_or_build(
             key, lambda: build_artifact(
                 problem, architecture.c, architecture=architecture,
                 fingerprint=fingerprint,
                 max_admm_iter=self.settings.max_iter,
                 max_pcg_iter=self.max_pcg_iter,
-                metrics=self.metrics, metrics_prefix="fleet"))
+                metrics=self.metrics, metrics_prefix="fleet",
+                algorithm=algorithm))
         pair = (fingerprint.key, str(architecture))
         self._eta.setdefault(pair, artifact.customization.eta)
         # Per-iteration service rate of this structure on this
@@ -637,13 +663,64 @@ class FleetService:
         self._in_flight[node.node_id] = (request, raw, eta, calibrated, now)
         self._events.push(finish, "node-done", (node, node.epoch))
 
+    def _algorithm_for(self, request: FleetRequest) -> str | None:
+        """Resolve the algorithm for one solve; None = race pending."""
+        if self.algorithm == "race":
+            return self._race_winners.get(request.fingerprint.key)
+        if self.algorithm == "auto":
+            return choose_algorithm(request.problem)
+        return self.algorithm
+
+    def _race_solve(self, request: FleetRequest, node: AcceleratorNode):
+        """First solve of a structure under ``algorithm="race"``.
+
+        Measure every registered algorithm on this (structure,
+        architecture) pair, pin the structure to the cycle winner and
+        reuse the winner's run as the calibration entry. Unconverged
+        contenders are disqualified; if nobody converges the structure
+        falls back to ADMM (its run is still the calibrated answer).
+        """
+        key = (request.fingerprint.key, node.arch_string)
+        raws: dict[str, object] = {}
+        winner = None
+        for algorithm in available_algorithms():
+            artifact = self._bind(request.problem, request.fingerprint,
+                                  node.architecture, algorithm)
+            raw = solve_job(request.problem, artifact, self.settings,
+                            request.warm_start, self.pcg_eps,
+                            self.backend, verify=self.verify)
+            raws[algorithm] = raw
+            self.metrics.counter("fleet_race_solves_total").inc()
+            if raw.converged and (
+                    winner is None
+                    or raw.total_cycles < raws[winner].total_cycles):
+                winner = algorithm
+        if winner is None:
+            winner = "admm"
+        self._race_winners[request.fingerprint.key] = winner
+        self.metrics.counter("fleet_race_total").inc()
+        self.metrics.counter(f"fleet_race_winner_{winner}_total").inc()
+        self._count_selected(winner)
+        best = raws[winner]
+        self._calibration[key] = best
+        return best, self._eta[key], False
+
+    def _count_selected(self, algorithm: str) -> None:
+        self.metrics.counter("fleet_algo_selected_total").inc()
+        self.metrics.counter(
+            f"fleet_algo_selected_{algorithm}_total").inc()
+
     def _node_solve(self, request: FleetRequest, node: AcceleratorNode):
         """Run (or reuse) the numeric solve backing a node service."""
         key = (request.fingerprint.key, node.arch_string)
         if self.solve_mode == "calibrated" and key in self._calibration:
             return self._calibration[key], self._eta[key], True
+        algorithm = self._algorithm_for(request)
+        if algorithm is None:  # race mode, winner not yet measured
+            return self._race_solve(request, node)
+        self._count_selected(algorithm)
         artifact = self._bind(request.problem, request.fingerprint,
-                              node.architecture)
+                              node.architecture, algorithm)
         # Hardware fault injection only applies to real numeric solves
         # (exact mode, or the first calibration solve of a pair).
         injector = (self.fault_plan.injector_for(request.request_id,
@@ -865,6 +942,8 @@ class FleetService:
         return {
             "policy": self.policy,
             "solve_mode": self.solve_mode,
+            "algorithm": self.algorithm,
+            "race_winners": dict(self._race_winners),
             "requests": len(records),
             "completed": len(node_lane),
             "spilled": sum(r.lane == LANE_SPILL for r in records),

@@ -6,8 +6,9 @@ from .accelerator import (RSQPAccelerator, RSQPResult,
 from .asm import (ROM_WORD_BYTES, decode_program, disassemble,
                   encode_program, rom_words)
 from .compiled import BACKENDS, CompiledExecutor, validate_backend
-from .compiler import (ADMM_LOOP, PCG_LOOP, CompiledProgram, attach_costs,
-                       compile_osqp_program)
+from .compiler import (ADMM_LOOP, PCG_LOOP, PDHG_LOOP, CompiledProgram,
+                       attach_costs, compile_osqp_program,
+                       compile_pdqp_program)
 from .frequency import FMAX_CAP_MHZ, fmax_mhz
 from .isa import (PIPELINE_OVERHEAD, Control, DataTransfer, Instruction,
                   Loop, Program, ScalarOp, ScalarOpKind, SpMV, VecDup,
@@ -16,6 +17,7 @@ from .machine import (CYCLE_CLASSES, ExecutionStats, Machine,
                       MatrixResource)
 from .memory import (HBMConfig, HBMPlan, MatrixPlacement, U50_HBM,
                      plan_hbm_layout)
+from .pdqp import PDQPAccelerator, compile_pdqp_for_customization
 from .power import (FPGA_DYNAMIC_MAX_W, FPGA_STATIC_W, fpga_power_watts)
 from .spmv_engine import SpMVTrace, simulate_spmv
 from .resources import (U50_LIMITS, ResourceEstimate, estimate_resources,
@@ -37,11 +39,15 @@ __all__ = [
     "SpMVTrace",
     "simulate_spmv",
     "RSQPResult",
+    "PDQPAccelerator",
+    "compile_pdqp_for_customization",
     "CompiledProgram",
     "compile_osqp_program",
+    "compile_pdqp_program",
     "attach_costs",
     "ADMM_LOOP",
     "PCG_LOOP",
+    "PDHG_LOOP",
     "fmax_mhz",
     "FMAX_CAP_MHZ",
     "Machine",

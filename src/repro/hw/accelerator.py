@@ -32,7 +32,14 @@ __all__ = ["RSQPResult", "RSQPAccelerator", "compile_for_customization"]
 
 @dataclass
 class RSQPResult:
-    """Solution and performance data from one accelerator run."""
+    """Solution and performance data from one accelerator run.
+
+    ``admm_iterations`` counts the *outer* loop trips whatever the
+    algorithm (PDHG iterations for ``algorithm="pdqp"``); the uniform
+    ``status`` / ``iterations`` / ``termination_reason`` properties
+    match :class:`repro.solver.results.OSQPResult`, so callers can
+    treat reference and accelerator results interchangeably.
+    """
 
     x: np.ndarray
     y: np.ndarray
@@ -48,6 +55,10 @@ class RSQPResult:
     rollbacks: int = 0
     #: Fault-injection event records from the run's injector, if any.
     fault_events: tuple = field(default_factory=tuple)
+    #: Which algorithm produced this result ("admm" or "pdqp").
+    algorithm: str = "admm"
+    #: Host-driven restarts (PDQP) — 0 for the ADMM path.
+    restarts: int = 0
 
     @property
     def solve_seconds(self) -> float:
@@ -57,6 +68,24 @@ class RSQPResult:
     @property
     def energy_joules(self) -> float:
         return self.solve_seconds * self.power_watts
+
+    # -- uniform result surface (matches OSQPResult) --------------------
+    @property
+    def status(self) -> "SolverStatus":
+        """:class:`~repro.solver.results.SolverStatus` equivalent."""
+        from ..solver.results import SolverStatus
+        return (SolverStatus.SOLVED if self.converged
+                else SolverStatus.MAX_ITER_REACHED)
+
+    @property
+    def iterations(self) -> int:
+        """Outer-loop iterations, algorithm-agnostic."""
+        return self.admm_iterations
+
+    @property
+    def termination_reason(self) -> str:
+        """One of :data:`repro.solver.results.TERMINATION_REASONS`."""
+        return self.status.reason
 
 
 class RSQPAccelerator:

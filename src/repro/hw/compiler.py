@@ -1,16 +1,24 @@
-"""Lowering OSQP (Algorithm 1) + PCG (Algorithm 2) to the RSQP ISA.
+"""Lowering first-order QP algorithms to the RSQP ISA.
 
-The compiled program mirrors the reference solver's indirect path:
+Two algorithms compile onto the same problem-specific datapaths:
 
-* prologue — load problem vectors from HBM, initialize scalars;
-* ADMM loop — build the reduced-KKT right-hand side, run the PCG loop,
-  relax, project, update duals, then evaluate 2-norm termination
-  residuals on-chip and exit via a Control instruction;
+* :func:`compile_osqp_program` — OSQP ADMM (Algorithm 1) with the
+  inner PCG loop (Algorithm 2), customized against the implicit
+  reduced-KKT operator ``K = P + sigma I + A' rho A``;
+* :func:`compile_pdqp_program` — restarted Halpern PDHG
+  (:mod:`repro.solver.pdqp`), customized directly against the raw
+  ``P`` / ``A`` / ``A'`` structures — no KKT system is ever formed.
+
+Both emit the same shape of program:
+
+* prologue — load problem vectors from HBM, initialize state;
+* iteration loop(s) — the algorithm body, ending in an on-chip 2-norm
+  termination check and a Control exit;
 * epilogue — store ``x``, ``y``, ``z`` back to HBM.
 
 Because every instruction's cycle cost is static (it depends only on
-vector lengths, the SpMV schedules and the CVB depths), the same
-compiled program doubles as an exact analytic cost model:
+vector lengths, the SpMV schedules and the CVB depths), the compiled
+program doubles as an exact analytic cost model:
 :meth:`CompiledProgram.estimate_cycles` must equal the machine's
 measured cycles for given iteration counts — a property the tests
 assert.
@@ -18,16 +26,18 @@ assert.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Dict
 
 from .isa import (Control, DataTransfer, Loop, Program, ScalarOp,
                   ScalarOpKind, SpMV, VecDup, VectorOp, VectorOpKind)
 
-__all__ = ["CompiledProgram", "compile_osqp_program", "StaticCostContext"]
+__all__ = ["CompiledProgram", "compile_osqp_program",
+           "compile_pdqp_program", "StaticCostContext", "attach_costs"]
 
 #: Loop names used in the machine's iteration statistics.
 ADMM_LOOP = "admm"
 PCG_LOOP = "pcg"
+PDHG_LOOP = "pdhg"
 
 
 class StaticCostContext:
@@ -49,20 +59,88 @@ class StaticCostContext:
         return self._depths[matrix]
 
 
-@dataclass
 class CompiledProgram:
-    """The lowered program plus its static per-section cycle costs."""
+    """A lowered program plus its static per-section cycle costs.
 
-    program: Program
-    context: StaticCostContext
-    prologue_cycles: int
-    admm_body_cycles: int   # per ADMM iteration, excluding the PCG loop
-    pcg_body_cycles: int    # per PCG iteration
-    epilogue_cycles: int
+    Generic over the algorithm: ``section_cycles`` maps section names
+    (``"prologue"``, loop bodies, ``"epilogue"``) to their static cost,
+    and ``loop_sections`` maps each loop name to the section holding
+    its per-iteration body. The legacy ADMM-era field quartet
+    (``prologue_cycles`` / ``admm_body_cycles`` / ``pcg_body_cycles`` /
+    ``epilogue_cycles``) remains available as read/write properties
+    over that table, so existing callers (fault injection, tests)
+    keep working.
+    """
+
+    def __init__(self, program: Program, context: StaticCostContext,
+                 *, algorithm: str = "admm",
+                 loop_sections: Dict[str, str] | None = None,
+                 section_cycles: Dict[str, int] | None = None):
+        self.program = program
+        self.context = context
+        self.algorithm = algorithm
+        #: loop name -> section name of its per-iteration body.
+        self.loop_sections = dict(loop_sections or {
+            ADMM_LOOP: "admm_body", PCG_LOOP: "pcg_body"})
+        self.section_cycles: Dict[str, int] = dict(section_cycles or {})
+        #: section name -> instruction list (set by the compile_* fns).
+        self._sections: Dict[str, list] = {}
+
+    # -- legacy per-section fields (read/write views) -------------------
+    @property
+    def prologue_cycles(self) -> int:
+        return self.section_cycles.get("prologue", 0)
+
+    @prologue_cycles.setter
+    def prologue_cycles(self, value: int) -> None:
+        self.section_cycles["prologue"] = value
+
+    @property
+    def admm_body_cycles(self) -> int:
+        return self.section_cycles.get("admm_body", 0)
+
+    @admm_body_cycles.setter
+    def admm_body_cycles(self, value: int) -> None:
+        self.section_cycles["admm_body"] = value
+
+    @property
+    def pcg_body_cycles(self) -> int:
+        return self.section_cycles.get("pcg_body", 0)
+
+    @pcg_body_cycles.setter
+    def pcg_body_cycles(self, value: int) -> None:
+        self.section_cycles["pcg_body"] = value
+
+    @property
+    def epilogue_cycles(self) -> int:
+        return self.section_cycles.get("epilogue", 0)
+
+    @epilogue_cycles.setter
+    def epilogue_cycles(self, value: int) -> None:
+        self.section_cycles["epilogue"] = value
+
+    @property
+    def body_section(self) -> str:
+        """The outermost iteration loop's body section name."""
+        return "pdhg_body" if self.algorithm == "pdqp" else "admm_body"
+
+    # -- cost model -----------------------------------------------------
+    def estimate_cycles_for(self, iterations: Dict[str, int]) -> int:
+        """Exact cycle count given per-loop trip counts (by loop name)."""
+        total = (self.section_cycles.get("prologue", 0)
+                 + self.section_cycles.get("epilogue", 0))
+        for loop_name, trips in iterations.items():
+            section = self.loop_sections[loop_name]
+            total += trips * self.section_cycles.get(section, 0)
+        return total
 
     def estimate_cycles(self, admm_iterations: int,
                         pcg_iterations: int) -> int:
-        """Exact cycle count for given loop trip counts."""
+        """Exact cycle count for given loop trip counts (ADMM programs).
+
+        Kept for the original two-loop signature; PDQP programs use
+        :meth:`estimate_cycles_for` with the ``"pdhg"`` loop name.
+        """
         return (self.prologue_cycles
                 + admm_iterations * self.admm_body_cycles
                 + pcg_iterations * self.pcg_body_cycles
@@ -92,6 +170,17 @@ def _section_cycles(items, context) -> int:
             continue  # inner loops are costed separately
         total += item.cycles(context)
     return total
+
+
+def _install_sections(compiled: CompiledProgram,
+                      sections: Dict[str, list]) -> CompiledProgram:
+    for name, items in sections.items():
+        _tag_sites(items, name)
+    compiled._sections = dict(sections)
+    for name, items in sections.items():
+        compiled.section_cycles[name] = _section_cycles(
+            items, compiled.context)
+    return compiled
 
 
 def compile_osqp_program(n: int, m: int, *, max_admm_iter: int,
@@ -243,11 +332,6 @@ def compile_osqp_program(n: int, m: int, *, max_admm_iter: int,
         DataTransfer("store", "z"),
     ]
 
-    _tag_sites(prologue, "prologue")
-    _tag_sites(pcg_body, "pcg_body")
-    _tag_sites(admm_body, "admm_body")
-    _tag_sites(epilogue, "epilogue")
-
     program = Program()
     for item in prologue:
         program.append(item)
@@ -263,30 +347,160 @@ def compile_osqp_program(n: int, m: int, *, max_admm_iter: int,
                                 spmv={"P": 0, "A": 0, "At": 0},
                                 depths={"P": 0, "A": 0, "At": 0})
     compiled = CompiledProgram(
-        program=program, context=context,
-        prologue_cycles=0, admm_body_cycles=0,
-        pcg_body_cycles=0, epilogue_cycles=0)
-    compiled._sections = {
+        program=program, context=context, algorithm="admm",
+        loop_sections={ADMM_LOOP: "admm_body", PCG_LOOP: "pcg_body"})
+    return _install_sections(compiled, {
         "prologue": prologue,
         "admm_body": admm_body,
         "pcg_body": pcg_body,
         "epilogue": epilogue,
-    }
-    return compiled
+    })
+
+
+def compile_pdqp_program(n: int, m: int, *,
+                         max_iter: int) -> CompiledProgram:
+    """Build the PDQP-on-RSQP instruction stream for an (n, m) problem.
+
+    One Halpern-anchored PDHG iteration per loop trip, built entirely
+    from SpMV (on the raw ``P``/``A``/``A'`` structures), AXPBY, CLIP
+    and DOT — no KKT operator. The host preloads HBM with the scaled
+    vectors (``q``, ``l``, ``u``, iterates ``x``, ``y`` and the Halpern
+    anchors ``x0``, ``y0``) and the scalar registers (step sizes
+    ``neg_tau``/``sigma``/``sigma_inv``/``neg_sigma``, the Halpern
+    counter ``hk``, tolerance constants) — see
+    :class:`repro.hw.pdqp.PDQPAccelerator`. Restarts are host-driven
+    between loop segments (anchor refresh + ``hk`` reset), mirroring
+    how the ADMM accelerator drives rho updates.
+    """
+    sc = ScalarOpKind
+    vk = VectorOpKind
+
+    prologue = []
+    for name in ("q", "l", "u", "x", "y", "x0", "y0"):
+        prologue.append(DataTransfer("load", name))
+    # The loop body maintains px = P x and aty = A' y for the *next*
+    # trip (they fall out of the residual evaluation); seed them here.
+    prologue += [
+        VecDup("x", "P"),
+        SpMV("P", "P", "px"),
+        VecDup("y", "At"),
+        SpMV("At", "At", "aty"),
+    ]
+
+    pdhg_body = []
+    # Linearized primal step: xp = x - tau (P x + q + A' y).
+    pdhg_body += [
+        VectorOp(vk.AXPBY, "g_tmp", ("px", "aty"), alpha=1.0, beta=1.0),
+        VectorOp(vk.AXPBY, "grad", ("g_tmp", "q"), alpha=1.0, beta=1.0),
+        VectorOp(vk.AXPBY, "xp", ("x", "grad"), alpha=1.0, beta="neg_tau"),
+        VectorOp(vk.AXPBY, "xb", ("xp", "x"), alpha=2.0, beta=-1.0),
+    ]
+    # Dual step: y+ = v - sigma clip(v / sigma, l, u), v = y + sigma A xb.
+    pdhg_body += [
+        VecDup("xb", "A"),
+        SpMV("A", "A", "axb"),
+        VectorOp(vk.AXPBY, "v", ("y", "axb"), alpha=1.0, beta="sigma"),
+        VectorOp(vk.AXPBY, "vs", ("v", "v"), alpha="sigma_inv", beta=0.0),
+        VectorOp(vk.CLIP, "zc", ("vs", "l", "u")),
+        VectorOp(vk.AXPBY, "yp", ("v", "zc"), alpha=1.0, beta="neg_sigma"),
+    ]
+    # Halpern anchoring: lam = 1 / hk with hk = k + 2; then
+    # (x, y) = lam (x0, y0) + (1 - lam) (x+, y+).
+    pdhg_body += [
+        ScalarOp(sc.DIV, "lam", "one", "hk"),
+        ScalarOp(sc.SUB, "one_m_lam", "one", "lam"),
+        ScalarOp(sc.ADD, "hk", "hk", "one"),
+        VectorOp(vk.AXPBY, "x", ("x0", "xp"), alpha="lam",
+                 beta="one_m_lam"),
+        VectorOp(vk.AXPBY, "y", ("y0", "yp"), alpha="lam",
+                 beta="one_m_lam"),
+    ]
+    # On-chip termination check (2-norm residuals, z = clip(Ax, l, u)):
+    # prim: ||Ax - z|| <= eps_abs sqrt(m) + eps_rel max(||Ax||, ||z||)
+    # dual: ||Px + q + A'y|| <= eps_abs sqrt(n)
+    #       + eps_rel max(||Px||, ||A'y||, ||q||)
+    # The Px / A'y products double as next trip's gradient inputs.
+    pdhg_body += [
+        VecDup("x", "A"),
+        SpMV("A", "A", "ax"),
+        VectorOp(vk.CLIP, "z", ("ax", "l", "u")),
+        VectorOp(vk.AXPBY, "rp_vec", ("ax", "z"), alpha=1.0, beta=-1.0),
+        VectorOp(vk.DOT, "rp2", ("rp_vec", "rp_vec")),
+        VectorOp(vk.DOT, "nax2", ("ax", "ax")),
+        VectorOp(vk.DOT, "nz2", ("z", "z")),
+        ScalarOp(sc.SQRT, "rp", "rp2"),
+        ScalarOp(sc.MAX, "npz2", "nax2", "nz2"),
+        ScalarOp(sc.SQRT, "npz", "npz2"),
+        ScalarOp(sc.MUL, "eps_p_rel", "eps_rel", "npz"),
+        ScalarOp(sc.ADD, "eps_p", "eps_abs_m", "eps_p_rel"),
+        ScalarOp(sc.DIV, "ratio_p", "rp", "eps_p"),
+        VecDup("x", "P"),
+        SpMV("P", "P", "px"),
+        VecDup("y", "At"),
+        SpMV("At", "At", "aty"),
+        VectorOp(vk.AXPBY, "rd_tmp", ("px", "aty"), alpha=1.0, beta=1.0),
+        VectorOp(vk.AXPBY, "rd_vec", ("rd_tmp", "q"), alpha=1.0, beta=1.0),
+        VectorOp(vk.DOT, "rdual2", ("rd_vec", "rd_vec")),
+        VectorOp(vk.DOT, "npx2", ("px", "px")),
+        VectorOp(vk.DOT, "naty2", ("aty", "aty")),
+        ScalarOp(sc.SQRT, "rdual", "rdual2"),
+        ScalarOp(sc.MAX, "nd2", "npx2", "naty2"),
+        ScalarOp(sc.SQRT, "nd", "nd2"),
+        ScalarOp(sc.MAX, "nd_all", "nd", "nq"),
+        ScalarOp(sc.MUL, "eps_d_rel", "eps_rel", "nd_all"),
+        ScalarOp(sc.ADD, "eps_d", "eps_abs_n", "eps_d_rel"),
+        ScalarOp(sc.DIV, "ratio_d", "rdual", "eps_d"),
+        ScalarOp(sc.MAX, "worst", "ratio_p", "ratio_d"),
+        Control("worst", "one"),
+    ]
+
+    epilogue = [
+        DataTransfer("store", "x"),
+        DataTransfer("store", "y"),
+        DataTransfer("store", "z"),
+    ]
+
+    program = Program()
+    for item in prologue:
+        program.append(item)
+    program.append(Loop(body=pdhg_body, max_iter=max_iter,
+                        name=PDHG_LOOP))
+    for item in epilogue:
+        program.append(item)
+
+    lengths = _pdqp_vector_lengths(n, m)
+    context = StaticCostContext(c=1, lengths=lengths,
+                                spmv={"P": 0, "A": 0, "At": 0},
+                                depths={"P": 0, "A": 0, "At": 0})
+    compiled = CompiledProgram(
+        program=program, context=context, algorithm="pdqp",
+        loop_sections={PDHG_LOOP: "pdhg_body"})
+    return _install_sections(compiled, {
+        "prologue": prologue,
+        "pdhg_body": pdhg_body,
+        "epilogue": epilogue,
+    })
 
 
 def attach_costs(compiled: CompiledProgram, c: int, spmv: dict,
                  depths: dict, n: int, m: int) -> CompiledProgram:
-    """Install real cycle costs (from a customization) into the program."""
-    context = StaticCostContext(c=c, lengths=_vector_lengths(n, m),
+    """Install real cycle costs (from a customization) into the program.
+
+    The vector-length table comes from the program's own context (set
+    at compile time, per algorithm); ``n``/``m`` are accepted for
+    interface stability and cross-checked against it.
+    """
+    lengths = compiled.context._lengths
+    if lengths.get("q") not in (None, n) or lengths.get("l") not in (None, m):
+        raise ValueError(
+            f"attach_costs: program was compiled for "
+            f"(n={lengths.get('q')}, m={lengths.get('l')}), "
+            f"got (n={n}, m={m})")
+    context = StaticCostContext(c=c, lengths=lengths,
                                 spmv=spmv, depths=depths)
-    sections = compiled._sections
     compiled.context = context
-    compiled.prologue_cycles = _section_cycles(sections["prologue"], context)
-    compiled.admm_body_cycles = _section_cycles(sections["admm_body"],
-                                                context)
-    compiled.pcg_body_cycles = _section_cycles(sections["pcg_body"], context)
-    compiled.epilogue_cycles = _section_cycles(sections["epilogue"], context)
+    for name, items in compiled._sections.items():
+        compiled.section_cycles[name] = _section_cycles(items, context)
     return compiled
 
 
@@ -300,4 +514,14 @@ def _vector_lengths(n: int, m: int) -> dict:
     lengths = {name: n for name in n_vectors}
     lengths.update({name: m for name in m_vectors})
     lengths["minv"] = n
+    return lengths
+
+
+def _pdqp_vector_lengths(n: int, m: int) -> dict:
+    n_vectors = ("q", "x", "x0", "xp", "xb", "g_tmp", "grad", "px",
+                 "aty", "rd_tmp", "rd_vec")
+    m_vectors = ("l", "u", "y", "y0", "axb", "v", "vs", "zc", "yp",
+                 "ax", "z", "rp_vec")
+    lengths: Dict[str, int] = {name: n for name in n_vectors}
+    lengths.update({name: m for name in m_vectors})
     return lengths

@@ -60,6 +60,8 @@ class ArchArtifact:
     #: Build-time accounting, reported by the amortization benchmarks.
     customize_seconds: float = 0.0
     compile_seconds: float = 0.0
+    #: Which algorithm's program this artifact carries ("admm"/"pdqp").
+    algorithm: str = "admm"
     #: Set by :func:`repro.verify.ensure_artifact_verified` after the
     #: static passes accept the artifact; solve paths skip re-checking.
     verified: bool = field(default=False, compare=False)
@@ -83,6 +85,8 @@ class PersistedSpec:
     max_pcg_iter: int
     allow_partial: bool = False
     customize_seconds: float = 0.0
+    #: Algorithm of the compiled program; defaults keep v1 files valid.
+    algorithm: str = "admm"
 
 
 @dataclass
@@ -119,6 +123,7 @@ def build_artifact(problem, c, cache: "ArchCache | None" = None, *,
                    max_admm_iter: int = 4000,
                    max_pcg_iter: int = 500,
                    allow_partial: bool = False,
+                   algorithm: str = "admm",
                    metrics=None,
                    metrics_prefix: str = "serving") -> ArchArtifact:
     """Run the customization + compile flow into one frozen artifact.
@@ -166,9 +171,17 @@ def build_artifact(problem, c, cache: "ArchCache | None" = None, *,
         custom = customize_problem(problem, c,
                                    allow_partial=allow_partial)
     t1 = time.perf_counter()
-    compiled = compile_for_customization(
-        custom, problem.n, problem.m,
-        max_admm_iter=max_admm_iter, max_pcg_iter=max_pcg_iter)
+    if algorithm == "pdqp":
+        from ..hw.pdqp import compile_pdqp_for_customization
+        compiled = compile_pdqp_for_customization(
+            custom, problem.n, problem.m, max_iter=max_admm_iter)
+    elif algorithm == "admm":
+        compiled = compile_for_customization(
+            custom, problem.n, problem.m,
+            max_admm_iter=max_admm_iter, max_pcg_iter=max_pcg_iter)
+    else:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected 'admm' or 'pdqp'")
     t2 = time.perf_counter()
     arch = custom.architecture
     if metrics is not None:
@@ -182,7 +195,8 @@ def build_artifact(problem, c, cache: "ArchCache | None" = None, *,
         max_pcg_iter=max_pcg_iter,
         fmax_mhz=fmax_mhz(arch), power_watts=fpga_power_watts(arch),
         resources=estimate_resources(arch),
-        customize_seconds=t1 - t0, compile_seconds=t2 - t1)
+        customize_seconds=t1 - t0, compile_seconds=t2 - t1,
+        algorithm=algorithm)
 
 
 class ArchCache:
@@ -244,7 +258,8 @@ class ArchCache:
                 key=key, c=artifact.c,
                 architecture=artifact.architecture_string,
                 max_pcg_iter=artifact.max_pcg_iter,
-                customize_seconds=artifact.customize_seconds)
+                customize_seconds=artifact.customize_seconds,
+                algorithm=artifact.algorithm)
 
     def persisted_spec(self, key: str) -> PersistedSpec | None:
         """The durable architecture decision for ``key``, if any.

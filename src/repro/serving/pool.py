@@ -74,12 +74,24 @@ def solve_job(problem: QProblem, artifact: ArchArtifact,
             artifact, context=f"solve_job({artifact.fingerprint.key})")
     # The artifact-level check subsumes the accelerator's per-
     # construction program walk (and is memoized), so skip the latter.
-    accelerator = RSQPAccelerator(
-        problem, customization=artifact.customization, settings=settings,
-        pcg_eps=pcg_eps, max_pcg_iter=artifact.max_pcg_iter,
-        compiled=artifact.compiled, backend=backend, verify=False,
-        fault_injector=injector, recovery=recovery,
-        deadline_seconds=deadline_seconds)
+    if getattr(artifact, "algorithm", "admm") == "pdqp":
+        from ..hw.pdqp import PDQPAccelerator
+        from ..solver.algorithms import get_algorithm
+        pdqp_settings = get_algorithm("pdqp").coerce_settings(settings)
+        accelerator = PDQPAccelerator(
+            problem, customization=artifact.customization,
+            settings=pdqp_settings, compiled=artifact.compiled,
+            backend=backend, verify=False,
+            fault_injector=injector, recovery=recovery,
+            deadline_seconds=deadline_seconds)
+    else:
+        accelerator = RSQPAccelerator(
+            problem, customization=artifact.customization,
+            settings=settings, pcg_eps=pcg_eps,
+            max_pcg_iter=artifact.max_pcg_iter,
+            compiled=artifact.compiled, backend=backend, verify=False,
+            fault_injector=injector, recovery=recovery,
+            deadline_seconds=deadline_seconds)
     if warm_start is not None:
         x0, y0 = warm_start
         accelerator.warm_start(x=x0, y=y0)
@@ -87,10 +99,18 @@ def solve_job(problem: QProblem, artifact: ArchArtifact,
 
 
 def reference_job(problem: QProblem, settings: OSQPSettings,
-                  warm_start: tuple | None = None):
-    """Software fallback: solve with the reference OSQP implementation."""
-    from ..solver.osqp import OSQPSolver
-    solver = OSQPSolver(problem, settings)
+                  warm_start: tuple | None = None,
+                  algorithm: str = "admm"):
+    """Software fallback: solve with the named reference implementation."""
+    from ..solver.algorithms import get_algorithm
+    algo = get_algorithm(algorithm)
+    coerced = algo.coerce_settings(settings)
+    if algorithm == "pdqp":
+        from ..solver.pdqp import PDQPSolver
+        solver = PDQPSolver(problem, coerced)
+    else:
+        from ..solver.osqp import OSQPSolver
+        solver = OSQPSolver(problem, coerced)
     if warm_start is not None:
         x0, y0 = warm_start
         solver.warm_start(x=x0, y=y0)

@@ -37,7 +37,7 @@ from ..experiments.runner import choose_width
 from ..faults import ResiliencePolicy, poison_artifact, solution_ok
 from ..hw.compiled import validate_backend
 from ..qp import QProblem
-from ..solver import OSQPSettings
+from ..solver import OSQPSettings, available_algorithms, choose_algorithm
 from .arch_cache import (ArchArtifact, ArchCache, CacheStats,
                          build_artifact)
 from .fingerprint import StructureFingerprint, fingerprint_problem
@@ -64,6 +64,7 @@ class ServeRecord:
     architecture: str
     tier: str
     backend: str  # "rsqp" | "reference"
+    algorithm: str = "admm"  # "admm" | "pdqp"
     queue_seconds: float = 0.0
     #: Fingerprint + cache lookup + (on cold tiers) artifact build.
     setup_seconds: float = 0.0
@@ -140,6 +141,15 @@ class SolverService:
         structured :class:`~repro.exceptions.VerificationError`
         (carrying the diagnostic report) instead of crashing mid-solve,
         and increments ``serving_verify_rejects_total``.
+    algorithm:
+        Which solver algorithm requests run on: a registered name
+        (``"admm"``, ``"pdqp"``) pins every request to that algorithm;
+        ``"auto"`` (default) picks per problem *structure* via
+        :func:`repro.solver.choose_algorithm` — large sparse
+        structures (where ADMM's inner PCG sweeps dominate the cycle
+        count) go to the first-order PDQP pipeline, small, dense or
+        extremely ill-scaled ones stay on ADMM. The choice is part of
+        the cache key, so one service can hold artifacts for both.
     """
 
     def __init__(self, *, c: int | None = None,
@@ -153,11 +163,17 @@ class SolverService:
                  backend: str = "compiled",
                  verify: bool = True,
                  fault_plan=None,
-                 resilience: ResiliencePolicy | None = None):
+                 resilience: ResiliencePolicy | None = None,
+                 algorithm: str = "auto"):
         if cold_policy not in ("build", "fallback"):
             raise ValueError(
                 f"cold_policy must be 'build' or 'fallback', "
                 f"got {cold_policy!r}")
+        if algorithm != "auto" and algorithm not in available_algorithms():
+            raise ValueError(
+                f"algorithm must be 'auto' or one of "
+                f"{available_algorithms()}, got {algorithm!r}")
+        self.algorithm = algorithm
         self.backend = validate_backend(backend)
         self.verify = bool(verify)
         #: Deterministic fault schedule (:class:`repro.faults.FaultPlan`)
@@ -198,32 +214,41 @@ class SolverService:
     def width_for(self, problem: QProblem) -> int:
         return self.c if self.c is not None else choose_width(problem.nnz)
 
-    def cache_key(self, fingerprint: StructureFingerprint, c: int) -> str:
+    def cache_key(self, fingerprint: StructureFingerprint, c: int,
+                  algorithm: str = "admm") -> str:
         """Structure key + the build parameters baked into an artifact.
 
         ``settings.max_iter`` is deliberately absent: the accelerator
-        re-wraps the ADMM body per adaptive-rho segment at run time, so
-        one compiled artifact serves any outer iteration limit.
+        re-wraps the iteration body per segment at run time, so one
+        compiled artifact serves any outer iteration limit. ADMM keys
+        keep the historical form (so persisted v1 caches stay warm);
+        other algorithms append their name.
         """
-        return f"{fingerprint.key}:c{c}:pcg{self.max_pcg_iter}"
+        base = f"{fingerprint.key}:c{c}:pcg{self.max_pcg_iter}"
+        return base if algorithm == "admm" else f"{base}:{algorithm}"
 
     def _build_artifact(self, problem: QProblem,
                         fingerprint: StructureFingerprint,
-                        c: int, key: str) -> ArchArtifact:
+                        c: int, key: str,
+                        algorithm: str = "admm") -> ArchArtifact:
         """Full (or persisted-spec) build; the cache-miss path."""
         return build_artifact(
             problem, c, self.cache, fingerprint=fingerprint, key=key,
             max_admm_iter=self.settings.max_iter,
-            max_pcg_iter=self.max_pcg_iter, metrics=self.metrics)
+            max_pcg_iter=self.max_pcg_iter, metrics=self.metrics,
+            algorithm=algorithm)
 
     def _ensure_artifact(self, problem: QProblem,
                          fingerprint: StructureFingerprint,
-                         c: int) -> tuple[ArchArtifact, str]:
+                         c: int,
+                         algorithm: str = "admm"
+                         ) -> tuple[ArchArtifact, str]:
         """Return ``(artifact, tier)``, building at most once per key."""
-        key = self.cache_key(fingerprint, c)
+        key = self.cache_key(fingerprint, c, algorithm)
         had_spec = self.cache.persisted_spec(key) is not None
         artifact, was_hit = self.cache.get_or_build(
-            key, lambda: self._build_artifact(problem, fingerprint, c, key))
+            key, lambda: self._build_artifact(problem, fingerprint, c, key,
+                                              algorithm))
         tier = TIER_HIT if was_hit else (TIER_DISK if had_spec
                                          else TIER_BUILD)
         if self.verify:
@@ -242,7 +267,7 @@ class SolverService:
                 self.cache.invalidate(key)
                 artifact, _ = self.cache.get_or_build(
                     key, lambda: self._build_artifact(
-                        problem, fingerprint, c, key))
+                        problem, fingerprint, c, key, algorithm))
                 try:
                     ensure_artifact_verified(artifact, context=key)
                 except VerificationError:
@@ -320,8 +345,14 @@ class SolverService:
         c = self.width_for(problem)
         fingerprint = fingerprint_problem(problem, c=c)
         self.metrics.counter("serving_requests_total").inc()
+        algorithm = choose_algorithm(
+            problem, override=None if self.algorithm == "auto"
+            else self.algorithm)
+        self.metrics.counter("serving_algo_selected_total").inc()
+        self.metrics.counter(
+            f"serving_algo_selected_{algorithm}_total").inc()
 
-        key = self.cache_key(fingerprint, c)
+        key = self.cache_key(fingerprint, c, algorithm)
         poisoned = self._apply_poisons(request_id, key)
         if deadline is None:
             deadline = self.resilience.deadline_seconds
@@ -334,16 +365,18 @@ class SolverService:
                 tier = TIER_FALLBACK
                 with self._lock:
                     self._background.append(self._dispatch.submit(
-                        self._ensure_artifact, problem, fingerprint, c))
+                        self._ensure_artifact, problem, fingerprint, c,
+                        algorithm))
         else:
-            artifact, tier = self._ensure_artifact(problem, fingerprint, c)
+            artifact, tier = self._ensure_artifact(problem, fingerprint, c,
+                                                   algorithm)
         t_ready = time.perf_counter()
 
         resil = {"retries": 0, "rollbacks": 0, "faults_injected": 0,
                  "degraded": False, "deadline_missed": False}
         if tier == TIER_FALLBACK:
             self.metrics.counter("serving_fallback_solves_total").inc()
-            raw = self._run_reference(problem, warm_start)
+            raw = self._run_reference(problem, warm_start, algorithm)
             backend = "reference"
             converged = raw.status.is_optimal
             x, y, z = raw.x, raw.y, raw.z
@@ -379,6 +412,7 @@ class SolverService:
             request_id=request_id, problem_name=problem.name,
             fingerprint_key=fingerprint.key, c=c,
             architecture=architecture, tier=tier, backend=backend,
+            algorithm=algorithm,
             queue_seconds=queue_seconds,
             setup_seconds=t_ready - t_start,
             customize_seconds=(artifact.customize_seconds
@@ -527,7 +561,8 @@ class SolverService:
             raise last_exc
         self.metrics.counter("serving_degraded_total").inc()
         resil["degraded"] = True
-        raw = self._run_reference(problem, warm_start)
+        raw = self._run_reference(
+            problem, warm_start, getattr(artifact, "algorithm", "admm"))
         return raw, resil
 
     def _count_injected(self, injector, exc, resil, raw=None) -> None:
@@ -576,11 +611,12 @@ class SolverService:
                          injector=injector,
                          deadline_seconds=deadline_seconds)
 
-    def _run_reference(self, problem, warm_start):
+    def _run_reference(self, problem, warm_start, algorithm="admm"):
         if self._solve_pool is not None:
             return self._solve_pool.submit(
-                reference_job, problem, self.settings, warm_start).result()
-        return reference_job(problem, self.settings, warm_start)
+                reference_job, problem, self.settings, warm_start,
+                algorithm).result()
+        return reference_job(problem, self.settings, warm_start, algorithm)
 
     # ------------------------------------------------------------------
     # reporting

@@ -1,19 +1,45 @@
-"""The OSQP ADMM solver with direct (LDL^T) and indirect (PCG) backends."""
+"""Reference QP solvers: OSQP-style ADMM and restarted PDHG (PDQP).
 
+Both algorithms implement the :class:`SolverAlgorithm` interface and
+register themselves by name (``"admm"``, ``"pdqp"``); pick explicitly
+with :func:`solve_with` or per-structure with
+:func:`~repro.solver.select.choose_algorithm`.
+"""
+
+from .algorithms import (SolverAlgorithm, available_algorithms,
+                         get_algorithm, register_algorithm, solve_with)
 from .infeasibility import is_dual_infeasible, is_primal_infeasible
 from .linsys import DirectBackend, IndirectBackend, make_backend
-from .osqp import OSQPSolver, solve
+from .osqp import ADMMAlgorithm, OSQPSolver, solve
+from .pdqp import PDQPAlgorithm, PDQPSolver, solve_pdqp
 from .polish import polish
-from .results import OSQPResult, SolverInfo, SolverStatus
-from .settings import OSQPSettings
+from .results import (TERMINATION_REASONS, OSQPResult, SolverInfo,
+                      SolverResult, SolverStatus)
+from .select import choose_algorithm, structure_features
+from .settings import OSQPSettings, PDQPSettings, SolverSettings
 
 __all__ = [
     "OSQPSolver",
     "solve",
+    "PDQPSolver",
+    "solve_pdqp",
+    "SolverAlgorithm",
+    "ADMMAlgorithm",
+    "PDQPAlgorithm",
+    "register_algorithm",
+    "get_algorithm",
+    "available_algorithms",
+    "solve_with",
+    "choose_algorithm",
+    "structure_features",
+    "SolverSettings",
     "OSQPSettings",
+    "PDQPSettings",
     "OSQPResult",
+    "SolverResult",
     "SolverInfo",
     "SolverStatus",
+    "TERMINATION_REASONS",
     "DirectBackend",
     "IndirectBackend",
     "make_backend",

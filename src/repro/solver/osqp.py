@@ -14,13 +14,14 @@ import time
 import numpy as np
 
 from ..qp import QProblem, ruiz_equilibrate
+from .algorithms import SolverAlgorithm, register_algorithm
 from .infeasibility import is_dual_infeasible, is_primal_infeasible
 from .linsys import make_backend
 from .polish import polish
 from .results import OSQPResult, SolverInfo, SolverStatus
 from .settings import RHO_EQ_FACTOR, RHO_MAX, RHO_MIN, OSQPSettings
 
-__all__ = ["OSQPSolver", "solve"]
+__all__ = ["OSQPSolver", "solve", "ADMMAlgorithm"]
 
 #: Residuals within this factor of the tolerance at max_iter still count
 #: as an (inaccurate) solution.
@@ -298,3 +299,17 @@ def solve(problem: QProblem,
 
 def _abs_max(vec: np.ndarray) -> float:
     return float(np.abs(vec).max()) if vec.size else 0.0
+
+
+class ADMMAlgorithm(SolverAlgorithm):
+    """Registry adapter for the OSQP/ADMM reference solver."""
+
+    name = "admm"
+    settings_type = OSQPSettings
+
+    def solve(self, problem: QProblem,
+              settings=None) -> OSQPResult:
+        return OSQPSolver(problem, self.coerce_settings(settings)).solve()
+
+
+register_algorithm(ADMMAlgorithm())

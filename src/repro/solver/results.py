@@ -7,7 +7,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["SolverStatus", "SolverInfo", "OSQPResult"]
+__all__ = ["SolverStatus", "SolverInfo", "OSQPResult", "SolverResult",
+           "TERMINATION_REASONS"]
+
+#: Uniform termination-reason vocabulary shared by the reference
+#: solvers (:class:`OSQPResult`) and the accelerator results
+#: (:class:`repro.hw.accelerator.RSQPResult`). Every ``.termination_reason``
+#: is one of these strings.
+TERMINATION_REASONS = ("converged", "converged_inaccurate",
+                       "max_iterations", "time_limit",
+                       "primal_infeasible", "dual_infeasible")
 
 
 class SolverStatus(enum.Enum):
@@ -24,6 +33,21 @@ class SolverStatus(enum.Enum):
     def is_optimal(self) -> bool:
         return self in (SolverStatus.SOLVED, SolverStatus.SOLVED_INACCURATE)
 
+    @property
+    def reason(self) -> str:
+        """The status as one of :data:`TERMINATION_REASONS`."""
+        return _STATUS_REASONS[self]
+
+
+_STATUS_REASONS = {
+    SolverStatus.SOLVED: "converged",
+    SolverStatus.SOLVED_INACCURATE: "converged_inaccurate",
+    SolverStatus.MAX_ITER_REACHED: "max_iterations",
+    SolverStatus.TIME_LIMIT_REACHED: "time_limit",
+    SolverStatus.PRIMAL_INFEASIBLE: "primal_infeasible",
+    SolverStatus.DUAL_INFEASIBLE: "dual_infeasible",
+}
+
 
 @dataclass
 class SolverInfo:
@@ -39,6 +63,9 @@ class SolverInfo:
     pcg_per_admm: list = field(default_factory=list)
     rho_updates: int = 0
     rho_final: float = 0.0
+    #: PDQP bookkeeping: restarts performed and primal-weight updates.
+    restarts: int = 0
+    omega_updates: int = 0
     pri_res: float = np.inf
     dua_res: float = np.inf
     obj_val: float = np.nan
@@ -52,7 +79,14 @@ class SolverInfo:
 
 @dataclass
 class OSQPResult:
-    """Solution triple plus status and statistics."""
+    """Solution triple plus status and statistics.
+
+    Shared by every reference algorithm (ADMM and PDQP) — the alias
+    :data:`SolverResult` names the algorithm-neutral role. The
+    ``status`` / ``iterations`` / ``termination_reason`` trio matches
+    :class:`repro.hw.accelerator.RSQPResult`, so callers can treat
+    reference and accelerator results uniformly.
+    """
 
     x: np.ndarray
     y: np.ndarray
@@ -63,6 +97,26 @@ class OSQPResult:
     prim_inf_cert: np.ndarray | None = None
     dual_inf_cert: np.ndarray | None = None
 
+    @property
+    def iterations(self) -> int:
+        """Outer iterations of the run (uniform result surface)."""
+        return self.info.iterations
+
+    @property
+    def converged(self) -> bool:
+        """Whether the run terminated at an (possibly inaccurate)
+        optimum — the accelerator results' vocabulary."""
+        return self.status.is_optimal
+
+    @property
+    def termination_reason(self) -> str:
+        """One of :data:`TERMINATION_REASONS`."""
+        return self.status.reason
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"OSQPResult(status={self.status.value!r}, "
                 f"iters={self.info.iterations}, obj={self.info.obj_val:.6g})")
+
+
+#: Algorithm-neutral alias: both reference solvers return this type.
+SolverResult = OSQPResult

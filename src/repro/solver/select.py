@@ -1,0 +1,105 @@
+"""Per-structure algorithm auto-selection (the ``algorithm="auto"`` policy).
+
+The serving layer customizes an architecture per problem *structure*;
+this module picks which algorithm to run on it. The heuristic uses
+only cheap structural features (no factorization, no solve) and is
+calibrated against measured accelerator cycles on the benchmark suite
+(``benchmarks/test_solver_pdqp.py``):
+
+* **Scale** — on large structured problems ADMM's per-outer-iteration
+  PCG sweep runs to hundreds or thousands of inner iterations and
+  dominates the cycle count; PDQP replaces it with a fixed handful of
+  SpMVs on the raw ``P``/``A`` structures and wins 1.5–15x. Below the
+  size floor either algorithm finishes in negligible cycles and the
+  battle-tested ADMM path is kept.
+* **Conditioning proxy** — the spread of the positive diagonal of
+  ``P``. First-order PDHG iteration counts degrade with conditioning
+  (step sizes shrink as ``1/lambda_max``) while ADMM's Krylov inner
+  solver is far less sensitive, so an extreme spread keeps ADMM.
+* **Quadratic density** — a dense ``P`` usually means significant
+  off-diagonal spectral structure the diagonal proxy cannot see; the
+  PCG path handles such spectra, PDHG stalls on them. Dense
+  quadratics stay on ADMM.
+
+Everything the gates do not confidently hand to PDQP defaults to ADMM
+— the heuristic is deliberately conservative so that ``auto`` never
+loses more than noise against the always-ADMM policy (a benchmark
+acceptance gate, see ``benchmarks/test_solver_pdqp.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..qp import QProblem
+from .algorithms import available_algorithms
+
+__all__ = ["StructureFeatures", "structure_features", "choose_algorithm",
+           "SIZE_THRESHOLD", "COND_PROXY_THRESHOLD", "P_DENSITY_THRESHOLD"]
+
+#: Combined dimension ``n + m`` below which the problem is small enough
+#: that ADMM is kept regardless of structure.
+SIZE_THRESHOLD = 300
+#: P-diagonal spread at or beyond which first-order PDHG is presumed to
+#: stall and ADMM is kept.
+COND_PROXY_THRESHOLD = 1e6
+#: nnz(P) / n^2 density at or beyond which ``P`` counts as dense (hidden
+#: off-diagonal spectrum) and ADMM is kept.
+P_DENSITY_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class StructureFeatures:
+    """Cheap structural features driving algorithm selection."""
+
+    n: int
+    m: int
+    nnz: int
+    p_nnz: int
+    #: nnz(P) / n^2 — dense quadratics hide off-diagonal spectrum from
+    #: the diagonal conditioning proxy.
+    p_density: float
+    #: max/min of the positive diagonal of ``P`` (1.0 when empty) — a
+    #: free stand-in for the conditioning PDHG step sizes pay for.
+    cond_proxy: float
+
+
+def structure_features(problem: QProblem) -> StructureFeatures:
+    """Extract selection features from a problem (O(nnz), no solves)."""
+    diag = problem.P.diagonal()
+    positive = diag[diag > 0.0]
+    if positive.size:
+        cond_proxy = float(positive.max() / positive.min())
+    else:
+        cond_proxy = 1.0
+    n = problem.n
+    return StructureFeatures(n=n, m=problem.m,
+                             nnz=problem.P.nnz + problem.A.nnz,
+                             p_nnz=problem.P.nnz,
+                             p_density=problem.P.nnz / max(n * n, 1),
+                             cond_proxy=cond_proxy)
+
+
+def choose_algorithm(problem: QProblem,
+                     override: Optional[str] = None) -> str:
+    """Pick ``"admm"`` or ``"pdqp"`` for this problem structure.
+
+    ``override`` short-circuits the heuristic with an explicit
+    algorithm name (anything but ``None``/``"auto"``); unknown names
+    raise ``ValueError`` against the registry.
+    """
+    if override is not None and override != "auto":
+        if override not in available_algorithms():
+            raise ValueError(
+                f"unknown algorithm {override!r}; available: "
+                f"{', '.join(available_algorithms())} (or 'auto')")
+        return override
+    features = structure_features(problem)
+    if features.n + features.m < SIZE_THRESHOLD:
+        return "admm"
+    if features.cond_proxy >= COND_PROXY_THRESHOLD:
+        return "admm"
+    if features.p_density >= P_DENSITY_THRESHOLD:
+        return "admm"
+    return "pdqp"

@@ -1,20 +1,90 @@
-"""Solver settings, mirroring OSQP's defaults where the paper relies on them."""
+"""Solver settings, mirroring OSQP's defaults where the paper relies on them.
+
+Two first-order algorithms share one settings vocabulary:
+
+* :class:`OSQPSettings` — the ADMM path (Algorithm 1 of the paper);
+* :class:`PDQPSettings` — restarted accelerated PDHG
+  (:mod:`repro.solver.pdqp`).
+
+Both inherit the termination / iteration-budget / scaling fields and
+their validation from :class:`SolverSettings`, so ``eps_abs`` /
+``eps_rel`` / ``max_iter`` mean exactly the same thing regardless of
+which algorithm runs — the contract the serving layer's per-structure
+algorithm selection relies on.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["OSQPSettings"]
+__all__ = ["SolverSettings", "OSQPSettings", "PDQPSettings"]
 
 #: Bounds on the ADMM step size, as in OSQP.
 RHO_MIN = 1e-6
 RHO_MAX = 1e6
 #: Multiplier applied to rho on equality-constraint rows.
 RHO_EQ_FACTOR = 1e3
+#: Bounds on the PDHG primal weight (sigma/tau balance).
+OMEGA_MIN = 1e-4
+OMEGA_MAX = 1e4
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
 
 
 @dataclass
-class OSQPSettings:
+class SolverSettings:
+    """Algorithm-independent solver settings (termination + scaling).
+
+    Attributes
+    ----------
+    max_iter:
+        Outer-iteration budget.
+    time_limit:
+        Wall-clock budget in seconds (0 disables).
+    eps_abs, eps_rel:
+        Absolute / relative termination tolerances on the unscaled KKT
+        residuals; shared verbatim by every algorithm.
+    scaling:
+        Number of Ruiz equilibration iterations (0 disables scaling).
+    scaled_termination:
+        Check residuals on the scaled iterates (cheaper, less exact).
+    check_termination:
+        Residuals are evaluated every this many iterations.
+    record_history:
+        Keep ``(iteration, pri_res, dua_res, step)`` tuples at every
+        termination check in ``info.history``.
+    extra:
+        Free-form escape hatch for experiment configuration.
+    """
+
+    max_iter: int = 4000
+    time_limit: float = 0.0  # seconds; 0 disables
+    eps_abs: float = 1e-3
+    eps_rel: float = 1e-3
+    scaling: int = 10
+    scaled_termination: bool = False
+    check_termination: int = 25
+    record_history: bool = False
+    verbose: bool = False
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(self.max_iter >= 1, "max_iter must be at least 1")
+        _require(self.time_limit >= 0, "time_limit must be non-negative")
+        _require(self.eps_abs >= 0 and self.eps_rel >= 0,
+                 "tolerances must be non-negative")
+        _require(self.eps_abs > 0 or self.eps_rel > 0,
+                 "eps_abs and eps_rel cannot both be zero")
+        _require(self.check_termination >= 1,
+                 "check_termination must be at least 1")
+        _require(self.scaling >= 0, "scaling must be non-negative")
+
+
+@dataclass
+class OSQPSettings(SolverSettings):
     """Settings for :class:`repro.solver.OSQPSolver`.
 
     Defaults follow OSQP v1.0: ``alpha = 1.6``, ``sigma = 1e-6``,
@@ -25,11 +95,6 @@ class OSQPSettings:
     linsys:
         ``"pcg"`` for the indirect backend the paper accelerates, or
         ``"ldl"`` for the direct QDLDL-style backend.
-    scaling:
-        Number of Ruiz equilibration iterations (0 disables scaling).
-    check_termination:
-        Residuals (and infeasibility certificates) are evaluated every
-        this many iterations.
     adaptive_rho_interval:
         Iterations between step-size adaptations (0 disables).
     pcg_adaptive:
@@ -42,15 +107,8 @@ class OSQPSettings:
     rho: float = 0.1
     sigma: float = 1e-6
     alpha: float = 1.6
-    max_iter: int = 4000
-    time_limit: float = 0.0  # seconds; 0 disables
-    eps_abs: float = 1e-3
-    eps_rel: float = 1e-3
     eps_prim_inf: float = 1e-4
     eps_dual_inf: float = 1e-4
-    scaling: int = 10
-    scaled_termination: bool = False
-    check_termination: int = 25
     adaptive_rho: bool = True
     adaptive_rho_interval: int = 50
     adaptive_rho_tolerance: float = 5.0
@@ -65,30 +123,93 @@ class OSQPSettings:
     polish: bool = False
     polish_delta: float = 1e-6
     polish_refine_iter: int = 3
-    record_history: bool = False
-    verbose: bool = False
-    extra: dict = field(default_factory=dict)
 
-    def __post_init__(self):
-        if self.rho <= 0:
-            raise ValueError("rho must be positive")
-        if self.sigma <= 0:
-            raise ValueError("sigma must be positive")
-        if not 0.0 < self.alpha < 2.0:
-            raise ValueError("alpha must lie in (0, 2)")
-        if self.max_iter < 1:
-            raise ValueError("max_iter must be at least 1")
-        if self.time_limit < 0:
-            raise ValueError("time_limit must be non-negative")
-        if self.eps_abs < 0 or self.eps_rel < 0:
-            raise ValueError("tolerances must be non-negative")
-        if self.eps_abs == 0 and self.eps_rel == 0:
-            raise ValueError("eps_abs and eps_rel cannot both be zero")
-        if self.check_termination < 1:
-            raise ValueError("check_termination must be at least 1")
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(self.rho > 0, "rho must be positive")
+        _require(self.sigma > 0, "sigma must be positive")
+        _require(0.0 < self.alpha < 2.0, "alpha must lie in (0, 2)")
+        _require(self.eps_prim_inf > 0,
+                 "eps_prim_inf must be positive")
+        _require(self.eps_dual_inf > 0,
+                 "eps_dual_inf must be positive")
+        _require(self.adaptive_rho_interval >= 0,
+                 "adaptive_rho_interval must be non-negative")
+        _require(self.adaptive_rho_tolerance >= 1.0,
+                 "adaptive_rho_tolerance must be at least 1")
         if self.linsys not in ("pcg", "ldl"):
             raise ValueError("linsys must be 'pcg' or 'ldl'")
         if self.ordering not in ("auto", "natural", "mindeg"):
             raise ValueError("ordering must be 'auto', 'natural' or 'mindeg'")
-        if self.scaling < 0:
-            raise ValueError("scaling must be non-negative")
+        _require(self.pcg_eps > 0, "pcg_eps must be positive")
+        _require(self.pcg_eps_min > 0, "pcg_eps_min must be positive")
+        _require(self.pcg_max_iter >= 1, "pcg_max_iter must be at least 1")
+        _require(self.polish_delta > 0, "polish_delta must be positive")
+        _require(self.polish_refine_iter >= 0,
+                 "polish_refine_iter must be non-negative")
+
+
+@dataclass
+class PDQPSettings(SolverSettings):
+    """Settings for :class:`repro.solver.pdqp.PDQPSolver`.
+
+    The termination fields (``eps_abs``/``eps_rel``/``max_iter``/...)
+    come from :class:`SolverSettings` and keep the OSQP convention.
+    PDHG typically needs more (much cheaper) iterations than ADMM, so
+    the default ``max_iter`` is higher.
+
+    Attributes
+    ----------
+    omega:
+        Initial primal weight: ``sigma = omega / ||A||`` and
+        ``tau = tau_scale / (omega ||A|| + lambda_max(P))``.
+    tau_scale:
+        Safety factor keeping the Condat-Vu step-size condition
+        strictly satisfied.
+    restart:
+        ``"adaptive"`` (sufficient-decay, PDLP style), ``"fixed"``
+        (every ``restart_interval`` iterations) or ``"none"``.
+    restart_interval:
+        Fixed restart period; also the cap between adaptive restarts
+        and the accelerator's segment length.
+    restart_beta:
+        Adaptive restarts fire when the normalized KKT residual has
+        decayed below ``restart_beta`` times its value at the last
+        restart.
+    omega_adaptive:
+        Rebalance the primal weight from the primal/dual residual
+        ratio at restarts (the PDHG analogue of adaptive rho).
+    omega_tolerance:
+        Rebalance only when the new estimate differs from the current
+        weight by more than this factor (avoids churn).
+    power_iterations:
+        Host-side power-iteration count for the ``||A||`` and
+        ``lambda_max(P)`` step-size estimates.
+    """
+
+    max_iter: int = 20000
+    omega: float = 1.0
+    tau_scale: float = 0.9
+    restart: str = "adaptive"
+    restart_interval: int = 100
+    restart_beta: float = 0.25
+    omega_adaptive: bool = True
+    omega_tolerance: float = 5.0
+    power_iterations: int = 50
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require(self.omega > 0, "omega must be positive")
+        _require(0.0 < self.tau_scale <= 1.0,
+                 "tau_scale must lie in (0, 1]")
+        if self.restart not in ("adaptive", "fixed", "none"):
+            raise ValueError(
+                "restart must be 'adaptive', 'fixed' or 'none'")
+        _require(self.restart_interval >= 1,
+                 "restart_interval must be at least 1")
+        _require(0.0 < self.restart_beta < 1.0,
+                 "restart_beta must lie in (0, 1)")
+        _require(self.omega_tolerance >= 1.0,
+                 "omega_tolerance must be at least 1")
+        _require(self.power_iterations >= 1,
+                 "power_iterations must be at least 1")

@@ -28,7 +28,9 @@ from .cycles import (CycleBounds, block_bounds, program_bounds,
                      verify_compiled)
 from .diagnostics import (Diagnostic, Location, Severity,
                           VerificationReport)
-from .program import ProgramContract, accelerator_contract, verify_program
+from .program import (ProgramContract, accelerator_contract,
+                      contract_for_algorithm, pdqp_contract,
+                      verify_program)
 from .schedule_check import (verify_customization, verify_cvb,
                              verify_matrix, verify_schedule)
 
@@ -39,6 +41,8 @@ __all__ = [
     "VerificationReport",
     "ProgramContract",
     "accelerator_contract",
+    "pdqp_contract",
+    "contract_for_algorithm",
     "verify_program",
     "verify_schedule",
     "verify_cvb",

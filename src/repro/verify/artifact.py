@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING
 from ..hw.compiler import CompiledProgram
 from .cycles import verify_compiled
 from .diagnostics import VerificationReport, Location
-from .program import ProgramContract, verify_program
+from .program import ProgramContract, contract_for_algorithm, verify_program
 from .schedule_check import verify_customization
 
 if TYPE_CHECKING:  # runtime import would be circular via repro.serving
@@ -29,7 +29,15 @@ def verify_compiled_program(compiled: CompiledProgram,
                             contract: ProgramContract | None = None,
                             *, artifact: str = "program"
                             ) -> VerificationReport:
-    """Program pass + cycle-cost pass over one compiled program."""
+    """Program pass + cycle-cost pass over one compiled program.
+
+    The host contract defaults to the one matching the program's
+    algorithm (``compiled.algorithm``): the ADMM download contract or
+    the PDQP one.
+    """
+    if contract is None:
+        contract = contract_for_algorithm(
+            getattr(compiled, "algorithm", "admm"))
     report = verify_program(compiled.program, contract,
                             artifact=artifact)
     report.extend(verify_compiled(compiled))

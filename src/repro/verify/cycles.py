@@ -33,7 +33,16 @@ __all__ = ["CycleBounds", "block_bounds", "program_bounds",
 
 #: The sections every compiled OSQP program carries (see
 #: ``repro.hw.compiler.compile_osqp_program``).
+#: Section names an ADMM program must carry; other algorithms declare
+#: their own tables and are checked against ``expected_sections``.
 _SECTIONS = ("prologue", "admm_body", "pcg_body", "epilogue")
+
+
+def expected_sections(compiled: CompiledProgram) -> tuple:
+    """Required section names for a compiled program's algorithm."""
+    if getattr(compiled, "algorithm", "admm") == "pdqp":
+        return ("prologue", "pdhg_body", "epilogue")
+    return _SECTIONS
 
 
 @dataclass(frozen=True)
@@ -109,13 +118,13 @@ def verify_compiled(compiled: CompiledProgram) -> VerificationReport:
             "costs cannot be recomputed",
             Location("cycles"))
         return report
-    claimed = {
+    claimed = dict(getattr(compiled, "section_cycles", None) or {
         "prologue": compiled.prologue_cycles,
         "admm_body": compiled.admm_body_cycles,
         "pcg_body": compiled.pcg_body_cycles,
         "epilogue": compiled.epilogue_cycles,
-    }
-    for name in _SECTIONS:
+    })
+    for name in expected_sections(compiled):
         if name not in sections:
             report.error(
                 "missing-sections",
@@ -123,11 +132,11 @@ def verify_compiled(compiled: CompiledProgram) -> VerificationReport:
                 Location("cycles", name))
             continue
         recomputed = _section_cost(sections[name], compiled.context)
-        if recomputed != claimed[name]:
+        if recomputed != claimed.get(name, 0):
             report.error(
                 "cycle-cost-mismatch",
                 f"section {name!r} sums to {recomputed} cycles but the "
-                f"compiled program claims {claimed[name]}; "
+                f"compiled program claims {claimed.get(name, 0)}; "
                 f"estimate_cycles would be wrong by the difference",
                 Location("cycles", name),
                 hint="re-run attach_costs after changing the program "

@@ -96,6 +96,29 @@ def accelerator_contract() -> ProgramContract:
     )
 
 
+def pdqp_contract() -> ProgramContract:
+    """The download contract of :class:`repro.hw.PDQPAccelerator`.
+
+    Mirrors ``PDQPAccelerator._download`` — no KKT-derived vectors
+    (``rho``/``minv``), instead the Halpern anchors ``x0``/``y0`` and
+    the PDHG step-size scalar registers.
+    """
+    return ProgramContract(
+        hbm=frozenset({"q", "l", "u", "x", "y", "x0", "y0"}),
+        scalars=frozenset({"neg_tau", "sigma", "sigma_inv", "neg_sigma",
+                           "hk", "one", "eps_rel", "eps_abs_m",
+                           "eps_abs_n", "nq"}),
+        matrices=frozenset({"P", "A", "At"}),
+    )
+
+
+def contract_for_algorithm(algorithm: str) -> ProgramContract:
+    """Pick the host download contract by algorithm name."""
+    if algorithm == "pdqp":
+        return pdqp_contract()
+    return accelerator_contract()
+
+
 @dataclass
 class _State:
     """Definedness environment at one program point."""

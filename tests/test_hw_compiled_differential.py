@@ -237,6 +237,28 @@ class TestSolveDifferential:
         assert si.instructions_executed == sc.instructions_executed
         assert si.loop_iterations == sc.loop_iterations
 
+    @pytest.mark.parametrize("family,size", [("eqqp", 16), ("lasso", 10),
+                                             ("control", 4)])
+    def test_full_pdqp_solve_bitwise(self, family, size):
+        from repro.hw.pdqp import PDQPAccelerator
+        problem = generate(family, size, seed=0)
+        cust = customize_problem(problem, 8)
+        res = {}
+        for backend in ("interpret", "compiled"):
+            acc = PDQPAccelerator(problem, customization=cust,
+                                  backend=backend)
+            res[backend] = (acc.run(), acc.machine.stats)
+        ri, si = res["interpret"]
+        rc, sc = res["compiled"]
+        assert ri.algorithm == rc.algorithm == "pdqp"
+        assert np.array_equal(ri.x, rc.x)
+        assert np.array_equal(ri.y, rc.y)
+        assert np.array_equal(ri.z, rc.z)
+        assert ri.total_cycles == rc.total_cycles
+        assert si.by_class == sc.by_class
+        assert si.instructions_executed == sc.instructions_executed
+        assert si.loop_iterations == sc.loop_iterations
+
 
 class TestSpMVEngineDifferential:
     @settings(max_examples=20, deadline=None)

@@ -10,13 +10,14 @@ import pytest
 from scipy.optimize import minimize
 
 from repro.qp import QProblem
-from repro.solver import OSQPSettings, solve
+from repro.solver import OSQPSettings, PDQPSettings, solve, solve_pdqp
 from repro.sparse import CSRMatrix
 
 from helpers import random_dense, random_spd_dense
 
 ACCURATE = OSQPSettings(eps_abs=1e-8, eps_rel=1e-8, max_iter=30000,
                         polish=True)
+ACCURATE_PDQP = PDQPSettings(eps_abs=1e-8, eps_rel=1e-8, max_iter=200000)
 
 
 def scipy_reference(prob, x0=None):
@@ -67,6 +68,41 @@ def test_matches_slsqp_on_random_inequality_qps(seed):
     # Strong convexity: unique optimum, so the points must coincide.
     np.testing.assert_allclose(ours.x, reference, atol=1e-4)
     assert prob.objective(ours.x) <= prob.objective(reference) + 1e-6
+
+
+@pytest.mark.parametrize("seed", [0, 2, 3])
+def test_pdqp_matches_slsqp_on_random_inequality_qps(seed):
+    rng = np.random.default_rng(seed)
+    n, m = 5, 7
+    p = random_spd_dense(rng, n, 0.5)
+    a = random_dense(rng, m, n, 0.6)
+    x0 = rng.standard_normal(n)
+    slack = np.abs(rng.standard_normal(m)) + 0.1
+    prob = QProblem(P=CSRMatrix.from_dense(p), q=rng.standard_normal(n),
+                    A=CSRMatrix.from_dense(a), l=a @ x0 - slack,
+                    u=a @ x0 + slack)
+    ours = solve_pdqp(prob, ACCURATE_PDQP)
+    assert ours.status.is_optimal
+    reference = scipy_reference(prob, x0=x0)
+    # First-order accuracy: no polish step, so the bar is slightly
+    # looser than the ADMM+polish crosscheck above.
+    np.testing.assert_allclose(ours.x, reference, atol=5e-4)
+    assert prob.objective(ours.x) <= prob.objective(reference) + 1e-3
+
+
+def test_pdqp_matches_slsqp_with_one_sided_bounds():
+    rng = np.random.default_rng(7)
+    n = 4
+    p = random_spd_dense(rng, n, 0.5)
+    a = np.vstack([np.eye(n), np.ones((1, n))])
+    prob = QProblem(P=CSRMatrix.from_dense(p), q=rng.standard_normal(n),
+                    A=CSRMatrix.from_dense(a),
+                    l=np.concatenate([np.zeros(n), [-np.inf]]),
+                    u=np.concatenate([np.full(n, np.inf), [1.0]]))
+    ours = solve_pdqp(prob, ACCURATE_PDQP)
+    assert ours.status.is_optimal
+    reference = scipy_reference(prob)
+    np.testing.assert_allclose(ours.x, reference, atol=5e-4)
 
 
 def test_matches_slsqp_with_one_sided_bounds():
