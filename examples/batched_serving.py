@@ -1,0 +1,69 @@
+"""Batched serving: one lockstep run for a same-structure burst.
+
+A serving deployment sees bursts of structurally identical QPs — the
+MPC re-solve tick, a backtest sweep, an SQP inner loop fanning out.
+Beyond reusing one cached architecture per structure (amortization,
+see portfolio_backtest.py), the service coalesces such a burst into a
+*batched lockstep solve*: one compiled instruction stream drives all
+instances over batched buffers, so the stream pays instruction
+dispatch once instead of once per request — and every lane's answer is
+bitwise identical to the solo solve it replaced.
+
+Run:  python examples/batched_serving.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.problems import generate_lasso, perturb_numeric
+from repro.serving import SolverService
+from repro.solver import OSQPSettings
+
+N_FEATURES = 16
+BURST = 12
+
+settings = OSQPSettings(eps_abs=1e-4, eps_rel=1e-4, max_iter=2000)
+base = generate_lasso(N_FEATURES, seed=0)
+burst = [base] + [perturb_numeric(base, seed=s)
+                  for s in range(1, BURST)]
+
+# Per-request path: every problem solved on its own (coalesce=False),
+# warm after the first request builds the artifact.
+with SolverService(settings=settings, workers=1, mode="serial") as svc:
+    svc.solve(base)                       # build + cache the artifact
+    t0 = time.perf_counter()
+    solo = svc.solve_batch(burst, coalesce=False)
+    solo_s = time.perf_counter() - t0
+
+# Batched path: the same burst coalesced into one lockstep run.
+with SolverService(settings=settings, workers=1, mode="serial",
+                   max_batch=BURST) as svc:
+    svc.solve(base)
+    t0 = time.perf_counter()
+    batched = svc.solve_batch(burst)
+    batch_s = time.perf_counter() - t0
+
+print(f"burst of {BURST} same-structure lasso QPs "
+      f"(n={N_FEATURES} features)")
+print(f"  per-request : {solo_s * 1e3:7.1f} ms")
+print(f"  batched     : {batch_s * 1e3:7.1f} ms "
+      f"({solo_s / batch_s:.1f}x request throughput)")
+
+widths = {r.record.batch_width for r in batched}
+print(f"  batch widths: {sorted(widths)} "
+      f"(every record carries the lane count it shared a machine with)")
+
+identical = all(
+    s.x.tobytes() == b.x.tobytes()
+    and s.record.admm_iterations == b.record.admm_iterations
+    and s.record.simulated_cycles == b.record.simulated_cycles
+    for s, b in zip(solo, batched))
+print(f"  per-lane results bitwise identical to solo solves: "
+      f"{identical}")
+assert identical
+
+iters = [r.record.admm_iterations for r in batched]
+print(f"  lanes converged independently: {min(iters)}-{max(iters)} "
+      f"ADMM iterations (early lanes freeze, late lanes run on)")
+assert np.all([r.converged for r in batched])

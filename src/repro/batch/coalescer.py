@@ -1,0 +1,142 @@
+"""Deadline-aware request coalescing for batched lockstep solves.
+
+The :class:`Coalescer` groups pending requests by a caller-supplied
+key (the serving layer keys by ``(fingerprint.key, algorithm)`` — two
+requests ever co-batch only when one cached artifact can drive both in
+lockstep) and decides *when* a group ships:
+
+* a group that reaches ``max_batch`` entries flushes immediately —
+  that is the widest the virtual fleet gets;
+* a group whose oldest entry has waited ``max_linger`` seconds flushes
+  partial — latency is bounded even on a trickle of requests;
+* a group holding an entry whose absolute deadline is within
+  ``deadline_headroom`` flushes early — a request is never held in the
+  queue past the point where waiting would eat its own deadline.
+
+The clock is injectable so tests drive linger/deadline expiry
+deterministically; nothing here sleeps or spawns threads — callers
+poll :meth:`due` (and :meth:`next_due_at` to size their wait).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+
+__all__ = ["Coalescer", "PendingEntry"]
+
+
+class PendingEntry:
+    """One queued request: opaque payload plus its timing metadata."""
+
+    __slots__ = ("item", "enqueued_at", "deadline_at")
+
+    def __init__(self, item, enqueued_at: float, deadline_at=None):
+        self.item = item
+        self.enqueued_at = enqueued_at
+        self.deadline_at = deadline_at
+
+
+class Coalescer:
+    """Same-key batching queue with linger and deadline bounds.
+
+    Parameters
+    ----------
+    max_batch:
+        Flush a group the moment it holds this many entries.
+    max_linger:
+        Seconds the oldest entry of a group may wait before the group
+        flushes partial.
+    deadline_headroom:
+        Flush a group early when any entry's ``deadline_at`` is within
+        this many seconds — the batch must ship while the lane can
+        still make its deadline. Defaults to ``max_linger``.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, max_batch: int = 32, max_linger: float = 0.005,
+                 deadline_headroom=None, clock=time.monotonic):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_linger < 0.0:
+            raise ValueError("max_linger must be >= 0")
+        self.max_batch = int(max_batch)
+        self.max_linger = float(max_linger)
+        self.deadline_headroom = (float(deadline_headroom)
+                                  if deadline_headroom is not None
+                                  else float(max_linger))
+        self._clock = clock
+        self._groups: OrderedDict = OrderedDict()
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Total queued entries across all groups."""
+        return sum(len(entries) for entries in self._groups.values())
+
+    def offer(self, key, item, deadline_at=None):
+        """Queue ``item`` under ``key``.
+
+        Returns the full batch (list of payloads) when this entry
+        makes the group reach ``max_batch``, else ``None``.
+        """
+        entry = PendingEntry(item, self._clock(), deadline_at)
+        group = self._groups.setdefault(key, [])
+        group.append(entry)
+        if len(group) >= self.max_batch:
+            del self._groups[key]
+            return [e.item for e in group]
+        return None
+
+    def _group_due(self, entries, now: float) -> bool:
+        if now - entries[0].enqueued_at >= self.max_linger:
+            return True
+        for entry in entries:
+            if (entry.deadline_at is not None
+                    and entry.deadline_at - now <= self.deadline_headroom):
+                return True
+        return False
+
+    def due(self, now=None):
+        """Pop and return every group due to flush: ``[(key, items)]``.
+
+        A group is due when its oldest entry has lingered past
+        ``max_linger`` or any entry's deadline is within
+        ``deadline_headroom``. Groups stay queued otherwise.
+        """
+        now = self._clock() if now is None else now
+        flushed = []
+        for key in list(self._groups):
+            entries = self._groups[key]
+            if self._group_due(entries, now):
+                del self._groups[key]
+                flushed.append((key, [e.item for e in entries]))
+        return flushed
+
+    def next_due_at(self, now=None):
+        """Earliest absolute time any queued group becomes due, or
+        ``None`` when the queue is empty. Callers use it to bound
+        their poll/wait interval."""
+        now = self._clock() if now is None else now
+        soonest = None
+        for entries in self._groups.values():
+            linger_at = entries[0].enqueued_at + self.max_linger
+            candidate = linger_at
+            for entry in entries:
+                if entry.deadline_at is not None:
+                    flush_at = entry.deadline_at - self.deadline_headroom
+                    if flush_at < candidate:
+                        candidate = flush_at
+            if soonest is None or candidate < soonest:
+                soonest = candidate
+        return soonest
+
+    def flush_all(self):
+        """Pop everything immediately: ``[(key, items)]`` in FIFO
+        group order. Used at shutdown and by the synchronous batch
+        API once all requests of one call are queued."""
+        flushed = [(key, [e.item for e in entries])
+                   for key, entries in self._groups.items()]
+        self._groups.clear()
+        return flushed

@@ -1,0 +1,446 @@
+"""Batched lockstep solves: B same-structure QPs as one vectorized run.
+
+:class:`BatchAccelerator` drives the compiled program of one cached
+artifact over a :class:`~repro.hw.batched.BatchMachine`: a single
+instruction stream advances B problem instances in lockstep, with
+per-instance convergence masking inside the ADMM / PDHG loops
+(converged lanes freeze, the loop exits when the mask empties) and the
+same host-side segment drivers the solo accelerators use — adaptive
+rho (ADMM) and restarts / primal-weight rebalancing (PDQP) — applied
+per lane with the exact float paths factored out of
+:mod:`repro.hw.accelerator` and :mod:`repro.hw.pdqp`.
+
+Per-lane setup reuses the solo accelerators verbatim: each lane
+constructs its own :class:`~repro.hw.accelerator.RSQPAccelerator` (or
+:class:`~repro.hw.pdqp.PDQPAccelerator`) for host scaling, rho/step
+selection and the HBM download, and the batch machine stacks those
+lanes' HBM images and scalar registers. That is what makes the batched
+run bit-identical to B solo runs — there is no separate batched setup
+path to drift.
+
+Cycle accounting: the returned :class:`BatchResult` carries the wall
+stats of the B-wide virtual fleet (every lockstep trip charges the
+stream once) *and* a per-lane :class:`~repro.hw.accelerator.
+RSQPResult` whose ``total_cycles`` are that lane's effective cycles —
+the analytic count for its own trip/refresh tallies, equal to what the
+lane's solo run measures.
+
+Faults and deadlines address lanes individually: per-lane injectors
+corrupt only their lane's rows, a corrupted or deadline-expired lane
+is frozen and reported in ``lane_errors`` while the rest of the batch
+keeps running (the serving layer re-solves such lanes through the solo
+resilient path).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..hw.accelerator import (RSQPAccelerator, RSQPResult,
+                              adaptive_rho_estimate, jacobi_preconditioner,
+                              rho_vector_for)
+from ..hw.batched import BatchExecutor, BatchMachine, BatchMatrixResource
+from ..hw.compiler import ADMM_LOOP, PCG_LOOP, PDHG_LOOP
+from ..hw.frequency import fmax_mhz
+from ..hw.machine import ExecutionStats
+from ..hw.pdqp import PDQPAccelerator, pdqp_step_sizes, rebalanced_omega
+from ..hw.power import fpga_power_watts
+from ..qp import ruiz_equilibrate_batch
+from ..solver import OSQPSettings
+
+__all__ = ["BatchResult", "BatchAccelerator", "solve_batch_job"]
+
+#: ``lane_errors`` entries a frozen lane can carry.
+LANE_FAULT = "fault"
+LANE_DEADLINE = "deadline"
+
+
+class BatchResult:
+    """Per-lane results plus wall accounting of the virtual fleet.
+
+    ``results[b]`` is the lane's :class:`~repro.hw.accelerator.
+    RSQPResult` (effective per-instance cycles), or ``None`` when the
+    lane froze early — then ``lane_errors[b]`` says why
+    (``"fault"`` / ``"deadline"``).
+    """
+
+    def __init__(self, results: list, lane_errors: list, *,
+                 wall_stats: ExecutionStats, fmax_mhz: float,
+                 power_watts: float, algorithm: str):
+        self.results = results
+        self.lane_errors = lane_errors
+        self.batch = len(results)
+        self.wall_stats = wall_stats
+        self.wall_cycles = int(wall_stats.total_cycles)
+        self.fmax_mhz = fmax_mhz
+        self.power_watts = power_watts
+        self.algorithm = algorithm
+
+    @property
+    def wall_seconds(self) -> float:
+        """Modeled wall time of the whole batch at the design clock."""
+        return self.wall_cycles / (self.fmax_mhz * 1e6)
+
+    @property
+    def lane_cycles(self) -> tuple:
+        """Effective per-instance cycles (0 for frozen lanes)."""
+        return tuple(0 if r is None else r.total_cycles
+                     for r in self.results)
+
+    @property
+    def cycles_per_instance(self) -> float:
+        """Wall cycles amortized over the batch."""
+        return self.wall_cycles / max(self.batch, 1)
+
+    @property
+    def lockstep_speedup(self) -> float:
+        """Sum of per-lane effective cycles over wall cycles — how many
+        serial solo runs one batched run replaced, in cycle terms."""
+        total = sum(self.lane_cycles)
+        return total / self.wall_cycles if self.wall_cycles else 0.0
+
+
+class BatchAccelerator:
+    """One compiled instruction stream driving B lockstep instances.
+
+    Parameters mirror the solo accelerators where they overlap;
+    ``problems`` must share one structure (the artifact's fingerprint
+    guarantees it on the serving path; the stacked matrices verify the
+    sparsity pattern regardless). ``injectors`` / ``deadline_ats`` are
+    optional per-lane lists (``None`` entries disable the feature for
+    that lane; ``deadline_ats`` holds absolute ``time.perf_counter()``
+    timestamps).
+    """
+
+    def __init__(self, problems, customization, settings, *,
+                 compiled, algorithm: str = "admm",
+                 pcg_eps: float = 1e-7, max_pcg_iter: int = 500,
+                 warm_starts=None, injectors=None, deadline_ats=None):
+        problems = list(problems)
+        if not problems:
+            raise ValueError("batch needs at least one problem")
+        batch = len(problems)
+        self.batch = batch
+        self.algorithm = algorithm
+        self.settings = settings
+        self.customization = customization
+        self.compiled = compiled
+        warm_starts = list(warm_starts or [None] * batch)
+        self.injectors = list(injectors or [None] * batch)
+        self.deadline_ats = list(deadline_ats or [None] * batch)
+        if not (len(warm_starts) == len(self.injectors)
+                == len(self.deadline_ats) == batch):
+            raise ValueError("per-lane argument lists must match the "
+                             "number of problems")
+
+        # Per-lane solo accelerators perform host setup + download with
+        # exactly the solo float paths; the batch machine stacks them.
+        # The one vectorized piece of setup is Ruiz equilibration —
+        # computed for all lanes at once (bit-identical per lane to the
+        # solo call, see :func:`repro.qp.ruiz_equilibrate_batch`) and
+        # injected into each lane's host setup. Structure mismatches
+        # fall back to per-lane scaling; the stacked matrix resources
+        # below still enforce the shared-sparsity precondition.
+        scalings = [None] * batch
+        if batch > 1:
+            try:
+                scalings = ruiz_equilibrate_batch(
+                    problems, settings.scaling)
+            except ValueError:
+                pass
+        self.lanes = []
+        for problem, warm, scaling in zip(problems, warm_starts, scalings):
+            if algorithm == "pdqp":
+                lane = PDQPAccelerator(
+                    problem, customization=customization,
+                    settings=settings, compiled=compiled,
+                    backend="interpret", verify=False,
+                    scaling=scaling)
+            else:
+                lane = RSQPAccelerator(
+                    problem, customization=customization,
+                    settings=settings, pcg_eps=pcg_eps,
+                    max_pcg_iter=max_pcg_iter, compiled=compiled,
+                    backend="interpret", verify=False,
+                    scaling=scaling)
+            if warm is not None:
+                x0, y0 = warm
+                lane.warm_start(x=x0, y=y0)
+            self.lanes.append(lane)
+        first = self.lanes[0]
+        for lane in self.lanes[1:]:
+            if (lane.work.n, lane.work.m) != (first.work.n, first.work.m):
+                raise ValueError(
+                    "batched lanes disagree on problem dimensions: "
+                    f"({lane.work.n}, {lane.work.m}) vs "
+                    f"({first.work.n}, {first.work.m})")
+
+        self.machine = BatchMachine(customization.c, {
+            name: BatchMatrixResource(
+                name, [lane.machine.matrices[name] for lane in self.lanes])
+            for name in ("P", "A", "At")}, batch)
+        for b, lane in enumerate(self.lanes):
+            for name, values in lane.machine.hbm.items():
+                self.machine.write_hbm_lane(name, b, values)
+            for name, value in lane.machine.scalars.items():
+                self.machine.set_scalar_lane(name, b, value)
+        if any(inj is not None for inj in self.injectors):
+            self.machine.injectors = self.injectors
+        self.executor = BatchExecutor(self.machine)
+
+    # ------------------------------------------------------------------
+    def _run(self, program, mask) -> None:
+        self.executor.run(program, mask)
+
+    def _expire_deadlines(self, active, missed) -> None:
+        if not any(d is not None for d in self.deadline_ats):
+            return
+        now = time.perf_counter()
+        for b, deadline_at in enumerate(self.deadline_ats):
+            if deadline_at is not None and active[b] and now > deadline_at:
+                active[b] = False
+                missed[b] = True
+
+    def _guard_lanes(self, active, faulted, state_names) -> None:
+        """Freeze lanes whose persistent state went non-finite.
+
+        Batched runs do not roll back (the serving layer re-solves a
+        faulted lane through the solo resilient path, which does);
+        detection mirrors the solo `_state_corrupted` finiteness
+        checks, applied per lane.
+        """
+        if self.machine.injectors is None:
+            return
+        machine = self.machine
+        worst = machine.scalars.get("worst")
+        for b in np.flatnonzero(active):
+            bad = worst is not None and not np.isfinite(worst[b])
+            if not bad:
+                for name in state_names:
+                    buf = machine.vb.get(name)
+                    if buf is not None and not np.all(
+                            np.isfinite(buf[:, b])):
+                        bad = True
+                        break
+            if bad:
+                active[b] = False
+                faulted[b] = True
+
+    # ------------------------------------------------------------------
+    def run(self) -> BatchResult:
+        from ..hw.isa import DataTransfer, Loop, Program
+
+        machine = self.machine
+        sections = self.compiled._sections
+        batch = self.batch
+        active = np.ones(batch, dtype=bool)
+        converged = np.zeros(batch, dtype=bool)
+        missed = np.zeros(batch, dtype=bool)
+        faulted = np.zeros(batch, dtype=bool)
+        everyone = np.ones(batch, dtype=bool)
+
+        if self.algorithm == "pdqp":
+            body_key, loop_name = "pdhg_body", PDHG_LOOP
+            interval = max(self.settings.restart_interval, 1)
+            state_names = PDQPAccelerator._PDHG_STATE
+            self._store_program = Program(
+                [DataTransfer("store", name) for name in ("x", "y")])
+            self._anchor_program = Program(
+                [DataTransfer("load", name) for name in ("x0", "y0")])
+        else:
+            body_key, loop_name = "admm_body", ADMM_LOOP
+            interval = max(self.settings.adaptive_rho_interval, 1)
+            state_names = RSQPAccelerator._ADMM_STATE
+            self._refresh_program = Program(
+                [DataTransfer("load", name)
+                 for name in ("rho", "rho_inv", "minv")])
+        self._lane_refreshes = np.zeros(batch, dtype=np.int64)
+
+        self._run(Program(list(sections["prologue"])), everyone)
+        remaining = self.settings.max_iter
+        while remaining > 0 and active.any():
+            self._expire_deadlines(active, missed)
+            if not active.any():
+                break
+            segment = min(interval, remaining)
+            before = machine.stats.loop_iterations.get(loop_name, 0)
+            self._run(Program([Loop(body=sections[body_key],
+                                    max_iter=segment, name=loop_name)]),
+                      active)
+            executed = machine.stats.loop_iterations.get(loop_name,
+                                                         0) - before
+            self._guard_lanes(active, faulted, state_names)
+            remaining -= executed
+            worst = machine.scalars.get("worst")
+            if worst is not None:
+                with np.errstate(invalid="ignore"):
+                    done = active & (worst < 1.0)
+                converged |= done
+                active &= ~done
+            if not active.any():
+                break
+            if executed < segment:  # defensive: mirrors the solo loop
+                break
+            if remaining > 0:
+                if self.algorithm == "pdqp":
+                    self._restart_lanes(active)
+                elif self.settings.adaptive_rho:
+                    self._update_rho_lanes(active)
+        self._run(Program(list(sections["epilogue"])), everyone)
+        return self._collect(converged, missed, faulted)
+
+    # -- ADMM host driver (per lane) ------------------------------------
+    def _update_rho_lanes(self, active) -> None:
+        machine = self.machine
+        tol = self.settings.adaptive_rho_tolerance
+        any_update = False
+        for b in np.flatnonzero(active):
+            lane = self.lanes[b]
+            estimate = adaptive_rho_estimate(
+                lane.rho,
+                machine.scalar_lane("rp", b, 0.0),
+                machine.scalar_lane("rdual", b, 0.0),
+                machine.scalar_lane("npz", b, 0.0),
+                machine.scalar_lane("nd_all", b, 0.0))
+            if not (estimate > tol * lane.rho
+                    or estimate < lane.rho / tol):
+                continue
+            lane.rho = estimate
+            lane.rho_vec = rho_vector_for(lane.work, estimate)
+            hbm = machine.hbm
+            hbm["rho"][:, b] = lane.rho_vec
+            hbm["rho_inv"][:, b] = 1.0 / lane.rho_vec
+            hbm["minv"][:, b] = jacobi_preconditioner(
+                lane.work, lane.settings.sigma, lane.rho_vec)
+            lane.rho_updates += 1
+            self._lane_refreshes[b] += 1
+            any_update = True
+        if any_update:
+            # One masked reload refreshes every active lane; lanes whose
+            # rho did not change reload bit-identical data (harmless),
+            # and the wall pays the transfer once.
+            self._run(self._refresh_program, active)
+
+    # -- PDQP host driver (per lane) ------------------------------------
+    def _restart_lanes(self, active) -> None:
+        machine = self.machine
+        self._run(self._store_program, active)
+        hbm = machine.hbm
+        for b in np.flatnonzero(active):
+            hbm["x0"][:, b] = hbm["x"][:, b]
+            hbm["y0"][:, b] = hbm["y"][:, b]
+        self._run(self._anchor_program, active)
+        machine.scalar_buffer("hk")[active] = 2.0
+        self._lane_refreshes[active] += 1
+        for b in np.flatnonzero(active):
+            self.lanes[b].restarts += 1
+        if not self.settings.omega_adaptive:
+            return
+        tol = self.settings.omega_tolerance
+        for b in np.flatnonzero(active):
+            lane = self.lanes[b]
+            estimate = rebalanced_omega(
+                lane.omega,
+                machine.scalar_lane("rp", b, 0.0),
+                machine.scalar_lane("rdual", b, 0.0),
+                machine.scalar_lane("npz", b, 0.0),
+                machine.scalar_lane("nd_all", b, 0.0))
+            if not (estimate > tol * lane.omega
+                    or estimate < lane.omega / tol):
+                continue
+            lane.omega = estimate
+            lane.tau, lane.sigma = pdqp_step_sizes(
+                lane.omega, lane.norm_a, lane.lam_p,
+                lane.settings.tau_scale)
+            machine.set_scalar_lane("neg_tau", b, -lane.tau)
+            machine.set_scalar_lane("sigma", b, lane.sigma)
+            machine.set_scalar_lane("sigma_inv", b, 1.0 / lane.sigma)
+            machine.set_scalar_lane("neg_sigma", b, -lane.sigma)
+            lane.omega_updates += 1
+
+    # ------------------------------------------------------------------
+    def _collect(self, converged, missed, faulted) -> BatchResult:
+        machine = self.machine
+        arch = self.customization.architecture
+        clock = fmax_mhz(arch)
+        power = fpga_power_watts(arch)
+        is_pdqp = self.algorithm == "pdqp"
+        loop_name = PDHG_LOOP if is_pdqp else ADMM_LOOP
+        lane_outer = machine.lane_loop_iterations.get(
+            loop_name, np.zeros(self.batch, dtype=np.int64))
+        lane_pcg = machine.lane_loop_iterations.get(
+            PCG_LOOP, np.zeros(self.batch, dtype=np.int64))
+        results: list = []
+        lane_errors: list = []
+        for b, lane in enumerate(self.lanes):
+            if faulted[b] or missed[b]:
+                results.append(None)
+                lane_errors.append(LANE_FAULT if faulted[b]
+                                   else LANE_DEADLINE)
+                continue
+            lane_errors.append(None)
+            outer = int(lane_outer[b])
+            pcg = int(lane_pcg[b])
+            if is_pdqp:
+                effective = lane.estimate_cycles(
+                    outer, restarts=int(self._lane_refreshes[b]))
+            else:
+                effective = lane.estimate_cycles(
+                    outer, pcg, rho_updates=int(self._lane_refreshes[b]))
+            injector = self.injectors[b]
+            events = tuple(injector.events) if injector is not None else ()
+            loops = {loop_name: outer}
+            if not is_pdqp:
+                loops[PCG_LOOP] = pcg
+            stats = ExecutionStats(
+                total_cycles=effective,
+                by_class={}, instructions_executed=0,
+                loop_iterations=loops)
+            results.append(RSQPResult(
+                x=lane.scaling.unscale_x(machine.read_hbm_lane("x", b)),
+                y=lane.scaling.unscale_y(machine.read_hbm_lane("y", b)),
+                z=lane.scaling.unscale_z(machine.read_hbm_lane("z", b)),
+                converged=bool(converged[b]),
+                admm_iterations=outer,
+                pcg_iterations=pcg if not is_pdqp else 0,
+                total_cycles=effective,
+                fmax_mhz=clock, power_watts=power,
+                stats=stats, fault_events=events,
+                algorithm=self.algorithm,
+                restarts=(int(self._lane_refreshes[b]) if is_pdqp
+                          else 0)))
+        return BatchResult(results, lane_errors,
+                           wall_stats=machine.stats,
+                           fmax_mhz=clock, power_watts=power,
+                           algorithm=self.algorithm)
+
+
+def solve_batch_job(problems, artifact, settings: OSQPSettings,
+                    warm_starts=None, pcg_eps: float = 1e-7,
+                    verify: bool = True, injectors=None,
+                    deadline_ats=None) -> BatchResult:
+    """Bind one cached artifact to B same-structure problems and run.
+
+    The batched analogue of :func:`repro.serving.pool.solve_job`:
+    verification runs once per batch artifact
+    (:func:`repro.verify.ensure_batch_verified` — memoized static
+    program checks plus lane-compatibility guards), and the algorithm
+    is dispatched from the artifact exactly like the solo path.
+    """
+    problems = list(problems)
+    if verify:
+        from ..verify import ensure_batch_verified
+        ensure_batch_verified(artifact, problems)
+    algorithm = getattr(artifact, "algorithm", "admm")
+    if algorithm == "pdqp":
+        from ..solver.algorithms import get_algorithm
+        settings = get_algorithm("pdqp").coerce_settings(settings)
+    accelerator = BatchAccelerator(
+        problems, artifact.customization, settings,
+        compiled=artifact.compiled, algorithm=algorithm,
+        pcg_eps=pcg_eps, max_pcg_iter=artifact.max_pcg_iter,
+        warm_starts=warm_starts, injectors=injectors,
+        deadline_ats=deadline_ats)
+    return accelerator.run()

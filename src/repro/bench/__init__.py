@@ -1,0 +1,94 @@
+"""Benchmark report aggregation: one view over every ``BENCH_*.json``.
+
+Each benchmark module under ``benchmarks/`` writes a machine-readable
+report at the repo root (``BENCH_SIM.json``, ``BENCH_PDQP.json``,
+``BENCH_BATCH.json``, ...). The schemas are deliberately
+benchmark-specific — a throughput sweep and an algorithm-selection
+study headline different numbers — so the aggregator is
+schema-tolerant: it discovers every report, lifts the top-level scalar
+fields as that report's headline metrics, and merges everything into
+one summary (rendered as a table by ``python -m repro.bench``, or as
+one JSON document for CI artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from ..experiments import format_table
+
+__all__ = ["discover", "headline", "merge", "render"]
+
+REPORT_GLOB = "BENCH_*.json"
+
+
+def discover(root) -> list:
+    """``[(name, path)]`` for every report under ``root``, sorted.
+
+    ``name`` is the report stem without the ``BENCH_`` prefix
+    (``BENCH_SIM.json`` -> ``sim``).
+    """
+    root = pathlib.Path(root)
+    found = []
+    for path in sorted(root.glob(REPORT_GLOB)):
+        name = path.stem[len("BENCH_"):].lower() or path.stem.lower()
+        found.append((name, path))
+    return found
+
+
+def headline(payload: dict) -> dict:
+    """Top-level scalar metrics of one report, insertion-ordered.
+
+    Lists/dicts (the per-case rows, config echoes) are detail, not
+    headline; bools and strings ride along so floors and chosen
+    configurations stay visible in the summary.
+    """
+    return {key: value for key, value in payload.items()
+            if not isinstance(value, (list, dict))}
+
+
+def merge(root) -> dict:
+    """Merge every report under ``root`` into one document.
+
+    Returns ``{"reports": {name: payload}, "headline": {name: {...}},
+    "case_counts": {name: n}}`` — the full payloads for archival, the
+    lifted scalars for dashboards.
+    """
+    reports, heads, counts = {}, {}, {}
+    for name, path in discover(root):
+        payload = json.loads(path.read_text())
+        reports[name] = payload
+        heads[name] = headline(payload)
+        cases = payload.get("cases")
+        counts[name] = len(cases) if isinstance(cases, list) else 0
+    return {"reports": reports, "headline": heads,
+            "case_counts": counts}
+
+
+def render(root, *, cases: bool = False) -> str:
+    """Human-readable summary of every report under ``root``.
+
+    One row per report (name, case count, headline metrics); with
+    ``cases=True`` each report's per-case rows render as their own
+    table below the summary.
+    """
+    merged = merge(root)
+    if not merged["reports"]:
+        return f"no {REPORT_GLOB} reports under {root}\n"
+    rows = []
+    for name, head in merged["headline"].items():
+        metrics = "  ".join(
+            f"{k}={v:g}" if isinstance(v, (int, float))
+            and not isinstance(v, bool) else f"{k}={v}"
+            for k, v in sorted(head.items()))
+        rows.append({"report": name,
+                     "cases": merged["case_counts"][name],
+                     "headline": metrics})
+    out = [format_table(rows, title="Benchmark reports")]
+    if cases:
+        for name, payload in merged["reports"].items():
+            case_rows = payload.get("cases")
+            if isinstance(case_rows, list) and case_rows:
+                out.append(format_table(case_rows, title=name))
+    return "\n".join(out)

@@ -1,0 +1,43 @@
+"""``python -m repro.bench`` — aggregate ``BENCH_*.json`` reports.
+
+Prints the summary table to stdout; ``--json PATH`` additionally
+writes the merged document (full payloads + lifted headline metrics)
+for CI artifact upload. Exits non-zero when no reports exist, so a CI
+step that expected benchmark output fails loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from . import merge, render
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Aggregate BENCH_*.json benchmark reports.")
+    parser.add_argument("--root", default=".",
+                        help="directory holding BENCH_*.json "
+                             "(default: current directory)")
+    parser.add_argument("--cases", action="store_true",
+                        help="also render each report's per-case table")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the merged document to PATH")
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(args.root)
+    merged = merge(root)
+    print(render(root, cases=args.cases), end="")
+    if args.json:
+        pathlib.Path(args.json).write_text(
+            json.dumps(merged, indent=2, sort_keys=True))
+        print(f"merged document -> {args.json}")
+    return 0 if merged["reports"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

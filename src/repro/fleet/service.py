@@ -124,6 +124,8 @@ class FleetRecord:
     #: Answered by the spill lane as an explicit degraded-mode result
     #: after node attempts were exhausted (never a silent wrong answer).
     degraded: bool = False
+    #: Lockstep batch width this request solved at (1 = solo).
+    batch_width: int = 1
 
 
 @dataclass
@@ -222,7 +224,8 @@ class FleetService:
                  breaker_threshold: int = 3,
                  breaker_reset_seconds: float = 0.05,
                  max_attempts: int = 3,
-                 algorithm: str = "admm"):
+                 algorithm: str = "admm",
+                 max_batch: int = 32):
         if solve_mode not in _SOLVE_MODES:
             raise ValueError(f"solve_mode must be one of {_SOLVE_MODES}, "
                              f"got {solve_mode!r}")
@@ -248,6 +251,10 @@ class FleetService:
                           else AdmissionController())
         self.autoscaler = autoscaler
         self.queue_weight = float(queue_weight)
+        #: Widest lockstep batch a node pump may coalesce from its own
+        #: queue (same fingerprint, exact mode, no fault plan armed);
+        #: < 2 disables coalescing.
+        self.max_batch = int(max_batch)
         self.pcg_eps = float(pcg_eps)
         self.max_pcg_iter = int(max_pcg_iter)
         self.metrics = MetricsRegistry(default_reservoir=reservoir,
@@ -601,8 +608,11 @@ class FleetService:
         requeue = []
         aborted = node.abort_service(now)
         if aborted is not None:
-            self._in_flight.pop(node.node_id, None)
-            requeue.append(aborted)
+            payload = self._in_flight.pop(node.node_id, None)
+            if payload is not None and isinstance(payload[0], list):
+                requeue.extend(payload[0])  # every lane of the batch
+            else:
+                requeue.append(aborted)
         while node.queue:
             requeue.append(node.queue.popleft())
         self._events.push(node.failed_until, "node-recover",
@@ -642,6 +652,9 @@ class FleetService:
         if not node.online(now):
             return  # failed with queued work; the crash handler requeues
         request = node.queue.popleft()
+        mates = self._coalesce_mates(node, request)
+        if mates and self._pump_batch(node, request, mates, now):
+            return
         try:
             raw, eta, calibrated = self._node_solve(request, node)
         except VerificationError as exc:
@@ -662,6 +675,83 @@ class FleetService:
         finish = node.start_service(now, request, raw.solve_seconds, eta)
         self._in_flight[node.node_id] = (request, raw, eta, calibrated, now)
         self._events.push(finish, "node-done", (node, node.epoch))
+
+    def _coalesce_mates(self, node: AcceleratorNode,
+                        request: FleetRequest) -> list:
+        """Pull same-fingerprint requests behind ``request`` off the
+        node's queue for one lockstep batch.
+
+        Opportunistic and conservative: exact mode only (calibrated
+        mode reuses measured solves, there is nothing to batch), never
+        with a fault plan armed (per-attempt injectors address solo
+        node attempts), never in race mode before a winner is pinned.
+        """
+        if (self.max_batch < 2 or self.solve_mode != "exact"
+                or self.fault_plan is not None or not node.queue
+                or self._algorithm_for(request) is None):
+            return []
+        mates = [r for r in node.queue
+                 if r.fingerprint.key == request.fingerprint.key]
+        mates = mates[:self.max_batch - 1]
+        for mate in mates:
+            node.queue.remove(mate)
+        return mates
+
+    def _pump_batch(self, node: AcceleratorNode, request: FleetRequest,
+                    mates: list, now: float) -> bool:
+        """Serve ``request`` and its queue-mates as one lockstep batch.
+
+        Returns True when the batch was dispatched (service started,
+        shed, or requeued); False re-queues the mates and lets the
+        caller fall through to the solo path.
+        """
+        from ..batch import solve_batch_job
+        lanes = [request] + mates
+        algorithm = self._algorithm_for(request)
+        try:
+            artifact = self._bind(request.problem, request.fingerprint,
+                                  node.architecture, algorithm)
+            bres = solve_batch_job(
+                [r.problem for r in lanes], artifact, self.settings,
+                warm_starts=[r.warm_start for r in lanes],
+                pcg_eps=self.pcg_eps, verify=self.verify)
+        except VerificationError as exc:
+            self.metrics.counter("fleet_verify_rejects_total").inc()
+            codes = (",".join(sorted(d.code for d in exc.report.errors))
+                     if exc.report is not None else "rejected")
+            for lane in lanes:
+                self._finalize_shed(lane, f"verify:{codes}")
+            self._pump(node)
+            return True
+        except (FaultDetectedError, SimulationError):
+            self.metrics.counter("fleet_solve_failures_total").inc()
+            self._breaker_failure(node, now)
+            for lane in lanes:
+                self._requeue(lane, node)
+            self._pump(node)
+            return True
+        except Exception:
+            # Unexpected batch failure: put the mates back and let the
+            # solo path (with its own error handling) serve the head.
+            for mate in reversed(mates):
+                node.queue.appendleft(mate)
+            return False
+        for _ in lanes:
+            self._count_selected(algorithm)
+        eta = self._eta[(request.fingerprint.key, node.arch_string)]
+        self.metrics.counter("fleet_batches_total").inc()
+        self.metrics.counter("fleet_batched_requests_total").inc(
+            len(lanes))
+        self.metrics.histogram("fleet_batch_width").observe(len(lanes))
+        # The node is busy for the batch's *wall* time — the lockstep
+        # stream issues once, whatever the lane count — but served /
+        # eta tallies stay per *request*, like the report they feed.
+        finish = node.start_service(now, request, bres.wall_seconds, eta)
+        node.served += len(mates)
+        node.eta_sum += eta * len(mates)
+        self._in_flight[node.node_id] = (lanes, bres, eta, False, now)
+        self._events.push(finish, "node-done", (node, node.epoch))
+        return True
 
     def _algorithm_for(self, request: FleetRequest) -> str | None:
         """Resolve the algorithm for one solve; None = race pending."""
@@ -763,6 +853,9 @@ class FleetService:
             breaker.record_success(now)
         request, raw, eta, calibrated, start = self._in_flight.pop(
             node.node_id)
+        if isinstance(request, list):
+            self._finalize_batch(node, request, raw, eta, start, now)
+            return
         matched = (self._dedicated.get(request.fingerprint.key)
                    == node.arch_string)
         record = FleetRecord(
@@ -786,6 +879,51 @@ class FleetService:
             self.autoscaler.observe(
                 now, request.fingerprint.key, request.problem,
                 cycles=record.simulated_cycles, eta=eta, matched=matched)
+            self._autoscale_tick()
+        if node.draining and node.busy_with is None and not node.queue:
+            self._retire(node)
+        else:
+            self._pump(node)
+
+    def _finalize_batch(self, node: AcceleratorNode, lanes: list,
+                        bres, eta: float, start: float,
+                        now: float) -> None:
+        """Per-lane records for one completed lockstep batch.
+
+        Every lane shares the batch's wall service window; its
+        ``simulated_cycles`` are the lane's *effective* solo-equivalent
+        cycles. A lane the runner froze (defensive — no injectors or
+        deadlines ride the fleet batch path) is requeued alone.
+        """
+        matched = (self._dedicated.get(lanes[0].fingerprint.key)
+                   == node.arch_string)
+        for lane, raw in zip(lanes, bres.results):
+            if raw is None:
+                self._requeue(lane, node)
+                continue
+            record = FleetRecord(
+                request_id=lane.request_id,
+                problem_name=lane.problem.name,
+                fingerprint_key=lane.fingerprint.key,
+                lane=LANE_NODE, arrival=lane.arrival, start=start,
+                finish=now, node_id=node.node_id,
+                architecture=node.arch_string, eta=eta, matched=matched,
+                queue_seconds=start - lane.arrival,
+                service_seconds=now - start,
+                latency_seconds=now - lane.arrival,
+                simulated_cycles=raw.total_cycles,
+                admm_iterations=raw.admm_iterations,
+                converged=raw.converged, backend="rsqp",
+                calibrated=False, attempts=lane.attempts,
+                batch_width=len(lanes))
+            self._finalize(lane, record, FleetResult(
+                x=raw.x, y=raw.y, z=raw.z, converged=raw.converged,
+                backend="rsqp", record=record, raw=raw))
+            if self.autoscaler is not None:
+                self.autoscaler.observe(
+                    now, lane.fingerprint.key, lane.problem,
+                    cycles=raw.total_cycles, eta=eta, matched=matched)
+        if self.autoscaler is not None:
             self._autoscale_tick()
         if node.draining and node.busy_with is None and not node.queue:
             self._retire(node)

@@ -5,6 +5,7 @@ from .accelerator import (RSQPAccelerator, RSQPResult,
                           compile_for_customization)
 from .asm import (ROM_WORD_BYTES, decode_program, disassemble,
                   encode_program, rom_words)
+from .batched import BatchExecutor, BatchMachine, BatchMatrixResource
 from .compiled import BACKENDS, CompiledExecutor, validate_backend
 from .compiler import (ADMM_LOOP, PCG_LOOP, PDHG_LOOP, CompiledProgram,
                        attach_costs, compile_osqp_program,
@@ -57,6 +58,9 @@ __all__ = [
     "BACKENDS",
     "CompiledExecutor",
     "validate_backend",
+    "BatchExecutor",
+    "BatchMachine",
+    "BatchMatrixResource",
     "Instruction",
     "ScalarOp",
     "ScalarOpKind",

@@ -27,7 +27,42 @@ from .frequency import fmax_mhz
 from .machine import ExecutionStats, Machine, MatrixResource
 from .power import fpga_power_watts
 
-__all__ = ["RSQPResult", "RSQPAccelerator", "compile_for_customization"]
+__all__ = ["RSQPResult", "RSQPAccelerator", "compile_for_customization",
+           "adaptive_rho_estimate", "rho_vector_for",
+           "jacobi_preconditioner"]
+
+
+def adaptive_rho_estimate(rho: float, rp: float, rdual: float,
+                          npz: float, nd_all: float) -> float:
+    """OSQP's residual-balanced step-size estimate (exact float path).
+
+    Shared by the solo accelerator's host update and the batched
+    runner's per-lane updates, so both apply bit-identical arithmetic
+    to the residual scalars read off the device.
+    """
+    pri_norm = max(npz, 1e-15)
+    dua_norm = max(nd_all, 1e-15)
+    estimate = rho * np.sqrt((rp / pri_norm)
+                             / max(rdual / dua_norm, 1e-15))
+    return float(np.clip(estimate, 1e-6, 1e6))
+
+
+def rho_vector_for(work, estimate: float) -> np.ndarray:
+    """Constraint-wise rho: stiffened equalities, loose rows relaxed."""
+    rho_vec = np.full(work.m, estimate)
+    eq = work.equality_mask()
+    rho_vec[eq] = np.clip(estimate * 1e3, 1e-6, 1e6)
+    loose = np.isneginf(work.l) & np.isposinf(work.u)
+    rho_vec[loose] = 1e-6
+    return rho_vec
+
+
+def jacobi_preconditioner(work, sigma: float,
+                          rho_vec: np.ndarray) -> np.ndarray:
+    """``1 / diag(K)`` for ``K = P + sigma I + A' diag(rho) A``."""
+    weighted = work.A.scale_rows(np.sqrt(rho_vec))
+    diag_k = work.P.diagonal() + sigma + weighted.column_sq_sums()
+    return 1.0 / diag_k
 
 
 @dataclass
@@ -143,9 +178,11 @@ class RSQPAccelerator:
                  verify: bool = True,
                  fault_injector=None,
                  recovery=None,
-                 deadline_seconds: float | None = None):
+                 deadline_seconds: float | None = None,
+                 scaling=None):
         self.problem = problem
         self.settings = settings if settings is not None else OSQPSettings()
+        self._precomputed_scaling = scaling
         if customization is None:
             customization = customize_problem(problem, c)
         self.customization = customization
@@ -181,7 +218,8 @@ class RSQPAccelerator:
     # ------------------------------------------------------------------
     def _host_setup(self) -> None:
         """Scale the problem and pick rho exactly like the software solver."""
-        helper = OSQPSolver(self.problem, self.settings)
+        helper = OSQPSolver(self.problem, self.settings,
+                            scaling=self._precomputed_scaling)
         self.scaling = helper.scaling
         self.work = helper.work
         self.rho = helper.rho
@@ -255,10 +293,8 @@ class RSQPAccelerator:
         machine.write_hbm("rho", self.rho_vec)
         machine.write_hbm("rho_inv", 1.0 / self.rho_vec)
         # Jacobi preconditioner of K = P + sigma I + A' diag(rho) A.
-        weighted = work.A.scale_rows(np.sqrt(self.rho_vec))
-        diag_k = (work.P.diagonal() + self.settings.sigma
-                  + weighted.column_sq_sums())
-        machine.write_hbm("minv", 1.0 / diag_k)
+        machine.write_hbm("minv", jacobi_preconditioner(
+            work, self.settings.sigma, self.rho_vec))
         machine.write_hbm("x", np.zeros(n))
         machine.write_hbm("z", np.zeros(m))
         machine.write_hbm("y", np.zeros(m))
@@ -301,30 +337,19 @@ class RSQPAccelerator:
         is charged to the accelerator as data transfers.
         """
         scalars = self.machine.scalars
-        rp = scalars.get("rp", 0.0)
-        rd = scalars.get("rdual", 0.0)
-        pri_norm = max(scalars.get("npz", 0.0), 1e-15)
-        dua_norm = max(scalars.get("nd_all", 0.0), 1e-15)
-        estimate = self.rho * np.sqrt((rp / pri_norm)
-                                      / max(rd / dua_norm, 1e-15))
-        estimate = float(np.clip(estimate, 1e-6, 1e6))
+        estimate = adaptive_rho_estimate(
+            self.rho, scalars.get("rp", 0.0), scalars.get("rdual", 0.0),
+            scalars.get("npz", 0.0), scalars.get("nd_all", 0.0))
         tol = self.settings.adaptive_rho_tolerance
         if not (estimate > tol * self.rho or estimate < self.rho / tol):
             return False
         self.rho = estimate
-        helper_vec = np.full(self.work.m, estimate)
-        eq = self.work.equality_mask()
-        helper_vec[eq] = np.clip(estimate * 1e3, 1e-6, 1e6)
-        loose = np.isneginf(self.work.l) & np.isposinf(self.work.u)
-        helper_vec[loose] = 1e-6
-        self.rho_vec = helper_vec
+        self.rho_vec = rho_vector_for(self.work, estimate)
         machine = self.machine
         machine.write_hbm("rho", self.rho_vec)
         machine.write_hbm("rho_inv", 1.0 / self.rho_vec)
-        weighted = self.work.A.scale_rows(np.sqrt(self.rho_vec))
-        diag_k = (self.work.P.diagonal() + self.settings.sigma
-                  + weighted.column_sq_sums())
-        machine.write_hbm("minv", 1.0 / diag_k)
+        machine.write_hbm("minv", jacobi_preconditioner(
+            self.work, self.settings.sigma, self.rho_vec))
         # The accelerator reloads the three vectors (charged cycles).
         self._run_program(self._refresh_program)
         return True

@@ -1,0 +1,1362 @@
+"""Batched lockstep execution: one instruction stream, B instances.
+
+RSQP's datapath is fixed per problem *structure*, so B instances that
+share one fingerprint can execute the identical compiled program in
+lockstep over batched float64 buffers — the batched-SpMV regime. This
+module is the machine layer of :mod:`repro.batch`:
+
+* :class:`BatchMatrixResource` — per-lane CSR data stacked into one
+  contiguous lane-minor ``(nnz, B)`` value block (the sparsity pattern
+  is shared by construction), applied through the engine library's
+  ``k_csr_matvec_batch`` when the C JIT is available, else per lane
+  through each lane's own solo :class:`~repro.hw.machine.
+  MatrixResource` (so the kernel *choice* matches a solo run exactly).
+* :class:`BatchMachine` — HBM/VB/CVB as stable ``(len, B)`` buffers,
+  scalar registers as ``(B,)`` arrays, wall-clock
+  :class:`~repro.hw.machine.ExecutionStats` plus per-lane loop trip
+  counters.
+* :class:`BatchExecutor` — the batched lowering of
+  :class:`~repro.hw.compiled.CompiledExecutor`: basic blocks become
+  fused numpy/C closures with deferred block charging.
+
+Memory layout: lane-minor
+-------------------------
+Vectors are ``(len, B)`` — element ``i`` of lane ``b`` at row ``i``,
+column ``b`` — so the lane axis is the contiguous one. That buys two
+things: the batched C kernels' innermost loops run across lanes over
+contiguous memory (auto-vectorizable) while preserving each lane's
+solo accumulation order, and a per-lane coefficient register ``(B,)``
+broadcasts along the *trailing* axis of a vector ufunc, numpy's fast
+path. Scalar registers are plain ``(B,)`` arrays.
+
+Convergence masking (freeze by snapshot, not by masked writes)
+--------------------------------------------------------------
+Lanes are independent: a lane whose Control fired must keep its exit
+state bit-exactly while the remaining lanes iterate on. Masking every
+vector write would put the whole hot path on numpy's slow ``where=``
+branch, so the executor inverts the cost: *every* closure runs
+full-width on the fast path (ufuncs straight into their destination
+buffers), and when a Control fires, the exiting lanes' columns of
+every buffer the innermost loop's body can write — its static
+write-set, known at lowering — are snapshotted. When the loop exits,
+those columns are restored, discarding whatever the dead trips wrote.
+Frozen lanes therefore compute garbage for a while (cheap — the lanes
+are part of the same vectorized op) but never *observe* it: trap
+checks, fault hooks, Control comparisons and per-lane trip counters
+all honor the active-lane mask, and restore rewinds the state itself.
+The entry mask is re-established when the loop pops, so PCG-in-ADMM
+nesting behaves exactly like B interleaved solo runs.
+
+The same mechanism covers host-level masking: ``run(program, mask)``
+snapshots the lanes *outside* ``mask`` against the whole program's
+write-set and restores them at the end, so the segment driver can run
+refresh/restart programs "for the active lanes" while frozen lanes
+keep their exit state.
+
+Buffers created mid-run (a first-trip binding after a Control already
+fired) have no snapshot columns for the frozen lanes; their stale
+columns are only reachable through reads the solo machine would
+reject as use-before-def, which :mod:`repro.verify` statically
+excludes.
+
+Cycle accounting
+----------------
+The wall stats model the B-wide "virtual fleet": every lockstep trip
+charges each instruction its full cost once (the hardware issues the
+stream once, whatever the lane mask), so ``stats.total_cycles`` is the
+fleet's wall time and wall loop trips are the max over lanes.
+Per-lane *effective* cycles are analytic — each lane's own trip counts
+through :meth:`~repro.hw.compiler.CompiledProgram.estimate_cycles` —
+and equal what that lane's solo run would have measured.
+
+Bit-exactness contract
+----------------------
+Elementwise IEEE-754 float64 ops are order-free per element, so a
+``(len, B)`` ufunc is bitwise identical per lane to the solo ``(len,)``
+ufunc; the closure fold table mirrors
+:meth:`CompiledExecutor._lower_vector` exactly; DOT and SpMV route
+through batched C kernels whose per-lane accumulation order is the
+solo kernels' own (see :mod:`repro.hw.cjit`); scalar MAX replicates
+Python ``max(a, b)`` (returns ``b`` only when ``b > a``,
+NaN-asymmetric) via ``where(b > a, b, a)``. DIV/SQRT traps fire only
+for *active* lanes — a frozen lane's stale operands can never fault a
+running batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError, SimulationError
+from . import cjit
+from .compiled import literal_operand
+from .isa import (BINARY_SCALAR_OPS, Control, DataTransfer, Loop, Program,
+                  ScalarOp, ScalarOpKind, SpMV, VecDup, VectorOp,
+                  VectorOpKind)
+from .machine import ExecutionStats
+
+__all__ = ["BatchMatrixResource", "BatchMachine", "BatchExecutor"]
+
+
+class _BatchLoopExit(Exception):
+    """Internal: raised when a Control empties the innermost frame."""
+
+
+class BatchMatrixResource:
+    """Per-lane matrices with one shared structure, batched SpMV.
+
+    ``lanes`` are the solo :class:`~repro.hw.machine.MatrixResource`
+    objects of the B instances (typically borrowed from per-lane
+    accelerators); their matrices must share the sparsity pattern —
+    same-fingerprint problems do by construction (Ruiz scaling only
+    rescales values), and the constructor verifies it. Values are
+    stacked lane-minor: ``(nnz, B)``.
+    """
+
+    def __init__(self, name: str, lanes: list):
+        if not lanes:
+            raise ValueError("batch needs at least one lane")
+        self.name = name
+        self.lanes = list(lanes)
+        first = lanes[0]
+        self.spmv_cycles = first.spmv_cycles
+        self.cvb_depth = first.cvb_depth
+        matrix = first.matrix
+        self.shape = tuple(int(s) for s in matrix.shape)
+        indices = np.asarray(matrix.indices)
+        indptr = np.asarray(matrix.indptr)
+        for lane in lanes[1:]:
+            if (tuple(int(s) for s in lane.matrix.shape) != self.shape
+                    or not np.array_equal(lane.matrix.indices, indices)
+                    or not np.array_equal(lane.matrix.indptr, indptr)):
+                raise SimulationError(
+                    f"batched matrix {name!r}: lanes do not share one "
+                    "sparsity structure")
+        self._kernel = None
+        engine = cjit.engine()
+        if engine is not None:
+            val = np.ascontiguousarray(np.stack(
+                [np.asarray(lane.matrix.data, dtype=np.float64)
+                 for lane in lanes], axis=1))
+            col = np.ascontiguousarray(indices, dtype=np.int64)
+            ip = np.ascontiguousarray(indptr, dtype=np.int64)
+            ffi = engine.ffi
+            self._carrays = (val, col, ip)  # keep the memory alive
+            self._cptrs = (ffi.cast("double *", val.ctypes.data),
+                           ffi.cast("long *", col.ctypes.data),
+                           ffi.cast("long *", ip.ctypes.data))
+            self._cffi = ffi
+            self._nnz = int(val.shape[0])
+            self._kernel = engine.lib.k_csr_matvec_batch
+
+    def bind(self, x: np.ndarray, out: np.ndarray):
+        """Prebound ``out[:, b] = matrix_b @ x[:, b]`` closure for
+        *stable* buffers: the C pointers are cast once at lowering
+        time, so the per-call cost is exactly one kernel invocation.
+        ``x``/``out`` must be the long-lived executor buffers (they
+        are — lowering allocates them once per name)."""
+        m, n = self.shape
+        batch = len(self.lanes)
+        if x.shape != (n, batch):
+            raise ShapeError(
+                f"batched matvec: expected ({n}, {batch}) input, "
+                f"got shape {x.shape}")
+        if self._kernel is not None:
+            ffi = self._cffi
+            kernel = self._kernel
+            cptrs = self._cptrs
+            px = ffi.cast("double *", x.ctypes.data)
+            po = ffi.cast("double *", out.ctypes.data)
+            nnz = self._nnz
+
+            def run() -> None:
+                kernel(*cptrs, px, po, m, n, nnz, batch)
+            return run
+        return lambda: self.apply_batch(x, out)
+
+    def apply_batch(self, x: np.ndarray, out: np.ndarray) -> None:
+        """``out[:, b] = matrix_b @ x[:, b]`` for every lane, in place."""
+        m, n = self.shape
+        batch = len(self.lanes)
+        if x.shape != (n, batch):
+            raise ShapeError(
+                f"batched matvec: expected ({n}, {batch}) input, "
+                f"got shape {x.shape}")
+        if self._kernel is not None:
+            ffi = self._cffi
+            self._kernel(*self._cptrs,
+                         ffi.cast("double *", x.ctypes.data),
+                         ffi.cast("double *", out.ctypes.data),
+                         m, n, self._nnz, batch)
+            return
+        # Per-lane solo kernels: each lane keeps exactly the kernel its
+        # solo MatrixResource chose; contiguous per-lane copies keep
+        # the solo code path (and bits) untouched.
+        for b, lane in enumerate(self.lanes):
+            out[:, b] = lane.apply(np.ascontiguousarray(x[:, b]))
+
+
+class BatchMachine:
+    """State container for B lockstep instances of one structure.
+
+    Mirrors the :class:`~repro.hw.machine.Machine` interface the cycle
+    model reads (``c`` / ``vector_length`` / ``spmv_cycles`` /
+    ``cvb_depth``) while holding every vector as a lane-minor
+    ``(len, B)`` buffer. Execution goes through :class:`BatchExecutor`
+    only — the per-instruction interpreter stays single-instance.
+    """
+
+    def __init__(self, c: int, matrices: dict, batch: int):
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.c = int(c)
+        self.batch = int(batch)
+        self.matrices: dict[str, BatchMatrixResource] = dict(matrices)
+        self.hbm: dict[str, np.ndarray] = {}
+        self.vb: dict[str, np.ndarray] = {}
+        self.cvb: dict[str, np.ndarray] = {}
+        self.scalars: dict[str, np.ndarray] = {}
+        self.stats = ExecutionStats()
+        #: Per-lane loop trip counts, ``name -> (B,) int64`` (the wall
+        #: trips live in ``stats.loop_iterations`` as usual).
+        self.lane_loop_iterations: dict[str, np.ndarray] = {}
+        #: Per-lane fault injectors (``None`` entries are fault-free
+        #: lanes); hooks fire on a lane's column view only while that
+        #: lane is active, so per-channel op counts match a solo run.
+        self.injectors: list | None = None
+
+    # -- host-side state helpers ----------------------------------------
+    def write_hbm_lane(self, name: str, lane: int, values) -> None:
+        """Host write of one lane's column (CPU -> HBM, not charged)."""
+        col = np.asarray(values, dtype=np.float64)
+        buf = self.hbm.get(name)
+        if buf is None:
+            buf = np.zeros((col.size, self.batch))
+            self.hbm[name] = buf
+        buf[:, lane] = col
+
+    def read_hbm_lane(self, name: str, lane: int) -> np.ndarray:
+        return self.hbm[name][:, lane].copy()
+
+    def scalar_buffer(self, name: str) -> np.ndarray:
+        buf = self.scalars.get(name)
+        if buf is None:
+            buf = np.zeros(self.batch)
+            self.scalars[name] = buf
+        return buf
+
+    def set_scalar_lane(self, name: str, lane: int, value: float) -> None:
+        self.scalar_buffer(name)[lane] = float(value)
+
+    def scalar_lane(self, name: str, lane: int, default=None):
+        buf = self.scalars.get(name)
+        if buf is None:
+            return default
+        return float(buf[lane])
+
+    # -- cycle-model context (per-lane lengths, like a solo machine) ----
+    def vector_length(self, name: str) -> int:
+        for space in (self.vb, self.hbm, self.cvb):
+            if name in space:
+                return int(space[name].shape[0])
+        raise SimulationError(f"unknown vector {name!r}")
+
+    def spmv_cycles(self, matrix: str) -> int:
+        return self.matrices[matrix].spmv_cycles
+
+    def cvb_depth(self, matrix: str) -> int:
+        return self.matrices[matrix].cvb_depth
+
+
+# ---------------------------------------------------------------------------
+# write-set analysis (which buffers a block of instructions can mutate)
+
+def _collect_writes(items, writes: set) -> None:
+    """Accumulate ``(space, name)`` destinations of a block, recursing
+    into nested loops. ``space`` keys the BatchMachine state dicts."""
+    for instr in items:
+        if isinstance(instr, ScalarOp):
+            writes.add(("scalars", instr.dst))
+        elif isinstance(instr, VectorOp):
+            if instr.op is VectorOpKind.DOT:
+                writes.add(("scalars", instr.dst))
+            else:
+                writes.add(("vb", instr.dst))
+        elif isinstance(instr, DataTransfer):
+            writes.add(("vb" if instr.direction == "load" else "hbm",
+                        instr.name))
+        elif isinstance(instr, VecDup):
+            writes.add(("cvb", instr.cvb))
+        elif isinstance(instr, SpMV):
+            writes.add(("vb", instr.dst))
+        elif isinstance(instr, Loop):
+            _collect_writes(instr.body, writes)
+        elif isinstance(instr, Control):
+            pass
+        else:
+            raise SimulationError(f"unknown instruction {instr!r}")
+
+
+# ---------------------------------------------------------------------------
+# lowered nodes (lockstep analogues of repro.hw.compiled's node classes)
+
+class _Segment:
+    """A straight-line block, lazily lowered, charge deferred.
+
+    Lockstep wall accounting: the block charges its full cost per
+    execution whatever the lane mask — the sequencer issues every
+    instruction once per trip for however many lanes remain.
+    """
+
+    __slots__ = ("_executor", "_instructions", "_stats", "_fns",
+                 "_cycles", "_by_class", "_count", "pending")
+
+    def __init__(self, executor: "BatchExecutor", instructions: list):
+        self._executor = executor
+        self._instructions = instructions
+        self._stats = executor.machine.stats
+        self._fns = None
+        self.pending = 0
+
+    def run(self) -> None:
+        fns = self._fns
+        if fns is None:
+            self._bind()
+            return
+        for fn in fns:
+            fn()
+        if self.pending == 0:
+            self._executor._dirty.append(self)
+        self.pending += 1
+
+    def flush(self) -> None:
+        count = self.pending
+        if count:
+            self.pending = 0
+            if count == 1:
+                self._stats.charge_block(self._cycles, self._by_class,
+                                         self._count)
+            else:
+                self._stats.charge_block(
+                    count * self._cycles,
+                    {k: count * v for k, v in self._by_class.items()},
+                    count * self._count)
+
+    def _bind(self) -> None:
+        executor = self._executor
+        machine = executor.machine
+        stats = self._stats
+        fns: list = []
+        total = 0
+        by_class: dict = {}
+        for instr in self._instructions:
+            kind = type(instr).__name__
+            cycles = instr.cycles(machine)
+            stats.charge(kind, cycles)
+            fn = executor._lower_instruction(instr)
+            fn()
+            fns.append(fn)
+            total += cycles
+            by_class[kind] = by_class.get(kind, 0) + cycles
+        self._count = len(fns)
+        # Chunk fusion collapses many ops into one C call with no
+        # per-op hook points, so armed per-lane fault injectors keep
+        # the unfused closures (which share the same bits anyway).
+        if executor.jit and machine.injectors is None:
+            fns = _fuse_batch_chunks(executor, self._instructions, fns)
+        self._fns = fns
+        self._cycles = total
+        self._by_class = by_class
+
+
+class _ControlNode:
+    """A Control test, evaluated per lane; exits lanes individually.
+
+    Lanes whose ``value < threshold`` are frozen: their columns of the
+    innermost frame's write-set are snapshotted and they leave the
+    current mask, so the remaining trips cannot *observably* touch
+    them (their state is rewound at loop exit — the lockstep analogue
+    of the solo ``_LoopExit`` skipping the rest of the body). Only
+    when no active lane remains does the node abort the trip.
+    """
+
+    __slots__ = ("_executor", "_stats", "_value", "_threshold", "pending")
+
+    def __init__(self, executor: "BatchExecutor", instr: Control):
+        self._executor = executor
+        self._stats = executor.machine.stats
+        self._value = executor._scalar_reader(instr.reg)
+        self._threshold = executor._scalar_reader(instr.threshold_reg)
+        self.pending = 0
+
+    def run(self) -> None:
+        if self.pending == 0:
+            self._executor._dirty.append(self)
+        self.pending += 1
+        executor = self._executor
+        fired = self._value() < self._threshold()
+        if isinstance(fired, np.ndarray):
+            fired = fired & executor._mask
+            if not fired.any():
+                return
+        elif fired:  # both operands literal: every active lane exits
+            fired = executor._mask.copy()
+        else:
+            return
+        executor._freeze_lanes(fired)
+        remaining = executor._mask & ~fired
+        executor._set_mask(remaining)
+        if not remaining.any():
+            raise _BatchLoopExit()
+
+    def flush(self) -> None:
+        count = self.pending
+        if count:
+            self.pending = 0
+            self._stats.charge_block(count, {"Control": count}, count)
+
+
+class _LoopNode:
+    """A Loop owning a snapshot frame and a per-frame lane mask.
+
+    The frame starts from the mask at loop entry; lanes that exit via
+    Control are snapshotted against this loop's write-set and leave
+    the mask for all later trips. On pop the snapshots are restored
+    and the entry mask is re-established, so an outer body continues
+    with its own lanes and the exited lanes' state is exactly their
+    at-fire state (inner-loop exits never leak outward). Wall trips
+    count every trip with at least one active lane; per-lane trips
+    count the lanes active at each trip's start (the exit trip counts,
+    as in the solo machine).
+    """
+
+    __slots__ = ("_executor", "_loop", "_nodes", "_stats", "_writes")
+
+    def __init__(self, executor: "BatchExecutor", loop: Loop):
+        self._executor = executor
+        self._loop = loop
+        self._nodes = executor._lower_block(loop.body)
+        self._stats = executor.machine.stats
+        writes: set = set()
+        _collect_writes(loop.body, writes)
+        self._writes = tuple(sorted(writes))
+
+    def run(self) -> None:
+        executor = self._executor
+        loop = self._loop
+        nodes = self._nodes
+        machine = executor.machine
+        lane_counts = machine.lane_loop_iterations.get(loop.name)
+        if lane_counts is None:
+            lane_counts = np.zeros(machine.batch, dtype=np.int64)
+            machine.lane_loop_iterations[loop.name] = lane_counts
+        entry = executor._mask
+        frame = entry
+        iterations = 0
+        executor._push_frame(self._writes)
+        try:
+            for _ in range(loop.max_iter):
+                if not frame.any():
+                    break
+                executor._set_mask(frame)
+                if frame is entry:
+                    lane_counts += frame
+                else:
+                    lane_counts[frame] += 1
+                try:
+                    for node in nodes:
+                        node.run()
+                    iterations += 1
+                    frame = executor._mask
+                except _BatchLoopExit:
+                    iterations += 1
+                    frame = executor._mask
+                    break
+        finally:
+            executor._pop_frame()
+            executor._set_mask(entry)
+        counts = self._stats.loop_iterations
+        counts[loop.name] = counts.get(loop.name, 0) + iterations
+
+
+# ---------------------------------------------------------------------------
+
+class BatchExecutor:
+    """Run programs against a :class:`BatchMachine` under a lane mask.
+
+    The structure mirrors :class:`~repro.hw.compiled.CompiledExecutor`
+    (stable destination buffers, closures bound at first execution,
+    deferred block charging, blocks cached by instruction-list
+    identity). Closures always execute full-width with operands
+    prebound at lowering time (every buffer is stable by
+    construction); lane freezing is implemented by
+    snapshot-at-Control-fire and restore-at-loop-exit (see the module
+    docstring).
+    """
+
+    def __init__(self, machine: BatchMachine, jit: bool | None = None):
+        self.machine = machine
+        self._blocks: dict = {}
+        self._dirty: list = []
+        if jit is None:
+            self.jit = cjit.available()
+        else:
+            self.jit = bool(jit) and cjit.available()
+        #: Stack of (write_set, saved_columns) snapshot frames; the
+        #: write set is the enclosing loop's (or the whole program's).
+        self._frames: list = []
+        self._set_mask(np.ones(machine.batch, dtype=bool))
+
+    # -- mask and snapshot frames ---------------------------------------
+    def _set_mask(self, mask: np.ndarray) -> None:
+        self._mask = mask
+
+    def _push_frame(self, writes: tuple) -> None:
+        self._frames.append((writes, []))
+
+    def _freeze_lanes(self, fired: np.ndarray) -> None:
+        """Snapshot the fired lanes' columns of the innermost frame's
+        write-set; restored when that frame pops. Buffers the frame's
+        body has not yet created are skipped (their columns stay on
+        the statically-unreachable use-before-def path)."""
+        if not self._frames:
+            return
+        writes, saved = self._frames[-1]
+        idx = np.flatnonzero(fired)
+        machine = self.machine
+        spaces = {"hbm": machine.hbm, "vb": machine.vb,
+                  "cvb": machine.cvb, "scalars": machine.scalars}
+        for space, name in writes:
+            buf = spaces[space].get(name)
+            if buf is not None:
+                saved.append((buf, idx, buf[..., idx].copy()))
+
+    def _pop_frame(self) -> None:
+        _writes, saved = self._frames.pop()
+        for buf, idx, cols in saved:
+            buf[..., idx] = cols
+
+    # -- execution -------------------------------------------------------
+    def run(self, program: Program, mask: np.ndarray) -> ExecutionStats:
+        """Execute ``program`` over the lanes selected by ``mask``.
+
+        Lanes outside ``mask`` are frozen for the whole run: their
+        columns of the program's write-set are snapshotted up front
+        and restored at the end, so a host driver can run
+        refresh/restart programs for the active subset only.
+        """
+        mask = np.ascontiguousarray(mask, dtype=bool)
+        if mask.shape != (self.machine.batch,):
+            raise ValueError(
+                f"mask must have shape ({self.machine.batch},), "
+                f"got {mask.shape}")
+        writes: set = set()
+        _collect_writes(program.instructions, writes)
+        self._push_frame(tuple(sorted(writes)))
+        try:
+            self._set_mask(mask)
+            frozen = ~mask
+            if frozen.any():
+                self._freeze_lanes(frozen)
+            # One errstate for the whole run: closures execute frozen
+            # lanes' columns too (their stale values may be out of
+            # domain); the active-lane trap checks keep solo error
+            # semantics, the suppressed warnings would only concern
+            # columns that restore rewinds anyway.
+            with np.errstate(divide="ignore", invalid="ignore",
+                             over="ignore"):
+                for node in self._lower_block(program.instructions):
+                    node.run()
+        finally:
+            self._pop_frame()
+            self._flush()
+        return self.machine.stats
+
+    def _flush(self) -> None:
+        dirty = self._dirty
+        if dirty:
+            for node in dirty:
+                node.flush()
+            dirty.clear()
+
+    def _lower_block(self, items: list) -> list:
+        key = id(items)
+        cached = self._blocks.get(key)
+        if cached is not None and cached[0] is items:
+            return cached[1]
+        nodes: list = []
+        current: list = []
+        for item in items:
+            if isinstance(item, Loop):
+                if current:
+                    nodes.append(_Segment(self, current))
+                    current = []
+                nodes.append(_LoopNode(self, item))
+            elif isinstance(item, Control):
+                if current:
+                    nodes.append(_Segment(self, current))
+                    current = []
+                nodes.append(_ControlNode(self, item))
+            else:
+                current.append(item)
+        if current:
+            nodes.append(_Segment(self, current))
+        self._blocks[key] = (items, nodes)
+        return nodes
+
+    # -- operand binding -------------------------------------------------
+    def _resident(self, name: str) -> np.ndarray:
+        machine = self.machine
+        if name in machine.vb:
+            return machine.vb[name]
+        if name in machine.cvb:
+            return machine.cvb[name]
+        raise SimulationError(f"vector {name!r} not resident on chip")
+
+    def _dst_buffer(self, space: dict, name: str, length: int) -> np.ndarray:
+        batch = self.machine.batch
+        buf = space.get(name)
+        if (isinstance(buf, np.ndarray) and buf.dtype == np.float64
+                and buf.shape == (length, batch)):
+            return buf
+        buf = np.zeros((length, batch))
+        space[name] = buf
+        return buf
+
+    def _scalar_reader(self, ref):
+        """Deferred reader: a ``(B,)`` register array or a literal.
+
+        Control nodes are constructed at block-lowering time, before
+        any instruction ran, so their operand registers may not exist
+        yet — hence deferred resolution (unlike segment instructions,
+        which bind at first execution and prebind their operands)."""
+        if isinstance(ref, str):
+            scalars = self.machine.scalars
+
+            def get():
+                try:
+                    return scalars[ref]
+                except KeyError:
+                    raise SimulationError(
+                        f"unknown scalar register {ref!r}") from None
+            return get
+        value = float(ref)
+        return lambda: value
+
+    def _scalar_operand(self, ref):
+        """Prebound operand for segment-time binding: the stable
+        ``(B,)`` register array, or a float literal. A segment
+        instruction lowers at its *first execution*, so a register a
+        correct program defines earlier already exists — a missing one
+        is the same use-before-def the solo executor rejects."""
+        lit = literal_operand(ref)
+        if lit is not None:
+            return lit
+        buf = self.machine.scalars.get(ref)
+        if buf is None:
+            raise SimulationError(f"unknown scalar register {ref!r}")
+        return buf
+
+    # -- per-instruction lowering ---------------------------------------
+    def _lower_instruction(self, instr):
+        if isinstance(instr, ScalarOp):
+            return self._lower_scalar(instr)
+        if isinstance(instr, VectorOp):
+            return self._lower_vector(instr)
+        if isinstance(instr, DataTransfer):
+            return self._lower_transfer(instr)
+        if isinstance(instr, VecDup):
+            return self._lower_vecdup(instr)
+        if isinstance(instr, SpMV):
+            return self._lower_spmv(instr)
+        raise SimulationError(f"unknown instruction {instr!r}")
+
+    def _hooked(self, fn, hook_name: str, site: str, buf: np.ndarray):
+        """Per-lane fault hooks: fire on a lane's column view only
+        while that lane is active, so op counting matches its solo
+        run (writes through the view mutate the lane's column)."""
+        injectors = self.machine.injectors
+        if not injectors:
+            return fn
+        hooks = [(lane, getattr(injector, hook_name))
+                 for lane, injector in enumerate(injectors)
+                 if injector is not None]
+        if not hooks:
+            return fn
+
+        def hooked():
+            fn()
+            mask = self._mask
+            for lane, hook in hooks:
+                if mask[lane]:
+                    hook(site, buf[:, lane])
+        return hooked
+
+    # -- scalar ops ------------------------------------------------------
+    def _lower_scalar(self, instr: ScalarOp):
+        if instr.op in BINARY_SCALAR_OPS and instr.src2 is None:
+            raise SimulationError(
+                f"binary scalar op {instr.op.value!r} has no src2 "
+                f"operand (dst={instr.dst!r})")
+        machine = self.machine
+        op = instr.op
+        # Resolve sources BEFORE creating dst: `op d, undefined, s`
+        # must fail like the solo executor even when d is new.
+        a = self._scalar_operand(instr.src1)
+        b = (self._scalar_operand(instr.src2)
+             if instr.src2 is not None else None)
+        dst = machine.scalar_buffer(instr.dst)
+        a_lit = a if isinstance(a, float) else None
+        b_lit = b if isinstance(b, float) else None
+        both_lit = a_lit is not None and (instr.src2 is None
+                                          or b_lit is not None)
+
+        if op is ScalarOpKind.MAX:
+            def fn():
+                # Python max(a, b) returns b only when b > a (NaN-
+                # asymmetric), which np.maximum would not replicate.
+                np.copyto(dst, np.where(np.greater(b, a), b, a))
+            return fn
+        if op is ScalarOpKind.MOV:
+            if a_lit is not None:
+                return lambda: dst.fill(a_lit)
+            return lambda: np.copyto(dst, a)
+        if op is ScalarOpKind.SQRT:
+            if a_lit is not None:
+                if a_lit < 0.0:
+                    def fn():
+                        raise SimulationError("sqrt of a negative scalar")
+                    return fn
+                value = float(np.sqrt(a_lit))
+                return lambda: dst.fill(value)
+
+            def fn():
+                # Fast pre-filter: only when some lane (frozen lanes
+                # included) is negative, pay the masked check. A NaN
+                # minimum fails the >= 0 test and falls through too.
+                if not bool(a.min() >= 0.0):
+                    if bool(((a < 0.0) & self._mask).any()):
+                        raise SimulationError("sqrt of a negative scalar")
+                np.sqrt(a, out=dst)
+            return fn
+        if op is ScalarOpKind.DIV:
+            if b_lit is not None:
+                if b_lit == 0.0:
+                    def fn():
+                        raise SimulationError("scalar division by zero")
+                    return fn
+                if a_lit is not None:
+                    value = a_lit / b_lit
+                    return lambda: dst.fill(value)
+
+                def fn():
+                    np.divide(a, b_lit, out=dst)
+                return fn
+
+            def fn():
+                # all() is True iff no lane holds 0.0 (NaN is truthy),
+                # so the common case skips the masked trap check.
+                if not b.all():
+                    if bool(((b == 0.0) & self._mask).any()):
+                        raise SimulationError("scalar division by zero")
+                np.divide(a, b, out=dst)
+            return fn
+        ufunc = {ScalarOpKind.ADD: np.add,
+                 ScalarOpKind.SUB: np.subtract,
+                 ScalarOpKind.MUL: np.multiply}.get(op)
+        if ufunc is None:  # pragma: no cover - enum is closed
+            raise SimulationError(f"unknown scalar op {op}")
+        if both_lit:
+            value = float(ufunc(a_lit, b_lit))
+            return lambda: dst.fill(value)
+
+        def fn():
+            ufunc(a, b, out=dst)
+        return fn
+
+    # -- vector ops ------------------------------------------------------
+    def _lower_vector(self, instr: VectorOp):
+        machine = self.machine
+        kind = instr.op
+        srcs = instr.srcs
+        if kind is VectorOpKind.DOT:
+            return self._lower_dot(instr)
+        a = self._resident(srcs[0])
+        length = a.shape[0]
+        if kind is VectorOpKind.COPY:
+            dst = self._dst_buffer(machine.vb, instr.dst, length)
+
+            def fn():
+                np.copyto(dst, a)
+            return fn
+        if kind is VectorOpKind.CLIP:
+            lo = self._resident(srcs[1])
+            hi = self._resident(srcs[2])
+            dst = self._dst_buffer(machine.vb, instr.dst, length)
+
+            def fn():
+                np.clip(a, lo, hi, out=dst)
+            return fn
+        b = self._resident(srcs[1])
+        dst = self._dst_buffer(machine.vb, instr.dst, length)
+        if kind is VectorOpKind.EWMUL:
+            def fn():
+                np.multiply(a, b, out=dst)
+            return fn
+        if kind is VectorOpKind.SCALE_ADD:
+            al = literal_operand(instr.alpha)
+            if al == 1.0:
+                def fn():
+                    np.add(a, b, out=dst)
+                return fn
+            if al == -1.0:
+                def fn():
+                    np.subtract(a, b, out=dst)
+                return fn
+            # A (B,) register broadcasts along the trailing lane axis:
+            # lane b's column scales by alpha[b], exactly the solo
+            # alpha * vector per lane.
+            alpha = self._scalar_operand(instr.alpha)
+            t = np.empty_like(b)
+
+            def fn():
+                np.multiply(b, alpha, out=t)
+                np.add(a, t, out=dst)
+            return fn
+        if kind is VectorOpKind.AXPBY:
+            return self._lower_axpby(instr, a, b, dst)
+        raise SimulationError(f"unknown vector op {kind}")
+
+    def _lower_axpby(self, instr: VectorOp, a, b, dst):
+        # Identical fold table to CompiledExecutor._lower_vector:
+        # +-1.0 coefficients fold their multiply away (exact IEEE
+        # identities), everything else evaluates alpha*a + beta*b.
+        al = literal_operand(instr.alpha)
+        be = literal_operand(instr.beta)
+        if al == 1.0 and be == 1.0:
+            def fn():
+                np.add(a, b, out=dst)
+            return fn
+        if al == 1.0 and be == -1.0:
+            def fn():
+                np.subtract(a, b, out=dst)
+            return fn
+        if al == 1.0:
+            beta = self._scalar_operand(instr.beta)
+            t2 = np.empty_like(b)
+
+            def fn():
+                np.multiply(b, beta, out=t2)
+                np.add(a, t2, out=dst)
+            return fn
+        if be == 1.0:
+            alpha = self._scalar_operand(instr.alpha)
+            t1 = np.empty_like(a)
+
+            def fn():
+                np.multiply(a, alpha, out=t1)
+                np.add(t1, b, out=dst)
+            return fn
+        if be == -1.0:
+            alpha = self._scalar_operand(instr.alpha)
+            t1 = np.empty_like(a)
+
+            def fn():
+                np.multiply(a, alpha, out=t1)
+                np.subtract(t1, b, out=dst)
+            return fn
+        if al == -1.0:
+            beta = self._scalar_operand(instr.beta)
+            t2 = np.empty_like(b)
+
+            def fn():
+                np.multiply(b, beta, out=t2)
+                np.subtract(t2, a, out=dst)
+            return fn
+        alpha = self._scalar_operand(instr.alpha)
+        beta = self._scalar_operand(instr.beta)
+        t1 = np.empty_like(a)
+        t2 = np.empty_like(b)
+
+        def fn():
+            np.multiply(a, alpha, out=t1)
+            np.multiply(b, beta, out=t2)
+            np.add(t1, t2, out=dst)
+        return fn
+
+    def _lower_dot(self, instr: VectorOp):
+        machine = self.machine
+        a = self._resident(instr.srcs[0])
+        b = self._resident(instr.srcs[1])
+        dst = machine.scalar_buffer(instr.dst)
+        engine = cjit.engine()
+        if engine is not None and a.shape == b.shape:
+            # Lane-minor k_dot_batch: per lane the i-loop accumulates
+            # in exactly the solo k_dot order; the kernel writes the
+            # (B,) register directly.
+            ffi = engine.ffi
+            k_dot_batch = engine.lib.k_dot_batch
+            pa = ffi.cast("double *", a.ctypes.data)
+            pb = ffi.cast("double *", b.ctypes.data)
+            po = ffi.cast("double *", dst.ctypes.data)
+            n = int(a.shape[0])
+            batch = machine.batch
+
+            def fn(_hold=(a, b, dst)):
+                k_dot_batch(pa, pb, n, batch, po)
+            return fn
+
+        def fn():
+            # Contiguous per-lane copies keep numpy's solo np.dot code
+            # path, hence the solo bits.
+            for lane in range(machine.batch):
+                dst[lane] = float(np.dot(
+                    np.ascontiguousarray(a[:, lane]),
+                    np.ascontiguousarray(b[:, lane])))
+        return fn
+
+    # -- transfers / CVB / SpMV -----------------------------------------
+    def _lower_transfer(self, instr: DataTransfer):
+        machine = self.machine
+        name = instr.name
+        if instr.direction == "load":
+            src = machine.hbm.get(name)
+            if src is None:
+                raise SimulationError(f"HBM vector {name!r} missing")
+            dst = self._dst_buffer(machine.vb, name, int(src.shape[0]))
+
+            def fn():
+                np.copyto(dst, src)
+            return self._hooked(fn, "on_load", name, dst)
+        if instr.direction == "store":
+            vec = self._resident(name)
+            dst = self._dst_buffer(machine.hbm, name, int(vec.shape[0]))
+
+            def fn():
+                np.copyto(dst, vec)
+            return fn
+        raise SimulationError(f"bad transfer direction {instr.direction!r}")
+
+    def _lower_vecdup(self, instr: VecDup):
+        machine = self.machine
+        src = self._resident(instr.src)
+        dst = self._dst_buffer(machine.cvb, instr.cvb, int(src.shape[0]))
+
+        def fn():
+            np.copyto(dst, src)
+        return self._hooked(fn, "on_cvb", instr.cvb, dst)
+
+    def _lower_spmv(self, instr: SpMV):
+        machine = self.machine
+        resource = machine.matrices[instr.matrix]
+        src = machine.cvb.get(instr.src)
+        if src is None:
+            raise SimulationError(f"SpMV source {instr.src!r} not in CVB")
+        rows, cols = resource.shape
+        if src.shape[0] != cols:
+            raise ShapeError(
+                f"matvec: expected vector of length {cols}, "
+                f"got length {src.shape[0]}")
+        dst = self._dst_buffer(machine.vb, instr.dst, rows)
+        fn = resource.bind(src, dst)
+        return self._hooked(fn, "on_spmv", instr.dst, dst)
+
+
+# ---------------------------------------------------------------------------
+# Batched C chunk fusion (cjit): collapse straight-line runs into one
+# generated C call over the lane-minor buffers. The per-element
+# expressions are exactly the ones the numpy closures evaluate (see the
+# fold tables above) and the DOT/SpMV bodies are the engine library's
+# batched kernels, so fused chunks produce the same bits as the
+# unfused closures — and hence as B solo runs.
+
+_BATCH_CHUNK_CDEF = """
+void chunk_run(double **B, long **IA, const long *L, const double *S);
+"""
+
+_BATCH_CHUNK_VECTOR_OPS = frozenset({VectorOpKind.AXPBY, VectorOpKind.EWMUL,
+                                     VectorOpKind.SCALE_ADD,
+                                     VectorOpKind.COPY, VectorOpKind.DOT})
+
+#: Trap-free scalar ops only: DIV/SQRT carry active-lane trap checks a
+#: fused chunk could not replicate, so they stay numpy closures (and
+#: break fusion runs, exactly like solo non-chunkable instructions).
+_BATCH_CHUNK_SCALAR_OPS = frozenset({ScalarOpKind.MOV, ScalarOpKind.ADD,
+                                     ScalarOpKind.SUB, ScalarOpKind.MUL,
+                                     ScalarOpKind.MAX})
+
+
+def _batch_chunkable(executor: "BatchExecutor", instr) -> bool:
+    if isinstance(instr, VecDup):
+        return True
+    if isinstance(instr, VectorOp):
+        return instr.op in _BATCH_CHUNK_VECTOR_OPS
+    if isinstance(instr, ScalarOp):
+        return instr.op in _BATCH_CHUNK_SCALAR_OPS
+    if isinstance(instr, SpMV):
+        resource = executor.machine.matrices.get(instr.matrix)
+        return resource is not None and resource._kernel is not None
+    return False
+
+
+def _fuse_batch_chunks(executor: "BatchExecutor", instrs: list,
+                       fns: list) -> list:
+    """Replace runs of >= 2 chunkable closures with one C call each.
+
+    Any failure (unsupported pattern, compile error) keeps the numpy
+    closures for that run — the fallback is always correct, the fusion
+    is only faster.
+    """
+    out: list = []
+    i, n = 0, len(instrs)
+    while i < n:
+        j = i
+        while j < n and _batch_chunkable(executor, instrs[j]):
+            j += 1
+        if j - i >= 2:
+            fn = _build_batch_chunk(executor, instrs[i:j])
+            if fn is not None:
+                out.append(fn)
+            else:
+                out.extend(fns[i:j])
+        else:
+            out.extend(fns[i:j if j > i else i + 1])
+        i = max(j, i + 1)
+    return out
+
+
+def _build_batch_chunk(executor: "BatchExecutor", instrs: list):
+    try:
+        builder = _BatchChunkBuilder(executor)
+        for instr in instrs:
+            builder.emit(instr)
+        return builder.finish()
+    except Exception:
+        return None
+
+
+class _BatchChunkBuilder:
+    """Generate one C function for a run of batched instructions.
+
+    Mirrors :class:`repro.hw.compiled._ChunkBuilder` with two
+    lane-minor twists: scalar registers are stable ``(B,)`` buffers
+    mutated in place, so they travel through the ``B`` pointer table
+    like any other operand (no staleness — a register a DOT writes
+    earlier in the chunk is simply read through its buffer pointer by
+    later blocks); and every per-element expression gains an inner
+    lane loop over the contiguous trailing axis. Only float *literals*
+    go through the ``S`` constant table, keeping the source canonical
+    per instruction pattern for the hash-addressed module cache.
+    """
+
+    def __init__(self, executor: "BatchExecutor"):
+        self.executor = executor
+        self.machine = executor.machine
+        self.bufs: list = []
+        self._buf_ids: dict = {}
+        self.iarrs: list = []
+        self._iarr_ids: dict = {}
+        self.lens: list = []
+        self.consts: list = []
+        self.blocks: list = []
+        self._sregs = 0
+
+    # -- operand tables --------------------------------------------------
+    def buf(self, arr: np.ndarray) -> str:
+        if arr.dtype != np.float64 or not arr.flags["C_CONTIGUOUS"]:
+            raise SimulationError("chunk operand must be contiguous f64")
+        key = id(arr)
+        idx = self._buf_ids.get(key)
+        if idx is None:
+            idx = len(self.bufs)
+            self.bufs.append(arr)
+            self._buf_ids[key] = idx
+        return f"B[{idx}]"
+
+    def iarr(self, arr: np.ndarray) -> str:
+        if arr.dtype != np.int64 or not arr.flags["C_CONTIGUOUS"]:
+            raise SimulationError("chunk index array must be contiguous i64")
+        key = id(arr)
+        idx = self._iarr_ids.get(key)
+        if idx is None:
+            idx = len(self.iarrs)
+            self.iarrs.append(arr)
+            self._iarr_ids[key] = idx
+        return f"IA[{idx}]"
+
+    def length(self, n: int) -> str:
+        # one slot per use: keeps the source canonical per pattern even
+        # when two operand lengths happen to coincide at runtime
+        self.lens.append(int(n))
+        return f"L[{len(self.lens) - 1}]"
+
+    def const(self, value: float) -> str:
+        self.consts.append(float(value))
+        return f"S[{len(self.consts) - 1}]"
+
+    def sreg(self, ref):
+        """A scalar operand: ``(decls, token, lane_varying)``.
+
+        A register resolves to its stable ``(B,)`` buffer (token indexes
+        the lane ``[j]``); a literal resolves to an ``S`` constant.
+        """
+        operand = self.executor._scalar_operand(ref)
+        if isinstance(operand, float):
+            return [], self.const(operand), False
+        name = f"s{self._sregs}"
+        self._sregs += 1
+        return ([f"const double *{name} = {self.buf(operand)};"],
+                f"{name}[j]", True)
+
+    # -- emission --------------------------------------------------------
+    def _flat(self, total: int, decls: list, expr: str) -> None:
+        """One loop over all ``len * batch`` contiguous elements."""
+        body = "".join(f"        {line}\n" for line in decls)
+        self.blocks.append(
+            "    {\n"
+            f"        const long t = {self.length(total)};\n"
+            + body +
+            "        for (long i = 0; i < t; ++i)\n"
+            f"            {expr};\n"
+            "    }\n")
+
+    def _laned(self, n: int, decls: list, rowptrs: list, expr: str) -> None:
+        """Row loop with an inner lane loop (lane-varying coefficients).
+
+        ``rowptrs`` maps row-pointer names to base pointer names, e.g.
+        ``[("ai", "a"), ("di", "d")]``; ``expr`` indexes them ``[j]``.
+        """
+        body = "".join(f"        {line}\n" for line in decls)
+        rows = "".join(
+            f"            {'double' if name.startswith('d') else 'const double'}"
+            f" *{name} = {base} + i * bt;\n"
+            for name, base in rowptrs)
+        self.blocks.append(
+            "    {\n"
+            f"        const long n = {self.length(n)};\n"
+            f"        const long bt = {self.length(self.machine.batch)};\n"
+            + body +
+            "        for (long i = 0; i < n; ++i) {\n"
+            + rows +
+            "            for (long j = 0; j < bt; ++j)\n"
+            f"                {expr};\n"
+            "        }\n"
+            "    }\n")
+
+    def _scalar_block(self, decls: list, expr: str) -> None:
+        """One lane loop over a ``(B,)`` register destination."""
+        body = "".join(f"        {line}\n" for line in decls)
+        self.blocks.append(
+            "    {\n"
+            f"        const long bt = {self.length(self.machine.batch)};\n"
+            + body +
+            "        for (long j = 0; j < bt; ++j)\n"
+            f"            {expr};\n"
+            "    }\n")
+
+    def emit(self, instr) -> None:
+        if isinstance(instr, VecDup):
+            src = self.executor._resident(instr.src)
+            dst = self.executor._dst_buffer(
+                self.machine.cvb, instr.cvb, int(src.shape[0]))
+            total = int(src.shape[0]) * self.machine.batch
+            self._flat(total, [
+                f"const double *a = {self.buf(src)};",
+                f"double *d = {self.buf(dst)};",
+            ], "d[i] = a[i]")
+            return
+        if isinstance(instr, SpMV):
+            self._emit_spmv(instr)
+            return
+        if isinstance(instr, VectorOp):
+            self._emit_vector(instr)
+            return
+        if isinstance(instr, ScalarOp):
+            self._emit_scalar(instr)
+            return
+        raise SimulationError(f"instruction not chunkable: {instr!r}")
+
+    def _emit_scalar(self, instr: ScalarOp) -> None:
+        op = instr.op
+        if op in BINARY_SCALAR_OPS and instr.src2 is None:
+            raise SimulationError("binary scalar op missing src2")
+        decls_a, a, _ = self.sreg(instr.src1)
+        decls = list(decls_a)
+        b = None
+        if instr.src2 is not None:
+            decls_b, b, _ = self.sreg(instr.src2)
+            decls += decls_b
+        dst = self.machine.scalar_buffer(instr.dst)
+        decls.append(f"double *d = {self.buf(dst)};")
+        if op is ScalarOpKind.MOV:
+            expr = f"d[j] = {a}"
+        elif op is ScalarOpKind.MAX:
+            # Python max(a, b): returns b only when b > a (NaN-
+            # asymmetric) — same as the closure's where(b > a, b, a).
+            expr = f"d[j] = ({b} > {a}) ? {b} : {a}"
+        elif op is ScalarOpKind.ADD:
+            expr = f"d[j] = {a} + {b}"
+        elif op is ScalarOpKind.SUB:
+            expr = f"d[j] = {a} - {b}"
+        elif op is ScalarOpKind.MUL:
+            expr = f"d[j] = {a} * {b}"
+        else:
+            raise SimulationError(f"scalar op not chunkable: {op}")
+        self._scalar_block(decls, expr)
+
+    def _emit_vector(self, instr: VectorOp) -> None:
+        executor = self.executor
+        machine = self.machine
+        kind = instr.op
+        a = executor._resident(instr.srcs[0])
+        n = int(a.shape[0])
+        total = n * machine.batch
+        if kind is VectorOpKind.COPY:
+            dst = executor._dst_buffer(machine.vb, instr.dst, n)
+            self._flat(total, [
+                f"const double *a = {self.buf(a)};",
+                f"double *d = {self.buf(dst)};",
+            ], "d[i] = a[i]")
+            return
+        b = executor._resident(instr.srcs[1])
+        if kind is VectorOpKind.DOT:
+            if a.shape != b.shape:
+                raise SimulationError("dot operand shapes differ")
+            dst = machine.scalar_buffer(instr.dst)
+            self.blocks.append(
+                "    {\n"
+                f"        const double *a = {self.buf(a)};\n"
+                f"        const double *b = {self.buf(b)};\n"
+                f"        double * restrict o = {self.buf(dst)};\n"
+                f"        const long n = {self.length(n)};\n"
+                f"        const long bt = {self.length(machine.batch)};\n"
+                "        for (long j = 0; j < bt; ++j)\n"
+                "            o[j] = 0.0;\n"
+                "        for (long i = 0; i < n; ++i) {\n"
+                "            const double *ai = a + i * bt;\n"
+                "            const double *bi = b + i * bt;\n"
+                "            for (long j = 0; j < bt; ++j)\n"
+                "                o[j] += ai[j] * bi[j];\n"
+                "        }\n"
+                "    }\n")
+            return
+        dst = executor._dst_buffer(machine.vb, instr.dst, n)
+        flat_decls = [f"const double *a = {self.buf(a)};",
+                      f"const double *b = {self.buf(b)};",
+                      f"double *d = {self.buf(dst)};"]
+        if kind is VectorOpKind.EWMUL:
+            self._flat(total, flat_decls, "d[i] = a[i] * b[i]")
+            return
+
+        def laned(coeff_decls, expr):
+            self._laned(n, flat_decls + coeff_decls,
+                        [("ai", "a"), ("bi", "b"), ("di", "d")], expr)
+
+        if kind is VectorOpKind.SCALE_ADD:
+            al = literal_operand(instr.alpha)
+            if al == 1.0:
+                self._flat(total, flat_decls, "d[i] = a[i] + b[i]")
+            elif al == -1.0:
+                self._flat(total, flat_decls, "d[i] = a[i] - b[i]")
+            else:
+                decls, s0, _ = self.sreg(instr.alpha)
+                laned(decls, f"di[j] = ai[j] + bi[j] * {self._lane(s0)}")
+            return
+        if kind is VectorOpKind.AXPBY:
+            al = literal_operand(instr.alpha)
+            be = literal_operand(instr.beta)
+            if al == 1.0 and be == 1.0:
+                self._flat(total, flat_decls, "d[i] = a[i] + b[i]")
+            elif al == 1.0 and be == -1.0:
+                self._flat(total, flat_decls, "d[i] = a[i] - b[i]")
+            elif al == 1.0:
+                decls, s0, _ = self.sreg(instr.beta)
+                laned(decls, f"di[j] = ai[j] + bi[j] * {self._lane(s0)}")
+            elif be == 1.0:
+                decls, s0, _ = self.sreg(instr.alpha)
+                laned(decls, f"di[j] = ai[j] * {self._lane(s0)} + bi[j]")
+            elif be == -1.0:
+                decls, s0, _ = self.sreg(instr.alpha)
+                laned(decls, f"di[j] = ai[j] * {self._lane(s0)} - bi[j]")
+            elif al == -1.0:
+                decls, s0, _ = self.sreg(instr.beta)
+                laned(decls, f"di[j] = bi[j] * {self._lane(s0)} - ai[j]")
+            else:
+                decls_a, s0, _ = self.sreg(instr.alpha)
+                decls_b, s1, _ = self.sreg(instr.beta)
+                laned(decls_a + decls_b,
+                      f"di[j] = ai[j] * {self._lane(s0)} + "
+                      f"bi[j] * {self._lane(s1)}")
+            return
+        raise SimulationError(f"vector op not chunkable: {kind}")
+
+    @staticmethod
+    def _lane(token: str) -> str:
+        # sreg tokens already index the lane for register operands and
+        # are lane-invariant S constants otherwise — both valid inside
+        # the lane loop as-is.
+        return token
+
+    def _emit_spmv(self, instr: SpMV) -> None:
+        machine = self.machine
+        resource = machine.matrices[instr.matrix]
+        if resource._kernel is None:
+            raise SimulationError("SpMV resource has no batched C kernel")
+        src = machine.cvb.get(instr.src)
+        if src is None:
+            raise SimulationError(f"SpMV source {instr.src!r} not in CVB")
+        rows = int(resource.shape[0])
+        dst = self.executor._dst_buffer(machine.vb, instr.dst, rows)
+        val, col, ip = resource._carrays
+        # The engine library's k_csr_matvec_batch body: per lane the
+        # k-loop accumulates in exactly the solo row-sum order.
+        self.blocks.append(
+            "    {\n"
+            f"        const double * restrict v = {self.buf(val)};\n"
+            f"        const long *col = {self.iarr(col)};\n"
+            f"        const long *ip = {self.iarr(ip)};\n"
+            f"        const double * restrict xx = {self.buf(src)};\n"
+            f"        double * restrict yy = {self.buf(dst)};\n"
+            f"        const long nrows = {self.length(rows)};\n"
+            f"        const long bt = {self.length(machine.batch)};\n"
+            "        for (long r = 0; r < nrows; ++r) {\n"
+            "            double * restrict yr = yy + r * bt;\n"
+            "            for (long j = 0; j < bt; ++j)\n"
+            "                yr[j] = 0.0;\n"
+            "            for (long k = ip[r]; k < ip[r + 1]; ++k) {\n"
+            "                const double * restrict vk = v + k * bt;\n"
+            "                const double * restrict xk = xx + col[k] * bt;\n"
+            "                for (long j = 0; j < bt; ++j)\n"
+            "                    yr[j] += vk[j] * xk[j];\n"
+            "            }\n"
+            "        }\n"
+            "    }\n")
+
+    # -- finish ----------------------------------------------------------
+    def finish(self):
+        source = ("void chunk_run(double **B, long **IA, const long *L,\n"
+                  "               const double *S)\n{\n"
+                  + "".join(self.blocks) + "}\n")
+        module = (cjit.compile_module(_BATCH_CHUNK_CDEF, source,
+                                      tag="bchunk",
+                                      args=cjit._ENGINE_COMPILE_ARGS)
+                  or cjit.compile_module(_BATCH_CHUNK_CDEF, source,
+                                         tag="bchunk",
+                                         args=cjit._ENGINE_FALLBACK_ARGS))
+        if module is None:
+            return None
+        ffi = module.ffi
+        run = module.lib.chunk_run
+        pB = ffi.new("double *[]",
+                     [ffi.cast("double *", a.ctypes.data)
+                      for a in self.bufs] or [ffi.NULL])
+        pI = ffi.new("long *[]",
+                     [ffi.cast("long *", a.ctypes.data)
+                      for a in self.iarrs] or [ffi.NULL])
+        pL = ffi.new("long[]", self.lens or [0])
+        pS = ffi.new("double[]", self.consts or [0.0])
+        hold = (tuple(self.bufs), tuple(self.iarrs), pB, pI, pL, pS)
+
+        def fn(_hold=hold):
+            run(pB, pI, pL, pS)
+        return fn

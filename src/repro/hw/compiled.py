@@ -62,7 +62,8 @@ from .isa import (BINARY_SCALAR_OPS, Control, DataTransfer, Loop, Program,
                   VectorOpKind)
 from .machine import Machine, _LoopExit
 
-__all__ = ["CompiledExecutor", "BACKENDS", "validate_backend"]
+__all__ = ["CompiledExecutor", "BACKENDS", "validate_backend",
+           "literal_operand"]
 
 #: The two execution backends every runner exposes.
 BACKENDS = ("interpret", "compiled")
@@ -76,11 +77,19 @@ def validate_backend(backend: str) -> str:
     return backend
 
 
-def _literal(ref) -> float | None:
-    """The float value of a literal operand, or None for a register."""
+def literal_operand(ref) -> float | None:
+    """The float value of a literal operand, or None for a register.
+
+    Shared with the batched lowering (:mod:`repro.hw.batched`), which
+    must fold exactly the same ``+-1.0`` coefficient cases to stay
+    bit-identical with this backend's closures.
+    """
     if ref is None or isinstance(ref, str):
         return None
     return float(ref)
+
+
+_literal = literal_operand
 
 
 # ---------------------------------------------------------------------------

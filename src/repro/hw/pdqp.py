@@ -31,7 +31,32 @@ from .frequency import fmax_mhz
 from .machine import ExecutionStats, Machine, MatrixResource
 from .power import fpga_power_watts
 
-__all__ = ["PDQPAccelerator", "compile_pdqp_for_customization"]
+__all__ = ["PDQPAccelerator", "compile_pdqp_for_customization",
+           "rebalanced_omega", "pdqp_step_sizes"]
+
+
+def rebalanced_omega(omega: float, rp: float, rdual: float,
+                     npz: float, nd_all: float) -> float:
+    """Residual-balanced primal-weight estimate (exact float path).
+
+    Shared by the solo accelerator's host restart and the batched
+    runner's per-lane restarts, mirroring
+    :func:`repro.hw.accelerator.adaptive_rho_estimate`.
+    """
+    pri_norm = max(npz, 1e-15)
+    dua_norm = max(nd_all, 1e-15)
+    estimate = omega * np.sqrt((rp / pri_norm)
+                               / max(rdual / dua_norm, 1e-15))
+    return float(np.clip(estimate, OMEGA_MIN, OMEGA_MAX))
+
+
+def pdqp_step_sizes(omega: float, norm_a: float, lam_p: float,
+                    tau_scale: float) -> tuple[float, float]:
+    """``(tau, sigma)`` for a primal weight, as the reference derives."""
+    denom = omega * norm_a + lam_p
+    tau = tau_scale / max(denom, 1e-15)
+    sigma = omega / norm_a if norm_a > 1e-15 else omega
+    return tau, sigma
 
 
 class PDQPAccelerator:
@@ -76,9 +101,11 @@ class PDQPAccelerator:
                  verify: bool = True,
                  fault_injector=None,
                  recovery=None,
-                 deadline_seconds: float | None = None):
+                 deadline_seconds: float | None = None,
+                 scaling=None):
         self.problem = problem
         self.settings = settings if settings is not None else PDQPSettings()
+        self._precomputed_scaling = scaling
         if customization is None:
             customization = customize_problem(problem, c)
         self.customization = customization
@@ -105,7 +132,8 @@ class PDQPAccelerator:
     # ------------------------------------------------------------------
     def _host_setup(self) -> None:
         """Scale the problem and derive step sizes like the reference."""
-        helper = PDQPSolver(self.problem, self.settings)
+        helper = PDQPSolver(self.problem, self.settings,
+                            scaling=self._precomputed_scaling)
         self.scaling = helper.scaling
         self.work = helper.work
         self._work_at = helper.at
@@ -236,21 +264,15 @@ class PDQPAccelerator:
     def _rebalance_omega(self) -> bool:
         """Residual-balance the primal weight from device scalars."""
         scalars = self.machine.scalars
-        rp = scalars.get("rp", 0.0)
-        rd = scalars.get("rdual", 0.0)
-        pri_norm = max(scalars.get("npz", 0.0), 1e-15)
-        dua_norm = max(scalars.get("nd_all", 0.0), 1e-15)
-        estimate = self.omega * np.sqrt((rp / pri_norm)
-                                        / max(rd / dua_norm, 1e-15))
-        estimate = float(np.clip(estimate, OMEGA_MIN, OMEGA_MAX))
+        estimate = rebalanced_omega(
+            self.omega, scalars.get("rp", 0.0), scalars.get("rdual", 0.0),
+            scalars.get("npz", 0.0), scalars.get("nd_all", 0.0))
         tol = self.settings.omega_tolerance
         if not (estimate > tol * self.omega or estimate < self.omega / tol):
             return False
         self.omega = estimate
-        denom = self.omega * self.norm_a + self.lam_p
-        self.tau = self.settings.tau_scale / max(denom, 1e-15)
-        self.sigma = (self.omega / self.norm_a
-                      if self.norm_a > 1e-15 else self.omega)
+        self.tau, self.sigma = pdqp_step_sizes(
+            self.omega, self.norm_a, self.lam_p, self.settings.tau_scale)
         self._step_scalars()
         return True
 

@@ -2,12 +2,13 @@
 
 from .kkt import ReducedKKTOperator, assemble_kkt_upper
 from .problem import QProblem
-from .scaling import Scaling, ruiz_equilibrate
+from .scaling import Scaling, ruiz_equilibrate, ruiz_equilibrate_batch
 
 __all__ = [
     "QProblem",
     "Scaling",
     "ruiz_equilibrate",
+    "ruiz_equilibrate_batch",
     "ReducedKKTOperator",
     "assemble_kkt_upper",
 ]

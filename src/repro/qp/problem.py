@@ -72,6 +72,25 @@ class QProblem:
         if not self._structurally_symmetric():
             raise ShapeError("P must be symmetric")
 
+    @classmethod
+    def _trusted(cls, P: CSRMatrix, q: np.ndarray, A: CSRMatrix,
+                 l: np.ndarray, u: np.ndarray, name: str = "qp") -> "QProblem":
+        """Construct without validation.
+
+        For internally derived problems only — e.g. diagonally scaled
+        copies of an already-validated problem, where symmetry, bound
+        ordering and shapes are preserved by construction. The vector
+        arguments must already be float64 ndarrays of the right length.
+        """
+        self = cls.__new__(cls)
+        self.P = P
+        self.q = q
+        self.A = A
+        self.l = l
+        self.u = u
+        self.name = name
+        return self
+
     def _structurally_symmetric(self, tol: float = 1e-9) -> bool:
         """Check P == P^T by comparing canonical COO forms (O(nnz log nnz))."""
         r1, c1, v1 = self.P.to_coo()

@@ -22,7 +22,7 @@ import numpy as np
 from ..sparse import CSRMatrix
 from .problem import QProblem
 
-__all__ = ["Scaling", "ruiz_equilibrate"]
+__all__ = ["Scaling", "ruiz_equilibrate", "ruiz_equilibrate_batch"]
 
 #: Bounds on individual scaling factors (same spirit as OSQP's limits).
 _MIN_SCALE = 1e-4
@@ -141,3 +141,148 @@ def ruiz_equilibrate(problem: QProblem, iterations: int = 10) -> Scaling:
 
     scaled = QProblem(P=p, q=q, A=a, l=l_s, u=u_s, name=problem.name)
     return Scaling(problem=scaled, d=d, e=e, c=c)
+
+
+def ruiz_equilibrate_batch(problems, iterations: int = 10) -> list[Scaling]:
+    """Equilibrate B same-sparsity QPs in one vectorized pass.
+
+    Returns per-problem :class:`Scaling` objects bit-identical to
+    calling :func:`ruiz_equilibrate` on each problem individually. The
+    batched math stacks every lane's numeric data lane-minor —
+    ``(nnz, B)`` / ``(n, B)`` arrays — and mirrors the solo operation
+    sequence exactly:
+
+    * infinity norms use ``np.maximum.at`` with the shared index
+      vectors (max is order-insensitive, so the per-lane result is the
+      solo result to the bit);
+    * the row/column scalings apply as the same two elementwise
+      multiplies ``data * delta[row_of]`` then ``data * delta[indices]``
+      that :meth:`CSRMatrix.scale_rows` / ``scale_cols`` perform;
+    * the gamma step computes each lane's mean on a contiguous copy of
+      its column (numpy's pairwise summation blocking differs between
+      contiguous and strided reductions) and runs the scalar
+      clip/branch per lane, exactly like the solo code.
+
+    All problems must share one sparsity structure (same ``indices`` /
+    ``indptr`` for both P and A) — the same precondition the batched
+    accelerator imposes; raises :class:`ValueError` otherwise.
+    """
+    problems = list(problems)
+    if not problems:
+        raise ValueError("ruiz_equilibrate_batch needs at least one problem")
+    first = problems[0]
+    if len(problems) == 1:
+        return [ruiz_equilibrate(first, iterations)]
+    n, m = first.n, first.m
+    bsz = len(problems)
+    p_ind, p_ip = first.P.indices, first.P.indptr
+    a_ind, a_ip = first.A.indices, first.A.indptr
+    for pr in problems[1:]:
+        if (pr.n != n or pr.m != m
+                or not np.array_equal(pr.P.indices, p_ind)
+                or not np.array_equal(pr.P.indptr, p_ip)
+                or not np.array_equal(pr.A.indices, a_ind)
+                or not np.array_equal(pr.A.indptr, a_ip)):
+            raise ValueError(
+                "batched equilibration requires one shared sparsity "
+                f"structure; problem {pr.name!r} differs from "
+                f"{first.name!r}")
+
+    pd = np.stack([np.asarray(pr.P.data, dtype=np.float64)
+                   for pr in problems], axis=1)
+    ad = np.stack([np.asarray(pr.A.data, dtype=np.float64)
+                   for pr in problems], axis=1)
+    q = np.stack([np.asarray(pr.q, dtype=np.float64)
+                  for pr in problems], axis=1)
+    d = np.ones((n, bsz))
+    e = np.ones((m, bsz))
+    c = np.ones(bsz)
+    p_row = np.repeat(np.arange(n), np.diff(p_ip))
+    a_row = np.repeat(np.arange(m), np.diff(a_ip))
+
+    # Segment-max plans: grouping each matrix's entries by column (and
+    # A's by row — already grouped in CSR order) turns the per-column /
+    # per-row infinity norms into `maximum.reduceat` calls over the
+    # lane axis. Max over a set is order-insensitive, so regrouping
+    # cannot change any lane's bits relative to the solo scan.
+    def _segment_plan(group_ids, size):
+        order = np.argsort(group_ids, kind="stable")
+        sorted_ids = group_ids[order]
+        if sorted_ids.size:
+            starts = np.flatnonzero(
+                np.r_[True, sorted_ids[1:] != sorted_ids[:-1]])
+        else:
+            starts = np.zeros(0, dtype=np.intp)
+        return order, starts, sorted_ids[starts], size
+
+    def _segment_max(values, plan):
+        order, starts, present, size = plan
+        out = np.zeros((size, bsz))
+        if starts.size:
+            out[present] = np.maximum.reduceat(values[order], starts,
+                                               axis=0)
+        return out
+
+    p_by_col = _segment_plan(p_ind, n)
+    a_by_col = _segment_plan(a_ind, n)
+    a_by_row = _segment_plan(a_row, m)
+
+    for _ in range(iterations):
+        norm_n = np.maximum(_segment_max(np.abs(pd), p_by_col),
+                            _segment_max(np.abs(ad), a_by_col))
+        norm_m = _segment_max(np.abs(ad), a_by_row)
+        delta_n = 1.0 / np.sqrt(_limit(norm_n))
+        delta_m = 1.0 / np.sqrt(_limit(norm_m))
+
+        pd = (pd * delta_n[p_row]) * delta_n[p_ind]
+        q = q * delta_n
+        ad = (ad * delta_m[a_row]) * delta_n[a_ind]
+        d *= delta_n
+        e *= delta_m
+
+        p_col = _segment_max(np.abs(pd), p_by_col)
+        if n:
+            # Sum each lane along rows of the transposed copy: the solo
+            # mean reduces a contiguous vector with numpy's pairwise
+            # blocking, and an axis reduction over contiguous rows uses
+            # the identical blocking per output element.
+            mean_p = np.add.reduce(np.ascontiguousarray(p_col.T),
+                                   axis=1) / n
+            q_norm = np.abs(q).max(axis=0)
+        else:
+            mean_p = np.ones(bsz)
+            q_norm = np.ones(bsz)
+        gd = np.where(q_norm > mean_p, q_norm, mean_p)
+        gammas = np.where(gd <= 0.0, 1.0,
+                          1.0 / np.clip(gd, _MIN_SCALE, _MAX_SCALE))
+        pd = pd * gammas
+        q = q * gammas
+        c *= gammas
+
+    l = np.stack([np.asarray(pr.l, dtype=np.float64)
+                  for pr in problems], axis=1)
+    u = np.stack([np.asarray(pr.u, dtype=np.float64)
+                  for pr in problems], axis=1)
+    with np.errstate(invalid="ignore"):
+        l_s = e * l
+        u_s = e * u
+    l_s[np.isneginf(l)] = -np.inf
+    u_s[np.isposinf(u)] = np.inf
+
+    out = []
+    for b, pr in enumerate(problems):
+        p_mat = CSRMatrix(first.P.shape, np.ascontiguousarray(pd[:, b]),
+                          p_ind.copy(), p_ip.copy(), check=False)
+        a_mat = CSRMatrix(first.A.shape, np.ascontiguousarray(ad[:, b]),
+                          a_ind.copy(), a_ip.copy(), check=False)
+        # Diagonal scaling of validated problems preserves every
+        # QProblem invariant, so skip the per-lane re-validation.
+        scaled = QProblem._trusted(
+            p_mat, np.ascontiguousarray(q[:, b]), a_mat,
+            np.ascontiguousarray(l_s[:, b]),
+            np.ascontiguousarray(u_s[:, b]), name=pr.name)
+        out.append(Scaling(problem=scaled,
+                           d=np.ascontiguousarray(d[:, b]),
+                           e=np.ascontiguousarray(e[:, b]),
+                           c=float(c[b])))
+    return out

@@ -38,11 +38,33 @@ __all__ = ["Counter", "Histogram", "MetricsRegistry"]
 _UNSET = object()
 
 
-class Counter:
-    """A monotonically increasing value."""
+def _escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text format: backslash,
+    double quote and newline must be backslash-escaped inside the
+    quoted value."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
-    def __init__(self, name: str):
+
+def _render_labels(labels: dict) -> str:
+    """``{k="v",...}`` with keys sorted and values escaped — the one
+    canonical rendering, so identical label sets always produce
+    identical sample names (deterministic diffs)."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"'
+                     for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing value, optionally labeled."""
+
+    def __init__(self, name: str, labels: dict | None = None):
         self.name = name
+        self.labels = dict(labels) if labels else {}
+        #: Full Prometheus sample name, labels sorted and escaped.
+        self.sample_name = name + _render_labels(self.labels)
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -170,11 +192,17 @@ class MetricsRegistry:
         self._histograms: dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, labels: dict | None = None) -> Counter:
+        """Get or create a counter; ``labels`` distinguishes series of
+        one metric family (e.g. ``reason="linger"`` vs ``"full"``).
+        The registry key is the canonical sample name — sorted label
+        keys, escaped values — so lookup order never creates
+        duplicate series."""
+        key = name + _render_labels(labels or {})
         with self._lock:
-            if name not in self._counters:
-                self._counters[name] = Counter(name)
-            return self._counters[name]
+            if key not in self._counters:
+                self._counters[key] = Counter(name, labels)
+            return self._counters[key]
 
     def histogram(self, name: str, reservoir=_UNSET) -> Histogram:
         with self._lock:
@@ -219,11 +247,20 @@ class MetricsRegistry:
         as a ``summary``: ``{quantile="0.5"}`` / ``{quantile="0.95"}``
         gauges plus the exact ``_sum`` and ``_count`` series. Scrape it
         from the CLIs with ``--metrics-format prometheus``.
+
+        Output is deterministic: families and their labeled series are
+        sorted by sample name (label values escaped at creation), and
+        one ``# TYPE`` line heads each family however many series it
+        has — identical metric state always diffs clean.
         """
         snap = self.snapshot()
         lines = []
+        last_family = None
         for name, value in snap["counters"].items():
-            lines.append(f"# TYPE {name} counter")
+            family = name.split("{", 1)[0]
+            if family != last_family:
+                lines.append(f"# TYPE {family} counter")
+                last_family = family
             lines.append(f"{name} {value:.10g}")
         for name, s in snap["histograms"].items():
             lines.append(f"# TYPE {name} summary")

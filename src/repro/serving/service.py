@@ -82,6 +82,8 @@ class ServeRecord:
     faults_injected: int = 0
     degraded: bool = False
     deadline_missed: bool = False
+    #: Lockstep batch width this request solved at (1 = solo).
+    batch_width: int = 1
 
     @property
     def cache_hit(self) -> bool:
@@ -164,7 +166,9 @@ class SolverService:
                  verify: bool = True,
                  fault_plan=None,
                  resilience: ResiliencePolicy | None = None,
-                 algorithm: str = "auto"):
+                 algorithm: str = "auto",
+                 max_batch: int = 32,
+                 max_linger: float = 0.005):
         if cold_policy not in ("build", "fallback"):
             raise ValueError(
                 f"cold_policy must be 'build' or 'fallback', "
@@ -192,6 +196,11 @@ class SolverService:
         self.cold_policy = cold_policy
         self.pcg_eps = float(pcg_eps)
         self.max_pcg_iter = int(max_pcg_iter)
+        #: Coalescing bounds for :meth:`solve_batch` (see
+        #: :class:`repro.batch.Coalescer`): widest lockstep batch and
+        #: the linger budget a queued group may wait for more lanes.
+        self.max_batch = int(max_batch)
+        self.max_linger = float(max_linger)
         self.cache = ArchCache(capacity=cache_capacity, path=cache_path)
         self.metrics = MetricsRegistry()
         # Request handling always runs on threads (it touches the
@@ -326,14 +335,218 @@ class SolverService:
                            timeout=timeout)
 
     def solve_batch(self, problems, *, warm_starts=None,
-                    timeout: float | None = None) -> list[ServeResult]:
-        """Submit a batch, preserve submission order in the results."""
+                    deadlines=None, timeout: float | None = None,
+                    coalesce: bool = True) -> list[ServeResult]:
+        """Solve many problems, coalescing same-structure requests
+        into lockstep batches; results preserve submission order.
+
+        Requests are grouped by artifact cache key (structure
+        fingerprint + width + algorithm) through
+        :class:`repro.batch.Coalescer` — a group ships the moment it
+        reaches ``max_batch`` lanes and the remainder flushes when the
+        synchronous call has queued everything. Each group solves as
+        one :func:`repro.batch.solve_batch_job` run (lane results are
+        bitwise identical to solo solves); a lane the batch freezes —
+        injected fault, missed ``deadline`` — falls back to the solo
+        resilient path alone, without disturbing its batchmates.
+        ``deadlines`` are per-request budgets in seconds, as in
+        :meth:`submit`. ``coalesce=False`` restores the per-request
+        submit/result path.
+        """
         problems = list(problems)
         if warm_starts is None:
             warm_starts = [None] * len(problems)
-        ids = [self.submit(p, warm_start=w)
-               for p, w in zip(problems, warm_starts)]
-        return [self.result(i, timeout=timeout) for i in ids]
+        if deadlines is None:
+            deadlines = [None] * len(problems)
+        if not (len(warm_starts) == len(deadlines) == len(problems)):
+            raise ValueError("per-request argument lists must match the "
+                             "number of problems")
+        if not coalesce or len(problems) < 2:
+            ids = [self.submit(p, warm_start=w, deadline=dl)
+                   for p, w, dl in zip(problems, warm_starts, deadlines)]
+            return [self.result(i, timeout=timeout) for i in ids]
+        if self._closed:
+            raise RuntimeError("service is closed")
+
+        from ..batch import Coalescer
+        submitted = time.perf_counter()
+        lanes = []
+        for problem, warm, dl in zip(problems, warm_starts, deadlines):
+            with self._lock:
+                rid = self._next_id
+                self._next_id += 1
+            if dl is None:
+                dl = self.resilience.deadline_seconds
+            lanes.append({
+                "rid": rid, "problem": problem, "warm": warm,
+                "submitted": submitted,
+                "deadline": dl,
+                "deadline_at": (submitted + dl) if dl is not None
+                               else None,
+            })
+
+        coalescer = Coalescer(max_batch=self.max_batch,
+                              max_linger=self.max_linger)
+        results: dict[int, ServeResult] = {}
+        for idx, lane in enumerate(lanes):
+            problem = lane["problem"]
+            t_fp = time.perf_counter()
+            c = self.width_for(problem)
+            fingerprint = fingerprint_problem(problem, c=c)
+            algorithm = choose_algorithm(
+                problem, override=None if self.algorithm == "auto"
+                else self.algorithm)
+            key = self.cache_key(fingerprint, c, algorithm)
+            lane["fingerprint"] = fingerprint
+            lane["c"] = c
+            lane["algorithm"] = algorithm
+            lane["fp_seconds"] = time.perf_counter() - t_fp
+            full = coalescer.offer(key, idx,
+                                   deadline_at=lane["deadline_at"])
+            if full is not None:
+                self.metrics.counter("serving_batch_flushes_total",
+                                     labels={"reason": "full"}).inc()
+                self._solve_batch_group(key, [lanes[i] for i in full],
+                                        results)
+        for key, idxs in coalescer.flush_all():
+            self.metrics.counter("serving_batch_flushes_total",
+                                 labels={"reason": "drain"}).inc()
+            self._solve_batch_group(key, [lanes[i] for i in idxs],
+                                    results)
+        return [results[lane["rid"]] for lane in lanes]
+
+    def _solve_batch_group(self, key: str, group: list,
+                           results: dict) -> None:
+        """Solve one coalesced group; fall back lane-by-lane on error."""
+        def solo(lane):
+            results[lane["rid"]] = self._handle(
+                lane["rid"], lane["problem"], lane["warm"],
+                lane["submitted"], lane["deadline"])
+
+        if len(group) == 1:
+            solo(group[0])
+            return
+        from ..batch import solve_batch_job
+        first = group[0]
+        t_start = time.perf_counter()
+        try:
+            artifact, tier = self._ensure_artifact(
+                first["problem"], first["fingerprint"], first["c"],
+                first["algorithm"])
+        except Exception:
+            for lane in group:
+                solo(lane)
+            return
+        t_ready = time.perf_counter()
+        # Lanes beyond the first are true cache hits: the group key IS
+        # the artifact key, so every extra lane reuses the resident
+        # artifact. Touch the cache per lane so LRU order and hit-rate
+        # accounting see each request, exactly like solo solves would.
+        lane_tiers = [tier]
+        for lane in group[1:]:
+            self.cache.get(key)
+            lane_tiers.append(TIER_HIT)
+        plan = self.fault_plan
+        injectors = [plan.injector_for(lane["rid"], 0)
+                     if plan is not None else None for lane in group]
+        try:
+            bres = solve_batch_job(
+                [lane["problem"] for lane in group], artifact,
+                self.settings,
+                warm_starts=[lane["warm"] for lane in group],
+                pcg_eps=self.pcg_eps, verify=self.verify,
+                injectors=injectors,
+                deadline_ats=[lane["deadline_at"] for lane in group])
+        except Exception:
+            self.metrics.counter("serving_batch_aborts_total").inc()
+            for lane in group:
+                solo(lane)
+            return
+        t_done = time.perf_counter()
+        self.metrics.counter("serving_batches_total").inc()
+        self.metrics.histogram("serving_batch_width").observe(len(group))
+
+        res = self.resilience
+        for lane, lane_tier, raw, err in zip(group, lane_tiers,
+                                             bres.results,
+                                             bres.lane_errors):
+            if raw is None:
+                # Frozen lane (fault / deadline): the solo resilient
+                # path owns retry, degradation and accounting.
+                self.metrics.counter(
+                    "serving_batch_lane_fallbacks_total",
+                    labels={"reason": err or "unknown"}).inc()
+                solo(lane)
+                continue
+            suspect = bool(raw.fault_events)
+            check = (res.check == "always"
+                     or (res.check == "auto" and suspect))
+            if (check and not solution_ok(
+                    lane["problem"], raw.x, raw.y, raw.z,
+                    eps_abs=self.settings.eps_abs,
+                    eps_rel=self.settings.eps_rel,
+                    factor=res.check_factor)):
+                # Same silent-corruption guarantee as the solo path: a
+                # lane that fails the host KKT re-check never returns
+                # batched output.
+                self.metrics.counter(
+                    "serving_silent_corruption_total").inc()
+                self.metrics.counter(
+                    "serving_batch_lane_fallbacks_total",
+                    labels={"reason": "kkt"}).inc()
+                solo(lane)
+                continue
+            faults_fired = len(raw.fault_events)
+            if faults_fired:
+                self.metrics.counter(
+                    "serving_faults_injected_total").inc(faults_fired)
+            self.metrics.counter("serving_requests_total").inc()
+            self.metrics.counter("serving_batched_requests_total").inc()
+            self.metrics.counter(
+                "serving_cache_hits_total" if lane_tier == TIER_HIT
+                else "serving_cache_misses_total").inc()
+            setup_seconds = lane.get("fp_seconds", 0.0) + (
+                t_ready - t_start if lane_tier != TIER_HIT else 0.0)
+            record = ServeRecord(
+                request_id=lane["rid"],
+                problem_name=lane["problem"].name,
+                fingerprint_key=lane["fingerprint"].key, c=lane["c"],
+                architecture=artifact.architecture_string,
+                tier=lane_tier,
+                backend="rsqp", algorithm=lane["algorithm"],
+                queue_seconds=t_start - lane["submitted"],
+                setup_seconds=setup_seconds,
+                customize_seconds=(artifact.customize_seconds
+                                   if lane_tier in (TIER_BUILD, TIER_DISK)
+                                   else 0.0),
+                compile_seconds=(artifact.compile_seconds
+                                 if lane_tier in (TIER_BUILD, TIER_DISK)
+                                 else 0.0),
+                solve_seconds=t_done - t_ready,
+                total_seconds=t_done - lane["submitted"],
+                simulated_cycles=raw.total_cycles,
+                simulated_seconds=raw.solve_seconds,
+                admm_iterations=raw.admm_iterations,
+                converged=raw.converged,
+                faults_injected=faults_fired,
+                batch_width=len(group))
+            with self._lock:
+                self._records[lane["rid"]] = record
+            self.metrics.histogram("serving_queue_seconds").observe(
+                record.queue_seconds)
+            self.metrics.histogram("serving_setup_seconds").observe(
+                record.setup_seconds)
+            self.metrics.histogram("serving_solve_seconds").observe(
+                record.solve_seconds)
+            self.metrics.histogram("serving_admm_iterations").observe(
+                raw.admm_iterations)
+            self.metrics.histogram("serving_simulated_cycles").observe(
+                raw.total_cycles)
+            if not raw.converged:
+                self.metrics.counter("serving_unconverged_total").inc()
+            results[lane["rid"]] = ServeResult(
+                x=raw.x, y=raw.y, z=raw.z, converged=raw.converged,
+                backend="rsqp", record=record, raw=raw)
 
     # ------------------------------------------------------------------
     def _handle(self, request_id: int, problem: QProblem,

@@ -51,23 +51,42 @@ class OSQPSolver:
     """
 
     def __init__(self, problem: QProblem,
-                 settings: OSQPSettings | None = None):
+                 settings: OSQPSettings | None = None,
+                 *, scaling=None):
         t0 = time.perf_counter()
         self.problem = problem
         self.settings = settings if settings is not None else OSQPSettings()
-        self.scaling = ruiz_equilibrate(problem, self.settings.scaling)
+        # ``scaling`` accepts a precomputed Scaling for this problem
+        # (the batched setup path equilibrates all lanes in one
+        # vectorized pass, bit-identical to the solo call below).
+        self.scaling = (scaling if scaling is not None
+                        else ruiz_equilibrate(problem, self.settings.scaling))
         self.work = self.scaling.problem
         self.rho = float(self.settings.rho)
         self.rho_vec = self._build_rho_vec(self.rho)
         self.at = self.work.A.transpose()
-        self.backend = make_backend(self.work.P, self.work.A, self.work.q,
-                                    self.settings, self.rho_vec,
-                                    a_transpose=self.at)
+        self._backend = None
         n, m = problem.n, problem.m
         self.x = np.zeros(n)
         self.z = np.zeros(m)
         self.y = np.zeros(m)
         self._setup_seconds = time.perf_counter() - t0
+
+    @property
+    def backend(self):
+        """Linear-system backend, built on first use.
+
+        Lazy because the accelerators borrow this class purely for
+        host setup (scaling, rho selection) and never solve the KKT
+        system in software — constructing the operator there would be
+        pure overhead, paid B times per batched solve.
+        """
+        if self._backend is None:
+            self._backend = make_backend(self.work.P, self.work.A,
+                                         self.work.q, self.settings,
+                                         self.rho_vec,
+                                         a_transpose=self.at)
+        return self._backend
 
     # ------------------------------------------------------------------
     def _build_rho_vec(self, rho: float) -> np.ndarray:

@@ -113,11 +113,16 @@ class PDQPSolver:
     """
 
     def __init__(self, problem: QProblem,
-                 settings: Optional[PDQPSettings] = None):
+                 settings: Optional[PDQPSettings] = None,
+                 *, scaling=None):
         t0 = time.perf_counter()
         self.problem = problem
         self.settings = settings if settings is not None else PDQPSettings()
-        self.scaling = ruiz_equilibrate(problem, self.settings.scaling)
+        # ``scaling`` accepts a precomputed Scaling for this problem
+        # (the batched setup path equilibrates all lanes in one
+        # vectorized pass, bit-identical to the solo call below).
+        self.scaling = (scaling if scaling is not None
+                        else ruiz_equilibrate(problem, self.settings.scaling))
         self.work = self.scaling.problem
         self.at = self.work.A.transpose()
         self.norm_a, self.lam_p = estimate_operator_norms(

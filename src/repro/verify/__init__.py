@@ -24,6 +24,7 @@ with structured diagnostics before they reach an accelerator.
 
 from .artifact import (ensure_artifact_verified, verify_artifact,
                        verify_compiled_program)
+from .batch import ensure_batch_verified, verify_batch
 from .cycles import (CycleBounds, block_bounds, program_bounds,
                      verify_compiled)
 from .diagnostics import (Diagnostic, Location, Severity,
@@ -55,4 +56,6 @@ __all__ = [
     "verify_compiled_program",
     "verify_artifact",
     "ensure_artifact_verified",
+    "verify_batch",
+    "ensure_batch_verified",
 ]

@@ -1,0 +1,59 @@
+"""repro.bench: BENCH_*.json discovery, headline lifting, merging."""
+
+import json
+
+from repro.bench import discover, headline, merge, render
+from repro.bench.__main__ import main
+
+
+def _write(root, name, payload):
+    (root / name).write_text(json.dumps(payload))
+
+
+class TestAggregation:
+    def test_discover_strips_prefix_and_sorts(self, tmp_path):
+        _write(tmp_path, "BENCH_ZETA.json", {})
+        _write(tmp_path, "BENCH_ALPHA.json", {})
+        (tmp_path / "OTHER.json").write_text("{}")
+        names = [name for name, _ in discover(tmp_path)]
+        assert names == ["alpha", "zeta"]
+
+    def test_headline_lifts_scalars_only(self):
+        payload = {"speedup": 7.5, "floor": 5, "ok": True,
+                   "mode": "auto", "cases": [{"x": 1}],
+                   "config": {"n": 3}}
+        assert headline(payload) == {"speedup": 7.5, "floor": 5,
+                                     "ok": True, "mode": "auto"}
+
+    def test_merge_counts_cases(self, tmp_path):
+        _write(tmp_path, "BENCH_A.json",
+               {"speedup": 2.0, "cases": [{}, {}, {}]})
+        _write(tmp_path, "BENCH_B.json", {"floor": 5})
+        merged = merge(tmp_path)
+        assert set(merged["reports"]) == {"a", "b"}
+        assert merged["case_counts"] == {"a": 3, "b": 0}
+        assert merged["headline"]["a"] == {"speedup": 2.0}
+
+    def test_render_summary_and_cases(self, tmp_path):
+        _write(tmp_path, "BENCH_A.json",
+               {"speedup": 2.5, "cases": [{"family": "eqqp",
+                                           "x": 1.0}]})
+        text = render(tmp_path, cases=True)
+        assert "speedup=2.5" in text
+        assert "eqqp" in text
+
+    def test_render_without_reports(self, tmp_path):
+        assert "no BENCH_*.json" in render(tmp_path)
+
+
+class TestCli:
+    def test_exit_codes_and_json_output(self, tmp_path, capsys):
+        assert main(["--root", str(tmp_path)]) == 1
+        _write(tmp_path, "BENCH_A.json", {"speedup": 3.0, "cases": []})
+        out = tmp_path / "merged.json"
+        assert main(["--root", str(tmp_path),
+                     "--json", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "Benchmark reports" in captured
+        merged = json.loads(out.read_text())
+        assert merged["headline"]["a"]["speedup"] == 3.0

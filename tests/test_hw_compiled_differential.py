@@ -260,6 +260,78 @@ class TestSolveDifferential:
         assert si.loop_iterations == sc.loop_iterations
 
 
+class TestBatchDifferential:
+    """Batched lockstep execution vs per-request solo solves.
+
+    The batch contract is the strongest one in the repo: every lane of
+    a B-wide run must be *bitwise* identical — x, y, z, convergence
+    flag, iteration counts and effective per-instance cycles — to the
+    solo accelerator run on that lane's problem alone, for any B.
+    """
+
+    def _lane_problems(self, family, size, batch):
+        template = generate(family, size, seed=0)
+        from repro.problems import perturb_numeric
+        return [template] + [perturb_numeric(template, seed=s)
+                             for s in range(1, batch)]
+
+    def _assert_lanes_match_solo(self, probs, cust, settings, algorithm,
+                                 solo_cls):
+        from repro.batch import BatchAccelerator
+        solos = [solo_cls(p, customization=cust, settings=settings,
+                          backend="compiled") for p in probs]
+        solo_results = [acc.run() for acc in solos]
+        batch = BatchAccelerator(probs, cust, settings,
+                                 compiled=solos[0].compiled,
+                                 algorithm=algorithm)
+        bres = batch.run()
+        assert bres.batch == len(probs)
+        assert bres.lane_errors == [None] * len(probs)
+        for sr, br in zip(solo_results, bres.results):
+            assert sr.x.tobytes() == br.x.tobytes()
+            assert sr.y.tobytes() == br.y.tobytes()
+            assert sr.z.tobytes() == br.z.tobytes()
+            assert sr.converged == br.converged
+            assert sr.admm_iterations == br.admm_iterations
+            assert sr.pcg_iterations == br.pcg_iterations
+            assert sr.total_cycles == br.total_cycles
+            assert sr.restarts == br.restarts
+        # The virtual fleet's wall clock is one lockstep stream: it can
+        # never beat the slowest lane, and per-instance cycles amortize.
+        assert bres.wall_cycles >= max(r.total_cycles
+                                       for r in solo_results)
+        assert bres.lane_cycles == tuple(r.total_cycles
+                                         for r in solo_results)
+
+    @pytest.mark.parametrize("batch", [1, 2, 8, 32])
+    def test_admm_batch_bitwise_vs_solo(self, batch):
+        probs = self._lane_problems("eqqp", 16, batch)
+        cust = customize_problem(probs[0], 8)
+        from repro.solver import OSQPSettings
+        self._assert_lanes_match_solo(probs, cust, OSQPSettings(), "admm",
+                                      RSQPAccelerator)
+
+    @pytest.mark.parametrize("family,size,batch",
+                             [("lasso", 10, 8), ("control", 4, 8)])
+    def test_admm_batch_bitwise_other_families(self, family, size, batch):
+        probs = self._lane_problems(family, size, batch)
+        cust = customize_problem(probs[0], 8)
+        from repro.solver import OSQPSettings
+        self._assert_lanes_match_solo(probs, cust, OSQPSettings(), "admm",
+                                      RSQPAccelerator)
+
+    @pytest.mark.parametrize("batch", [2, 8])
+    def test_pdqp_batch_bitwise_vs_solo(self, batch):
+        from repro.hw.pdqp import PDQPAccelerator
+        from repro.solver import OSQPSettings
+        from repro.solver.algorithms import get_algorithm
+        probs = self._lane_problems("control", 4, batch)
+        cust = customize_problem(probs[0], 8)
+        settings = get_algorithm("pdqp").coerce_settings(OSQPSettings())
+        self._assert_lanes_match_solo(probs, cust, settings, "pdqp",
+                                      PDQPAccelerator)
+
+
 class TestSpMVEngineDifferential:
     @settings(max_examples=20, deadline=None)
     @given(st.integers(0, 2**31 - 1), st.sampled_from([4, 8, 16]),

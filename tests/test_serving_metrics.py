@@ -147,6 +147,36 @@ class TestPrometheusRendering:
         assert "latency_seconds_count 4\n" in text
         assert text.endswith("\n")
 
+    def test_labeled_counters_share_one_type_line(self):
+        reg = MetricsRegistry()
+        reg.counter("flushes_total", labels={"reason": "linger"}).inc(2)
+        reg.counter("flushes_total", labels={"reason": "full"}).inc(7)
+        text = reg.render_prometheus()
+        assert text.count("# TYPE flushes_total counter") == 1
+        # Series sort by sample name: full before linger.
+        assert text.index('reason="full"') < text.index('reason="linger"')
+        assert 'flushes_total{reason="full"} 7\n' in text
+        assert 'flushes_total{reason="linger"} 2\n' in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("odd_total",
+                    labels={"k": 'a"b\\c\nd'}).inc()
+        text = reg.render_prometheus()
+        assert 'odd_total{k="a\\"b\\\\c\\nd"} 1\n' in text
+        # The rendered line stays single-line despite the raw newline.
+        for line in text.strip().splitlines():
+            assert "\n" not in line
+
+    def test_label_key_order_is_canonical(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("multi_total", labels={"b": "2", "a": "1"})
+        c2 = reg.counter("multi_total", labels={"a": "1", "b": "2"})
+        assert c1 is c2           # lookup order never forks a series
+        c1.inc(3)
+        text = reg.render_prometheus()
+        assert 'multi_total{a="1",b="2"} 3\n' in text
+
     def test_empty_histogram_still_exposes_count(self):
         reg = MetricsRegistry()
         reg.histogram("idle")
