@@ -3,10 +3,13 @@
 Data assimilation (least-squares/lasso/ridge) is one of the paper's six
 benchmark domains. Sweeping the regularization weight lambda changes
 only the linear cost q — the matrices (and thus the sparsity structure
-the customized accelerator was built for) are untouched — so every
-point on the path reuses the architecture the first solve built. The
-sweep warm-starts each solve from the previous solution and prints the
-measured amortization at the end.
+the customized accelerator was built for) are untouched — which is the
+ideal workload for a persistent :class:`repro.serving.SolverSession`:
+the architecture is built once when the session opens, and every point
+on the path is a ``session.update(q=...)`` + ``session.resolve()`` on
+the resident accelerator. Each solve warm-starts the primal from the
+previous solution and the per-point latency is printed next to the
+path; the measured amortization follows at the end.
 
 Run:  python examples/lasso_path.py
 """
@@ -32,30 +35,34 @@ def main():
 
     print(f"lasso: {n} features, {m} samples, nnz={base.nnz}")
     print(f"{'lambda':>10s} {'nonzeros':>9s} {'obj':>12s} {'iters':>6s} "
-          f"{'arch':>6s}")
+          f"{'ms':>7s}")
     prev = None
     with SolverService(settings=settings, workers=1,
                        mode="serial") as service:
-        for lam in lambdas:
-            q = base.q.copy()
-            q[n + m:] = lam
-            problem = type(base)(P=base.P, q=q, A=base.A, l=base.l,
-                                 u=base.u, name=base.name)
-            # Warm-start the primal only: the duals rescale with lambda,
-            # and a stale y misleads the card's host-driven rho adaptation.
-            warm = (prev.x, None) if prev is not None else None
-            result = service.solve(problem, warm_start=warm)
-            assert result.converged, f"lambda={lam} did not converge"
-            coef = result.x[:n]
-            support = int(np.sum(np.abs(coef) > 1e-3))
-            obj = problem.objective(result.x)
-            tier = "reuse" if result.record.cache_hit else "build"
-            print(f"{lam:10.4f} {support:9d} {obj:12.5f} "
-                  f"{result.record.admm_iterations:6d} {tier:>6s}")
-            prev = result
+        # carry_state=False: each lambda is a different QP, not a
+        # drifted one, so start every point from the cold penalty.
+        with service.open_session(base,
+                                  carry_state=False) as session:
+            for lam in lambdas:
+                q = base.q.copy()
+                q[n + m:] = lam
+                session.update(q=q)
+                # Warm-start the primal only: the duals rescale with
+                # lambda, and a stale y misleads the card's
+                # host-driven rho adaptation.
+                warm = (prev.x, None) if prev is not None else None
+                result = session.resolve(warm_start=warm)
+                assert result.converged, f"lambda={lam} did not converge"
+                coef = result.x[:n]
+                support = int(np.sum(np.abs(coef) > 1e-3))
+                obj = session.problem.objective(result.x)
+                print(f"{lam:10.4f} {support:9d} {obj:12.5f} "
+                      f"{result.record.admm_iterations:6d} "
+                      f"{result.record.solve_seconds * 1e3:7.2f}")
+                prev = result
 
         print("\nsupport grows as lambda shrinks - the classic lasso path.")
-        print("\nOne architecture served the whole path:")
+        print("\nOne resident session served the whole path:")
         print(service.amortization_report())
 
 

@@ -5,13 +5,16 @@ sequence of QP subproblems — among the domains that motivate a fast,
 reusable QP solver: every SQP iteration solves a QP with the *same
 sparsity structure* (the Lagrangian Hessian and constraint Jacobian
 patterns are fixed), so one customized accelerator serves the entire
-nonlinear solve. Here the subproblems go through
-:class:`repro.serving.SolverService`: the service fingerprints each
-QP's structure and reuses the cached architecture, so only the first
-subproblem pays the customization flow — the measured amortization is
-printed at the end. (The very first linearization at ``x1 = 0`` has a
-structurally different Jacobian — a zero entry — so the run builds two
-architectures, which the fingerprint keeps honestly apart.)
+nonlinear solve. Here the subproblems run on a persistent
+:class:`repro.serving.SolverSession`: the first linearization opens
+the session and pays the customization flow once, and every later SQP
+iteration pushes the fresh Hessian/gradient/Jacobian values onto the
+resident accelerator with ``session.update(q=..., l=..., u=...,
+P_data=..., A_data=...)`` — same pattern, new numbers — then
+``session.resolve()``. The matrices are stored with every entry
+explicit (see ``dense_csr``) so a coincidentally-zero Jacobian entry
+at some iterate cannot change the structure the session is bound to.
+The measured amortization is printed at the end.
 
 Problem: a smooth constrained program
 
@@ -64,8 +67,25 @@ def jacobian(x):
     return np.array([[2.0 * x[0], 2.0 * x[1]], [1.0, 1.0]])
 
 
-def sqp_step_qp(x, trust=0.5, damping=1e-4):
-    """QP subproblem: min 1/2 d'Hd + grad'd s.t. bounds on g + J d, |d|<=trust."""
+def dense_csr(mat):
+    """CSR with every entry explicit (zeros included).
+
+    The session is bound to one sparsity pattern; storing the full
+    dense pattern keeps that pattern independent of the linearization
+    point, so ``update(P_data=..., A_data=...)`` is always legal.
+    """
+    mat = np.ascontiguousarray(mat, dtype=np.float64)
+    m, n = mat.shape
+    return CSRMatrix((m, n), mat.ravel(),
+                     np.tile(np.arange(n, dtype=np.int64), m),
+                     np.arange(0, m * n + 1, n, dtype=np.int64))
+
+
+def sqp_step_data(x, trust=0.5, damping=1e-4):
+    """Numeric data of the QP subproblem at linearization point x.
+
+    min 1/2 d'Hd + grad'd  s.t. bounds on g + J d, |d| <= trust.
+    """
     h = hessian(x)
     # Damp to positive definiteness (Levenberg style).
     eigs = np.linalg.eigvalsh(h)
@@ -76,34 +96,40 @@ def sqp_step_qp(x, trust=0.5, damping=1e-4):
     a = np.vstack([jac, np.eye(2)])
     lo = np.concatenate([l - g, -trust * np.ones(2)])
     hi = np.concatenate([u - g, trust * np.ones(2)])
-    return QProblem(P=CSRMatrix.from_dense((h + h.T) / 2),
-                    q=gradient(x), A=CSRMatrix.from_dense(a),
-                    l=lo, u=hi, name="sqp_subproblem")
+    return (h + h.T) / 2, gradient(x), a, lo, hi
 
 
 def main():
-    x = np.array([0.5, 0.0])  # feasible start (a bad start converges to the
-    # other KKT vertex of the linearization - see the docstring note)
+    x = np.array([0.5, 0.0])  # feasible start (a bad start converges to
+    # the other KKT vertex of the linearization)
     settings = OSQPSettings(eps_abs=1e-7, eps_rel=1e-7, max_iter=20000)
     y_prev = None
     print(f"{'iter':>4s} {'f(x)':>12s} {'|step|':>10s} {'x':>22s} "
-          f"{'arch':>6s}")
+          f"{'ms':>7s}")
     with SolverService(settings=settings, workers=1,
                        mode="serial") as service:
-        for it in range(40):
-            qp = sqp_step_qp(x)
-            warm = (None, y_prev) if y_prev is not None else None
-            res = service.solve(qp, warm_start=warm)
-            assert res.converged, f"SQP subproblem {it} did not converge"
-            step = res.x
-            y_prev = res.y
-            x = x + step
-            tier = "reuse" if res.record.cache_hit else "build"
-            print(f"{it:4d} {objective(x):12.6f} "
-                  f"{np.linalg.norm(step):10.2e} "
-                  f"{np.round(x, 5)!s:>22s} {tier:>6s}")
-            if np.linalg.norm(step) < 1e-7:
-                break
+        p0, q0, a0, lo0, hi0 = sqp_step_data(x)
+        qp = QProblem(P=dense_csr(p0), q=q0, A=dense_csr(a0),
+                      l=lo0, u=hi0, name="sqp_subproblem")
+        with service.open_session(qp) as session:
+            for it in range(40):
+                if it:
+                    p, q, a, lo, hi = sqp_step_data(x)
+                    session.update(q=q, l=lo, u=hi, P_data=p.ravel(),
+                                   A_data=a.ravel())
+                warm = (None, y_prev) if y_prev is not None else None
+                res = session.resolve(warm_start=warm)
+                assert res.converged, \
+                    f"SQP subproblem {it} did not converge"
+                step = res.x
+                y_prev = res.y
+                x = x + step
+                print(f"{it:4d} {objective(x):12.6f} "
+                      f"{np.linalg.norm(step):10.2e} "
+                      f"{np.round(x, 5)!s:>22s} "
+                      f"{res.record.solve_seconds * 1e3:7.2f}")
+                if np.linalg.norm(step) < 1e-7:
+                    break
 
         g, l, u = constraints(x)
         print(f"\nfinal x = {np.round(x, 6)}, f = {objective(x):.8f}")
@@ -114,7 +140,7 @@ def main():
         # so SQP should find it.
         assert np.allclose(x, [1.0, 1.0], atol=1e-3)
         print("converged to the constrained optimum.")
-        print("\nArchitecture reuse across the SQP iterations:")
+        print("\nOne resident session served every SQP iteration:")
         print(service.amortization_report())
 
 

@@ -17,7 +17,7 @@ import numpy as np
 from ..customization import (ProblemCustomization, baseline_customization,
                              customize_problem)
 from ..exceptions import DeadlineExceededError, FaultDetectedError
-from ..qp import QProblem, ruiz_equilibrate
+from ..qp import QProblem, RuizPlan, ruiz_equilibrate
 from ..solver import OSQPSettings
 from ..solver.osqp import OSQPSolver
 from .compiled import CompiledExecutor, validate_backend
@@ -183,6 +183,7 @@ class RSQPAccelerator:
         self.problem = problem
         self.settings = settings if settings is not None else OSQPSettings()
         self._precomputed_scaling = scaling
+        self._ruiz_plan = None
         if customization is None:
             customization = customize_problem(problem, c)
         self.customization = customization
@@ -213,13 +214,22 @@ class RSQPAccelerator:
         self.compiled: CompiledProgram = compiled
         if verify:
             self._verify_compiled(compiled)
+        self._build_programs()
         self._download()
 
     # ------------------------------------------------------------------
     def _host_setup(self) -> None:
         """Scale the problem and pick rho exactly like the software solver."""
-        helper = OSQPSolver(self.problem, self.settings,
-                            scaling=self._precomputed_scaling)
+        scaling = self._precomputed_scaling
+        if scaling is None:
+            # The equilibration plan depends only on the bound sparsity
+            # pattern: compute it once, reuse it on every numeric
+            # refresh of this structure.
+            if self._ruiz_plan is None:
+                self._ruiz_plan = RuizPlan.for_problem(self.problem)
+            scaling = ruiz_equilibrate(self.problem, self.settings.scaling,
+                                       plan=self._ruiz_plan)
+        helper = OSQPSolver(self.problem, self.settings, scaling=scaling)
         self.scaling = helper.scaling
         self.work = helper.work
         self.rho = helper.rho
@@ -247,6 +257,91 @@ class RSQPAccelerator:
         if self._executor is not None:
             return self._executor.run(program)
         return self.machine.run(program)
+
+    def _build_programs(self) -> None:
+        """Construct every host-issued Program once, at bind time.
+
+        Stability matters beyond allocation: the compiled executor
+        caches lowered blocks and whole-loop fusions by instruction-
+        list identity, so stable Program/Loop objects let every
+        segment of every re-solve hit the same bound nodes (and keep
+        the executor's cache bounded across a long-lived session).
+        """
+        from .isa import DataTransfer, Loop, Program
+
+        sections = self.compiled._sections
+        self._refresh_program = Program(
+            [DataTransfer("load", name)
+             for name in ("rho", "rho_inv", "minv")])
+        self._reload_program = Program(
+            [DataTransfer("load", name)
+             for name in ("q", "l", "u", "rho", "rho_inv", "minv")])
+        self._prologue_program = Program(list(sections["prologue"]))
+        self._epilogue_program = Program(list(sections["epilogue"]))
+        self._loop_body = sections["admm_body"]
+        self._loop_name = ADMM_LOOP
+        self._segment_programs: dict = {}
+
+    def _segment_program(self, segment: int):
+        """The Program wrapping the iteration body at this trip count."""
+        from .isa import Loop, Program
+
+        program = self._segment_programs.get(segment)
+        if program is None:
+            program = Program([Loop(body=self._loop_body,
+                                    max_iter=segment,
+                                    name=self._loop_name)])
+            self._segment_programs[segment] = program
+        return program
+
+    # ------------------------------------------------------------------
+    def _check_same_structure(self, problem: QProblem) -> None:
+        """Reject numeric updates that change the bound structure."""
+        old = self.problem
+        if problem.n != old.n or problem.m != old.m:
+            raise ValueError(
+                f"session is bound to n={old.n}, m={old.m}; update has "
+                f"n={problem.n}, m={problem.m}")
+        for name in ("P", "A"):
+            new_mat = getattr(problem, name)
+            old_mat = getattr(old, name)
+            if (new_mat.indptr.shape != old_mat.indptr.shape
+                    or new_mat.indices.shape != old_mat.indices.shape
+                    or not np.array_equal(new_mat.indptr, old_mat.indptr)
+                    or not np.array_equal(new_mat.indices,
+                                          old_mat.indices)):
+                raise ValueError(
+                    f"sparsity pattern of {name} changed; a bound "
+                    "accelerator only accepts same-structure numeric "
+                    "updates")
+
+    def refresh_numeric(self, problem: QProblem, *,
+                        carry_rho: bool = False) -> None:
+        """Install new numeric data for the *same* structure, in place.
+
+        Re-runs the host setup (Ruiz equilibration depends on ``q``, so
+        the scaled matrix values change even for a pure-vector update),
+        rewrites the machine's matrix value banks in place — pattern,
+        schedules, compiled programs, verification and every bound
+        C pointer table stay untouched — and re-downloads the HBM
+        vectors and scalar registers. After this call the machine is
+        bit-identical to a freshly constructed accelerator for
+        ``problem``, except ``carry_rho=True`` keeps the adapted step
+        size from previous solves instead of the cold-start estimate.
+        """
+        self._check_same_structure(problem)
+        prev_rho = self.rho
+        self.problem = problem
+        self._precomputed_scaling = None
+        self._host_setup()
+        if carry_rho:
+            self.rho = prev_rho
+            self.rho_vec = rho_vector_for(self.work, prev_rho)
+        machine = self.machine
+        machine.matrices["P"].update_values(self.work.P.data)
+        machine.matrices["A"].update_values(self.work.A.data)
+        machine.matrices["At"].update_values(self._work_at.data)
+        self._download()
 
     def _check_compiled(self, compiled: CompiledProgram) -> None:
         """Validate an injected program against this problem + width."""
@@ -417,17 +512,8 @@ class RSQPAccelerator:
         deadline is checked cooperatively between segments and raises
         :class:`~repro.exceptions.DeadlineExceededError`.
         """
-        from .isa import DataTransfer, Loop, Program
-
-        sections = self.compiled._sections
         interval = max(self.settings.adaptive_rho_interval, 1)
         machine = self.machine
-        self._refresh_program = Program(
-            [DataTransfer("load", name)
-             for name in ("rho", "rho_inv", "minv")])
-        self._reload_program = Program(
-            [DataTransfer("load", name)
-             for name in ("q", "l", "u", "rho", "rho_inv", "minv")])
         self.rho_updates = 0
         guard = (self.fault_injector is not None
                  or self.recovery is not None)
@@ -443,7 +529,7 @@ class RSQPAccelerator:
             return (tuple(self.fault_injector.events)
                     if self.fault_injector is not None else ())
 
-        self._run_program(Program(list(sections["prologue"])))
+        self._run_program(self._prologue_program)
         checkpoint = self._snapshot_state() if guard else None
         prev_worst = np.inf
         remaining = self.settings.max_iter
@@ -456,9 +542,7 @@ class RSQPAccelerator:
                     f"deadline with {remaining} iterations to go")
             segment = min(interval, remaining)
             before = machine.stats.loop_iterations.get(ADMM_LOOP, 0)
-            self._run_program(Program([Loop(body=sections["admm_body"],
-                                            max_iter=segment,
-                                            name=ADMM_LOOP)]))
+            self._run_program(self._segment_program(segment))
             executed = machine.stats.loop_iterations.get(ADMM_LOOP,
                                                          0) - before
             if guard and self._state_corrupted(prev_worst, recovery):
@@ -483,7 +567,7 @@ class RSQPAccelerator:
                 worst = machine.scalars.get("worst")
                 if worst is not None and np.isfinite(worst):
                     prev_worst = worst
-        self._run_program(Program(list(sections["epilogue"])))
+        self._run_program(self._epilogue_program)
 
         stats = machine.stats
         x = self.scaling.unscale_x(machine.read_hbm("x"))

@@ -38,7 +38,7 @@ import shutil
 import tempfile
 
 __all__ = ["available", "engine", "compile_module", "CSR_MATVEC_BODY",
-           "DOT_BODY", "cache_dir"]
+           "DOT_BODY", "CODEGEN_VERSION", "cache_dir"]
 
 #: Canonical CSR row-sum loop. Chunk codegen embeds this exact shape so
 #: an SpMV fused into a chunk produces the same bits as the engine
@@ -133,6 +133,19 @@ void k_dot_batch(const double *a, const double *b, long n, long batch,
 
 _COMPILE_ARGS = ["-O2", "-ffp-contract=off"]
 
+#: Bump when generated-code *semantics* change without the generated
+#: source text itself changing (codegen conventions, pointer-table
+#: ABI, charge accounting contracts). Part of every module's cache key.
+CODEGEN_VERSION = "1"
+
+#: Fingerprint of the kernel layer a generated module may embed or
+#: call into. Keying the disk cache on this (not just the generated
+#: chunk source) means a cached ``.so`` can never be reused after
+#: ``k_csr_matvec`` / ``k_dot`` or the codegen contract changes — the
+#: stale binary would silently break the bit-exactness guarantee.
+_KERNEL_VERSION = hashlib.sha256("\x00".join(
+    [CODEGEN_VERSION, _ENGINE_CDEF, _ENGINE_SOURCE]).encode()).hexdigest()
+
 #: The engine library compiles at -O3 (plus the host ISA when the
 #: toolchain accepts -march=native) so the batched kernels' lane loops
 #: (independent per iteration, `restrict`-qualified) vectorize across
@@ -157,7 +170,8 @@ def _jit_enabled() -> bool:
     return os.environ.get("REPRO_JIT", "1") != "0"
 
 
-def compile_module(cdef: str, source: str, tag: str = "k", args=None):
+def compile_module(cdef: str, source: str, tag: str = "k", args=None,
+                   libraries=()):
     """Compile (or load from cache) a cffi module for ``source``.
 
     Returns the imported module (``.lib`` / ``.ffi`` attributes) or
@@ -165,8 +179,11 @@ def compile_module(cdef: str, source: str, tag: str = "k", args=None):
     Modules are stateless by contract — chunk functions receive their
     pointer tables as arguments — so one compiled module is safely
     shared by every executor (and thread) whose generated source
-    matches. ``args`` overrides the compiler flags (they key the cache
-    alongside the source).
+    matches. ``args`` overrides the compiler flags; ``libraries`` adds
+    link libraries (e.g. ``("m",)`` for libm). The cache key covers the
+    source, the flags, the libraries, and the kernel/codegen version
+    fingerprint, so a stale ``.so`` is never reused across kernel-body
+    or codegen-contract changes.
     """
     if not _jit_enabled():
         return None
@@ -175,8 +192,10 @@ def compile_module(cdef: str, source: str, tag: str = "k", args=None):
     except ImportError:
         return None
     compile_args = list(_COMPILE_ARGS if args is None else args)
-    digest = hashlib.sha256(
-        ("\x00".join([cdef, source] + compile_args)).encode()).hexdigest()
+    libs = list(libraries)
+    digest = hashlib.sha256(("\x00".join(
+        [_KERNEL_VERSION, cdef, source] + compile_args + libs
+    )).encode()).hexdigest()
     name = f"_repro_{tag}_{digest[:16]}"
     root = cache_dir()
     final = os.path.join(root, name)
@@ -189,7 +208,8 @@ def compile_module(cdef: str, source: str, tag: str = "k", args=None):
         try:
             ffi = cffi.FFI()
             ffi.cdef(cdef)
-            ffi.set_source(name, source, extra_compile_args=compile_args)
+            ffi.set_source(name, source, extra_compile_args=compile_args,
+                           libraries=libs)
             ffi.compile(tmpdir=build, verbose=False)
             try:
                 os.rename(build, final)

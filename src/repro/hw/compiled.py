@@ -43,6 +43,14 @@ What lowering precomputes:
   register file after the call. Chunk sources depend only on the
   instruction pattern, so the hash-addressed disk cache compiles each
   program shape once, ever.
+* **Whole-loop fusion** — one tier above chunks: an entire
+  :class:`~repro.hw.isa.Loop` body (vector ops, SpMV, scalar
+  arithmetic, Control exit tests, nested loops, cycle accounting)
+  compiles into a single C function entered once per loop execution,
+  so the hot ADMM/PDHG iteration pays zero Python dispatch. Built only
+  after the body's segments have bound (one node-path run), bypassed
+  whenever a fault injector is armed, and falls back to the node path
+  on any unsupported body — same bits either way.
 
 The interpreter remains the differential-testing oracle: on error-free
 runs the compiled backend produces bit-identical machine state and
@@ -244,16 +252,35 @@ class _LoopNode:
     """A Loop wrapper; the body's lowered nodes are shared via the
     executor cache, while ``max_iter``/``name`` are read from this
     node's own Loop object (the accelerator re-wraps the same body
-    list in fresh Loop objects per adaptive-rho segment)."""
+    list in fresh Loop objects per adaptive-rho segment).
 
-    __slots__ = ("_loop", "_nodes", "_stats")
+    Once the body's segments are all bound (i.e. after the first full
+    execution), the executor attempts *whole-loop fusion*: one
+    generated C function covering the entire loop — vector ops, SpMV,
+    scalar arithmetic, Control tests, nested loops and cycle
+    accounting — entered once per :meth:`run`. Fusion is bypassed
+    whenever a fault injector is armed (hooks fire on the node path)
+    and falls back permanently on any unsupported body."""
+
+    __slots__ = ("_executor", "_loop", "_nodes", "_stats", "_fused")
 
     def __init__(self, executor: "CompiledExecutor", loop: Loop):
+        self._executor = executor
         self._loop = loop
         self._nodes = executor._lower_block(loop.body)
         self._stats = executor.machine.stats
+        self._fused = None
 
     def run(self) -> None:
+        executor = self._executor
+        if executor.jit and executor.machine.injector is None:
+            fused = self._fused
+            if fused is None:
+                fused = executor._fuse_loop(self._loop.body, self._nodes)
+                if fused is not None:
+                    self._fused = fused
+            if fused and fused.run(self._loop):
+                return
         loop = self._loop
         nodes = self._nodes
         iterations = 0
@@ -267,6 +294,18 @@ class _LoopNode:
                 break
         counts = self._stats.loop_iterations
         counts[loop.name] = counts.get(loop.name, 0) + iterations
+
+
+def _nodes_bound(nodes: list) -> bool:
+    """True when every segment in ``nodes`` (recursively) has bound."""
+    for node in nodes:
+        if isinstance(node, _Segment):
+            if node._fns is None:
+                return False
+        elif isinstance(node, _LoopNode):
+            if not _nodes_bound(node._nodes):
+                return False
+    return True
 
 
 # ---------------------------------------------------------------------------
@@ -287,6 +326,7 @@ class CompiledExecutor:
     def __init__(self, machine: Machine, jit: bool | None = None):
         self.machine = machine
         self._blocks: dict = {}
+        self._loop_fused: dict = {}
         self._dirty: list = []
         if jit is None:
             self.jit = cjit.available()
@@ -335,6 +375,31 @@ class CompiledExecutor:
             nodes.append(_Segment(self, current))
         self._blocks[key] = (items, nodes)
         return nodes
+
+    def _fuse_loop(self, body: list, nodes: list):
+        """Whole-loop fusion for ``body`` (cached by list identity).
+
+        Returns a :class:`_FusedLoop`, ``False`` when the body is
+        permanently unfusable (unsupported instruction, nested
+        zero-trip loop, compile failure — the node path stays), or
+        ``None`` when the body's segments have not all bound yet (the
+        caller retries on a later run; only genuine build verdicts are
+        cached).
+        """
+        key = id(body)
+        cached = self._loop_fused.get(key)
+        if cached is not None and cached[0] is body:
+            return cached[1]
+        if not _nodes_bound(nodes):
+            return None
+        try:
+            fused = _LoopBuilder(self).build(body)
+        except Exception:
+            fused = None
+        if fused is None:
+            fused = False
+        self._loop_fused[key] = (body, fused)
+        return fused
 
     # -- operand binding -------------------------------------------------
     def _resident(self, name: str) -> np.ndarray:
@@ -971,3 +1036,379 @@ class _ChunkBuilder:
             for k, name in outs:
                 scalars[name] = float(o_np[k])
         return fn
+
+
+# ---------------------------------------------------------------------------
+# Whole-loop C fusion: one generated C function per (loop body, schedule),
+# covering loop control, vector ops, SpMV, scalar arithmetic, Control exit
+# tests, nested loops and cycle accounting. The host enters C once per
+# Loop node execution — per-iteration Python dispatch drops to zero.
+
+_LOOP_CDEF = """
+long loop_run(double **B, long **IA, const long *L, double *S,
+              unsigned char *W, long *CT, long *IT, long max_iter);
+"""
+
+_MISSING = object()
+
+
+class _FusedLoop:
+    """A compiled whole-loop body plus its bound operand tables.
+
+    Call protocol (``run``): prefill the ``S`` scalar table from the
+    register file (a missing register means the machine is in a state
+    the fused code cannot reproduce — return False so the node path,
+    which raises the interpreter's exact error, runs instead), zero
+    the write-flag/charge/trip counters, enter C once, then apply
+    cycle accounting from the ``CT`` block counters, loop trip counts
+    from ``IT``, and write back every scalar register the C code
+    flagged in ``W``.
+
+    Accounting matches the node path exactly on error-free runs: each
+    ``CT`` slot corresponds to one basic block (or Control test) with
+    a precomputed (cycles, by_class, instructions) aggregate, and
+    ``IT[0]``/nested slots reproduce the interpreter's
+    ``loop_iterations`` updates (nested-loop keys only appear when the
+    nested loop was actually entered). A trapped run (division by
+    zero, negative sqrt) raises the interpreter's exception type;
+    partial stats on failing runs may differ, as documented for the
+    compiled backend generally.
+    """
+
+    __slots__ = ("_run", "_scalars", "_stats", "_s", "_w", "_ct", "_it",
+                 "_prefill", "_writeback", "_charges", "_loops",
+                 "_pB", "_pI", "_pL", "_pS", "_pW", "_pCT", "_pIT",
+                 "_hold")
+
+    def __init__(self, run, machine: Machine, tables: dict):
+        self._run = run
+        self._scalars = machine.scalars
+        self._stats = machine.stats
+        self._s = tables["s"]
+        self._w = tables["w"]
+        self._ct = tables["ct"]
+        self._it = tables["it"]
+        self._prefill = tables["prefill"]
+        self._writeback = tables["writeback"]
+        self._charges = tables["charges"]
+        self._loops = tables["loops"]
+        self._pB = tables["pB"]
+        self._pI = tables["pI"]
+        self._pL = tables["pL"]
+        self._pS = tables["pS"]
+        self._pW = tables["pW"]
+        self._pCT = tables["pCT"]
+        self._pIT = tables["pIT"]
+        self._hold = tables["hold"]
+
+    def run(self, loop: Loop) -> bool:
+        scalars = self._scalars
+        s = self._s
+        for name, slot in self._prefill:
+            value = scalars.get(name, _MISSING)
+            if value is _MISSING:
+                return False
+            s[slot] = value
+        self._w[:] = 0
+        ct = self._ct
+        ct[:] = 0
+        it = self._it
+        it[:] = 0
+        rc = self._run(self._pB, self._pI, self._pL, self._pS, self._pW,
+                       self._pCT, self._pIT, loop.max_iter)
+        total = 0
+        instrs = 0
+        by_class: dict = {}
+        for slot, (cycles, bc, count) in enumerate(self._charges):
+            n = int(ct[slot])
+            if not n:
+                continue
+            total += n * cycles
+            instrs += n * count
+            for kind, kind_cycles in bc.items():
+                by_class[kind] = by_class.get(kind, 0) + n * kind_cycles
+        if instrs:
+            self._stats.charge_block(total, by_class, instrs)
+        counts = self._stats.loop_iterations
+        counts[loop.name] = counts.get(loop.name, 0) + int(it[0])
+        for slot, name in self._loops:
+            n = int(it[slot])
+            if n:
+                counts[name] = counts.get(name, 0) + n
+        w = self._w
+        for name, slot in self._writeback:
+            if w[slot]:
+                scalars[name] = float(s[slot])
+        if rc == 1:
+            raise SimulationError("scalar division by zero")
+        if rc == 2:
+            raise SimulationError("sqrt of a negative scalar")
+        return True
+
+
+class _LoopBuilder(_ChunkBuilder):
+    """Generate one C function for an entire Loop body.
+
+    Extends the chunk builder's operand tables (``B``/``IA``/``L``)
+    with a read-write scalar table: every distinct scalar *register*
+    gets one ``S`` slot (written in C with its ``W`` flag set; read
+    in C after an in-loop write sees the fresh value, exactly like
+    the interpreter's register file), and every literal occurrence
+    gets its own ``S`` slot so the source stays pattern-canonical.
+    Per-block charge counters (``CT``) and per-loop trip counters
+    (``IT``) make the cycle accounting exact without any host work
+    inside the loop.
+
+    Bit-exactness carries over from the chunk layer: vector
+    expressions are the closure fold table verbatim, SpMV/DOT embed
+    the engine kernel bodies, CLIP's ternary chain evaluates
+    ``np.clip`` exactly (NaN and signed-zero included), and scalar
+    C arithmetic on IEEE doubles (`+ - * /`, ``sqrt``, the ``MAX``
+    ternary) reproduces the Python float kernels bit for bit, with
+    ``-ffp-contract=off`` ruling out FMA contraction.
+    """
+
+    def __init__(self, executor: CompiledExecutor):
+        super().__init__(executor)
+        self.s_entries: list = []     # ("reg", name) | ("lit", value)
+        self._reg_slots: dict = {}
+        self.reg_reads: set = set()
+        self.reg_writes: set = set()
+        self.code: list = []
+        self.charges: list = []       # per CT slot: (cycles, by_class, n)
+        self.loops: list = []         # (IT slot, name) for nested loops
+
+    # -- scalar table (replaces the chunk S/O split) ---------------------
+    def _reg_slot(self, name: str) -> int:
+        slot = self._reg_slots.get(name)
+        if slot is None:
+            slot = len(self.s_entries)
+            self.s_entries.append(("reg", name))
+            self._reg_slots[name] = slot
+        return slot
+
+    def scalar(self, ref) -> str:
+        if isinstance(ref, str):
+            self.reg_reads.add(ref)
+            return f"S[{self._reg_slot(ref)}]"
+        slot = len(self.s_entries)
+        self.s_entries.append(("lit", float(ref)))
+        return f"S[{slot}]"
+
+    # -- emission --------------------------------------------------------
+    def build(self, body: list):
+        self.code.append(
+            "    for (long it0 = 0; it0 < max_iter; ++it0) {\n"
+            "    IT[0]++;\n")
+        self._emit_body(body, "loop_exit_0")
+        self.code.append("    }\n"
+                         "    loop_exit_0: ;\n")
+        return self._finish_loop()
+
+    def _emit_body(self, items: list, exit_label: str) -> None:
+        run: list = []
+        for item in items:
+            if isinstance(item, (Loop, Control)):
+                self._flush_run(run)
+                run = []
+                if isinstance(item, Control):
+                    self._emit_control(item, exit_label)
+                else:
+                    self._emit_loop(item)
+            else:
+                run.append(item)
+        self._flush_run(run)
+
+    def _flush_run(self, run: list) -> None:
+        if not run:
+            return
+        machine = self.machine
+        slot = len(self.charges)
+        cycles = 0
+        by_class: dict = {}
+        for instr in run:
+            kind = type(instr).__name__
+            c = instr.cycles(machine)
+            cycles += c
+            by_class[kind] = by_class.get(kind, 0) + c
+        self.charges.append((cycles, by_class, len(run)))
+        self.code.append(f"    CT[{slot}]++;\n")
+        for instr in run:
+            if isinstance(instr, ScalarOp):
+                self._emit_scalar(instr)
+            elif isinstance(instr, (VectorOp, VecDup, SpMV)):
+                before = len(self.blocks)
+                self.emit(instr)
+                self.code.extend(self.blocks[before:])
+                del self.blocks[before:]
+            else:
+                # DataTransfer (host/HBM traffic) and anything unknown
+                # stay on the node path.
+                raise SimulationError(
+                    f"instruction not loop-fusable: {instr!r}")
+
+    def _emit_control(self, instr: Control, exit_label: str) -> None:
+        slot = len(self.charges)
+        self.charges.append((1, {"Control": 1}, 1))
+        value = self.scalar(instr.reg)
+        threshold = self.scalar(instr.threshold_reg)
+        self.code.append(
+            f"    CT[{slot}]++;\n"
+            f"    if ({value} < {threshold}) goto {exit_label};\n")
+
+    def _emit_loop(self, loop: Loop) -> None:
+        if loop.max_iter < 1:
+            # a zero-trip nested loop must still create its
+            # loop_iterations key; the node path handles that.
+            raise SimulationError("nested loop with zero trip count")
+        it_slot = 1 + len(self.loops)
+        self.loops.append((it_slot, loop.name))
+        label = f"loop_exit_{it_slot}"
+        var = f"it{it_slot}"
+        self.code.append(
+            "    {\n"
+            f"    const long n_{var} = {self.length(loop.max_iter)};\n"
+            f"    for (long {var} = 0; {var} < n_{var}; ++{var}) {{\n"
+            f"    IT[{it_slot}]++;\n")
+        self._emit_body(loop.body, label)
+        self.code.append("    }\n"
+                         "    }\n"
+                         f"    {label}: ;\n")
+
+    def _emit_scalar(self, instr: ScalarOp) -> None:
+        if instr.op in BINARY_SCALAR_OPS and instr.src2 is None:
+            raise SimulationError(
+                f"binary scalar op {instr.op.value!r} has no src2 "
+                f"operand (dst={instr.dst!r})")
+        a = self.scalar(instr.src1)
+        b = self.scalar(instr.src2) if instr.src2 is not None else None
+        op = instr.op
+        guard = ""
+        if op is ScalarOpKind.ADD:
+            expr = f"{a} + {b}"
+        elif op is ScalarOpKind.SUB:
+            expr = f"{a} - {b}"
+        elif op is ScalarOpKind.MUL:
+            expr = f"{a} * {b}"
+        elif op is ScalarOpKind.DIV:
+            guard = f"    if ({b} == 0.0) return 1;\n"
+            expr = f"{a} / {b}"
+        elif op is ScalarOpKind.MAX:
+            # Python's max(a, b) returns b iff b > a — NaN and signed
+            # zeros included — which is exactly this ternary.
+            expr = f"({b} > {a}) ? {b} : {a}"
+        elif op is ScalarOpKind.SQRT:
+            guard = f"    if ({a} < 0.0) return 2;\n"
+            expr = f"sqrt({a})"
+        elif op is ScalarOpKind.MOV:
+            expr = a
+        else:  # pragma: no cover - enum is closed
+            raise SimulationError(f"unknown scalar op {op}")
+        dst = self._reg_slot(instr.dst)
+        self.reg_writes.add(instr.dst)
+        self.code.append(guard + f"    S[{dst}] = {expr}; W[{dst}] = 1;\n")
+
+    def _emit_vector(self, instr: VectorOp) -> None:
+        executor = self.executor
+        kind = instr.op
+        if kind is VectorOpKind.DOT:
+            a = executor._resident(instr.srcs[0])
+            b = executor._resident(instr.srcs[1])
+            if a.shape != b.shape:
+                raise SimulationError("dot operand shapes differ")
+            slot = self._reg_slot(instr.dst)
+            self.reg_writes.add(instr.dst)
+            body = "".join("    " + line + "\n" if line.strip() else line
+                           for line in cjit.DOT_BODY.splitlines())
+            self.blocks.append(
+                "    {\n"
+                f"        const double *a = {self.buf(a)};\n"
+                f"        const double *b = {self.buf(b)};\n"
+                f"        const long n = {self.length(a.size)};\n"
+                + body +
+                f"        S[{slot}] = acc;\n"
+                f"        W[{slot}] = 1;\n"
+                "    }\n")
+            return
+        if kind is VectorOpKind.CLIP:
+            a = executor._resident(instr.srcs[0])
+            lo = executor._resident(instr.srcs[1])
+            hi = executor._resident(instr.srcs[2])
+            if lo.shape != a.shape or hi.shape != a.shape:
+                raise SimulationError("clip operand shapes differ")
+            dst = executor._dst_buffer(self.machine.vb, instr.dst, a.size)
+            # max-then-min with NaN passthrough: evaluates np.clip
+            # exactly (verified over all special-value triples).
+            self.blocks.append(
+                "    {\n"
+                f"        const double *a = {self.buf(a)};\n"
+                f"        const double *lo = {self.buf(lo)};\n"
+                f"        const double *hi = {self.buf(hi)};\n"
+                f"        double *d = {self.buf(dst)};\n"
+                f"        const long n = {self.length(a.size)};\n"
+                "        for (long i = 0; i < n; ++i) {\n"
+                "            const double av = a[i];\n"
+                "            const double t = isnan(av) ? av"
+                " : (av > lo[i] ? av : lo[i]);\n"
+                "            d[i] = isnan(t) ? t : (t < hi[i] ? t : hi[i]);\n"
+                "        }\n"
+                "    }\n")
+            return
+        # The generated elementwise loops never broadcast; the closure
+        # path would (via numpy), so refuse non-conforming shapes here
+        # and let the node path raise or broadcast as it always did.
+        if len(instr.srcs) >= 2:
+            a = executor._resident(instr.srcs[0])
+            b = executor._resident(instr.srcs[1])
+            if a.shape != b.shape:
+                raise SimulationError("vector operand shapes differ")
+        super()._emit_vector(instr)
+
+    # -- finish ----------------------------------------------------------
+    def _finish_loop(self):
+        source = (
+            "#include <math.h>\n"
+            "\n"
+            "long loop_run(double **B, long **IA, const long *L, double *S,\n"
+            "              unsigned char *W, long *CT, long *IT,\n"
+            "              long max_iter)\n"
+            "{\n"
+            "    (void)B; (void)IA; (void)L; (void)W;\n"
+            + "".join(self.code) +
+            "    return 0;\n"
+            "}\n")
+        module = cjit.compile_module(_LOOP_CDEF, source, tag="loop",
+                                     libraries=("m",))
+        if module is None:
+            return None
+        ffi = module.ffi
+        n_s = max(1, len(self.s_entries))
+        s_np = np.zeros(n_s)
+        for slot, (kind, value) in enumerate(self.s_entries):
+            if kind == "lit":
+                s_np[slot] = value
+        w_np = np.zeros(n_s, dtype=np.uint8)
+        ct_np = np.zeros(max(1, len(self.charges)), dtype=np.int64)
+        it_np = np.zeros(1 + len(self.loops), dtype=np.int64)
+        tables = {
+            "s": s_np, "w": w_np, "ct": ct_np, "it": it_np,
+            "prefill": tuple((name, self._reg_slots[name])
+                             for name in sorted(self.reg_reads)),
+            "writeback": tuple((name, self._reg_slots[name])
+                               for name in sorted(self.reg_writes)),
+            "charges": tuple(self.charges),
+            "loops": tuple(self.loops),
+            "pB": ffi.new("double *[]",
+                          [ffi.cast("double *", arr.ctypes.data)
+                           for arr in self.bufs] or [ffi.NULL]),
+            "pI": ffi.new("long *[]",
+                          [ffi.cast("long *", arr.ctypes.data)
+                           for arr in self.iarrs] or [ffi.NULL]),
+            "pL": ffi.new("long[]", self.lens or [0]),
+            "pS": ffi.cast("double *", s_np.ctypes.data),
+            "pW": ffi.cast("unsigned char *", w_np.ctypes.data),
+            "pCT": ffi.cast("long *", ct_np.ctypes.data),
+            "pIT": ffi.cast("long *", it_np.ctypes.data),
+            "hold": (tuple(self.bufs), tuple(self.iarrs)),
+        }
+        return _FusedLoop(module.lib.loop_run, self.machine, tables)

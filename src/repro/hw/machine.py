@@ -106,6 +106,29 @@ class MatrixResource:
             np.add.at(dense, (rows, self.matrix.indices), self.matrix.data)
             self.dense = dense
 
+    def update_values(self, data) -> None:
+        """Install new numeric values for the *same* sparsity pattern.
+
+        Strictly in place: every value array keeps its identity (and
+        therefore its base address), so compiled closures, generated-C
+        pointer tables, and cffi casts bound to this resource stay
+        valid. The caller guarantees the pattern is unchanged — only
+        the value array's shape is checked here.
+        """
+        data = np.asarray(data, dtype=np.float64)
+        if data.shape != self.matrix.data.shape:
+            raise ShapeError(
+                f"matrix {self.name!r}: got {data.size} values for a "
+                f"pattern with {self.matrix.data.size} stored entries")
+        self.matrix.data[...] = data
+        if self._carrays is not None:
+            self._carrays[0][...] = data
+        if self.dense is not None:
+            m, _ = self.matrix.shape
+            self.dense[...] = 0.0
+            rows = np.repeat(np.arange(m), np.diff(self.matrix.indptr))
+            np.add.at(self.dense, (rows, self.matrix.indices), data)
+
     def apply(self, x: np.ndarray) -> np.ndarray:
         """``matrix @ x`` through the resource's chosen kernel."""
         m, n = self.matrix.shape
@@ -181,6 +204,19 @@ class ExecutionStats:
         for kind, kind_cycles in by_class.items():
             bc[kind] = bc.get(kind, 0) + kind_cycles
         self.instructions_executed += instructions
+
+    def reset(self) -> None:
+        """Zero the accounting in place.
+
+        Object identity is preserved deliberately: the compiled
+        backend's lowered nodes capture the stats object at bind time,
+        so a persistent session resets the counters between resolves
+        without invalidating any bound program.
+        """
+        self.total_cycles = 0
+        self.by_class.clear()
+        self.instructions_executed = 0
+        self.loop_iterations.clear()
 
 
 class _LoopExit(Exception):

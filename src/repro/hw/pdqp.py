@@ -20,7 +20,7 @@ import numpy as np
 
 from ..customization import ProblemCustomization, customize_problem
 from ..exceptions import DeadlineExceededError, FaultDetectedError
-from ..qp import QProblem
+from ..qp import QProblem, RuizPlan, ruiz_equilibrate
 from ..solver.pdqp import PDQPSolver
 from ..solver.settings import OMEGA_MAX, OMEGA_MIN, PDQPSettings
 from .accelerator import RSQPResult
@@ -106,6 +106,7 @@ class PDQPAccelerator:
         self.problem = problem
         self.settings = settings if settings is not None else PDQPSettings()
         self._precomputed_scaling = scaling
+        self._ruiz_plan = None
         if customization is None:
             customization = customize_problem(problem, c)
         self.customization = customization
@@ -127,13 +128,21 @@ class PDQPAccelerator:
         self.compiled: CompiledProgram = compiled
         if verify:
             self._verify_compiled(compiled)
+        self._build_programs()
         self._download()
 
     # ------------------------------------------------------------------
     def _host_setup(self) -> None:
         """Scale the problem and derive step sizes like the reference."""
-        helper = PDQPSolver(self.problem, self.settings,
-                            scaling=self._precomputed_scaling)
+        scaling = self._precomputed_scaling
+        if scaling is None:
+            # Pattern-only plan, cached across numeric refreshes of the
+            # bound structure (see RSQPAccelerator._host_setup).
+            if self._ruiz_plan is None:
+                self._ruiz_plan = RuizPlan.for_problem(self.problem)
+            scaling = ruiz_equilibrate(self.problem, self.settings.scaling,
+                                       plan=self._ruiz_plan)
+        helper = PDQPSolver(self.problem, self.settings, scaling=scaling)
         self.scaling = helper.scaling
         self.work = helper.work
         self._work_at = helper.at
@@ -162,6 +171,87 @@ class PDQPAccelerator:
         if self._executor is not None:
             return self._executor.run(program)
         return self.machine.run(program)
+
+    def _build_programs(self) -> None:
+        """Pre-build every Program object a solve dispatches.
+
+        Constructed once per accelerator (not per ``run``) so the
+        compiled backend's per-program caches — bound chunk functions
+        and the whole-loop fused body — persist across repeated solves
+        on the same bound structure, which is what makes session
+        re-solves pay zero re-lowering cost.
+        """
+        from .isa import DataTransfer, Loop, Program
+
+        sections = self.compiled._sections
+        self._store_program = Program(
+            [DataTransfer("store", name) for name in ("x", "y")])
+        self._anchor_program = Program(
+            [DataTransfer("load", name) for name in ("x0", "y0")])
+        self._reload_program = Program(
+            [DataTransfer("load", name) for name in ("q", "l", "u")])
+        self._prologue_program = Program(list(sections["prologue"]))
+        self._epilogue_program = Program(list(sections["epilogue"]))
+        self._loop_body = sections["pdhg_body"]
+        self._segment_programs: dict = {}
+
+    def _segment_program(self, segment: int):
+        from .isa import Loop, Program
+        program = self._segment_programs.get(segment)
+        if program is None:
+            program = Program([Loop(body=self._loop_body,
+                                    max_iter=segment, name=PDHG_LOOP)])
+            self._segment_programs[segment] = program
+        return program
+
+    def _check_same_structure(self, problem: QProblem) -> None:
+        """Reject numeric updates that change the bound structure."""
+        old = self.problem
+        if problem.n != old.n or problem.m != old.m:
+            raise ValueError(
+                f"session is bound to n={old.n}, m={old.m}; update has "
+                f"n={problem.n}, m={problem.m}")
+        for name in ("P", "A"):
+            new_mat = getattr(problem, name)
+            old_mat = getattr(old, name)
+            if (new_mat.indptr.shape != old_mat.indptr.shape
+                    or new_mat.indices.shape != old_mat.indices.shape
+                    or not np.array_equal(new_mat.indptr, old_mat.indptr)
+                    or not np.array_equal(new_mat.indices,
+                                          old_mat.indices)):
+                raise ValueError(
+                    f"sparsity pattern of {name} changed; a bound "
+                    "accelerator only accepts same-structure numeric "
+                    "updates")
+
+    def refresh_numeric(self, problem: QProblem, *,
+                        carry_omega: bool = False) -> None:
+        """Rebind the card to new numeric data on the same structure.
+
+        Re-runs host setup (Ruiz scaling and step sizes depend on the
+        values), rewrites the resident matrix values in place and
+        re-downloads the vector data — no re-customization, no
+        re-compilation, no re-verification, because none of those
+        depend on numeric values. With ``carry_omega`` the adapted
+        primal weight survives the refresh (step sizes are re-derived
+        from it against the new operator norms), which is the
+        warm-start-friendly default for streaming re-solves.
+        """
+        self._check_same_structure(problem)
+        prev_omega = self.omega
+        self.problem = problem
+        self._precomputed_scaling = None
+        self._host_setup()
+        if carry_omega:
+            self.omega = prev_omega
+            self.tau, self.sigma = pdqp_step_sizes(
+                self.omega, self.norm_a, self.lam_p,
+                self.settings.tau_scale)
+        machine = self.machine
+        machine.matrices["P"].update_values(self.work.P.data)
+        machine.matrices["A"].update_values(self.work.A.data)
+        machine.matrices["At"].update_values(self._work_at.data)
+        self._download()
 
     def _check_compiled(self, compiled: CompiledProgram) -> None:
         """Validate an injected program against this problem + width."""
@@ -328,17 +418,10 @@ class PDQPAccelerator:
         with the optional adaptive primal-weight rebalance on top.
         Fault guard and deadline semantics match the ADMM wrapper.
         """
-        from .isa import DataTransfer, Loop, Program
-
-        sections = self.compiled._sections
         interval = max(self.settings.restart_interval, 1)
         machine = self.machine
-        self._store_program = Program(
-            [DataTransfer("store", name) for name in ("x", "y")])
-        self._anchor_program = Program(
-            [DataTransfer("load", name) for name in ("x0", "y0")])
-        self._reload_program = Program(
-            [DataTransfer("load", name) for name in ("q", "l", "u")])
+        self.restarts = 0
+        self.omega_updates = 0
         guard = (self.fault_injector is not None
                  or self.recovery is not None)
         recovery = self.recovery
@@ -353,7 +436,7 @@ class PDQPAccelerator:
             return (tuple(self.fault_injector.events)
                     if self.fault_injector is not None else ())
 
-        self._run_program(Program(list(sections["prologue"])))
+        self._run_program(self._prologue_program)
         checkpoint = self._snapshot_state() if guard else None
         prev_worst = np.inf
         remaining = self.settings.max_iter
@@ -366,9 +449,7 @@ class PDQPAccelerator:
                     f"deadline with {remaining} iterations to go")
             segment = min(interval, remaining)
             before = machine.stats.loop_iterations.get(PDHG_LOOP, 0)
-            self._run_program(Program([Loop(body=sections["pdhg_body"],
-                                            max_iter=segment,
-                                            name=PDHG_LOOP)]))
+            self._run_program(self._segment_program(segment))
             executed = machine.stats.loop_iterations.get(PDHG_LOOP,
                                                          0) - before
             if guard and self._state_corrupted(prev_worst, recovery):
@@ -392,7 +473,7 @@ class PDQPAccelerator:
                 worst = machine.scalars.get("worst")
                 if worst is not None and np.isfinite(worst):
                     prev_worst = worst
-        self._run_program(Program(list(sections["epilogue"])))
+        self._run_program(self._epilogue_program)
 
         stats = machine.stats
         x = self.scaling.unscale_x(machine.read_hbm("x"))

@@ -2,11 +2,13 @@
 
 from .kkt import ReducedKKTOperator, assemble_kkt_upper
 from .problem import QProblem
-from .scaling import Scaling, ruiz_equilibrate, ruiz_equilibrate_batch
+from .scaling import (RuizPlan, Scaling, ruiz_equilibrate,
+                      ruiz_equilibrate_batch)
 
 __all__ = [
     "QProblem",
     "Scaling",
+    "RuizPlan",
     "ruiz_equilibrate",
     "ruiz_equilibrate_batch",
     "ReducedKKTOperator",

@@ -22,7 +22,7 @@ import numpy as np
 from ..sparse import CSRMatrix
 from .problem import QProblem
 
-__all__ = ["Scaling", "ruiz_equilibrate", "ruiz_equilibrate_batch"]
+__all__ = ["Scaling", "RuizPlan", "ruiz_equilibrate", "ruiz_equilibrate_batch"]
 
 #: Bounds on individual scaling factors (same spirit as OSQP's limits).
 _MIN_SCALE = 1e-4
@@ -67,79 +67,162 @@ class Scaling:
         return self.c * self.einv * y
 
 
-def _col_inf_norms_csr(mat: CSRMatrix) -> np.ndarray:
-    out = np.zeros(mat.shape[1])
-    if mat.nnz:
-        np.maximum.at(out, mat.indices, np.abs(mat.data))
-    return out
-
-
-def _row_inf_norms_csr(mat: CSRMatrix) -> np.ndarray:
-    out = np.zeros(mat.shape[0])
-    if mat.nnz:
-        row_of = np.repeat(np.arange(mat.shape[0]), np.diff(mat.indptr))
-        np.maximum.at(out, row_of, np.abs(mat.data))
-    return out
-
-
 def _limit(v: np.ndarray) -> np.ndarray:
     """Guard scaling factors: unit scale for empty rows/cols, clamp range."""
     v = np.where(v == 0.0, 1.0, v)
-    return np.clip(v, _MIN_SCALE, _MAX_SCALE)
+    return np.minimum(np.maximum(v, _MIN_SCALE), _MAX_SCALE)
 
 
-def ruiz_equilibrate(problem: QProblem, iterations: int = 10) -> Scaling:
+def _segment_plan(group_ids: np.ndarray, size: int):
+    """Precompute a grouping of entries by ``group_ids`` for segment maxima.
+
+    Returns ``(order, starts, present, size)``: ``order`` sorts entries
+    by group, ``starts`` marks each group's first sorted position, and
+    ``present`` lists the group ids that actually occur. The sparsity
+    pattern is loop invariant, so one plan serves every equilibration
+    iteration.
+    """
+    order = np.argsort(group_ids, kind="stable")
+    sorted_ids = group_ids[order]
+    if sorted_ids.size:
+        starts = np.flatnonzero(
+            np.r_[True, sorted_ids[1:] != sorted_ids[:-1]])
+    else:
+        starts = np.zeros(0, dtype=np.intp)
+    return order, starts, sorted_ids[starts], size
+
+
+def _segment_max(values: np.ndarray, plan) -> np.ndarray:
+    """Per-group maxima over ``values`` (1-D solo or ``(nnz, B)`` batch).
+
+    Max over a set is order-insensitive, so regrouping cannot change
+    any bit relative to an entry-order scan; groups with no entries
+    report 0.0, matching an ``np.maximum.at`` accumulation into zeros.
+    """
+    order, starts, present, size = plan
+    out = np.zeros((size,) + values.shape[1:])
+    if starts.size:
+        out[present] = np.maximum.reduceat(values[order], starts, axis=0)
+    return out
+
+
+@dataclass
+class RuizPlan:
+    """Pattern-derived index plans for :func:`ruiz_equilibrate`.
+
+    Everything here depends only on the sparsity structure of ``(P, A)``,
+    so a bound accelerator (:meth:`repro.hw.accelerator.RSQPAccelerator.
+    refresh_numeric`) computes it once and reuses it for every numeric
+    refresh of the same structure.
+    """
+
+    nnz_p: int
+    rid: np.ndarray           # per-entry row-factor index into [d, e]
+    cid: np.ndarray           # per-entry column-factor index into d
+    stacked_by_col: tuple     # segment plan over P&A entries by column
+    a_by_row: tuple           # segment plan over A entries by row
+    p_by_col: tuple           # segment plan over P entries by column
+
+    @classmethod
+    def for_problem(cls, problem: QProblem) -> "RuizPlan":
+        n, m = problem.n, problem.m
+        P, A = problem.P, problem.A
+        p_row = np.repeat(np.arange(n), np.diff(P.indptr))
+        a_row = np.repeat(np.arange(m), np.diff(A.indptr))
+        rid = np.concatenate([p_row, n + a_row])
+        cid = np.concatenate([P.indices, A.indices])
+        return cls(nnz_p=P.nnz, rid=rid, cid=cid,
+                   stacked_by_col=_segment_plan(cid, n),
+                   a_by_row=_segment_plan(a_row, m),
+                   p_by_col=_segment_plan(P.indices, n))
+
+
+def ruiz_equilibrate(problem: QProblem, iterations: int = 10, *,
+                     plan: RuizPlan | None = None) -> Scaling:
     """Equilibrate a QP with ``iterations`` rounds of modified Ruiz scaling.
 
     ``iterations == 0`` returns an identity scaling (useful to disable
     scaling uniformly through one code path).
+
+    The iteration works on raw value arrays with segment plans computed
+    once from the (loop-invariant) sparsity pattern: the row/column
+    scalings are the same two elementwise multiplies
+    ``data * delta[row_of]`` then ``data * delta[indices]`` that
+    :meth:`CSRMatrix.scale_rows` / ``scale_cols`` perform, and the
+    infinity norms are order-insensitive maxima — so the result is
+    bit-identical to equilibrating through matrix objects while doing
+    none of the per-iteration structure copies. This function sits on
+    the session re-solve hot path (:mod:`repro.serving.session`);
+    callers that equilibrate one structure repeatedly pass a cached
+    :class:`RuizPlan` to skip even the pattern analysis.
     """
     n, m = problem.n, problem.m
-    d = np.ones(n)
-    e = np.ones(m)
-    c = 1.0
-    p = problem.P.copy()
+    P, A = problem.P, problem.A
+    p_ind, p_ip = P.indices, P.indptr
+    a_ind, a_ip = A.indices, A.indptr
     q = problem.q.copy()
-    a = problem.A.copy()
-    l = problem.l.copy()
-    u = problem.u.copy()
+    c = 1.0
+    if plan is None:
+        plan = RuizPlan.for_problem(problem)
+
+    # P's and A's values iterate in lockstep, so stack them into one
+    # array: `vals[:nnz_p]` is P, the rest is A. The combined scaling
+    # vector `de` holds [delta for the n variables, delta for the m
+    # constraints]; `rid` maps each entry to its row factor in that
+    # vector (A rows offset by n) and `cid` to its column factor.
+    nnz_p = plan.nnz_p
+    vals = np.concatenate([P.data, A.data])
+    de = np.ones(n + m)
+    rid = plan.rid
+    cid = plan.cid
+    # Column infinity norms of the stacked matrix [[P, A'], [A, 0]]:
+    # first n columns see P's columns and A's columns (one segment plan
+    # over the combined entries); last m columns see A's rows.
+    stacked_by_col = plan.stacked_by_col
+    a_by_row = plan.a_by_row
+    p_by_col = plan.p_by_col
 
     for _ in range(iterations):
-        # Column infinity norms of the stacked matrix [[P, A'], [A, 0]]:
-        # first n columns see P's columns and A's columns; last m columns
-        # see A's rows (through A').
-        norm_n = np.maximum(_col_inf_norms_csr(p), _col_inf_norms_csr(a))
-        norm_m = _row_inf_norms_csr(a)
-        delta_n = 1.0 / np.sqrt(_limit(norm_n))
-        delta_m = 1.0 / np.sqrt(_limit(norm_m))
+        abs_vals = np.abs(vals)
+        norm_n = _segment_max(abs_vals, stacked_by_col)
+        norm_m = _segment_max(abs_vals[nnz_p:], a_by_row)
+        ext = 1.0 / np.sqrt(_limit(np.concatenate([norm_n, norm_m])))
+        delta_n = ext[:n]
 
-        p = p.scale_rows(delta_n).scale_cols(delta_n)
+        vals = (vals * ext[rid]) * delta_n[cid]
         q = q * delta_n
-        a = a.scale_rows(delta_m).scale_cols(delta_n)
-        d *= delta_n
-        e *= delta_m
+        de *= ext
 
-        # Cost normalization (OSQP's gamma step).
-        p_col_norms = _col_inf_norms_csr(p)
+        # Cost normalization (OSQP's gamma step) applies to P only.
+        p_col_norms = _segment_max(np.abs(vals[:nnz_p]), p_by_col)
         mean_p = float(p_col_norms.mean()) if n else 1.0
         q_norm = float(np.abs(q).max()) if n else 1.0
         gamma_denominator = max(mean_p, q_norm)
         if gamma_denominator <= 0.0:
             gamma = 1.0
         else:
-            gamma = 1.0 / np.clip(gamma_denominator, _MIN_SCALE, _MAX_SCALE)
-        p = p * gamma
+            gamma = 1.0 / min(max(gamma_denominator, _MIN_SCALE), _MAX_SCALE)
+        vals[:nnz_p] *= gamma
         q = q * gamma
         c *= gamma
 
+    d = np.ascontiguousarray(de[:n])
+    e = np.ascontiguousarray(de[n:])
+
     # Bounds are scaled once with the final E (infinities stay infinite).
     with np.errstate(invalid="ignore"):
-        l_s = e * l
-        u_s = e * u
+        l_s = e * problem.l
+        u_s = e * problem.u
     l_s[np.isneginf(problem.l)] = -np.inf
     u_s[np.isposinf(problem.u)] = np.inf
 
-    scaled = QProblem(P=p, q=q, A=a, l=l_s, u=u_s, name=problem.name)
+    p_mat = CSRMatrix(P.shape, np.ascontiguousarray(vals[:nnz_p]),
+                      p_ind.copy(), p_ip.copy(), check=False)
+    a_mat = CSRMatrix(A.shape, np.ascontiguousarray(vals[nnz_p:]),
+                      a_ind.copy(), a_ip.copy(), check=False)
+    # Diagonal scaling of a validated problem preserves every QProblem
+    # invariant, so skip re-validation (it would transpose P per call).
+    scaled = QProblem._trusted(p_mat, q, a_mat, l_s, u_s, problem.name)
     return Scaling(problem=scaled, d=d, e=e, c=c)
 
 
@@ -203,26 +286,7 @@ def ruiz_equilibrate_batch(problems, iterations: int = 10) -> list[Scaling]:
     # Segment-max plans: grouping each matrix's entries by column (and
     # A's by row — already grouped in CSR order) turns the per-column /
     # per-row infinity norms into `maximum.reduceat` calls over the
-    # lane axis. Max over a set is order-insensitive, so regrouping
-    # cannot change any lane's bits relative to the solo scan.
-    def _segment_plan(group_ids, size):
-        order = np.argsort(group_ids, kind="stable")
-        sorted_ids = group_ids[order]
-        if sorted_ids.size:
-            starts = np.flatnonzero(
-                np.r_[True, sorted_ids[1:] != sorted_ids[:-1]])
-        else:
-            starts = np.zeros(0, dtype=np.intp)
-        return order, starts, sorted_ids[starts], size
-
-    def _segment_max(values, plan):
-        order, starts, present, size = plan
-        out = np.zeros((size, bsz))
-        if starts.size:
-            out[present] = np.maximum.reduceat(values[order], starts,
-                                               axis=0)
-        return out
-
+    # lane axis (same plans the solo path uses, applied lane-wide).
     p_by_col = _segment_plan(p_ind, n)
     a_by_col = _segment_plan(a_ind, n)
     a_by_row = _segment_plan(a_row, m)

@@ -28,6 +28,7 @@ from .fingerprint import (StructureFingerprint, fingerprint_problem,
 from .metrics import Counter, Histogram, MetricsRegistry
 from .pool import WorkerPool, reference_job, solve_job
 from .service import ServeRecord, ServeResult, SolverService
+from .session import BatchSolverSession, SolverSession
 
 __all__ = [
     "ArchArtifact",
@@ -47,4 +48,6 @@ __all__ = [
     "ServeRecord",
     "ServeResult",
     "SolverService",
+    "SolverSession",
+    "BatchSolverSession",
 ]

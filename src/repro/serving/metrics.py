@@ -94,13 +94,20 @@ class Histogram:
         Seed for the reservoir's replacement choices (combined with the
         histogram name, so sibling histograms sample independently).
         Ignored in exact mode.
+    labels:
+        Optional label set distinguishing series of one metric family,
+        exactly like :class:`Counter` labels (e.g.
+        ``algorithm="pdqp"`` on the session resolve-latency family).
     """
 
     def __init__(self, name: str, reservoir: int | None = None,
-                 seed: int = 0):
+                 seed: int = 0, labels: dict | None = None):
         if reservoir is not None and reservoir < 1:
             raise ValueError("reservoir size must be >= 1")
         self.name = name
+        self.labels = dict(labels) if labels else {}
+        #: Full Prometheus sample name, labels sorted and escaped.
+        self.sample_name = name + _render_labels(self.labels)
         self.reservoir = reservoir
         self._values: list[float] = []
         self._count = 0
@@ -108,7 +115,7 @@ class Histogram:
         self._min = float("inf")
         self._max = float("-inf")
         self._rng = random.Random(
-            (int(seed) << 32) ^ zlib.crc32(name.encode()))
+            (int(seed) << 32) ^ zlib.crc32(self.sample_name.encode()))
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -204,14 +211,19 @@ class MetricsRegistry:
                 self._counters[key] = Counter(name, labels)
             return self._counters[key]
 
-    def histogram(self, name: str, reservoir=_UNSET) -> Histogram:
+    def histogram(self, name: str, labels: dict | None = None,
+                  reservoir=_UNSET) -> Histogram:
+        """Get or create a histogram; ``labels`` distinguishes series
+        of one family exactly like :meth:`counter` labels do."""
+        key = name + _render_labels(labels or {})
         with self._lock:
-            if name not in self._histograms:
+            if key not in self._histograms:
                 size = (self.default_reservoir if reservoir is _UNSET
                         else reservoir)
-                self._histograms[name] = Histogram(name, reservoir=size,
-                                                   seed=self.seed)
-            return self._histograms[name]
+                self._histograms[key] = Histogram(name, reservoir=size,
+                                                  seed=self.seed,
+                                                  labels=labels)
+            return self._histograms[key]
 
     def snapshot(self) -> dict:
         """Point-in-time export: ``{"counters": {...}, "histograms": {...}}``."""
@@ -262,11 +274,18 @@ class MetricsRegistry:
                 lines.append(f"# TYPE {family} counter")
                 last_family = family
             lines.append(f"{name} {value:.10g}")
+        last_family = None
         for name, s in snap["histograms"].items():
-            lines.append(f"# TYPE {name} summary")
+            family, _, rest = name.partition("{")
+            labels = ("{" + rest) if rest else ""
+            if family != last_family:
+                lines.append(f"# TYPE {family} summary")
+                last_family = family
             if s["count"]:
-                lines.append(f'{name}{{quantile="0.5"}} {s["p50"]:.10g}')
-                lines.append(f'{name}{{quantile="0.95"}} {s["p95"]:.10g}')
-            lines.append(f"{name}_sum {s['sum']:.10g}")
-            lines.append(f"{name}_count {s['count']}")
+                for q, key in (("0.5", "p50"), ("0.95", "p95")):
+                    sample = (f'{family}{labels[:-1]},quantile="{q}"}}'
+                              if labels else f'{family}{{quantile="{q}"}}')
+                    lines.append(f"{sample} {s[key]:.10g}")
+            lines.append(f"{family}_sum{labels} {s['sum']:.10g}")
+            lines.append(f"{family}_count{labels} {s['count']}")
         return "\n".join(lines) + "\n"

@@ -288,6 +288,75 @@ class SolverService:
         return artifact, tier
 
     # ------------------------------------------------------------------
+    # persistent sessions
+    # ------------------------------------------------------------------
+    def open_session(self, problem: QProblem, *,
+                     carry_state: bool = True,
+                     deadline: float | None = None):
+        """Bind a persistent :class:`~repro.serving.session.SolverSession`
+        to ``problem``'s structure.
+
+        Pays the full request cost once — fingerprint, cache lookup or
+        build, verification, accelerator construction — and returns a
+        handle whose :meth:`~repro.serving.session.SolverSession.update`
+        / :meth:`~repro.serving.session.SolverSession.resolve` loop
+        re-solves with none of it. See :mod:`repro.serving.session`.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        from .session import SolverSession
+        c = self.width_for(problem)
+        fingerprint = fingerprint_problem(problem, c=c)
+        algorithm = choose_algorithm(
+            problem, override=None if self.algorithm == "auto"
+            else self.algorithm)
+        artifact, tier = self._ensure_artifact(problem, fingerprint, c,
+                                               algorithm)
+        self.metrics.counter("serving_session_opened_total").inc()
+        self.metrics.counter(
+            "serving_cache_hits_total" if tier == TIER_HIT
+            else "serving_cache_misses_total").inc()
+        return SolverSession(self, problem, artifact, tier, fingerprint,
+                             c, algorithm, carry_state=carry_state,
+                             deadline=deadline)
+
+    def open_batch_session(self, problems):
+        """Bind a lockstep
+        :class:`~repro.serving.session.BatchSolverSession` to a fleet
+        of same-structure problems (one artifact, one batched run per
+        resolve). Every lane must share one artifact cache key.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        from .session import BatchSolverSession
+        problems = list(problems)
+        if not problems:
+            raise ValueError("a batch session needs at least one lane")
+        c = self.width_for(problems[0])
+        fingerprint = fingerprint_problem(problems[0], c=c)
+        algorithm = choose_algorithm(
+            problems[0], override=None if self.algorithm == "auto"
+            else self.algorithm)
+        key = self.cache_key(fingerprint, c, algorithm)
+        for idx, other in enumerate(problems[1:], start=1):
+            c_other = self.width_for(other)
+            other_key = self.cache_key(
+                fingerprint_problem(other, c=c_other), c_other,
+                choose_algorithm(
+                    other, override=None if self.algorithm == "auto"
+                    else self.algorithm))
+            if other_key != key:
+                raise ValueError(
+                    f"lane {idx} has a different structure/width/"
+                    "algorithm than lane 0; a batch session is "
+                    "single-structure by construction")
+        artifact, tier = self._ensure_artifact(problems[0], fingerprint,
+                                               c, algorithm)
+        self.metrics.counter("serving_session_opened_total").inc()
+        return BatchSolverSession(self, problems, artifact, tier,
+                                  fingerprint, c, algorithm)
+
+    # ------------------------------------------------------------------
     # request lifecycle
     # ------------------------------------------------------------------
     def submit(self, problem: QProblem, *,

@@ -152,6 +152,45 @@ class PDQPSolver:
         self.tau, self.sigma = _steps(self.omega, self.norm_a, self.lam_p,
                                       self.settings.tau_scale)
 
+    def update(self, q=None, l=None, u=None) -> None:
+        """Update problem vectors in place (parametric re-solve).
+
+        The peer of :meth:`repro.solver.OSQPSolver.update`: matrices —
+        and therefore the operator-norm estimates and step sizes built
+        from them — stay fixed while the cost vector and/or bounds
+        change between solves. The current iterates (and the adapted
+        primal weight) are kept, so the next :meth:`solve` is
+        warm-started automatically.
+        """
+        s = self.scaling
+        if q is not None:
+            q = np.asarray(q, dtype=np.float64)
+            if q.shape != (self.problem.n,):
+                raise ValueError(f"q must have length {self.problem.n}")
+            self.problem.q = q.copy()
+            self.work.q = s.c * s.d * q
+        if l is not None or u is not None:
+            new_l = np.asarray(l, dtype=np.float64) if l is not None \
+                else self.problem.l
+            new_u = np.asarray(u, dtype=np.float64) if u is not None \
+                else self.problem.u
+            if new_l.shape != (self.problem.m,) \
+                    or new_u.shape != (self.problem.m,):
+                raise ValueError(f"bounds must have length {self.problem.m}")
+            if np.any(new_l > new_u):
+                raise ValueError("every lower bound must satisfy l <= u")
+            self.problem.l = new_l.copy()
+            self.problem.u = new_u.copy()
+            l_s = s.e * new_l
+            u_s = s.e * new_u
+            l_s[np.isneginf(new_l)] = -np.inf
+            u_s[np.isposinf(new_u)] = np.inf
+            self.work.l = l_s
+            self.work.u = u_s
+            # The iteration's box projections read the clipped copies.
+            self._l = np.nan_to_num(self.work.l, neginf=-1e30)
+            self._u = np.nan_to_num(self.work.u, posinf=1e30)
+
     # ------------------------------------------------------------------
     def _residuals(self, px_s, aty_s):
         """Unscaled KKT residuals with ``z = clip(A x, l, u)``.

@@ -195,8 +195,17 @@ class CSRMatrix:
     def transpose(self) -> "CSRMatrix":
         """Return ``A.T`` as a new canonical CSR matrix."""
         m, n = self.shape
-        rows, cols, vals = self.to_coo()
-        return CSRMatrix.from_coo(cols, rows, vals, (n, m))
+        row_of = np.repeat(np.arange(m), np.diff(self.indptr))
+        # Entries are already row-ordered, so a stable sort by column
+        # yields exactly the (col, row) lexicographic order of the
+        # transpose — a pure permutation, no COO round trip.
+        order = np.argsort(self.indices, kind="stable")
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(np.bincount(self.indices, minlength=n))
+        # `+ 0.0` flushes -0.0 entries exactly like the COO-merge
+        # accumulation this replaces, keeping old transposes bitwise.
+        return CSRMatrix((n, m), self.data[order] + 0.0, row_of[order],
+                         indptr, check=False)
 
     def permute_rows(self, perm) -> "CSRMatrix":
         """Return the matrix with row ``perm[i]`` of ``self`` as new row ``i``."""

@@ -492,3 +492,54 @@ class TestFaultHookEquivalence:
         assert mi.injector.events == mc.injector.events
         assert len(mi.injector.events) == 3
         assert_states_equal(mi, mc)
+
+
+class TestFusedLoopErrors:
+    """DIV/SQRT guards inside the whole-loop fused body.
+
+    The generated-program strategies never emit DIV or SQRT, so the
+    fused error returns (rc 1 / rc 2) need explicit coverage: the
+    fused tier must raise the same SimulationError type the
+    interpreter raises, from a loop where fusion is verifiably
+    engaged.
+    """
+
+    def _drive(self, body_op, arm):
+        """Run clean twice (second run engages fusion), then ``arm``
+        the failure and run again; returns the error per backend."""
+        program = Program([Loop(body=[body_op, Control("s2", "s3")],
+                                max_iter=4, name="l")])
+        errors = {}
+        for mode in ("interp", "compiled"):
+            machine = fresh_machine(0)
+            machine.set_scalar("s0", 4.0)
+            machine.set_scalar("s1", 2.0)
+            machine.set_scalar("s3", -1e18)  # Control never exits
+            if mode == "compiled":
+                executor = CompiledExecutor(machine, jit=True)
+                runner = executor.run
+            else:
+                runner = machine.run
+            runner(program)
+            runner(program)
+            if mode == "compiled":
+                # The second clean run must have gone through the
+                # fused whole-loop body, or this test proves nothing.
+                assert any(entry[1] for entry in
+                           executor._loop_fused.values())
+            arm(machine)
+            with pytest.raises(SimulationError) as exc_info:
+                runner(program)
+            errors[mode] = exc_info.value
+        assert type(errors["interp"]) is type(errors["compiled"])
+        return errors
+
+    def test_fused_division_by_zero(self):
+        op = ScalarOp(ScalarOpKind.DIV, "s2", "s0", "s1")
+        errors = self._drive(op, lambda m: m.set_scalar("s1", 0.0))
+        assert "division" in str(errors["compiled"])
+
+    def test_fused_negative_sqrt(self):
+        op = ScalarOp(ScalarOpKind.SQRT, "s2", "s0")
+        errors = self._drive(op, lambda m: m.set_scalar("s0", -1.0))
+        assert "sqrt" in str(errors["compiled"])
