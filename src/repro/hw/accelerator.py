@@ -201,6 +201,9 @@ class RSQPAccelerator:
         #: Cooperative per-solve deadline, checked between segments.
         self.deadline_seconds = (float(deadline_seconds)
                                  if deadline_seconds is not None else None)
+        #: Static verification on/off — covers both the pre-execution
+        #: program passes and the compiled backend's codegen guard.
+        self._verify = bool(verify)
 
         self._host_setup()
         self._build_machine()
@@ -249,7 +252,8 @@ class RSQPAccelerator:
             for name in ("P", "A", "At")})
         # Armed before the executor exists, so lowering sees the hook.
         self.machine.injector = self.fault_injector
-        self._executor = (CompiledExecutor(self.machine)
+        self._executor = (CompiledExecutor(self.machine,
+                                           verify=self._verify)
                           if self.backend == "compiled" else None)
 
     def _run_program(self, program) -> ExecutionStats:

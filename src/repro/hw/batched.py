@@ -85,17 +85,21 @@ running batch.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-from ..exceptions import ShapeError, SimulationError
+from ..exceptions import ShapeError, SimulationError, VerificationError
 from . import cjit
 from .compiled import literal_operand
+from .effect_ir import BufferRef, EffectIR, EffectStatement
 from .isa import (BINARY_SCALAR_OPS, Control, DataTransfer, Loop, Program,
                   ScalarOp, ScalarOpKind, SpMV, VecDup, VectorOp,
                   VectorOpKind)
 from .machine import ExecutionStats
 
-__all__ = ["BatchMatrixResource", "BatchMachine", "BatchExecutor"]
+__all__ = ["BatchMatrixResource", "BatchMachine", "BatchExecutor",
+           "static_write_set"]
 
 
 class _BatchLoopExit(Exception):
@@ -297,6 +301,18 @@ def _collect_writes(items, writes: set) -> None:
             raise SimulationError(f"unknown instruction {instr!r}")
 
 
+def static_write_set(items) -> set:
+    """The ``(space, name)`` write-set of a block of instructions.
+
+    This is the set snapshot-restore freezes against; the codegen
+    verifier (:mod:`repro.verify.codegen`) proves it a superset of the
+    effect IR's actual writes for every fused unit inside the block.
+    """
+    writes: set = set()
+    _collect_writes(items, writes)
+    return writes
+
+
 # ---------------------------------------------------------------------------
 # lowered nodes (lockstep analogues of repro.hw.compiled's node classes)
 
@@ -494,7 +510,8 @@ class BatchExecutor:
     docstring).
     """
 
-    def __init__(self, machine: BatchMachine, jit: bool | None = None):
+    def __init__(self, machine: BatchMachine, jit: bool | None = None,
+                 verify: bool | None = None):
         self.machine = machine
         self._blocks: dict = {}
         self._dirty: list = []
@@ -502,6 +519,14 @@ class BatchExecutor:
             self.jit = cjit.available()
         else:
             self.jit = bool(jit) and cjit.available()
+        # Static codegen verification of every fused unit before its
+        # first execution (memoized per effect-IR digest; see
+        # repro.verify.codegen). REPRO_VERIFY_CODEGEN=0 is a global
+        # kill switch that overrides any caller.
+        if verify is None:
+            verify = True
+        self.verify = (bool(verify) and
+                       os.environ.get("REPRO_VERIFY_CODEGEN", "1") != "0")
         #: Stack of (write_set, saved_columns) snapshot frames; the
         #: write set is the enclosing loop's (or the whole program's).
         self._frames: list = []
@@ -1030,7 +1055,15 @@ def _build_batch_chunk(executor: "BatchExecutor", instrs: list):
         builder = _BatchChunkBuilder(executor)
         for instr in instrs:
             builder.emit(instr)
+        if executor.verify:
+            from ..verify.codegen import ensure_codegen_verified
+            ensure_codegen_verified(builder.effect_ir(), instrs,
+                                    executor.machine)
         return builder.finish()
+    except VerificationError:
+        # A rejected unit is a genuine codegen defect, never a "fall
+        # back to closures" situation: fail loudly.
+        raise
     except Exception:
         return None
 
@@ -1060,6 +1093,43 @@ class _BatchChunkBuilder:
         self.consts: list = []
         self.blocks: list = []
         self._sregs = 0
+        # effect-IR recording (consumed by repro.verify.codegen)
+        self.effects: list = []
+        self._pending_reads: list = []  # ("reg"|"lit", ref, token)
+        self._pending_lens: list = []   # (L slot, value)
+        self._instr_index = -1
+
+    # -- effect recording ------------------------------------------------
+    def _src_ref(self, name: str, arr: np.ndarray) -> BufferRef:
+        space = "vb" if name in self.machine.vb else "cvb"
+        return BufferRef(space, name, int(arr.shape[0]))
+
+    def _record(self, op: str, index: str, bound: int, *, dst=None,
+                srcs=(), expr: str = "", text: str = "", site=None,
+                matrix=None, spmv_shape=None, index_arrays=None,
+                nnz: int = 0, sreg_writes=(), lane_bound: int = 0) -> None:
+        reads = self._pending_reads
+        self._pending_reads = []
+        len_slots = tuple(self._pending_lens)
+        self._pending_lens = []
+        self.effects.append(EffectStatement(
+            op=op, index=index, bound=int(bound), dst=dst,
+            srcs=tuple(srcs), expr=expr, text=text,
+            lane_bound=int(lane_bound),
+            sreg_reads=tuple((ref, tok) for kind, ref, tok in reads
+                             if kind == "reg"),
+            lit_reads=tuple((ref, tok) for kind, ref, tok in reads
+                            if kind == "lit"),
+            sreg_writes=tuple(sreg_writes), len_slots=len_slots,
+            instr_index=self._instr_index, site=site, matrix=matrix,
+            spmv_shape=spmv_shape, index_arrays=index_arrays, nnz=nnz))
+
+    def effect_ir(self) -> EffectIR:
+        return EffectIR(tier="batch-chunk", batch=self.machine.batch,
+                        statements=list(self.effects),
+                        lens=tuple(self.lens),
+                        consts=tuple(self.consts),
+                        source="".join(self.blocks))
 
     # -- operand tables --------------------------------------------------
     def buf(self, arr: np.ndarray) -> str:
@@ -1088,11 +1158,15 @@ class _BatchChunkBuilder:
         # one slot per use: keeps the source canonical per pattern even
         # when two operand lengths happen to coincide at runtime
         self.lens.append(int(n))
-        return f"L[{len(self.lens) - 1}]"
+        slot = len(self.lens) - 1
+        self._pending_lens.append((slot, int(n)))
+        return f"L[{slot}]"
 
     def const(self, value: float) -> str:
         self.consts.append(float(value))
-        return f"S[{len(self.consts) - 1}]"
+        token = f"S[{len(self.consts) - 1}]"
+        self._pending_reads.append(("lit", float(value), token))
+        return token
 
     def sreg(self, ref):
         """A scalar operand: ``(decls, token, lane_varying)``.
@@ -1105,8 +1179,10 @@ class _BatchChunkBuilder:
             return [], self.const(operand), False
         name = f"s{self._sregs}"
         self._sregs += 1
+        token = f"{name}[j]"
+        self._pending_reads.append(("reg", ref, token))
         return ([f"const double *{name} = {self.buf(operand)};"],
-                f"{name}[j]", True)
+                token, True)
 
     # -- emission --------------------------------------------------------
     def _flat(self, total: int, decls: list, expr: str) -> None:
@@ -1155,6 +1231,7 @@ class _BatchChunkBuilder:
             "    }\n")
 
     def emit(self, instr) -> None:
+        self._instr_index += 1
         if isinstance(instr, VecDup):
             src = self.executor._resident(instr.src)
             dst = self.executor._dst_buffer(
@@ -1164,6 +1241,12 @@ class _BatchChunkBuilder:
                 f"const double *a = {self.buf(src)};",
                 f"double *d = {self.buf(dst)};",
             ], "d[i] = a[i]")
+            self._record(
+                "vecdup", "flat", total,
+                dst=BufferRef("cvb", instr.cvb, int(dst.shape[0])),
+                srcs=(self._src_ref(instr.src, src),),
+                expr="d[i] = a[i]", text=self.blocks[-1],
+                site=getattr(instr, "site", None))
             return
         if isinstance(instr, SpMV):
             self._emit_spmv(instr)
@@ -1203,12 +1286,19 @@ class _BatchChunkBuilder:
         else:
             raise SimulationError(f"scalar op not chunkable: {op}")
         self._scalar_block(decls, expr)
+        self._record(f"scalar:{op.value}", "scalar", 0, expr=expr,
+                     text=self.blocks[-1],
+                     lane_bound=self.machine.batch,
+                     sreg_writes=((instr.dst, "d[j]"),),
+                     site=getattr(instr, "site", None))
 
     def _emit_vector(self, instr: VectorOp) -> None:
         executor = self.executor
         machine = self.machine
         kind = instr.op
+        site = getattr(instr, "site", None)
         a = executor._resident(instr.srcs[0])
+        a_ref = self._src_ref(instr.srcs[0], a)
         n = int(a.shape[0])
         total = n * machine.batch
         if kind is VectorOpKind.COPY:
@@ -1217,8 +1307,14 @@ class _BatchChunkBuilder:
                 f"const double *a = {self.buf(a)};",
                 f"double *d = {self.buf(dst)};",
             ], "d[i] = a[i]")
+            self._record(
+                "copy", "flat", total,
+                dst=BufferRef("vb", instr.dst, int(dst.shape[0])),
+                srcs=(a_ref,), expr="d[i] = a[i]",
+                text=self.blocks[-1], site=site)
             return
         b = executor._resident(instr.srcs[1])
+        b_ref = self._src_ref(instr.srcs[1], b)
         if kind is VectorOpKind.DOT:
             if a.shape != b.shape:
                 raise SimulationError("dot operand shapes differ")
@@ -1239,52 +1335,77 @@ class _BatchChunkBuilder:
                 "                o[j] += ai[j] * bi[j];\n"
                 "        }\n"
                 "    }\n")
+            self._record("dot", "reduce", n, srcs=(a_ref, b_ref),
+                         text=self.blocks[-1],
+                         lane_bound=machine.batch,
+                         sreg_writes=((instr.dst, "o"),), site=site)
             return
         dst = executor._dst_buffer(machine.vb, instr.dst, n)
+        dst_ref = BufferRef("vb", instr.dst, int(dst.shape[0]))
         flat_decls = [f"const double *a = {self.buf(a)};",
                       f"const double *b = {self.buf(b)};",
                       f"double *d = {self.buf(dst)};"]
+
+        def record_flat(op, expr):
+            self._record(op, "flat", total, dst=dst_ref,
+                         srcs=(a_ref, b_ref), expr=expr,
+                         text=self.blocks[-1], site=site)
+
         if kind is VectorOpKind.EWMUL:
             self._flat(total, flat_decls, "d[i] = a[i] * b[i]")
+            record_flat("ewmul", "d[i] = a[i] * b[i]")
             return
 
-        def laned(coeff_decls, expr):
+        def laned(op, coeff_decls, expr):
             self._laned(n, flat_decls + coeff_decls,
                         [("ai", "a"), ("bi", "b"), ("di", "d")], expr)
+            self._record(op, "laned", n, dst=dst_ref,
+                         srcs=(a_ref, b_ref), expr=expr,
+                         text=self.blocks[-1],
+                         lane_bound=machine.batch, site=site)
 
         if kind is VectorOpKind.SCALE_ADD:
             al = literal_operand(instr.alpha)
             if al == 1.0:
                 self._flat(total, flat_decls, "d[i] = a[i] + b[i]")
+                record_flat("scale_add", "d[i] = a[i] + b[i]")
             elif al == -1.0:
                 self._flat(total, flat_decls, "d[i] = a[i] - b[i]")
+                record_flat("scale_add", "d[i] = a[i] - b[i]")
             else:
                 decls, s0, _ = self.sreg(instr.alpha)
-                laned(decls, f"di[j] = ai[j] + bi[j] * {self._lane(s0)}")
+                laned("scale_add", decls,
+                      f"di[j] = ai[j] + bi[j] * {self._lane(s0)}")
             return
         if kind is VectorOpKind.AXPBY:
             al = literal_operand(instr.alpha)
             be = literal_operand(instr.beta)
             if al == 1.0 and be == 1.0:
                 self._flat(total, flat_decls, "d[i] = a[i] + b[i]")
+                record_flat("axpby", "d[i] = a[i] + b[i]")
             elif al == 1.0 and be == -1.0:
                 self._flat(total, flat_decls, "d[i] = a[i] - b[i]")
+                record_flat("axpby", "d[i] = a[i] - b[i]")
             elif al == 1.0:
                 decls, s0, _ = self.sreg(instr.beta)
-                laned(decls, f"di[j] = ai[j] + bi[j] * {self._lane(s0)}")
+                laned("axpby", decls,
+                      f"di[j] = ai[j] + bi[j] * {self._lane(s0)}")
             elif be == 1.0:
                 decls, s0, _ = self.sreg(instr.alpha)
-                laned(decls, f"di[j] = ai[j] * {self._lane(s0)} + bi[j]")
+                laned("axpby", decls,
+                      f"di[j] = ai[j] * {self._lane(s0)} + bi[j]")
             elif be == -1.0:
                 decls, s0, _ = self.sreg(instr.alpha)
-                laned(decls, f"di[j] = ai[j] * {self._lane(s0)} - bi[j]")
+                laned("axpby", decls,
+                      f"di[j] = ai[j] * {self._lane(s0)} - bi[j]")
             elif al == -1.0:
                 decls, s0, _ = self.sreg(instr.beta)
-                laned(decls, f"di[j] = bi[j] * {self._lane(s0)} - ai[j]")
+                laned("axpby", decls,
+                      f"di[j] = bi[j] * {self._lane(s0)} - ai[j]")
             else:
                 decls_a, s0, _ = self.sreg(instr.alpha)
                 decls_b, s1, _ = self.sreg(instr.beta)
-                laned(decls_a + decls_b,
+                laned("axpby", decls_a + decls_b,
                       f"di[j] = ai[j] * {self._lane(s0)} + "
                       f"bi[j] * {self._lane(s1)}")
             return
@@ -1331,6 +1452,16 @@ class _BatchChunkBuilder:
             "            }\n"
             "        }\n"
             "    }\n")
+        self._record(
+            "spmv", "gather", rows,
+            dst=BufferRef("vb", instr.dst, int(dst.shape[0])),
+            srcs=(BufferRef("matrix", instr.matrix, int(val.shape[0])),
+                  BufferRef("cvb", instr.src, int(src.shape[0]))),
+            text=self.blocks[-1], site=getattr(instr, "site", None),
+            matrix=instr.matrix,
+            spmv_shape=(rows, int(resource.shape[1])),
+            index_arrays=(col, ip), nnz=int(val.shape[0]),
+            lane_bound=machine.batch)
 
     # -- finish ----------------------------------------------------------
     def finish(self):

@@ -36,6 +36,9 @@ import importlib.util
 import os
 import shutil
 import tempfile
+from typing import Any, Sequence
+
+from .effect_ir import EFFECT_IR_VERSION
 
 __all__ = ["available", "engine", "compile_module", "CSR_MATVEC_BODY",
            "DOT_BODY", "CODEGEN_VERSION", "cache_dir"]
@@ -141,10 +144,13 @@ CODEGEN_VERSION = "1"
 #: Fingerprint of the kernel layer a generated module may embed or
 #: call into. Keying the disk cache on this (not just the generated
 #: chunk source) means a cached ``.so`` can never be reused after
-#: ``k_csr_matvec`` / ``k_dot`` or the codegen contract changes — the
-#: stale binary would silently break the bit-exactness guarantee.
+#: ``k_csr_matvec`` / ``k_dot``, the codegen contract, or the effect-IR
+#: schema changes — a stale binary would silently break either the
+#: bit-exactness guarantee or the static verifier's assumptions about
+#: what the cached code does.
 _KERNEL_VERSION = hashlib.sha256("\x00".join(
-    [CODEGEN_VERSION, _ENGINE_CDEF, _ENGINE_SOURCE]).encode()).hexdigest()
+    [CODEGEN_VERSION, EFFECT_IR_VERSION, _ENGINE_CDEF,
+     _ENGINE_SOURCE]).encode()).hexdigest()
 
 #: The engine library compiles at -O3 (plus the host ISA when the
 #: toolchain accepts -march=native) so the batched kernels' lane loops
@@ -156,7 +162,7 @@ _KERNEL_VERSION = hashlib.sha256("\x00".join(
 _ENGINE_COMPILE_ARGS = ["-O3", "-ffp-contract=off", "-march=native"]
 _ENGINE_FALLBACK_ARGS = ["-O3", "-ffp-contract=off"]
 
-_state = {"probed": False, "engine": None}
+_state: dict[str, Any] = {"probed": False, "engine": None}
 
 
 def cache_dir() -> str:
@@ -170,8 +176,9 @@ def _jit_enabled() -> bool:
     return os.environ.get("REPRO_JIT", "1") != "0"
 
 
-def compile_module(cdef: str, source: str, tag: str = "k", args=None,
-                   libraries=()):
+def compile_module(cdef: str, source: str, tag: str = "k",
+                   args: Sequence[str] | None = None,
+                   libraries: Sequence[str] = ()) -> Any:
     """Compile (or load from cache) a cffi module for ``source``.
 
     Returns the imported module (``.lib`` / ``.ffi`` attributes) or
@@ -223,20 +230,22 @@ def compile_module(cdef: str, source: str, tag: str = "k", args=None,
         return None
 
 
-def _load(name: str, moddir: str):
+def _load(name: str, moddir: str) -> Any:
     if not os.path.isdir(moddir):
         return None
     for entry in sorted(os.listdir(moddir)):
         if entry.startswith(name) and entry.endswith(".so"):
             spec = importlib.util.spec_from_file_location(
                 name, os.path.join(moddir, entry))
+            if spec is None or spec.loader is None:
+                return None
             module = importlib.util.module_from_spec(spec)
             spec.loader.exec_module(module)
             return module
     return None
 
 
-def engine():
+def engine() -> Any:
     """The generic kernel library, or ``None`` when JIT is unavailable.
 
     Probed exactly once per process; a failed probe (missing compiler,

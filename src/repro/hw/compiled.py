@@ -61,10 +61,13 @@ are applied after the block's closures run).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-from ..exceptions import ShapeError, SimulationError
+from ..exceptions import ShapeError, SimulationError, VerificationError
 from . import cjit
+from .effect_ir import BufferRef, EffectIR, EffectStatement
 from .isa import (BINARY_SCALAR_OPS, Control, DataTransfer, Loop, Program,
                   ScalarOp, ScalarOpKind, SpMV, VecDup, VectorOp,
                   VectorOpKind)
@@ -323,7 +326,8 @@ class CompiledExecutor:
     collection can never alias two different programs.
     """
 
-    def __init__(self, machine: Machine, jit: bool | None = None):
+    def __init__(self, machine: Machine, jit: bool | None = None,
+                 verify: bool | None = None):
         self.machine = machine
         self._blocks: dict = {}
         self._loop_fused: dict = {}
@@ -332,6 +336,14 @@ class CompiledExecutor:
             self.jit = cjit.available()
         else:
             self.jit = bool(jit) and cjit.available()
+        # Static codegen verification of every fused unit before its
+        # first execution (memoized per effect-IR digest; see
+        # repro.verify.codegen). REPRO_VERIFY_CODEGEN=0 is a global
+        # kill switch that overrides any caller.
+        if verify is None:
+            verify = True
+        self.verify = (bool(verify) and
+                       os.environ.get("REPRO_VERIFY_CODEGEN", "1") != "0")
 
     # -- execution -------------------------------------------------------
     def run(self, program: Program):
@@ -393,7 +405,15 @@ class CompiledExecutor:
         if not _nodes_bound(nodes):
             return None
         try:
-            fused = _LoopBuilder(self).build(body)
+            builder = _LoopBuilder(self)
+            builder.emit_body_ir(body)
+            if self.verify:
+                from ..verify.codegen import ensure_codegen_verified
+                ensure_codegen_verified(builder.effect_ir(), body,
+                                        self.machine)
+            fused = builder._finish_loop()
+        except VerificationError:
+            raise
         except Exception:
             fused = None
         if fused is None:
@@ -799,7 +819,15 @@ def _build_chunk(executor: CompiledExecutor, instrs: list):
         builder = _ChunkBuilder(executor)
         for instr in instrs:
             builder.emit(instr)
+        if executor.verify:
+            from ..verify.codegen import ensure_codegen_verified
+            ensure_codegen_verified(builder.effect_ir(), instrs,
+                                    executor.machine)
         return builder.finish()
+    except VerificationError:
+        # A rejected unit is a genuine codegen defect, never a "fall
+        # back to closures" situation: fail loudly.
+        raise
     except Exception:
         return None
 
@@ -834,6 +862,44 @@ class _ChunkBuilder:
         self.outs: list = []          # scalar register names, per O slot
         self._scalar_slots: dict = {}  # register -> freshest O slot
         self.blocks: list = []
+        # effect-IR recording (consumed by repro.verify.codegen)
+        self.effects: list = []
+        self._pending_reads: list = []  # ("reg"|"lit", ref, token)
+        self._pending_lens: list = []   # (L slot, value)
+        self._instr_index = -1
+        self._charge_slot: int | None = None
+
+    # -- effect recording ------------------------------------------------
+    def _src_ref(self, name: str, arr: np.ndarray) -> BufferRef:
+        space = "vb" if name in self.machine.vb else "cvb"
+        return BufferRef(space, name, int(arr.shape[0]))
+
+    def _record(self, op: str, index: str, bound: int, *, dst=None,
+                srcs=(), expr: str = "", text: str = "", site=None,
+                matrix=None, spmv_shape=None, index_arrays=None,
+                nnz: int = 0, sreg_writes=(), lane_bound: int = 0) -> None:
+        reads = self._pending_reads
+        self._pending_reads = []
+        len_slots = tuple(self._pending_lens)
+        self._pending_lens = []
+        self.effects.append(EffectStatement(
+            op=op, index=index, bound=int(bound), dst=dst,
+            srcs=tuple(srcs), expr=expr, text=text,
+            lane_bound=int(lane_bound),
+            sreg_reads=tuple((ref, tok) for kind, ref, tok in reads
+                             if kind == "reg"),
+            lit_reads=tuple((ref, tok) for kind, ref, tok in reads
+                            if kind == "lit"),
+            sreg_writes=tuple(sreg_writes), len_slots=len_slots,
+            instr_index=self._instr_index, site=site, matrix=matrix,
+            spmv_shape=spmv_shape, index_arrays=index_arrays, nnz=nnz,
+            charge_slot=self._charge_slot))
+
+    def effect_ir(self) -> EffectIR:
+        return EffectIR(tier="chunk", batch=1,
+                        statements=list(self.effects),
+                        lens=tuple(self.lens),
+                        source="".join(self.blocks))
 
     # -- operand tables --------------------------------------------------
     def buf(self, arr: np.ndarray) -> str:
@@ -862,16 +928,25 @@ class _ChunkBuilder:
         # one slot per use: keeps the source canonical per pattern even
         # when two operand lengths happen to coincide at runtime
         self.lens.append(int(n))
-        return f"L[{len(self.lens) - 1}]"
+        slot = len(self.lens) - 1
+        self._pending_lens.append((slot, int(n)))
+        return f"L[{slot}]"
 
     def scalar(self, ref) -> str:
         # A register a DOT earlier in this chunk wrote must be read from
         # its O slot — the S table is filled before the call and would
         # be stale.
         if isinstance(ref, str) and ref in self._scalar_slots:
-            return f"O[{self._scalar_slots[ref]}]"
+            token = f"O[{self._scalar_slots[ref]}]"
+            self._pending_reads.append(("reg", ref, token))
+            return token
         self.getters.append(self.executor._scalar_getter(ref))
-        return f"S[{len(self.getters) - 1}]"
+        token = f"S[{len(self.getters) - 1}]"
+        if isinstance(ref, str):
+            self._pending_reads.append(("reg", ref, token))
+        else:
+            self._pending_reads.append(("lit", float(ref), token))
+        return token
 
     # -- emission --------------------------------------------------------
     def _elementwise(self, n: int, decls: list, expr: str) -> None:
@@ -885,6 +960,7 @@ class _ChunkBuilder:
             "    }\n")
 
     def emit(self, instr) -> None:
+        self._instr_index += 1
         if isinstance(instr, VecDup):
             src = self.executor._resident(instr.src)
             dst = self.executor._dst_buffer(self.machine.cvb, instr.cvb,
@@ -893,6 +969,11 @@ class _ChunkBuilder:
                 f"const double *a = {self.buf(src)};",
                 f"double *d = {self.buf(dst)};",
             ], "d[i] = a[i]")
+            self._record("vecdup", "elementwise", src.size,
+                         dst=BufferRef("cvb", instr.cvb, dst.shape[0]),
+                         srcs=(self._src_ref(instr.src, src),),
+                         expr="d[i] = a[i]",
+                         site=getattr(instr, "site", None))
             return
         if isinstance(instr, SpMV):
             self._emit_spmv(instr)
@@ -905,15 +986,21 @@ class _ChunkBuilder:
     def _emit_vector(self, instr: VectorOp) -> None:
         executor = self.executor
         kind = instr.op
+        site = getattr(instr, "site", None)
         a = executor._resident(instr.srcs[0])
+        a_ref = self._src_ref(instr.srcs[0], a)
         if kind is VectorOpKind.COPY:
             dst = executor._dst_buffer(self.machine.vb, instr.dst, a.size)
             self._elementwise(a.size, [
                 f"const double *a = {self.buf(a)};",
                 f"double *d = {self.buf(dst)};",
             ], "d[i] = a[i]")
+            self._record("copy", "elementwise", a.size,
+                         dst=BufferRef("vb", instr.dst, dst.shape[0]),
+                         srcs=(a_ref,), expr="d[i] = a[i]", site=site)
             return
         b = executor._resident(instr.srcs[1])
+        b_ref = self._src_ref(instr.srcs[1], b)
         if kind is VectorOpKind.DOT:
             if a.shape != b.shape:
                 raise SimulationError("dot operand shapes differ")
@@ -921,7 +1008,7 @@ class _ChunkBuilder:
             self.outs.append(instr.dst)
             body = "".join("    " + line + "\n" if line.strip() else line
                            for line in cjit.DOT_BODY.splitlines())
-            self.blocks.append(
+            block = (
                 "    {\n"
                 f"        const double *a = {self.buf(a)};\n"
                 f"        const double *b = {self.buf(b)};\n"
@@ -929,14 +1016,23 @@ class _ChunkBuilder:
                 + body +
                 f"        O[{slot}] = acc;\n"
                 "    }\n")
+            self.blocks.append(block)
+            self._record("dot", "reduce", a.size, srcs=(a_ref, b_ref),
+                         text=block,
+                         sreg_writes=((instr.dst, f"O[{slot}]"),),
+                         site=site)
             self._scalar_slots[instr.dst] = slot
             return
         dst = executor._dst_buffer(self.machine.vb, instr.dst, a.size)
+        dst_ref = BufferRef("vb", instr.dst, dst.shape[0])
         decls = [f"const double *a = {self.buf(a)};",
                  f"const double *b = {self.buf(b)};",
                  f"double *d = {self.buf(dst)};"]
         if kind is VectorOpKind.EWMUL:
             self._elementwise(a.size, decls, "d[i] = a[i] * b[i]")
+            self._record("ewmul", "elementwise", a.size, dst=dst_ref,
+                         srcs=(a_ref, b_ref), expr="d[i] = a[i] * b[i]",
+                         site=site)
             return
         if kind is VectorOpKind.SCALE_ADD:
             al = _literal(instr.alpha)
@@ -948,6 +1044,8 @@ class _ChunkBuilder:
                 decls.append(f"const double s0 = {self.scalar(instr.alpha)};")
                 expr = "d[i] = a[i] + b[i] * s0"
             self._elementwise(a.size, decls, expr)
+            self._record("scale_add", "elementwise", a.size, dst=dst_ref,
+                         srcs=(a_ref, b_ref), expr=expr, site=site)
             return
         if kind is VectorOpKind.AXPBY:
             al, be = _literal(instr.alpha), _literal(instr.beta)
@@ -972,6 +1070,8 @@ class _ChunkBuilder:
                 decls.append(f"const double s1 = {self.scalar(instr.beta)};")
                 expr = "d[i] = a[i] * s0 + b[i] * s1"
             self._elementwise(a.size, decls, expr)
+            self._record("axpby", "elementwise", a.size, dst=dst_ref,
+                         srcs=(a_ref, b_ref), expr=expr, site=site)
             return
         raise SimulationError(f"vector op not chunkable: {kind}")
 
@@ -988,7 +1088,7 @@ class _ChunkBuilder:
         val, col, ip = resource._carrays
         body = "".join("    " + line + "\n" if line.strip() else line
                        for line in cjit.CSR_MATVEC_BODY.splitlines())
-        self.blocks.append(
+        block = (
             "    {\n"
             f"        const double *val = {self.buf(val)};\n"
             f"        const long *col = {self.iarr(col)};\n"
@@ -998,6 +1098,16 @@ class _ChunkBuilder:
             f"        const long nrows = {self.length(rows)};\n"
             + body +
             "    }\n")
+        self.blocks.append(block)
+        shape = (rows, int(resource.matrix.shape[1]))
+        self._record(
+            "spmv", "gather", rows,
+            dst=BufferRef("vb", instr.dst, dst.shape[0]),
+            srcs=(BufferRef("matrix", instr.matrix, int(val.shape[0])),
+                  BufferRef("cvb", instr.src, int(src.shape[0]))),
+            text=block, site=getattr(instr, "site", None),
+            matrix=instr.matrix, spmv_shape=shape,
+            index_arrays=(col, ip), nnz=int(val.shape[0]))
 
     # -- finish ----------------------------------------------------------
     def finish(self):
@@ -1177,6 +1287,7 @@ class _LoopBuilder(_ChunkBuilder):
         self.code: list = []
         self.charges: list = []       # per CT slot: (cycles, by_class, n)
         self.loops: list = []         # (IT slot, name) for nested loops
+        self.loop_meta: list = []     # (IT slot, name, max_iter)
 
     # -- scalar table (replaces the chunk S/O split) ---------------------
     def _reg_slot(self, name: str) -> int:
@@ -1190,20 +1301,39 @@ class _LoopBuilder(_ChunkBuilder):
     def scalar(self, ref) -> str:
         if isinstance(ref, str):
             self.reg_reads.add(ref)
-            return f"S[{self._reg_slot(ref)}]"
+            token = f"S[{self._reg_slot(ref)}]"
+            self._pending_reads.append(("reg", ref, token))
+            return token
         slot = len(self.s_entries)
         self.s_entries.append(("lit", float(ref)))
-        return f"S[{slot}]"
+        token = f"S[{slot}]"
+        self._pending_reads.append(("lit", float(ref), token))
+        return token
+
+    def effect_ir(self) -> EffectIR:
+        return EffectIR(tier="loop", batch=1,
+                        statements=list(self.effects),
+                        lens=tuple(self.lens),
+                        s_entries=tuple(self.s_entries),
+                        charges=tuple(self.charges),
+                        loops=tuple(self.loop_meta),
+                        reg_reads=frozenset(self.reg_reads),
+                        reg_writes=frozenset(self.reg_writes),
+                        source="".join(self.code))
 
     # -- emission --------------------------------------------------------
     def build(self, body: list):
+        self.emit_body_ir(body)
+        return self._finish_loop()
+
+    def emit_body_ir(self, body: list) -> None:
+        """Emit the loop body's source and effect IR (no compilation)."""
         self.code.append(
             "    for (long it0 = 0; it0 < max_iter; ++it0) {\n"
             "    IT[0]++;\n")
         self._emit_body(body, "loop_exit_0")
         self.code.append("    }\n"
                          "    loop_exit_0: ;\n")
-        return self._finish_loop()
 
     def _emit_body(self, items: list, exit_label: str) -> None:
         run: list = []
@@ -1233,6 +1363,7 @@ class _LoopBuilder(_ChunkBuilder):
             by_class[kind] = by_class.get(kind, 0) + c
         self.charges.append((cycles, by_class, len(run)))
         self.code.append(f"    CT[{slot}]++;\n")
+        self._charge_slot = slot
         for instr in run:
             if isinstance(instr, ScalarOp):
                 self._emit_scalar(instr)
@@ -1250,11 +1381,16 @@ class _LoopBuilder(_ChunkBuilder):
     def _emit_control(self, instr: Control, exit_label: str) -> None:
         slot = len(self.charges)
         self.charges.append((1, {"Control": 1}, 1))
+        self._charge_slot = slot
+        self._instr_index += 1
         value = self.scalar(instr.reg)
         threshold = self.scalar(instr.threshold_reg)
-        self.code.append(
-            f"    CT[{slot}]++;\n"
-            f"    if ({value} < {threshold}) goto {exit_label};\n")
+        text = (f"    CT[{slot}]++;\n"
+                f"    if ({value} < {threshold}) goto {exit_label};\n")
+        self.code.append(text)
+        self._record("control", "control", 0,
+                     expr=f"{value} < {threshold}", text=text,
+                     site=getattr(instr, "site", None))
 
     def _emit_loop(self, loop: Loop) -> None:
         if loop.max_iter < 1:
@@ -1263,13 +1399,18 @@ class _LoopBuilder(_ChunkBuilder):
             raise SimulationError("nested loop with zero trip count")
         it_slot = 1 + len(self.loops)
         self.loops.append((it_slot, loop.name))
+        self.loop_meta.append((it_slot, loop.name, int(loop.max_iter)))
         label = f"loop_exit_{it_slot}"
         var = f"it{it_slot}"
+        self._charge_slot = None
+        self._instr_index += 1
         self.code.append(
             "    {\n"
             f"    const long n_{var} = {self.length(loop.max_iter)};\n"
             f"    for (long {var} = 0; {var} < n_{var}; ++{var}) {{\n"
             f"    IT[{it_slot}]++;\n")
+        self._record("loop", "loop", loop.max_iter,
+                     site=getattr(loop, "site", None))
         self._emit_body(loop.body, label)
         self.code.append("    }\n"
                          "    }\n"
@@ -1280,6 +1421,7 @@ class _LoopBuilder(_ChunkBuilder):
             raise SimulationError(
                 f"binary scalar op {instr.op.value!r} has no src2 "
                 f"operand (dst={instr.dst!r})")
+        self._instr_index += 1
         a = self.scalar(instr.src1)
         b = self.scalar(instr.src2) if instr.src2 is not None else None
         op = instr.op
@@ -1306,7 +1448,12 @@ class _LoopBuilder(_ChunkBuilder):
             raise SimulationError(f"unknown scalar op {op}")
         dst = self._reg_slot(instr.dst)
         self.reg_writes.add(instr.dst)
-        self.code.append(guard + f"    S[{dst}] = {expr}; W[{dst}] = 1;\n")
+        text = guard + f"    S[{dst}] = {expr}; W[{dst}] = 1;\n"
+        self.code.append(text)
+        self._record(f"scalar:{op.value}", "scalar", 0, expr=expr,
+                     text=text,
+                     sreg_writes=((instr.dst, f"S[{dst}]"),),
+                     site=getattr(instr, "site", None))
 
     def _emit_vector(self, instr: VectorOp) -> None:
         executor = self.executor
@@ -1320,7 +1467,7 @@ class _LoopBuilder(_ChunkBuilder):
             self.reg_writes.add(instr.dst)
             body = "".join("    " + line + "\n" if line.strip() else line
                            for line in cjit.DOT_BODY.splitlines())
-            self.blocks.append(
+            block = (
                 "    {\n"
                 f"        const double *a = {self.buf(a)};\n"
                 f"        const double *b = {self.buf(b)};\n"
@@ -1329,6 +1476,13 @@ class _LoopBuilder(_ChunkBuilder):
                 f"        S[{slot}] = acc;\n"
                 f"        W[{slot}] = 1;\n"
                 "    }\n")
+            self.blocks.append(block)
+            self._record("dot", "reduce", a.size,
+                         srcs=(self._src_ref(instr.srcs[0], a),
+                               self._src_ref(instr.srcs[1], b)),
+                         text=block,
+                         sreg_writes=((instr.dst, f"S[{slot}]"),),
+                         site=getattr(instr, "site", None))
             return
         if kind is VectorOpKind.CLIP:
             a = executor._resident(instr.srcs[0])
@@ -1339,7 +1493,7 @@ class _LoopBuilder(_ChunkBuilder):
             dst = executor._dst_buffer(self.machine.vb, instr.dst, a.size)
             # max-then-min with NaN passthrough: evaluates np.clip
             # exactly (verified over all special-value triples).
-            self.blocks.append(
+            block = (
                 "    {\n"
                 f"        const double *a = {self.buf(a)};\n"
                 f"        const double *lo = {self.buf(lo)};\n"
@@ -1353,6 +1507,13 @@ class _LoopBuilder(_ChunkBuilder):
                 "            d[i] = isnan(t) ? t : (t < hi[i] ? t : hi[i]);\n"
                 "        }\n"
                 "    }\n")
+            self.blocks.append(block)
+            self._record("clip", "elementwise", a.size,
+                         dst=BufferRef("vb", instr.dst, dst.shape[0]),
+                         srcs=(self._src_ref(instr.srcs[0], a),
+                               self._src_ref(instr.srcs[1], lo),
+                               self._src_ref(instr.srcs[2], hi)),
+                         text=block, site=getattr(instr, "site", None))
             return
         # The generated elementwise loops never broadcast; the closure
         # path would (via numpy), so refuse non-conforming shapes here

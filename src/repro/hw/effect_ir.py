@@ -1,0 +1,195 @@
+"""Effect IR: the statically checkable record of generated C code.
+
+Every C code generator in the simulator — the solo chunk builder and
+whole-loop builder in :mod:`repro.hw.compiled` and the batched chunk
+builder in :mod:`repro.hw.batched` — emits an :class:`EffectIR`
+alongside the source text it generates. The IR is a per-statement
+record of *effects*: which buffers each emitted loop reads and writes,
+the loop bound it runs over, the scalar registers/literals it consumes
+(and through which table token), the per-element expression text, and
+— for the whole-loop tier — the charge-slot and trip-counter tables
+the cycle accounting is applied from.
+
+:mod:`repro.verify.codegen` consumes this IR to prove, before a
+generated kernel ever runs, that every index stays in bounds, that no
+statement observes state the solo interpreter would have ordered
+differently, that the loop write-sets the batch snapshot-restore
+machinery relies on are sound, that every expression is exactly the
+ISA semantics it lowers (no reassociation or contraction — the
+property the ``-ffp-contract=off`` bit-exactness contract pins at the
+source level), and that the fused-tier cycle charges reconcile with
+the static cost model.
+
+The IR is emitted by the same builder methods that append the C text,
+so it cannot drift from the source by construction; the *verifier*
+recomputes every expectation independently from the ISA instructions.
+:data:`EFFECT_IR_VERSION` participates in the cjit cache digest (see
+:mod:`repro.hw.cjit`), so a cached ``.so`` can never be served with a
+stale IR schema.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["EFFECT_IR_VERSION", "BufferRef", "EffectStatement",
+           "EffectIR"]
+
+#: Schema version of the effect IR. Bump whenever the meaning of any
+#: field changes; part of the cjit disk-cache key so compiled modules
+#: and their IR can never disagree about the schema.
+EFFECT_IR_VERSION = "1"
+
+
+@dataclass(frozen=True)
+class BufferRef:
+    """One vector-space operand of an emitted statement.
+
+    ``space`` keys the machine state dicts (``"vb"`` / ``"cvb"`` /
+    ``"hbm"`` / ``"scalars"``) plus ``"matrix"`` for streamed matrix
+    value blocks. ``length`` is the element count along the vector
+    axis (the lane axis of a lane-minor ``(len, B)`` buffer is carried
+    by :attr:`EffectIR.batch`, not here).
+    """
+
+    space: str
+    name: str
+    length: int
+
+
+@dataclass(frozen=True, eq=False)
+class EffectStatement:
+    """One emitted C statement (loop, kernel block, or scalar line).
+
+    ``index`` names the iteration shape of the emitted code:
+
+    ``"elementwise"``
+        ``for i in [0, bound)`` over solo ``(len,)`` buffers.
+    ``"flat"``
+        one loop over all ``len * batch`` contiguous elements of
+        lane-minor buffers (``bound`` is the flattened count).
+    ``"laned"``
+        row loop over ``bound`` rows with an inner lane loop of
+        ``lane_bound`` lanes.
+    ``"gather"``
+        the CSR SpMV row-sum (indirect reads through ``index_arrays``).
+    ``"reduce"``
+        the sequential DOT accumulation into a scalar.
+    ``"scalar"``
+        a scalar-register statement (no vector loop; ``lane_bound``
+        is the lane count for the batched tier).
+    ``"control"``
+        a Control exit test (loop tier).
+    ``"loop"``
+        a nested-loop entry marker (loop tier; ``bound`` is
+        ``max_iter``).
+    """
+
+    op: str
+    index: str
+    bound: int
+    dst: BufferRef | None = None
+    srcs: tuple[BufferRef, ...] = ()
+    expr: str = ""
+    text: str = ""
+    lane_bound: int = 0
+    #: Scalar-register reads as ``(register, token)`` pairs, in the
+    #: order the emitted declarations bind them (s0 before s1).
+    sreg_reads: tuple[tuple[str, str], ...] = ()
+    #: Literal scalar operands as ``(value, token)`` pairs.
+    lit_reads: tuple[tuple[float, str], ...] = ()
+    #: Scalar-register writes as ``(register, token)`` pairs.
+    sreg_writes: tuple[tuple[str, str], ...] = ()
+    #: ``(L-table slot, value)`` pairs this statement's bounds read.
+    len_slots: tuple[tuple[int, int], ...] = ()
+    #: Position of the source instruction in the emitted unit's walk.
+    instr_index: int = -1
+    site: str | None = None
+    matrix: str | None = None
+    #: ``(rows, cols)`` of the SpMV matrix, when ``index == "gather"``.
+    spmv_shape: tuple[int, int] | None = None
+    #: ``(col, ip)`` int64 index arrays of the embedded CSR gather.
+    index_arrays: tuple[Any, Any] | None = None
+    nnz: int = 0
+    #: CT charge slot this statement's cost accrues to (loop tier).
+    charge_slot: int | None = None
+
+    def vector_writes(self) -> tuple[tuple[str, str], ...]:
+        """``(space, name)`` vector destinations of this statement."""
+        if self.dst is None or self.dst.space == "scalars":
+            return ()
+        return ((self.dst.space, self.dst.name),)
+
+
+@dataclass(eq=False)
+class EffectIR:
+    """The full effect record of one generated C unit.
+
+    ``tier`` is ``"chunk"`` (solo straight-line fusion), ``"loop"``
+    (whole-loop fusion) or ``"batch-chunk"`` (lane-minor batched
+    fusion). ``lens`` is the runtime ``L`` table the generated code
+    indexes its loop bounds from; ``consts`` the batched ``S``
+    constant table; ``s_entries``/``charges``/``loops`` the loop
+    tier's scalar-slot, charge-slot and trip-counter tables.
+    """
+
+    tier: str
+    batch: int = 1
+    version: str = EFFECT_IR_VERSION
+    statements: list[EffectStatement] = field(default_factory=list)
+    lens: tuple[int, ...] = ()
+    consts: tuple[float, ...] = ()
+    #: Loop tier: per-S-slot ``("reg", name)`` / ``("lit", value)``.
+    s_entries: tuple[tuple[str, Any], ...] = ()
+    #: Loop tier: per-CT-slot ``(cycles, by_class, instructions)``.
+    charges: tuple[tuple[int, dict, int], ...] = ()
+    #: Loop tier: ``(IT slot, loop name, max_iter)`` per nested loop.
+    loops: tuple[tuple[int, str, int], ...] = ()
+    reg_reads: frozenset = frozenset()
+    reg_writes: frozenset = frozenset()
+    source: str = ""
+
+    def writes(self) -> set:
+        """Every ``(space, name)`` this unit's statements write."""
+        out: set = set()
+        for stmt in self.statements:
+            out.update(stmt.vector_writes())
+            for name, _tok in stmt.sreg_writes:
+                out.add(("scalars", name))
+        return out
+
+    def digest(self) -> str:
+        """Stable fingerprint of the IR (shape, tables and source).
+
+        Covers everything the verifier's analyses read, so one
+        verification acceptance can be memoized per digest: two units
+        with equal digests are verdict-equivalent.
+        """
+        h = hashlib.sha256()
+        h.update(self.version.encode())
+        h.update(self.tier.encode())
+        h.update(str(self.batch).encode())
+        h.update(repr(self.lens).encode())
+        h.update(repr(self.consts).encode())
+        h.update(repr(self.s_entries).encode())
+        h.update(repr([(c, sorted(bc.items()), n)
+                       for c, bc, n in self.charges]).encode())
+        h.update(repr(self.loops).encode())
+        h.update(repr(sorted(self.reg_reads)).encode())
+        h.update(repr(sorted(self.reg_writes)).encode())
+        for stmt in self.statements:
+            h.update(repr((stmt.op, stmt.index, stmt.bound,
+                           stmt.dst, stmt.srcs, stmt.expr, stmt.text,
+                           stmt.lane_bound, stmt.sreg_reads,
+                           stmt.lit_reads, stmt.sreg_writes,
+                           stmt.len_slots, stmt.instr_index,
+                           stmt.matrix, stmt.spmv_shape, stmt.nnz,
+                           stmt.charge_slot)).encode())
+            if stmt.index_arrays is not None:
+                col, ip = stmt.index_arrays
+                h.update(col.tobytes())
+                h.update(ip.tobytes())
+        h.update(self.source.encode())
+        return h.hexdigest()

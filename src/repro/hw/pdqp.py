@@ -116,6 +116,9 @@ class PDQPAccelerator:
         self.recovery = recovery
         self.deadline_seconds = (float(deadline_seconds)
                                  if deadline_seconds is not None else None)
+        #: Static verification on/off — covers both the pre-execution
+        #: program passes and the compiled backend's codegen guard.
+        self._verify = bool(verify)
 
         self._host_setup()
         self._build_machine()
@@ -164,7 +167,8 @@ class PDQPAccelerator:
                 cvb_depth=customization.matrices[name].duplication_cycles)
             for name in ("P", "A", "At")})
         self.machine.injector = self.fault_injector
-        self._executor = (CompiledExecutor(self.machine)
+        self._executor = (CompiledExecutor(self.machine,
+                                           verify=self._verify)
                           if self.backend == "compiled" else None)
 
     def _run_program(self, program) -> ExecutionStats:

@@ -65,6 +65,10 @@ class ArchArtifact:
     #: Set by :func:`repro.verify.ensure_artifact_verified` after the
     #: static passes accept the artifact; solve paths skip re-checking.
     verified: bool = field(default=False, compare=False)
+    #: Set by :func:`repro.verify.ensure_batch_verified` (and the
+    #: ``--codegen`` CLI) after the generated-C tier's static lift
+    #: passes; one accept covers every batch bound to this artifact.
+    codegen_verified: bool = field(default=False, compare=False)
 
     @property
     def architecture_string(self) -> str:

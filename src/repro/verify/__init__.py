@@ -12,7 +12,13 @@ diagnostic vocabulary and pre-execution guard entry points:
   CVB layout alone;
 * :func:`program_bounds` / :func:`verify_compiled` — static per-block
   min/max cycle bounds and a cross-check of the compiled program's
-  cached analytic section costs.
+  cached analytic section costs, including the whole-loop fused tier's
+  CT charge-table decomposition;
+* :func:`verify_codegen` / :func:`ensure_codegen_verified` — the
+  generated-C tier: lift every unit the compiled backends would fuse
+  into effect IR and prove bounds/aliasing, write-set soundness,
+  instruction-by-instruction expression equivalence, and cycle-charge
+  consistency — statically, with no C toolchain required.
 
 ``python -m repro.verify`` runs every pass over compiler-emitted
 programs and customizations for the problem suite — the CI gate.
@@ -25,10 +31,12 @@ with structured diagnostics before they reach an accelerator.
 from .artifact import (ensure_artifact_verified, verify_artifact,
                        verify_compiled_program)
 from .batch import ensure_batch_verified, verify_batch
-from .cycles import (CycleBounds, block_bounds, program_bounds,
-                     verify_compiled)
-from .diagnostics import (Diagnostic, Location, Severity,
-                          VerificationReport)
+from .codegen import (codegen_report_for_artifact, ensure_codegen_verified,
+                      verify_codegen, verify_effect_ir)
+from .cycles import (CycleBounds, block_bounds, loop_charge_slots,
+                     program_bounds, verify_compiled)
+from .diagnostics import (DIAGNOSTIC_CODES, Diagnostic, Location, Severity,
+                          VerificationReport, diagnostics_table)
 from .program import (ProgramContract, accelerator_contract,
                       contract_for_algorithm, pdqp_contract,
                       verify_program)
@@ -58,4 +66,11 @@ __all__ = [
     "ensure_artifact_verified",
     "verify_batch",
     "ensure_batch_verified",
+    "verify_effect_ir",
+    "verify_codegen",
+    "ensure_codegen_verified",
+    "codegen_report_for_artifact",
+    "loop_charge_slots",
+    "DIAGNOSTIC_CODES",
+    "diagnostics_table",
 ]

@@ -10,6 +10,15 @@ ERROR-severity diagnostic, so CI can run this as a gate::
     python -m repro.verify --count 2
     python -m repro.verify --families control,lasso --count 1 --baseline
     python -m repro.verify --c 8 --show info
+    python -m repro.verify --codegen --count 2
+    python -m repro.verify --codes
+
+``--codegen`` additionally lifts every generated-C unit (solo chunk,
+whole-loop, and lane-minor batch tiers) of each artifact's program —
+for the default ADMM program *and* a PDQP build of the same problem —
+and runs the effect-IR analyses of :mod:`repro.verify.codegen` over
+them. ``--codes`` prints the registered diagnostic-code table and
+exits (used by the docs drift test).
 """
 
 from __future__ import annotations
@@ -22,7 +31,8 @@ from ..experiments.runner import choose_width
 from ..problems import FAMILIES, benchmark_suite
 from ..serving.arch_cache import build_artifact
 from .artifact import verify_artifact
-from .diagnostics import Severity, VerificationReport
+from .codegen import codegen_report_for_artifact
+from .diagnostics import Severity, VerificationReport, diagnostics_table
 from .schedule_check import verify_customization
 
 _SHOW = {"error": Severity.ERROR, "warning": Severity.WARNING,
@@ -58,8 +68,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="minimum severity to print (default "
                              "warning; errors always count toward the "
                              "exit status)")
+    parser.add_argument("--codegen", action="store_true",
+                        help="also lift and verify the generated-C tier "
+                             "(effect-IR bounds/write-set/equivalence/"
+                             "cycle analyses) for ADMM and PDQP builds "
+                             "of every suite problem")
+    parser.add_argument("--batch", type=int, default=2,
+                        help="batch width for the --codegen lane-minor "
+                             "tier (default 2)")
+    parser.add_argument("--codes", action="store_true",
+                        help="print the diagnostic-code table and exit")
     parser.add_argument("--seed", type=int, default=42)
     args = parser.parse_args(argv)
+
+    if args.codes:
+        print(diagnostics_table())
+        return 0
 
     families = None
     if args.families:
@@ -84,6 +108,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.baseline:
             base = baseline_customization(entry.problem, c)
             report.extend(verify_customization(base))
+        if args.codegen:
+            report.extend(codegen_report_for_artifact(
+                artifact, entry.problem, batch=args.batch))
+            pdqp = build_artifact(entry.problem, c, algorithm="pdqp")
+            report.extend(codegen_report_for_artifact(
+                pdqp, entry.problem, batch=args.batch))
         n_err, n_warn = len(report.errors), len(report.warnings)
         total_errors += n_err
         total_warnings += n_warn

@@ -79,3 +79,13 @@ def ensure_batch_verified(artifact: "ArchArtifact",
                              context=context or "batch artifact rejected")
     report = _lane_report(artifact, problems)
     report.raise_if_failed(context or "batch lanes rejected")
+    if problems and not getattr(artifact, "codegen_verified", False):
+        # Codegen pass once per artifact: lift every unit the batched
+        # backend would fuse (at this batch width) and prove bounds,
+        # write-set and expression equivalence before any lane binds.
+        from .codegen import codegen_report_for_artifact
+
+        codegen = codegen_report_for_artifact(artifact, problems[0],
+                                              batch=len(problems))
+        codegen.raise_if_failed(context or "batch codegen rejected")
+        artifact.codegen_verified = True

@@ -22,7 +22,131 @@ __all__ = [
     "Location",
     "Diagnostic",
     "VerificationReport",
+    "DIAGNOSTIC_CODES",
+    "diagnostics_table",
 ]
+
+#: Registry of every stable diagnostic code any pass may emit, with a
+#: one-line description. :meth:`VerificationReport.add` refuses codes
+#: missing from this table, so a new check cannot ship an unregistered
+#: (and undocumented) code — the table in ``docs/VERIFY.md`` is
+#: generated from this dict by :func:`diagnostics_table` and a CI test
+#: asserts the two never drift.
+DIAGNOSTIC_CODES: dict[str, str] = {
+    # --- program pass (repro.verify.program) ---
+    "use-before-def": "an operand is read before any instruction "
+                      "defines it",
+    "scalar-arity": "a ScalarOp has the wrong number of operands for "
+                    "its opcode",
+    "vector-arity": "a VectorOp has the wrong number of sources for "
+                    "its opcode",
+    "missing-coefficient": "an AXPBY/SCALE_ADD lacks a required "
+                           "alpha/beta coefficient",
+    "unknown-instruction": "an opcode outside the ISA reached the "
+                           "verifier",
+    "control-outside-loop": "a Control exit test appears outside any "
+                            "Loop body",
+    "unknown-cvb-bank": "a VecDup targets a CVB bank the machine does "
+                        "not provision",
+    "unknown-matrix": "an SpMV names a matrix the machine does not "
+                      "hold",
+    "spmv-src-not-in-cvb": "an SpMV reads a vector that was never "
+                           "duplicated into its CVB bank",
+    "bad-transfer-direction": "a DataTransfer direction is not "
+                              "load/store",
+    "fusion-raw-hazard": "a fused run would read a value written "
+                         "earlier in the same run out of order",
+    "unreachable-code": "instructions follow an unconditional loop "
+                        "exit",
+    "empty-loop": "a Loop has no body",
+    "no-loop-exit": "a Loop body contains no Control exit test",
+    "static-exit-condition": "a Control condition compares registers "
+                             "no loop iteration can change",
+    # --- schedule/CVB pass (repro.verify.schedule_check) ---
+    "width-mismatch": "a schedule row's lane width disagrees with the "
+                      "architecture",
+    "dictionary-gap": "a sparsity-string codeword is missing from the "
+                      "dictionary",
+    "lane-overflow": "a scheduled lane index exceeds the architecture "
+                     "width",
+    "bank-oversubscription": "more vectors are packed into a CVB bank "
+                             "than it has room for",
+    "slot-overflow": "a pack slot index exceeds the pack capacity",
+    "slot-structure-mismatch": "a pack slot's nnz structure disagrees "
+                               "with the matrix",
+    "coverage-gap": "schedule rows do not cover every matrix row "
+                    "exactly once",
+    "stream-order": "streamed values are out of schedule order",
+    "nnz-mismatch": "scheduled nonzero count disagrees with the "
+                    "matrix nnz",
+    "negative-padding": "a schedule claims negative padding",
+    "request-shape": "a gather request shape disagrees with its "
+                     "segment",
+    "translation-gap": "a matrix column has no CVB translation entry",
+    "depth-undercount": "provisioned CVB depth is too small for the "
+                        "packed vectors",
+    "over-provisioned-depth": "provisioned CVB depth exceeds what the "
+                              "packing needs (info)",
+    "eta-mismatch": "recomputed efficiency eta disagrees with the "
+                    "artifact's claim",
+    "architecture-mismatch": "artifact architecture parameters "
+                             "disagree with the schedule",
+    # --- cycle pass (repro.verify.cycles) ---
+    "missing-sections": "a compiled program lacks the per-section "
+                        "cycle table",
+    "cycle-cost-mismatch": "a section's claimed cycles fall outside "
+                           "the analytic min/max bracket",
+    "fused-cycle-mismatch": "a whole-loop-fused section's charge "
+                            "table disagrees with the analytic cost "
+                            "decomposition",
+    # --- artifact/batch binding passes ---
+    "context-mismatch": "artifact dimensions disagree with the bound "
+                        "problem context",
+    "batch-empty": "a batch bind carries zero lanes",
+    "lane-mismatch": "a batch lane's structure fingerprint disagrees "
+                     "with the artifact",
+    # --- codegen pass (repro.verify.codegen) ---
+    "codegen-shape-mismatch": "an effect-IR statement's operand "
+                              "lengths disagree with the machine "
+                              "buffers",
+    "codegen-index-out-of-bounds": "a generated loop bound or index "
+                                   "array exceeds its buffer length",
+    "codegen-alias-hazard": "a generated gather/reduce writes a "
+                            "buffer it also reads indirectly",
+    "codegen-order-mismatch": "generated statements execute in a "
+                              "different order than the source "
+                              "instructions",
+    "codegen-stale-scalar-read": "generated code reads a scalar "
+                                 "table entry that an earlier "
+                                 "statement already overwrote",
+    "codegen-scalar-slot-mismatch": "a scalar-table slot binds a "
+                                    "different register/literal than "
+                                    "the emitted token claims",
+    "codegen-write-set-miss": "the effect IR writes a buffer missing "
+                              "from the static snapshot write-set",
+    "codegen-expression-mismatch": "an emitted per-element expression "
+                                   "differs from the ISA semantics "
+                                   "of its instruction",
+    "codegen-kernel-body-drift": "an embedded kernel body differs "
+                                 "from the canonical cjit template",
+    "codegen-cycle-mismatch": "an effect-IR charge table entry "
+                              "disagrees with the static cost model",
+    "codegen-coverage": "summary of generated units the codegen pass "
+                        "analyzed (info)",
+}
+
+
+def diagnostics_table() -> str:
+    """Render :data:`DIAGNOSTIC_CODES` as a markdown table.
+
+    ``docs/VERIFY.md`` embeds this output between generated-table
+    markers; a test regenerates it and fails on drift.
+    """
+    lines = ["| code | meaning |", "| --- | --- |"]
+    for code in sorted(DIAGNOSTIC_CODES):
+        desc = " ".join(DIAGNOSTIC_CODES[code].split())
+        lines.append(f"| `{code}` | {desc} |")
+    return "\n".join(lines) + "\n"
 
 
 class Severity(enum.IntEnum):
@@ -94,6 +218,11 @@ class VerificationReport:
 
     def add(self, severity: Severity, code: str, message: str,
             location: Location, hint: str = "") -> Diagnostic:
+        if code not in DIAGNOSTIC_CODES:
+            raise ValueError(
+                f"unregistered diagnostic code {code!r}: add it to "
+                "repro.verify.diagnostics.DIAGNOSTIC_CODES (and "
+                "regenerate the docs table)")
         diag = Diagnostic(severity, code, message, location, hint)
         self.diagnostics.append(diag)
         return diag

@@ -1,0 +1,315 @@
+"""Codegen-verifier tests: seeded defects must be caught, real units
+must pass.
+
+The mutation tests lift real effect IRs (the same static lift the
+``--codegen`` CLI gate runs), seed a single classic codegen defect —
+an off-by-one loop bound, a dropped write-set entry, a reassociated
+expression, a mischarged cycle slot — and assert the verifier reports
+a *located* diagnostic with the stable code for exactly that defect
+class. The sweep tests assert the converse: every unit the backends
+would actually fuse, for both algorithms and all three tiers,
+verifies with zero errors (no false positives).
+
+Runs without hypothesis (the property variants skip) and without
+cffi (the lift is static by construction).
+"""
+
+import re
+from dataclasses import replace
+from functools import lru_cache
+from pathlib import Path
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # the CI lint job has no hypothesis
+    HAVE_HYPOTHESIS = False
+
+from repro.exceptions import VerificationError
+from repro.experiments.runner import choose_width
+from repro.hw.compiled import CompiledExecutor
+from repro.problems import benchmark_suite
+from repro.serving.arch_cache import build_artifact
+from repro.verify import codegen as cg
+from repro.verify import (DIAGNOSTIC_CODES, Location, VerificationReport,
+                          codegen_report_for_artifact, diagnostics_table,
+                          ensure_batch_verified, ensure_codegen_verified,
+                          verify_effect_ir)
+
+MUTABLE_BOUNDS = ("elementwise", "flat", "laned", "reduce")
+
+CODEGEN_CODES = (
+    "codegen-shape-mismatch", "codegen-index-out-of-bounds",
+    "codegen-alias-hazard", "codegen-order-mismatch",
+    "codegen-stale-scalar-read", "codegen-scalar-slot-mismatch",
+    "codegen-write-set-miss", "codegen-expression-mismatch",
+    "codegen-kernel-body-drift", "codegen-cycle-mismatch",
+    "codegen-coverage",
+)
+
+
+@lru_cache(maxsize=None)
+def suite_entry():
+    return list(benchmark_suite(count=1, scale=0.25, seed=7))[0]
+
+
+@lru_cache(maxsize=None)
+def artifact(algorithm):
+    entry = suite_entry()
+    c = choose_width(entry.problem.nnz)
+    return build_artifact(entry.problem, c, algorithm=algorithm)
+
+
+@lru_cache(maxsize=None)
+def lifted_units(algorithm):
+    """Every unit the backends would fuse, as (ir, instrs, machine)."""
+    art = artifact(algorithm)
+    problem = suite_entry().problem
+    compiled = art.compiled
+    matrices = {"P": problem.P, "A": problem.A, "At": problem.A.transpose()}
+    units, skipped = [], [0]
+
+    solo = cg.Machine(compiled.context.c,
+                      cg._static_resources(compiled, matrices))
+    cg._seed_hbm(solo, compiled, None)
+    cg._prepare_buffers(solo, compiled.program.instructions, None)
+    solo_exec = CompiledExecutor(solo, jit=False, verify=False)
+    cg._solo_units(solo_exec, compiled.program.instructions, units, skipped)
+
+    bm = cg.BatchMachine(compiled.context.c,
+                         cg._static_resources(compiled, matrices, batch=2),
+                         2)
+    cg._seed_hbm(bm, compiled, 2)
+    cg._prepare_buffers(bm, compiled.program.instructions, 2)
+    batch_exec = cg.BatchExecutor(bm, jit=False, verify=False)
+    cg._batch_units(batch_exec, compiled.program.instructions, units,
+                    skipped)
+    return tuple(units)
+
+
+def unit_for(tier, algorithm="admm"):
+    for ir, instrs, machine in lifted_units(algorithm):
+        if ir.tier == tier:
+            return ir, instrs, machine
+    pytest.skip(f"no {tier} unit in the {algorithm} program")
+
+
+def clone(ir):
+    """Shallow clone safe for statement/table swaps (statements are
+    frozen; mutations always build replacements, never edit in place)."""
+    return replace(ir, statements=list(ir.statements))
+
+
+def codes_of(report):
+    return {diag.code for diag in report.errors}
+
+
+# ---------------------------------------------------------------------------
+# seeded defects -> located diagnostics with stable codes
+
+@pytest.mark.parametrize("tier,algorithm",
+                         [("batch-chunk", "admm"), ("loop", "admm"),
+                          ("chunk", "pdqp")])
+def test_seeded_off_by_one_bound_is_caught(tier, algorithm):
+    ir, instrs, machine = unit_for(tier, algorithm)
+    pos, stmt = next((i, s) for i, s in enumerate(ir.statements)
+                     if s.index in MUTABLE_BOUNDS and s.bound > 0)
+    mutated = clone(ir)
+    mutated.statements[pos] = replace(stmt, bound=stmt.bound + 1)
+    report = verify_effect_ir(mutated, instrs, machine)
+    found = [d for d in report.errors
+             if d.code == "codegen-index-out-of-bounds"]
+    assert found, report.render()
+    assert found[0].location.artifact.startswith("codegen")
+    assert str(stmt.instr_index) in found[0].location.path
+
+
+def test_seeded_dropped_loop_writeback_is_caught():
+    ir, instrs, machine = unit_for("loop")
+    assert ir.reg_writes, "loop unit writes no scalar registers"
+    dropped = sorted(ir.reg_writes)[0]
+    mutated = replace(ir, statements=list(ir.statements),
+                      reg_writes=frozenset(ir.reg_writes - {dropped}))
+    report = verify_effect_ir(mutated, instrs, machine)
+    assert "codegen-write-set-miss" in codes_of(report), report.render()
+    miss = next(d for d in report.errors
+                if d.code == "codegen-write-set-miss")
+    assert dropped in miss.message
+
+
+def test_seeded_phantom_vector_write_is_caught():
+    ir, instrs, machine = unit_for("batch-chunk")
+    pos, stmt = next((i, s) for i, s in enumerate(ir.statements)
+                     if s.dst is not None and s.dst.space == "vb")
+    mutated = clone(ir)
+    mutated.statements[pos] = replace(stmt,
+                                      dst=replace(stmt.dst, name="phantom"))
+    report = verify_effect_ir(mutated, instrs, machine)
+    assert "codegen-write-set-miss" in codes_of(report), report.render()
+
+
+@pytest.mark.parametrize("tier,algorithm",
+                         [("batch-chunk", "admm"), ("loop", "admm"),
+                          ("chunk", "pdqp")])
+def test_seeded_rewritten_expression_is_caught(tier, algorithm):
+    ir, instrs, machine = unit_for(tier, algorithm)
+    pos, stmt = next(
+        (i, s) for i, s in enumerate(ir.statements)
+        if s.expr and s.op in ("copy", "ewmul", "axpby", "scale_add",
+                               "vecdup"))
+    mutated = clone(ir)
+    mutated.statements[pos] = replace(stmt,
+                                      expr=stmt.expr.replace("=", "= 2.0 *",
+                                                             1))
+    report = verify_effect_ir(mutated, instrs, machine)
+    found = [d for d in report.errors
+             if d.code == "codegen-expression-mismatch"]
+    assert found, report.render()
+    assert str(stmt.instr_index) in found[0].location.path
+
+
+def test_seeded_mischarged_cycle_slot_is_caught():
+    ir, instrs, machine = unit_for("loop")
+    assert ir.charges, "loop unit has no charge table"
+    charges = list(ir.charges)
+    cycles, by_class, count = charges[0]
+    charges[0] = (cycles + 1, by_class, count)
+    mutated = replace(ir, statements=list(ir.statements), charges=charges)
+    report = verify_effect_ir(mutated, instrs, machine)
+    assert "codegen-cycle-mismatch" in codes_of(report), report.render()
+
+
+def test_seeded_reordered_statements_are_caught():
+    ir, instrs, machine = unit_for("batch-chunk")
+    mutated = clone(ir)
+    a, b = mutated.statements[0], mutated.statements[1]
+    mutated.statements[0] = replace(b)
+    mutated.statements[1] = replace(a)
+    report = verify_effect_ir(mutated, instrs, machine)
+    assert codes_of(report) & {"codegen-order-mismatch",
+                               "codegen-expression-mismatch"}, \
+        report.render()
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_any_bound_inflation_is_caught(data):
+        ir, instrs, machine = unit_for("batch-chunk")
+        candidates = [(i, s) for i, s in enumerate(ir.statements)
+                      if s.index in MUTABLE_BOUNDS and s.bound > 0]
+        pos, stmt = data.draw(st.sampled_from(candidates))
+        delta = data.draw(st.integers(min_value=1, max_value=10_000))
+        mutated = clone(ir)
+        mutated.statements[pos] = replace(stmt, bound=stmt.bound + delta)
+        report = verify_effect_ir(mutated, instrs, machine)
+        assert "codegen-index-out-of-bounds" in codes_of(report)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_any_charge_perturbation_is_caught(data):
+        ir, instrs, machine = unit_for("loop")
+        charges = list(ir.charges)
+        slot = data.draw(st.integers(min_value=0,
+                                     max_value=len(charges) - 1))
+        delta = data.draw(st.integers(min_value=-50,
+                                      max_value=50).filter(bool))
+        cycles, by_class, count = charges[slot]
+        charges[slot] = (cycles + delta, by_class, count)
+        mutated = replace(ir, statements=list(ir.statements),
+                          charges=charges)
+        report = verify_effect_ir(mutated, instrs, machine)
+        assert "codegen-cycle-mismatch" in codes_of(report)
+
+
+# ---------------------------------------------------------------------------
+# no false positives over real units
+
+@pytest.mark.parametrize("algorithm", ["admm", "pdqp"])
+def test_every_lifted_unit_verifies_clean(algorithm):
+    units = lifted_units(algorithm)
+    assert units
+    for ir, instrs, machine in units:
+        report = verify_effect_ir(ir, instrs, machine)
+        assert not report.errors, report.render()
+
+
+def test_all_three_tiers_are_covered():
+    tiers = {ir.tier for algorithm in ("admm", "pdqp")
+             for ir, _instrs, _machine in lifted_units(algorithm)}
+    assert tiers == {"chunk", "loop", "batch-chunk"}
+
+
+@pytest.mark.parametrize("algorithm", ["admm", "pdqp"])
+def test_artifact_report_passes(algorithm):
+    report = codegen_report_for_artifact(artifact(algorithm),
+                                         suite_entry().problem, batch=2)
+    assert not report.errors, report.render()
+    assert "codegen-coverage" in report.codes()
+
+
+# ---------------------------------------------------------------------------
+# guard wiring
+
+def test_ensure_codegen_verified_raises_with_report():
+    ir, instrs, machine = unit_for("loop")
+    charges = list(ir.charges)
+    cycles, by_class, count = charges[0]
+    charges[0] = (cycles + 3, by_class, count)
+    mutated = replace(ir, statements=list(ir.statements), charges=charges)
+    with pytest.raises(VerificationError) as excinfo:
+        ensure_codegen_verified(mutated, instrs, machine)
+    assert "codegen-cycle-mismatch" in {
+        d.code for d in excinfo.value.report.errors}
+
+
+def test_ensure_codegen_verified_memoizes_acceptance():
+    ir, instrs, machine = unit_for("chunk", "pdqp")
+    ensure_codegen_verified(ir, instrs, machine)
+    assert cg._VERIFIED.get(ir.digest()) is True
+    ensure_codegen_verified(ir, instrs, machine)  # cache hit, no raise
+
+
+def test_batch_guard_runs_codegen_pass_once():
+    art = artifact("admm")
+    problem = suite_entry().problem
+    ensure_batch_verified(art, [problem, problem])
+    assert art.codegen_verified is True
+
+
+def test_env_kill_switch_disables_runtime_guard(monkeypatch):
+    _ir, _instrs, machine = unit_for("chunk", "pdqp")
+    monkeypatch.setenv("REPRO_VERIFY_CODEGEN", "0")
+    assert CompiledExecutor(machine, jit=False).verify is False
+    monkeypatch.delenv("REPRO_VERIFY_CODEGEN")
+    assert CompiledExecutor(machine, jit=False).verify is True
+
+
+# ---------------------------------------------------------------------------
+# diagnostic-code registry and docs drift
+
+def test_registry_contains_every_codegen_code():
+    for code in CODEGEN_CODES:
+        assert code in DIAGNOSTIC_CODES
+
+
+def test_registry_rejects_unregistered_codes():
+    report = VerificationReport(subject="t")
+    with pytest.raises(ValueError):
+        report.error("definitely-not-a-registered-code", "boom",
+                     Location("t"))
+
+
+def test_docs_table_matches_registry():
+    doc = (Path(__file__).resolve().parents[1] / "docs"
+           / "VERIFY.md").read_text()
+    match = re.search(r"<!-- diagnostics-table:begin -->\n(.*?)"
+                      r"<!-- diagnostics-table:end -->", doc, re.S)
+    assert match, "docs/VERIFY.md lost its diagnostics-table markers"
+    assert match.group(1).strip() == diagnostics_table().strip(), (
+        "docs/VERIFY.md diagnostics table drifted from the registry; "
+        "regenerate it with `python -m repro.verify --codes`")
