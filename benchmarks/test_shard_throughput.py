@@ -1,0 +1,155 @@
+"""Process-sharded serving vs the single-process thread-pool service.
+
+The sharded front door exists to buy *CPU parallelism* (one GIL per
+worker process) and *crash isolation* on top of the same per-structure
+artifact amortization. This benchmark replays one repeated-structure
+workload through both deployments — a single-process
+:class:`~repro.serving.SolverService` with a thread pool, and a
+:class:`~repro.serving.ShardedSolverService` with 4 supervised worker
+processes over the checksummed shm store — after a warmup pass that
+publishes every artifact. It reports requests/second and p99 latency
+for both, asserts the shard-local artifact flow never fell back to a
+rebuild after warmup (publishes == structures, zero quarantines), and
+writes ``BENCH_SHARD.json`` at the repo root.
+
+The >= 2x RPS floor is asserted only when the host actually has >= 4
+CPU cores — process sharding cannot beat a thread pool on a one-core
+box, and the report stays honest either way.
+
+Respects ``REPRO_BENCH_COUNT`` / ``REPRO_BENCH_SCALE`` (see conftest).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from conftest import bench_scale, print_rows
+
+from repro.problems import generate, perturb_numeric
+from repro.serving import ShardedSolverService, SolverService
+from repro.solver import OSQPSettings
+
+REPORT_PATH = pathlib.Path(__file__).resolve().parent.parent \
+    / "BENCH_SHARD.json"
+
+SETTINGS = OSQPSettings(eps_abs=1e-3, eps_rel=1e-3, max_iter=4000)
+
+SHARDS = 4
+REPEATS = 12           # numeric variants per structure, per timed pass
+RPS_FLOOR = 2.0
+GATE_MIN_CORES = 4
+
+#: Two small structures: the point is scheduling overhead + process
+#: parallelism, not solver arithmetic.
+FAMILIES = (("svm", 10), ("lasso", 8))
+
+
+def _workload(scale: float):
+    problems = []
+    for family, size in FAMILIES:
+        template = generate(family, max(4, int(size * scale)), seed=0)
+        problems.append([template] + [perturb_numeric(template, seed=s)
+                                      for s in range(1, REPEATS)])
+    # Interleave the structures like a real request mix.
+    return [p for pair in zip(*problems) for p in pair]
+
+
+def _p99(latencies) -> float:
+    return float(np.percentile(np.asarray(latencies), 99))
+
+
+def _timed_pass(service, problems):
+    """Submit everything at once, wait for all; per-request latency is
+    measured from its own submit instant."""
+    submitted = []
+    for problem in problems:
+        submitted.append((time.perf_counter(), service.submit(problem)))
+    latencies = []
+    for t0, rid in submitted:
+        result = service.result(rid, timeout=300.0)
+        assert result.converged
+        latencies.append(time.perf_counter() - t0)
+    return latencies
+
+
+def test_shard_throughput():
+    scale = bench_scale()
+    warmup = _workload(scale)[:2 * 2]  # one batch per structure
+    problems = _workload(scale)
+
+    # -- single-process thread-pool baseline ---------------------------
+    with SolverService(settings=SETTINGS, workers=SHARDS,
+                       mode="thread") as single:
+        for problem in warmup:
+            assert single.solve(problem).converged
+        t0 = time.perf_counter()
+        single_lat = _timed_pass(single, problems)
+        single_s = time.perf_counter() - t0
+
+    # -- sharded deployment --------------------------------------------
+    with ShardedSolverService(shards=SHARDS, settings=SETTINGS,
+                              heartbeat_interval=0.02,
+                              soft_timeout=1.0,
+                              hard_timeout=5.0) as sharded:
+        for problem in warmup:
+            assert sharded.solve(problem, timeout=300.0).converged
+        store_after_warmup = sharded.stats()["store"]
+        t0 = time.perf_counter()
+        shard_lat = _timed_pass(sharded, problems)
+        shard_s = time.perf_counter() - t0
+        store_after_run = sharded.stats()["store"]
+        supervisor = sharded.stats()["supervisor"]
+
+    single_rps = len(problems) / single_s
+    shard_rps = len(problems) / shard_s
+    cores = os.cpu_count() or 1
+    gated = cores >= GATE_MIN_CORES
+
+    rows = [
+        {"deployment": "single-process", "workers": SHARDS,
+         "requests": len(problems),
+         "rps": round(single_rps, 2),
+         "p99_ms": round(_p99(single_lat) * 1e3, 2)},
+        {"deployment": f"sharded x{SHARDS}", "workers": SHARDS,
+         "requests": len(problems),
+         "rps": round(shard_rps, 2),
+         "p99_ms": round(_p99(shard_lat) * 1e3, 2)},
+    ]
+    print_rows(f"Sharded vs single-process throughput "
+               f"({cores} cores, gate {'on' if gated else 'off'})", rows)
+
+    # Shard-local artifact flow: after warmup every structure is
+    # published exactly once and nothing was quarantined or rebuilt —
+    # the timed pass served entirely from shared memory.
+    assert store_after_warmup["publishes"] == len(FAMILIES)
+    assert store_after_run["publishes"] == len(FAMILIES)
+    assert store_after_run["quarantines"] == 0
+    assert sum(supervisor["restarts"]) == 0
+
+    if gated:
+        assert shard_rps >= RPS_FLOOR * single_rps, (
+            f"sharded {shard_rps:.2f} rps < {RPS_FLOOR}x single-process "
+            f"{single_rps:.2f} rps on a {cores}-core host")
+
+    REPORT_PATH.write_text(json.dumps({
+        "shards": SHARDS,
+        "requests": len(problems),
+        "structures": len(FAMILIES),
+        "cpu_cores": cores,
+        "rps_gate_applied": gated,
+        "rps_floor_x": RPS_FLOOR,
+        "single_process": {"rps": round(single_rps, 2),
+                           "p99_ms": round(_p99(single_lat) * 1e3, 2),
+                           "wall_s": round(single_s, 3)},
+        "sharded": {"rps": round(shard_rps, 2),
+                    "p99_ms": round(_p99(shard_lat) * 1e3, 2),
+                    "wall_s": round(shard_s, 3)},
+        "speedup_x": round(shard_rps / single_rps, 2),
+        "publishes_after_run": store_after_run["publishes"],
+        "quarantines": store_after_run["quarantines"],
+        "restarts": sum(supervisor["restarts"]),
+        "bench_scale": scale,
+    }, indent=2, sort_keys=True))

@@ -53,10 +53,18 @@ class Coalescer:
         still make its deadline. Defaults to ``max_linger``.
     clock:
         Monotonic time source (injectable for tests).
+    on_flush:
+        Optional callback ``(reason, key, items)`` invoked for every
+        group the coalescer releases, with ``reason`` one of
+        ``"full"`` / ``"due"`` / ``"drain"`` — callers hang flush
+        accounting (and drain audits: every queued lane must be
+        released exactly once) off it without wrapping every call
+        site.
     """
 
     def __init__(self, max_batch: int = 32, max_linger: float = 0.005,
-                 deadline_headroom=None, clock=time.monotonic):
+                 deadline_headroom=None, clock=time.monotonic,
+                 on_flush=None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_linger < 0.0:
@@ -67,7 +75,12 @@ class Coalescer:
                                   if deadline_headroom is not None
                                   else float(max_linger))
         self._clock = clock
+        self.on_flush = on_flush
         self._groups: OrderedDict = OrderedDict()
+
+    def _emit(self, reason: str, key, items) -> None:
+        if self.on_flush is not None:
+            self.on_flush(reason, key, items)
 
     # ------------------------------------------------------------------
     @property
@@ -86,7 +99,9 @@ class Coalescer:
         group.append(entry)
         if len(group) >= self.max_batch:
             del self._groups[key]
-            return [e.item for e in group]
+            items = [e.item for e in group]
+            self._emit("full", key, items)
+            return items
         return None
 
     def _group_due(self, entries, now: float) -> bool:
@@ -111,7 +126,9 @@ class Coalescer:
             entries = self._groups[key]
             if self._group_due(entries, now):
                 del self._groups[key]
-                flushed.append((key, [e.item for e in entries]))
+                items = [e.item for e in entries]
+                self._emit("due", key, items)
+                flushed.append((key, items))
         return flushed
 
     def next_due_at(self, now=None):
@@ -139,4 +156,12 @@ class Coalescer:
         flushed = [(key, [e.item for e in entries])
                    for key, entries in self._groups.items()]
         self._groups.clear()
+        for key, items in flushed:
+            self._emit("drain", key, items)
         return flushed
+
+    def drain(self):
+        """Alias of :meth:`flush_all` for shutdown call sites: release
+        every queued lane (emitting ``"drain"`` flushes) so nothing is
+        left behind when intake stops. Returns ``[(key, items)]``."""
+        return self.flush_all()

@@ -51,6 +51,29 @@ class DeadlineExceededError(ReproError, TimeoutError):
     """A solve overran its per-request deadline (cooperative check)."""
 
 
+class ShmIntegrityError(ReproError, RuntimeError):
+    """A shared-memory artifact segment failed its integrity check.
+
+    Raised by :mod:`repro.serving.shm_store` when a segment's header is
+    malformed (bad magic/version), its publish generation does not match
+    the reference the reader was handed (torn or stale publish), or the
+    payload's blake2b digest disagrees with the header (bit rot, partial
+    write, or injected ``shm-corrupt`` fault). A segment that raises
+    this is quarantined and rebuilt from the cold path — never served.
+    ``reason`` is a stable short code (``"magic"``, ``"version"``,
+    ``"generation"``, ``"length"``, ``"checksum"``, ``"missing"``).
+    """
+
+    def __init__(self, message: str, reason: str = "checksum"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class ShardCrashedError(ReproError, RuntimeError):
+    """A worker shard died (crash/SIGKILL/stall-kill) with this request
+    in flight and the request could not be retried or degraded."""
+
+
 class VerificationError(ReproError, RuntimeError):
     """A static verification pass rejected an artifact.
 

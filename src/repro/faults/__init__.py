@@ -23,12 +23,13 @@ no-silent-corruption SLOs.
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from .detect import kkt_residuals, solution_ok
 from .inject import FaultInjector, flip_bit, poison_artifact
-from .plan import (EVERY_ATTEMPT, FAULT_KINDS, HW_KINDS, Fault,
-                   FaultPlan)
+from .plan import (EVERY_ATTEMPT, FAULT_KINDS, HW_KINDS, PROCESS_KINDS,
+                   Fault, FaultPlan)
 from .policy import RecoveryPolicy, ResiliencePolicy
 
 __all__ = [
-    "Fault", "FaultPlan", "FAULT_KINDS", "HW_KINDS", "EVERY_ATTEMPT",
+    "Fault", "FaultPlan", "FAULT_KINDS", "HW_KINDS", "PROCESS_KINDS",
+    "EVERY_ATTEMPT",
     "FaultInjector", "flip_bit", "poison_artifact",
     "kkt_residuals", "solution_ok",
     "RecoveryPolicy", "ResiliencePolicy",

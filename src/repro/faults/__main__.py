@@ -1,7 +1,8 @@
 """CLI: chaos replay — a skewed QP stream under a deterministic
 fault plan, asserting the end-to-end resilience SLOs.
 
-Two stages share one workload (the fleet CLI's Zipf-skewed stream):
+Up to three stages share one workload (the fleet CLI's Zipf-skewed
+stream):
 
 1. **serving chaos** — every request through a serial-mode
    :class:`~repro.serving.SolverService` with datapath bit-flips and
@@ -12,16 +13,29 @@ Two stages share one workload (the fleet CLI's Zipf-skewed stream):
    :class:`~repro.fleet.FleetService` with node-stall faults: nodes
    crash mid-service, in-flight work is requeued, circuit breakers
    steer traffic, and exhausted requests degrade to the spill lane.
+3. **sharded chaos** (``--shards N``) — the stream through a
+   :class:`~repro.serving.ShardedSolverService` of N worker
+   *processes* with the process-level vocabulary armed:
+   ``worker-crash`` (SIGKILL mid-flight), ``worker-stall``
+   (heartbeat silence, tier-resolved by the supervisor) and
+   ``shm-corrupt`` (checksummed shared-memory segment corrupted in
+   place, quarantined + rebuilt, never served). The supervisor
+   restarts, the front door requeues/degrades, and the same SLO
+   gates apply.
 
-The report contains only deterministic quantities (counts and
-simulated-clock values, never wall-clock times), so identical seeds
-produce byte-identical reports — including across the two execution
-backends (``--both-backends`` asserts exactly that).
+The serving/fleet report sections contain only deterministic
+quantities (counts and simulated-clock values, never wall-clock
+times), so identical seeds produce byte-identical reports — including
+across the two execution backends (``--both-backends`` asserts
+exactly that). The sharded section gates on the same availability +
+zero-silent-corruption SLOs; its supervision counters (restarts,
+requeues) are reported but not byte-stable, since crash timing
+decides how many innocent-bystander lanes die with a shard.
 
 SLO gates (exit code 1 on violation):
 
 * availability — answered / submitted — at least ``--min-availability``
-  in both stages;
+  in every stage;
 * **zero silent wrong answers**: every converged, non-degraded
   solution must satisfy the KKT re-check.
 
@@ -29,6 +43,8 @@ Examples::
 
     python -m repro.faults --seed 0 --requests 200
     python -m repro.faults --requests 64 --both-backends
+    python -m repro.faults --requests 32 --skip-fleet --shards 2 \\
+        --worker-crashes 2 --shm-corrupts 1
     python -m repro.faults --report chaos_report.json
 """
 
@@ -41,7 +57,7 @@ import time
 from ..fleet import AdmissionController, FleetService
 from ..fleet.__main__ import DEFAULT_FAMILIES, build_workload
 from ..problems import FAMILIES
-from ..serving import SolverService
+from ..serving import ShardedSolverService, SolverService
 from ..solver import OSQPSettings
 from .detect import solution_ok
 from .plan import FaultPlan
@@ -154,6 +170,74 @@ def fleet_chaos(args, templates, problems, backend: str) -> dict:
     }
 
 
+def sharded_chaos(args, problems) -> dict:
+    """Process-sharded replay under the process-level vocabulary:
+    worker crashes (SIGKILL), worker stalls (heartbeat silence) and
+    shared-memory corruption — supervised restart, requeue/degrade,
+    checksum quarantine. Returns the report section."""
+    plan = FaultPlan.generate(
+        args.seed + 2, len(problems),
+        mac_rate=0.0, hbm_rate=0.0, cvb_rate=0.0, poisons=0, stalls=0,
+        worker_crashes=args.worker_crashes,
+        worker_stalls=args.worker_stalls,
+        shm_corrupts=args.shm_corrupts,
+        worker_stall_seconds=args.worker_stall_seconds)
+    settings = OSQPSettings(eps_abs=args.eps, eps_rel=args.eps)
+    resilience = ResiliencePolicy(
+        max_retries=args.max_retries, backoff_base_seconds=0.0,
+        seed=args.seed)
+    answered = failed = silent = 0
+    with ShardedSolverService(
+            shards=args.shards, settings=settings, c=args.c,
+            backend=args.backend, fault_plan=plan,
+            resilience=resilience,
+            soft_timeout=args.soft_timeout,
+            hard_timeout=args.hard_timeout,
+            restart_backoff_base=0.02) as service:
+        rids = [service.submit(p) for p in problems]
+        for rid, problem in zip(rids, problems):
+            try:
+                result = service.result(rid, timeout=300)
+            except Exception:
+                failed += 1
+                continue
+            answered += 1
+            if (result.converged and not result.record.degraded
+                    and not solution_ok(
+                        problem, result.x, result.y, result.z,
+                        eps_abs=settings.eps_abs,
+                        eps_rel=settings.eps_rel,
+                        factor=args.check_factor)):
+                silent += 1
+        records = service.records()
+        stats = service.stats()
+        counters = service.metrics_snapshot()["counters"]
+
+    def family_total(prefix: str) -> float:
+        return sum(v for k, v in counters.items()
+                   if k.split("{", 1)[0] == prefix)
+
+    return {
+        "shards": args.shards,
+        "plan": plan.count_by_kind(),
+        "requests": len(problems),
+        "answered": answered,
+        "failed": failed,
+        "availability": answered / len(problems) if problems else 1.0,
+        "silent_wrong": silent,
+        "degraded": sum(r.degraded for r in records),
+        "restarts": sum(stats["supervisor"]["restarts"]),
+        "heartbeat_misses": sum(stats["supervisor"]["heartbeat_misses"]),
+        "requeues": int(family_total("serving_shard_requeues_total")),
+        "shm_corrupts_injected": int(
+            family_total("serving_shm_corrupt_injected_total")),
+        "shm_checksum_failures": int(
+            family_total("serving_shm_checksum_failures_total")),
+        "shm_quarantines": stats["store"]["quarantines"],
+        "converged": sum(r.converged for r in records),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.faults",
@@ -191,6 +275,25 @@ def main(argv=None) -> int:
                         help="node stalls in the fleet stage")
     parser.add_argument("--stall-duration", type=float, default=0.05,
                         help="simulated node outage length (seconds)")
+    # sharded stage (process-level vocabulary)
+    parser.add_argument("--shards", type=int, default=0,
+                        help="run the sharded chaos stage with this "
+                             "many worker processes (0 = skip)")
+    parser.add_argument("--worker-crashes", type=int, default=2,
+                        help="scheduled worker SIGKILLs (sharded stage)")
+    parser.add_argument("--worker-stalls", type=int, default=1,
+                        help="scheduled worker heartbeat stalls")
+    parser.add_argument("--shm-corrupts", type=int, default=1,
+                        help="scheduled shared-memory corruptions")
+    parser.add_argument("--worker-stall-seconds", type=float,
+                        default=0.5,
+                        help="worker stall length; between the soft "
+                             "and hard timeouts it recovers "
+                             "cooperatively, past hard it is killed")
+    parser.add_argument("--soft-timeout", type=float, default=0.25,
+                        help="shard heartbeat soft timeout (seconds)")
+    parser.add_argument("--hard-timeout", type=float, default=2.0,
+                        help="shard heartbeat hard timeout (seconds)")
     # resilience + fleet knobs
     parser.add_argument("--max-retries", type=int, default=2)
     parser.add_argument("--check-factor", type=float, default=100.0,
@@ -266,9 +369,29 @@ def main(argv=None) -> int:
         print(f"degraded answers       : {f['degraded']}")
         print(f"silent wrong answers   : {f['silent_wrong']}")
 
+    if args.shards > 0:
+        t0 = time.perf_counter()
+        sharded_section = sharded_chaos(args, problems)
+        elapsed = time.perf_counter() - t0
+        report["sharded"] = sharded_section
+        d = sharded_section
+        print(f"\n=== sharded chaos [{args.shards} shards, "
+              f"{args.backend}] ({elapsed:.2f} s wall) ===")
+        print(f"availability           : {d['availability']:.2%} "
+              f"({d['answered']}/{d['requests']} answered)")
+        print(f"plan                   : {d['plan']}")
+        print(f"shard restarts         : {d['restarts']} "
+              f"({d['requeues']} requeues, "
+              f"{d['heartbeat_misses']} heartbeat misses)")
+        print(f"shm checksum failures  : {d['shm_checksum_failures']} "
+              f"({d['shm_quarantines']} quarantined + rebuilt)")
+        print(f"degraded answers       : {d['degraded']}")
+        print(f"silent wrong answers   : {d['silent_wrong']}")
+
     # -- SLO gates -----------------------------------------------------
     violations = []
-    for name in [k for k in ("serving", "fleet") if k in report]:
+    for name in [k for k in ("serving", "fleet", "sharded")
+                 if k in report]:
         section = report[name]
         if section["availability"] < args.min_availability:
             violations.append(
@@ -278,6 +401,16 @@ def main(argv=None) -> int:
             violations.append(
                 f"{name} returned {section['silent_wrong']} silent "
                 f"wrong answer(s)")
+    sharded = report.get("sharded")
+    if sharded and sharded["shm_checksum_failures"] < \
+            sharded["shm_corrupts_injected"]:
+        # Every injected segment corruption must be *detected* by a
+        # reader checksum — an undetected one is a served lie waiting
+        # to happen.
+        violations.append(
+            f"sharded detected only {sharded['shm_checksum_failures']} "
+            f"of {sharded['shm_corrupts_injected']} injected shm "
+            "corruption(s)")
     if not backends_identical:
         violations.append("serving chaos reports differ across backends")
     report["slo"] = {"min_availability": args.min_availability,

@@ -28,6 +28,19 @@ Fault taxonomy (see ``docs/FAULTS.md``):
     A cached architecture artifact is corrupted in place (its compiled
     cycle bookkeeping no longer matches its schedules); the static
     verifier must catch it before any solve runs.
+``worker-crash``
+    A sharded-serving worker process is SIGKILLed mid-solve (an OOM
+    kill, a segfault); the supervisor must detect, restart, and
+    requeue/degrade its in-flight requests.
+``worker-stall``
+    A worker hangs for ``duration`` seconds without heartbeating; the
+    supervisor's deadline tiers decide — a short stall recovers
+    cooperatively, one past the hard timeout is killed + restarted.
+``shm-corrupt``
+    The shared-memory artifact segment a request is about to bind is
+    corrupted in place; the reader's checksum must detect it, the
+    segment is quarantined and rebuilt from the cold path, never
+    served.
 """
 
 from __future__ import annotations
@@ -36,14 +49,20 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-__all__ = ["Fault", "FaultPlan", "FAULT_KINDS", "HW_KINDS"]
+__all__ = ["Fault", "FaultPlan", "FAULT_KINDS", "HW_KINDS",
+           "PROCESS_KINDS"]
 
 #: Every fault kind a plan may carry.
 FAULT_KINDS = ("mac-flip", "hbm-read", "cvb-read", "node-stall",
-               "artifact-poison")
+               "artifact-poison", "worker-crash", "worker-stall",
+               "shm-corrupt")
 
 #: Kinds injected into the accelerator datapath (via FaultInjector).
 HW_KINDS = ("mac-flip", "hbm-read", "cvb-read")
+
+#: Process-level kinds driven by the sharded serving lane
+#: (:mod:`repro.serving.sharded`), addressed by request index.
+PROCESS_KINDS = ("worker-crash", "worker-stall", "shm-corrupt")
 
 #: Datapath channel each hw kind corrupts.
 KIND_CHANNEL = {"mac-flip": "spmv", "hbm-read": "load",
@@ -144,6 +163,24 @@ class FaultPlan:
         return [f for f in self.faults
                 if f.kind == "artifact-poison" and f.request == request]
 
+    def process_faults_for(self, request: int, attempt: int = 0) -> list:
+        """Worker crash/stall faults firing for one (request, attempt).
+
+        The sharded front door turns these into per-request directives:
+        a crash SIGKILLs the worker mid-solve, a stall suspends its
+        heartbeats for ``duration`` seconds. The default transient
+        semantics hold — a requeued request (attempt > 0) runs clean
+        unless the fault is ``EVERY_ATTEMPT``.
+        """
+        return [f for f in self.faults
+                if f.kind in ("worker-crash", "worker-stall")
+                and f.request == request and f.fires_on(attempt)]
+
+    def shm_corrupts_for(self, request: int) -> list:
+        """``shm-corrupt`` faults targeting one request index."""
+        return [f for f in self.faults
+                if f.kind == "shm-corrupt" and f.request == request]
+
     def count_by_kind(self) -> dict:
         counts: dict[str, int] = {}
         for f in self.faults:
@@ -162,7 +199,11 @@ class FaultPlan:
                  nodes: int = 1,
                  horizon: float = 1.0,
                  stall_duration: float = 0.05,
-                 op_span: int = 64) -> "FaultPlan":
+                 op_span: int = 64,
+                 worker_crashes: int = 0,
+                 worker_stalls: int = 0,
+                 shm_corrupts: int = 0,
+                 worker_stall_seconds: float = 0.2) -> "FaultPlan":
         """Draw a plan from a seeded generator.
 
         Each request independently suffers each datapath fault kind
@@ -174,6 +215,13 @@ class FaultPlan:
         the per-class op index drawn — ops past the end of a short
         solve simply never fire, which is fine: the report counts
         *observed* injections.
+
+        ``worker_crashes`` / ``worker_stalls`` / ``shm_corrupts``
+        schedule that many process-level faults at distinct request
+        indices for the sharded lane (stalls last
+        ``worker_stall_seconds``). They are drawn *after* everything
+        above, so plans generated with the historical arguments are
+        bit-identical to pre-process-vocabulary plans.
         """
         rng = np.random.default_rng(seed)
         faults: list[Fault] = []
@@ -200,6 +248,27 @@ class FaultPlan:
                 node=int(rng.integers(0, max(nodes, 1))),
                 time=float(rng.uniform(0.0, horizon)),
                 duration=float(stall_duration)))
+        if requests > 0:
+            process_kinds = (("worker-crash", worker_crashes),
+                             ("worker-stall", worker_stalls),
+                             ("shm-corrupt", shm_corrupts))
+            taken: set[int] = set()
+            for kind, count in process_kinds:
+                count = min(int(count), requests - len(taken))
+                if count <= 0:
+                    continue
+                # Distinct request indices across all process kinds, so
+                # one request never suffers a crash *and* a stall — the
+                # directive semantics stay unambiguous per request.
+                available = np.array(
+                    [r for r in range(requests) if r not in taken])
+                picks = rng.choice(available, size=count, replace=False)
+                for request in sorted(int(p) for p in picks):
+                    taken.add(request)
+                    faults.append(Fault(
+                        kind=kind, request=request,
+                        duration=(float(worker_stall_seconds)
+                                  if kind == "worker-stall" else 0.0)))
         return cls(seed=seed, faults=tuple(faults))
 
     # ------------------------------------------------------------------

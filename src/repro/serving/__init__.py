@@ -25,10 +25,14 @@ from .arch_cache import (ArchArtifact, ArchCache, CacheStats, PersistedSpec,
                          build_artifact)
 from .fingerprint import (StructureFingerprint, fingerprint_problem,
                           sparsity_string)
-from .metrics import Counter, Histogram, MetricsRegistry
+from .metrics import (Counter, Histogram, MetricsRegistry, merge_counters,
+                      parse_sample_name)
 from .pool import WorkerPool, reference_job, solve_job
 from .service import ServeRecord, ServeResult, SolverService
 from .session import BatchSolverSession, SolverSession
+from .sharded import ShardedSolverService
+from .shm_store import SegmentRef, ShmArtifactStore, attach_artifact
+from .supervisor import ShardSupervisor
 
 __all__ = [
     "ArchArtifact",
@@ -50,4 +54,11 @@ __all__ = [
     "SolverService",
     "SolverSession",
     "BatchSolverSession",
+    "ShardedSolverService",
+    "ShardSupervisor",
+    "ShmArtifactStore",
+    "SegmentRef",
+    "attach_artifact",
+    "merge_counters",
+    "parse_sample_name",
 ]

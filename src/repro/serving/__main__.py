@@ -13,6 +13,7 @@ Examples::
     python -m repro.serving --families control,lasso --repeats 10
     python -m repro.serving --workers 4 --cache-path /tmp/arch.json
     python -m repro.serving --cold-policy fallback
+    python -m repro.serving --shards 4   # process-sharded front door
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ import numpy as np
 from ..problems import FAMILIES, generate, perturb_numeric, suite_sizes
 from ..solver import OSQPSettings
 from .service import SolverService
+from .sharded import ShardedSolverService
 
 DEFAULT_FAMILIES = "control,lasso,svm"
 
@@ -47,6 +49,44 @@ def build_workload(families: list[str], structures: int, repeats: int,
     return [problems[i] for i in order]
 
 
+def _run_sharded(args, problems, settings) -> int:
+    """Replay the workload through the process-sharded front door."""
+    t0 = time.perf_counter()
+    with ShardedSolverService(shards=args.shards, settings=settings,
+                              c=args.c, cache_path=args.cache_path,
+                              backend=args.backend) as service:
+        results = service.solve_batch(problems)
+        elapsed = time.perf_counter() - t0
+
+        converged = sum(r.converged for r in results)
+        degraded = sum(r.record.degraded for r in results)
+        retried = sum(r.record.retries > 0 for r in results)
+        print(f"\nconverged              : {converged}/{len(results)}")
+        print(f"wall time              : {elapsed:.2f} s "
+              f"({len(results) / elapsed:.1f} solves/s)")
+        print(f"retried / degraded     : {retried} / {degraded}")
+        stats = service.stats()
+        sup = stats["supervisor"]
+        print(f"shard restarts         : {sum(sup['restarts'])} "
+              f"(states: {', '.join(sup['states'])})")
+        store = stats["store"]
+        print(f"shm store              : {store['publishes']} publishes, "
+              f"{store['segments']} live segments, "
+              f"{store['quarantines']} quarantined")
+        print("\nmetrics:")
+        if args.metrics_format == "prometheus":
+            print(service.metrics.render_prometheus(), end="")
+        else:
+            print(service.metrics.render())
+        cache = stats["cache"]
+        print(f"\ncache: {cache['size']}/{cache['capacity']} entries, "
+              f"{cache['evictions']} evictions, "
+              f"{cache['disk_hits']} disk rebuilds")
+        if args.cache_path:
+            print(f"cache persisted to {args.cache_path}")
+    return 0 if converged == len(results) else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serving",
@@ -65,6 +105,10 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--mode", choices=("thread", "process", "serial"),
                         default="thread")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="run the process-sharded front door with N "
+                             "supervised worker shards instead of the "
+                             "single-process service (0 = off)")
     parser.add_argument("--c", type=int, default=None,
                         help="datapath width (default: auto by nnz)")
     parser.add_argument("--cache-path", default=None,
@@ -92,12 +136,15 @@ def main(argv=None) -> int:
     problems = build_workload(families, args.structures, args.repeats,
                               args.scale, args.seed)
     total_nnz = sum(p.nnz for p in problems)
+    lane = (f"{args.shards} process shards" if args.shards > 0
+            else f"{args.mode} mode, {args.workers} workers")
     print(f"workload: {len(problems)} solves, "
           f"{len(families) * args.structures} structures, "
-          f"{total_nnz} total nnz "
-          f"({args.mode} mode, {args.workers} workers)")
+          f"{total_nnz} total nnz ({lane})")
 
     settings = OSQPSettings(eps_abs=args.eps, eps_rel=args.eps)
+    if args.shards > 0:
+        return _run_sharded(args, problems, settings)
     t0 = time.perf_counter()
     with SolverService(c=args.c, settings=settings, workers=args.workers,
                        mode=args.mode, cache_path=args.cache_path,

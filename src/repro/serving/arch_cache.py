@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import json
 import logging
+import os
+import tempfile
 import threading
 import time
 from collections import OrderedDict
@@ -333,7 +335,16 @@ class ArchCache:
 
     # ------------------------------------------------------------------
     def save(self, path: str | Path | None = None) -> Path:
-        """Write every known architecture decision as JSON."""
+        """Write every known architecture decision as JSON.
+
+        Crash-safe: the payload goes to a fresh temporary file in the
+        target directory, is fsynced, and is renamed over the target
+        atomically (then the directory entry is fsynced too). A
+        process killed at *any* instant leaves either the old complete
+        file or the new complete file — never a truncated one — so a
+        warm restart always loads a coherent cache (and :meth:`load`
+        already shrugs off pre-existing corruption).
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("no path given and cache has no default path")
@@ -341,9 +352,24 @@ class ArchCache:
             specs = [spec.__dict__ for spec in self._specs.values()]
         payload = {"version": _PERSIST_VERSION, "entries": specs}
         target.parent.mkdir(parents=True, exist_ok=True)
-        tmp = target.with_suffix(target.suffix + ".tmp")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        tmp.replace(target)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=target.name + ".", suffix=".tmp", dir=target.parent)
+        tmp = Path(tmp_name)
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(payload, indent=2, sort_keys=True))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        if hasattr(os, "O_DIRECTORY"):  # pragma: no branch - posix
+            dir_fd = os.open(target.parent, os.O_RDONLY | os.O_DIRECTORY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
         return target
 
     def load(self, path: str | Path | None = None) -> int:

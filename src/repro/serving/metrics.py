@@ -31,7 +31,8 @@ import zlib
 
 import numpy as np
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "merge_counters",
+           "parse_sample_name"]
 
 #: Sentinel distinguishing "use the registry default" from an explicit
 #: ``reservoir=None`` (exact mode) at histogram creation.
@@ -55,6 +56,68 @@ def _render_labels(labels: dict) -> str:
     inner = ",".join(f'{k}="{_escape_label_value(v)}"'
                      for k, v in sorted(labels.items()))
     return "{" + inner + "}"
+
+
+def parse_sample_name(sample: str) -> tuple[str, dict]:
+    """Invert :func:`_render_labels`: ``name{k="v",...}`` -> (name,
+    labels). Handles the escaped characters the renderer produces
+    (backslash, quote, newline). Raises ``ValueError`` on a malformed
+    sample name — merging must fail loudly, not mis-file counts."""
+    brace = sample.find("{")
+    if brace < 0:
+        return sample, {}
+    if not sample.endswith("}"):
+        raise ValueError(f"malformed sample name {sample!r}")
+    name, inner = sample[:brace], sample[brace + 1:-1]
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(inner):
+        eq = inner.find('="', i)
+        if eq < 0:
+            raise ValueError(f"malformed sample name {sample!r}")
+        key = inner[i:eq]
+        i = eq + 2
+        value = []
+        while True:
+            if i >= len(inner):
+                raise ValueError(f"malformed sample name {sample!r}")
+            ch = inner[i]
+            if ch == "\\":
+                nxt = inner[i + 1:i + 2]
+                value.append({"n": "\n"}.get(nxt, nxt))
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            else:
+                value.append(ch)
+                i += 1
+        labels[key] = "".join(value)
+        if i < len(inner):
+            if inner[i] != ",":
+                raise ValueError(f"malformed sample name {sample!r}")
+            i += 1
+    return name, labels
+
+
+def merge_counters(registry: "MetricsRegistry", counters: dict,
+                   extra_labels: dict | None = None) -> None:
+    """Fold a counter snapshot (``sample_name -> value``, the
+    ``snapshot()["counters"]`` shape) into ``registry``.
+
+    ``extra_labels`` are added to every merged series — the sharded
+    front door merges each worker's counters under its shard index,
+    so per-shard totals stay distinguishable after the worker process
+    is gone. Merging is additive and idempotent per snapshot delta;
+    callers merge each worker's final snapshot exactly once.
+    """
+    for sample, value in counters.items():
+        if value <= 0:
+            continue
+        name, labels = parse_sample_name(sample)
+        if extra_labels:
+            labels.update(extra_labels)
+        registry.counter(name, labels=labels or None).inc(value)
 
 
 class Counter:

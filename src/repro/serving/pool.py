@@ -149,11 +149,19 @@ class WorkerPool:
             future.set_exception(exc)
         return future
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and (optionally) wait; idempotent."""
+    def shutdown(self, wait: bool = True,
+                 cancel_pending: bool = False) -> None:
+        """Stop accepting work and (optionally) wait; idempotent.
+
+        ``cancel_pending`` cancels every queued-but-not-started job so
+        its future resolves as *cancelled* instead of leaking forever
+        unresolved — the hard-shutdown path. Jobs already running are
+        never interrupted; with ``wait`` they are still joined.
+        """
         self._closed = True
         if self._executor is not None:
-            self._executor.shutdown(wait=wait)
+            self._executor.shutdown(wait=wait,
+                                    cancel_futures=cancel_pending)
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -361,7 +361,8 @@ class SolverService:
     # ------------------------------------------------------------------
     def submit(self, problem: QProblem, *,
                warm_start: tuple | None = None,
-               deadline: float | None = None) -> int:
+               deadline: float | None = None,
+               request_id: int | None = None) -> int:
         """Enqueue one solve; returns a request id for :meth:`result`.
 
         ``deadline`` is a per-request wall-clock budget in seconds,
@@ -371,12 +372,21 @@ class SolverService:
         retry attempts. A missed deadline degrades to the reference
         solver (when the policy allows) rather than returning late
         accelerator output.
+
+        ``request_id`` lets an embedding layer (the sharded front door)
+        impose its own id so fault-plan addressing and cross-process
+        accounting line up with the global request stream; auto-
+        assigned ids continue above any imposed id.
         """
         if self._closed:
             raise RuntimeError("service is closed")
         with self._lock:
-            request_id = self._next_id
-            self._next_id += 1
+            if request_id is None:
+                request_id = self._next_id
+                self._next_id += 1
+            else:
+                request_id = int(request_id)
+                self._next_id = max(self._next_id, request_id + 1)
         submitted = time.perf_counter()
         future = self._dispatch.submit(
             self._handle, request_id, problem, warm_start, submitted,
@@ -397,15 +407,18 @@ class SolverService:
     def solve(self, problem: QProblem, *,
               warm_start: tuple | None = None,
               timeout: float | None = None,
-              deadline: float | None = None) -> ServeResult:
+              deadline: float | None = None,
+              request_id: int | None = None) -> ServeResult:
         """Synchronous convenience: submit + result."""
         return self.result(self.submit(problem, warm_start=warm_start,
-                                       deadline=deadline),
+                                       deadline=deadline,
+                                       request_id=request_id),
                            timeout=timeout)
 
     def solve_batch(self, problems, *, warm_starts=None,
                     deadlines=None, timeout: float | None = None,
-                    coalesce: bool = True) -> list[ServeResult]:
+                    coalesce: bool = True,
+                    request_ids=None) -> list[ServeResult]:
         """Solve many problems, coalescing same-structure requests
         into lockstep batches; results preserve submission order.
 
@@ -420,19 +433,24 @@ class SolverService:
         resilient path alone, without disturbing its batchmates.
         ``deadlines`` are per-request budgets in seconds, as in
         :meth:`submit`. ``coalesce=False`` restores the per-request
-        submit/result path.
+        submit/result path. ``request_ids`` imposes caller-chosen ids
+        exactly like :meth:`submit`'s ``request_id``.
         """
         problems = list(problems)
         if warm_starts is None:
             warm_starts = [None] * len(problems)
         if deadlines is None:
             deadlines = [None] * len(problems)
-        if not (len(warm_starts) == len(deadlines) == len(problems)):
+        if request_ids is None:
+            request_ids = [None] * len(problems)
+        if not (len(warm_starts) == len(deadlines) == len(request_ids)
+                == len(problems)):
             raise ValueError("per-request argument lists must match the "
                              "number of problems")
         if not coalesce or len(problems) < 2:
-            ids = [self.submit(p, warm_start=w, deadline=dl)
-                   for p, w, dl in zip(problems, warm_starts, deadlines)]
+            ids = [self.submit(p, warm_start=w, deadline=dl, request_id=r)
+                   for p, w, dl, r in zip(problems, warm_starts,
+                                          deadlines, request_ids)]
             return [self.result(i, timeout=timeout) for i in ids]
         if self._closed:
             raise RuntimeError("service is closed")
@@ -440,10 +458,15 @@ class SolverService:
         from ..batch import Coalescer
         submitted = time.perf_counter()
         lanes = []
-        for problem, warm, dl in zip(problems, warm_starts, deadlines):
+        for problem, warm, dl, rid_in in zip(problems, warm_starts,
+                                             deadlines, request_ids):
             with self._lock:
-                rid = self._next_id
-                self._next_id += 1
+                if rid_in is None:
+                    rid = self._next_id
+                    self._next_id += 1
+                else:
+                    rid = int(rid_in)
+                    self._next_id = max(self._next_id, rid + 1)
             if dl is None:
                 dl = self.resilience.deadline_seconds
             lanes.append({
@@ -979,11 +1002,31 @@ class SolverService:
                         f"{pending} request(s) still outstanding"
                     ) from None
 
-    def close(self) -> None:
-        """Drain, persist the cache (if configured) and stop workers."""
+    def close(self, timeout: float | None = None,
+              cancel_pending: bool = False) -> None:
+        """Drain, persist the cache (if configured) and stop workers.
+
+        With a ``timeout``, the drain raises :class:`TimeoutError` on
+        expiry. By default that propagates with the service still
+        open (callers may drain again); ``cancel_pending=True`` turns
+        it into a *hard* shutdown instead — never-started work is
+        cancelled at the executors so every outstanding future
+        resolves (result, exception, or cancelled) and nothing leaks.
+        """
         if self._closed:
             return
-        self.drain()
+        try:
+            self.drain(timeout=timeout)
+        except TimeoutError:
+            if not cancel_pending:
+                raise
+            self._closed = True
+            self._dispatch.shutdown(wait=True, cancel_pending=True)
+            if self._solve_pool is not None:
+                self._solve_pool.shutdown(wait=True, cancel_pending=True)
+            if self.cache.path is not None:
+                self.cache.save()
+            return
         self._closed = True
         if self.cache.path is not None:
             self.cache.save()

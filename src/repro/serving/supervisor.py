@@ -1,0 +1,381 @@
+"""Process supervision for sharded serving: heartbeats, restarts, drain.
+
+A :class:`ShardSupervisor` owns N worker *processes* (the shards of
+:class:`~repro.serving.sharded.ShardedSolverService`) and keeps them
+alive through the failure modes a real multi-process deployment sees:
+
+* **crash** — the process died (segfault, OOM SIGKILL): detected by
+  ``Process.is_alive()`` going false, restarted with exponential
+  backoff;
+* **stall** — the process is alive but stopped heartbeating: deadline
+  tiered. Past the *soft* timeout the supervisor requests cooperative
+  cancellation (``cancel_event``) and counts a heartbeat miss — a
+  worker that resumes heartbeating recovers without a restart. Past
+  the *hard* timeout the worker is SIGKILLed and restarted;
+* **flapping** — a per-shard :class:`~repro.faults.CircuitBreaker`
+  opens after ``breaker_threshold`` consecutive failures; the shard is
+  marked ``failed`` and only re-probed after the breaker's reset
+  window (the front door routes around failed shards meanwhile).
+
+Every incarnation of a shard gets **fresh queues**: a SIGKILL can tear
+a pipe mid-write, so transport channels are never reused across
+restarts — the front door keeps the authoritative copy of every
+in-flight request and requeues on the ``on_shard_down`` callback.
+
+:meth:`drain` is the graceful path: send each live worker the
+:data:`SHUTDOWN` sentinel, join with a budget, escalate
+terminate→kill for stragglers, and reap every child (``join`` calls
+``waitpid``) — no zombies, asserted by the sharded tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import threading
+import time
+
+from ..faults.breaker import OPEN, CircuitBreaker
+
+__all__ = ["ShardHandle", "ShardSupervisor", "SHUTDOWN",
+           "STARTING", "HEALTHY", "SUSPECT", "RESTARTING", "FAILED",
+           "STOPPED"]
+
+#: Sentinel request message: the worker loop exits cleanly on receipt.
+SHUTDOWN = "__rsqp_shutdown__"
+
+STARTING = "starting"      # spawned, no heartbeat observed yet
+HEALTHY = "healthy"        # heartbeating within the soft timeout
+SUSPECT = "suspect"        # soft timeout passed; cancel requested
+RESTARTING = "restarting"  # dead; a replacement is backoff-scheduled
+FAILED = "failed"          # breaker open; re-probed after its window
+STOPPED = "stopped"        # drained
+
+
+def default_start_method() -> str:
+    """``fork`` where it exists (fast, shares the warmed import state);
+    ``spawn`` elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    if sys.platform.startswith("linux") and "fork" in methods:
+        return "fork"
+    return "spawn"
+
+
+class ShardHandle:
+    """One incarnation of one shard: process + its private channels."""
+
+    def __init__(self, index: int, generation: int, ctx):
+        self.index = index
+        #: Incarnation counter — bumped on every restart. Results from
+        #: an older generation's collector are ignored by the front
+        #: door once the incarnation is declared dead.
+        self.generation = generation
+        self.request_q = ctx.Queue()
+        self.result_q = ctx.Queue()
+        #: Worker-written wall-clock timestamp (cross-process ``'d'``).
+        self.heartbeat = ctx.Value("d", 0.0)
+        #: Cooperative-cancel poke; the worker clears it to acknowledge.
+        self.cancel_event = ctx.Event()
+        self.process = None
+        self.state = STARTING
+        self.started_at = 0.0
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def discard_queues(self) -> None:
+        """Abandon the (possibly torn) channels of a dead incarnation.
+
+        ``cancel_join_thread`` keeps the parent from blocking on a
+        feeder flushing into a pipe nobody will ever read.
+        """
+        for q in (self.request_q, self.result_q):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:  # pragma: no cover - already torn down
+                pass
+
+
+class ShardSupervisor:
+    """Health-check N shard processes; restart, back off, drain.
+
+    Parameters
+    ----------
+    shards:
+        Number of worker processes.
+    target:
+        Module-level callable run in each worker:
+        ``target(index, generation, request_q, result_q, heartbeat,
+        cancel_event, config)``. Must be picklable for ``spawn``.
+    config:
+        Picklable payload handed to every worker.
+    heartbeat_interval:
+        How often workers promise to touch their heartbeat; the
+        monitor polls at a fraction of it.
+    soft_timeout / hard_timeout:
+        Heartbeat-age tiers: soft → cooperative cancel + heartbeat
+        miss; hard → SIGKILL + restart. ``hard_timeout`` must exceed
+        ``soft_timeout``.
+    restart_backoff_base/factor/max:
+        Exponential backoff between restarts of one shard (seconds).
+    breaker_threshold / breaker_reset_seconds:
+        Per-shard circuit breaker: consecutive failures to open, and
+        the probation window before a half-open probe restart.
+    on_shard_up / on_shard_down:
+        Callbacks ``(handle)`` / ``(handle, reason)`` invoked from the
+        monitor thread. ``on_shard_down`` fires once per death with
+        reason ``"crash"`` or ``"stall"`` — the front door requeues
+        that incarnation's in-flight work there.
+    metrics:
+        Optional :class:`~repro.serving.metrics.MetricsRegistry`;
+        restarts and heartbeat misses are counted per shard
+        (``serving_shard_restarts_total{shard="i"}``, ...).
+    """
+
+    def __init__(self, shards: int, target, config=None, *,
+                 start_method: str | None = None,
+                 heartbeat_interval: float = 0.05,
+                 soft_timeout: float = 1.0,
+                 hard_timeout: float = 3.0,
+                 restart_backoff_base: float = 0.05,
+                 restart_backoff_factor: float = 2.0,
+                 restart_backoff_max: float = 1.0,
+                 breaker_threshold: int = 5,
+                 breaker_reset_seconds: float = 30.0,
+                 poll_interval: float | None = None,
+                 clock=time.time,
+                 metrics=None,
+                 on_shard_up=None,
+                 on_shard_down=None):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if hard_timeout <= soft_timeout:
+            raise ValueError("hard_timeout must exceed soft_timeout")
+        self.shards = int(shards)
+        self.target = target
+        self.config = config
+        self.ctx = multiprocessing.get_context(
+            start_method or default_start_method())
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.soft_timeout = float(soft_timeout)
+        self.hard_timeout = float(hard_timeout)
+        self.restart_backoff_base = float(restart_backoff_base)
+        self.restart_backoff_factor = float(restart_backoff_factor)
+        self.restart_backoff_max = float(restart_backoff_max)
+        self.poll_interval = (float(poll_interval) if poll_interval
+                              else max(min(heartbeat_interval,
+                                           soft_timeout / 4.0), 0.005))
+        self._clock = clock
+        self.metrics = metrics
+        self.on_shard_up = on_shard_up
+        self.on_shard_down = on_shard_down
+        self.breakers = [CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            reset_seconds=breaker_reset_seconds, name=f"shard-{i}")
+            for i in range(self.shards)]
+        self._handles: list[ShardHandle | None] = [None] * self.shards
+        self._generations = [0] * self.shards
+        self._consecutive_failures = [0] * self.shards
+        self._restart_at = [0.0] * self.shards
+        self._restarts = [0] * self.shards
+        self._heartbeat_misses = [0] * self.shards
+        self._lock = threading.RLock()
+        self._monitor: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn every shard and begin monitoring."""
+        with self._lock:
+            for index in range(self.shards):
+                self._spawn(index)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="rsqp-shard-supervisor",
+            daemon=True)
+        self._monitor.start()
+
+    def _spawn(self, index: int) -> ShardHandle:
+        self._generations[index] += 1
+        handle = ShardHandle(index, self._generations[index], self.ctx)
+        now = self._clock()
+        # Seed the heartbeat so a slow-starting worker is measured from
+        # its spawn instant, not from epoch 0 (= instant hard timeout).
+        handle.heartbeat.value = now
+        handle.started_at = now
+        process = self.ctx.Process(
+            target=self.target,
+            args=(index, handle.generation, handle.request_q,
+                  handle.result_q, handle.heartbeat, handle.cancel_event,
+                  self.config),
+            name=f"rsqp-shard-{index}-g{handle.generation}")
+        process.start()
+        handle.process = process
+        self._handles[index] = handle
+        if self.on_shard_up is not None:
+            self.on_shard_up(handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # introspection (used by the front door's router)
+    # ------------------------------------------------------------------
+    def handle(self, index: int) -> ShardHandle | None:
+        with self._lock:
+            return self._handles[index]
+
+    def _state_of(self, index: int) -> str:
+        handle = self._handles[index]
+        if handle is not None:
+            return handle.state
+        return FAILED if self.breakers[index].state == OPEN else RESTARTING
+
+    def states(self) -> list[str]:
+        with self._lock:
+            return [self._state_of(i) for i in range(self.shards)]
+
+    def routable_indices(self) -> list[int]:
+        """Shards a new request may be dispatched to right now."""
+        with self._lock:
+            return [i for i, h in enumerate(self._handles)
+                    if h is not None and h.alive
+                    and h.state in (STARTING, HEALTHY, SUSPECT)]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "restarts": list(self._restarts),
+                "heartbeat_misses": list(self._heartbeat_misses),
+                "states": [self._state_of(i) for i in range(self.shards)],
+                "breaker_states": [b.state for b in self.breakers],
+            }
+
+    # ------------------------------------------------------------------
+    # monitoring
+    # ------------------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            try:
+                self.check(self._clock())
+            except Exception:  # pragma: no cover - monitor must survive
+                pass
+
+    def check(self, now: float | None = None) -> None:
+        """One health sweep; public so tests can drive it directly."""
+        now = self._clock() if now is None else now
+        with self._lock:
+            if self._draining:
+                return
+            for index in range(self.shards):
+                self._check_shard(index, now)
+
+    def _check_shard(self, index: int, now: float) -> None:
+        handle = self._handles[index]
+        if handle is None:
+            # Dead with a restart scheduled (or breaker-failed).
+            if self.breakers[index].state == OPEN:
+                if self.breakers[index].allows(now):
+                    self._spawn(index)  # half-open probe
+                return
+            if now >= self._restart_at[index]:
+                self._spawn(index)
+            return
+        if not handle.alive:
+            self._declare_down(index, handle, "crash", now)
+            return
+        age = now - float(handle.heartbeat.value)
+        if age > self.hard_timeout:
+            # Stalled past the hard tier: kill, then restart.
+            handle.process.kill()
+            handle.process.join(timeout=5.0)
+            self._declare_down(index, handle, "stall", now)
+        elif age > self.soft_timeout:
+            if handle.state != SUSPECT:
+                handle.state = SUSPECT
+                handle.cancel_event.set()  # cooperative-cancel poke
+                self._heartbeat_misses[index] += 1
+                self._count(index, "serving_heartbeat_misses_total")
+        else:
+            if handle.state in (STARTING, SUSPECT):
+                handle.state = HEALTHY
+                self.breakers[index].record_success(now)
+                self._consecutive_failures[index] = 0
+
+    def _declare_down(self, index: int, handle: ShardHandle,
+                      reason: str, now: float) -> None:
+        if handle.process is not None:
+            handle.process.join(timeout=5.0)  # reap
+        handle.state = RESTARTING
+        handle.discard_queues()
+        self._handles[index] = None
+        self._consecutive_failures[index] += 1
+        breaker = self.breakers[index]
+        breaker.record_failure(now)
+        self._restarts[index] += 1
+        self._count(index, "serving_shard_restarts_total",
+                    extra={"reason": reason})
+        if breaker.state == OPEN:
+            # Flapping: stop restarting until the breaker's window.
+            pass
+        else:
+            backoff = min(
+                self.restart_backoff_base * self.restart_backoff_factor
+                ** max(self._consecutive_failures[index] - 1, 0),
+                self.restart_backoff_max)
+            self._restart_at[index] = now + backoff
+        if self.on_shard_down is not None:
+            self.on_shard_down(handle, reason)
+
+    def _count(self, index: int, name: str, extra: dict | None = None
+               ) -> None:
+        if self.metrics is None:
+            return
+        labels = {"shard": str(index)}
+        if extra:
+            labels.update(extra)
+        self.metrics.counter(name, labels=labels).inc()
+
+    # ------------------------------------------------------------------
+    # drain
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float = 10.0) -> dict:
+        """Graceful stop: sentinel → join → terminate → kill → reap.
+
+        Returns ``{shard_index: exitcode}`` for every shard that had a
+        live incarnation. After this returns there are no live shard
+        processes and no zombies (every child was ``join``-ed).
+        """
+        with self._lock:
+            self._draining = True
+            handles = [h for h in self._handles if h is not None]
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+        for handle in handles:
+            if handle.alive:
+                try:
+                    handle.request_q.put(SHUTDOWN)
+                except Exception:  # pragma: no cover - torn queue
+                    pass
+        deadline = time.monotonic() + timeout
+        exitcodes: dict[int, int | None] = {}
+        for handle in handles:
+            if handle.process is None:
+                continue
+            budget = max(deadline - time.monotonic(), 0.0)
+            handle.process.join(timeout=budget)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            if handle.process.is_alive():  # pragma: no cover - stubborn
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+            exitcodes[handle.index] = handle.process.exitcode
+            handle.state = STOPPED
+            handle.discard_queues()
+        with self._lock:
+            self._handles = [None] * self.shards
+        return exitcodes

@@ -171,3 +171,52 @@ class TestServingBatchSemantics:
         c = snap["counters"]
         assert c['serving_batch_lane_fallbacks_total{reason="deadline"}'] == 1
         assert c["serving_deadline_misses_total"] == 1
+
+
+class TestFlushCallback:
+    def collect(self):
+        events = []
+        return events, lambda reason, key, items: events.append(
+            (reason, key, list(items)))
+
+    def test_full_flush_emits(self):
+        events, hook = self.collect()
+        co = Coalescer(max_batch=2, max_linger=1.0, clock=FakeClock(),
+                       on_flush=hook)
+        co.offer("k", "a")
+        co.offer("k", "b")
+        assert events == [("full", "k", ["a", "b"])]
+
+    def test_due_flush_emits(self):
+        clk = FakeClock()
+        events, hook = self.collect()
+        co = Coalescer(max_batch=8, max_linger=0.010, clock=clk,
+                       on_flush=hook)
+        co.offer("k", "a")
+        clk.advance(0.011)
+        co.due()
+        assert events == [("due", "k", ["a"])]
+
+    def test_drain_emits_and_releases_every_lane(self):
+        # The shutdown audit: every queued lane leaves exactly once,
+        # keyed by its own group, when intake stops.
+        events, hook = self.collect()
+        co = Coalescer(max_batch=8, max_linger=10.0, clock=FakeClock(),
+                       on_flush=hook)
+        lanes = [("a", 0), ("b", 1), ("a", 2), ("c", 3), ("b", 4)]
+        for key, lane in lanes:
+            co.offer(key, lane)
+        flushed = co.drain()
+        assert co.pending == 0
+        assert dict(flushed) == {"a": [0, 2], "b": [1, 4], "c": [3]}
+        assert events == [("drain", "a", [0, 2]), ("drain", "b", [1, 4]),
+                          ("drain", "c", [3])]
+        released = [lane for _, _, items in events for lane in items]
+        assert sorted(released) == [0, 1, 2, 3, 4]  # nothing lost
+        assert co.drain() == []                     # idempotent
+
+    def test_no_callback_is_fine(self):
+        co = Coalescer(max_batch=2, clock=FakeClock())
+        co.offer("k", "a")
+        assert co.offer("k", "b") == ["a", "b"]
+        assert co.drain() == []

@@ -71,3 +71,37 @@ class TestChaosReplay:
         assert serving["retries"] == 0
         assert serving["degraded"] == 0
         assert serving["availability"] == 1.0
+
+
+class TestShardedStage:
+    def test_sharded_stage_gates_and_reports(self, tmp_path):
+        code, report = run_cli(
+            tmp_path, "--skip-fleet", "--shards", "2",
+            "--mac-rate", "0", "--hbm-rate", "0", "--cvb-rate", "0",
+            "--poisons", "0", "--stalls", "0",
+            "--worker-crashes", "1", "--worker-stalls", "0",
+            "--shm-corrupts", "1", "--soft-timeout", "0.25",
+            "--hard-timeout", "2.0")
+        assert code == 0
+        assert report["slo"]["violations"] == []
+        sharded = report["sharded"]
+        assert sharded["shards"] == 2
+        assert sharded["requests"] == 8
+        assert sharded["availability"] >= 0.99
+        assert sharded["silent_wrong"] == 0
+        assert sharded["plan"] == {"worker-crash": 1, "shm-corrupt": 1}
+        # The worker-crash fault is transient (attempt 0 only): if an
+        # shm checksum failure requeues the victim request first, its
+        # attempt counter moves past 0 and the crash never fires, so
+        # restarts alone is not a stable assertion here — the
+        # deterministic SIGKILL/restart path is pinned down in
+        # tests/test_serving_sharded.py. Some recovery must happen:
+        assert sharded["restarts"] + sharded["requeues"] >= 1
+        # The injected corruption was detected, quarantined, rebuilt.
+        assert sharded["shm_corrupts_injected"] == 1
+        assert sharded["shm_checksum_failures"] >= 1
+        assert sharded["shm_quarantines"] >= 1
+
+    def test_shards_off_by_default(self, tmp_path):
+        _, report = run_cli(tmp_path, "--skip-fleet")
+        assert "sharded" not in report

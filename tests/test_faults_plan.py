@@ -97,3 +97,73 @@ class TestGenerate:
         plan = FaultPlan.generate(5, 30, poisons=2, stalls=2)
         clone = FaultPlan.from_dict(plan.as_dict())
         assert clone == plan
+
+
+class TestProcessVocabulary:
+    def test_process_kinds_are_registered(self):
+        from repro.faults import PROCESS_KINDS
+        assert PROCESS_KINDS == ("worker-crash", "worker-stall",
+                                 "shm-corrupt")
+        assert set(PROCESS_KINDS) <= set(FAULT_KINDS)
+        assert not set(PROCESS_KINDS) & set(HW_KINDS)
+
+    def test_process_faults_for_respects_transience(self):
+        plan = FaultPlan(seed=0, faults=(
+            Fault(kind="worker-crash", request=2),
+            Fault(kind="worker-stall", request=5, duration=0.5),
+            Fault(kind="worker-stall", request=6, duration=0.5,
+                  attempt=EVERY_ATTEMPT),
+        ))
+        assert [f.kind for f in plan.process_faults_for(2, 0)] == \
+            ["worker-crash"]
+        assert plan.process_faults_for(2, 1) == []   # requeue runs clean
+        assert plan.process_faults_for(5, 0)[0].duration == 0.5
+        assert plan.process_faults_for(6, 3) != []   # persistent defect
+
+    def test_shm_corrupts_for(self):
+        plan = FaultPlan(seed=0, faults=(
+            Fault(kind="shm-corrupt", request=1),
+            Fault(kind="worker-crash", request=1),
+        ))
+        assert [f.kind for f in plan.shm_corrupts_for(1)] == ["shm-corrupt"]
+        assert plan.shm_corrupts_for(0) == []
+
+    def test_generated_process_faults_hit_distinct_requests(self):
+        plan = FaultPlan.generate(9, 20, mac_rate=0, hbm_rate=0,
+                                  cvb_rate=0, poisons=0, stalls=0,
+                                  worker_crashes=3, worker_stalls=3,
+                                  shm_corrupts=3,
+                                  worker_stall_seconds=0.25)
+        counts = plan.count_by_kind()
+        assert counts == {"worker-crash": 3, "worker-stall": 3,
+                          "shm-corrupt": 3}
+        targeted = [f.request for f in plan.faults]
+        assert len(targeted) == len(set(targeted))  # never doubled up
+        for fault in plan.faults:
+            if fault.kind == "worker-stall":
+                assert fault.duration == 0.25
+            assert 0 <= fault.request < 20
+
+    def test_counts_clamped_to_request_budget(self):
+        plan = FaultPlan.generate(0, 4, mac_rate=0, hbm_rate=0,
+                                  cvb_rate=0, poisons=0, stalls=0,
+                                  worker_crashes=3, worker_stalls=3,
+                                  shm_corrupts=3)
+        # Only 4 distinct requests exist; the draw never overflows.
+        assert len(plan) == 4
+        targeted = [f.request for f in plan.faults]
+        assert len(targeted) == len(set(targeted))
+
+    def test_historical_plans_are_bit_identical(self):
+        # Adding the process vocabulary must not perturb plans drawn
+        # with the historical arguments: the old stream is consumed
+        # first, process faults are appended after.
+        legacy = FaultPlan.generate(7, 50)
+        extended = FaultPlan.generate(7, 50, worker_crashes=2,
+                                      worker_stalls=1, shm_corrupts=1)
+        assert legacy == FaultPlan.generate(7, 50)
+        assert extended.faults[:len(legacy.faults)] == legacy.faults
+        extras = extended.faults[len(legacy.faults):]
+        assert {f.kind for f in extras} <= {"worker-crash", "worker-stall",
+                                            "shm-corrupt"}
+        assert len(extras) == 4

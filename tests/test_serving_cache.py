@@ -234,3 +234,76 @@ class TestArtifact:
     def test_build_seconds(self, artifact):
         assert artifact.build_seconds == pytest.approx(
             artifact.customize_seconds + artifact.compile_seconds)
+
+
+class TestAtomicSave:
+    """A process killed at any instant mid-save must leave either the
+    old complete file or the new complete file — never a torn one."""
+
+    def test_no_temporary_droppings_after_save(self, tmp_path, artifact):
+        path = tmp_path / "arch.json"
+        cache = ArchCache(capacity=4, path=path)
+        cache.put("k1", artifact)
+        cache.save()
+        assert [p.name for p in tmp_path.iterdir()] == ["arch.json"]
+
+    def test_kill_during_write_preserves_previous_file(
+            self, tmp_path, artifact, monkeypatch):
+        import os
+
+        path = tmp_path / "arch.json"
+        cache = ArchCache(capacity=4, path=path)
+        cache.put("k1", artifact)
+        cache.save()
+        before = path.read_bytes()
+
+        # Simulate SIGKILL landing between the payload write and the
+        # rename: fsync "never returns". The target must be untouched
+        # and the temp file must not linger.
+        cache.put("k2", artifact)
+        real_fsync = os.fsync
+
+        def dying_fsync(fd):
+            real_fsync(fd)
+            raise KeyboardInterrupt("killed mid-save")
+
+        monkeypatch.setattr(os, "fsync", dying_fsync)
+        with pytest.raises(KeyboardInterrupt):
+            cache.save()
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["arch.json"]
+        # The survivor still loads cleanly.
+        assert ArchCache(capacity=4, path=path).stats().persisted == 1
+
+    def test_kill_during_rename_never_tears_the_target(
+            self, tmp_path, artifact, monkeypatch):
+        import os
+
+        path = tmp_path / "arch.json"
+        cache = ArchCache(capacity=4, path=path)
+        cache.put("k1", artifact)
+        cache.save()
+        before = path.read_bytes()
+
+        cache.put("k2", artifact)
+        monkeypatch.setattr(
+            os, "replace",
+            lambda *a, **kw: (_ for _ in ()).throw(
+                KeyboardInterrupt("killed at rename")))
+        with pytest.raises(KeyboardInterrupt):
+            cache.save()
+        monkeypatch.undo()
+        # os.replace is atomic at the VFS layer: either it happened or
+        # it did not. Our simulated kill happened before -> old bytes.
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["arch.json"]
+
+    def test_completed_save_replaces_wholesale(self, tmp_path, artifact):
+        path = tmp_path / "arch.json"
+        path.write_text("garbage from a previous torn era")
+        cache = ArchCache(capacity=4, path=path)
+        cache.put("k1", artifact)
+        cache.save()
+        assert json.loads(path.read_text())["version"] == 1
+        assert ArchCache(capacity=4, path=path).stats().persisted == 1

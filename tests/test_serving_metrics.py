@@ -196,3 +196,87 @@ class TestPrometheusRendering:
             name_part, value = line.rsplit(" ", 1)
             float(value)  # sample value parses
             assert " " not in name_part
+
+
+class TestSampleNameParsing:
+    def test_bare_name_round_trip(self):
+        from repro.serving.metrics import parse_sample_name
+        assert parse_sample_name("requests_total") == ("requests_total", {})
+
+    def test_labeled_name_round_trip(self):
+        from repro.serving.metrics import parse_sample_name
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels={"shard": "3", "reason": "crash"}).inc()
+        (sample,) = reg.snapshot()["counters"]
+        name, labels = parse_sample_name(sample)
+        assert name == "x_total"
+        assert labels == {"reason": "crash", "shard": "3"}
+
+    def test_escaped_values_round_trip(self):
+        from repro.serving.metrics import parse_sample_name
+        reg = MetricsRegistry()
+        ugly = 'a"b\\c\nd'
+        reg.counter("odd_total", labels={"k": ugly}).inc()
+        (sample,) = reg.snapshot()["counters"]
+        name, labels = parse_sample_name(sample)
+        assert (name, labels) == ("odd_total", {"k": ugly})
+
+    def test_malformed_raises(self):
+        from repro.serving.metrics import parse_sample_name
+        with pytest.raises(ValueError):
+            parse_sample_name('x_total{unterminated="v')
+
+
+class TestMergeCounters:
+    def test_merges_under_extra_labels(self):
+        from repro.serving.metrics import merge_counters
+        reg = MetricsRegistry()
+        merge_counters(reg, {"solves_total": 4.0,
+                             'flushes_total{reason="full"}': 2.0},
+                       extra_labels={"shard": "1"})
+        c = reg.snapshot()["counters"]
+        assert c['solves_total{shard="1"}'] == 4.0
+        assert c['flushes_total{reason="full",shard="1"}'] == 2.0
+
+    def test_accumulates_across_incarnations(self):
+        from repro.serving.metrics import merge_counters
+        reg = MetricsRegistry()
+        for _ in range(2):  # two "bye" payloads from shard restarts
+            merge_counters(reg, {"solves_total": 3.0},
+                           extra_labels={"shard": "0"})
+        assert reg.snapshot()["counters"]['solves_total{shard="0"}'] == 6.0
+
+    def test_zero_valued_counters_are_skipped(self):
+        from repro.serving.metrics import merge_counters
+        reg = MetricsRegistry()
+        merge_counters(reg, {"idle_total": 0.0}, extra_labels={"shard": "2"})
+        assert reg.snapshot()["counters"] == {}
+
+
+class TestShardedFamilies:
+    """The four sharded-serving counter families render as grouped,
+    deterministically ordered labeled series."""
+
+    def test_labeled_family_ordering(self):
+        reg = MetricsRegistry()
+        reg.counter("serving_shard_restarts_total",
+                    labels={"shard": "1", "reason": "stall"}).inc()
+        reg.counter("serving_shard_restarts_total",
+                    labels={"shard": "0", "reason": "crash"}).inc(2)
+        reg.counter("serving_heartbeat_misses_total",
+                    labels={"shard": "0"}).inc()
+        reg.counter("serving_shm_checksum_failures_total",
+                    labels={"reason": "checksum"}).inc()
+        reg.counter("serving_shard_requeues_total",
+                    labels={"shard": "1"}).inc(3)
+        text = reg.render_prometheus()
+        for family in ("serving_shard_restarts_total",
+                       "serving_heartbeat_misses_total",
+                       "serving_shm_checksum_failures_total",
+                       "serving_shard_requeues_total"):
+            assert text.count(f"# TYPE {family} counter") == 1
+        assert ('serving_shard_restarts_total'
+                '{reason="crash",shard="0"} 2\n') in text
+        # Within a family, series sort lexicographically by sample name.
+        assert text.index('reason="crash",shard="0"') < \
+            text.index('reason="stall",shard="1"')

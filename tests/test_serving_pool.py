@@ -118,3 +118,29 @@ class TestShutdown:
         futures = [pool.submit(_square, i) for i in range(4)]
         pool.shutdown(wait=True)
         assert [f.result() for f in futures] == [0, 1, 4, 9]
+
+
+class TestHardShutdown:
+    @pytest.mark.parametrize("mode", ("thread", "process"))
+    def test_cancel_pending_leaves_no_unresolved_futures(self, mode):
+        import time as _time
+
+        with WorkerPool(workers=1, mode=mode) as warm:
+            # Prime the process pool outside the timed region.
+            warm.submit(_square, 1).result(timeout=60)
+        pool = WorkerPool(workers=1, mode=mode)
+        blocker = pool.submit(_time.sleep, 0.5)
+        queued = [pool.submit(_square, i) for i in range(8)]
+        pool.shutdown(wait=True, cancel_pending=True)
+        # The running job finishes; every queued one is cancelled —
+        # no future is left forever unresolved.
+        assert blocker.done()
+        for future in queued:
+            assert future.done()
+        assert any(f.cancelled() for f in queued)
+
+    def test_cancel_pending_on_serial_pool_is_noop(self):
+        pool = WorkerPool(workers=1, mode="serial")
+        future = pool.submit(_square, 2)
+        pool.shutdown(wait=True, cancel_pending=True)
+        assert future.result() == 4
